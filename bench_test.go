@@ -1,0 +1,362 @@
+// Benchmarks regenerating every figure of the SQPR paper's evaluation
+// (§V), plus ablations of the design choices documented in DESIGN.md.
+//
+// Each benchmark runs the figure's experiment at a compact scale and
+// reports the headline quantity (satisfied queries, average planning time)
+// via b.ReportMetric, so `go test -bench=. -benchmem` reproduces the
+// paper's series alongside allocation profiles. EXPERIMENTS.md records a
+// full-scale run of the same experiments via cmd/sqpr-sim and
+// cmd/sqpr-cluster.
+package sqpr_test
+
+import (
+	"testing"
+	"time"
+
+	"sqpr/internal/core"
+	"sqpr/internal/hier"
+	"sqpr/internal/sim"
+)
+
+// benchScale is the compact experiment scale used by benchmarks.
+func benchScale() sim.Scale {
+	sc := sim.DefaultScale()
+	sc.Hosts = 8
+	sc.BaseStreams = 40
+	sc.Queries = 30
+	sc.Timeout = 60 * time.Millisecond
+	sc.MaxCandHost = 6
+	return sc
+}
+
+// --- Fig. 4: planning efficiency -------------------------------------------
+
+func BenchmarkFig4aPlanningEfficiency(b *testing.B) {
+	sc := benchScale()
+	var last sim.Fig4aResult
+	for i := 0; i < b.N; i++ {
+		last = sim.Fig4a(sc)
+	}
+	for _, c := range last.Curves {
+		if len(c.Satisfied) > 0 {
+			b.ReportMetric(float64(c.Satisfied[len(c.Satisfied)-1]), c.Label+"-satisfied")
+		}
+	}
+}
+
+func BenchmarkFig4bBatching(b *testing.B) {
+	sc := benchScale()
+	sc.Queries = 20
+	var last sim.Fig4aResult
+	for i := 0; i < b.N; i++ {
+		last = sim.Fig4b(sc, []int{2, 4})
+	}
+	for _, c := range last.Curves {
+		if len(c.Satisfied) > 0 {
+			b.ReportMetric(float64(c.Satisfied[len(c.Satisfied)-1]), c.Label+"-satisfied")
+		}
+	}
+}
+
+func BenchmarkFig4cOverlap(b *testing.B) {
+	sc := benchScale()
+	sc.Queries = 20
+	var last sim.Fig4cResult
+	for i := 0; i < b.N; i++ {
+		last = sim.Fig4c(sc, []float64{0, 1}, []int{20, 40})
+	}
+	for i, bc := range last.BaseStreams {
+		for j, z := range last.Zipfs {
+			b.ReportMetric(float64(last.Satisfied[i][j]),
+				"satisfied-b"+itoa(bc)+"-z"+ftoa(z))
+		}
+	}
+}
+
+// --- Fig. 5: scalability ----------------------------------------------------
+
+func BenchmarkFig5aHosts(b *testing.B) {
+	sc := benchScale()
+	sc.Queries = 20
+	var last sim.ScalabilityResult
+	for i := 0; i < b.N; i++ {
+		last = sim.Fig5a(sc, []int{4, 8})
+	}
+	reportScal(b, last)
+}
+
+func BenchmarkFig5bResources(b *testing.B) {
+	sc := benchScale()
+	sc.Queries = 20
+	var last sim.ScalabilityResult
+	for i := 0; i < b.N; i++ {
+		last = sim.Fig5b(sc, []int{1, 4})
+	}
+	reportScal(b, last)
+}
+
+func BenchmarkFig5cComplexity(b *testing.B) {
+	sc := benchScale()
+	sc.Queries = 16
+	var last sim.ScalabilityResult
+	for i := 0; i < b.N; i++ {
+		last = sim.Fig5c(sc, []int{2, 4})
+	}
+	reportScal(b, last)
+}
+
+func reportScal(b *testing.B, r sim.ScalabilityResult) {
+	b.Helper()
+	for i, x := range r.X {
+		b.ReportMetric(float64(r.SQPR[i]), "sqpr-"+r.XLabel+"-"+itoa(x))
+		b.ReportMetric(float64(r.Bound[i]), "bound-"+r.XLabel+"-"+itoa(x))
+	}
+}
+
+// --- Fig. 6: planning-time overhead ----------------------------------------
+
+func BenchmarkFig6aPlanTimeHosts(b *testing.B) {
+	sc := benchScale()
+	sc.Queries = 16
+	var last sim.TimingResult
+	for i := 0; i < b.N; i++ {
+		last = sim.Fig6a(sc, []int{4, 8})
+	}
+	for i, x := range last.X {
+		b.ReportMetric(float64(last.AvgTime[i].Microseconds()), "us-per-plan-hosts-"+itoa(x))
+	}
+}
+
+func BenchmarkFig6bPlanTimeArity(b *testing.B) {
+	sc := benchScale()
+	sc.Queries = 16
+	var last sim.TimingResult
+	for i := 0; i < b.N; i++ {
+		last = sim.Fig6b(sc, []int{2, 4})
+	}
+	for i, x := range last.X {
+		b.ReportMetric(float64(last.AvgTime[i].Microseconds()), "us-per-plan-arity-"+itoa(x))
+	}
+}
+
+// --- Fig. 7: cluster deployment ---------------------------------------------
+
+func fig7Scale() sim.DeployScale {
+	ds := sim.DefaultDeployScale()
+	ds.Hosts = 8
+	ds.BaseStreams = 40
+	ds.WaveSize = 10
+	ds.Waves = 2
+	ds.Timeout = 60 * time.Millisecond
+	return ds
+}
+
+func BenchmarkFig7aDeployment(b *testing.B) {
+	var last sim.Fig7Result
+	for i := 0; i < b.N; i++ {
+		last = sim.Fig7(fig7Scale())
+	}
+	for i, in := range last.Inputs {
+		b.ReportMetric(float64(last.SQPR[i]), "sqpr-at-"+itoa(in))
+		b.ReportMetric(float64(last.SODA[i]), "soda-at-"+itoa(in))
+	}
+}
+
+func BenchmarkFig7bCPUCDF(b *testing.B) {
+	var last sim.Fig7Result
+	for i := 0; i < b.N; i++ {
+		last = sim.Fig7(fig7Scale())
+	}
+	if last.CPULowSQPR != nil {
+		b.ReportMetric(last.CPULowSQPR.Quantile(0.5), "sqpr-low-p50-cpu")
+	}
+	if last.CPULowSODA != nil {
+		b.ReportMetric(last.CPULowSODA.Quantile(0.5), "soda-low-p50-cpu")
+	}
+}
+
+func BenchmarkFig7cNetCDF(b *testing.B) {
+	var last sim.Fig7Result
+	for i := 0; i < b.N; i++ {
+		last = sim.Fig7(fig7Scale())
+	}
+	if last.NetLowSQPR != nil {
+		b.ReportMetric(last.NetLowSQPR.Quantile(0.5), "sqpr-low-p50-net")
+	}
+	if last.NetLowSODA != nil {
+		b.ReportMetric(last.NetLowSODA.Quantile(0.5), "soda-low-p50-net")
+	}
+}
+
+// --- Ablations ---------------------------------------------------------------
+
+// runAblation executes the bench workload under a config mutation and
+// returns (admitted, avg plan time).
+func runAblation(mutate func(*core.Config)) (int, time.Duration) {
+	sc := benchScale()
+	env := sim.BuildEnv(sc)
+	cfg := core.DefaultConfig()
+	cfg.SolveTimeout = sc.Timeout
+	cfg.MaxCandidateHosts = sc.MaxCandHost
+	mutate(&cfg)
+	p := core.NewPlanner(env.Sys, cfg)
+	var total time.Duration
+	for _, q := range env.Queries {
+		res, err := p.Submit(q)
+		if err != nil {
+			break
+		}
+		total += res.PlanTime
+	}
+	return p.AdmittedCount(), total / time.Duration(len(env.Queries))
+}
+
+func benchAblation(b *testing.B, mutate func(*core.Config)) {
+	var admitted int
+	var avg time.Duration
+	for i := 0; i < b.N; i++ {
+		admitted, avg = runAblation(mutate)
+	}
+	b.ReportMetric(float64(admitted), "admitted")
+	b.ReportMetric(float64(avg.Microseconds()), "us-per-plan")
+}
+
+// BenchmarkAblationBaseline is the reference point for the ablations.
+func BenchmarkAblationBaseline(b *testing.B) {
+	benchAblation(b, func(*core.Config) {})
+}
+
+// BenchmarkAblationRelay disables stream relaying (§II-C): senders may only
+// ship streams they originate.
+func BenchmarkAblationRelay(b *testing.B) {
+	benchAblation(b, func(c *core.Config) { c.DisableRelay = true })
+}
+
+// BenchmarkAblationReplan freezes all prior placements, removing the
+// replanning freedom behind constraint (IV.9).
+func BenchmarkAblationReplan(b *testing.B) {
+	benchAblation(b, func(c *core.Config) { c.DisableReplan = true })
+}
+
+// BenchmarkAblationWarmStart withholds the greedy incumbent from the MILP.
+func BenchmarkAblationWarmStart(b *testing.B) {
+	benchAblation(b, func(c *core.Config) { c.DisableWarmStart = true })
+}
+
+// BenchmarkAblationLoadBalance drops the λ4 load-balancing objective.
+func BenchmarkAblationLoadBalance(b *testing.B) {
+	benchAblation(b, func(c *core.Config) { c.Weights.L4 = 0 })
+}
+
+// BenchmarkAblationReduction plans over the full stream/operator space,
+// which the paper proves strongly NP-hard and intractable at scale; run on
+// a deliberately tiny instance.
+func BenchmarkAblationReduction(b *testing.B) {
+	var admitted int
+	var avg time.Duration
+	for i := 0; i < b.N; i++ {
+		sc := benchScale()
+		sc.Hosts = 4
+		sc.BaseStreams = 10
+		sc.Queries = 6
+		env := sim.BuildEnv(sc)
+		cfg := core.DefaultConfig()
+		cfg.SolveTimeout = sc.Timeout
+		cfg.DisableReduction = true
+		cfg.MaxFreeStreams = 1 << 20
+		cfg.MaxCandidateHosts = sc.Hosts
+		p := core.NewPlanner(env.Sys, cfg)
+		var total time.Duration
+		for _, q := range env.Queries {
+			res, err := p.Submit(q)
+			if err != nil {
+				break
+			}
+			total += res.PlanTime
+		}
+		admitted = p.AdmittedCount()
+		avg = total / time.Duration(len(env.Queries))
+	}
+	b.ReportMetric(float64(admitted), "admitted")
+	b.ReportMetric(float64(avg.Microseconds()), "us-per-plan")
+}
+
+// --- Extensions (§VII future work implemented here) --------------------------
+
+// BenchmarkHierarchicalVsFlat compares the site-decomposed planner against
+// flat SQPR on the same workload: admissions and per-plan time.
+func BenchmarkHierarchicalVsFlat(b *testing.B) {
+	var flatN, hierN int
+	var flatT, hierT time.Duration
+	for i := 0; i < b.N; i++ {
+		sc := benchScale()
+		sc.Hosts = 12
+
+		envF := sim.BuildEnv(sc)
+		cfgF := core.DefaultConfig()
+		cfgF.SolveTimeout = sc.Timeout
+		cfgF.MaxCandidateHosts = sc.Hosts // flat: whole cluster in scope
+		fp := core.NewPlanner(envF.Sys, cfgF)
+		start := time.Now()
+		for _, q := range envF.Queries {
+			fp.Submit(q)
+		}
+		flatT = time.Since(start) / time.Duration(len(envF.Queries))
+		flatN = fp.AdmittedCount()
+
+		envH := sim.BuildEnv(sc)
+		cfgH := core.DefaultConfig()
+		cfgH.SolveTimeout = sc.Timeout
+		cfgH.MaxCandidateHosts = sc.Hosts
+		hp := hier.New(envH.Sys, cfgH, 3)
+		start = time.Now()
+		for _, q := range envH.Queries {
+			hp.Submit(q)
+		}
+		hierT = time.Since(start) / time.Duration(len(envH.Queries))
+		hierN = hp.AdmittedCount()
+	}
+	b.ReportMetric(float64(flatN), "flat-admitted")
+	b.ReportMetric(float64(hierN), "hier-admitted")
+	b.ReportMetric(float64(flatT.Microseconds()), "flat-us-per-plan")
+	b.ReportMetric(float64(hierT.Microseconds()), "hier-us-per-plan")
+}
+
+// BenchmarkAdaptiveReplanning measures the §IV-B surge-and-replan loop.
+func BenchmarkAdaptiveReplanning(b *testing.B) {
+	var last sim.AdaptiveResult
+	for i := 0; i < b.N; i++ {
+		sc := benchScale()
+		sc.Queries = 20
+		res, err := sim.Adaptive(sc, 2.0, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.AdmittedBefore), "admitted-before")
+	b.ReportMetric(float64(last.Drifted), "drifted")
+	b.ReportMetric(float64(last.AdmittedAfter), "admitted-after")
+}
+
+// --- tiny fmt helpers (avoid fmt in hot bench labels) -----------------------
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func ftoa(v float64) string {
+	whole := int(v)
+	frac := int((v - float64(whole)) * 10)
+	return itoa(whole) + "." + itoa(frac)
+}

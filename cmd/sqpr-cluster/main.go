@@ -1,0 +1,110 @@
+// Command sqpr-cluster regenerates the deployment study of §V-B (Fig. 7):
+// SQPR vs a SODA-like planner on a 15-host cluster substrate, with
+// per-wave admission counts (7a) and host CPU / network utilisation CDFs
+// (7b, 7c). It finishes by deploying both final plans on the mini stream
+// engine and reporting delivered result tuples, closing the plan → deploy →
+// measure loop of the paper's prototype.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"time"
+
+	"sqpr/internal/sim"
+	"sqpr/internal/stats"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "part to print: 7a, 7b, 7c or all")
+	waves := flag.Int("waves", 0, "override number of 50-query waves")
+	deploy := flag.Bool("deploy", true, "run the final plans on the mini engine")
+	flag.Parse()
+
+	ds := sim.DefaultDeployScale()
+	if *waves > 0 {
+		ds.Waves = *waves
+	}
+
+	res := sim.Fig7(ds)
+
+	if *fig == "all" || *fig == "7a" {
+		fmt.Println("=== Figure 7a: planning efficiency (deployment) ===")
+		var rows [][]string
+		for i, in := range res.Inputs {
+			rows = append(rows, []string{
+				strconv.Itoa(in), strconv.Itoa(res.SQPR[i]), strconv.Itoa(res.SODA[i]),
+			})
+		}
+		fmt.Print(stats.Table([]string{"inputs", "sqpr", "soda"}, rows))
+		fmt.Println()
+	}
+
+	printCDF := func(title string, cdfs map[string]*stats.CDF) {
+		fmt.Printf("=== %s ===\n", title)
+		header := []string{"series", "p25", "p50", "p75", "p90", "max"}
+		var rows [][]string
+		for _, name := range []string{"SQPR-50", "SODA-50", "SQPR-150", "SODA-150"} {
+			c := cdfs[name]
+			if c == nil || c.Len() == 0 {
+				continue
+			}
+			rows = append(rows, []string{
+				name,
+				fmt.Sprintf("%.1f", c.Quantile(0.25)),
+				fmt.Sprintf("%.1f", c.Quantile(0.5)),
+				fmt.Sprintf("%.1f", c.Quantile(0.75)),
+				fmt.Sprintf("%.1f", c.Quantile(0.9)),
+				fmt.Sprintf("%.1f", c.Quantile(1)),
+			})
+		}
+		fmt.Print(stats.Table(header, rows))
+		fmt.Println()
+	}
+
+	if *fig == "all" || *fig == "7b" {
+		printCDF("Figure 7b: CPU utilisation per host (%)", map[string]*stats.CDF{
+			"SQPR-50":  res.CPULowSQPR,
+			"SODA-50":  res.CPULowSODA,
+			"SQPR-150": res.CPUHighSQPR,
+			"SODA-150": res.CPUHighSODA,
+		})
+	}
+	if *fig == "all" || *fig == "7c" {
+		printCDF("Figure 7c: network usage per host (rate units)", map[string]*stats.CDF{
+			"SQPR-50":  res.NetLowSQPR,
+			"SODA-50":  res.NetLowSODA,
+			"SQPR-150": res.NetHighSQPR,
+			"SODA-150": res.NetHighSODA,
+		})
+	}
+
+	if *deploy {
+		fmt.Println("=== Engine deployment check ===")
+		ds2 := ds
+		ds2.Waves = 1
+		scale := sim.Scale{
+			Hosts: ds2.Hosts, CPUPerHost: ds2.CPUPerHost, OutBW: ds2.OutBW,
+			InBW: ds2.InBW, LinkCap: ds2.LinkCap, BaseStreams: ds2.BaseStreams,
+			BaseRate: ds2.BaseRate, Queries: ds2.WaveSize, Zipf: 1,
+			Arities: []int{2, 3}, Timeout: ds2.Timeout, MaxCandHost: 8, Seed: ds2.Seed,
+		}
+		env := sim.BuildEnv(scale)
+		ad := env.NewSQPR(scale, scale.Timeout)
+		for _, q := range env.Queries {
+			ad.Submit(q)
+		}
+		snap, delivered, err := sim.DeployAndMeasure(env.Sys, ad.P.Assignment(), 1500*time.Millisecond)
+		if err != nil {
+			fmt.Println("deploy error:", err)
+			return
+		}
+		var cpu float64
+		for _, c := range snap.CPUWork {
+			cpu += c
+		}
+		fmt.Printf("admitted=%d deployed-result-tuples=%d total-cpu-work=%.1f\n",
+			ad.AdmittedCount(), delivered, cpu)
+	}
+}

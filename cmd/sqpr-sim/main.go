@@ -1,0 +1,141 @@
+// Command sqpr-sim regenerates the simulation figures of the SQPR paper
+// (Fig. 4–6): planning efficiency, batching, overlap, scalability and
+// planning-time overhead. Each figure prints the same series the paper
+// plots, at the reduced scale documented in DESIGN.md.
+//
+// Usage:
+//
+//	sqpr-sim -fig 4a            # one figure
+//	sqpr-sim -fig all           # everything (takes several minutes)
+//	sqpr-sim -fig 4a -queries 80 -hosts 10   # dial the scale down
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"sqpr/internal/sim"
+	"sqpr/internal/stats"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 4a,4b,4c,5a,5b,5c,6a,6b or all")
+	queries := flag.Int("queries", 0, "override query count")
+	hosts := flag.Int("hosts", 0, "override host count")
+	timeout := flag.Duration("timeout", 0, "override per-query solver timeout")
+	seed := flag.Int64("seed", 0, "override workload seed")
+	flag.Parse()
+
+	sc := sim.DefaultScale()
+	if *queries > 0 {
+		sc.Queries = *queries
+	}
+	if *hosts > 0 {
+		sc.Hosts = *hosts
+	}
+	if *timeout > 0 {
+		sc.Timeout = *timeout
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	run := func(name string, f func()) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		start := time.Now()
+		fmt.Printf("=== Figure %s ===\n", name)
+		f()
+		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+	}
+
+	run("4a", func() { print4a(sim.Fig4a(sc)) })
+	run("4b", func() { print4a(sim.Fig4b(sc, []int{2, 3, 4, 5})) })
+	run("4c", func() { print4c(sim.Fig4c(sc, []float64{0, 0.5, 1, 1.5, 2}, []int{60, 120, 240})) })
+	run("5a", func() { printScal(sim.Fig5a(sc, []int{8, 12, 16, 24})) })
+	run("5b", func() { printScal(sim.Fig5b(sc, []int{1, 2, 4, 8})) })
+	run("5c", func() { printScal(sim.Fig5c(sc, []int{2, 3, 4, 5})) })
+	run("6a", func() { printTiming(sim.Fig6a(smaller(sc), []int{4, 6, 8, 10})) })
+	run("6b", func() { printTiming(sim.Fig6b(sc, []int{2, 3, 4, 5})) })
+
+	if *fig != "all" {
+		switch *fig {
+		case "4a", "4b", "4c", "5a", "5b", "5c", "6a", "6b":
+		default:
+			fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+			os.Exit(2)
+		}
+	}
+}
+
+// smaller trims the scale for the host-sweep timing figure, whose cost
+// grows steeply with the candidate-host count (that growth is the result).
+func smaller(sc sim.Scale) sim.Scale {
+	sc.Queries = sc.Queries / 2
+	return sc
+}
+
+func print4a(r sim.Fig4aResult) {
+	if len(r.Curves) == 0 {
+		return
+	}
+	header := []string{"inputs"}
+	for _, c := range r.Curves {
+		header = append(header, c.Label)
+	}
+	var rows [][]string
+	for i, in := range r.Curves[0].Inputs {
+		row := []string{strconv.Itoa(in)}
+		for _, c := range r.Curves {
+			if i < len(c.Satisfied) {
+				row = append(row, strconv.Itoa(c.Satisfied[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	fmt.Print(stats.Table(header, rows))
+}
+
+func print4c(r sim.Fig4cResult) {
+	header := []string{"zipf"}
+	for _, bc := range r.BaseStreams {
+		header = append(header, fmt.Sprintf("%d-base-streams", bc))
+	}
+	var rows [][]string
+	for j, z := range r.Zipfs {
+		row := []string{fmt.Sprintf("%.1f", z)}
+		for i := range r.BaseStreams {
+			row = append(row, strconv.Itoa(r.Satisfied[i][j]))
+		}
+		rows = append(rows, row)
+	}
+	fmt.Print(stats.Table(header, rows))
+}
+
+func printScal(r sim.ScalabilityResult) {
+	header := []string{r.XLabel, "sqpr", "optimistic-bound"}
+	var rows [][]string
+	for i, x := range r.X {
+		rows = append(rows, []string{strconv.Itoa(x), strconv.Itoa(r.SQPR[i]), strconv.Itoa(r.Bound[i])})
+	}
+	fmt.Print(stats.Table(header, rows))
+}
+
+func printTiming(r sim.TimingResult) {
+	header := []string{r.XLabel, "avg-plan-time", "samples"}
+	var rows [][]string
+	for i, x := range r.X {
+		rows = append(rows, []string{
+			strconv.Itoa(x),
+			r.AvgTime[i].Round(time.Millisecond).String(),
+			strconv.Itoa(r.Samples[i]),
+		})
+	}
+	fmt.Print(stats.Table(header, rows))
+}

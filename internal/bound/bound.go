@@ -1,0 +1,142 @@
+// Package bound computes the optimistic upper bound of §V-A: all hosts are
+// aggregated into a single synthetic host holding every base stream, with
+// CPU capacity Σ ζ_h and no network constraints. The number of queries this
+// aggregate host can satisfy upper-bounds what any planner can achieve on
+// the real network, even with globally optimal planning.
+package bound
+
+import (
+	"math"
+
+	"sqpr/internal/dsps"
+)
+
+// Planner is the aggregate-host bound calculator. Queries are admitted
+// sequentially with full global reuse: operators already placed by earlier
+// queries cost nothing for later ones.
+type Planner struct {
+	sys      *dsps.System
+	budget   float64 // remaining aggregate CPU
+	placed   map[dsps.OperatorID]bool
+	haveCost map[dsps.StreamID]float64 // memo of marginal cost per stream
+	admitted map[dsps.StreamID]bool
+}
+
+// New creates the bound planner for a system.
+func New(sys *dsps.System) *Planner {
+	return &Planner{
+		sys:      sys,
+		budget:   sys.TotalCPU(),
+		placed:   make(map[dsps.OperatorID]bool),
+		admitted: make(map[dsps.StreamID]bool),
+	}
+}
+
+// Remaining returns the unused aggregate CPU budget.
+func (p *Planner) Remaining() float64 { return p.budget }
+
+// AdmittedCount returns the number of admitted queries.
+func (p *Planner) AdmittedCount() int { return len(p.admitted) }
+
+// Admitted reports whether q was admitted.
+func (p *Planner) Admitted(q dsps.StreamID) bool { return p.admitted[q] }
+
+// Submit admits q if the marginal CPU cost of the cheapest plan (reusing
+// all previously placed operators) fits the remaining aggregate budget.
+//
+// To stay a true *upper* bound on any real planner, the reuse accounting is
+// deliberately optimistic: once q is admitted, the entire plan space of q —
+// every operator of every alternative join order — is treated as available
+// for reuse at zero cost by later queries. A real planner can only reuse
+// operators it actually placed, which is a subset, so its marginal costs
+// are never lower and its admission count never higher.
+func (p *Planner) Submit(q dsps.StreamID) bool {
+	if p.admitted[q] {
+		return true
+	}
+	cost, _, ok := p.cheapest(q, make(map[dsps.StreamID]bool))
+	if !ok || cost > p.budget+1e-9 {
+		return false
+	}
+	p.budget -= cost
+	p.markClosurePlaced(q)
+	p.admitted[q] = true
+	return true
+}
+
+// markClosurePlaced registers every operator in q's plan-space closure as
+// placed (see Submit for why this optimism is required).
+func (p *Planner) markClosurePlaced(q dsps.StreamID) {
+	seen := make(map[dsps.StreamID]bool)
+	stack := []dsps.StreamID{q}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		for _, op := range p.sys.ProducersOf(s) {
+			p.placed[op] = true
+			stack = append(stack, p.sys.Operators[op].Inputs...)
+		}
+	}
+}
+
+// cheapest computes the minimum marginal CPU cost to materialise stream s
+// on the aggregate host, together with the operators chosen. visiting
+// guards against cycles through alternative producers.
+func (p *Planner) cheapest(s dsps.StreamID, visiting map[dsps.StreamID]bool) (float64, []dsps.OperatorID, bool) {
+	if p.sys.Streams[s].IsBase() {
+		return 0, nil, true
+	}
+	if visiting[s] {
+		return 0, nil, false
+	}
+	visiting[s] = true
+	defer delete(visiting, s)
+
+	best := math.Inf(1)
+	var bestOps []dsps.OperatorID
+	for _, opID := range p.sys.ProducersOf(s) {
+		if p.placed[opID] {
+			// Already running: its output is materialised at zero cost.
+			return 0, nil, true
+		}
+	}
+	for _, opID := range p.sys.ProducersOf(s) {
+		op := &p.sys.Operators[opID]
+		total := op.Cost
+		ops := []dsps.OperatorID{opID}
+		ok := true
+		for _, in := range op.Inputs {
+			c, sub, o := p.cheapest(in, visiting)
+			if !o {
+				ok = false
+				break
+			}
+			total += c
+			ops = append(ops, sub...)
+		}
+		if ok && total < best {
+			best = total
+			bestOps = ops
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, nil, false
+	}
+	// Deduplicate operators shared between sub-trees so their cost is not
+	// double-counted.
+	seen := make(map[dsps.OperatorID]bool, len(bestOps))
+	var uniq []dsps.OperatorID
+	var cost float64
+	for _, o := range bestOps {
+		if !seen[o] {
+			seen[o] = true
+			uniq = append(uniq, o)
+			cost += p.sys.Operators[o].Cost
+		}
+	}
+	return cost, uniq, true
+}

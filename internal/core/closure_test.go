@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"sqpr/internal/dsps"
+	"sqpr/internal/workload"
+)
+
+// chainSystem builds base streams a,b,c,d and composites ab, abc (with the
+// alternative producer a⋈bc missing — single join order) to test closures.
+func chainSystem() (*dsps.System, dsps.StreamID, dsps.StreamID) {
+	hosts := []dsps.Host{{ID: 0, CPU: 100, OutBW: 1000, InBW: 1000}}
+	sys := dsps.NewSystem(hosts, 1000)
+	a := sys.AddStream(5, dsps.NoOperator, "a")
+	b := sys.AddStream(5, dsps.NoOperator, "b")
+	c := sys.AddStream(5, dsps.NoOperator, "c")
+	sys.PlaceBase(0, a)
+	sys.PlaceBase(0, b)
+	sys.PlaceBase(0, c)
+	ab := sys.AddOperator([]dsps.StreamID{a, b}, 2, 1, "ab")
+	abc := sys.AddOperator([]dsps.StreamID{ab.Output, c}, 1, 1, "abc")
+	sys.SetRequested(ab.Output, true)
+	sys.SetRequested(abc.Output, true)
+	return sys, ab.Output, abc.Output
+}
+
+func TestClosureContainsAllPlanStreams(t *testing.T) {
+	sys, _, abc := chainSystem()
+	cc := newClosureCache(sys)
+	got := cc.streamsOf(abc)
+	// abc's closure: {abc, ab, a, b, c} = 5 streams.
+	if len(got) != 5 {
+		t.Fatalf("closure size %d: %v", len(got), got)
+	}
+}
+
+func TestClosureMemoised(t *testing.T) {
+	sys, ab, _ := chainSystem()
+	cc := newClosureCache(sys)
+	first := cc.streamsOf(ab)
+	second := cc.streamsOf(ab)
+	if &first[0] != &second[0] {
+		t.Fatal("closure not memoised (different slices)")
+	}
+}
+
+func TestClosureWithAlternativeProducers(t *testing.T) {
+	// All join orders of a 3-way query appear in the closure.
+	sys := workload.BuildSystem(workload.SystemConfig{NumHosts: 2, CPUPerHost: 10, OutBW: 100, InBW: 100, LinkCap: 50})
+	cfg := workload.DefaultConfig()
+	cfg.NumBaseStreams = 3
+	cfg.NumQueries = 1
+	cfg.Arities = []int{3}
+	w := workload.Generate(sys, cfg)
+	cc := newClosureCache(sys)
+	got := cc.streamsOf(w.Queries[0])
+	// 3 bases + 3 pair composites + the result = 7 streams.
+	if len(got) != 7 {
+		t.Fatalf("closure size %d: %v", len(got), got)
+	}
+}
+
+func TestFreeSetMergesSharingQueries(t *testing.T) {
+	sys, ab, abc := chainSystem()
+	cfg := DefaultConfig()
+	cfg.SolveTimeout = time.Second
+	p := NewPlanner(sys, cfg)
+	if _, err := p.Submit(ab); err != nil {
+		t.Fatal(err)
+	}
+	// Planning abc must pull the admitted sharing query ab into the free
+	// set (they share streams a, b and ab).
+	free := p.freeSet([]dsps.StreamID{abc})
+	if !free[ab] {
+		t.Fatal("sharing query ab not merged into the free set")
+	}
+}
+
+func TestFreeSetRespectsCap(t *testing.T) {
+	sys, ab, abc := chainSystem()
+	cfg := DefaultConfig()
+	cfg.SolveTimeout = time.Second
+	cfg.MaxFreeStreams = 5 // exactly the closure of abc; no room to merge
+	p := NewPlanner(sys, cfg)
+	if _, err := p.Submit(ab); err != nil {
+		t.Fatal(err)
+	}
+	free := p.freeSet([]dsps.StreamID{abc})
+	if len(free) > 5 {
+		t.Fatalf("free set %d exceeds cap 5", len(free))
+	}
+}
+
+func TestFreeSetDisableReplanSkipsSharing(t *testing.T) {
+	sys, ab, abc := chainSystem()
+	cfg := DefaultConfig()
+	cfg.SolveTimeout = time.Second
+	cfg.DisableReplan = true
+	p := NewPlanner(sys, cfg)
+	if _, err := p.Submit(ab); err != nil {
+		t.Fatal(err)
+	}
+	free := p.freeSet([]dsps.StreamID{abc})
+	// abc's own closure includes ab (it is an input stream), but the
+	// merge of ab *as an admitted query* is skipped; since ab is inside
+	// abc's closure anyway here, just verify the call works and the set
+	// is exactly the closure.
+	if len(free) != 5 {
+		t.Fatalf("free set %d, want closure-only 5", len(free))
+	}
+}
+
+func TestSortStreamsAndOps(t *testing.T) {
+	s := []dsps.StreamID{3, 1, 2}
+	sortStreams(s)
+	if s[0] != 1 || s[1] != 2 || s[2] != 3 {
+		t.Fatalf("sortStreams: %v", s)
+	}
+	o := []dsps.OperatorID{9, 4, 7}
+	sortOps(o)
+	if o[0] != 4 || o[1] != 7 || o[2] != 9 {
+		t.Fatalf("sortOps: %v", o)
+	}
+}
+
+func TestHostsTouched(t *testing.T) {
+	sys, ab, _ := chainSystem()
+	cfg := DefaultConfig()
+	cfg.SolveTimeout = time.Second
+	p := NewPlanner(sys, cfg)
+	if _, err := p.Submit(ab); err != nil {
+		t.Fatal(err)
+	}
+	free := map[dsps.StreamID]bool{ab: true}
+	if got := p.hostsTouched(free, nil); got < 1 {
+		t.Fatalf("hostsTouched %d, want >=1 after placement", got)
+	}
+	if got := p.hostsTouched(map[dsps.StreamID]bool{}, nil); got != 0 {
+		t.Fatalf("hostsTouched %d for empty set", got)
+	}
+}

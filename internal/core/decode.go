@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+
+	"sqpr/internal/dsps"
+)
+
+// decode converts a solver point back into a full Assignment: the previous
+// allocation with every free variable replaced by its solved value.
+func (b *builder) decode(x []float64) (*dsps.Assignment, error) {
+	if len(x) != b.model.NumVars() {
+		return nil, fmt.Errorf("core: solution length %d != model size %d", len(x), b.model.NumVars())
+	}
+	next := b.p.state.Clone()
+
+	// Remove all previous allocation pieces covered by free variables.
+	for s := range next.Provides {
+		if b.free[s] {
+			delete(next.Provides, s)
+		}
+	}
+	for f := range next.Flows {
+		if b.free[f.Stream] {
+			delete(next.Flows, f)
+		}
+	}
+	for pl := range next.Ops {
+		if b.freeOpSet[pl.Op] {
+			delete(next.Ops, pl)
+		}
+	}
+
+	on := func(v float64) bool { return v > 0.5 }
+	for hk, dv := range b.dVar {
+		if on(x[dv]) {
+			if prev, ok := next.Provides[hk.s]; ok && prev != hk.h {
+				return nil, fmt.Errorf("core: stream %d provided by two hosts (%d, %d)", hk.s, prev, hk.h)
+			}
+			next.Provides[hk.s] = hk.h
+		}
+	}
+	for fk, xv := range b.xVar {
+		if on(x[xv]) {
+			next.Flows[dsps.Flow{From: fk.from, To: fk.to, Stream: fk.s}] = true
+		}
+	}
+	for zk, zv := range b.zVar {
+		if on(x[zv]) {
+			next.Ops[dsps.Placement{Host: zk.h, Op: zk.o}] = true
+		}
+	}
+
+	b.pruneUnused(next)
+	return next, nil
+}
+
+// pruneUnused garbage-collects operators and flows that no provided stream
+// depends on. The MILP is free to leave y/z/x at 1 where the objective
+// penalty is zero-ish or where constraint slack permits; physically
+// deploying them would waste resources, so SQPR instantiates only the
+// support of the admitted queries.
+func (b *builder) pruneUnused(a *dsps.Assignment) {
+	type hs struct {
+		h dsps.HostID
+		s dsps.StreamID
+	}
+	neededOps := make(map[dsps.Placement]bool)
+	neededFlows := make(map[dsps.Flow]bool)
+	visited := make(map[hs]bool)
+
+	var visit func(h dsps.HostID, s dsps.StreamID)
+	visit = func(h dsps.HostID, s dsps.StreamID) {
+		k := hs{h, s}
+		if visited[k] {
+			return
+		}
+		visited[k] = true
+		if b.sys.IsBaseAt(h, s) {
+			return
+		}
+		// Keep every support that exists: local producers first.
+		produced := false
+		for _, op := range b.sys.ProducersOf(s) {
+			pl := dsps.Placement{Host: h, Op: op}
+			if a.Ops[pl] {
+				neededOps[pl] = true
+				produced = true
+				for _, in := range b.sys.Operators[op].Inputs {
+					visit(h, in)
+				}
+			}
+		}
+		if produced {
+			return
+		}
+		// Otherwise keep one inflow (any causal source suffices).
+		for m := 0; m < b.sys.NumHosts(); m++ {
+			f := dsps.Flow{From: dsps.HostID(m), To: h, Stream: s}
+			if a.Flows[f] {
+				neededFlows[f] = true
+				visit(dsps.HostID(m), s)
+				return
+			}
+		}
+	}
+	for s, h := range a.Provides {
+		visit(h, s)
+	}
+	// Preserve allocation pieces belonging to fixed (non-free) queries and
+	// any fixed consumers of free streams.
+	for pl, onv := range a.Ops {
+		if !onv {
+			continue
+		}
+		if !b.freeOpSet[pl.Op] {
+			neededOps[pl] = true
+			for _, in := range b.sys.Operators[pl.Op].Inputs {
+				visit(pl.Host, in)
+			}
+		}
+	}
+	for f, onv := range a.Flows {
+		if onv && !b.free[f.Stream] {
+			neededFlows[f] = true
+		}
+	}
+	for pl := range a.Ops {
+		if !neededOps[pl] {
+			delete(a.Ops, pl)
+		}
+	}
+	for f := range a.Flows {
+		if !neededFlows[f] {
+			delete(a.Flows, f)
+		}
+	}
+}

@@ -1,0 +1,583 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sqpr/internal/dsps"
+	"sqpr/internal/milp"
+)
+
+// builder assembles the reduced MILP (III.8) for one planning call.
+type builder struct {
+	p       *Planner
+	sys     *dsps.System
+	queries []dsps.StreamID // fresh queries being planned
+
+	free        map[dsps.StreamID]bool
+	freeStreams []dsps.StreamID
+	freeOps     []dsps.OperatorID
+	freeOpSet   map[dsps.OperatorID]bool
+
+	hosts   []dsps.HostID // candidate hosts
+	hostIdx map[dsps.HostID]int
+
+	// Residual budgets on candidate hosts after subtracting consumption of
+	// fixed (non-free) flows, provides and operators.
+	resCPU, resMem, resOut, resIn []float64
+	resLink                       [][]float64
+
+	model *milp.Model
+	// Variable indices; absent key means the variable does not exist (and
+	// is semantically zero).
+	dVar map[hsKey]milp.Var
+	xVar map[flowKey]milp.Var
+	yVar map[hsKey]milp.Var
+	zVar map[zKey]milp.Var
+	pVar map[hsKey]milp.Var
+	lVar milp.Var // O4 linearisation: max per-host CPU
+
+	bigM float64
+}
+
+type hsKey struct {
+	h dsps.HostID
+	s dsps.StreamID
+}
+
+type flowKey struct {
+	from, to dsps.HostID
+	s        dsps.StreamID
+}
+
+type zKey struct {
+	h dsps.HostID
+	o dsps.OperatorID
+}
+
+// newBuilder computes the free sets, candidate hosts and residual budgets.
+func (p *Planner) newBuilder(queries []dsps.StreamID) *builder {
+	b := &builder{
+		p:       p,
+		sys:     p.sys,
+		queries: queries,
+		dVar:    make(map[hsKey]milp.Var),
+		xVar:    make(map[flowKey]milp.Var),
+		yVar:    make(map[hsKey]milp.Var),
+		zVar:    make(map[zKey]milp.Var),
+		pVar:    make(map[hsKey]milp.Var),
+	}
+	b.free = p.freeSet(queries)
+	for s := range b.free {
+		b.freeStreams = append(b.freeStreams, s)
+	}
+	sortStreams(b.freeStreams)
+	b.freeOps = p.freeOperators(b.free)
+	b.freeOpSet = make(map[dsps.OperatorID]bool, len(b.freeOps))
+	for _, o := range b.freeOps {
+		b.freeOpSet[o] = true
+	}
+	b.selectHosts()
+	b.computeResiduals()
+	b.bigM = float64(len(b.hosts)) + 2
+	return b
+}
+
+// selectHosts picks the candidate host set: every host already touching a
+// free stream or free operator is forced in (their variables must be free
+// for correctness), every host holding a base stream of the free set is
+// highly desirable, and remaining slots are filled by spare CPU capacity.
+func (b *builder) selectHosts() {
+	n := b.sys.NumHosts()
+	forced := make(map[dsps.HostID]bool)
+	st := b.p.state
+	for f, on := range st.Flows {
+		if on && b.free[f.Stream] {
+			forced[f.From] = true
+			forced[f.To] = true
+		}
+	}
+	for pl, on := range st.Ops {
+		if !on {
+			continue
+		}
+		if b.freeOpSet[pl.Op] {
+			forced[pl.Host] = true
+			continue
+		}
+		// Fixed operator consuming a free stream (only possible with the
+		// replanning ablation): its host must stay in scope so that the
+		// availability-preservation constraint can be expressed.
+		for _, in := range b.sys.Operators[pl.Op].Inputs {
+			if b.free[in] {
+				forced[pl.Host] = true
+			}
+		}
+	}
+	for s, h := range st.Provides {
+		if b.free[s] {
+			forced[h] = true
+		}
+	}
+
+	// The base-stream locations of the *fresh* queries are mandatory: a
+	// new query with no prior allocation can only be satisfied via flows
+	// that originate at those hosts. (Sharing queries already have their
+	// hosts forced through their existing flows and placements above.)
+	for _, q := range b.queries {
+		for _, s := range b.p.closures.streamsOf(q) {
+			if b.sys.Streams[s].IsBase() {
+				for _, h := range b.sys.BaseHosts(s) {
+					forced[h] = true
+				}
+			}
+		}
+	}
+
+	allowed := func(h dsps.HostID) bool {
+		return b.p.allowedHosts == nil || b.p.allowedHosts[h]
+	}
+	preferred := make(map[dsps.HostID]bool)
+	for _, s := range b.freeStreams {
+		if b.sys.Streams[s].IsBase() {
+			for _, h := range b.sys.BaseHosts(s) {
+				if allowed(h) {
+					preferred[h] = true
+				}
+			}
+		}
+	}
+
+	cap := b.p.cfg.MaxCandidateHosts
+	if b.p.cfg.DisableReduction {
+		cap = n
+	}
+	chosen := make(map[dsps.HostID]bool)
+	for h := range forced {
+		chosen[h] = true
+	}
+	// Add preferred hosts (base-stream holders) ordered by spare CPU.
+	usage := st.ComputeUsage(b.sys)
+	spare := func(h dsps.HostID) float64 { return b.sys.Hosts[h].CPU - usage.CPU[h] }
+	var prefList []dsps.HostID
+	for h := range preferred {
+		if !chosen[h] {
+			prefList = append(prefList, h)
+		}
+	}
+	sort.Slice(prefList, func(i, j int) bool {
+		si, sj := spare(prefList[i]), spare(prefList[j])
+		if si != sj {
+			return si > sj
+		}
+		return prefList[i] < prefList[j]
+	})
+	for _, h := range prefList {
+		if len(chosen) >= cap {
+			break
+		}
+		chosen[h] = true
+	}
+	// Fill with the globally most spare hosts.
+	if len(chosen) < cap {
+		var rest []dsps.HostID
+		for h := 0; h < n; h++ {
+			if !chosen[dsps.HostID(h)] && allowed(dsps.HostID(h)) {
+				rest = append(rest, dsps.HostID(h))
+			}
+		}
+		sort.Slice(rest, func(i, j int) bool {
+			si, sj := spare(rest[i]), spare(rest[j])
+			if si != sj {
+				return si > sj
+			}
+			return rest[i] < rest[j]
+		})
+		for _, h := range rest {
+			if len(chosen) >= cap {
+				break
+			}
+			chosen[h] = true
+		}
+	}
+	b.hosts = make([]dsps.HostID, 0, len(chosen))
+	for h := range chosen {
+		b.hosts = append(b.hosts, h)
+	}
+	sort.Slice(b.hosts, func(i, j int) bool { return b.hosts[i] < b.hosts[j] })
+	b.hostIdx = make(map[dsps.HostID]int, len(b.hosts))
+	for i, h := range b.hosts {
+		b.hostIdx[h] = i
+	}
+}
+
+// computeResiduals subtracts the consumption of all *fixed* allocation
+// pieces (flows/ops/provides outside the free sets) from the budgets of the
+// candidate hosts.
+func (b *builder) computeResiduals() {
+	k := len(b.hosts)
+	b.resCPU = make([]float64, k)
+	b.resMem = make([]float64, k)
+	b.resOut = make([]float64, k)
+	b.resIn = make([]float64, k)
+	b.resLink = make([][]float64, k)
+	for i, h := range b.hosts {
+		b.resCPU[i] = b.sys.Hosts[h].CPU
+		b.resMem[i] = b.sys.Hosts[h].Mem
+		b.resOut[i] = b.sys.Hosts[h].OutBW
+		b.resIn[i] = b.sys.Hosts[h].InBW
+		b.resLink[i] = make([]float64, k)
+		for j, m := range b.hosts {
+			b.resLink[i][j] = b.sys.LinkCap[h][m]
+		}
+	}
+	st := b.p.state
+	for pl, on := range st.Ops {
+		if !on || b.freeOpSet[pl.Op] {
+			continue
+		}
+		if i, ok := b.hostIdx[pl.Host]; ok {
+			b.resCPU[i] -= b.sys.Operators[pl.Op].Cost
+			b.resMem[i] -= b.sys.Operators[pl.Op].Mem
+		}
+	}
+	for f, on := range st.Flows {
+		if !on || b.free[f.Stream] {
+			continue
+		}
+		rate := b.sys.Streams[f.Stream].Rate
+		if i, ok := b.hostIdx[f.From]; ok {
+			b.resOut[i] -= rate
+			if j, ok2 := b.hostIdx[f.To]; ok2 {
+				b.resLink[i][j] -= rate
+			}
+		}
+		if j, ok := b.hostIdx[f.To]; ok {
+			b.resIn[j] -= rate
+		}
+	}
+	for s, h := range st.Provides {
+		if b.free[s] {
+			continue
+		}
+		if i, ok := b.hostIdx[h]; ok {
+			b.resOut[i] -= b.sys.Streams[s].Rate
+		}
+	}
+}
+
+// addNoRelayRow emits the strengthened form of (III.5c) used by the relay
+// ablation: a host may only send streams it originates (base stream or
+// locally executed producer), never streams it merely received.
+func (b *builder) addNoRelayRow(fk flowKey, xv milp.Var) {
+	terms := []milp.Term{{Var: xv, Coef: 1}}
+	rhs := 0.0
+	if b.sys.IsBaseAt(fk.from, fk.s) {
+		rhs += 1
+	}
+	for _, op := range b.sys.ProducersOf(fk.s) {
+		if zv, ok := b.zVar[zKey{fk.from, op}]; ok {
+			terms = append(terms, milp.Term{Var: zv, Coef: -1})
+		} else if b.p.state.Ops[dsps.Placement{Host: fk.from, Op: op}] {
+			rhs += 1
+		}
+	}
+	b.model.AddCons("no-relay", milp.LE, rhs, terms...)
+}
+
+// build assembles the MILP.
+func (b *builder) build() *milp.Model {
+	m := milp.NewModel()
+	b.model = m
+	sys := b.sys
+	st := b.p.state
+
+	// --- Variables -----------------------------------------------------
+	for _, s := range b.freeStreams {
+		stream := &sys.Streams[s]
+		for _, h := range b.hosts {
+			hk := hsKey{h, s}
+			b.yVar[hk] = m.AddBinary(fmt.Sprintf("y[%d,%d]", h, s))
+			if stream.Requested {
+				b.dVar[hk] = m.AddBinary(fmt.Sprintf("d[%d,%d]", h, s))
+			}
+			b.pVar[hk] = m.AddContinuous(0, b.bigM, fmt.Sprintf("p[%d,%d]", h, s))
+		}
+		for _, h := range b.hosts {
+			for _, mm := range b.hosts {
+				if h == mm {
+					continue
+				}
+				b.xVar[flowKey{h, mm, s}] = m.AddBinary(fmt.Sprintf("x[%d,%d,%d]", h, mm, s))
+			}
+		}
+	}
+	for _, o := range b.freeOps {
+		for _, h := range b.hosts {
+			b.zVar[zKey{h, o}] = m.AddBinary(fmt.Sprintf("z[%d,%d]", h, o))
+		}
+	}
+	maxCPU := 0.0
+	for _, h := range sys.Hosts {
+		if h.CPU > maxCPU {
+			maxCPU = h.CPU
+		}
+	}
+	b.lVar = m.AddContinuous(0, math.Max(maxCPU, 1), "L")
+
+	// --- Demand constraints (III.4) -------------------------------------
+	for _, s := range b.freeStreams {
+		if !sys.Streams[s].Requested {
+			continue
+		}
+		var sum []milp.Term
+		for _, h := range b.hosts {
+			hk := hsKey{h, s}
+			d := b.dVar[hk]
+			// (III.4a) d_hs <= y_hs (δ_s = 1 since s is requested here).
+			m.AddCons("demand-avail", milp.LE, 0, milp.Term{Var: d, Coef: 1}, milp.Term{Var: b.yVar[hk], Coef: -1})
+			sum = append(sum, milp.Term{Var: d, Coef: 1})
+		}
+		if b.p.admitted[s] {
+			// (IV.9): already admitted queries must stay satisfied,
+			// though possibly from a different host.
+			m.AddCons("keep-admitted", milp.EQ, 1, sum...)
+		} else {
+			// (III.4b): at most one provider.
+			m.AddCons("one-provider", milp.LE, 1, sum...)
+		}
+	}
+
+	// --- Availability constraints (III.5) --------------------------------
+	for _, s := range b.freeStreams {
+		for _, h := range b.hosts {
+			hk := hsKey{h, s}
+			terms := []milp.Term{{Var: b.yVar[hk], Coef: 1}}
+			rhs := 0.0
+			if sys.IsBaseAt(h, s) {
+				rhs += 1 // 1[s ∈ S⁰_h]
+			}
+			for _, src := range b.hosts {
+				if src == h {
+					continue
+				}
+				if xv, ok := b.xVar[flowKey{src, h, s}]; ok {
+					terms = append(terms, milp.Term{Var: xv, Coef: -1})
+				}
+			}
+			for _, op := range sys.ProducersOf(s) {
+				if zv, ok := b.zVar[zKey{h, op}]; ok {
+					terms = append(terms, milp.Term{Var: zv, Coef: -1})
+				} else if st.Ops[dsps.Placement{Host: h, Op: op}] {
+					// A fixed operator already produces s at h.
+					rhs += 1
+				}
+			}
+			// (III.5a): y_hs <= Σ x + Σ z + base indicator.
+			m.AddCons("avail", milp.LE, rhs, terms...)
+		}
+	}
+	// (III.5b): z_ho <= y_hs for every input stream of o.
+	for _, o := range b.freeOps {
+		op := &sys.Operators[o]
+		for _, h := range b.hosts {
+			zv := b.zVar[zKey{h, o}]
+			for _, in := range op.Inputs {
+				yv, ok := b.yVar[hsKey{h, in}]
+				if !ok {
+					// Input outside free set can only happen with
+					// reduction disabled inconsistencies; treat as fixed
+					// availability from current state.
+					if b.p.state.Available(sys, h, in) {
+						continue
+					}
+					b.model.Fix(zv, 0)
+					continue
+				}
+				m.AddCons("op-input", milp.LE, 0, milp.Term{Var: zv, Coef: 1}, milp.Term{Var: yv, Coef: -1})
+			}
+		}
+	}
+	// (III.5c): x_hms <= y_hs, or the production-only variant when stream
+	// relaying is disabled for ablation.
+	for fk, xv := range b.xVar {
+		if b.p.cfg.DisableRelay {
+			b.addNoRelayRow(fk, xv)
+			continue
+		}
+		yv := b.yVar[hsKey{fk.from, fk.s}]
+		m.AddCons("send-avail", milp.LE, 0, milp.Term{Var: xv, Coef: 1}, milp.Term{Var: yv, Coef: -1})
+	}
+
+	// Availability preservation: fixed operators and fixed provides that
+	// consume a free stream on a candidate host require the new plan to
+	// keep the stream available there (arises under the replan ablation).
+	b.addPreservationRows()
+
+	// --- Resource constraints (III.6) ------------------------------------
+	b.addResourceRows()
+
+	// --- Acyclicity constraints (III.7) ----------------------------------
+	for fk, xv := range b.xVar {
+		ph := b.pVar[hsKey{fk.from, fk.s}]
+		pm := b.pVar[hsKey{fk.to, fk.s}]
+		// p_hs >= p_ms + 1 − M(1 − x) ⇔ p_h − p_m − M·x >= 1 − M.
+		m.AddCons("acyclic", milp.GE, 1-b.bigM,
+			milp.Term{Var: ph, Coef: 1}, milp.Term{Var: pm, Coef: -1}, milp.Term{Var: xv, Coef: -b.bigM})
+	}
+
+	// --- Objective (III.3) ------------------------------------------------
+	b.setObjective()
+	return m
+}
+
+// addPreservationRows forces y_hs = 1 wherever a fixed (non-free) element
+// of the current allocation depends on free stream s at host h.
+func (b *builder) addPreservationRows() {
+	st := b.p.state
+	need := make(map[hsKey]bool)
+	for pl, on := range st.Ops {
+		if !on || b.freeOpSet[pl.Op] {
+			continue
+		}
+		for _, in := range b.sys.Operators[pl.Op].Inputs {
+			if b.free[in] {
+				need[hsKey{pl.Host, in}] = true
+			}
+		}
+	}
+	for fk, on := range st.Flows {
+		if !on || b.free[fk.Stream] {
+			continue
+		}
+		_ = fk // fixed flows of fixed streams never reference free streams
+	}
+	for hk := range need {
+		yv, ok := b.yVar[hk]
+		if !ok {
+			// The consuming host fell outside the candidate set; forced
+			// hosts should prevent this, but guard anyway.
+			continue
+		}
+		b.model.AddCons("preserve-avail", milp.GE, 1, milp.Term{Var: yv, Coef: 1})
+	}
+}
+
+// addResourceRows emits the four budget families of (III.6) over candidate
+// hosts, with right-hand sides already reduced by fixed consumption.
+func (b *builder) addResourceRows() {
+	sys := b.sys
+	m := b.model
+	for i, h := range b.hosts {
+		// (III.6d) CPU.
+		var cpu []milp.Term
+		for _, o := range b.freeOps {
+			cpu = append(cpu, milp.Term{Var: b.zVar[zKey{h, o}], Coef: sys.Operators[o].Cost})
+		}
+		if len(cpu) > 0 {
+			m.AddCons("cpu", milp.LE, b.resCPU[i], cpu...)
+		}
+		// Memory budget (future-work resource; zero budget = unconstrained).
+		if sys.Hosts[h].Mem > 0 {
+			var mem []milp.Term
+			for _, o := range b.freeOps {
+				if mu := sys.Operators[o].Mem; mu > 0 {
+					mem = append(mem, milp.Term{Var: b.zVar[zKey{h, o}], Coef: mu})
+				}
+			}
+			if len(mem) > 0 {
+				m.AddCons("mem", milp.LE, b.resMem[i], mem...)
+			}
+		}
+		// O4 linearisation: L >= fixedCPU_h + Σ γ z_ho
+		fixedCPU := sys.Hosts[h].CPU - b.resCPU[i]
+		lrow := []milp.Term{{Var: b.lVar, Coef: 1}}
+		for _, t := range cpu {
+			lrow = append(lrow, milp.Term{Var: t.Var, Coef: -t.Coef})
+		}
+		m.AddCons("load", milp.GE, fixedCPU, lrow...)
+
+		// (III.6c) outgoing host bandwidth: flows out plus client deliveries.
+		var out []milp.Term
+		for _, s := range b.freeStreams {
+			rate := sys.Streams[s].Rate
+			for _, mm := range b.hosts {
+				if xv, ok := b.xVar[flowKey{h, mm, s}]; ok {
+					out = append(out, milp.Term{Var: xv, Coef: rate})
+				}
+			}
+			if dv, ok := b.dVar[hsKey{h, s}]; ok {
+				out = append(out, milp.Term{Var: dv, Coef: rate})
+			}
+		}
+		if len(out) > 0 {
+			m.AddCons("out-bw", milp.LE, b.resOut[i], out...)
+		}
+
+		// (III.6b) incoming host bandwidth.
+		var in []milp.Term
+		for _, s := range b.freeStreams {
+			rate := sys.Streams[s].Rate
+			for _, src := range b.hosts {
+				if xv, ok := b.xVar[flowKey{src, h, s}]; ok {
+					in = append(in, milp.Term{Var: xv, Coef: rate})
+				}
+			}
+		}
+		if len(in) > 0 {
+			m.AddCons("in-bw", milp.LE, b.resIn[i], in...)
+		}
+
+		// (III.6a) pairwise link capacity.
+		for j, mm := range b.hosts {
+			if i == j {
+				continue
+			}
+			var link []milp.Term
+			for _, s := range b.freeStreams {
+				if xv, ok := b.xVar[flowKey{h, mm, s}]; ok {
+					link = append(link, milp.Term{Var: xv, Coef: sys.Streams[s].Rate})
+				}
+			}
+			if len(link) > 0 {
+				m.AddCons("link", milp.LE, b.resLink[i][j], link...)
+			}
+		}
+	}
+}
+
+// setObjective installs λ1·O1 − λ2·O2 − λ3·O3 − λ4·O4 (maximisation).
+func (b *builder) setObjective() {
+	w := b.p.cfg.Weights
+	sys := b.sys
+	totalLink := sys.TotalLinkCap()
+	if totalLink <= 0 {
+		totalLink = 1
+	}
+	totalCPU := sys.TotalCPU()
+	if totalCPU <= 0 {
+		totalCPU = 1
+	}
+	maxCPU := 0.0
+	for _, h := range sys.Hosts {
+		if h.CPU > maxCPU {
+			maxCPU = h.CPU
+		}
+	}
+	if maxCPU <= 0 {
+		maxCPU = 1
+	}
+	var terms []milp.Term
+	for _, dv := range b.dVar {
+		terms = append(terms, milp.Term{Var: dv, Coef: w.L1})
+	}
+	for fk, xv := range b.xVar {
+		terms = append(terms, milp.Term{Var: xv, Coef: -w.L2 * sys.Streams[fk.s].Rate / totalLink})
+	}
+	for zk, zv := range b.zVar {
+		terms = append(terms, milp.Term{Var: zv, Coef: -w.L3 * sys.Operators[zk.o].Cost / totalCPU})
+	}
+	terms = append(terms, milp.Term{Var: b.lVar, Coef: -w.L4 / maxCPU})
+	b.model.SetObjective(true, terms...)
+}

@@ -1,0 +1,303 @@
+// Package core implements the SQPR query planner (§III–§IV of the paper):
+// query admission, operator placement and cross-query reuse solved as a
+// single mixed-integer linear program, with problem reduction so that each
+// planning call only optimises over the streams and operators related to
+// the newly submitted query.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sqpr/internal/dsps"
+	"sqpr/internal/milp"
+)
+
+// Weights are the objective weights λ1–λ4 of (III.3): admitted queries,
+// network usage, CPU usage and load balance.
+type Weights struct {
+	L1 float64 // satisfied queries (O1)
+	L2 float64 // system-wide network usage (O2), applied to O2/Σκ
+	L3 float64 // system-wide CPU usage (O3), applied to O3/Σζ
+	L4 float64 // maximum per-host CPU (O4), applied to O4/ζ_max
+}
+
+// PaperWeights mirrors §IV-A: λ1 is a large constant so admission dominates,
+// λ2 and λ3 normalise network and CPU usage to [0,1], and λ4 balances load
+// with the same weight as average CPU consumption.
+func PaperWeights() Weights { return Weights{L1: 100, L2: 1, L3: 1, L4: 1} }
+
+// Config tunes the planner.
+type Config struct {
+	Weights Weights
+	// SolveTimeout bounds each planning call, after which the best
+	// incumbent found so far is used (the paper's CPLEX timeout).
+	SolveTimeout time.Duration
+	// MaxNodes caps branch-and-bound nodes per call (0 = default).
+	MaxNodes int
+	// MaxCandidateHosts caps the hosts considered by one planning call.
+	// Hosts already involved with related streams are always included.
+	// 0 selects a default of 10.
+	MaxCandidateHosts int
+	// MaxFreeStreams caps how many streams the sharing closure may free in
+	// one call; beyond the cap further sharing queries stay fixed (their
+	// availability is preserved by explicit rows). 0 selects 24.
+	MaxFreeStreams int
+	// GapTol stops the search when the incumbent is provably within this
+	// relative gap of the optimum; 0 selects 0.01. Because λ1 dominates
+	// the objective, a small relative gap never sacrifices admissions.
+	GapTol float64
+	// DisableReduction plans over all streams and operators (ablation;
+	// the paper shows the full problem is intractable).
+	DisableReduction bool
+	// DisableRelay forbids forwarding a stream through hosts that neither
+	// produce nor originate it (ablation of §II-C relaying).
+	DisableRelay bool
+	// DisableReplan freezes all previously placed operators and flows, so
+	// only the new query's own placement is optimised (ablation of the
+	// replanning behind constraint (IV.9)).
+	DisableReplan bool
+	// DisableWarmStart withholds the greedy incumbent from the solver
+	// (ablation; the search then has to find its first feasible point).
+	DisableWarmStart bool
+	// Validate re-checks every produced assignment against the dsps
+	// feasibility validator; enabled by default in NewPlanner.
+	Validate bool
+}
+
+// DefaultConfig returns the configuration used by the evaluation harness.
+func DefaultConfig() Config {
+	return Config{
+		Weights:           PaperWeights(),
+		SolveTimeout:      500 * time.Millisecond,
+		MaxCandidateHosts: 10,
+		Validate:          true,
+	}
+}
+
+// Planner is the SQPR planner. It is not safe for concurrent use.
+type Planner struct {
+	sys   *dsps.System
+	cfg   Config
+	state *dsps.Assignment
+
+	// admitted tracks requested streams currently served (Σ_h d_hs = 1).
+	admitted map[dsps.StreamID]bool
+
+	// allowedHosts, when non-nil, restricts discretionary candidate hosts
+	// for the current call (see SubmitWithHosts).
+	allowedHosts map[dsps.HostID]bool
+
+	closures *closureCache
+	stats    Stats
+}
+
+// Stats aggregates planner telemetry across all planning calls.
+type Stats struct {
+	// Submissions counts planning calls (batch = one call).
+	Submissions int
+	// Rejections counts calls that failed to admit a fresh query.
+	Rejections int
+	// TotalPlanTime accumulates wall-clock planning time.
+	TotalPlanTime time.Duration
+	// TotalNodes and TotalLPIters accumulate solver effort.
+	TotalNodes   int
+	TotalLPIters int
+	// Timeouts counts calls whose solver hit its deadline or node budget
+	// before proving optimality (FeasibleMIP outcomes).
+	Timeouts int
+}
+
+// Stats returns cumulative planner telemetry.
+func (p *Planner) Stats() Stats { return p.stats }
+
+// NewPlanner creates a planner over the system with the given config.
+func NewPlanner(sys *dsps.System, cfg Config) *Planner {
+	if cfg.Weights == (Weights{}) {
+		cfg.Weights = PaperWeights()
+	}
+	if cfg.MaxCandidateHosts <= 0 {
+		cfg.MaxCandidateHosts = 10
+	}
+	if cfg.MaxFreeStreams <= 0 {
+		cfg.MaxFreeStreams = 24
+	}
+	if cfg.GapTol == 0 {
+		cfg.GapTol = 0.01
+	}
+	if cfg.MaxNodes <= 0 {
+		cfg.MaxNodes = 80
+	}
+	if cfg.SolveTimeout <= 0 {
+		cfg.SolveTimeout = 500 * time.Millisecond
+	}
+	return &Planner{
+		sys:      sys,
+		cfg:      cfg,
+		state:    dsps.NewAssignment(),
+		admitted: make(map[dsps.StreamID]bool),
+		closures: newClosureCache(sys),
+	}
+}
+
+// Assignment exposes the current allocation state (do not mutate).
+func (p *Planner) Assignment() *dsps.Assignment { return p.state }
+
+// Admitted reports whether query stream q is currently served.
+func (p *Planner) Admitted(q dsps.StreamID) bool { return p.admitted[q] }
+
+// AdmittedCount returns the number of admitted queries.
+func (p *Planner) AdmittedCount() int { return len(p.admitted) }
+
+// Result describes the outcome of one planning call.
+type Result struct {
+	// Admitted reports whether the submitted query is now served.
+	Admitted bool
+	// AlreadyAdmitted is set when the identical query was served before
+	// the call (Algorithm 1, line 3).
+	AlreadyAdmitted bool
+	// SolveStatus is the MILP outcome.
+	SolveStatus milp.Status
+	// PlanTime is the wall-clock duration of the planning call.
+	PlanTime time.Duration
+	// Nodes and LPIters report solver effort.
+	Nodes   int
+	LPIters int
+	// FreeStreams and FreeOps report the reduced problem size.
+	FreeStreams, FreeOps, CandidateHosts int
+}
+
+// Submit runs Algorithm 1 (initial query planning) for a single new query.
+func (p *Planner) Submit(q dsps.StreamID) (Result, error) {
+	return p.submit([]dsps.StreamID{q}, p.cfg.SolveTimeout)
+}
+
+// SubmitWithTimeout plans one query under a non-default solver budget; used
+// by experiments that sweep the planning timeout.
+func (p *Planner) SubmitWithTimeout(q dsps.StreamID, timeout time.Duration) (Result, error) {
+	return p.submit([]dsps.StreamID{q}, timeout)
+}
+
+// SubmitWithHosts plans one query with the candidate host universe
+// restricted to the given set (plus any hosts that correctness forces in:
+// hosts already carrying related allocations and the query's base-stream
+// locations). This is the building block of the hierarchical decomposition
+// the paper sketches as future work (internal/hier).
+func (p *Planner) SubmitWithHosts(q dsps.StreamID, allowed []dsps.HostID) (Result, error) {
+	p.allowedHosts = make(map[dsps.HostID]bool, len(allowed))
+	for _, h := range allowed {
+		p.allowedHosts[h] = true
+	}
+	defer func() { p.allowedHosts = nil }()
+	return p.submit([]dsps.StreamID{q}, p.cfg.SolveTimeout)
+}
+
+// SubmitBatch plans a batch of queries in one optimisation (§V-A1,
+// Fig. 4(b)); the solve deadline scales with the batch size as in the
+// paper's "timeout of 30n secs".
+func (p *Planner) SubmitBatch(qs []dsps.StreamID) (Result, error) {
+	return p.submit(qs, time.Duration(len(qs))*p.cfg.SolveTimeout)
+}
+
+func (p *Planner) submit(qs []dsps.StreamID, timeout time.Duration) (Result, error) {
+	start := time.Now()
+	var res Result
+
+	// Algorithm 1, line 3: skip queries that are already admitted.
+	var fresh []dsps.StreamID
+	for _, q := range qs {
+		if !p.sys.Streams[q].Requested {
+			return res, fmt.Errorf("core: stream %d was not marked as requested", q)
+		}
+		if p.admitted[q] {
+			res.AlreadyAdmitted = true
+			continue
+		}
+		fresh = append(fresh, q)
+	}
+	if len(fresh) == 0 {
+		res.Admitted = true
+		res.PlanTime = time.Since(start)
+		p.record(res)
+		return res, nil
+	}
+
+	b := p.newBuilder(fresh)
+	res.FreeStreams = len(b.freeStreams)
+	res.FreeOps = len(b.freeOps)
+	res.CandidateHosts = len(b.hosts)
+
+	model := b.build()
+	opts := milp.Options{
+		Deadline: start.Add(timeout),
+		MaxNodes: p.cfg.MaxNodes,
+		GapTol:   p.cfg.GapTol,
+		// λ1 dominates: any absolute gap well below λ1 cannot hide a
+		// further admission. A small (but not tiny) gap lets the search
+		// keep improving placement quality within its deadline while
+		// still fathoming hopeless subtrees early.
+		AbsGapTol: 0.02 * p.cfg.Weights.L1,
+	}
+	if !p.cfg.DisableWarmStart {
+		opts.Incumbent = b.incumbent()
+	}
+	sol := model.Solve(opts)
+	res.SolveStatus = sol.Status
+	res.Nodes = sol.Nodes
+	res.LPIters = sol.LPIters
+
+	if sol.X == nil {
+		// No feasible plan found within the budget: the query is not
+		// admitted and the state is unchanged (Algorithm 1 keeps the
+		// previous solution).
+		res.PlanTime = time.Since(start)
+		p.record(res)
+		return res, nil
+	}
+
+	next, err := b.decode(sol.X)
+	if err != nil {
+		return res, fmt.Errorf("core: decoding solver output: %w", err)
+	}
+	if p.cfg.Validate {
+		if err := next.Validate(p.sys); err != nil {
+			return res, fmt.Errorf("core: solver produced infeasible plan: %w", err)
+		}
+	}
+
+	// Accept the new allocation and update admission bookkeeping.
+	p.state = next
+	for _, q := range fresh {
+		if _, ok := next.Provides[q]; ok {
+			p.admitted[q] = true
+			res.Admitted = true
+		}
+	}
+	// With multiple fresh queries, Admitted reports "all admitted".
+	if len(fresh) > 1 {
+		res.Admitted = true
+		for _, q := range fresh {
+			if !p.admitted[q] {
+				res.Admitted = false
+				break
+			}
+		}
+	}
+	res.PlanTime = time.Since(start)
+	p.record(res)
+	return res, nil
+}
+
+// record folds one call's outcome into the cumulative stats.
+func (p *Planner) record(res Result) {
+	p.stats.Submissions++
+	if !res.Admitted {
+		p.stats.Rejections++
+	}
+	p.stats.TotalPlanTime += res.PlanTime
+	p.stats.TotalNodes += res.Nodes
+	p.stats.TotalLPIters += res.LPIters
+	if res.SolveStatus == milp.FeasibleMIP {
+		p.stats.Timeouts++
+	}
+}

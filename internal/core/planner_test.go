@@ -1,0 +1,368 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"sqpr/internal/dsps"
+	"sqpr/internal/workload"
+)
+
+// twoHostSystem builds a minimal system: two hosts, two base streams on
+// host 0, and one join operator producing a requested composite stream.
+func twoHostSystem(t *testing.T) (*dsps.System, dsps.StreamID) {
+	t.Helper()
+	hosts := []dsps.Host{
+		{ID: 0, CPU: 10, OutBW: 100, InBW: 100},
+		{ID: 1, CPU: 10, OutBW: 100, InBW: 100},
+	}
+	sys := dsps.NewSystem(hosts, 100)
+	a := sys.AddStream(5, dsps.NoOperator, "a")
+	bs := sys.AddStream(5, dsps.NoOperator, "b")
+	sys.PlaceBase(0, a)
+	sys.PlaceBase(0, bs)
+	op := sys.AddOperator([]dsps.StreamID{a, bs}, 1, 2, "a⋈b")
+	sys.SetRequested(op.Output, true)
+	if err := sys.Validate(); err != nil {
+		t.Fatalf("system invalid: %v", err)
+	}
+	return sys, op.Output
+}
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SolveTimeout = 2 * time.Second
+	return cfg
+}
+
+func TestSubmitSingleQuery(t *testing.T) {
+	sys, q := twoHostSystem(t)
+	p := NewPlanner(sys, testConfig())
+	res, err := p.Submit(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Admitted {
+		t.Fatalf("query not admitted: %+v", res)
+	}
+	if err := p.Assignment().Validate(sys); err != nil {
+		t.Fatalf("resulting plan infeasible: %v", err)
+	}
+	if p.AdmittedCount() != 1 {
+		t.Fatalf("admitted count %d", p.AdmittedCount())
+	}
+}
+
+func TestSubmitDuplicateQuery(t *testing.T) {
+	sys, q := twoHostSystem(t)
+	p := NewPlanner(sys, testConfig())
+	if _, err := p.Submit(q); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Submit(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AlreadyAdmitted || !res.Admitted {
+		t.Fatalf("duplicate submission not recognised: %+v", res)
+	}
+}
+
+func TestSubmitUnrequestedStreamErrors(t *testing.T) {
+	sys, _ := twoHostSystem(t)
+	p := NewPlanner(sys, testConfig())
+	base := dsps.StreamID(0)
+	if _, err := p.Submit(base); err == nil {
+		t.Fatal("expected error for unrequested stream")
+	}
+}
+
+func TestRejectionWhenNoCPU(t *testing.T) {
+	hosts := []dsps.Host{{ID: 0, CPU: 0.5, OutBW: 100, InBW: 100}}
+	sys := dsps.NewSystem(hosts, 100)
+	a := sys.AddStream(5, dsps.NoOperator, "a")
+	b := sys.AddStream(5, dsps.NoOperator, "b")
+	sys.PlaceBase(0, a)
+	sys.PlaceBase(0, b)
+	op := sys.AddOperator([]dsps.StreamID{a, b}, 1, 2, "a⋈b") // cost 2 > 0.5
+	sys.SetRequested(op.Output, true)
+
+	p := NewPlanner(sys, testConfig())
+	res, err := p.Submit(op.Output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Admitted {
+		t.Fatal("query admitted despite insufficient CPU")
+	}
+	if p.AdmittedCount() != 0 {
+		t.Fatalf("admitted count %d", p.AdmittedCount())
+	}
+}
+
+func TestRejectionWhenNoBandwidthForDelivery(t *testing.T) {
+	// Result stream rate 50 exceeds the host out-bandwidth 10.
+	hosts := []dsps.Host{{ID: 0, CPU: 10, OutBW: 10, InBW: 10}}
+	sys := dsps.NewSystem(hosts, 100)
+	a := sys.AddStream(5, dsps.NoOperator, "a")
+	b := sys.AddStream(5, dsps.NoOperator, "b")
+	sys.PlaceBase(0, a)
+	sys.PlaceBase(0, b)
+	op := sys.AddOperator([]dsps.StreamID{a, b}, 50, 1, "a⋈b")
+	sys.SetRequested(op.Output, true)
+
+	p := NewPlanner(sys, testConfig())
+	res, err := p.Submit(op.Output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Admitted {
+		t.Fatal("query admitted despite insufficient delivery bandwidth")
+	}
+}
+
+func TestReuseSharedSubQuery(t *testing.T) {
+	// Two queries sharing a sub-join: the shared operator must be placed
+	// once, not twice.
+	hosts := []dsps.Host{
+		{ID: 0, CPU: 10, OutBW: 1000, InBW: 1000},
+		{ID: 1, CPU: 10, OutBW: 1000, InBW: 1000},
+	}
+	sys := dsps.NewSystem(hosts, 1000)
+	a := sys.AddStream(5, dsps.NoOperator, "a")
+	b := sys.AddStream(5, dsps.NoOperator, "b")
+	c := sys.AddStream(5, dsps.NoOperator, "c")
+	d := sys.AddStream(5, dsps.NoOperator, "d")
+	sys.PlaceBase(0, a)
+	sys.PlaceBase(0, b)
+	sys.PlaceBase(1, c)
+	sys.PlaceBase(1, d)
+	shared := sys.AddOperator([]dsps.StreamID{a, b}, 2, 3, "a⋈b")
+	q1 := sys.AddOperator([]dsps.StreamID{shared.Output, c}, 1, 1, "ab⋈c")
+	q2 := sys.AddOperator([]dsps.StreamID{shared.Output, d}, 1, 1, "ab⋈d")
+	sys.SetRequested(q1.Output, true)
+	sys.SetRequested(q2.Output, true)
+
+	p := NewPlanner(sys, testConfig())
+	r1, err := p.Submit(q1.Output)
+	if err != nil || !r1.Admitted {
+		t.Fatalf("q1: %+v err=%v", r1, err)
+	}
+	r2, err := p.Submit(q2.Output)
+	if err != nil || !r2.Admitted {
+		t.Fatalf("q2: %+v err=%v", r2, err)
+	}
+	// The shared operator runs exactly once system-wide.
+	count := 0
+	for pl, on := range p.Assignment().Ops {
+		if on && pl.Op == shared.ID {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("shared operator placed %d times, want 1", count)
+	}
+	if err := p.Assignment().Validate(sys); err != nil {
+		t.Fatalf("plan infeasible: %v", err)
+	}
+}
+
+func TestKeepAdmittedAcrossSubmissions(t *testing.T) {
+	sys := workload.BuildSystem(workload.SystemConfig{
+		NumHosts: 4, CPUPerHost: 3, OutBW: 200, InBW: 200, LinkCap: 200,
+	})
+	cfg := workload.DefaultConfig()
+	cfg.NumBaseStreams = 20
+	cfg.NumQueries = 12
+	cfg.Arities = []int{2, 3}
+	w := workload.Generate(sys, cfg)
+
+	p := NewPlanner(sys, testConfig())
+	admittedSoFar := make(map[dsps.StreamID]bool)
+	for _, q := range w.Queries {
+		if _, err := p.Submit(q); err != nil {
+			t.Fatal(err)
+		}
+		if p.Admitted(q) {
+			admittedSoFar[q] = true
+		}
+		// Every previously admitted query must remain admitted (IV.9).
+		for prev := range admittedSoFar {
+			if !p.Admitted(prev) {
+				t.Fatalf("query %d dropped after later submission", prev)
+			}
+			if _, ok := p.Assignment().Provides[prev]; !ok {
+				t.Fatalf("query %d lost its provider", prev)
+			}
+		}
+		if err := p.Assignment().Validate(sys); err != nil {
+			t.Fatalf("infeasible state after submit: %v", err)
+		}
+	}
+	if len(admittedSoFar) == 0 {
+		t.Fatal("no queries admitted at all")
+	}
+}
+
+func TestRemoveQueryGarbageCollects(t *testing.T) {
+	sys, q := twoHostSystem(t)
+	p := NewPlanner(sys, testConfig())
+	if _, err := p.Submit(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RemoveQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	if p.AdmittedCount() != 0 {
+		t.Fatalf("admitted count %d after removal", p.AdmittedCount())
+	}
+	for pl, on := range p.Assignment().Ops {
+		if on {
+			t.Fatalf("operator %v not garbage-collected", pl)
+		}
+	}
+	for f, on := range p.Assignment().Flows {
+		if on {
+			t.Fatalf("flow %v not garbage-collected", f)
+		}
+	}
+}
+
+func TestRemoveKeepsSharedSupport(t *testing.T) {
+	// With two queries sharing a sub-join, removing one must keep the
+	// shared operator alive for the other.
+	hosts := []dsps.Host{{ID: 0, CPU: 10, OutBW: 1000, InBW: 1000}}
+	sys := dsps.NewSystem(hosts, 1000)
+	a := sys.AddStream(5, dsps.NoOperator, "a")
+	b := sys.AddStream(5, dsps.NoOperator, "b")
+	c := sys.AddStream(5, dsps.NoOperator, "c")
+	sys.PlaceBase(0, a)
+	sys.PlaceBase(0, b)
+	sys.PlaceBase(0, c)
+	shared := sys.AddOperator([]dsps.StreamID{a, b}, 2, 3, "a⋈b")
+	q1 := sys.AddOperator([]dsps.StreamID{shared.Output, c}, 1, 1, "ab⋈c")
+	sys.SetRequested(shared.Output, true) // query 2 is the shared join itself
+	sys.SetRequested(q1.Output, true)
+
+	p := NewPlanner(sys, testConfig())
+	if _, err := p.Submit(q1.Output); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Submit(shared.Output); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RemoveQuery(shared.Output); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Admitted(q1.Output) {
+		t.Fatal("remaining query lost")
+	}
+	if err := p.Assignment().Validate(sys); err != nil {
+		t.Fatalf("state infeasible after removal: %v", err)
+	}
+	found := false
+	for pl, on := range p.Assignment().Ops {
+		if on && pl.Op == shared.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("shared operator was garbage-collected while still needed")
+	}
+}
+
+func TestReplanRestoresQueries(t *testing.T) {
+	sys, q := twoHostSystem(t)
+	p := NewPlanner(sys, testConfig())
+	if _, err := p.Submit(q); err != nil {
+		t.Fatal(err)
+	}
+	results, err := p.Replan([]dsps.StreamID{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || !results[0].Admitted {
+		t.Fatalf("replan results: %+v", results)
+	}
+	if !p.Admitted(q) {
+		t.Fatal("query lost after replan")
+	}
+}
+
+func TestBatchSubmission(t *testing.T) {
+	hosts := []dsps.Host{
+		{ID: 0, CPU: 10, OutBW: 1000, InBW: 1000},
+		{ID: 1, CPU: 10, OutBW: 1000, InBW: 1000},
+	}
+	sys := dsps.NewSystem(hosts, 1000)
+	a := sys.AddStream(5, dsps.NoOperator, "a")
+	b := sys.AddStream(5, dsps.NoOperator, "b")
+	c := sys.AddStream(5, dsps.NoOperator, "c")
+	sys.PlaceBase(0, a)
+	sys.PlaceBase(0, b)
+	sys.PlaceBase(1, c)
+	op1 := sys.AddOperator([]dsps.StreamID{a, b}, 1, 1, "a⋈b")
+	op2 := sys.AddOperator([]dsps.StreamID{b, c}, 1, 1, "b⋈c")
+	sys.SetRequested(op1.Output, true)
+	sys.SetRequested(op2.Output, true)
+
+	p := NewPlanner(sys, testConfig())
+	res, err := p.SubmitBatch([]dsps.StreamID{op1.Output, op2.Output})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Admitted || p.AdmittedCount() != 2 {
+		t.Fatalf("batch admission failed: %+v count=%d", res, p.AdmittedCount())
+	}
+}
+
+func TestDriftedQueries(t *testing.T) {
+	sys, q := twoHostSystem(t)
+	p := NewPlanner(sys, testConfig())
+	if _, err := p.Submit(q); err != nil {
+		t.Fatal(err)
+	}
+	op := sys.Operators[0]
+	// Within threshold: no drift.
+	got := p.DriftedQueries(map[dsps.OperatorID]float64{op.ID: op.Cost * 1.05}, 0.2)
+	if len(got) != 0 {
+		t.Fatalf("unexpected drift: %v", got)
+	}
+	// Exceeds threshold: the query using the operator drifts.
+	got = p.DriftedQueries(map[dsps.OperatorID]float64{op.ID: op.Cost * 2}, 0.2)
+	if len(got) != 1 || got[0] != q {
+		t.Fatalf("drift detection failed: %v", got)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	sys, q := twoHostSystem(t)
+	p := NewPlanner(sys, testConfig())
+	if _, err := p.Submit(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Submit(q); err != nil { // duplicate
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Submissions != 2 {
+		t.Fatalf("submissions %d", st.Submissions)
+	}
+	if st.Rejections != 0 {
+		t.Fatalf("rejections %d", st.Rejections)
+	}
+	if st.TotalPlanTime <= 0 {
+		t.Fatal("no plan time recorded")
+	}
+}
+
+func TestZeroValueConfigGetsDefaults(t *testing.T) {
+	sys, q := twoHostSystem(t)
+	p := NewPlanner(sys, Config{})
+	if p.cfg.MaxCandidateHosts <= 0 || p.cfg.SolveTimeout <= 0 {
+		t.Fatal("defaults not applied")
+	}
+	if _, err := p.Submit(q); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"sqpr/internal/dsps"
+)
+
+// incumbent produces a warm-start vector for the MILP: the current
+// allocation (always feasible for the new model thanks to (IV.9)) extended,
+// when possible, with a greedy plan that admits the new queries. The greedy
+// plan mirrors what a simple planner would do — assemble each query on a
+// single host, reusing streams that already exist — and gives the branch
+// and bound an admission-positive incumbent to improve on.
+func (b *builder) incumbent() []float64 {
+	cand := b.p.state.Clone()
+	for _, q := range b.queries {
+		if _, ok := cand.Provides[q]; ok {
+			continue
+		}
+		b.greedyAdmit(cand, q)
+	}
+	return b.vectorOf(cand)
+}
+
+// greedyAdmit tries to admit query q into cand on a single assembly host;
+// it mutates cand only on success.
+func (b *builder) greedyAdmit(cand *dsps.Assignment, q dsps.StreamID) bool {
+	usage := cand.ComputeUsage(b.sys)
+	order := make([]dsps.HostID, len(b.hosts))
+	copy(order, b.hosts)
+	sort.Slice(order, func(i, j int) bool {
+		si := b.sys.Hosts[order[i]].CPU - usage.CPU[order[i]]
+		sj := b.sys.Hosts[order[j]].CPU - usage.CPU[order[j]]
+		if si != sj {
+			return si > sj
+		}
+		return order[i] < order[j]
+	})
+	bestScore := math.Inf(-1)
+	var best *dsps.Assignment
+	for _, h := range order {
+		trial := cand.Clone()
+		if !b.planStreamAt(trial, q, h, make(map[planKey]bool)) {
+			continue
+		}
+		// Deliver the result to the client from h.
+		trial.Provides[q] = h
+		u := trial.ComputeUsage(b.sys)
+		if u.Out[h] > b.sys.Hosts[h].OutBW+1e-9 || trial.Validate(b.sys) != nil {
+			continue
+		}
+		if score := b.scoreAssignment(trial); score > bestScore {
+			bestScore = score
+			best = trial
+		}
+	}
+	if best == nil {
+		return false
+	}
+	*cand = *best
+	return true
+}
+
+// scoreAssignment evaluates the weighted objective (III.3) for seeding.
+func (b *builder) scoreAssignment(a *dsps.Assignment) float64 {
+	u := a.ComputeUsage(b.sys)
+	w := b.p.cfg.Weights
+	totalLink := b.sys.TotalLinkCap()
+	if totalLink <= 0 {
+		totalLink = 1
+	}
+	totalCPU := b.sys.TotalCPU()
+	if totalCPU <= 0 {
+		totalCPU = 1
+	}
+	maxCPU := 0.0
+	for _, h := range b.sys.Hosts {
+		if h.CPU > maxCPU {
+			maxCPU = h.CPU
+		}
+	}
+	if maxCPU <= 0 {
+		maxCPU = 1
+	}
+	return w.L1*float64(a.SatisfiedQueries()) -
+		w.L2*u.Network/totalLink -
+		w.L3*u.TotalCPU()/totalCPU -
+		w.L4*u.MaxCPU()/maxCPU
+}
+
+type planKey struct {
+	h dsps.HostID
+	s dsps.StreamID
+}
+
+// planStreamAt makes stream s available at host h inside trial, adding
+// flows and operator placements greedily. visiting guards against cycles.
+func (b *builder) planStreamAt(trial *dsps.Assignment, s dsps.StreamID, h dsps.HostID, visiting map[planKey]bool) bool {
+	if trial.Available(b.sys, h, s) {
+		return true
+	}
+	k := planKey{h, s}
+	if visiting[k] {
+		return false
+	}
+	visiting[k] = true
+	defer delete(visiting, k)
+
+	rate := b.sys.Streams[s].Rate
+	// Reuse: fetch from any candidate host that already has s.
+	for _, m := range b.hosts {
+		if m == h || !trial.Available(b.sys, m, s) {
+			continue
+		}
+		if b.flowFits(trial, m, h, rate) {
+			trial.Flows[dsps.Flow{From: m, To: h, Stream: s}] = true
+			return true
+		}
+	}
+	// Base stream: route from a base location if it is a candidate host.
+	if b.sys.Streams[s].IsBase() {
+		for _, m := range b.sys.BaseHosts(s) {
+			if m == h {
+				return true // available locally; Available would have caught it
+			}
+			if _, ok := b.hostIdx[m]; !ok {
+				continue
+			}
+			if b.flowFits(trial, m, h, rate) {
+				trial.Flows[dsps.Flow{From: m, To: h, Stream: s}] = true
+				return true
+			}
+		}
+		return false
+	}
+	// Composite: place one producer at a candidate host — preferring h
+	// itself — and, if produced remotely, flow the output over.
+	hostsTry := make([]dsps.HostID, 0, len(b.hosts))
+	hostsTry = append(hostsTry, h)
+	u := trial.ComputeUsage(b.sys)
+	others := make([]dsps.HostID, 0, len(b.hosts))
+	for _, m := range b.hosts {
+		if m != h {
+			others = append(others, m)
+		}
+	}
+	sort.Slice(others, func(i, j int) bool {
+		si := b.sys.Hosts[others[i]].CPU - u.CPU[others[i]]
+		sj := b.sys.Hosts[others[j]].CPU - u.CPU[others[j]]
+		if si != sj {
+			return si > sj
+		}
+		return others[i] < others[j]
+	})
+	const maxRemoteHosts = 3
+	if len(others) > maxRemoteHosts {
+		others = others[:maxRemoteHosts]
+	}
+	hostsTry = append(hostsTry, others...)
+
+	for _, op := range b.sys.ProducersOf(s) {
+		if !b.freeOpSet[op] {
+			continue
+		}
+		o := &b.sys.Operators[op]
+		for _, m := range hostsTry {
+			um := trial.ComputeUsage(b.sys)
+			if um.CPU[m]+o.Cost > b.sys.Hosts[m].CPU+1e-9 {
+				continue
+			}
+			if lim := b.sys.Hosts[m].Mem; lim > 0 && um.Mem[m]+o.Mem > lim+1e-9 {
+				continue
+			}
+			snapshot := trial.Clone()
+			ok := true
+			for _, in := range o.Inputs {
+				if !b.planStreamAt(trial, in, m, visiting) {
+					ok = false
+					break
+				}
+			}
+			if ok && m != h {
+				if b.flowFits(trial, m, h, rate) {
+					trial.Ops[dsps.Placement{Host: m, Op: op}] = true
+					trial.Flows[dsps.Flow{From: m, To: h, Stream: s}] = true
+					return true
+				}
+				ok = false
+			} else if ok {
+				trial.Ops[dsps.Placement{Host: m, Op: op}] = true
+				return true
+			}
+			*trial = *snapshot
+		}
+	}
+	return false
+}
+
+// flowFits checks link and host bandwidth headroom for one extra flow.
+func (b *builder) flowFits(trial *dsps.Assignment, from, to dsps.HostID, rate float64) bool {
+	u := trial.ComputeUsage(b.sys)
+	if u.Link[from][to]+rate > b.sys.LinkCap[from][to]+1e-9 {
+		return false
+	}
+	if u.Out[from]+rate > b.sys.Hosts[from].OutBW+1e-9 {
+		return false
+	}
+	if u.In[to]+rate > b.sys.Hosts[to].InBW+1e-9 {
+		return false
+	}
+	return true
+}
+
+// vectorOf encodes an assignment as a point in the model's variable space.
+func (b *builder) vectorOf(a *dsps.Assignment) []float64 {
+	vec := make([]float64, b.model.NumVars())
+	for hk, dv := range b.dVar {
+		if h, ok := a.Provides[hk.s]; ok && h == hk.h {
+			vec[dv] = 1
+		}
+	}
+	for fk, xv := range b.xVar {
+		if a.Flows[dsps.Flow{From: fk.from, To: fk.to, Stream: fk.s}] {
+			vec[xv] = 1
+		}
+	}
+	for zk, zv := range b.zVar {
+		if a.Ops[dsps.Placement{Host: zk.h, Op: zk.o}] {
+			vec[zv] = 1
+		}
+	}
+	for hk, yv := range b.yVar {
+		if a.Available(b.sys, hk.h, hk.s) {
+			vec[yv] = 1
+		}
+	}
+	b.fillPotentials(a, vec)
+	// L: maximum CPU load over candidate hosts (fixed + free parts).
+	u := a.ComputeUsage(b.sys)
+	var maxLoad float64
+	for _, h := range b.hosts {
+		if u.CPU[h] > maxLoad {
+			maxLoad = u.CPU[h]
+		}
+	}
+	vec[b.lVar] = maxLoad
+	return vec
+}
+
+// fillPotentials assigns stream potentials consistent with the acyclicity
+// rows: senders sit strictly above receivers along every active flow.
+// Active flows are acyclic (the assignment is validated), so |C| rounds of
+// Bellman-Ford relaxation converge.
+func (b *builder) fillPotentials(a *dsps.Assignment, vec []float64) {
+	for _, s := range b.freeStreams {
+		var flows []dsps.Flow
+		for _, h := range b.hosts {
+			for _, m := range b.hosts {
+				if h == m {
+					continue
+				}
+				f := dsps.Flow{From: h, To: m, Stream: s}
+				if a.Flows[f] {
+					flows = append(flows, f)
+				}
+			}
+		}
+		if len(flows) == 0 {
+			continue
+		}
+		pot := make(map[dsps.HostID]float64)
+		for range b.hosts {
+			for _, f := range flows {
+				if need := pot[f.To] + 1; pot[f.From] < need {
+					pot[f.From] = need
+				}
+			}
+		}
+		for h, v := range pot {
+			if pv, ok := b.pVar[hsKey{h, s}]; ok {
+				if v > b.bigM {
+					v = b.bigM
+				}
+				vec[pv] = v
+			}
+		}
+	}
+}

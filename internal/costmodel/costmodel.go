@@ -1,0 +1,225 @@
+// Package costmodel implements the cost estimation of §II-B and the
+// monitoring feedback loop of §IV-B. The paper assumes "a simple cost model
+// where the required processing resources for operators and the output
+// stream network consumptions are linear functions of the rates of input
+// streams"; this package provides that linear model, calibrates its
+// coefficients from observations (least squares), and flags operators whose
+// measured consumption has drifted from the estimates — the trigger for
+// adaptive replanning.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sqpr/internal/dsps"
+)
+
+// Model estimates operator CPU cost and output rate from input rates:
+//
+//	cost(o)   = CPUBase + CPUPerRate · Σ ̺_in
+//	rate(s_o) = Selectivity(o) · Π ̺_in   (joins)
+//	mem(o)    = MemPerRate · Σ ̺_in       (window state)
+type Model struct {
+	CPUBase    float64
+	CPUPerRate float64
+	MemPerRate float64
+	// DefaultSelectivity is used when no per-operator selectivity is set.
+	DefaultSelectivity float64
+	// selectivities overrides per operator.
+	selectivities map[dsps.OperatorID]float64
+}
+
+// NewModel returns a model with the evaluation defaults.
+func NewModel() *Model {
+	return &Model{
+		CPUPerRate:         0.05,
+		MemPerRate:         0.1,
+		DefaultSelectivity: 0.003,
+		selectivities:      make(map[dsps.OperatorID]float64),
+	}
+}
+
+// SetSelectivity overrides an operator's selectivity.
+func (m *Model) SetSelectivity(op dsps.OperatorID, sel float64) {
+	m.selectivities[op] = sel
+}
+
+// Selectivity returns the operator's effective selectivity.
+func (m *Model) Selectivity(op dsps.OperatorID) float64 {
+	if s, ok := m.selectivities[op]; ok {
+		return s
+	}
+	return m.DefaultSelectivity
+}
+
+// EstimateCost predicts the CPU cost of running op given current stream
+// rates in sys.
+func (m *Model) EstimateCost(sys *dsps.System, op dsps.OperatorID) float64 {
+	var sum float64
+	for _, in := range sys.Operators[op].Inputs {
+		sum += sys.Streams[in].Rate
+	}
+	return m.CPUBase + m.CPUPerRate*sum
+}
+
+// EstimateMem predicts the state footprint of op.
+func (m *Model) EstimateMem(sys *dsps.System, op dsps.OperatorID) float64 {
+	var sum float64
+	for _, in := range sys.Operators[op].Inputs {
+		sum += sys.Streams[in].Rate
+	}
+	return m.MemPerRate * sum
+}
+
+// EstimateOutputRate predicts the output stream rate of a join operator.
+func (m *Model) EstimateOutputRate(sys *dsps.System, op dsps.OperatorID) float64 {
+	o := &sys.Operators[op]
+	if len(o.Inputs) == 1 {
+		// Unary operators (filter/project): selectivity scales the input.
+		return m.Selectivity(op) * sys.Streams[o.Inputs[0]].Rate
+	}
+	rate := 1.0
+	for _, in := range o.Inputs {
+		rate *= sys.Streams[in].Rate
+	}
+	return m.Selectivity(op) * rate
+}
+
+// Apply writes the model's estimates into the system's operator table
+// (costs, memory) and composite stream rates, in dependency order.
+func (m *Model) Apply(sys *dsps.System) {
+	// Topological sweep: operators whose inputs are all resolved first.
+	resolved := make(map[dsps.StreamID]bool)
+	for _, s := range sys.Streams {
+		if s.IsBase() {
+			resolved[s.ID] = true
+		}
+	}
+	remaining := len(sys.Operators)
+	for remaining > 0 {
+		progressed := false
+		for i := range sys.Operators {
+			op := &sys.Operators[i]
+			if resolved[op.Output] {
+				continue
+			}
+			ready := true
+			for _, in := range op.Inputs {
+				if !resolved[in] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			op.Cost = m.EstimateCost(sys, op.ID)
+			op.Mem = m.EstimateMem(sys, op.ID)
+			sys.Streams[op.Output].Rate = m.EstimateOutputRate(sys, op.ID)
+			resolved[op.Output] = true
+			remaining--
+			progressed = true
+		}
+		if !progressed {
+			return // cyclic or alternative producers already resolved
+		}
+	}
+}
+
+// Observation is one monitoring sample for an operator: the total input
+// rate it processed and the CPU cost it consumed.
+type Observation struct {
+	Op        dsps.OperatorID
+	InputRate float64
+	Cost      float64
+}
+
+// Calibrate fits CPUBase and CPUPerRate to observations by ordinary least
+// squares (cost ≈ a + b·rate). It needs at least two observations with
+// distinct input rates; otherwise it returns an error and leaves the model
+// unchanged.
+func (m *Model) Calibrate(obs []Observation) error {
+	if len(obs) < 2 {
+		return fmt.Errorf("costmodel: need >= 2 observations, have %d", len(obs))
+	}
+	var sx, sy, sxx, sxy float64
+	n := float64(len(obs))
+	for _, o := range obs {
+		sx += o.InputRate
+		sy += o.Cost
+		sxx += o.InputRate * o.InputRate
+		sxy += o.InputRate * o.Cost
+	}
+	den := n*sxx - sx*sx
+	if math.Abs(den) < 1e-12 {
+		return fmt.Errorf("costmodel: observations have no rate variance")
+	}
+	b := (n*sxy - sx*sy) / den
+	a := (sy - b*sx) / n
+	if b < 0 {
+		b = 0 // costs cannot decrease with rate; clamp pathological fits
+	}
+	if a < 0 {
+		a = 0
+	}
+	m.CPUPerRate = b
+	m.CPUBase = a
+	return nil
+}
+
+// Drift quantifies the relative deviation between an operator's modelled
+// cost and an observed cost.
+func Drift(modelled, observed float64) float64 {
+	if modelled == 0 {
+		if observed == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(observed-modelled) / modelled
+}
+
+// DriftReport lists operators whose observed cost deviates from the
+// system's current cost table by more than threshold, ordered by severity.
+type DriftReport struct {
+	Op       dsps.OperatorID
+	Modelled float64
+	Observed float64
+	Relative float64
+}
+
+// DetectDrift compares observations against the system's operator costs
+// (§IV-B condition (a): "resource consumption differs from the initial
+// estimates by a given threshold").
+func DetectDrift(sys *dsps.System, obs []Observation, threshold float64) []DriftReport {
+	var out []DriftReport
+	for _, o := range obs {
+		modelled := sys.Operators[o.Op].Cost
+		rel := Drift(modelled, o.Cost)
+		if rel > threshold {
+			out = append(out, DriftReport{Op: o.Op, Modelled: modelled, Observed: o.Cost, Relative: rel})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Relative != out[j].Relative {
+			return out[i].Relative > out[j].Relative
+		}
+		return out[i].Op < out[j].Op
+	})
+	return out
+}
+
+// ShortageHosts returns hosts whose measured CPU usage exceeds frac of
+// their budget (§IV-B condition (b): "suffer from a shortage of resources
+// on a host").
+func ShortageHosts(sys *dsps.System, usage *dsps.Usage, frac float64) []dsps.HostID {
+	var out []dsps.HostID
+	for h := 0; h < sys.NumHosts(); h++ {
+		if cap := sys.Hosts[h].CPU; cap > 0 && usage.CPU[h] > frac*cap {
+			out = append(out, dsps.HostID(h))
+		}
+	}
+	return out
+}

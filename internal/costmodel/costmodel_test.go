@@ -1,0 +1,180 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sqpr/internal/dsps"
+)
+
+func buildSys() (*dsps.System, *dsps.Operator, *dsps.Operator) {
+	hosts := []dsps.Host{{ID: 0, CPU: 100, OutBW: 100, InBW: 100}}
+	sys := dsps.NewSystem(hosts, 100)
+	a := sys.AddStream(10, dsps.NoOperator, "a")
+	b := sys.AddStream(20, dsps.NoOperator, "b")
+	c := sys.AddStream(5, dsps.NoOperator, "c")
+	sys.PlaceBase(0, a)
+	sys.PlaceBase(0, b)
+	sys.PlaceBase(0, c)
+	ab := sys.AddOperator([]dsps.StreamID{a, b}, 0, 0, "ab")
+	abc := sys.AddOperator([]dsps.StreamID{ab.Output, c}, 0, 0, "abc")
+	return sys, ab, abc
+}
+
+func TestEstimateCostLinearInRates(t *testing.T) {
+	sys, ab, _ := buildSys()
+	m := NewModel()
+	m.CPUBase = 1
+	m.CPUPerRate = 0.1
+	got := m.EstimateCost(sys, ab.ID)
+	want := 1 + 0.1*(10+20)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("cost %v want %v", got, want)
+	}
+}
+
+func TestEstimateOutputRateJoin(t *testing.T) {
+	sys, ab, _ := buildSys()
+	m := NewModel()
+	m.SetSelectivity(ab.ID, 0.01)
+	got := m.EstimateOutputRate(sys, ab.ID)
+	if math.Abs(got-0.01*10*20) > 1e-12 {
+		t.Fatalf("rate %v", got)
+	}
+}
+
+func TestEstimateOutputRateUnary(t *testing.T) {
+	hosts := []dsps.Host{{ID: 0, CPU: 10, OutBW: 10, InBW: 10}}
+	sys := dsps.NewSystem(hosts, 10)
+	a := sys.AddStream(10, dsps.NoOperator, "a")
+	sys.PlaceBase(0, a)
+	f := sys.AddOperator([]dsps.StreamID{a}, 0, 0, "filter")
+	m := NewModel()
+	m.SetSelectivity(f.ID, 0.5)
+	if got := m.EstimateOutputRate(sys, f.ID); got != 5 {
+		t.Fatalf("unary rate %v", got)
+	}
+}
+
+func TestApplyResolvesInDependencyOrder(t *testing.T) {
+	sys, ab, abc := buildSys()
+	m := NewModel()
+	m.Apply(sys)
+	if sys.Operators[ab.ID].Cost <= 0 || sys.Operators[abc.ID].Cost <= 0 {
+		t.Fatal("costs not applied")
+	}
+	if sys.Streams[ab.Output].Rate <= 0 {
+		t.Fatal("composite rate not applied")
+	}
+	// abc's cost must reflect ab's *estimated* output rate, proving the
+	// dependency-ordered sweep.
+	wantIn := sys.Streams[ab.Output].Rate + sys.Streams[2].Rate
+	want := m.CPUBase + m.CPUPerRate*wantIn
+	if math.Abs(sys.Operators[abc.ID].Cost-want) > 1e-9 {
+		t.Fatalf("abc cost %v want %v", sys.Operators[abc.ID].Cost, want)
+	}
+	if sys.Operators[ab.ID].Mem <= 0 {
+		t.Fatal("memory footprint not applied")
+	}
+}
+
+func TestCalibrateRecoversLine(t *testing.T) {
+	m := NewModel()
+	// Synthesise observations on cost = 2 + 0.5·rate.
+	var obs []Observation
+	for _, r := range []float64{1, 2, 4, 8, 16} {
+		obs = append(obs, Observation{Op: 0, InputRate: r, Cost: 2 + 0.5*r})
+	}
+	if err := m.Calibrate(obs); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.CPUBase-2) > 1e-9 || math.Abs(m.CPUPerRate-0.5) > 1e-9 {
+		t.Fatalf("fit a=%v b=%v", m.CPUBase, m.CPUPerRate)
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	m := NewModel()
+	if err := m.Calibrate(nil); err == nil {
+		t.Fatal("expected error for no observations")
+	}
+	obs := []Observation{{InputRate: 3, Cost: 1}, {InputRate: 3, Cost: 2}}
+	if err := m.Calibrate(obs); err == nil {
+		t.Fatal("expected error for zero rate variance")
+	}
+}
+
+func TestCalibrateClampsNegativeSlope(t *testing.T) {
+	m := NewModel()
+	obs := []Observation{{InputRate: 1, Cost: 10}, {InputRate: 10, Cost: 1}}
+	if err := m.Calibrate(obs); err != nil {
+		t.Fatal(err)
+	}
+	if m.CPUPerRate < 0 {
+		t.Fatalf("negative slope survived: %v", m.CPUPerRate)
+	}
+}
+
+func TestDrift(t *testing.T) {
+	if Drift(10, 15) != 0.5 {
+		t.Fatal("drift wrong")
+	}
+	if Drift(0, 0) != 0 {
+		t.Fatal("zero drift wrong")
+	}
+	if !math.IsInf(Drift(0, 1), 1) {
+		t.Fatal("infinite drift wrong")
+	}
+}
+
+func TestDetectDriftOrdersBySeverity(t *testing.T) {
+	sys, ab, abc := buildSys()
+	sys.Operators[ab.ID].Cost = 10
+	sys.Operators[abc.ID].Cost = 10
+	obs := []Observation{
+		{Op: ab.ID, Cost: 12},  // 20% drift
+		{Op: abc.ID, Cost: 30}, // 200% drift
+	}
+	got := DetectDrift(sys, obs, 0.1)
+	if len(got) != 2 || got[0].Op != abc.ID {
+		t.Fatalf("drift report: %+v", got)
+	}
+	got = DetectDrift(sys, obs, 0.5)
+	if len(got) != 1 || got[0].Op != abc.ID {
+		t.Fatalf("threshold filter failed: %+v", got)
+	}
+}
+
+func TestShortageHosts(t *testing.T) {
+	sys, _, _ := buildSys()
+	u := &dsps.Usage{CPU: []float64{95}}
+	got := ShortageHosts(sys, u, 0.9)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("shortage: %v", got)
+	}
+	if len(ShortageHosts(sys, &dsps.Usage{CPU: []float64{10}}, 0.9)) != 0 {
+		t.Fatal("false shortage")
+	}
+}
+
+// Property: Calibrate on exact linear data recovers the line for any
+// non-degenerate positive coefficients.
+func TestQuickCalibrate(t *testing.T) {
+	f := func(aRaw, bRaw uint8) bool {
+		a := float64(aRaw%50) / 5
+		b := float64(bRaw%50)/50 + 0.01
+		var obs []Observation
+		for _, r := range []float64{1, 3, 7, 11} {
+			obs = append(obs, Observation{InputRate: r, Cost: a + b*r})
+		}
+		m := NewModel()
+		if err := m.Calibrate(obs); err != nil {
+			return false
+		}
+		return math.Abs(m.CPUBase-a) < 1e-6 && math.Abs(m.CPUPerRate-b) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

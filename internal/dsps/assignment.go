@@ -1,0 +1,334 @@
+package dsps
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Flow identifies one stream transfer between two hosts (variable x_hms).
+type Flow struct {
+	From, To HostID
+	Stream   StreamID
+}
+
+// Placement identifies one operator execution on a host (variable z_ho).
+type Placement struct {
+	Host HostID
+	Op   OperatorID
+}
+
+// Assignment is a complete allocation state of the DSPS: the (d, x, y, z)
+// variables of the optimisation model in sparse form. The potentials p are
+// not stored; causality is re-derivable (see Validate).
+type Assignment struct {
+	// Provides maps a requested stream to the host serving it to clients
+	// (d_hs = 1). At most one host serves each stream (III.4b).
+	Provides map[StreamID]HostID
+	// Flows holds every active inter-host transfer (x_hms = 1).
+	Flows map[Flow]bool
+	// Ops holds every operator placement (z_ho = 1).
+	Ops map[Placement]bool
+}
+
+// NewAssignment returns an empty allocation (the initial solution of
+// Algorithm 1, line 1).
+func NewAssignment() *Assignment {
+	return &Assignment{
+		Provides: make(map[StreamID]HostID),
+		Flows:    make(map[Flow]bool),
+		Ops:      make(map[Placement]bool),
+	}
+}
+
+// Clone deep-copies the assignment.
+func (a *Assignment) Clone() *Assignment {
+	b := NewAssignment()
+	for k, v := range a.Provides {
+		b.Provides[k] = v
+	}
+	for k, v := range a.Flows {
+		if v {
+			b.Flows[k] = true
+		}
+	}
+	for k, v := range a.Ops {
+		if v {
+			b.Ops[k] = true
+		}
+	}
+	return b
+}
+
+// Available reports whether stream s is available at host h (the derived
+// availability variable y_hs): s is a base stream at h, an inflow brings s
+// to h, or an operator at h outputs s.
+func (a *Assignment) Available(sys *System, h HostID, s StreamID) bool {
+	if sys.IsBaseAt(h, s) {
+		return true
+	}
+	for m := 0; m < sys.NumHosts(); m++ {
+		if a.Flows[Flow{HostID(m), h, s}] {
+			return true
+		}
+	}
+	for _, op := range sys.ProducersOf(s) {
+		if a.Ops[Placement{h, op}] {
+			return true
+		}
+	}
+	return false
+}
+
+// Usage is the resource consumption snapshot of an assignment.
+type Usage struct {
+	CPU     []float64   // per-host CPU use Σ_o γ_o z_ho
+	Mem     []float64   // per-host memory use Σ_o mem_o z_ho
+	Out     []float64   // per-host outgoing bandwidth incl. client deliveries
+	In      []float64   // per-host incoming bandwidth
+	Link    [][]float64 // per-link usage Σ_s ̺_s x_hms
+	Network float64     // system-wide network usage (objective O2)
+}
+
+// ComputeUsage derives full resource consumption from the assignment.
+func (a *Assignment) ComputeUsage(sys *System) *Usage {
+	n := sys.NumHosts()
+	u := &Usage{
+		CPU:  make([]float64, n),
+		Mem:  make([]float64, n),
+		Out:  make([]float64, n),
+		In:   make([]float64, n),
+		Link: make([][]float64, n),
+	}
+	for i := range u.Link {
+		u.Link[i] = make([]float64, n)
+	}
+	for pl, on := range a.Ops {
+		if on {
+			u.CPU[pl.Host] += sys.Operators[pl.Op].Cost
+			u.Mem[pl.Host] += sys.Operators[pl.Op].Mem
+		}
+	}
+	for f, on := range a.Flows {
+		if !on {
+			continue
+		}
+		rate := sys.Streams[f.Stream].Rate
+		u.Link[f.From][f.To] += rate
+		u.Out[f.From] += rate
+		u.In[f.To] += rate
+		u.Network += rate
+	}
+	for s, h := range a.Provides {
+		u.Out[h] += sys.Streams[s].Rate // delivery to the client proxy (III.6c)
+	}
+	return u
+}
+
+// MaxCPU returns the largest per-host CPU consumption (objective O4).
+func (u *Usage) MaxCPU() float64 {
+	var m float64
+	for _, c := range u.CPU {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// TotalCPU returns Σ CPU use (objective O3).
+func (u *Usage) TotalCPU() float64 {
+	var t float64
+	for _, c := range u.CPU {
+		t += c
+	}
+	return t
+}
+
+// Validate checks that the assignment is a feasible allocation for the
+// system: demand, availability, resource and acyclicity constraints
+// (III.4)–(III.7) all hold. It returns nil when feasible.
+func (a *Assignment) Validate(sys *System) error {
+	n := sys.NumHosts()
+
+	// (III.4a) a provider must possess the stream, and the stream must be
+	// requested; (III.4b) one host per stream is enforced by the map type.
+	for s, h := range a.Provides {
+		if !sys.Streams[s].Requested {
+			return fmt.Errorf("dsps: host %d provides unrequested stream %d", h, s)
+		}
+		if !a.Available(sys, h, s) {
+			return fmt.Errorf("dsps: host %d provides stream %d without possessing it", h, s)
+		}
+	}
+
+	// (III.5b) every placed operator has all inputs available locally.
+	for pl, on := range a.Ops {
+		if !on {
+			continue
+		}
+		op := sys.Operators[pl.Op]
+		for _, in := range op.Inputs {
+			if !a.Available(sys, pl.Host, in) {
+				return fmt.Errorf("dsps: operator %d on host %d missing input stream %d", pl.Op, pl.Host, in)
+			}
+		}
+	}
+
+	// (III.5c) a host may only send streams it possesses. Possession via
+	// inflow is checked causally below; here we check the static form.
+	for f, on := range a.Flows {
+		if !on {
+			continue
+		}
+		if f.From == f.To {
+			return fmt.Errorf("dsps: self-flow of stream %d at host %d", f.Stream, f.From)
+		}
+		if !a.Available(sys, f.From, f.Stream) {
+			return fmt.Errorf("dsps: host %d sends stream %d it does not possess", f.From, f.Stream)
+		}
+	}
+
+	// (III.6) resource budgets.
+	u := a.ComputeUsage(sys)
+	const tol = 1e-6
+	for h := 0; h < n; h++ {
+		if u.CPU[h] > sys.Hosts[h].CPU+tol {
+			return fmt.Errorf("dsps: host %d CPU %.3f exceeds budget %.3f", h, u.CPU[h], sys.Hosts[h].CPU)
+		}
+		if sys.Hosts[h].Mem > 0 && u.Mem[h] > sys.Hosts[h].Mem+tol {
+			return fmt.Errorf("dsps: host %d memory %.3f exceeds budget %.3f", h, u.Mem[h], sys.Hosts[h].Mem)
+		}
+		if u.Out[h] > sys.Hosts[h].OutBW+tol {
+			return fmt.Errorf("dsps: host %d out-bandwidth %.3f exceeds budget %.3f", h, u.Out[h], sys.Hosts[h].OutBW)
+		}
+		if u.In[h] > sys.Hosts[h].InBW+tol {
+			return fmt.Errorf("dsps: host %d in-bandwidth %.3f exceeds budget %.3f", h, u.In[h], sys.Hosts[h].InBW)
+		}
+		for m := 0; m < n; m++ {
+			if u.Link[h][m] > sys.LinkCap[h][m]+tol {
+				return fmt.Errorf("dsps: link %d->%d usage %.3f exceeds capacity %.3f", h, m, u.Link[h][m], sys.LinkCap[h][m])
+			}
+		}
+	}
+
+	// (III.7) acyclicity / causality: every availability must be derivable
+	// from base streams and placed operators without feedback loops.
+	return a.validateCausality(sys)
+}
+
+// validateCausality performs a fixed-point derivation of availability: a
+// stream becomes available at a host if it is a base stream there, if a
+// placed operator with all inputs already derived outputs it there, or if
+// an in-flow from a host where it is already derived carries it. Any
+// flow or operator input that can never be derived indicates an acausal
+// cycle (the self-sustaining feedback the potentials p exclude).
+func (a *Assignment) validateCausality(sys *System) error {
+	type hs struct {
+		h HostID
+		s StreamID
+	}
+	derived := make(map[hs]bool)
+	// Seed with base streams actually used somewhere.
+	for h := range sys.Hosts {
+		for s := range sys.Streams {
+			if sys.IsBaseAt(HostID(h), StreamID(s)) {
+				derived[hs{HostID(h), StreamID(s)}] = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for pl, on := range a.Ops {
+			if !on {
+				continue
+			}
+			op := sys.Operators[pl.Op]
+			if derived[hs{pl.Host, op.Output}] {
+				continue
+			}
+			ok := true
+			for _, in := range op.Inputs {
+				if !derived[hs{pl.Host, in}] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				derived[hs{pl.Host, op.Output}] = true
+				changed = true
+			}
+		}
+		for f, on := range a.Flows {
+			if !on || derived[hs{f.To, f.Stream}] {
+				continue
+			}
+			if derived[hs{f.From, f.Stream}] {
+				derived[hs{f.To, f.Stream}] = true
+				changed = true
+			}
+		}
+	}
+	for f, on := range a.Flows {
+		if on && !derived[hs{f.From, f.Stream}] {
+			return fmt.Errorf("dsps: acausal flow of stream %d from host %d (no real source)", f.Stream, f.From)
+		}
+	}
+	for pl, on := range a.Ops {
+		if !on {
+			continue
+		}
+		for _, in := range sys.Operators[pl.Op].Inputs {
+			if !derived[hs{pl.Host, in}] {
+				return fmt.Errorf("dsps: operator %d on host %d has acausal input stream %d", pl.Op, pl.Host, in)
+			}
+		}
+	}
+	for s, h := range a.Provides {
+		if !derived[hs{h, s}] {
+			return fmt.Errorf("dsps: provided stream %d at host %d is acausal", s, h)
+		}
+	}
+	return nil
+}
+
+// SatisfiedQueries returns the number of requested streams currently served
+// (objective O1), i.e. Σ d_hs.
+func (a *Assignment) SatisfiedQueries() int { return len(a.Provides) }
+
+// SortedFlows returns the active flows in deterministic order, for tests
+// and debug output.
+func (a *Assignment) SortedFlows() []Flow {
+	out := make([]Flow, 0, len(a.Flows))
+	for f, on := range a.Flows {
+		if on {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Stream != out[j].Stream {
+			return out[i].Stream < out[j].Stream
+		}
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// SortedOps returns the active placements in deterministic order.
+func (a *Assignment) SortedOps() []Placement {
+	out := make([]Placement, 0, len(a.Ops))
+	for p, on := range a.Ops {
+		if on {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Op != out[j].Op {
+			return out[i].Op < out[j].Op
+		}
+		return out[i].Host < out[j].Host
+	})
+	return out
+}

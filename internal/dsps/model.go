@@ -1,0 +1,234 @@
+// Package dsps defines the system, query and resource model of §II of the
+// SQPR paper: hosts with CPU and bandwidth budgets, base and composite data
+// streams, query operators, and assignments of operators/flows to hosts.
+// It also provides full resource accounting and a feasibility validator
+// implementing constraints (III.4)–(III.7) of the optimisation model,
+// including the acyclicity (causality) requirement.
+package dsps
+
+import (
+	"fmt"
+	"math"
+)
+
+// HostID identifies a processing host.
+type HostID int
+
+// StreamID identifies a base or composite data stream.
+type StreamID int
+
+// OperatorID identifies a query operator.
+type OperatorID int
+
+// NoOperator marks a stream with no producing operator (a base stream).
+const NoOperator OperatorID = -1
+
+// Host models one processing host of the DSPS.
+type Host struct {
+	ID HostID
+	// CPU is the computational budget ζ_h (e.g. aggregate core capacity).
+	CPU float64
+	// OutBW is the outgoing host bandwidth β_h of the network interface.
+	OutBW float64
+	// InBW is the incoming host bandwidth; the paper's constraint (III.6b)
+	// uses the same symbol β for both directions.
+	InBW float64
+	// Mem is the memory budget for operator state (window contents). The
+	// paper lists memory as future work ("support for more resources
+	// (including memory)"); it is modelled exactly like CPU: per-host,
+	// consumed by placed operators. Zero means unconstrained.
+	Mem float64
+}
+
+// Stream models one data stream.
+type Stream struct {
+	ID StreamID
+	// Rate is the average data rate ̺_s.
+	Rate float64
+	// Producer is the operator whose output this stream is, or NoOperator
+	// for base streams injected externally.
+	Producer OperatorID
+	// Requested is the indicator δ_s: true when some client asked for s as
+	// a query result.
+	Requested bool
+	// Name is an optional human-readable label.
+	Name string
+}
+
+// IsBase reports whether the stream is injected externally.
+func (s *Stream) IsBase() bool { return s.Producer == NoOperator }
+
+// Operator models one query operator o = (S_o, s_o, γ_o).
+type Operator struct {
+	ID OperatorID
+	// Inputs is the input stream set S_o.
+	Inputs []StreamID
+	// Output is the single output stream s_o.
+	Output StreamID
+	// Cost is the computational cost γ_o consumed on the executing host.
+	Cost float64
+	// Mem is the operator's state footprint (e.g. window contents),
+	// charged against Host.Mem when placed. Zero for stateless operators.
+	Mem float64
+	// Name is an optional human-readable label.
+	Name string
+}
+
+// System is the static description of a DSPS: hosts, streams, operators,
+// link capacities and base-stream placement.
+type System struct {
+	Hosts     []Host
+	Streams   []Stream
+	Operators []Operator
+
+	// LinkCap[h][m] is the network capacity κ_hm between hosts h and m.
+	LinkCap [][]float64
+
+	// baseAt[h] is the set S⁰_h of base streams available at host h.
+	baseAt []map[StreamID]bool
+	// baseHosts[s] lists the hosts providing base stream s.
+	baseHosts map[StreamID][]HostID
+
+	// producersOf[s] lists every operator with output s (alternative ways
+	// to produce the same composite stream, e.g. different join orders).
+	producersOf map[StreamID][]OperatorID
+}
+
+// NewSystem creates a system with the given hosts, all pairwise link
+// capacities set to linkCap, and no streams or operators yet.
+func NewSystem(hosts []Host, linkCap float64) *System {
+	s := &System{
+		Hosts:       hosts,
+		baseAt:      make([]map[StreamID]bool, len(hosts)),
+		baseHosts:   make(map[StreamID][]HostID),
+		producersOf: make(map[StreamID][]OperatorID),
+	}
+	for i := range s.baseAt {
+		s.baseAt[i] = make(map[StreamID]bool)
+	}
+	s.LinkCap = make([][]float64, len(hosts))
+	for i := range s.LinkCap {
+		s.LinkCap[i] = make([]float64, len(hosts))
+		for j := range s.LinkCap[i] {
+			if i != j {
+				s.LinkCap[i][j] = linkCap
+			}
+		}
+	}
+	return s
+}
+
+// AddStream registers a stream and returns its ID.
+func (sys *System) AddStream(rate float64, producer OperatorID, name string) StreamID {
+	id := StreamID(len(sys.Streams))
+	sys.Streams = append(sys.Streams, Stream{ID: id, Rate: rate, Producer: producer, Name: name})
+	return id
+}
+
+// AddOperator registers an operator producing a fresh output stream with
+// the given rate, and returns the operator. Alternative producers for an
+// existing stream can be registered with AddProducerFor.
+func (sys *System) AddOperator(inputs []StreamID, outRate, cost float64, name string) *Operator {
+	oid := OperatorID(len(sys.Operators))
+	out := sys.AddStream(outRate, oid, name)
+	in := make([]StreamID, len(inputs))
+	copy(in, inputs)
+	sys.Operators = append(sys.Operators, Operator{ID: oid, Inputs: in, Output: out, Cost: cost, Name: name})
+	sys.producersOf[out] = append(sys.producersOf[out], oid)
+	return &sys.Operators[oid]
+}
+
+// AddProducerFor registers an additional operator that produces an existing
+// stream (an alternative plan for the same composite stream).
+func (sys *System) AddProducerFor(out StreamID, inputs []StreamID, cost float64, name string) *Operator {
+	oid := OperatorID(len(sys.Operators))
+	in := make([]StreamID, len(inputs))
+	copy(in, inputs)
+	sys.Operators = append(sys.Operators, Operator{ID: oid, Inputs: in, Output: out, Cost: cost, Name: name})
+	sys.producersOf[out] = append(sys.producersOf[out], oid)
+	return &sys.Operators[oid]
+}
+
+// PlaceBase marks base stream s as available at host h (s ∈ S⁰_h).
+func (sys *System) PlaceBase(h HostID, s StreamID) {
+	if !sys.baseAt[h][s] {
+		sys.baseAt[h][s] = true
+		sys.baseHosts[s] = append(sys.baseHosts[s], h)
+	}
+}
+
+// IsBaseAt reports whether base stream s is available at host h.
+func (sys *System) IsBaseAt(h HostID, s StreamID) bool { return sys.baseAt[h][s] }
+
+// BaseHosts returns the hosts at which base stream s is available.
+func (sys *System) BaseHosts(s StreamID) []HostID { return sys.baseHosts[s] }
+
+// ProducersOf returns the operators whose output is stream s.
+func (sys *System) ProducersOf(s StreamID) []OperatorID { return sys.producersOf[s] }
+
+// SetRequested marks stream s as a requested query result (δ_s = 1).
+func (sys *System) SetRequested(s StreamID, v bool) { sys.Streams[s].Requested = v }
+
+// NumHosts returns |H|.
+func (sys *System) NumHosts() int { return len(sys.Hosts) }
+
+// TotalCPU returns Σ_h ζ_h.
+func (sys *System) TotalCPU() float64 {
+	var sum float64
+	for _, h := range sys.Hosts {
+		sum += h.CPU
+	}
+	return sum
+}
+
+// TotalOutBW returns Σ_h β_h.
+func (sys *System) TotalOutBW() float64 {
+	var sum float64
+	for _, h := range sys.Hosts {
+		sum += h.OutBW
+	}
+	return sum
+}
+
+// TotalLinkCap returns Σ_{h,m} κ_hm.
+func (sys *System) TotalLinkCap() float64 {
+	var sum float64
+	for _, row := range sys.LinkCap {
+		for _, c := range row {
+			sum += c
+		}
+	}
+	return sum
+}
+
+// Validate checks referential integrity of the system description.
+func (sys *System) Validate() error {
+	for _, o := range sys.Operators {
+		if int(o.Output) >= len(sys.Streams) {
+			return fmt.Errorf("dsps: operator %d output stream %d out of range", o.ID, o.Output)
+		}
+		if len(o.Inputs) == 0 {
+			return fmt.Errorf("dsps: operator %d has no inputs", o.ID)
+		}
+		for _, in := range o.Inputs {
+			if int(in) >= len(sys.Streams) {
+				return fmt.Errorf("dsps: operator %d input stream %d out of range", o.ID, in)
+			}
+			if in == o.Output {
+				return fmt.Errorf("dsps: operator %d consumes its own output", o.ID)
+			}
+		}
+		if o.Cost < 0 {
+			return fmt.Errorf("dsps: operator %d has negative cost", o.ID)
+		}
+	}
+	for _, st := range sys.Streams {
+		if st.Rate < 0 || math.IsNaN(st.Rate) {
+			return fmt.Errorf("dsps: stream %d has invalid rate %v", st.ID, st.Rate)
+		}
+	}
+	if len(sys.LinkCap) != len(sys.Hosts) {
+		return fmt.Errorf("dsps: link capacity matrix size %d != host count %d", len(sys.LinkCap), len(sys.Hosts))
+	}
+	return nil
+}

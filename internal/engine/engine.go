@@ -1,0 +1,230 @@
+// Package engine is a miniature distributed stream processing engine — the
+// stand-in for the paper's DISSP prototype (§IV-C) and its Emulab
+// deployment (§V-B). It instantiates query plans produced by any planner:
+// hosts run operators over typed tuples in sliding windows, streams flow
+// between hosts according to the plan's flow variables, base streams are
+// injected by rate-controlled sources, and a per-host resource monitor
+// reports CPU and network consumption back to the planner, closing the
+// plan → deploy → measure loop of Fig. 3.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"sqpr/internal/dsps"
+)
+
+// Tuple is one data item of a stream.
+type Tuple struct {
+	Stream dsps.StreamID
+	// Key is the join attribute.
+	Key int64
+	// Value is an opaque payload (e.g. a measurement).
+	Value float64
+	// SeqNo orders tuples within their source.
+	SeqNo int64
+	// BornNanos is the source injection time (UnixNano); it rides along
+	// through joins and relays so delivery latency can be measured — the
+	// quantity the paper's load-balancing discussion (§II-C) is about.
+	BornNanos int64
+}
+
+// Config tunes the engine.
+type Config struct {
+	// TuplesPerRateUnit converts a stream's model rate into tuples/sec:
+	// a stream with rate 10 and 2.0 tuples-per-unit emits 20 tuples/sec.
+	TuplesPerRateUnit float64
+	// WindowSize is the number of tuples each join retains per input.
+	WindowSize int
+	// KeyDomain bounds generated join keys; smaller domains join more.
+	KeyDomain int64
+	// InboxDepth is the per-host network queue length.
+	InboxDepth int
+	// Transport selects how tuples cross host boundaries; nil uses the
+	// in-process channel transport. NewTCPTransport() runs every flow over
+	// loopback TCP, as the DISSP prototype does.
+	Transport Transport
+}
+
+// DefaultConfig returns sensible demo settings.
+func DefaultConfig() Config {
+	return Config{
+		TuplesPerRateUnit: 2,
+		WindowSize:        64,
+		KeyDomain:         32,
+		InboxDepth:        1024,
+	}
+}
+
+// Engine executes one deployed assignment.
+type Engine struct {
+	sys *dsps.System
+	cfg Config
+
+	hosts     []*host
+	mon       *Monitor
+	transport Transport
+	kernels   map[dsps.OperatorID]UnaryKernel
+	results   chan Tuple
+	ctx       context.Context
+	cancel    context.CancelFunc
+	wg        sync.WaitGroup
+}
+
+// New creates an engine for the system (not yet deployed).
+func New(sys *dsps.System, cfg Config) *Engine {
+	if cfg.TuplesPerRateUnit <= 0 {
+		cfg.TuplesPerRateUnit = 2
+	}
+	if cfg.WindowSize <= 0 {
+		cfg.WindowSize = 64
+	}
+	if cfg.KeyDomain <= 0 {
+		cfg.KeyDomain = 32
+	}
+	if cfg.InboxDepth <= 0 {
+		cfg.InboxDepth = 1024
+	}
+	tr := cfg.Transport
+	if tr == nil {
+		tr = &inprocTransport{}
+	}
+	return &Engine{sys: sys, cfg: cfg, mon: NewMonitor(sys), transport: tr}
+}
+
+// Monitor exposes the engine's resource monitor.
+func (e *Engine) Monitor() *Monitor { return e.mon }
+
+// Results returns the client delivery channel carrying tuples of all
+// provided result streams. Valid after Deploy.
+func (e *Engine) Results() <-chan Tuple { return e.results }
+
+// Deploy instantiates the assignment: one goroutine per host, per base
+// source. The assignment must be feasible (Validate passes); Deploy checks.
+func (e *Engine) Deploy(ctx context.Context, a *dsps.Assignment) error {
+	if err := a.Validate(e.sys); err != nil {
+		return fmt.Errorf("engine: refusing to deploy infeasible plan: %w", err)
+	}
+	e.ctx, e.cancel = context.WithCancel(ctx)
+	e.results = make(chan Tuple, 4096)
+
+	n := e.sys.NumHosts()
+	e.hosts = make([]*host, n)
+	for h := 0; h < n; h++ {
+		e.hosts[h] = newHost(e, dsps.HostID(h))
+	}
+	if err := e.transport.Start(e); err != nil {
+		e.cancel()
+		return err
+	}
+
+	// Routing tables from the assignment.
+	for f, on := range a.Flows {
+		if on {
+			e.hosts[f.From].fwd[f.Stream] = append(e.hosts[f.From].fwd[f.Stream], f.To)
+		}
+	}
+	for pl, on := range a.Ops {
+		if !on {
+			continue
+		}
+		e.hosts[pl.Host].installOperator(pl.Op)
+	}
+	for s, h := range a.Provides {
+		e.hosts[h].dlv[s] = true
+	}
+
+	// Start hosts.
+	for _, h := range e.hosts {
+		e.wg.Add(1)
+		go h.run()
+	}
+	// Start base sources for streams actually consumed somewhere.
+	needed := e.neededBaseStreams(a)
+	for s := range needed {
+		for _, bh := range e.sys.BaseHosts(s) {
+			e.wg.Add(1)
+			go e.runSource(s, bh)
+			break // one injection point suffices
+		}
+	}
+	return nil
+}
+
+// neededBaseStreams finds the base streams consumed by placed operators or
+// forwarded by flows.
+func (e *Engine) neededBaseStreams(a *dsps.Assignment) map[dsps.StreamID]bool {
+	need := make(map[dsps.StreamID]bool)
+	for pl, on := range a.Ops {
+		if !on {
+			continue
+		}
+		for _, in := range e.sys.Operators[pl.Op].Inputs {
+			if e.sys.Streams[in].IsBase() {
+				need[in] = true
+			}
+		}
+	}
+	for f, on := range a.Flows {
+		if on && e.sys.Streams[f.Stream].IsBase() {
+			need[f.Stream] = true
+		}
+	}
+	for s := range a.Provides {
+		if e.sys.Streams[s].IsBase() {
+			need[s] = true
+		}
+	}
+	return need
+}
+
+// runSource injects base-stream tuples at the stream's model rate.
+func (e *Engine) runSource(s dsps.StreamID, at dsps.HostID) {
+	defer e.wg.Done()
+	rate := e.sys.Streams[s].Rate * e.cfg.TuplesPerRateUnit // tuples/sec
+	if rate <= 0 {
+		return
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var seq int64
+	for {
+		select {
+		case <-e.ctx.Done():
+			return
+		case <-tick.C:
+			seq++
+			t := Tuple{
+				Stream:    s,
+				Key:       seq % e.cfg.KeyDomain,
+				Value:     float64(seq),
+				SeqNo:     seq,
+				BornNanos: time.Now().UnixNano(),
+			}
+			e.hosts[at].ingestLocal(t)
+		}
+	}
+}
+
+// Stop terminates all host and source goroutines and waits for them.
+func (e *Engine) Stop() {
+	if e.cancel != nil {
+		e.cancel()
+	}
+	e.transport.Stop()
+	e.wg.Wait()
+}
+
+// send crosses the network via the configured transport; the monitor
+// accounts the transfer either way.
+func (e *Engine) send(from, to dsps.HostID, t Tuple) {
+	e.mon.recordTransfer(from, to, e.sys.Streams[t.Stream].Rate)
+	e.transport.Send(from, to, t)
+}

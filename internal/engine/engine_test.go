@@ -1,0 +1,196 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sqpr/internal/dsps"
+)
+
+// joinSetup builds two hosts, two base streams on host 0, and a join whose
+// result is provided from host 1 (so a flow is involved).
+func joinSetup(t *testing.T) (*dsps.System, *dsps.Assignment, dsps.StreamID) {
+	t.Helper()
+	hosts := []dsps.Host{
+		{ID: 0, CPU: 10, OutBW: 100, InBW: 100},
+		{ID: 1, CPU: 10, OutBW: 100, InBW: 100},
+	}
+	sys := dsps.NewSystem(hosts, 100)
+	a := sys.AddStream(20, dsps.NoOperator, "a")
+	b := sys.AddStream(20, dsps.NoOperator, "b")
+	sys.PlaceBase(0, a)
+	sys.PlaceBase(0, b)
+	op := sys.AddOperator([]dsps.StreamID{a, b}, 5, 1, "ab")
+	sys.SetRequested(op.Output, true)
+
+	asg := dsps.NewAssignment()
+	asg.Ops[dsps.Placement{Host: 0, Op: op.ID}] = true
+	asg.Flows[dsps.Flow{From: 0, To: 1, Stream: op.Output}] = true
+	asg.Provides[op.Output] = 1
+	if err := asg.Validate(sys); err != nil {
+		t.Fatal(err)
+	}
+	return sys, asg, op.Output
+}
+
+func TestDeployAndDeliver(t *testing.T) {
+	sys, asg, out := joinSetup(t)
+	cfg := DefaultConfig()
+	cfg.KeyDomain = 4 // join aggressively so results appear quickly
+	eng := New(sys, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := eng.Deploy(ctx, asg); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(2 * time.Second)
+	got := 0
+loop:
+	for {
+		select {
+		case tup := <-eng.Results():
+			if tup.Stream != out {
+				t.Fatalf("unexpected result stream %d", tup.Stream)
+			}
+			got++
+			if got >= 3 {
+				break loop
+			}
+		case <-deadline:
+			break loop
+		}
+	}
+	eng.Stop()
+	if got == 0 {
+		t.Fatal("no result tuples delivered")
+	}
+	snap := eng.Monitor().Snapshot()
+	if snap.CPUWork[0] == 0 {
+		t.Fatal("monitor recorded no CPU work on the operator host")
+	}
+	if snap.Sent[0] == 0 || snap.Received[1] == 0 {
+		t.Fatal("monitor recorded no transfer along the flow")
+	}
+	mean, max := eng.Monitor().Latency()
+	if mean <= 0 || max < mean {
+		t.Fatalf("latency accounting broken: mean=%v max=%v", mean, max)
+	}
+}
+
+func TestDeployRejectsInfeasiblePlan(t *testing.T) {
+	sys, asg, _ := joinSetup(t)
+	// Corrupt the plan: flow of a stream the sender does not possess.
+	phantom := sys.AddStream(5, dsps.NoOperator, "phantom")
+	sys.PlaceBase(1, phantom)
+	asg.Flows[dsps.Flow{From: 0, To: 1, Stream: phantom}] = true
+	eng := New(sys, DefaultConfig())
+	if err := eng.Deploy(context.Background(), asg); err == nil {
+		eng.Stop()
+		t.Fatal("expected deployment of infeasible plan to fail")
+	}
+}
+
+func TestRelayChainDelivers(t *testing.T) {
+	// Base at host 0, relayed 0→1→2, provided from host 2.
+	hosts := []dsps.Host{
+		{ID: 0, CPU: 10, OutBW: 100, InBW: 100},
+		{ID: 1, CPU: 10, OutBW: 100, InBW: 100},
+		{ID: 2, CPU: 10, OutBW: 100, InBW: 100},
+	}
+	sys := dsps.NewSystem(hosts, 100)
+	a := sys.AddStream(50, dsps.NoOperator, "a")
+	sys.PlaceBase(0, a)
+	sys.SetRequested(a, true)
+	asg := dsps.NewAssignment()
+	asg.Flows[dsps.Flow{From: 0, To: 1, Stream: a}] = true
+	asg.Flows[dsps.Flow{From: 1, To: 2, Stream: a}] = true
+	asg.Provides[a] = 2
+	if err := asg.Validate(sys); err != nil {
+		t.Fatal(err)
+	}
+
+	eng := New(sys, DefaultConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := eng.Deploy(ctx, asg); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case tup := <-eng.Results():
+		if tup.Stream != a {
+			t.Fatalf("wrong stream %d", tup.Stream)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("relay chain delivered nothing")
+	}
+	eng.Stop()
+	snap := eng.Monitor().Snapshot()
+	if snap.Sent[0] == 0 || snap.Sent[1] == 0 {
+		t.Fatal("relay hop not recorded by the monitor")
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	w := newWindow(2)
+	w.add(Tuple{Key: 1, SeqNo: 1})
+	w.add(Tuple{Key: 2, SeqNo: 2})
+	w.add(Tuple{Key: 3, SeqNo: 3}) // evicts key 1
+	if got := w.matching(1); len(got) != 0 {
+		t.Fatalf("evicted key still matches: %v", got)
+	}
+	if got := w.matching(3); len(got) != 1 {
+		t.Fatalf("fresh key missing: %v", got)
+	}
+}
+
+func TestWindowDuplicateKeys(t *testing.T) {
+	w := newWindow(8)
+	for i := int64(0); i < 4; i++ {
+		w.add(Tuple{Key: 7, SeqNo: i})
+	}
+	if got := w.matching(7); len(got) != 4 {
+		t.Fatalf("expected 4 matches, got %d", len(got))
+	}
+}
+
+func TestMonitorSnapshotIsCopy(t *testing.T) {
+	sys, _, _ := joinSetup(t)
+	m := NewMonitor(sys)
+	m.recordCompute(0, 5)
+	snap := m.Snapshot()
+	snap.CPUWork[0] = 999
+	if m.Snapshot().CPUWork[0] != 5 {
+		t.Fatal("snapshot aliases monitor state")
+	}
+}
+
+func TestBusiestHost(t *testing.T) {
+	sys, _, _ := joinSetup(t)
+	m := NewMonitor(sys)
+	m.recordCompute(1, 10)
+	m.recordCompute(0, 3)
+	if m.BusiestHost() != 1 {
+		t.Fatal("busiest host wrong")
+	}
+}
+
+func TestStopTerminatesGoroutines(t *testing.T) {
+	sys, asg, _ := joinSetup(t)
+	eng := New(sys, DefaultConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := eng.Deploy(ctx, asg); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		eng.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("Stop did not terminate within 3s")
+	}
+}

@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"sqpr/internal/dsps"
+)
+
+// UnaryKernel customises the behaviour of a single-input operator. The
+// model layer (§II-A) "makes no assumptions regarding specific semantics";
+// the engine realises common relational kernels — filter, project/map and
+// windowed aggregation — through this interface. Binary and wider operators
+// always execute as windowed symmetric hash joins.
+type UnaryKernel interface {
+	// Process consumes one input tuple and returns the output tuple (with
+	// the Stream field left zero — the engine rewrites it) and whether an
+	// output is emitted at all.
+	Process(t Tuple) (Tuple, bool)
+}
+
+// FilterKernel drops tuples failing the predicate (a select operator).
+type FilterKernel struct {
+	Pred func(Tuple) bool
+}
+
+// Process implements UnaryKernel.
+func (k FilterKernel) Process(t Tuple) (Tuple, bool) {
+	if k.Pred != nil && !k.Pred(t) {
+		return Tuple{}, false
+	}
+	return t, true
+}
+
+// MapKernel transforms each tuple's value (a project operator).
+type MapKernel struct {
+	Fn func(float64) float64
+}
+
+// Process implements UnaryKernel.
+func (k MapKernel) Process(t Tuple) (Tuple, bool) {
+	if k.Fn != nil {
+		t.Value = k.Fn(t.Value)
+	}
+	return t, true
+}
+
+// TumblingAggregate emits one aggregate tuple per window of N inputs.
+type TumblingAggregate struct {
+	// N is the tumbling window size in tuples.
+	N int
+	// Fn folds the window's values; nil means arithmetic mean.
+	Fn func(values []float64) float64
+
+	buf []float64
+	seq int64
+}
+
+// Process implements UnaryKernel. Note: a TumblingAggregate instance holds
+// window state and must not be shared between operators.
+func (k *TumblingAggregate) Process(t Tuple) (Tuple, bool) {
+	n := k.N
+	if n <= 0 {
+		n = 1
+	}
+	k.buf = append(k.buf, t.Value)
+	if len(k.buf) < n {
+		return Tuple{}, false
+	}
+	var v float64
+	if k.Fn != nil {
+		v = k.Fn(k.buf)
+	} else {
+		for _, x := range k.buf {
+			v += x
+		}
+		v /= float64(len(k.buf))
+	}
+	k.buf = k.buf[:0]
+	k.seq++
+	return Tuple{Key: t.Key, Value: v, SeqNo: k.seq}, true
+}
+
+// RegisterKernel attaches a custom unary kernel to an operator; it must be
+// called before Deploy. Operators without a registered kernel default to
+// pass-through (project identity).
+func (e *Engine) RegisterKernel(op dsps.OperatorID, k UnaryKernel) {
+	if e.kernels == nil {
+		e.kernels = make(map[dsps.OperatorID]UnaryKernel)
+	}
+	e.kernels[op] = k
+}

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"sync"
+	"time"
+
+	"sqpr/internal/dsps"
+)
+
+// Monitor is the per-host resource monitor of Fig. 3: it aggregates CPU
+// work, network transfer and delivery activity, and reports utilisation
+// snapshots that a planner can compare against its cost-model estimates
+// (the input to adaptive replanning, §IV-B).
+type Monitor struct {
+	sys *dsps.System
+
+	mu       sync.Mutex
+	cpuWork  []float64 // accumulated operator cost units per host
+	sent     []float64 // accumulated rate-weighted transfers out
+	received []float64
+	drops    []int64
+	opWork   map[dsps.OperatorID]float64
+	samples  int64
+
+	latencySum   time.Duration
+	latencyCount int64
+	latencyMax   time.Duration
+}
+
+// NewMonitor creates a monitor for the system.
+func NewMonitor(sys *dsps.System) *Monitor {
+	n := sys.NumHosts()
+	return &Monitor{
+		sys:      sys,
+		cpuWork:  make([]float64, n),
+		sent:     make([]float64, n),
+		received: make([]float64, n),
+		drops:    make([]int64, n),
+		opWork:   make(map[dsps.OperatorID]float64),
+	}
+}
+
+func (m *Monitor) recordCompute(h dsps.HostID, cost float64) {
+	m.mu.Lock()
+	m.cpuWork[h] += cost
+	m.samples++
+	m.mu.Unlock()
+}
+
+// RecordOpWork attributes measured work to an operator (used by tests and
+// the adaptive-replanning demo to synthesise drift).
+func (m *Monitor) RecordOpWork(op dsps.OperatorID, cost float64) {
+	m.mu.Lock()
+	m.opWork[op] += cost
+	m.mu.Unlock()
+}
+
+func (m *Monitor) recordTransfer(from, to dsps.HostID, rate float64) {
+	m.mu.Lock()
+	m.sent[from] += rate
+	m.received[to] += rate
+	m.mu.Unlock()
+}
+
+func (m *Monitor) recordDelivery(h dsps.HostID, rate float64) {
+	m.mu.Lock()
+	m.sent[h] += rate
+	m.mu.Unlock()
+}
+
+func (m *Monitor) recordDrop(h dsps.HostID) {
+	m.mu.Lock()
+	m.drops[h]++
+	m.mu.Unlock()
+}
+
+func (m *Monitor) recordLatency(d time.Duration) {
+	m.mu.Lock()
+	m.latencySum += d
+	m.latencyCount++
+	if d > m.latencyMax {
+		m.latencyMax = d
+	}
+	m.mu.Unlock()
+}
+
+// Latency returns the mean and maximum source-to-delivery latency observed
+// so far (zero when nothing was delivered).
+func (m *Monitor) Latency() (mean, max time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.latencyCount == 0 {
+		return 0, 0
+	}
+	return m.latencySum / time.Duration(m.latencyCount), m.latencyMax
+}
+
+// Snapshot is a utilisation report.
+type Snapshot struct {
+	// CPUWork is accumulated operator cost per host since start.
+	CPUWork []float64
+	// Sent and Received are accumulated rate-weighted transfer volumes.
+	Sent, Received []float64
+	// Drops counts tuples lost to full queues per host.
+	Drops []int64
+}
+
+// Snapshot returns a copy of the current counters.
+func (m *Monitor) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		CPUWork:  append([]float64(nil), m.cpuWork...),
+		Sent:     append([]float64(nil), m.sent...),
+		Received: append([]float64(nil), m.received...),
+		Drops:    append([]int64(nil), m.drops...),
+	}
+	return s
+}
+
+// BusiestHost returns the host with the most accumulated CPU work.
+func (m *Monitor) BusiestHost() dsps.HostID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	best, bestWork := dsps.HostID(0), -1.0
+	for h, w := range m.cpuWork {
+		if w > bestWork {
+			bestWork = w
+			best = dsps.HostID(h)
+		}
+	}
+	return best
+}

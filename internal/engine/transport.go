@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"sqpr/internal/dsps"
+)
+
+// Transport moves tuples between hosts. The default in-process transport
+// delivers through channels; the TCP transport runs every inter-host flow
+// over a real loopback TCP connection, as the DISSP prototype does.
+type Transport interface {
+	// Start prepares the transport for the engine's host set.
+	Start(e *Engine) error
+	// Send delivers one tuple from host `from` to host `to`. It must not
+	// block indefinitely; overflow is reported through the monitor.
+	Send(from, to dsps.HostID, t Tuple)
+	// Stop releases transport resources.
+	Stop()
+}
+
+// inprocTransport delivers tuples directly into the destination inbox.
+type inprocTransport struct{ e *Engine }
+
+func (tr *inprocTransport) Start(e *Engine) error { tr.e = e; return nil }
+
+func (tr *inprocTransport) Send(from, to dsps.HostID, t Tuple) {
+	e := tr.e
+	select {
+	case e.hosts[to].inbox <- t:
+	case <-e.ctx.Done():
+	default:
+		e.mon.recordDrop(to)
+	}
+}
+
+func (tr *inprocTransport) Stop() {}
+
+// TCPTransport exchanges tuples over loopback TCP connections: one listener
+// per host and one lazily dialled connection per (from, to) host pair. It
+// exercises the same code path a distributed deployment would (framing,
+// partial reads, connection lifecycle) while remaining self-contained.
+type TCPTransport struct {
+	e *Engine
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	addrs     []string
+	conns     map[[2]dsps.HostID]net.Conn
+	sendMu    map[[2]dsps.HostID]*sync.Mutex
+	wg        sync.WaitGroup
+	stopped   bool
+}
+
+// NewTCPTransport creates an unstarted TCP transport.
+func NewTCPTransport() *TCPTransport {
+	return &TCPTransport{
+		conns:  make(map[[2]dsps.HostID]net.Conn),
+		sendMu: make(map[[2]dsps.HostID]*sync.Mutex),
+	}
+}
+
+// Start opens one loopback listener per host and begins accepting.
+func (tr *TCPTransport) Start(e *Engine) error {
+	tr.e = e
+	n := e.sys.NumHosts()
+	tr.listeners = make([]net.Listener, n)
+	tr.addrs = make([]string, n)
+	for h := 0; h < n; h++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			tr.Stop()
+			return fmt.Errorf("engine: listening for host %d: %w", h, err)
+		}
+		tr.listeners[h] = ln
+		tr.addrs[h] = ln.Addr().String()
+		tr.wg.Add(1)
+		go tr.accept(dsps.HostID(h), ln)
+	}
+	return nil
+}
+
+// accept serves one host's listener: every inbound connection carries a
+// stream of framed tuples destined for that host.
+func (tr *TCPTransport) accept(h dsps.HostID, ln net.Listener) {
+	defer tr.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		tr.wg.Add(1)
+		go tr.serveConn(h, conn)
+	}
+}
+
+func (tr *TCPTransport) serveConn(h dsps.HostID, conn net.Conn) {
+	defer tr.wg.Done()
+	defer conn.Close()
+	for {
+		t, err := readTuple(conn)
+		if err != nil {
+			return
+		}
+		e := tr.e
+		select {
+		case e.hosts[h].inbox <- t:
+		case <-e.ctx.Done():
+			return
+		default:
+			e.mon.recordDrop(h)
+		}
+	}
+}
+
+// Send writes the tuple on the (from, to) connection, dialling on first use.
+func (tr *TCPTransport) Send(from, to dsps.HostID, t Tuple) {
+	key := [2]dsps.HostID{from, to}
+	tr.mu.Lock()
+	if tr.stopped {
+		tr.mu.Unlock()
+		return
+	}
+	conn, ok := tr.conns[key]
+	if !ok {
+		c, err := net.Dial("tcp", tr.addrs[to])
+		if err != nil {
+			tr.mu.Unlock()
+			tr.e.mon.recordDrop(to)
+			return
+		}
+		conn = c
+		tr.conns[key] = conn
+		tr.sendMu[key] = &sync.Mutex{}
+	}
+	mu := tr.sendMu[key]
+	tr.mu.Unlock()
+
+	mu.Lock()
+	err := writeTuple(conn, t)
+	mu.Unlock()
+	if err != nil {
+		tr.e.mon.recordDrop(to)
+	}
+}
+
+// Stop closes all listeners and connections and waits for readers.
+func (tr *TCPTransport) Stop() {
+	tr.mu.Lock()
+	tr.stopped = true
+	for _, ln := range tr.listeners {
+		if ln != nil {
+			ln.Close()
+		}
+	}
+	for _, c := range tr.conns {
+		c.Close()
+	}
+	tr.mu.Unlock()
+	tr.wg.Wait()
+}

@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"sqpr/internal/dsps"
+)
+
+// Wire format: tuples cross host boundaries as fixed-size little-endian
+// records, mirroring DISSP's TCP tuple exchange with an agreed relational
+// schema. A record is 36 bytes:
+//
+//	offset 0  int32   stream id
+//	offset 4  int64   join key
+//	offset 12 float64 value
+//	offset 20 int64   sequence number
+//	offset 28 int64   source injection time (UnixNano)
+const wireTupleSize = 36
+
+// encodeTuple serialises t into buf (which must hold wireTupleSize bytes).
+func encodeTuple(t Tuple, buf []byte) {
+	binary.LittleEndian.PutUint32(buf[0:], uint32(int32(t.Stream)))
+	binary.LittleEndian.PutUint64(buf[4:], uint64(t.Key))
+	binary.LittleEndian.PutUint64(buf[12:], math.Float64bits(t.Value))
+	binary.LittleEndian.PutUint64(buf[20:], uint64(t.SeqNo))
+	binary.LittleEndian.PutUint64(buf[28:], uint64(t.BornNanos))
+}
+
+// decodeTuple deserialises a record produced by encodeTuple.
+func decodeTuple(buf []byte) Tuple {
+	return Tuple{
+		Stream:    dsps.StreamID(int32(binary.LittleEndian.Uint32(buf[0:]))),
+		Key:       int64(binary.LittleEndian.Uint64(buf[4:])),
+		Value:     math.Float64frombits(binary.LittleEndian.Uint64(buf[12:])),
+		SeqNo:     int64(binary.LittleEndian.Uint64(buf[20:])),
+		BornNanos: int64(binary.LittleEndian.Uint64(buf[28:])),
+	}
+}
+
+// writeTuple writes one framed tuple to w.
+func writeTuple(w io.Writer, t Tuple) error {
+	var buf [wireTupleSize]byte
+	encodeTuple(t, buf[:])
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// readTuple reads one framed tuple from r.
+func readTuple(r io.Reader) (Tuple, error) {
+	var buf [wireTupleSize]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return Tuple{}, err
+	}
+	return decodeTuple(buf[:]), nil
+}
+
+// validateWireSize is a compile-time-ish guard used by tests.
+func validateWireSize() error {
+	if wireTupleSize != 4+8+8+8+8 {
+		return fmt.Errorf("engine: wire tuple size mismatch")
+	}
+	return nil
+}

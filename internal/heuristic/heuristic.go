@@ -1,0 +1,258 @@
+// Package heuristic implements the hand-crafted baseline planner of §V-A:
+// for every new query it enumerates all abstract query plans (join trees),
+// tries to implement each plan on every host — aggressively reusing
+// already-materialised sub-query streams — and picks the feasible candidate
+// with the best weighted objective. Unlike SQPR it never revisits previous
+// placement decisions and never splits a plan across multiple hosts.
+package heuristic
+
+import (
+	"math"
+
+	"sqpr/internal/core"
+	"sqpr/internal/dsps"
+)
+
+// Planner is the heuristic baseline.
+type Planner struct {
+	sys      *dsps.System
+	state    *dsps.Assignment
+	weights  core.Weights
+	admitted map[dsps.StreamID]bool
+
+	// MaxPlans caps abstract plan enumeration per query (exhaustive for
+	// the paper's 2- to 4-way joins; 5-way trees are pruned beyond this).
+	MaxPlans int
+}
+
+// New creates a heuristic planner with the same objective weights as SQPR.
+func New(sys *dsps.System, w core.Weights) *Planner {
+	return &Planner{
+		sys:      sys,
+		state:    dsps.NewAssignment(),
+		weights:  w,
+		admitted: make(map[dsps.StreamID]bool),
+		MaxPlans: 256,
+	}
+}
+
+// Assignment exposes the current allocation (do not mutate).
+func (p *Planner) Assignment() *dsps.Assignment { return p.state }
+
+// Admitted reports whether q is currently served.
+func (p *Planner) Admitted(q dsps.StreamID) bool { return p.admitted[q] }
+
+// AdmittedCount returns the number of admitted queries.
+func (p *Planner) AdmittedCount() int { return len(p.admitted) }
+
+// Submit plans one query; returns whether it was admitted.
+func (p *Planner) Submit(q dsps.StreamID) bool {
+	if p.admitted[q] {
+		return true
+	}
+	plans := p.abstractPlans(q)
+	bestScore := math.Inf(-1)
+	var best *dsps.Assignment
+	var bestHost dsps.HostID
+	for _, plan := range plans {
+		for h := 0; h < p.sys.NumHosts(); h++ {
+			cand := p.implement(plan, q, dsps.HostID(h))
+			if cand == nil {
+				continue
+			}
+			if score := p.score(cand); score > bestScore {
+				bestScore = score
+				best = cand
+				bestHost = dsps.HostID(h)
+			}
+		}
+	}
+	if best == nil {
+		return false
+	}
+	best.Provides[q] = bestHost
+	if best.Validate(p.sys) != nil {
+		return false
+	}
+	p.state = best
+	p.admitted[q] = true
+	return true
+}
+
+// abstractPlan is one join tree: the operator choice for the result stream
+// and, recursively, for each composite input.
+type abstractPlan struct {
+	op     dsps.OperatorID
+	inputs []*abstractPlan // nil entries are leaves (streams taken as-is)
+	inIDs  []dsps.StreamID
+}
+
+// abstractPlans enumerates the join trees producing q.
+func (p *Planner) abstractPlans(q dsps.StreamID) []*abstractPlan {
+	return p.plansFor(q, p.MaxPlans)
+}
+
+func (p *Planner) plansFor(s dsps.StreamID, budget int) []*abstractPlan {
+	producers := p.sys.ProducersOf(s)
+	if len(producers) == 0 {
+		return nil
+	}
+	var out []*abstractPlan
+	for _, opID := range producers {
+		op := &p.sys.Operators[opID]
+		// Cartesian product of sub-plans for each input; a leaf (nil)
+		// means "obtain the stream as-is" which, for composite inputs,
+		// is only valid when it is already materialised — the
+		// implementation step checks that. To keep the baseline honest
+		// we enumerate both compute-here and take-as-leaf variants for
+		// composite inputs.
+		choices := make([][]*abstractPlan, len(op.Inputs))
+		for i, in := range op.Inputs {
+			subs := []*abstractPlan{nil} // leaf variant
+			if !p.sys.Streams[in].IsBase() {
+				subs = append(subs, p.plansFor(in, budget/2)...)
+			}
+			choices[i] = subs
+		}
+		combos := cartesian(choices, budget-len(out))
+		for _, combo := range combos {
+			out = append(out, &abstractPlan{op: opID, inputs: combo, inIDs: op.Inputs})
+			if len(out) >= budget {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+func cartesian(choices [][]*abstractPlan, budget int) [][]*abstractPlan {
+	if budget <= 0 {
+		budget = 1
+	}
+	acc := [][]*abstractPlan{nil}
+	for _, ch := range choices {
+		var next [][]*abstractPlan
+		for _, prefix := range acc {
+			for _, c := range ch {
+				row := make([]*abstractPlan, 0, len(prefix)+1)
+				row = append(row, prefix...)
+				row = append(row, c)
+				next = append(next, row)
+				if len(next) >= budget*4 {
+					break
+				}
+			}
+		}
+		acc = next
+	}
+	return acc
+}
+
+// implement tries to realise the plan with all its new operators on host h,
+// fetching input streams from hosts that already have them. Returns the
+// resulting assignment or nil when infeasible.
+func (p *Planner) implement(plan *abstractPlan, q dsps.StreamID, h dsps.HostID) *dsps.Assignment {
+	cand := p.state.Clone()
+	if !p.realise(cand, plan, h) {
+		return nil
+	}
+	// Delivery bandwidth for the result stream.
+	u := cand.ComputeUsage(p.sys)
+	if u.Out[h]+p.sys.Streams[q].Rate > p.sys.Hosts[h].OutBW+1e-9 {
+		return nil
+	}
+	return cand
+}
+
+// realise recursively materialises the plan node's output at host h.
+func (p *Planner) realise(cand *dsps.Assignment, plan *abstractPlan, h dsps.HostID) bool {
+	op := &p.sys.Operators[plan.op]
+	// Reuse first: if the output already exists somewhere, fetch it
+	// (the paper's heuristic favours transferring complete sub-queries).
+	if p.fetch(cand, op.Output, h) {
+		return true
+	}
+	// Otherwise place the operator here.
+	u := cand.ComputeUsage(p.sys)
+	if u.CPU[h]+op.Cost > p.sys.Hosts[h].CPU+1e-9 {
+		return false
+	}
+	for i, in := range plan.inIDs {
+		sub := plan.inputs[i]
+		if sub == nil {
+			if !p.fetch(cand, in, h) {
+				return false
+			}
+			continue
+		}
+		if !p.realise(cand, sub, h) {
+			return false
+		}
+	}
+	cand.Ops[dsps.Placement{Host: h, Op: plan.op}] = true
+	return true
+}
+
+// fetch makes stream s available at h by reusing an existing copy or a base
+// location; it never computes.
+func (p *Planner) fetch(cand *dsps.Assignment, s dsps.StreamID, h dsps.HostID) bool {
+	if cand.Available(p.sys, h, s) {
+		return true
+	}
+	rate := p.sys.Streams[s].Rate
+	try := func(m dsps.HostID) bool {
+		if m == h {
+			return false
+		}
+		u := cand.ComputeUsage(p.sys)
+		if u.Link[m][h]+rate > p.sys.LinkCap[m][h]+1e-9 ||
+			u.Out[m]+rate > p.sys.Hosts[m].OutBW+1e-9 ||
+			u.In[h]+rate > p.sys.Hosts[h].InBW+1e-9 {
+			return false
+		}
+		cand.Flows[dsps.Flow{From: m, To: h, Stream: s}] = true
+		return true
+	}
+	// Prefer hosts that already materialised s (sub-query reuse)...
+	for m := 0; m < p.sys.NumHosts(); m++ {
+		if cand.Available(p.sys, dsps.HostID(m), s) && try(dsps.HostID(m)) {
+			return true
+		}
+	}
+	// ...then base locations.
+	if p.sys.Streams[s].IsBase() {
+		for _, m := range p.sys.BaseHosts(s) {
+			if try(m) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// score evaluates the weighted objective (III.3) of a full assignment.
+func (p *Planner) score(a *dsps.Assignment) float64 {
+	u := a.ComputeUsage(p.sys)
+	totalLink := p.sys.TotalLinkCap()
+	if totalLink <= 0 {
+		totalLink = 1
+	}
+	totalCPU := p.sys.TotalCPU()
+	if totalCPU <= 0 {
+		totalCPU = 1
+	}
+	maxCPU := 0.0
+	for _, h := range p.sys.Hosts {
+		if h.CPU > maxCPU {
+			maxCPU = h.CPU
+		}
+	}
+	if maxCPU <= 0 {
+		maxCPU = 1
+	}
+	w := p.weights
+	return w.L1*float64(a.SatisfiedQueries()+1) - // +1 for the query being placed
+		w.L2*u.Network/totalLink -
+		w.L3*u.TotalCPU()/totalCPU -
+		w.L4*u.MaxCPU()/maxCPU
+}

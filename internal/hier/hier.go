@@ -1,0 +1,157 @@
+// Package hier implements the hierarchical decomposition the SQPR paper
+// sketches in §VII ("first assigning queries to sites and then planning
+// queries within sites"): the hosts are partitioned into sites, each new
+// query is routed to the site holding most of its base streams (breaking
+// ties by spare capacity), and the SQPR optimisation then runs with its
+// candidate hosts restricted to that site. This bounds the per-call model
+// size by the site size instead of the cluster size — trading some global
+// optimality for planning time, which is exactly the scalability issue
+// Fig. 6(a) exposes.
+package hier
+
+import (
+	"sort"
+
+	"sqpr/internal/core"
+	"sqpr/internal/dsps"
+)
+
+// Planner wraps one SQPR planner with site-level query routing.
+type Planner struct {
+	sys   *dsps.System
+	inner *core.Planner
+	sites [][]dsps.HostID
+	// siteOf maps every host to its site index.
+	siteOf []int
+	// Fallback controls whether a query rejected by its primary site is
+	// retried on the next-best sites.
+	Fallback bool
+}
+
+// New creates a hierarchical planner with the hosts partitioned into
+// numSites contiguous, near-equal sites.
+func New(sys *dsps.System, cfg core.Config, numSites int) *Planner {
+	if numSites < 1 {
+		numSites = 1
+	}
+	n := sys.NumHosts()
+	if numSites > n {
+		numSites = n
+	}
+	p := &Planner{
+		sys:      sys,
+		inner:    core.NewPlanner(sys, cfg),
+		siteOf:   make([]int, n),
+		Fallback: true,
+	}
+	base := n / numSites
+	extra := n % numSites
+	h := 0
+	for s := 0; s < numSites; s++ {
+		size := base
+		if s < extra {
+			size++
+		}
+		var site []dsps.HostID
+		for i := 0; i < size; i++ {
+			site = append(site, dsps.HostID(h))
+			p.siteOf[h] = s
+			h++
+		}
+		p.sites = append(p.sites, site)
+	}
+	return p
+}
+
+// Sites returns the host partition (do not mutate).
+func (p *Planner) Sites() [][]dsps.HostID { return p.sites }
+
+// Inner exposes the wrapped SQPR planner.
+func (p *Planner) Inner() *core.Planner { return p.inner }
+
+// Assignment returns the current allocation.
+func (p *Planner) Assignment() *dsps.Assignment { return p.inner.Assignment() }
+
+// AdmittedCount returns the number of admitted queries.
+func (p *Planner) AdmittedCount() int { return p.inner.AdmittedCount() }
+
+// Admitted reports whether q is served.
+func (p *Planner) Admitted(q dsps.StreamID) bool { return p.inner.Admitted(q) }
+
+// Submit routes the query to its best site and plans it there; with
+// Fallback enabled, rejected queries are retried on the remaining sites in
+// descending preference order.
+func (p *Planner) Submit(q dsps.StreamID) bool {
+	order := p.rankSites(q)
+	tries := order
+	if !p.Fallback && len(order) > 0 {
+		tries = order[:1]
+	}
+	for _, s := range tries {
+		res, err := p.inner.SubmitWithHosts(q, p.sites[s])
+		if err != nil {
+			return false
+		}
+		if res.Admitted || res.AlreadyAdmitted {
+			return true
+		}
+	}
+	return false
+}
+
+// rankSites orders sites by (base-stream coverage of q, spare CPU).
+func (p *Planner) rankSites(q dsps.StreamID) []int {
+	coverage := make([]int, len(p.sites))
+	for _, s := range p.baseStreamsOf(q) {
+		for _, h := range p.sys.BaseHosts(s) {
+			coverage[p.siteOf[h]]++
+		}
+	}
+	usage := p.inner.Assignment().ComputeUsage(p.sys)
+	spare := make([]float64, len(p.sites))
+	for si, site := range p.sites {
+		for _, h := range site {
+			spare[si] += p.sys.Hosts[h].CPU - usage.CPU[h]
+		}
+	}
+	order := make([]int, len(p.sites))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if coverage[a] != coverage[b] {
+			return coverage[a] > coverage[b]
+		}
+		if spare[a] != spare[b] {
+			return spare[a] > spare[b]
+		}
+		return a < b
+	})
+	return order
+}
+
+// baseStreamsOf expands q to the base streams of its plan space.
+func (p *Planner) baseStreamsOf(q dsps.StreamID) []dsps.StreamID {
+	seen := make(map[dsps.StreamID]bool)
+	var bases []dsps.StreamID
+	var stack []dsps.StreamID
+	stack = append(stack, q)
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		if p.sys.Streams[s].IsBase() {
+			bases = append(bases, s)
+			continue
+		}
+		for _, op := range p.sys.ProducersOf(s) {
+			stack = append(stack, p.sys.Operators[op].Inputs...)
+		}
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	return bases
+}

@@ -1,0 +1,141 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestDeadlineAborts(t *testing.T) {
+	// A deadline in the past must abort immediately with IterLimit.
+	rng := rand.New(rand.NewSource(5))
+	n, m := 40, 40
+	p := &Problem{NumVars: n, Cost: make([]float64, n), Upper: make([]float64, n)}
+	for j := 0; j < n; j++ {
+		p.Cost[j] = -rng.Float64()
+		p.Upper[j] = 1
+	}
+	for i := 0; i < m; i++ {
+		terms := make([]Term, n)
+		for j := 0; j < n; j++ {
+			terms[j] = Term{j, rng.Float64()}
+		}
+		p.Cons = append(p.Cons, Constraint{Terms: terms, Sense: LE, RHS: 1 + rng.Float64()})
+	}
+	sol := Solve(p, Options{Deadline: time.Now().Add(-time.Second)})
+	if sol.Status != IterLimit {
+		t.Fatalf("status %v, want iteration-limit", sol.Status)
+	}
+}
+
+func TestMaxItersRespected(t *testing.T) {
+	p := &Problem{
+		NumVars: 3,
+		Cost:    []float64{-1, -2, -3},
+		Upper:   []float64{5, 5, 5},
+		Cons: []Constraint{
+			{Terms: []Term{{0, 1}, {1, 1}, {2, 1}}, Sense: LE, RHS: 6},
+		},
+	}
+	sol := Solve(p, Options{MaxIters: 1})
+	if sol.Iters > 1 {
+		t.Fatalf("performed %d iterations with MaxIters=1", sol.Iters)
+	}
+}
+
+func TestAllVariablesAtUpperBound(t *testing.T) {
+	// max Σx with generous constraints: everything should hit its bound
+	// via bound flips, not pivots.
+	n := 6
+	p := &Problem{NumVars: n, Cost: make([]float64, n), Upper: make([]float64, n)}
+	for j := 0; j < n; j++ {
+		p.Cost[j] = -1
+		p.Upper[j] = float64(j + 1)
+	}
+	p.Cons = []Constraint{
+		{Terms: []Term{{0, 1}}, Sense: LE, RHS: 100},
+	}
+	sol := Solve(p, Options{})
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	for j := 0; j < n; j++ {
+		if sol.X[j] != float64(j+1) {
+			t.Fatalf("x[%d] = %v, want %v", j, sol.X[j], j+1)
+		}
+	}
+}
+
+func TestZeroUpperBoundVariable(t *testing.T) {
+	// A variable with upper bound zero is effectively fixed to zero.
+	p := &Problem{
+		NumVars: 2,
+		Cost:    []float64{-10, -1},
+		Upper:   []float64{0, 4},
+		Cons: []Constraint{
+			{Terms: []Term{{0, 1}, {1, 1}}, Sense: LE, RHS: 3},
+		},
+	}
+	sol := Solve(p, Options{})
+	if sol.Status != Optimal || sol.X[0] != 0 {
+		t.Fatalf("status=%v x=%v", sol.Status, sol.X)
+	}
+	if sol.X[1] != 3 {
+		t.Fatalf("x[1]=%v want 3", sol.X[1])
+	}
+}
+
+func TestMixedSenseSystem(t *testing.T) {
+	// min 2x+3y s.t. x+y >= 4, x-y <= 1, y <= 3 → x in [1,?]: best
+	// y=3, x=1 → obj 11? check: x+y>=4 → x>=1; obj 2x+3y minimised by
+	// trading y down: y=1.5, x=2.5 → 2·2.5+3·1.5=9.5 with x-y=1 ✓.
+	p := &Problem{
+		NumVars: 2,
+		Cost:    []float64{2, 3},
+		Upper:   []float64{100, 3},
+		Cons: []Constraint{
+			{Terms: []Term{{0, 1}, {1, 1}}, Sense: GE, RHS: 4},
+			{Terms: []Term{{0, 1}, {1, -1}}, Sense: LE, RHS: 1},
+		},
+	}
+	sol := Solve(p, Options{})
+	if sol.Status != Optimal || !approx(sol.Objective, 9.5, 1e-6) {
+		t.Fatalf("status=%v obj=%v x=%v", sol.Status, sol.Objective, sol.X)
+	}
+}
+
+func TestLargeDenseLPTerminates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large LP in -short mode")
+	}
+	rng := rand.New(rand.NewSource(99))
+	n, m := 120, 80
+	p := &Problem{NumVars: n, Cost: make([]float64, n), Upper: make([]float64, n)}
+	for j := 0; j < n; j++ {
+		p.Cost[j] = rng.Float64()*2 - 1
+		p.Upper[j] = 1
+	}
+	for i := 0; i < m; i++ {
+		terms := make([]Term, 0, n)
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.3 {
+				terms = append(terms, Term{j, rng.Float64()*2 - 0.5})
+			}
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		p.Cons = append(p.Cons, Constraint{Terms: terms, Sense: LE, RHS: rng.Float64() * 5})
+	}
+	start := time.Now()
+	sol := Solve(p, Options{})
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if !sol.Feasible {
+		t.Fatal("optimal point not feasible")
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("large LP took too long")
+	}
+}

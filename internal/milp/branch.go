@@ -1,0 +1,391 @@
+package milp
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"sqpr/internal/lp"
+)
+
+// node is one branch-and-bound subproblem: a set of tightened bounds on LP
+// variables (indices into compiled.active space).
+type node struct {
+	bounds []boundFix
+	depth  int
+	est    float64 // parent LP objective (minimisation space), for pruning
+}
+
+type boundFix struct {
+	lpVar int
+	lo    bool // true: set lower bound (value 1 after shift); false: set upper bound 0
+}
+
+// Solve optimises the model. The returned Result always carries the best
+// incumbent found, mirroring the paper's use of a solver timeout after which
+// "the best solution that the method found" is used.
+func (m *Model) Solve(opts Options) Result {
+	intTol := opts.IntTol
+	if intTol == 0 {
+		intTol = defaultIntTol
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 10000
+	}
+
+	c, err := m.compile()
+	if err != nil {
+		return Result{Status: InfeasibleMIP, Bound: math.Inf(-1)}
+	}
+
+	s := &search{
+		c:        c,
+		intTol:   intTol,
+		maxNodes: maxNodes,
+		deadline: opts.Deadline,
+		gapTol:   opts.GapTol,
+		absGap:   opts.AbsGapTol,
+		bestObj:  math.Inf(1), // minimisation space
+	}
+
+	// Warm start: accept an externally computed feasible point.
+	if opts.Incumbent != nil && len(opts.Incumbent) == len(m.vars) {
+		if s.acceptModelPoint(opts.Incumbent) {
+			// accepted; bestObj/bestX updated
+		}
+	}
+
+	s.run()
+
+	res := Result{Nodes: s.nodes, LPIters: s.lpIters}
+	switch {
+	case s.bestX == nil && s.provedInfeasible:
+		res.Status = InfeasibleMIP
+	case s.bestX == nil:
+		res.Status = NoSolution
+	case s.provedOptimal:
+		res.Status = OptimalMIP
+	default:
+		res.Status = FeasibleMIP
+	}
+	if s.bestX != nil {
+		res.X = s.bestX
+		res.Objective = c.modelObjective(s.bestX)
+	}
+	if !math.IsInf(s.rootBound, 0) {
+		res.Bound = c.modelSpace(s.rootBound)
+	} else if s.bestX != nil {
+		res.Bound = res.Objective
+	}
+	return res
+}
+
+type search struct {
+	c        *compiled
+	intTol   float64
+	maxNodes int
+	deadline time.Time
+	gapTol   float64
+
+	absGap float64
+
+	nodes   int
+	lpIters int
+
+	bestX   []float64 // model space incumbent
+	bestObj float64   // minimisation-space objective of incumbent
+
+	rootBound            float64
+	provedOptimal        bool
+	provedInfeasible     bool
+	nodesPruneIncomplete bool
+}
+
+// acceptModelPoint validates a candidate full-model point and installs it
+// as incumbent if feasible and improving. Integrality is enforced for
+// binary variables.
+func (s *search) acceptModelPoint(x []float64) bool {
+	m := s.c.m
+	if len(x) != len(m.vars) {
+		return false
+	}
+	for i, v := range m.vars {
+		if x[i] < v.lo-1e-6 || x[i] > v.hi+1e-6 {
+			return false
+		}
+		if v.typ == Binary && math.Abs(x[i]-math.Round(x[i])) > s.intTol {
+			return false
+		}
+	}
+	for _, r := range m.rows {
+		var lhs float64
+		for _, t := range r.terms {
+			lhs += t.Coef * x[t.Var]
+		}
+		tol := 1e-6 * (1 + math.Abs(r.rhs))
+		switch r.sense {
+		case LE:
+			if lhs > r.rhs+tol {
+				return false
+			}
+		case GE:
+			if lhs < r.rhs-tol {
+				return false
+			}
+		case EQ:
+			if math.Abs(lhs-r.rhs) > tol {
+				return false
+			}
+		}
+	}
+	// bestObj lives in the compiled LP's minimisation space so it compares
+	// directly against node relaxation values.
+	lpObj := s.c.lpSpace(s.c.modelObjective(x))
+	if lpObj < s.bestObj-1e-12 {
+		s.bestObj = lpObj
+		cp := make([]float64, len(x))
+		copy(cp, x)
+		s.bestX = cp
+		return true
+	}
+	return false
+}
+
+// run performs the depth-first branch and bound.
+func (s *search) run() {
+	s.rootBound = math.Inf(-1)
+	stack := []*node{{est: math.Inf(-1)}}
+	first := true
+	for len(stack) > 0 {
+		if s.nodes >= s.maxNodes || (!s.deadline.IsZero() && time.Now().After(s.deadline)) {
+			s.nodesPruneIncomplete = true
+			return
+		}
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n.est >= s.bestObj-s.pruneSlack() {
+			continue // parent bound already dominated by incumbent
+		}
+		s.nodes++
+
+		sol, xAct := s.solveNode(n.bounds)
+		s.lpIters += sol.Iters
+		if sol.Status == lp.Infeasible {
+			if first {
+				s.provedInfeasible = true
+			}
+			first = false
+			continue
+		}
+		if sol.Status == lp.IterLimit && !sol.Feasible {
+			// The LP budget ran out before feasibility: the node was not
+			// resolved, so the search result is a truncation, not a proof.
+			s.nodesPruneIncomplete = true
+			first = false
+			continue
+		}
+		if sol.Status == lp.Unbounded || !sol.Feasible {
+			// Unbounded relaxations cannot be pruned; treat as failure to
+			// bound and dive on heuristics only.
+			first = false
+			continue
+		}
+		relax := sol.Objective // compiled minimisation space
+		if first {
+			s.rootBound = relax
+			first = false
+			// Rounding dive: often yields an immediate incumbent.
+			s.roundingDive(xAct, n)
+			if s.gapReached() {
+				return
+			}
+		}
+		if relax >= s.bestObj-s.pruneSlack() {
+			continue
+		}
+		// Find most fractional binary.
+		frac, fracVar := -1.0, -1
+		for k, mi := range s.c.active {
+			if s.c.m.vars[mi].typ != Binary {
+				continue
+			}
+			v := xAct[k]
+			f := math.Abs(v - math.Round(v))
+			if f > s.intTol && f > frac {
+				frac = f
+				fracVar = k
+			}
+		}
+		if fracVar < 0 {
+			// Integral: candidate incumbent.
+			full := s.c.toModelX(xAct)
+			s.acceptModelPoint(roundBinaries(s.c, full, s.intTol))
+			if s.gapReached() {
+				return
+			}
+			continue
+		}
+		// Branch: explore the rounded side first (push second so it pops
+		// first from the stack).
+		v := xAct[fracVar]
+		up := &node{bounds: appendBound(n.bounds, boundFix{fracVar, true}), depth: n.depth + 1, est: relax}
+		down := &node{bounds: appendBound(n.bounds, boundFix{fracVar, false}), depth: n.depth + 1, est: relax}
+		if v >= 0.5 {
+			stack = append(stack, down, up)
+		} else {
+			stack = append(stack, up, down)
+		}
+	}
+	if !s.nodesPruneIncomplete {
+		s.provedOptimal = s.bestX != nil
+		if s.bestX == nil {
+			s.provedInfeasible = true
+		}
+	}
+}
+
+func (s *search) pruneSlack() float64 {
+	return s.absGap + 1e-9*(1+math.Abs(s.bestObj))
+}
+
+func (s *search) gapReached() bool {
+	if s.bestX == nil || math.IsInf(s.rootBound, 0) {
+		return false
+	}
+	gap := math.Abs(s.bestObj - s.rootBound)
+	if s.gapTol > 0 && gap <= s.gapTol*(1+math.Abs(s.bestObj)) {
+		return true
+	}
+	return s.absGap > 0 && gap <= s.absGap
+}
+
+// roundingDive fixes every binary to its rounded LP value and re-solves the
+// (dramatically smaller) residual LP for the continuous variables; a
+// feasible result becomes an incumbent.
+func (s *search) roundingDive(x []float64, n *node) {
+	bounds := make([]boundFix, 0, len(s.c.active))
+	bounds = append(bounds, n.bounds...)
+	for k, mi := range s.c.active {
+		if s.c.m.vars[mi].typ != Binary {
+			continue
+		}
+		if x[k] >= 0.5 {
+			bounds = append(bounds, boundFix{k, true})
+		} else {
+			bounds = append(bounds, boundFix{k, false})
+		}
+	}
+	sol, xAct := s.solveNode(bounds)
+	s.lpIters += sol.Iters
+	if sol.Feasible {
+		full := s.c.toModelX(xAct)
+		s.acceptModelPoint(roundBinaries(s.c, full, s.intTol))
+	}
+}
+
+// solveNode solves the node relaxation with every branching fix substituted
+// out of the LP, which keeps node LPs small: branching only ever pins
+// binaries to 0 or 1. Returns the LP solution (objective already lifted to
+// compiled space, i.e. including fixed-variable contributions) and the
+// point expanded back to compiled-active coordinates.
+func (s *search) solveNode(bounds []boundFix) (lp.Solution, []float64) {
+	nAct := len(s.c.active)
+	fix := make(map[int]float64, len(bounds))
+	for _, b := range bounds {
+		if b.lo {
+			fix[b.lpVar] = 1
+		} else {
+			fix[b.lpVar] = 0
+		}
+	}
+	idx := make([]int, nAct)
+	cnt := 0
+	var objOff float64
+	for k := 0; k < nAct; k++ {
+		if v, ok := fix[k]; ok {
+			idx[k] = -1
+			objOff += s.c.base.Cost[k] * v
+			continue
+		}
+		idx[k] = cnt
+		cnt++
+	}
+	prob := lp.Problem{NumVars: cnt}
+	prob.Cost = make([]float64, cnt)
+	prob.Upper = make([]float64, cnt)
+	for k := 0; k < nAct; k++ {
+		if idx[k] >= 0 {
+			prob.Cost[idx[k]] = s.c.base.Cost[k]
+			prob.Upper[idx[k]] = s.c.base.Upper[k]
+		}
+	}
+	for _, row := range s.c.base.Cons {
+		rhs := row.RHS
+		terms := make([]lp.Term, 0, len(row.Terms))
+		for _, t := range row.Terms {
+			if v, ok := fix[t.Var]; ok {
+				rhs -= t.Coef * v
+				continue
+			}
+			terms = append(terms, lp.Term{Var: idx[t.Var], Coef: t.Coef})
+		}
+		if len(terms) == 0 {
+			ok := true
+			switch row.Sense {
+			case lp.LE:
+				ok = 0 <= rhs+lp.FeasTol
+			case lp.GE:
+				ok = 0 >= rhs-lp.FeasTol
+			case lp.EQ:
+				ok = math.Abs(rhs) <= lp.FeasTol
+			}
+			if !ok {
+				return lp.Solution{Status: lp.Infeasible}, nil
+			}
+			continue
+		}
+		prob.Cons = append(prob.Cons, lp.Constraint{Terms: terms, Sense: row.Sense, RHS: rhs})
+	}
+	sol := lp.Solve(&prob, lp.Options{Deadline: s.deadline})
+	if sol.X == nil {
+		return sol, nil
+	}
+	xAct := make([]float64, nAct)
+	for k := 0; k < nAct; k++ {
+		if v, ok := fix[k]; ok {
+			xAct[k] = v
+		} else {
+			xAct[k] = sol.X[idx[k]]
+		}
+	}
+	sol.Objective += objOff
+	return sol, xAct
+}
+
+// roundBinaries snaps near-integral binary values to exact integers so that
+// incumbents are clean.
+func roundBinaries(c *compiled, x []float64, tol float64) []float64 {
+	for i, v := range c.m.vars {
+		if v.typ == Binary {
+			r := math.Round(x[i])
+			if math.Abs(x[i]-r) <= 10*tol {
+				x[i] = r
+			}
+		}
+	}
+	return x
+}
+
+func appendBound(base []boundFix, b boundFix) []boundFix {
+	out := make([]boundFix, 0, len(base)+1)
+	out = append(out, base...)
+	out = append(out, b)
+	return out
+}
+
+// SortTermsInPlace orders terms by variable index; useful for deterministic
+// tests and debugging output.
+func SortTermsInPlace(ts []Term) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Var < ts[j].Var })
+}

@@ -1,0 +1,333 @@
+// Package milp provides a small mixed-integer linear programming solver on
+// top of the simplex in internal/lp. It offers the subset of the CPLEX
+// feature surface that the SQPR planner depends on: binary and continuous
+// variables, linear constraints, maximisation or minimisation, a solve
+// deadline after which the best incumbent found so far is returned, a node
+// limit, and externally supplied warm-start incumbents.
+//
+// The search is a depth-first branch and bound with most-fractional
+// branching and best-bound pruning, plus a rounding "dive" heuristic at the
+// root that often produces an early incumbent.
+package milp
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"sqpr/internal/lp"
+)
+
+// VarType distinguishes variable domains.
+type VarType int8
+
+// Variable domains.
+const (
+	Continuous VarType = iota
+	Binary
+)
+
+// Var is an opaque variable handle returned by Model.AddVar.
+type Var int
+
+// Term couples a variable with a coefficient.
+type Term struct {
+	Var  Var
+	Coef float64
+}
+
+// Sense re-exports the constraint senses of internal/lp for callers.
+type Sense = lp.Sense
+
+// Constraint senses.
+const (
+	LE = lp.LE
+	GE = lp.GE
+	EQ = lp.EQ
+)
+
+type varInfo struct {
+	lo, hi float64
+	typ    VarType
+	name   string
+	obj    float64
+}
+
+type rowInfo struct {
+	terms []Term
+	sense Sense
+	rhs   float64
+	name  string
+}
+
+// Model is a mutable MILP under construction. It is not safe for concurrent
+// use.
+type Model struct {
+	vars     []varInfo
+	rows     []rowInfo
+	maximize bool
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model { return &Model{} }
+
+// NumVars returns the number of variables added so far.
+func (m *Model) NumVars() int { return len(m.vars) }
+
+// NumRows returns the number of constraints added so far.
+func (m *Model) NumRows() int { return len(m.rows) }
+
+// AddVar adds a variable with the given bounds and domain. For Binary
+// variables the bounds are intersected with [0,1].
+func (m *Model) AddVar(lo, hi float64, typ VarType, name string) Var {
+	if typ == Binary {
+		lo = math.Max(lo, 0)
+		hi = math.Min(hi, 1)
+	}
+	if lo < 0 {
+		// The LP substrate requires non-negative variables; SQPR's model
+		// never needs negative values, so clamp defensively.
+		lo = 0
+	}
+	m.vars = append(m.vars, varInfo{lo: lo, hi: hi, typ: typ, name: name})
+	return Var(len(m.vars) - 1)
+}
+
+// AddBinary adds a {0,1} variable.
+func (m *Model) AddBinary(name string) Var { return m.AddVar(0, 1, Binary, name) }
+
+// AddContinuous adds a continuous variable on [lo, hi].
+func (m *Model) AddContinuous(lo, hi float64, name string) Var {
+	return m.AddVar(lo, hi, Continuous, name)
+}
+
+// Fix pins a variable to a single value by collapsing its bounds. Presolve
+// then substitutes it out of the LP entirely, which is how SQPR's problem
+// reduction keeps planning cost independent of system size.
+func (m *Model) Fix(v Var, val float64) {
+	m.vars[v].lo = val
+	m.vars[v].hi = val
+}
+
+// Bounds returns the current bounds of v.
+func (m *Model) Bounds(v Var) (lo, hi float64) { return m.vars[v].lo, m.vars[v].hi }
+
+// SetObjective declares the optimisation direction and resets all objective
+// coefficients to the given terms.
+func (m *Model) SetObjective(maximize bool, terms ...Term) {
+	m.maximize = maximize
+	for i := range m.vars {
+		m.vars[i].obj = 0
+	}
+	for _, t := range terms {
+		m.vars[t.Var].obj += t.Coef
+	}
+}
+
+// AddObjectiveTerm accumulates an extra coefficient onto the objective.
+func (m *Model) AddObjectiveTerm(v Var, coef float64) { m.vars[v].obj += coef }
+
+// AddCons appends a linear constraint. Terms on the same variable are
+// accumulated.
+func (m *Model) AddCons(name string, sense Sense, rhs float64, terms ...Term) {
+	cp := make([]Term, len(terms))
+	copy(cp, terms)
+	m.rows = append(m.rows, rowInfo{terms: cp, sense: sense, rhs: rhs, name: name})
+}
+
+// Status reports the outcome of a MILP solve.
+type Status int8
+
+// MILP solve outcomes.
+const (
+	// OptimalMIP means the incumbent was proven optimal within tolerance.
+	OptimalMIP Status = iota
+	// FeasibleMIP means a feasible incumbent exists but optimality was not
+	// proven before a limit was reached (matches the paper's use of a
+	// solver timeout returning the best solution found).
+	FeasibleMIP
+	// InfeasibleMIP means the model has no feasible assignment.
+	InfeasibleMIP
+	// NoSolution means the search hit its limits before finding any
+	// feasible integer point.
+	NoSolution
+)
+
+// String returns a readable name for the status.
+func (s Status) String() string {
+	switch s {
+	case OptimalMIP:
+		return "optimal"
+	case FeasibleMIP:
+		return "feasible"
+	case InfeasibleMIP:
+		return "infeasible"
+	case NoSolution:
+		return "no-solution"
+	}
+	return fmt.Sprintf("Status(%d)", int8(s))
+}
+
+// Result is the outcome of Model.Solve.
+type Result struct {
+	Status    Status
+	X         []float64 // incumbent values, one per model variable
+	Objective float64   // objective of the incumbent (model direction)
+	Bound     float64   // best proven bound on the optimum
+	Nodes     int       // branch-and-bound nodes explored
+	LPIters   int       // total simplex iterations
+}
+
+// Options tunes a MILP solve.
+type Options struct {
+	// Deadline stops the search and returns the incumbent; zero = none.
+	Deadline time.Time
+	// MaxNodes caps explored nodes; 0 selects a generous default.
+	MaxNodes int
+	// Incumbent optionally warm-starts the search with a known feasible
+	// point (length NumVars). Infeasible warm starts are ignored.
+	Incumbent []float64
+	// GapTol terminates when |incumbent − bound| <= GapTol·(1+|incumbent|).
+	GapTol float64
+	// AbsGapTol terminates (and prunes nodes) when the remaining provable
+	// improvement is at most this absolute amount. SQPR exploits this: with
+	// λ1 dominating the objective, an absolute gap below λ1 cannot hide an
+	// extra admitted query, so the search stops as soon as the admission
+	// count is provably optimal.
+	AbsGapTol float64
+	// IntTol is the integrality tolerance; 0 selects 1e-6.
+	IntTol float64
+}
+
+const defaultIntTol = 1e-6
+
+// compiled is the presolved LP image of the model: fixed variables are
+// substituted out and the remaining ones are shifted so lower bounds are 0.
+type compiled struct {
+	m *Model
+
+	active  []int     // model index of each LP variable
+	lpIndex []int     // LP index of each model variable, -1 if fixed
+	shift   []float64 // lower bound subtracted from each model variable
+	fixed   []float64 // value of each fixed model variable (by model index)
+
+	base   lp.Problem // constraints with substituted/fixed parts folded in
+	objDir float64    // +1 minimise, -1 the model maximises (we negate)
+	objOff float64    // constant objective contribution of fixed variables
+
+	// shiftOff is the objective contribution of the lower-bound shifts of
+	// the active variables; together with objOff it converts LP objective
+	// values back to model space: modelObj = objDir·lpObj + objOff + shiftOff.
+	shiftOff float64
+}
+
+// lpSpace converts a model-direction objective value into the minimisation
+// space of the compiled LP.
+func (c *compiled) lpSpace(modelObj float64) float64 {
+	return c.objDir * (modelObj - c.objOff - c.shiftOff)
+}
+
+// modelSpace converts an LP objective value back to model direction.
+func (c *compiled) modelSpace(lpObj float64) float64 {
+	return c.objDir*lpObj + c.objOff + c.shiftOff
+}
+
+var errInfeasible = fmt.Errorf("milp: trivially infeasible after presolve")
+
+// compile builds the LP image. Returns errInfeasible when a row becomes
+// unsatisfiable after substituting fixed variables.
+func (m *Model) compile() (*compiled, error) {
+	c := &compiled{
+		m:       m,
+		lpIndex: make([]int, len(m.vars)),
+		shift:   make([]float64, len(m.vars)),
+		fixed:   make([]float64, len(m.vars)),
+		objDir:  1,
+	}
+	if m.maximize {
+		c.objDir = -1
+	}
+	for i, v := range m.vars {
+		if v.hi < v.lo-1e-9 {
+			return nil, errInfeasible
+		}
+		if v.hi-v.lo <= 1e-12 {
+			c.lpIndex[i] = -1
+			c.fixed[i] = v.lo
+			c.objOff += v.obj * v.lo
+			continue
+		}
+		c.lpIndex[i] = len(c.active)
+		c.shift[i] = v.lo
+		c.shiftOff += v.obj * v.lo
+		c.active = append(c.active, i)
+	}
+	n := len(c.active)
+	c.base.NumVars = n
+	c.base.Cost = make([]float64, n)
+	c.base.Upper = make([]float64, n)
+	for k, mi := range c.active {
+		v := m.vars[mi]
+		c.base.Cost[k] = c.objDir * v.obj
+		if math.IsInf(v.hi, 1) {
+			c.base.Upper[k] = math.Inf(1)
+		} else {
+			c.base.Upper[k] = v.hi - v.lo
+		}
+	}
+	for _, r := range m.rows {
+		var terms []lp.Term
+		rhs := r.rhs
+		coefs := map[int]float64{}
+		for _, t := range r.terms {
+			mi := int(t.Var)
+			if c.lpIndex[mi] < 0 {
+				rhs -= t.Coef * c.fixed[mi]
+				continue
+			}
+			rhs -= t.Coef * c.shift[mi]
+			coefs[c.lpIndex[mi]] += t.Coef
+		}
+		for j, cf := range coefs {
+			if cf != 0 {
+				terms = append(terms, lp.Term{Var: j, Coef: cf})
+			}
+		}
+		if len(terms) == 0 {
+			ok := true
+			switch r.sense {
+			case LE:
+				ok = 0 <= rhs+lp.FeasTol
+			case GE:
+				ok = 0 >= rhs-lp.FeasTol
+			case EQ:
+				ok = math.Abs(rhs) <= lp.FeasTol
+			}
+			if !ok {
+				return nil, errInfeasible
+			}
+			continue
+		}
+		c.base.Cons = append(c.base.Cons, lp.Constraint{Terms: terms, Sense: r.sense, RHS: rhs})
+	}
+	return c, nil
+}
+
+// toModelX expands an LP point back to full model-variable space.
+func (c *compiled) toModelX(x []float64) []float64 {
+	out := make([]float64, len(c.m.vars))
+	copy(out, c.fixed)
+	for k, mi := range c.active {
+		out[mi] = x[k] + c.shift[mi]
+	}
+	return out
+}
+
+// modelObjective computes the model-direction objective of a full point.
+func (c *compiled) modelObjective(x []float64) float64 {
+	var sum float64
+	for i, v := range c.m.vars {
+		sum += v.obj * x[i]
+	}
+	return sum
+}

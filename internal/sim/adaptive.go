@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"sqpr/internal/core"
+	"sqpr/internal/costmodel"
+	"sqpr/internal/dsps"
+)
+
+// AdaptiveResult reports the §IV-B adaptive-replanning experiment: how many
+// queries survive a workload surge once the planner re-plans the drifted
+// ones with corrected costs.
+type AdaptiveResult struct {
+	AdmittedBefore int
+	// Drifted is the number of queries whose supporting operators drifted.
+	Drifted int
+	// Readmitted is how many drifted queries found a new placement.
+	Readmitted     int
+	AdmittedAfter  int
+	MaxCPUBefore   float64
+	MaxCPUAfter    float64
+	ShortageBefore int // hosts above 90% CPU before replanning
+	ShortageAfter  int
+}
+
+// Adaptive runs the experiment: plan the workload, inflate the cost of the
+// most-loaded operators by surgeFactor (as the resource monitor would
+// report), detect the drift with the cost model, and re-plan the affected
+// queries.
+func Adaptive(sc Scale, surgeFactor float64, surgeOps int) (AdaptiveResult, error) {
+	var res AdaptiveResult
+	env := BuildEnv(sc)
+	cfg := core.DefaultConfig()
+	cfg.SolveTimeout = sc.Timeout
+	cfg.MaxCandidateHosts = sc.MaxCandHost
+	p := core.NewPlanner(env.Sys, cfg)
+	for _, q := range env.Queries {
+		if _, err := p.Submit(q); err != nil {
+			return res, err
+		}
+	}
+	res.AdmittedBefore = p.AdmittedCount()
+	before := p.Assignment().ComputeUsage(env.Sys)
+	res.MaxCPUBefore = before.MaxCPU()
+	res.ShortageBefore = len(costmodel.ShortageHosts(env.Sys, before, 0.9))
+
+	// Pick the most expensive placed operators and synthesise monitoring
+	// observations with surged costs.
+	type placed struct {
+		op   dsps.OperatorID
+		cost float64
+	}
+	var candidates []placed
+	seen := map[dsps.OperatorID]bool{}
+	for pl, on := range p.Assignment().Ops {
+		if on && !seen[pl.Op] {
+			seen[pl.Op] = true
+			candidates = append(candidates, placed{pl.Op, env.Sys.Operators[pl.Op].Cost})
+		}
+	}
+	for i := 0; i < len(candidates); i++ {
+		for j := i + 1; j < len(candidates); j++ {
+			if candidates[j].cost > candidates[i].cost ||
+				(candidates[j].cost == candidates[i].cost && candidates[j].op < candidates[i].op) {
+				candidates[i], candidates[j] = candidates[j], candidates[i]
+			}
+		}
+	}
+	if surgeOps > len(candidates) {
+		surgeOps = len(candidates)
+	}
+	var obs []costmodel.Observation
+	for _, c := range candidates[:surgeOps] {
+		obs = append(obs, costmodel.Observation{Op: c.op, Cost: c.cost * surgeFactor})
+	}
+	reports := costmodel.DetectDrift(env.Sys, obs, 0.2)
+	driftedOps := make(map[dsps.OperatorID]float64, len(reports))
+	for _, r := range reports {
+		driftedOps[r.Op] = r.Observed
+	}
+	queries := p.DriftedQueries(driftedOps, 0.2)
+	res.Drifted = len(queries)
+
+	// Update the cost model to the observed reality, then re-plan.
+	for op, observed := range driftedOps {
+		env.Sys.Operators[op].Cost = observed
+	}
+	results, err := p.Replan(queries)
+	if err != nil {
+		return res, err
+	}
+	for _, r := range results {
+		if r.Admitted {
+			res.Readmitted++
+		}
+	}
+	res.AdmittedAfter = p.AdmittedCount()
+	after := p.Assignment().ComputeUsage(env.Sys)
+	res.MaxCPUAfter = after.MaxCPU()
+	res.ShortageAfter = len(costmodel.ShortageHosts(env.Sys, after, 0.9))
+	if err := p.Assignment().Validate(env.Sys); err != nil {
+		return res, err
+	}
+	return res, nil
+}

@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestAdaptiveExperiment(t *testing.T) {
+	sc := tinyScale()
+	sc.Queries = 12
+	res, err := Adaptive(sc, 2.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AdmittedBefore == 0 {
+		t.Fatal("nothing admitted before the surge")
+	}
+	if res.Drifted == 0 {
+		t.Fatal("no drift detected after a 2x surge on placed operators")
+	}
+	// Replanning may shed queries that genuinely no longer fit, but must
+	// never corrupt the state (Adaptive validates internally) and must
+	// keep the unaffected queries.
+	if res.AdmittedAfter < res.AdmittedBefore-res.Drifted {
+		t.Fatalf("replanning lost unaffected queries: before=%d drifted=%d after=%d",
+			res.AdmittedBefore, res.Drifted, res.AdmittedAfter)
+	}
+	if res.Readmitted > res.Drifted {
+		t.Fatalf("readmitted %d > drifted %d", res.Readmitted, res.Drifted)
+	}
+}
+
+func TestAdaptiveNoSurgeNoDrift(t *testing.T) {
+	sc := tinyScale()
+	sc.Queries = 8
+	res, err := Adaptive(sc, 1.0, 3) // surge factor 1 = no change
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Drifted != 0 {
+		t.Fatalf("drift detected without a surge: %d", res.Drifted)
+	}
+	if res.AdmittedAfter != res.AdmittedBefore {
+		t.Fatal("admissions changed without drift")
+	}
+}

@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"testing"
+
+	"sqpr/internal/dsps"
+)
+
+// fakeSubmitter admits everything and counts distinct queries.
+type fakeSubmitter struct{ seen map[dsps.StreamID]bool }
+
+func (f *fakeSubmitter) Submit(q dsps.StreamID) bool {
+	if f.seen == nil {
+		f.seen = map[dsps.StreamID]bool{}
+	}
+	f.seen[q] = true
+	return true
+}
+
+func (f *fakeSubmitter) AdmittedCount() int { return len(f.seen) }
+
+func TestCountSatisfiedIncludesDuplicates(t *testing.T) {
+	f := &fakeSubmitter{}
+	queries := []dsps.StreamID{1, 2, 1, 1, 3}
+	if got := CountSatisfied(f, queries); got != 5 {
+		t.Fatalf("CountSatisfied = %d, want 5 (duplicates count)", got)
+	}
+	if f.AdmittedCount() != 3 {
+		t.Fatalf("distinct count = %d, want 3", f.AdmittedCount())
+	}
+}
+
+func TestRunAdmissionCountsSubmissions(t *testing.T) {
+	f := &fakeSubmitter{}
+	queries := []dsps.StreamID{7, 7, 7, 7}
+	c := RunAdmission("fake", f, queries, 2)
+	if len(c.Satisfied) == 0 || c.Satisfied[len(c.Satisfied)-1] != 4 {
+		t.Fatalf("curve %v, want final 4", c.Satisfied)
+	}
+}

@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"context"
+	"time"
+
+	"sqpr/internal/dsps"
+	"sqpr/internal/engine"
+	"sqpr/internal/stats"
+)
+
+// DeployScale configures the Fig. 7 cluster-deployment study (the paper
+// used 15 Emulab hosts, a 10 Mbps LAN, 300 base streams and waves of 50
+// queries of 2- and 3-way joins).
+type DeployScale struct {
+	Hosts       int
+	CPUPerHost  float64
+	OutBW       float64
+	InBW        float64
+	LinkCap     float64
+	BaseStreams int
+	BaseRate    float64
+	WaveSize    int
+	Waves       int
+	Timeout     time.Duration
+	Seed        int64
+}
+
+// DefaultDeployScale mirrors §V-B at reduced scale.
+func DefaultDeployScale() DeployScale {
+	return DeployScale{
+		Hosts:       15,
+		CPUPerHost:  10, // "up to 15 2- and 3-way joins" at γ≈0.7/join
+		OutBW:       60,
+		InBW:        60,
+		LinkCap:     25,
+		BaseStreams: 150,
+		BaseRate:    10,
+		WaveSize:    50,
+		Waves:       5,
+		Timeout:     150 * time.Millisecond,
+		Seed:        7,
+	}
+}
+
+// Fig7Result holds all three deployment plots: per-wave admissions for
+// SQPR and SODA (7a) and utilisation CDFs at the low and high checkpoints
+// (7b: CPU %, 7c: network usage).
+type Fig7Result struct {
+	Inputs []int
+	SQPR   []int
+	SODA   []int
+
+	// Checkpoints for the CDFs (input-query counts, e.g. 50 and 150).
+	LowCheckpoint, HighCheckpoint int
+	CPULowSQPR, CPUHighSQPR       *stats.CDF
+	CPULowSODA, CPUHighSODA       *stats.CDF
+	NetLowSQPR, NetHighSQPR       *stats.CDF
+	NetLowSODA, NetHighSODA       *stats.CDF
+}
+
+// Fig7 runs the deployment comparison of SQPR vs SODA over waves of
+// queries, capturing admission counts per wave and utilisation CDFs at the
+// checkpoints.
+func Fig7(ds DeployScale) Fig7Result {
+	scale := Scale{
+		Hosts:       ds.Hosts,
+		CPUPerHost:  ds.CPUPerHost,
+		OutBW:       ds.OutBW,
+		InBW:        ds.InBW,
+		LinkCap:     ds.LinkCap,
+		BaseStreams: ds.BaseStreams,
+		BaseRate:    ds.BaseRate,
+		Queries:     ds.WaveSize * ds.Waves,
+		Zipf:        1,
+		Arities:     []int{2, 3},
+		Timeout:     ds.Timeout,
+		MaxCandHost: 8,
+		Seed:        ds.Seed,
+	}
+
+	envS := BuildEnv(scale)
+	sqpr := envS.NewSQPR(scale, ds.Timeout)
+	envD := BuildEnv(scale)
+	soda := envD.NewSODA()
+
+	res := Fig7Result{
+		LowCheckpoint:  ds.WaveSize,
+		HighCheckpoint: 3 * ds.WaveSize,
+	}
+	if ds.Waves < 3 {
+		res.HighCheckpoint = ds.Waves * ds.WaveSize
+	}
+
+	sqprSatisfied, sodaSatisfied := 0, 0
+	for wave := 0; wave < ds.Waves; wave++ {
+		lo, hi := wave*ds.WaveSize, (wave+1)*ds.WaveSize
+		for _, q := range envS.Queries[lo:hi] {
+			if sqpr.Submit(q) {
+				sqprSatisfied++
+			}
+		}
+		for _, q := range envD.Queries[lo:hi] {
+			if soda.Submit(q) {
+				sodaSatisfied++
+			}
+		}
+		res.Inputs = append(res.Inputs, hi)
+		res.SQPR = append(res.SQPR, sqprSatisfied)
+		res.SODA = append(res.SODA, sodaSatisfied)
+
+		if hi == res.LowCheckpoint {
+			res.CPULowSQPR, res.NetLowSQPR = UtilisationCDFs(envS.Sys, sqpr.P.Assignment())
+			res.CPULowSODA, res.NetLowSODA = utilCDFsOf(envD.Sys, soda)
+		}
+		if hi == res.HighCheckpoint {
+			res.CPUHighSQPR, res.NetHighSQPR = UtilisationCDFs(envS.Sys, sqpr.P.Assignment())
+			res.CPUHighSODA, res.NetHighSODA = utilCDFsOf(envD.Sys, soda)
+		}
+	}
+	return res
+}
+
+// assignmentCarrier lets the harness extract the allocation from planners
+// that expose it (SODA and heuristic do).
+type assignmentCarrier interface {
+	Assignment() *dsps.Assignment
+}
+
+func utilCDFsOf(sys *dsps.System, p Submitter) (*stats.CDF, *stats.CDF) {
+	if ac, ok := p.(assignmentCarrier); ok {
+		return UtilisationCDFs(sys, ac.Assignment())
+	}
+	return stats.NewCDF(nil), stats.NewCDF(nil)
+}
+
+// DeployAndMeasure instantiates an assignment on the mini engine, lets it
+// run for the given duration, and returns the monitor snapshot plus the
+// number of result tuples delivered. This is the "real deployment" leg of
+// the Fig. 7 study: planners decide, the engine executes.
+func DeployAndMeasure(sys *dsps.System, a *dsps.Assignment, d time.Duration) (engine.Snapshot, int, error) {
+	eng := engine.New(sys, engine.DefaultConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := eng.Deploy(ctx, a); err != nil {
+		return engine.Snapshot{}, 0, err
+	}
+	deadline := time.After(d)
+	delivered := 0
+loop:
+	for {
+		select {
+		case <-deadline:
+			break loop
+		case _, ok := <-eng.Results():
+			if !ok {
+				break loop
+			}
+			delivered++
+		}
+	}
+	eng.Stop()
+	return eng.Monitor().Snapshot(), delivered, nil
+}

@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"sqpr/internal/dsps"
+	"sqpr/internal/workload"
+)
+
+// buildSystem materialises the host substrate of a scale.
+func buildSystem(sc Scale) *dsps.System {
+	return workload.BuildSystem(workload.SystemConfig{
+		NumHosts:   sc.Hosts,
+		CPUPerHost: sc.CPUPerHost,
+		OutBW:      sc.OutBW,
+		InBW:       sc.InBW,
+		LinkCap:    sc.LinkCap,
+	})
+}
+
+// generate materialises the query workload of a scale into sys.
+func generate(sys *dsps.System, sc Scale) []dsps.StreamID {
+	w := workload.Generate(sys, workload.Config{
+		NumBaseStreams: sc.BaseStreams,
+		BaseRate:       sc.BaseRate,
+		Zipf:           sc.Zipf,
+		Arities:        sc.Arities,
+		NumQueries:     sc.Queries,
+		SelMin:         0.001,
+		SelMax:         0.005,
+		CostPerRate:    0.05,
+		Seed:           sc.Seed,
+	})
+	return w.Queries
+}

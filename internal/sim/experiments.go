@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"sqpr/internal/dsps"
+	"sqpr/internal/stats"
+)
+
+// Fig4aResult holds the planning-efficiency curves of Fig. 4(a): satisfied
+// vs. submitted queries for the optimistic bound, SQPR under three solver
+// timeouts, and the heuristic planner.
+type Fig4aResult struct {
+	Curves []Curve
+}
+
+// Fig4a runs the planning-efficiency experiment. The three timeouts play
+// the role of the paper's 5/30/60 s CPLEX budgets.
+func Fig4a(sc Scale) Fig4aResult {
+	step := sc.Queries / 10
+	var out Fig4aResult
+
+	envB := BuildEnv(sc)
+	out.Curves = append(out.Curves, RunAdmission("optimistic-bound", envB.NewBound(), envB.Queries, step))
+
+	for _, tm := range []struct {
+		label string
+		d     time.Duration
+	}{
+		{"sqpr-long", 2 * sc.Timeout},
+		{"sqpr-med", sc.Timeout},
+		{"sqpr-short", sc.Timeout / 6},
+	} {
+		env := BuildEnv(sc)
+		out.Curves = append(out.Curves, RunAdmission(tm.label, env.NewSQPR(sc, tm.d), env.Queries, step))
+	}
+
+	envH := BuildEnv(sc)
+	out.Curves = append(out.Curves, RunAdmission("heuristic", envH.NewHeuristic(), envH.Queries, step))
+	return out
+}
+
+// Fig4b explores batched submission: SQPR plans batches of n queries with
+// an n-times solver budget, as in the paper's Fig. 4(b).
+func Fig4b(sc Scale, batchSizes []int) Fig4aResult {
+	step := sc.Queries / 10
+	var out Fig4aResult
+	for _, n := range batchSizes {
+		env := BuildEnv(sc)
+		ad := env.NewSQPR(sc, sc.Timeout)
+		c := Curve{Label: fmt.Sprintf("%d-query-batches", n)}
+		satisfied := 0
+		for i := 0; i < len(env.Queries); i += n {
+			end := i + n
+			if end > len(env.Queries) {
+				end = len(env.Queries)
+			}
+			batch := env.Queries[i:end]
+			// SubmitBatch scales the deadline by the batch size itself.
+			_, _ = ad.P.SubmitBatch(batch)
+			for _, q := range batch {
+				if ad.P.Admitted(q) {
+					satisfied++
+				}
+			}
+			if end%step < n {
+				c.Inputs = append(c.Inputs, end)
+				c.Satisfied = append(c.Satisfied, satisfied)
+			}
+		}
+		if len(c.Inputs) == 0 || c.Inputs[len(c.Inputs)-1] != len(env.Queries) {
+			c.Inputs = append(c.Inputs, len(env.Queries))
+			c.Satisfied = append(c.Satisfied, satisfied)
+		}
+		out.Curves = append(out.Curves, c)
+	}
+	return out
+}
+
+// Fig4cResult holds the overlap experiment of Fig. 4(c): satisfiable
+// queries as a function of the Zipf skew, for several base-stream counts.
+type Fig4cResult struct {
+	Zipfs       []float64
+	BaseStreams []int
+	// Satisfied[i][j] is the result for BaseStreams[i] and Zipfs[j].
+	Satisfied [][]int
+}
+
+// Fig4c varies query overlap via the Zipf factor and the number of base
+// streams; more overlap means more reuse and thus more admitted queries.
+func Fig4c(sc Scale, zipfs []float64, baseCounts []int) Fig4cResult {
+	res := Fig4cResult{Zipfs: zipfs, BaseStreams: baseCounts}
+	for _, bc := range baseCounts {
+		row := make([]int, 0, len(zipfs))
+		for _, z := range zipfs {
+			s := sc
+			s.BaseStreams = bc
+			s.Zipf = z
+			env := BuildEnv(s)
+			ad := env.NewSQPR(s, s.Timeout)
+			row = append(row, CountSatisfied(ad, env.Queries))
+		}
+		res.Satisfied = append(res.Satisfied, row)
+	}
+	return res
+}
+
+// ScalabilityResult is one satisfiable-queries series over a swept
+// parameter, for SQPR and the optimistic bound (Fig. 5).
+type ScalabilityResult struct {
+	XLabel string
+	X      []int
+	SQPR   []int
+	Bound  []int
+}
+
+// Fig5a sweeps the number of hosts (Fig. 5(a)).
+func Fig5a(sc Scale, hostCounts []int) ScalabilityResult {
+	res := ScalabilityResult{XLabel: "hosts", X: hostCounts}
+	for _, h := range hostCounts {
+		s := sc
+		s.Hosts = h
+		res.SQPR = append(res.SQPR, runSQPRCount(s))
+		res.Bound = append(res.Bound, runBoundCount(s))
+	}
+	return res
+}
+
+// Fig5b sweeps per-host CPU multipliers with 10x link capacity (Fig. 5(b)).
+func Fig5b(sc Scale, cpuMultipliers []int) ScalabilityResult {
+	res := ScalabilityResult{XLabel: "cpu-cores", X: cpuMultipliers}
+	for _, mul := range cpuMultipliers {
+		s := sc
+		s.CPUPerHost = sc.CPUPerHost * float64(mul)
+		s.LinkCap = sc.LinkCap * 10
+		s.OutBW = sc.OutBW * 10
+		s.InBW = sc.InBW * 10
+		res.SQPR = append(res.SQPR, runSQPRCount(s))
+		res.Bound = append(res.Bound, runBoundCount(s))
+	}
+	return res
+}
+
+// Fig5c sweeps the query arity: all submitted queries are k-way joins
+// (Fig. 5(c)).
+func Fig5c(sc Scale, arities []int) ScalabilityResult {
+	res := ScalabilityResult{XLabel: "arity", X: arities}
+	for _, k := range arities {
+		s := sc
+		s.Arities = []int{k}
+		res.SQPR = append(res.SQPR, runSQPRCount(s))
+		res.Bound = append(res.Bound, runBoundCount(s))
+	}
+	return res
+}
+
+func runSQPRCount(s Scale) int {
+	env := BuildEnv(s)
+	return CountSatisfied(env.NewSQPR(s, s.Timeout), env.Queries)
+}
+
+func runBoundCount(s Scale) int {
+	env := BuildEnv(s)
+	return CountSatisfied(env.NewBound(), env.Queries)
+}
+
+// TimingResult is an average-planning-time series (Fig. 6). Only planning
+// calls issued while system CPU utilisation was between LoUtil and HiUtil
+// are counted, matching the paper's 75–95% protocol.
+type TimingResult struct {
+	XLabel  string
+	X       []int
+	AvgTime []time.Duration
+	Samples []int
+}
+
+// Utilisation window of the Fig. 6 protocol.
+const (
+	LoUtil = 0.60
+	HiUtil = 0.97
+)
+
+// Fig6a measures planning time against the number of hosts (Fig. 6(a)).
+func Fig6a(sc Scale, hostCounts []int) TimingResult {
+	res := TimingResult{XLabel: "hosts", X: hostCounts}
+	for _, h := range hostCounts {
+		s := sc
+		s.Hosts = h
+		// Let the candidate set grow with the system, as the paper's model
+		// always spans all hosts; this is what makes planning time
+		// sensitive to host count.
+		s.MaxCandHost = h
+		avg, n := timedRun(s)
+		res.AvgTime = append(res.AvgTime, avg)
+		res.Samples = append(res.Samples, n)
+	}
+	return res
+}
+
+// Fig6b measures planning time against query arity (Fig. 6(b)).
+func Fig6b(sc Scale, arities []int) TimingResult {
+	res := TimingResult{XLabel: "arity", X: arities}
+	for _, k := range arities {
+		s := sc
+		s.Arities = []int{k}
+		avg, n := timedRun(s)
+		res.AvgTime = append(res.AvgTime, avg)
+		res.Samples = append(res.Samples, n)
+	}
+	return res
+}
+
+func timedRun(s Scale) (time.Duration, int) {
+	env := BuildEnv(s)
+	ad := env.NewSQPR(s, s.Timeout)
+	for _, q := range env.Queries {
+		ad.Submit(q)
+	}
+	var sum time.Duration
+	n := 0
+	for i, d := range ad.PlanTimes {
+		if i < len(ad.UtilisationAt) && ad.UtilisationAt[i] >= LoUtil && ad.UtilisationAt[i] <= HiUtil {
+			sum += d
+			n++
+		}
+	}
+	if n == 0 {
+		// Fall back to the overall average when the window was never hit
+		// (small systems may saturate before 75%).
+		for _, d := range ad.PlanTimes {
+			sum += d
+		}
+		n = len(ad.PlanTimes)
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / time.Duration(n), n
+}
+
+// UtilisationCDFs captures per-host CPU and network usage distributions of
+// an assignment, the quantities plotted in Fig. 7(b) and (c).
+func UtilisationCDFs(sys *dsps.System, a *dsps.Assignment) (cpu, net *stats.CDF) {
+	u := a.ComputeUsage(sys)
+	cpuSamples := make([]float64, sys.NumHosts())
+	netSamples := make([]float64, sys.NumHosts())
+	for h := 0; h < sys.NumHosts(); h++ {
+		if sys.Hosts[h].CPU > 0 {
+			cpuSamples[h] = 100 * u.CPU[h] / sys.Hosts[h].CPU
+		}
+		netSamples[h] = u.Out[h] + u.In[h]
+	}
+	return stats.NewCDF(cpuSamples), stats.NewCDF(netSamples)
+}

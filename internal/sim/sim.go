@@ -1,0 +1,173 @@
+// Package sim is the simulation harness of §V-A: it submits generated query
+// workloads to planners one at a time (or in batches), tracks admission
+// curves, resource utilisation and planning times, and contains one runner
+// per figure of the paper's evaluation.
+package sim
+
+import (
+	"time"
+
+	"sqpr/internal/bound"
+	"sqpr/internal/core"
+	"sqpr/internal/dsps"
+	"sqpr/internal/heuristic"
+	"sqpr/internal/soda"
+)
+
+// Submitter is the common planning interface exercised by the harness.
+type Submitter interface {
+	// Submit plans one query and reports whether it was admitted.
+	Submit(q dsps.StreamID) bool
+	// AdmittedCount returns the number of admitted queries so far.
+	AdmittedCount() int
+}
+
+// SQPRAdapter adapts core.Planner (whose Submit returns a rich result) to
+// the Submitter interface and accumulates planning-time telemetry.
+type SQPRAdapter struct {
+	P *core.Planner
+	// PlanTimes records the duration of every planning call.
+	PlanTimes []time.Duration
+	// UtilisationAt records system CPU utilisation before each call.
+	UtilisationAt []float64
+	sys           *dsps.System
+}
+
+// NewSQPRAdapter wraps a core planner for the harness.
+func NewSQPRAdapter(sys *dsps.System, p *core.Planner) *SQPRAdapter {
+	return &SQPRAdapter{P: p, sys: sys}
+}
+
+// Submit implements Submitter.
+func (a *SQPRAdapter) Submit(q dsps.StreamID) bool {
+	u := a.P.Assignment().ComputeUsage(a.sys)
+	total := a.sys.TotalCPU()
+	if total > 0 {
+		a.UtilisationAt = append(a.UtilisationAt, u.TotalCPU()/total)
+	} else {
+		a.UtilisationAt = append(a.UtilisationAt, 0)
+	}
+	res, err := a.P.Submit(q)
+	if err != nil {
+		return false
+	}
+	a.PlanTimes = append(a.PlanTimes, res.PlanTime)
+	return res.Admitted
+}
+
+// AdmittedCount implements Submitter.
+func (a *SQPRAdapter) AdmittedCount() int { return a.P.AdmittedCount() }
+
+// Curve is one admission series: Satisfied[i] is the cumulative number of
+// satisfied queries after Inputs[i] submissions.
+type Curve struct {
+	Label     string
+	Inputs    []int
+	Satisfied []int
+}
+
+// RunAdmission submits all queries to the planner, checkpointing the
+// cumulative number of satisfied submissions every step submissions.
+// Duplicate submissions of an already-admitted query count as satisfied,
+// matching the paper's "number of satisfied queries" axis (a user whose
+// query is served by reuse is satisfied even though nothing new was
+// deployed).
+func RunAdmission(label string, p Submitter, queries []dsps.StreamID, step int) Curve {
+	if step <= 0 {
+		step = 1
+	}
+	c := Curve{Label: label}
+	satisfied := 0
+	for i, q := range queries {
+		if p.Submit(q) {
+			satisfied++
+		}
+		if (i+1)%step == 0 || i == len(queries)-1 {
+			c.Inputs = append(c.Inputs, i+1)
+			c.Satisfied = append(c.Satisfied, satisfied)
+		}
+	}
+	return c
+}
+
+// CountSatisfied submits all queries and returns the number of satisfied
+// submissions (duplicates included; see RunAdmission).
+func CountSatisfied(p Submitter, queries []dsps.StreamID) int {
+	satisfied := 0
+	for _, q := range queries {
+		if p.Submit(q) {
+			satisfied++
+		}
+	}
+	return satisfied
+}
+
+// Scale holds the experiment dimensions. The paper's absolute scale
+// (50–150 hosts, CPLEX, 30 s timeouts) is reduced here because the MILP
+// substrate is a hand-rolled solver; DESIGN.md documents the mapping.
+type Scale struct {
+	Hosts       int
+	CPUPerHost  float64
+	OutBW       float64
+	InBW        float64
+	LinkCap     float64
+	BaseStreams int
+	BaseRate    float64
+	Queries     int
+	Zipf        float64
+	Arities     []int
+	Timeout     time.Duration
+	MaxCandHost int
+	Seed        int64
+}
+
+// DefaultScale is the reduced-scale counterpart of the paper's 50-host,
+// 500-base-stream simulation.
+func DefaultScale() Scale {
+	return Scale{
+		Hosts:       16,
+		CPUPerHost:  7,
+		OutBW:       70,
+		InBW:        70,
+		LinkCap:     30,
+		BaseStreams: 100,
+		BaseRate:    10,
+		Queries:     150,
+		Zipf:        1,
+		Arities:     []int{2, 3, 4},
+		Timeout:     150 * time.Millisecond,
+		MaxCandHost: 8,
+		Seed:        1,
+	}
+}
+
+// Env bundles a built system and workload.
+type Env struct {
+	Sys     *dsps.System
+	Queries []dsps.StreamID
+}
+
+// BuildEnv constructs the system and workload for a scale.
+func BuildEnv(sc Scale) *Env {
+	sys := buildSystem(sc)
+	w := generate(sys, sc)
+	return &Env{Sys: sys, Queries: w}
+}
+
+// NewSQPR builds an SQPR planner adapter at the given timeout.
+func (e *Env) NewSQPR(sc Scale, timeout time.Duration) *SQPRAdapter {
+	cfg := core.DefaultConfig()
+	cfg.SolveTimeout = timeout
+	cfg.MaxCandidateHosts = sc.MaxCandHost
+	cfg.MaxFreeStreams = 30
+	return NewSQPRAdapter(e.Sys, core.NewPlanner(e.Sys, cfg))
+}
+
+// NewHeuristic builds the heuristic baseline.
+func (e *Env) NewHeuristic() Submitter { return heuristic.New(e.Sys, core.PaperWeights()) }
+
+// NewBound builds the optimistic-bound planner.
+func (e *Env) NewBound() Submitter { return bound.New(e.Sys) }
+
+// NewSODA builds the SODA-like baseline.
+func (e *Env) NewSODA() Submitter { return soda.New(e.Sys, core.PaperWeights()) }

@@ -1,0 +1,281 @@
+// Package soda implements the basic functionality of the SODA scheduler
+// (Wolf et al., Middleware'08) as described and re-implemented in §V-B of
+// the SQPR paper: macroQ-style query admission based on aggregate resource
+// consumption, followed by per-operator greedy placement (miniW-style) that
+// is bound to a *fixed query template* — the canonical left-deep join
+// order — reuses streams only by gluing templates together, receives each
+// input stream at most once per host, and never relays streams through
+// intermediate hosts nor revisits earlier placement decisions.
+package soda
+
+import (
+	"math"
+	"sort"
+
+	"sqpr/internal/core"
+	"sqpr/internal/dsps"
+)
+
+// Planner is the SODA-like baseline.
+type Planner struct {
+	sys      *dsps.System
+	state    *dsps.Assignment
+	weights  core.Weights
+	admitted map[dsps.StreamID]bool
+
+	// opHost records where each placed template operator runs, enabling
+	// whole-sub-query reuse ("gluing templates").
+	opHost map[dsps.OperatorID]dsps.HostID
+
+	baseSets map[dsps.StreamID][]dsps.StreamID
+
+	joinIdx   map[[2]dsps.StreamID]dsps.OperatorID
+	joinIdxAt int // number of operators indexed so far
+}
+
+// New creates a SODA-like planner sharing SQPR's objective weights for the
+// load-balancing placement score.
+func New(sys *dsps.System, w core.Weights) *Planner {
+	return &Planner{
+		sys:      sys,
+		state:    dsps.NewAssignment(),
+		weights:  w,
+		admitted: make(map[dsps.StreamID]bool),
+		opHost:   make(map[dsps.OperatorID]dsps.HostID),
+		baseSets: make(map[dsps.StreamID][]dsps.StreamID),
+	}
+}
+
+// Assignment exposes the current allocation (do not mutate).
+func (p *Planner) Assignment() *dsps.Assignment { return p.state }
+
+// Admitted reports whether q is served.
+func (p *Planner) Admitted(q dsps.StreamID) bool { return p.admitted[q] }
+
+// AdmittedCount returns the number of admitted queries.
+func (p *Planner) AdmittedCount() int { return len(p.admitted) }
+
+// Submit runs admission (macroQ) and placement (miniW) for one query.
+func (p *Planner) Submit(q dsps.StreamID) bool {
+	if p.admitted[q] {
+		return true
+	}
+	tmpl, ok := p.template(q)
+	if !ok {
+		return false
+	}
+	if !p.macroQ(tmpl) {
+		return false
+	}
+	cand := p.state.Clone()
+	newHosts := make(map[dsps.OperatorID]dsps.HostID)
+	last := dsps.HostID(-1)
+	for _, opID := range tmpl {
+		if h, placed := p.opHost[opID]; placed {
+			last = h // reuse the glued sub-query as-is
+			continue
+		}
+		h, okPlace := p.placeOp(cand, opID, newHosts)
+		if !okPlace {
+			return false
+		}
+		newHosts[opID] = h
+		last = h
+	}
+	if last < 0 {
+		// Entire template reused; the provider is the host of the final op.
+		last = p.opHost[tmpl[len(tmpl)-1]]
+	}
+	// Delivery bandwidth at the providing host.
+	u := cand.ComputeUsage(p.sys)
+	if u.Out[last]+p.sys.Streams[q].Rate > p.sys.Hosts[last].OutBW+1e-9 {
+		return false
+	}
+	cand.Provides[q] = last
+	if cand.Validate(p.sys) != nil {
+		return false
+	}
+	p.state = cand
+	for op, h := range newHosts {
+		p.opHost[op] = h
+	}
+	p.admitted[q] = true
+	return true
+}
+
+// template derives the fixed left-deep join chain over the sorted base set
+// of q: ((b0 ⋈ b1) ⋈ b2) ⋈ …, returned in execution order. SODA is bound
+// to this user-given structure and cannot restructure it.
+func (p *Planner) template(q dsps.StreamID) ([]dsps.OperatorID, bool) {
+	bases := p.baseSetOf(q)
+	if len(bases) < 2 {
+		return nil, false
+	}
+	var chain []dsps.OperatorID
+	cur := bases[0]
+	for i := 1; i < len(bases); i++ {
+		next, ok := p.joinOf(cur, bases[i])
+		if !ok {
+			return nil, false
+		}
+		chain = append(chain, next)
+		cur = p.sys.Operators[next].Output
+	}
+	if cur != q {
+		return nil, false
+	}
+	return chain, true
+}
+
+// joinOf finds the operator joining exactly streams a and b using a lazily
+// maintained index over the operator table.
+func (p *Planner) joinOf(a, b dsps.StreamID) (dsps.OperatorID, bool) {
+	if p.joinIdx == nil {
+		p.joinIdx = make(map[[2]dsps.StreamID]dsps.OperatorID)
+	}
+	for ; p.joinIdxAt < len(p.sys.Operators); p.joinIdxAt++ {
+		op := &p.sys.Operators[p.joinIdxAt]
+		if len(op.Inputs) != 2 {
+			continue
+		}
+		k := joinKey(op.Inputs[0], op.Inputs[1])
+		if _, dup := p.joinIdx[k]; !dup {
+			p.joinIdx[k] = op.ID
+		}
+	}
+	op, ok := p.joinIdx[joinKey(a, b)]
+	return op, ok
+}
+
+func joinKey(a, b dsps.StreamID) [2]dsps.StreamID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]dsps.StreamID{a, b}
+}
+
+// baseSetOf expands a stream to its sorted base-stream set.
+func (p *Planner) baseSetOf(s dsps.StreamID) []dsps.StreamID {
+	if cached, ok := p.baseSets[s]; ok {
+		return cached
+	}
+	seen := make(map[dsps.StreamID]bool)
+	var walk func(dsps.StreamID)
+	walk = func(cur dsps.StreamID) {
+		if p.sys.Streams[cur].IsBase() {
+			seen[cur] = true
+			return
+		}
+		producers := p.sys.ProducersOf(cur)
+		if len(producers) == 0 {
+			return
+		}
+		for _, in := range p.sys.Operators[producers[0]].Inputs {
+			walk(in)
+		}
+	}
+	walk(s)
+	out := make([]dsps.StreamID, 0, len(seen))
+	for b := range seen {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	p.baseSets[s] = out
+	return out
+}
+
+// macroQ admits the query if the aggregate CPU demand of its not-yet-placed
+// template operators fits the system's remaining aggregate CPU.
+func (p *Planner) macroQ(tmpl []dsps.OperatorID) bool {
+	var demand float64
+	for _, opID := range tmpl {
+		if _, placed := p.opHost[opID]; !placed {
+			demand += p.sys.Operators[opID].Cost
+		}
+	}
+	u := p.state.ComputeUsage(p.sys)
+	spare := p.sys.TotalCPU() - u.TotalCPU()
+	return demand <= spare+1e-9
+}
+
+// placeOp places one template operator on the host that minimises the
+// load-balancing score, fetching each input once from its producing or
+// base host (direct transfer only — no relays).
+func (p *Planner) placeOp(cand *dsps.Assignment, opID dsps.OperatorID, newHosts map[dsps.OperatorID]dsps.HostID) (dsps.HostID, bool) {
+	op := &p.sys.Operators[opID]
+	bestScore := math.Inf(1)
+	var bestHost dsps.HostID
+	var bestTrial *dsps.Assignment
+	for h := 0; h < p.sys.NumHosts(); h++ {
+		host := dsps.HostID(h)
+		u := cand.ComputeUsage(p.sys)
+		if u.CPU[host]+op.Cost > p.sys.Hosts[host].CPU+1e-9 {
+			continue
+		}
+		trial := cand.Clone()
+		ok := true
+		for _, in := range op.Inputs {
+			if !p.fetchDirect(trial, in, host) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		trial.Ops[dsps.Placement{Host: host, Op: opID}] = true
+		tu := trial.ComputeUsage(p.sys)
+		score := tu.MaxCPU() // SODA's placement objective here: balance load
+		if score < bestScore {
+			bestScore = score
+			bestHost = host
+			bestTrial = trial
+		}
+	}
+	if bestTrial == nil {
+		return 0, false
+	}
+	*cand = *bestTrial
+	return bestHost, true
+}
+
+// fetchDirect brings stream s to host h with a single direct transfer from
+// the host that originates it (local propagation means a stream already
+// flowing into h is free).
+func (p *Planner) fetchDirect(cand *dsps.Assignment, s dsps.StreamID, h dsps.HostID) bool {
+	if cand.Available(p.sys, h, s) {
+		return true
+	}
+	rate := p.sys.Streams[s].Rate
+	try := func(m dsps.HostID) bool {
+		if m == h {
+			return false
+		}
+		u := cand.ComputeUsage(p.sys)
+		if u.Link[m][h]+rate > p.sys.LinkCap[m][h]+1e-9 ||
+			u.Out[m]+rate > p.sys.Hosts[m].OutBW+1e-9 ||
+			u.In[h]+rate > p.sys.Hosts[h].InBW+1e-9 {
+			return false
+		}
+		cand.Flows[dsps.Flow{From: m, To: h, Stream: s}] = true
+		return true
+	}
+	if p.sys.Streams[s].IsBase() {
+		for _, m := range p.sys.BaseHosts(s) {
+			if try(m) {
+				return true
+			}
+		}
+		return false
+	}
+	// Composite: only the host executing its producer may send it
+	// (original host rule — no relaying).
+	for _, opID := range p.sys.ProducersOf(s) {
+		for m := 0; m < p.sys.NumHosts(); m++ {
+			if cand.Ops[dsps.Placement{Host: dsps.HostID(m), Op: opID}] && try(dsps.HostID(m)) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,132 @@
+package soda
+
+import (
+	"testing"
+
+	"sqpr/internal/core"
+	"sqpr/internal/dsps"
+	"sqpr/internal/workload"
+)
+
+func buildWorkload(t *testing.T, hosts, bases, queries int) (*dsps.System, []dsps.StreamID) {
+	t.Helper()
+	sys := workload.BuildSystem(workload.SystemConfig{
+		NumHosts: hosts, CPUPerHost: 8, OutBW: 80, InBW: 80, LinkCap: 40,
+	})
+	cfg := workload.DefaultConfig()
+	cfg.NumBaseStreams = bases
+	cfg.NumQueries = queries
+	cfg.Arities = []int{2, 3}
+	w := workload.Generate(sys, cfg)
+	return sys, w.Queries
+}
+
+func TestAdmitsQueries(t *testing.T) {
+	sys, queries := buildWorkload(t, 4, 20, 10)
+	p := New(sys, core.PaperWeights())
+	admitted := 0
+	for _, q := range queries {
+		if p.Submit(q) {
+			admitted++
+		}
+		if err := p.Assignment().Validate(sys); err != nil {
+			t.Fatalf("infeasible after submit: %v", err)
+		}
+	}
+	if admitted == 0 {
+		t.Fatal("SODA admitted nothing")
+	}
+}
+
+func TestTemplateIsLeftDeep(t *testing.T) {
+	sys, queries := buildWorkload(t, 2, 6, 3)
+	p := New(sys, core.PaperWeights())
+	for _, q := range queries {
+		tmpl, ok := p.template(q)
+		if !ok {
+			t.Fatalf("no template for query %d", q)
+		}
+		bases := p.baseSetOf(q)
+		if len(tmpl) != len(bases)-1 {
+			t.Fatalf("template has %d ops for %d bases", len(tmpl), len(bases))
+		}
+		// The final operator must output the query stream.
+		if sys.Operators[tmpl[len(tmpl)-1]].Output != q {
+			t.Fatal("template does not end at the query stream")
+		}
+	}
+}
+
+func TestReuseByGluingTemplates(t *testing.T) {
+	// Two identical queries: the second must fully reuse the first's ops.
+	sys, queries := buildWorkload(t, 3, 4, 8)
+	p := New(sys, core.PaperWeights())
+	for _, q := range queries {
+		p.Submit(q)
+	}
+	// Count operator placements vs distinct placed operators: each op may
+	// run at most once (gluing means no duplicates).
+	seen := map[dsps.OperatorID]int{}
+	for pl, on := range p.Assignment().Ops {
+		if on {
+			seen[pl.Op]++
+		}
+	}
+	for op, n := range seen {
+		if n > 1 {
+			t.Fatalf("operator %d placed %d times (no gluing)", op, n)
+		}
+	}
+}
+
+func TestMacroQRejectsWhenAggregateCPUExhausted(t *testing.T) {
+	hosts := []dsps.Host{{ID: 0, CPU: 0.5, OutBW: 100, InBW: 100}}
+	sys := dsps.NewSystem(hosts, 100)
+	a := sys.AddStream(5, dsps.NoOperator, "a")
+	b := sys.AddStream(5, dsps.NoOperator, "b")
+	sys.PlaceBase(0, a)
+	sys.PlaceBase(0, b)
+	op := sys.AddOperator([]dsps.StreamID{a, b}, 1, 2, "ab")
+	sys.SetRequested(op.Output, true)
+	p := New(sys, core.PaperWeights())
+	if p.Submit(op.Output) {
+		t.Fatal("macroQ failed to reject an unservable query")
+	}
+}
+
+func TestDuplicateQueryFreeOfCharge(t *testing.T) {
+	sys, queries := buildWorkload(t, 3, 4, 1)
+	p := New(sys, core.PaperWeights())
+	if !p.Submit(queries[0]) {
+		t.Fatal("first submit failed")
+	}
+	cpuBefore := p.Assignment().ComputeUsage(sys).TotalCPU()
+	if !p.Submit(queries[0]) {
+		t.Fatal("duplicate rejected")
+	}
+	cpuAfter := p.Assignment().ComputeUsage(sys).TotalCPU()
+	if cpuAfter != cpuBefore {
+		t.Fatalf("duplicate consumed CPU: %v -> %v", cpuBefore, cpuAfter)
+	}
+}
+
+func TestBaseSetOf(t *testing.T) {
+	sys, queries := buildWorkload(t, 2, 8, 4)
+	p := New(sys, core.PaperWeights())
+	for _, q := range queries {
+		bases := p.baseSetOf(q)
+		if len(bases) < 2 {
+			t.Fatalf("query %d has base set %v", q, bases)
+		}
+		for i := 1; i < len(bases); i++ {
+			if bases[i-1] >= bases[i] {
+				t.Fatal("base set not sorted")
+			}
+		}
+		for _, b := range bases {
+			if !sys.Streams[b].IsBase() {
+				t.Fatalf("non-base stream %d in base set", b)
+			}
+		}
+	}
+}

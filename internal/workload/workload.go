@@ -1,0 +1,289 @@
+// Package workload generates the synthetic query workloads of §V of the
+// SQPR paper: join queries over base streams chosen with a Zipf
+// distribution, with join selectivities in a configurable range.
+//
+// Composite streams are canonicalised by their base-stream set: two
+// sub-queries producing the same set are the *same* stream, which is
+// exactly the paper's notion of stream equivalence ("produced by the same
+// operators using the same input streams") and is what creates reuse
+// opportunities. For every query the full space of binary join trees is
+// registered as alternative operators, so planners can pick any join order.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"sqpr/internal/dsps"
+)
+
+// SystemConfig describes the simulated data-centre substrate.
+type SystemConfig struct {
+	NumHosts int
+	// CPUPerHost is ζ_h, in abstract cost units.
+	CPUPerHost float64
+	// OutBW and InBW are β_h in rate units (e.g. Mbps).
+	OutBW, InBW float64
+	// LinkCap is κ_hm for all pairs.
+	LinkCap float64
+}
+
+// BuildSystem creates a homogeneous system per the config.
+func BuildSystem(cfg SystemConfig) *dsps.System {
+	hosts := make([]dsps.Host, cfg.NumHosts)
+	for i := range hosts {
+		hosts[i] = dsps.Host{
+			ID:    dsps.HostID(i),
+			CPU:   cfg.CPUPerHost,
+			OutBW: cfg.OutBW,
+			InBW:  cfg.InBW,
+		}
+	}
+	return dsps.NewSystem(hosts, cfg.LinkCap)
+}
+
+// Config describes a query workload.
+type Config struct {
+	// NumBaseStreams is the number of externally injected streams.
+	NumBaseStreams int
+	// BaseRate is the average data rate of each base stream.
+	BaseRate float64
+	// Zipf is the skew of base-stream popularity; 0 means uniform. The
+	// paper uses 1 for most experiments.
+	Zipf float64
+	// Arities lists the join widths to draw from in equal parts
+	// (paper: 2-, 3- and 4-way joins).
+	Arities []int
+	// NumQueries is the number of queries to generate.
+	NumQueries int
+	// SelMin and SelMax bound the per-join selectivity (paper: 0.001–0.005).
+	SelMin, SelMax float64
+	// CostPerRate converts aggregate input rate into operator CPU cost γ.
+	CostPerRate float64
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's simulation workload at reduced scale.
+func DefaultConfig() Config {
+	return Config{
+		NumBaseStreams: 120,
+		BaseRate:       10,
+		Zipf:           1,
+		Arities:        []int{2, 3, 4},
+		NumQueries:     200,
+		SelMin:         0.001,
+		SelMax:         0.005,
+		CostPerRate:    0.05,
+		Seed:           1,
+	}
+}
+
+// Workload is a generated query sequence over a system.
+type Workload struct {
+	Sys *dsps.System
+	// Queries holds the requested result streams in submission order.
+	// Duplicate entries are possible (the same query submitted twice).
+	Queries []dsps.StreamID
+	// BaseStreams lists the generated base streams.
+	BaseStreams []dsps.StreamID
+
+	cfg      Config
+	registry map[string]dsps.StreamID // canonical base-set -> composite stream
+	opKeys   map[string]bool          // dedup of registered operators
+}
+
+// Generate builds a workload into sys: base streams are placed uniformly at
+// random across hosts, queries are joins over Zipf-chosen base streams, and
+// the full join-tree operator space of each query is registered.
+func Generate(sys *dsps.System, cfg Config) *Workload {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &Workload{
+		Sys:      sys,
+		cfg:      cfg,
+		registry: make(map[string]dsps.StreamID),
+		opKeys:   make(map[string]bool),
+	}
+	for i := 0; i < cfg.NumBaseStreams; i++ {
+		s := sys.AddStream(cfg.BaseRate, dsps.NoOperator, fmt.Sprintf("base%d", i))
+		sys.PlaceBase(dsps.HostID(rng.Intn(sys.NumHosts())), s)
+		w.BaseStreams = append(w.BaseStreams, s)
+	}
+	z := newZipf(rng, cfg.Zipf, cfg.NumBaseStreams)
+	for q := 0; q < cfg.NumQueries; q++ {
+		k := cfg.Arities[q%len(cfg.Arities)]
+		set := w.sampleDistinct(z, k)
+		result := w.registerPlanSpace(set)
+		sys.SetRequested(result, true)
+		w.Queries = append(w.Queries, result)
+	}
+	return w
+}
+
+// sampleDistinct draws k distinct base streams.
+func (w *Workload) sampleDistinct(z *zipf, k int) []dsps.StreamID {
+	seen := make(map[int]bool, k)
+	out := make([]dsps.StreamID, 0, k)
+	for len(out) < k {
+		i := z.next()
+		if seen[i] {
+			continue
+		}
+		seen[i] = true
+		out = append(out, w.BaseStreams[i])
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+func setKey(set []dsps.StreamID) string {
+	parts := make([]string, len(set))
+	for i, s := range set {
+		parts[i] = fmt.Sprint(int(s))
+	}
+	return strings.Join(parts, ",")
+}
+
+// selectivity derives a deterministic per-set selectivity inside
+// [SelMin, SelMax] from a hash of the canonical key, so that stream
+// identity implies identical rates regardless of join order or query.
+func (w *Workload) selectivity(key string) float64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	frac := float64(h%10000) / 10000
+	return w.cfg.SelMin + frac*(w.cfg.SelMax-w.cfg.SelMin)
+}
+
+// compositeRate computes the canonical rate of the composite stream over
+// the given base set: Π rates · σ^(|set|−1). Being a pure function of the
+// set, every join order yields the same rate.
+func (w *Workload) compositeRate(set []dsps.StreamID) float64 {
+	key := setKey(set)
+	sel := w.selectivity(key)
+	rate := 1.0
+	for _, s := range set {
+		rate *= w.Sys.Streams[s].Rate
+	}
+	return rate * math.Pow(sel, float64(len(set)-1))
+}
+
+// streamFor returns (creating if needed) the canonical composite stream for
+// a base set. Singleton sets return the base stream itself.
+func (w *Workload) streamFor(set []dsps.StreamID) dsps.StreamID {
+	if len(set) == 1 {
+		return set[0]
+	}
+	key := setKey(set)
+	if s, ok := w.registry[key]; ok {
+		return s
+	}
+	// Producer is registered separately; create the stream with a dummy
+	// producer that is patched by the first registered operator.
+	s := w.Sys.AddStream(w.compositeRate(set), dsps.NoOperator, "join{"+key+"}")
+	// Mark it as composite by assigning the producer when operators are
+	// registered below; until then flag it with a sentinel so IsBase is
+	// false. We use the producer of the first operator added for it.
+	w.registry[key] = s
+	return s
+}
+
+// registerPlanSpace registers, for every subset T of the base set with
+// |T| >= 2 and every unordered split {A, T\A}, a join operator
+// stream(A) ⋈ stream(T\A) → stream(T). Returns the full-set stream.
+func (w *Workload) registerPlanSpace(set []dsps.StreamID) dsps.StreamID {
+	n := len(set)
+	full := (1 << n) - 1
+	// Ensure streams exist for all subsets of size >= 2 (and remember the
+	// stream of each mask).
+	streams := make([]dsps.StreamID, full+1)
+	for mask := 1; mask <= full; mask++ {
+		sub := subsetOf(set, mask)
+		streams[mask] = w.streamFor(sub)
+	}
+	for mask := 1; mask <= full; mask++ {
+		if popcount(mask) < 2 {
+			continue
+		}
+		out := streams[mask]
+		// Enumerate unordered splits: iterate submasks a with a < mask^a
+		// complement comparison to visit each pair once.
+		for a := (mask - 1) & mask; a > 0; a = (a - 1) & mask {
+			b := mask &^ a
+			if a > b {
+				continue // unordered: visit each split once
+			}
+			inA, inB := streams[a], streams[b]
+			key := fmt.Sprintf("%d+%d->%d", inA, inB, out)
+			if w.opKeys[key] {
+				continue
+			}
+			w.opKeys[key] = true
+			cost := w.cfg.CostPerRate * (w.Sys.Streams[inA].Rate + w.Sys.Streams[inB].Rate)
+			op := w.Sys.AddProducerFor(out, []dsps.StreamID{inA, inB}, cost, "join")
+			if w.Sys.Streams[out].Producer == dsps.NoOperator {
+				w.Sys.Streams[out].Producer = op.ID
+			}
+		}
+	}
+	return streams[full]
+}
+
+func subsetOf(set []dsps.StreamID, mask int) []dsps.StreamID {
+	var out []dsps.StreamID
+	for i := 0; i < len(set); i++ {
+		if mask&(1<<i) != 0 {
+			out = append(out, set[i])
+		}
+	}
+	return out
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+// zipf samples ranks 0..n-1 with probability ∝ 1/(rank+1)^s; s = 0 yields
+// the uniform distribution. Implemented directly (math/rand's Zipf does not
+// support s <= 1).
+type zipf struct {
+	rng *rand.Rand
+	cdf []float64
+}
+
+func newZipf(rng *rand.Rand, s float64, n int) *zipf {
+	cdf := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &zipf{rng: rng, cdf: cdf}
+}
+
+func (z *zipf) next() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

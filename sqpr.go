@@ -1,0 +1,173 @@
+// Package sqpr is the public facade of this repository: a Go implementation
+// of SQPR — Stream Query Planning with Reuse (Kalyvianaki et al., ICDE
+// 2011). SQPR plans continuous queries onto the hosts of a distributed
+// stream processing system by solving a single mixed-integer optimisation
+// problem that combines query admission, operator placement and cross-query
+// reuse (including relaying streams between hosts), made tractable by
+// restricting each planning call to the streams and operators related to
+// the newly submitted query.
+//
+// The facade re-exports the pieces a downstream user needs:
+//
+//   - the system/query/resource model (hosts, streams, operators,
+//     assignments) from internal/dsps;
+//   - the SQPR planner from internal/core;
+//   - baseline planners (heuristic, SODA-like, optimistic bound);
+//   - the synthetic workload generator of the paper's evaluation;
+//   - a miniature stream engine that executes produced plans.
+//
+// See examples/ for runnable programs and DESIGN.md for the architecture.
+package sqpr
+
+import (
+	"time"
+
+	"sqpr/internal/bound"
+	"sqpr/internal/core"
+	"sqpr/internal/costmodel"
+	"sqpr/internal/dsps"
+	"sqpr/internal/engine"
+	"sqpr/internal/heuristic"
+	"sqpr/internal/hier"
+	"sqpr/internal/soda"
+	"sqpr/internal/workload"
+)
+
+// Core model types.
+type (
+	// System describes hosts, streams, operators and link capacities.
+	System = dsps.System
+	// Host is one processing host with CPU and bandwidth budgets.
+	Host = dsps.Host
+	// HostID identifies a host.
+	HostID = dsps.HostID
+	// StreamID identifies a base or composite stream.
+	StreamID = dsps.StreamID
+	// OperatorID identifies a query operator.
+	OperatorID = dsps.OperatorID
+	// Operator is a query operator (inputs, output, cost).
+	Operator = dsps.Operator
+	// Stream is one data stream.
+	Stream = dsps.Stream
+	// Assignment is a full allocation: providers, flows and placements.
+	Assignment = dsps.Assignment
+	// Flow is one inter-host stream transfer.
+	Flow = dsps.Flow
+	// Placement is one operator-on-host assignment.
+	Placement = dsps.Placement
+	// Usage is a resource-consumption snapshot of an assignment.
+	Usage = dsps.Usage
+)
+
+// Planner types.
+type (
+	// Planner is the SQPR planner.
+	Planner = core.Planner
+	// PlannerConfig tunes the SQPR planner.
+	PlannerConfig = core.Config
+	// PlanResult describes one planning call's outcome.
+	PlanResult = core.Result
+	// Weights are the λ1–λ4 objective weights.
+	Weights = core.Weights
+	// HeuristicPlanner is the hand-crafted baseline of §V-A.
+	HeuristicPlanner = heuristic.Planner
+	// SODAPlanner is the SODA-like baseline of §V-B.
+	SODAPlanner = soda.Planner
+	// BoundPlanner computes the aggregate-host optimistic bound.
+	BoundPlanner = bound.Planner
+	// HierarchicalPlanner decomposes planning by host sites (§VII).
+	HierarchicalPlanner = hier.Planner
+	// CostModel estimates operator cost/memory and output rates (§II-B)
+	// and detects drift for adaptive replanning (§IV-B).
+	CostModel = costmodel.Model
+	// Observation is one monitoring sample for cost calibration.
+	Observation = costmodel.Observation
+)
+
+// Engine types.
+type (
+	// Engine executes deployed assignments on simulated hosts.
+	Engine = engine.Engine
+	// EngineConfig tunes the engine.
+	EngineConfig = engine.Config
+	// Tuple is one stream data item.
+	Tuple = engine.Tuple
+	// Monitor is the per-host resource monitor.
+	Monitor = engine.Monitor
+)
+
+// Workload types.
+type (
+	// WorkloadConfig describes a synthetic query workload.
+	WorkloadConfig = workload.Config
+	// SystemConfig describes a homogeneous host substrate.
+	SystemConfig = workload.SystemConfig
+	// Workload is a generated query sequence.
+	Workload = workload.Workload
+)
+
+// NoOperator marks base streams (no producing operator).
+const NoOperator = dsps.NoOperator
+
+// NewSystem creates a system with the given hosts and uniform link capacity.
+func NewSystem(hosts []Host, linkCap float64) *System { return dsps.NewSystem(hosts, linkCap) }
+
+// BuildSystem creates a homogeneous system from a SystemConfig.
+func BuildSystem(cfg SystemConfig) *System { return workload.BuildSystem(cfg) }
+
+// NewAssignment returns an empty allocation.
+func NewAssignment() *Assignment { return dsps.NewAssignment() }
+
+// NewPlanner creates an SQPR planner.
+func NewPlanner(sys *System, cfg PlannerConfig) *Planner { return core.NewPlanner(sys, cfg) }
+
+// DefaultPlannerConfig returns the evaluation-harness defaults.
+func DefaultPlannerConfig() PlannerConfig { return core.DefaultConfig() }
+
+// PaperWeights returns the §IV-A objective weights.
+func PaperWeights() Weights { return core.PaperWeights() }
+
+// NewHeuristicPlanner creates the heuristic baseline.
+func NewHeuristicPlanner(sys *System, w Weights) *HeuristicPlanner { return heuristic.New(sys, w) }
+
+// NewSODAPlanner creates the SODA-like baseline.
+func NewSODAPlanner(sys *System, w Weights) *SODAPlanner { return soda.New(sys, w) }
+
+// NewBoundPlanner creates the optimistic-bound planner.
+func NewBoundPlanner(sys *System) *BoundPlanner { return bound.New(sys) }
+
+// NewHierarchicalPlanner creates a site-decomposed SQPR planner.
+func NewHierarchicalPlanner(sys *System, cfg PlannerConfig, numSites int) *HierarchicalPlanner {
+	return hier.New(sys, cfg, numSites)
+}
+
+// NewCostModel returns the linear cost model with evaluation defaults.
+func NewCostModel() *CostModel { return costmodel.NewModel() }
+
+// GenerateWorkload populates sys with base streams, queries and the full
+// join-tree operator space, returning the submission sequence.
+func GenerateWorkload(sys *System, cfg WorkloadConfig) *Workload { return workload.Generate(sys, cfg) }
+
+// DefaultWorkloadConfig mirrors the paper's simulation workload at reduced
+// scale.
+func DefaultWorkloadConfig() WorkloadConfig { return workload.DefaultConfig() }
+
+// NewEngine creates a mini stream engine over the system.
+func NewEngine(sys *System, cfg EngineConfig) *Engine { return engine.New(sys, cfg) }
+
+// DefaultEngineConfig returns demo engine settings.
+func DefaultEngineConfig() EngineConfig { return engine.DefaultConfig() }
+
+// QuickPlan is a convenience helper: it submits the queries in order with
+// the given per-query timeout and returns the number admitted.
+func QuickPlan(sys *System, queries []StreamID, timeout time.Duration) (int, error) {
+	cfg := core.DefaultConfig()
+	cfg.SolveTimeout = timeout
+	p := core.NewPlanner(sys, cfg)
+	for _, q := range queries {
+		if _, err := p.Submit(q); err != nil {
+			return p.AdmittedCount(), err
+		}
+	}
+	return p.AdmittedCount(), nil
+}
