@@ -10,6 +10,7 @@
 package sqpr_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -201,8 +202,9 @@ func runAblation(mutate func(*core.Config)) (int, time.Duration) {
 	mutate(&cfg)
 	p := core.NewPlanner(env.Sys, cfg)
 	var total time.Duration
+	ctx := context.Background()
 	for _, q := range env.Queries {
-		res, err := p.Submit(q)
+		res, err := p.Submit(ctx, q)
 		if err != nil {
 			break
 		}
@@ -267,8 +269,9 @@ func BenchmarkAblationReduction(b *testing.B) {
 		cfg.MaxCandidateHosts = sc.Hosts
 		p := core.NewPlanner(env.Sys, cfg)
 		var total time.Duration
+		ctx := context.Background()
 		for _, q := range env.Queries {
-			res, err := p.Submit(q)
+			res, err := p.Submit(ctx, q)
 			if err != nil {
 				break
 			}
@@ -297,9 +300,10 @@ func BenchmarkHierarchicalVsFlat(b *testing.B) {
 		cfgF.SolveTimeout = sc.Timeout
 		cfgF.MaxCandidateHosts = sc.Hosts // flat: whole cluster in scope
 		fp := core.NewPlanner(envF.Sys, cfgF)
+		ctx := context.Background()
 		start := time.Now()
 		for _, q := range envF.Queries {
-			fp.Submit(q)
+			fp.Submit(ctx, q)
 		}
 		flatT = time.Since(start) / time.Duration(len(envF.Queries))
 		flatN = fp.AdmittedCount()
@@ -311,7 +315,7 @@ func BenchmarkHierarchicalVsFlat(b *testing.B) {
 		hp := hier.New(envH.Sys, cfgH, 3)
 		start = time.Now()
 		for _, q := range envH.Queries {
-			hp.Submit(q)
+			hp.Submit(ctx, q)
 		}
 		hierT = time.Since(start) / time.Duration(len(envH.Queries))
 		hierN = hp.AdmittedCount()

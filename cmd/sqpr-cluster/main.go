@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"strconv"
@@ -92,10 +93,11 @@ func main() {
 		}
 		env := sim.BuildEnv(scale)
 		ad := env.NewSQPR(scale, scale.Timeout)
+		ctx := context.Background()
 		for _, q := range env.Queries {
-			ad.Submit(q)
+			ad.Submit(ctx, q)
 		}
-		snap, delivered, err := sim.DeployAndMeasure(env.Sys, ad.P.Assignment(), 1500*time.Millisecond)
+		snap, delivered, err := sim.DeployAndMeasure(env.Sys, ad.Assignment(), 1500*time.Millisecond)
 		if err != nil {
 			fmt.Println("deploy error:", err)
 			return

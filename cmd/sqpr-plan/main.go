@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -44,8 +45,9 @@ func main() {
 	p := sqpr.NewPlanner(sys, cfg)
 
 	fmt.Printf("planning %d queries over %d hosts / %d base streams\n\n", *queries, *hosts, *baseStreams)
+	ctx := context.Background()
 	for i, q := range w.Queries {
-		res, err := p.Submit(q)
+		res, err := p.Submit(ctx, q)
 		if err != nil {
 			fmt.Println("error:", err)
 			return

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -32,8 +33,9 @@ func main() {
 	cfg.SolveTimeout = 300 * time.Millisecond
 	planner := sqpr.NewPlanner(sys, cfg)
 
+	ctx := context.Background()
 	for _, q := range w.Queries {
-		if _, err := planner.Submit(q); err != nil {
+		if _, err := planner.Submit(ctx, q); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -63,7 +65,7 @@ func main() {
 	// Update the cost model to the observed value and re-plan the affected
 	// queries (remove + re-add, as §IV-B prescribes).
 	sys.Operators[drifted].Cost = observed[drifted]
-	results, err := planner.Replan(affected)
+	results, err := planner.Replan(ctx, affected)
 	if err != nil {
 		log.Fatal(err)
 	}

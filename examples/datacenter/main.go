@@ -2,10 +2,13 @@
 // virtualised data centre where a planner must admit as many continuous
 // queries as possible without over-provisioning. This example compares
 // SQPR against the heuristic baseline and the optimistic bound on the same
-// workload, then prints where each approach saturates.
+// workload, then prints where each approach saturates. Every planner is
+// driven through the one sqpr.QueryPlanner interface — no per-baseline
+// call shapes.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -33,44 +36,40 @@ func main() {
 		return sys, w.Queries
 	}
 
-	// SQPR.
-	sysA, queriesA := build()
 	cfg := sqpr.DefaultPlannerConfig()
 	cfg.SolveTimeout = 200 * time.Millisecond
-	planner := sqpr.NewPlanner(sysA, cfg)
-	var sqprCurve []int
-	for _, q := range queriesA {
-		if _, err := planner.Submit(q); err != nil {
-			log.Fatal(err)
+
+	// One entry per competitor; each gets its own identically-generated
+	// system and workload.
+	contenders := []struct {
+		name string
+		make func(sys *sqpr.System) sqpr.QueryPlanner
+	}{
+		{"sqpr", func(sys *sqpr.System) sqpr.QueryPlanner { return sqpr.NewPlanner(sys, cfg) }},
+		{"heuristic", func(sys *sqpr.System) sqpr.QueryPlanner { return sqpr.NewHeuristicPlanner(sys, sqpr.PaperWeights()) }},
+		{"bound", func(sys *sqpr.System) sqpr.QueryPlanner { return sqpr.NewBoundPlanner(sys) }},
+	}
+
+	ctx := context.Background()
+	curves := make([][]int, len(contenders))
+	for i, c := range contenders {
+		sys, queries := build()
+		p := c.make(sys)
+		for _, q := range queries {
+			if _, err := p.Submit(ctx, q); err != nil {
+				log.Fatal(err)
+			}
+			curves[i] = append(curves[i], p.AdmittedCount())
 		}
-		sqprCurve = append(sqprCurve, planner.AdmittedCount())
-	}
-
-	// Heuristic baseline.
-	sysB, queriesB := build()
-	h := sqpr.NewHeuristicPlanner(sysB, sqpr.PaperWeights())
-	var heurCurve []int
-	for _, q := range queriesB {
-		h.Submit(q)
-		heurCurve = append(heurCurve, h.AdmittedCount())
-	}
-
-	// Optimistic bound.
-	sysC, queriesC := build()
-	b := sqpr.NewBoundPlanner(sysC)
-	var boundCurve []int
-	for _, q := range queriesC {
-		b.Submit(q)
-		boundCurve = append(boundCurve, b.AdmittedCount())
 	}
 
 	fmt.Println("inputs  sqpr  heuristic  bound")
 	for i := 4; i <= numQueries; i += 4 {
-		fmt.Printf("%6d  %4d  %9d  %5d\n", i, sqprCurve[i-1], heurCurve[i-1], boundCurve[i-1])
+		fmt.Printf("%6d  %4d  %9d  %5d\n", i, curves[0][i-1], curves[1][i-1], curves[2][i-1])
 	}
 	fmt.Printf("\nfinal: SQPR %d, heuristic %d, optimistic bound %d (of %d submitted)\n",
-		sqprCurve[numQueries-1], heurCurve[numQueries-1], boundCurve[numQueries-1], numQueries)
+		curves[0][numQueries-1], curves[1][numQueries-1], curves[2][numQueries-1], numQueries)
 
-	gap := 1 - float64(sqprCurve[numQueries-1])/float64(boundCurve[numQueries-1])
+	gap := 1 - float64(curves[0][numQueries-1])/float64(curves[2][numQueries-1])
 	fmt.Printf("SQPR optimality gap vs bound: %.0f%% (paper reports < 25%%)\n", 100*gap)
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -43,9 +44,10 @@ func main() {
 	for i, site := range hier.Sites() {
 		fmt.Printf("  site %d: hosts %v\n", i, site)
 	}
+	ctx := context.Background()
 	startH := time.Now()
 	for _, q := range queriesH {
-		hier.Submit(q)
+		hier.Submit(ctx, q)
 	}
 	hierTime := time.Since(startH)
 	if err := hier.Assignment().Validate(sysH); err != nil {
@@ -59,7 +61,7 @@ func main() {
 	flat := sqpr.NewPlanner(sysF, cfgFlat)
 	startF := time.Now()
 	for _, q := range queriesF {
-		if _, err := flat.Submit(q); err != nil {
+		if _, err := flat.Submit(ctx, q); err != nil {
 			log.Fatal(err)
 		}
 	}

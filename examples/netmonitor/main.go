@@ -44,7 +44,7 @@ func main() {
 	cfg.SolveTimeout = 400 * time.Millisecond
 	planner := sqpr.NewPlanner(sys, cfg)
 	for _, q := range []sqpr.StreamID{link01.Output, link23.Output, path.Output} {
-		res, err := planner.Submit(q)
+		res, err := planner.Submit(context.Background(), q)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -41,7 +42,7 @@ func main() {
 	planner := sqpr.NewPlanner(sys, cfg)
 
 	for _, q := range []sqpr.StreamID{tq.Output, tqn.Output} {
-		res, err := planner.Submit(q)
+		res, err := planner.Submit(context.Background(), q)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,3 @@
+module sqpr
+
+go 1.24

@@ -6,20 +6,32 @@
 package bound
 
 import (
+	"context"
+	"fmt"
 	"math"
+	"time"
 
 	"sqpr/internal/dsps"
+	"sqpr/internal/plan"
 )
 
 // Planner is the aggregate-host bound calculator. Queries are admitted
 // sequentially with full global reuse: operators already placed by earlier
-// queries cost nothing for later ones.
+// queries cost nothing for later ones. It implements plan.QueryPlanner;
+// because the aggregate host is synthetic, Assignment() carries no
+// physical placements.
 type Planner struct {
 	sys      *dsps.System
 	budget   float64 // remaining aggregate CPU
 	placed   map[dsps.OperatorID]bool
 	haveCost map[dsps.StreamID]float64 // memo of marginal cost per stream
 	admitted map[dsps.StreamID]bool
+	// charged records the marginal CPU each admitted query was billed, so
+	// Remove can refund it. Refunds and the persistently placed operator
+	// closure are both optimistic, preserving the upper-bound property.
+	charged map[dsps.StreamID]float64
+	state   *dsps.Assignment
+	stats   plan.Stats
 }
 
 // New creates the bound planner for a system.
@@ -29,6 +41,8 @@ func New(sys *dsps.System) *Planner {
 		budget:   sys.TotalCPU(),
 		placed:   make(map[dsps.OperatorID]bool),
 		admitted: make(map[dsps.StreamID]bool),
+		charged:  make(map[dsps.StreamID]float64),
+		state:    dsps.NewAssignment(),
 	}
 }
 
@@ -41,8 +55,18 @@ func (p *Planner) AdmittedCount() int { return len(p.admitted) }
 // Admitted reports whether q was admitted.
 func (p *Planner) Admitted(q dsps.StreamID) bool { return p.admitted[q] }
 
-// Submit admits q if the marginal CPU cost of the cheapest plan (reusing
-// all previously placed operators) fits the remaining aggregate budget.
+// Assignment returns an empty allocation: the bound planner is a pure
+// admission calculator over a synthetic aggregate host and produces no
+// physical placement.
+func (p *Planner) Assignment() *dsps.Assignment { return p.state }
+
+// Stats returns cumulative planner telemetry.
+func (p *Planner) Stats() plan.Stats { return p.stats }
+
+// Submit admits q (and any plan.WithBatch companions, sequentially) if the
+// marginal CPU cost of the cheapest plan (reusing all previously placed
+// operators) fits the remaining aggregate budget. The host-restriction and
+// validation options are no-ops on the synthetic aggregate host.
 //
 // To stay a true *upper* bound on any real planner, the reuse accounting is
 // deliberately optimistic: once q is admitted, the entire plan space of q —
@@ -50,18 +74,73 @@ func (p *Planner) Admitted(q dsps.StreamID) bool { return p.admitted[q] }
 // for reuse at zero cost by later queries. A real planner can only reuse
 // operators it actually placed, which is a subset, so its marginal costs
 // are never lower and its admission count never higher.
-func (p *Planner) Submit(q dsps.StreamID) bool {
-	if p.admitted[q] {
-		return true
+func (p *Planner) Submit(ctx context.Context, q dsps.StreamID, opts ...plan.SubmitOption) (plan.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	cost, _, ok := p.cheapest(q, make(map[dsps.StreamID]bool))
-	if !ok || cost > p.budget+1e-9 {
-		return false
+	start := time.Now()
+	cfg := plan.Apply(opts)
+	var res plan.Result
+
+	// All error checks happen before any admission, so a failed call never
+	// leaves a partially-applied batch behind. Per-query work is pure CPU
+	// arithmetic, so one upfront ctx poll suffices.
+	qs := cfg.Queries(q)
+	if err := ctx.Err(); err != nil {
+		return plan.Result{}, err
 	}
-	p.budget -= cost
-	p.markClosurePlaced(q)
-	p.admitted[q] = true
-	return true
+	for _, query := range qs {
+		if err := plan.CheckStream(p.sys, query); err != nil {
+			return plan.Result{}, fmt.Errorf("bound: %w", err)
+		}
+	}
+
+	allAdmitted := true
+	anyFresh := false
+	for _, query := range qs {
+		if p.admitted[query] {
+			res.AlreadyAdmitted = true
+			continue
+		}
+		anyFresh = true
+		cost, _, ok := p.cheapest(query, make(map[dsps.StreamID]bool))
+		if !ok || cost > p.budget+1e-9 {
+			allAdmitted = false
+			res.Reason = plan.ReasonResourceExhausted
+			if !ok {
+				res.Reason = plan.ReasonNoFeasiblePlan
+			}
+			continue
+		}
+		p.budget -= cost
+		p.charged[query] = cost
+		p.markClosurePlaced(query)
+		p.admitted[query] = true
+	}
+	res.Admitted = allAdmitted
+	if res.Admitted || !anyFresh {
+		res.Reason = plan.ReasonNone
+	}
+	res.PlanTime = time.Since(start)
+	p.stats.Record(res)
+	return res, nil
+}
+
+// Remove withdraws an admitted query and refunds the marginal CPU it was
+// charged. The operator closure stays marked as placed — deliberately
+// optimistic, which keeps the bound an upper bound (refunded budget and
+// free reuse can only increase later admissions).
+func (p *Planner) Remove(q dsps.StreamID) error {
+	if err := plan.CheckStream(p.sys, q); err != nil {
+		return fmt.Errorf("bound: %w", err)
+	}
+	if !p.admitted[q] {
+		return fmt.Errorf("bound: query %d: %w", q, plan.ErrNotAdmitted)
+	}
+	p.budget += p.charged[q]
+	delete(p.charged, q)
+	delete(p.admitted, q)
+	return nil
 }
 
 // markClosurePlaced registers every operator in q's plan-space closure as

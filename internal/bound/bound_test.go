@@ -1,11 +1,18 @@
 package bound
 
 import (
+	"context"
 	"testing"
 
 	"sqpr/internal/dsps"
 	"sqpr/internal/workload"
 )
+
+// submitOK drives the unified Submit and reports admission.
+func submitOK(p *Planner, q dsps.StreamID) bool {
+	res, err := p.Submit(context.Background(), q)
+	return err == nil && res.Admitted
+}
 
 func TestAdmitWithinBudget(t *testing.T) {
 	hosts := []dsps.Host{{ID: 0, CPU: 5, OutBW: 1, InBW: 1}} // network irrelevant
@@ -18,7 +25,7 @@ func TestAdmitWithinBudget(t *testing.T) {
 	sys.SetRequested(op.Output, true)
 
 	p := New(sys)
-	if !p.Submit(op.Output) {
+	if !submitOK(p, op.Output) {
 		t.Fatal("rejected within budget")
 	}
 	if p.Remaining() != 2 {
@@ -36,7 +43,7 @@ func TestRejectBeyondBudget(t *testing.T) {
 	op := sys.AddOperator([]dsps.StreamID{a, b}, 1, 3, "ab")
 	sys.SetRequested(op.Output, true)
 	p := New(sys)
-	if p.Submit(op.Output) {
+	if submitOK(p, op.Output) {
 		t.Fatal("admitted beyond budget")
 	}
 }
@@ -58,10 +65,10 @@ func TestReuseIsFree(t *testing.T) {
 	sys.SetRequested(q2.Output, true)
 
 	p := New(sys)
-	if !p.Submit(q1.Output) { // costs 2 + 1 = 3
+	if !submitOK(p, q1.Output) { // costs 2 + 1 = 3
 		t.Fatal("q1 rejected")
 	}
-	if !p.Submit(q2.Output) { // shared op free: costs only 1
+	if !submitOK(p, q2.Output) { // shared op free: costs only 1
 		t.Fatal("q2 rejected despite reuse")
 	}
 	if p.Remaining() != 0 {
@@ -82,7 +89,7 @@ func TestCheapestPlanChosen(t *testing.T) {
 	sys.AddProducerFor(expensive.Output, []dsps.StreamID{a, b}, 1, "cheap")
 	sys.SetRequested(expensive.Output, true)
 	p := New(sys)
-	if !p.Submit(expensive.Output) {
+	if !submitOK(p, expensive.Output) {
 		t.Fatal("rejected although the cheap plan fits")
 	}
 	if p.Remaining() != 0.5 {
@@ -100,7 +107,7 @@ func TestDuplicateQueryFree(t *testing.T) {
 	op := sys.AddOperator([]dsps.StreamID{a, b}, 1, 3, "ab")
 	sys.SetRequested(op.Output, true)
 	p := New(sys)
-	if !p.Submit(op.Output) || !p.Submit(op.Output) {
+	if !submitOK(p, op.Output) || !submitOK(p, op.Output) {
 		t.Fatal("duplicate rejected")
 	}
 	if p.AdmittedCount() != 1 {
@@ -120,7 +127,7 @@ func TestBoundDominatesResourceArithmetic(t *testing.T) {
 	w := workload.Generate(sys, cfg)
 	p := New(sys)
 	for _, q := range w.Queries {
-		p.Submit(q)
+		submitOK(p, q)
 	}
 	if p.Remaining() < -1e-9 {
 		t.Fatalf("budget overdrawn: %v", p.Remaining())

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
 	"sqpr/internal/dsps"
+	"sqpr/internal/plan"
 	"sqpr/internal/workload"
 )
 
@@ -36,7 +38,7 @@ func TestRelayEnablesAdmission(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.SolveTimeout = 3 * time.Second
 	p := NewPlanner(sys, cfg)
-	res, err := p.Submit(q)
+	res, err := p.Submit(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +66,7 @@ func TestDisableRelayBlocksRelayRoute(t *testing.T) {
 	cfg.SolveTimeout = 3 * time.Second
 	cfg.DisableRelay = true
 	p := NewPlanner(sys, cfg)
-	res, err := p.Submit(q)
+	res, err := p.Submit(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +98,7 @@ func TestDisableReplanKeepsStateFeasible(t *testing.T) {
 	p := NewPlanner(sys, cfg)
 	admitted := map[dsps.StreamID]bool{}
 	for _, q := range w.Queries {
-		if _, err := p.Submit(q); err != nil {
+		if _, err := p.Submit(context.Background(), q); err != nil {
 			t.Fatal(err)
 		}
 		if p.Admitted(q) {
@@ -119,7 +121,7 @@ func TestDisableWarmStartStillSound(t *testing.T) {
 	cfg.SolveTimeout = 3 * time.Second
 	cfg.DisableWarmStart = true
 	p := NewPlanner(sys, cfg)
-	res, err := p.Submit(q)
+	res, err := p.Submit(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +143,7 @@ func TestDisableReductionMatchesOnTinyInstance(t *testing.T) {
 		cfg.DisableReduction = disable
 		cfg.MaxFreeStreams = 1 << 20
 		p := NewPlanner(sys, cfg)
-		res, err := p.Submit(q)
+		res, err := p.Submit(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -169,7 +171,7 @@ func TestMemoryConstraintBlocksPlacement(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.SolveTimeout = 3 * time.Second
 	p := NewPlanner(sys, cfg)
-	res, err := p.Submit(op.Output)
+	res, err := p.Submit(context.Background(), op.Output)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +188,7 @@ func TestMemoryConstraintBlocksPlacement(t *testing.T) {
 	}
 }
 
-func TestSubmitWithHostsRestricts(t *testing.T) {
+func TestWithCandidateHostsRestricts(t *testing.T) {
 	hosts := []dsps.Host{
 		{ID: 0, CPU: 10, OutBW: 100, InBW: 100},
 		{ID: 1, CPU: 10, OutBW: 100, InBW: 100},
@@ -204,7 +206,7 @@ func TestSubmitWithHostsRestricts(t *testing.T) {
 	cfg.SolveTimeout = 3 * time.Second
 	p := NewPlanner(sys, cfg)
 	// Restrict to hosts {0, 1}; host 2 must stay untouched.
-	res, err := p.SubmitWithHosts(op.Output, []dsps.HostID{0, 1})
+	res, err := p.Submit(context.Background(), op.Output, plan.WithCandidateHosts(0, 1))
 	if err != nil {
 		t.Fatal(err)
 	}

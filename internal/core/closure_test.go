@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -67,7 +68,7 @@ func TestFreeSetMergesSharingQueries(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.SolveTimeout = time.Second
 	p := NewPlanner(sys, cfg)
-	if _, err := p.Submit(ab); err != nil {
+	if _, err := p.Submit(context.Background(), ab); err != nil {
 		t.Fatal(err)
 	}
 	// Planning abc must pull the admitted sharing query ab into the free
@@ -84,7 +85,7 @@ func TestFreeSetRespectsCap(t *testing.T) {
 	cfg.SolveTimeout = time.Second
 	cfg.MaxFreeStreams = 5 // exactly the closure of abc; no room to merge
 	p := NewPlanner(sys, cfg)
-	if _, err := p.Submit(ab); err != nil {
+	if _, err := p.Submit(context.Background(), ab); err != nil {
 		t.Fatal(err)
 	}
 	free := p.freeSet([]dsps.StreamID{abc})
@@ -99,7 +100,7 @@ func TestFreeSetDisableReplanSkipsSharing(t *testing.T) {
 	cfg.SolveTimeout = time.Second
 	cfg.DisableReplan = true
 	p := NewPlanner(sys, cfg)
-	if _, err := p.Submit(ab); err != nil {
+	if _, err := p.Submit(context.Background(), ab); err != nil {
 		t.Fatal(err)
 	}
 	free := p.freeSet([]dsps.StreamID{abc})
@@ -130,7 +131,7 @@ func TestHostsTouched(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.SolveTimeout = time.Second
 	p := NewPlanner(sys, cfg)
-	if _, err := p.Submit(ab); err != nil {
+	if _, err := p.Submit(context.Background(), ab); err != nil {
 		t.Fatal(err)
 	}
 	free := map[dsps.StreamID]bool{ab: true}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -55,11 +56,11 @@ func TestFig2BothQueriesAdmittedWithSharedChain(t *testing.T) {
 	cfg.SolveTimeout = 2 * time.Second
 	p := NewPlanner(sys, cfg)
 
-	r1, err := p.Submit(q1)
+	r1, err := p.Submit(context.Background(), q1)
 	if err != nil || !r1.Admitted {
 		t.Fatalf("q1 not admitted: %+v err=%v", r1, err)
 	}
-	r2, err := p.Submit(q2)
+	r2, err := p.Submit(context.Background(), q2)
 	if err != nil || !r2.Admitted {
 		t.Fatalf("q2 not admitted: %+v err=%v", r2, err)
 	}
@@ -115,11 +116,11 @@ func TestFig2RelayRemovesBottleneck(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.SolveTimeout = 2 * time.Second
 	p := NewPlanner(sys, cfg)
-	ra, err := p.Submit(qa)
+	ra, err := p.Submit(context.Background(), qa)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := p.Submit(qb)
+	rb, err := p.Submit(context.Background(), qb)
 	if err != nil {
 		t.Fatal(err)
 	}

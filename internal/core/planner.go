@@ -6,11 +6,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"sqpr/internal/dsps"
 	"sqpr/internal/milp"
+	"sqpr/internal/plan"
 )
 
 // Weights are the objective weights λ1–λ4 of (III.3): admitted queries,
@@ -31,7 +33,9 @@ func PaperWeights() Weights { return Weights{L1: 100, L2: 1, L3: 1, L4: 1} }
 type Config struct {
 	Weights Weights
 	// SolveTimeout bounds each planning call, after which the best
-	// incumbent found so far is used (the paper's CPLEX timeout).
+	// incumbent found so far is used (the paper's CPLEX timeout). A
+	// plan.WithTimeout submit option overrides it per call, and a ctx
+	// deadline always wins when earlier.
 	SolveTimeout time.Duration
 	// MaxNodes caps branch-and-bound nodes per call (0 = default).
 	MaxNodes int
@@ -61,7 +65,8 @@ type Config struct {
 	// (ablation; the search then has to find its first feasible point).
 	DisableWarmStart bool
 	// Validate re-checks every produced assignment against the dsps
-	// feasibility validator; enabled by default in NewPlanner.
+	// feasibility validator; enabled by default in NewPlanner. A
+	// plan.WithValidation submit option overrides it per call.
 	Validate bool
 }
 
@@ -75,7 +80,8 @@ func DefaultConfig() Config {
 	}
 }
 
-// Planner is the SQPR planner. It is not safe for concurrent use.
+// Planner is the SQPR planner. It implements plan.QueryPlanner and is not
+// safe for concurrent use.
 type Planner struct {
 	sys   *dsps.System
 	cfg   Config
@@ -85,28 +91,23 @@ type Planner struct {
 	admitted map[dsps.StreamID]bool
 
 	// allowedHosts, when non-nil, restricts discretionary candidate hosts
-	// for the current call (see SubmitWithHosts).
+	// for the current call (plan.WithCandidateHosts).
 	allowedHosts map[dsps.HostID]bool
+	// validate is the per-call effective validation switch.
+	validate bool
 
 	closures *closureCache
 	stats    Stats
 }
 
-// Stats aggregates planner telemetry across all planning calls.
-type Stats struct {
-	// Submissions counts planning calls (batch = one call).
-	Submissions int
-	// Rejections counts calls that failed to admit a fresh query.
-	Rejections int
-	// TotalPlanTime accumulates wall-clock planning time.
-	TotalPlanTime time.Duration
-	// TotalNodes and TotalLPIters accumulate solver effort.
-	TotalNodes   int
-	TotalLPIters int
-	// Timeouts counts calls whose solver hit its deadline or node budget
-	// before proving optimality (FeasibleMIP outcomes).
-	Timeouts int
-}
+// Result describes the outcome of one planning call; it is the shared
+// result type of plan.QueryPlanner, with a machine-readable rejection
+// Reason.
+type Result = plan.Result
+
+// Stats aggregates planner telemetry across all planning calls; it is the
+// shared telemetry type of plan.QueryPlanner.
+type Stats = plan.Stats
 
 // Stats returns cumulative planner telemetry.
 func (p *Planner) Stats() Stats { return p.stats }
@@ -149,65 +150,76 @@ func (p *Planner) Admitted(q dsps.StreamID) bool { return p.admitted[q] }
 // AdmittedCount returns the number of admitted queries.
 func (p *Planner) AdmittedCount() int { return len(p.admitted) }
 
-// Result describes the outcome of one planning call.
-type Result struct {
-	// Admitted reports whether the submitted query is now served.
-	Admitted bool
-	// AlreadyAdmitted is set when the identical query was served before
-	// the call (Algorithm 1, line 3).
-	AlreadyAdmitted bool
-	// SolveStatus is the MILP outcome.
-	SolveStatus milp.Status
-	// PlanTime is the wall-clock duration of the planning call.
-	PlanTime time.Duration
-	// Nodes and LPIters report solver effort.
-	Nodes   int
-	LPIters int
-	// FreeStreams and FreeOps report the reduced problem size.
-	FreeStreams, FreeOps, CandidateHosts int
-}
-
-// Submit runs Algorithm 1 (initial query planning) for a single new query.
-func (p *Planner) Submit(q dsps.StreamID) (Result, error) {
-	return p.submit([]dsps.StreamID{q}, p.cfg.SolveTimeout)
-}
-
-// SubmitWithTimeout plans one query under a non-default solver budget; used
-// by experiments that sweep the planning timeout.
-func (p *Planner) SubmitWithTimeout(q dsps.StreamID, timeout time.Duration) (Result, error) {
-	return p.submit([]dsps.StreamID{q}, timeout)
-}
-
-// SubmitWithHosts plans one query with the candidate host universe
-// restricted to the given set (plus any hosts that correctness forces in:
-// hosts already carrying related allocations and the query's base-stream
-// locations). This is the building block of the hierarchical decomposition
-// the paper sketches as future work (internal/hier).
-func (p *Planner) SubmitWithHosts(q dsps.StreamID, allowed []dsps.HostID) (Result, error) {
-	p.allowedHosts = make(map[dsps.HostID]bool, len(allowed))
-	for _, h := range allowed {
-		p.allowedHosts[h] = true
+// Submit runs Algorithm 1 (initial query planning) for query q. Options
+// customise the call: plan.WithTimeout overrides the solver budget,
+// plan.WithCandidateHosts restricts the candidate host universe (the
+// building block of internal/hier), plan.WithBatch plans additional
+// queries jointly in one optimisation with the deadline scaled by the
+// batch size (§V-A1), and plan.WithValidation toggles post-solve
+// feasibility validation. Cancelling ctx aborts the MILP search promptly
+// and leaves the planner state unchanged.
+func (p *Planner) Submit(ctx context.Context, q dsps.StreamID, opts ...plan.SubmitOption) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	defer func() { p.allowedHosts = nil }()
-	return p.submit([]dsps.StreamID{q}, p.cfg.SolveTimeout)
+	cfg := plan.Apply(opts)
+	qs := cfg.Queries(q)
+
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		// Batch submissions scale the default deadline with the batch
+		// size, as in the paper's "timeout of 30n secs".
+		timeout = time.Duration(len(qs)) * p.cfg.SolveTimeout
+	}
+
+	if cfg.Hosts != nil {
+		p.allowedHosts = make(map[dsps.HostID]bool, len(cfg.Hosts))
+		for _, h := range cfg.Hosts {
+			p.allowedHosts[h] = true
+		}
+		defer func() { p.allowedHosts = nil }()
+	}
+	p.validate = p.cfg.Validate
+	if cfg.Validate != nil {
+		p.validate = *cfg.Validate
+	}
+
+	return p.submit(ctx, qs, timeout)
 }
 
-// SubmitBatch plans a batch of queries in one optimisation (§V-A1,
-// Fig. 4(b)); the solve deadline scales with the batch size as in the
-// paper's "timeout of 30n secs".
-func (p *Planner) SubmitBatch(qs []dsps.StreamID) (Result, error) {
-	return p.submit(qs, time.Duration(len(qs))*p.cfg.SolveTimeout)
+// Remove withdraws an admitted query and garbage-collects every operator
+// and flow that no remaining query depends on. It is the first half of the
+// paper's adaptive replanning (§IV-B): "conceptually removing and
+// re-adding queries".
+func (p *Planner) Remove(q dsps.StreamID) error {
+	if err := plan.CheckStream(p.sys, q); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if !p.admitted[q] {
+		return fmt.Errorf("core: query %d: %w", q, plan.ErrNotAdmitted)
+	}
+	delete(p.admitted, q)
+	delete(p.state.Provides, q)
+	p.state.GarbageCollect(p.sys)
+	return nil
 }
 
-func (p *Planner) submit(qs []dsps.StreamID, timeout time.Duration) (Result, error) {
+func (p *Planner) submit(ctx context.Context, qs []dsps.StreamID, timeout time.Duration) (Result, error) {
 	start := time.Now()
 	var res Result
+
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 
 	// Algorithm 1, line 3: skip queries that are already admitted.
 	var fresh []dsps.StreamID
 	for _, q := range qs {
+		if err := plan.CheckStream(p.sys, q); err != nil {
+			return res, fmt.Errorf("core: %w", err)
+		}
 		if !p.sys.Streams[q].Requested {
-			return res, fmt.Errorf("core: stream %d was not marked as requested", q)
+			return res, fmt.Errorf("core: stream %d: %w", q, plan.ErrNotRequested)
 		}
 		if p.admitted[q] {
 			res.AlreadyAdmitted = true
@@ -218,7 +230,7 @@ func (p *Planner) submit(qs []dsps.StreamID, timeout time.Duration) (Result, err
 	if len(fresh) == 0 {
 		res.Admitted = true
 		res.PlanTime = time.Since(start)
-		p.record(res)
+		p.stats.Record(res)
 		return res, nil
 	}
 
@@ -227,9 +239,17 @@ func (p *Planner) submit(qs []dsps.StreamID, timeout time.Duration) (Result, err
 	res.FreeOps = len(b.freeOps)
 	res.CandidateHosts = len(b.hosts)
 
+	// Effective deadline: the earlier of the solver budget and the ctx
+	// deadline, so a ctx deadline also bounds individual node LPs.
+	deadline := start.Add(timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+
 	model := b.build()
 	opts := milp.Options{
-		Deadline: start.Add(timeout),
+		Ctx:      ctx,
+		Deadline: deadline,
 		MaxNodes: p.cfg.MaxNodes,
 		GapTol:   p.cfg.GapTol,
 		// λ1 dominates: any absolute gap well below λ1 cannot hide a
@@ -246,12 +266,20 @@ func (p *Planner) submit(qs []dsps.StreamID, timeout time.Duration) (Result, err
 	res.Nodes = sol.Nodes
 	res.LPIters = sol.LPIters
 
+	if sol.Cancelled || ctx.Err() != nil {
+		// Aborted mid-solve: discard any incumbent, keep the previous
+		// state, and report the cancellation to the caller.
+		res.PlanTime = time.Since(start)
+		return res, ctx.Err()
+	}
+
 	if sol.X == nil {
 		// No feasible plan found within the budget: the query is not
 		// admitted and the state is unchanged (Algorithm 1 keeps the
 		// previous solution).
+		res.Reason = plan.ReasonNoFeasiblePlan
 		res.PlanTime = time.Since(start)
-		p.record(res)
+		p.stats.Record(res)
 		return res, nil
 	}
 
@@ -259,8 +287,9 @@ func (p *Planner) submit(qs []dsps.StreamID, timeout time.Duration) (Result, err
 	if err != nil {
 		return res, fmt.Errorf("core: decoding solver output: %w", err)
 	}
-	if p.cfg.Validate {
+	if p.validate {
 		if err := next.Validate(p.sys); err != nil {
+			res.Reason = plan.ReasonValidationFailed
 			return res, fmt.Errorf("core: solver produced infeasible plan: %w", err)
 		}
 	}
@@ -283,21 +312,10 @@ func (p *Planner) submit(qs []dsps.StreamID, timeout time.Duration) (Result, err
 			}
 		}
 	}
-	res.PlanTime = time.Since(start)
-	p.record(res)
-	return res, nil
-}
-
-// record folds one call's outcome into the cumulative stats.
-func (p *Planner) record(res Result) {
-	p.stats.Submissions++
 	if !res.Admitted {
-		p.stats.Rejections++
+		res.Reason = plan.ReasonNoFeasiblePlan
 	}
-	p.stats.TotalPlanTime += res.PlanTime
-	p.stats.TotalNodes += res.Nodes
-	p.stats.TotalLPIters += res.LPIters
-	if res.SolveStatus == milp.FeasibleMIP {
-		p.stats.Timeouts++
-	}
+	res.PlanTime = time.Since(start)
+	p.stats.Record(res)
+	return res, nil
 }

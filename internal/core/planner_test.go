@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
 	"sqpr/internal/dsps"
+	"sqpr/internal/plan"
 	"sqpr/internal/workload"
 )
 
@@ -38,7 +40,7 @@ func testConfig() Config {
 func TestSubmitSingleQuery(t *testing.T) {
 	sys, q := twoHostSystem(t)
 	p := NewPlanner(sys, testConfig())
-	res, err := p.Submit(q)
+	res, err := p.Submit(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,10 +58,10 @@ func TestSubmitSingleQuery(t *testing.T) {
 func TestSubmitDuplicateQuery(t *testing.T) {
 	sys, q := twoHostSystem(t)
 	p := NewPlanner(sys, testConfig())
-	if _, err := p.Submit(q); err != nil {
+	if _, err := p.Submit(context.Background(), q); err != nil {
 		t.Fatal(err)
 	}
-	res, err := p.Submit(q)
+	res, err := p.Submit(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +74,7 @@ func TestSubmitUnrequestedStreamErrors(t *testing.T) {
 	sys, _ := twoHostSystem(t)
 	p := NewPlanner(sys, testConfig())
 	base := dsps.StreamID(0)
-	if _, err := p.Submit(base); err == nil {
+	if _, err := p.Submit(context.Background(), base); err == nil {
 		t.Fatal("expected error for unrequested stream")
 	}
 }
@@ -88,7 +90,7 @@ func TestRejectionWhenNoCPU(t *testing.T) {
 	sys.SetRequested(op.Output, true)
 
 	p := NewPlanner(sys, testConfig())
-	res, err := p.Submit(op.Output)
+	res, err := p.Submit(context.Background(), op.Output)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +114,7 @@ func TestRejectionWhenNoBandwidthForDelivery(t *testing.T) {
 	sys.SetRequested(op.Output, true)
 
 	p := NewPlanner(sys, testConfig())
-	res, err := p.Submit(op.Output)
+	res, err := p.Submit(context.Background(), op.Output)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,11 +146,11 @@ func TestReuseSharedSubQuery(t *testing.T) {
 	sys.SetRequested(q2.Output, true)
 
 	p := NewPlanner(sys, testConfig())
-	r1, err := p.Submit(q1.Output)
+	r1, err := p.Submit(context.Background(), q1.Output)
 	if err != nil || !r1.Admitted {
 		t.Fatalf("q1: %+v err=%v", r1, err)
 	}
-	r2, err := p.Submit(q2.Output)
+	r2, err := p.Submit(context.Background(), q2.Output)
 	if err != nil || !r2.Admitted {
 		t.Fatalf("q2: %+v err=%v", r2, err)
 	}
@@ -180,7 +182,7 @@ func TestKeepAdmittedAcrossSubmissions(t *testing.T) {
 	p := NewPlanner(sys, testConfig())
 	admittedSoFar := make(map[dsps.StreamID]bool)
 	for _, q := range w.Queries {
-		if _, err := p.Submit(q); err != nil {
+		if _, err := p.Submit(context.Background(), q); err != nil {
 			t.Fatal(err)
 		}
 		if p.Admitted(q) {
@@ -204,13 +206,13 @@ func TestKeepAdmittedAcrossSubmissions(t *testing.T) {
 	}
 }
 
-func TestRemoveQueryGarbageCollects(t *testing.T) {
+func TestRemoveGarbageCollects(t *testing.T) {
 	sys, q := twoHostSystem(t)
 	p := NewPlanner(sys, testConfig())
-	if _, err := p.Submit(q); err != nil {
+	if _, err := p.Submit(context.Background(), q); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.RemoveQuery(q); err != nil {
+	if err := p.Remove(q); err != nil {
 		t.Fatal(err)
 	}
 	if p.AdmittedCount() != 0 {
@@ -245,13 +247,13 @@ func TestRemoveKeepsSharedSupport(t *testing.T) {
 	sys.SetRequested(q1.Output, true)
 
 	p := NewPlanner(sys, testConfig())
-	if _, err := p.Submit(q1.Output); err != nil {
+	if _, err := p.Submit(context.Background(), q1.Output); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Submit(shared.Output); err != nil {
+	if _, err := p.Submit(context.Background(), shared.Output); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.RemoveQuery(shared.Output); err != nil {
+	if err := p.Remove(shared.Output); err != nil {
 		t.Fatal(err)
 	}
 	if !p.Admitted(q1.Output) {
@@ -274,10 +276,10 @@ func TestRemoveKeepsSharedSupport(t *testing.T) {
 func TestReplanRestoresQueries(t *testing.T) {
 	sys, q := twoHostSystem(t)
 	p := NewPlanner(sys, testConfig())
-	if _, err := p.Submit(q); err != nil {
+	if _, err := p.Submit(context.Background(), q); err != nil {
 		t.Fatal(err)
 	}
-	results, err := p.Replan([]dsps.StreamID{q})
+	results, err := p.Replan(context.Background(), []dsps.StreamID{q})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,7 +309,7 @@ func TestBatchSubmission(t *testing.T) {
 	sys.SetRequested(op2.Output, true)
 
 	p := NewPlanner(sys, testConfig())
-	res, err := p.SubmitBatch([]dsps.StreamID{op1.Output, op2.Output})
+	res, err := p.Submit(context.Background(), op1.Output, plan.WithBatch(op2.Output))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +321,7 @@ func TestBatchSubmission(t *testing.T) {
 func TestDriftedQueries(t *testing.T) {
 	sys, q := twoHostSystem(t)
 	p := NewPlanner(sys, testConfig())
-	if _, err := p.Submit(q); err != nil {
+	if _, err := p.Submit(context.Background(), q); err != nil {
 		t.Fatal(err)
 	}
 	op := sys.Operators[0]
@@ -338,10 +340,10 @@ func TestDriftedQueries(t *testing.T) {
 func TestStatsAccumulate(t *testing.T) {
 	sys, q := twoHostSystem(t)
 	p := NewPlanner(sys, testConfig())
-	if _, err := p.Submit(q); err != nil {
+	if _, err := p.Submit(context.Background(), q); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Submit(q); err != nil { // duplicate
+	if _, err := p.Submit(context.Background(), q); err != nil { // duplicate
 		t.Fatal(err)
 	}
 	st := p.Stats()
@@ -362,7 +364,7 @@ func TestZeroValueConfigGetsDefaults(t *testing.T) {
 	if p.cfg.MaxCandidateHosts <= 0 || p.cfg.SolveTimeout <= 0 {
 		t.Fatal("defaults not applied")
 	}
-	if _, err := p.Submit(q); err != nil {
+	if _, err := p.Submit(context.Background(), q); err != nil {
 		t.Fatal(err)
 	}
 }

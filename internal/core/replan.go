@@ -1,94 +1,26 @@
 package core
 
 import (
-	"fmt"
+	"context"
 
 	"sqpr/internal/dsps"
 )
-
-// RemoveQuery withdraws an admitted query and garbage-collects every
-// operator and flow that no remaining query depends on. It is the first
-// half of the paper's adaptive replanning (§IV-B): "conceptually removing
-// and re-adding queries".
-func (p *Planner) RemoveQuery(q dsps.StreamID) error {
-	if !p.admitted[q] {
-		return fmt.Errorf("core: query %d is not admitted", q)
-	}
-	delete(p.admitted, q)
-	delete(p.state.Provides, q)
-	p.garbageCollect()
-	return nil
-}
-
-// garbageCollect deletes operators and flows not backward-reachable from
-// any provided stream. All alternative supports of a needed availability
-// are kept (conservative), so the state stays feasible.
-func (p *Planner) garbageCollect() {
-	type hs struct {
-		h dsps.HostID
-		s dsps.StreamID
-	}
-	neededOps := make(map[dsps.Placement]bool)
-	neededFlows := make(map[dsps.Flow]bool)
-	seen := make(map[hs]bool)
-	var queue []hs
-	for s, h := range p.state.Provides {
-		queue = append(queue, hs{h, s})
-	}
-	for len(queue) > 0 {
-		cur := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
-		if seen[cur] {
-			continue
-		}
-		seen[cur] = true
-		if p.sys.IsBaseAt(cur.h, cur.s) {
-			continue
-		}
-		for _, op := range p.sys.ProducersOf(cur.s) {
-			pl := dsps.Placement{Host: cur.h, Op: op}
-			if p.state.Ops[pl] {
-				neededOps[pl] = true
-				for _, in := range p.sys.Operators[op].Inputs {
-					queue = append(queue, hs{cur.h, in})
-				}
-			}
-		}
-		for m := 0; m < p.sys.NumHosts(); m++ {
-			f := dsps.Flow{From: dsps.HostID(m), To: cur.h, Stream: cur.s}
-			if p.state.Flows[f] {
-				neededFlows[f] = true
-				queue = append(queue, hs{dsps.HostID(m), cur.s})
-			}
-		}
-	}
-	for pl := range p.state.Ops {
-		if !neededOps[pl] {
-			delete(p.state.Ops, pl)
-		}
-	}
-	for f := range p.state.Flows {
-		if !neededFlows[f] {
-			delete(p.state.Flows, f)
-		}
-	}
-}
 
 // Replan removes the given admitted queries and re-submits them one by one
 // (§IV-B): queries whose observed resource consumption drifted from the
 // planning estimates, or that suffer from a host resource shortage, get
 // fresh placements. Returns the per-query results in order.
-func (p *Planner) Replan(queries []dsps.StreamID) ([]Result, error) {
+func (p *Planner) Replan(ctx context.Context, queries []dsps.StreamID) ([]Result, error) {
 	for _, q := range queries {
 		if p.admitted[q] {
-			if err := p.RemoveQuery(q); err != nil {
+			if err := p.Remove(q); err != nil {
 				return nil, err
 			}
 		}
 	}
 	results := make([]Result, 0, len(queries))
 	for _, q := range queries {
-		r, err := p.Submit(q)
+		r, err := p.Submit(ctx, q)
 		if err != nil {
 			return results, err
 		}

@@ -295,6 +295,62 @@ func (a *Assignment) validateCausality(sys *System) error {
 // (objective O1), i.e. Σ d_hs.
 func (a *Assignment) SatisfiedQueries() int { return len(a.Provides) }
 
+// GarbageCollect deletes operators and flows not backward-reachable from
+// any provided stream. All alternative supports of a needed availability
+// are kept (conservative), so a feasible assignment stays feasible. It is
+// the shared second half of query removal (§IV-B "conceptually removing
+// and re-adding queries") used by every planner's Remove.
+func (a *Assignment) GarbageCollect(sys *System) {
+	type hs struct {
+		h HostID
+		s StreamID
+	}
+	neededOps := make(map[Placement]bool)
+	neededFlows := make(map[Flow]bool)
+	seen := make(map[hs]bool)
+	var queue []hs
+	for s, h := range a.Provides {
+		queue = append(queue, hs{h, s})
+	}
+	for len(queue) > 0 {
+		cur := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		if sys.IsBaseAt(cur.h, cur.s) {
+			continue
+		}
+		for _, op := range sys.ProducersOf(cur.s) {
+			pl := Placement{Host: cur.h, Op: op}
+			if a.Ops[pl] {
+				neededOps[pl] = true
+				for _, in := range sys.Operators[op].Inputs {
+					queue = append(queue, hs{cur.h, in})
+				}
+			}
+		}
+		for m := 0; m < sys.NumHosts(); m++ {
+			f := Flow{From: HostID(m), To: cur.h, Stream: cur.s}
+			if a.Flows[f] {
+				neededFlows[f] = true
+				queue = append(queue, hs{HostID(m), cur.s})
+			}
+		}
+	}
+	for pl := range a.Ops {
+		if !neededOps[pl] {
+			delete(a.Ops, pl)
+		}
+	}
+	for f := range a.Flows {
+		if !neededFlows[f] {
+			delete(a.Flows, f)
+		}
+	}
+}
+
 // SortedFlows returns the active flows in deterministic order, for tests
 // and debug output.
 func (a *Assignment) SortedFlows() []Flow {

@@ -7,18 +7,24 @@
 package heuristic
 
 import (
+	"context"
+	"fmt"
 	"math"
+	"time"
 
 	"sqpr/internal/core"
 	"sqpr/internal/dsps"
+	"sqpr/internal/plan"
 )
 
-// Planner is the heuristic baseline.
+// Planner is the heuristic baseline. It implements plan.QueryPlanner and
+// is not safe for concurrent use.
 type Planner struct {
 	sys      *dsps.System
 	state    *dsps.Assignment
 	weights  core.Weights
 	admitted map[dsps.StreamID]bool
+	stats    plan.Stats
 
 	// MaxPlans caps abstract plan enumeration per query (exhaustive for
 	// the paper's 2- to 4-way joins; 5-way trees are pruned beyond this).
@@ -45,18 +51,117 @@ func (p *Planner) Admitted(q dsps.StreamID) bool { return p.admitted[q] }
 // AdmittedCount returns the number of admitted queries.
 func (p *Planner) AdmittedCount() int { return len(p.admitted) }
 
-// Submit plans one query; returns whether it was admitted.
-func (p *Planner) Submit(q dsps.StreamID) bool {
-	if p.admitted[q] {
-		return true
+// Stats returns cumulative planner telemetry.
+func (p *Planner) Stats() plan.Stats { return p.stats }
+
+// Submit plans query q (and any plan.WithBatch companions, sequentially —
+// the heuristic has no joint optimisation). plan.WithCandidateHosts
+// restricts the hosts tried, plan.WithTimeout bounds the candidate search
+// and plan.WithValidation toggles the feasibility re-check. Cancelling ctx
+// aborts the search and leaves the planner state unchanged.
+func (p *Planner) Submit(ctx context.Context, q dsps.StreamID, opts ...plan.SubmitOption) (plan.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
+	start := time.Now()
+	cfg := plan.Apply(opts)
+	var res plan.Result
+
+	qs := cfg.Queries(q)
+	for _, query := range qs {
+		if err := plan.CheckStream(p.sys, query); err != nil {
+			return plan.Result{}, fmt.Errorf("heuristic: %w", err)
+		}
+	}
+
+	deadline := time.Time{}
+	if cfg.Timeout > 0 {
+		deadline = start.Add(cfg.Timeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+
+	// Snapshot for rollback: an error mid-batch (ctx cancellation) must
+	// leave the planner state unchanged. Assignments are swapped, never
+	// mutated in place, so keeping the old pointer suffices. A
+	// single-query call needs no snapshot — submitOne only errors before
+	// it mutates — so the O(admitted) copy is skipped on the hot path.
+	var prevState *dsps.Assignment
+	var prevAdmitted map[dsps.StreamID]bool
+	if len(qs) > 1 {
+		prevState = p.state
+		prevAdmitted = plan.CopyAdmitted(p.admitted)
+	}
+
+	allAdmitted := true
+	anyFresh := false
+	for _, query := range qs {
+		if p.admitted[query] {
+			res.AlreadyAdmitted = true
+			continue
+		}
+		anyFresh = true
+		ok, reason, err := p.submitOne(ctx, query, deadline, &cfg)
+		if err != nil {
+			if prevAdmitted != nil {
+				p.state = prevState
+				p.admitted = prevAdmitted
+			}
+			return plan.Result{}, err
+		}
+		if !ok {
+			allAdmitted = false
+			res.Reason = reason
+		}
+	}
+	res.Admitted = allAdmitted
+	if res.Admitted || !anyFresh {
+		res.Reason = plan.ReasonNone
+	}
+	res.PlanTime = time.Since(start)
+	p.stats.Record(res)
+	return res, nil
+}
+
+// Remove withdraws an admitted query and garbage-collects every operator
+// and flow that no remaining query depends on.
+func (p *Planner) Remove(q dsps.StreamID) error {
+	if err := plan.CheckStream(p.sys, q); err != nil {
+		return fmt.Errorf("heuristic: %w", err)
+	}
+	if !p.admitted[q] {
+		return fmt.Errorf("heuristic: query %d: %w", q, plan.ErrNotAdmitted)
+	}
+	delete(p.admitted, q)
+	delete(p.state.Provides, q)
+	p.state.GarbageCollect(p.sys)
+	return nil
+}
+
+// submitOne plans a single fresh query; reports admission and, on
+// rejection, the machine-readable reason.
+func (p *Planner) submitOne(ctx context.Context, q dsps.StreamID, deadline time.Time, cfg *plan.SubmitConfig) (bool, plan.Reason, error) {
+	if err := ctx.Err(); err != nil {
+		return false, plan.ReasonNone, err
+	}
+	allowed := cfg.HostSet()
 	plans := p.abstractPlans(q)
 	bestScore := math.Inf(-1)
 	var best *dsps.Assignment
 	var bestHost dsps.HostID
-	for _, plan := range plans {
+	for _, pl := range plans {
+		if err := ctx.Err(); err != nil {
+			return false, plan.ReasonNone, err
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break // best candidate so far stands, as with a solver timeout
+		}
 		for h := 0; h < p.sys.NumHosts(); h++ {
-			cand := p.implement(plan, q, dsps.HostID(h))
+			if allowed != nil && !allowed[dsps.HostID(h)] {
+				continue
+			}
+			cand := p.implement(pl, q, dsps.HostID(h))
 			if cand == nil {
 				continue
 			}
@@ -68,15 +173,17 @@ func (p *Planner) Submit(q dsps.StreamID) bool {
 		}
 	}
 	if best == nil {
-		return false
+		return false, plan.ReasonNoFeasiblePlan, nil
 	}
 	best.Provides[q] = bestHost
-	if best.Validate(p.sys) != nil {
-		return false
+	if cfg.Validate == nil || *cfg.Validate {
+		if best.Validate(p.sys) != nil {
+			return false, plan.ReasonValidationFailed, nil
+		}
 	}
 	p.state = best
 	p.admitted[q] = true
-	return true
+	return true, plan.ReasonNone, nil
 }
 
 // abstractPlan is one join tree: the operator choice for the result stream

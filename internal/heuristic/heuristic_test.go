@@ -1,12 +1,19 @@
 package heuristic
 
 import (
+	"context"
 	"testing"
 
 	"sqpr/internal/core"
 	"sqpr/internal/dsps"
 	"sqpr/internal/workload"
 )
+
+// submitOK drives the unified Submit and reports admission.
+func submitOK(p *Planner, q dsps.StreamID) bool {
+	res, err := p.Submit(context.Background(), q)
+	return err == nil && res.Admitted
+}
 
 func buildSmall(t *testing.T) (*dsps.System, dsps.StreamID) {
 	t.Helper()
@@ -27,7 +34,7 @@ func buildSmall(t *testing.T) (*dsps.System, dsps.StreamID) {
 func TestAdmitSimpleQuery(t *testing.T) {
 	sys, q := buildSmall(t)
 	p := New(sys, core.PaperWeights())
-	if !p.Submit(q) {
+	if !submitOK(p, q) {
 		t.Fatal("query rejected")
 	}
 	if !p.Admitted(q) || p.AdmittedCount() != 1 {
@@ -41,7 +48,7 @@ func TestAdmitSimpleQuery(t *testing.T) {
 func TestDuplicateSubmission(t *testing.T) {
 	sys, q := buildSmall(t)
 	p := New(sys, core.PaperWeights())
-	if !p.Submit(q) || !p.Submit(q) {
+	if !submitOK(p, q) || !submitOK(p, q) {
 		t.Fatal("duplicate not accepted")
 	}
 	if p.AdmittedCount() != 1 {
@@ -59,7 +66,7 @@ func TestRejectWhenNoCPU(t *testing.T) {
 	op := sys.AddOperator([]dsps.StreamID{a, b}, 1, 5, "ab")
 	sys.SetRequested(op.Output, true)
 	p := New(sys, core.PaperWeights())
-	if p.Submit(op.Output) {
+	if submitOK(p, op.Output) {
 		t.Fatal("admitted despite insufficient CPU")
 	}
 }
@@ -84,7 +91,7 @@ func TestReusesExistingSubQuery(t *testing.T) {
 	sys.SetRequested(q2.Output, true)
 
 	p := New(sys, core.PaperWeights())
-	if !p.Submit(q1.Output) || !p.Submit(q2.Output) {
+	if !submitOK(p, q1.Output) || !submitOK(p, q2.Output) {
 		t.Fatal("queries rejected")
 	}
 	count := 0
@@ -124,7 +131,7 @@ func TestWorkloadRun(t *testing.T) {
 	p := New(sys, core.PaperWeights())
 	admitted := 0
 	for _, q := range w.Queries {
-		if p.Submit(q) {
+		if submitOK(p, q) {
 			admitted++
 		}
 		if err := p.Assignment().Validate(sys); err != nil {

@@ -10,13 +10,17 @@
 package hier
 
 import (
+	"context"
 	"sort"
+	"time"
 
 	"sqpr/internal/core"
 	"sqpr/internal/dsps"
+	"sqpr/internal/plan"
 )
 
-// Planner wraps one SQPR planner with site-level query routing.
+// Planner wraps one SQPR planner with site-level query routing. It
+// implements plan.QueryPlanner.
 type Planner struct {
 	sys   *dsps.System
 	inner *core.Planner
@@ -78,25 +82,70 @@ func (p *Planner) AdmittedCount() int { return p.inner.AdmittedCount() }
 // Admitted reports whether q is served.
 func (p *Planner) Admitted(q dsps.StreamID) bool { return p.inner.Admitted(q) }
 
+// Stats returns cumulative planner telemetry (accumulated by the wrapped
+// SQPR planner; retried sites count as separate planning calls).
+func (p *Planner) Stats() plan.Stats { return p.inner.Stats() }
+
+// Remove withdraws an admitted query from the wrapped SQPR planner.
+func (p *Planner) Remove(q dsps.StreamID) error { return p.inner.Remove(q) }
+
 // Submit routes the query to its best site and plans it there; with
 // Fallback enabled, rejected queries are retried on the remaining sites in
-// descending preference order.
-func (p *Planner) Submit(q dsps.StreamID) bool {
+// descending preference order. An explicit plan.WithCandidateHosts option
+// bypasses site routing and delegates to the wrapped planner unchanged.
+// plan.WithTimeout bounds the whole call including fallback attempts (one
+// budget drawn down across the per-site solves); the remaining options are
+// forwarded to each attempt.
+func (p *Planner) Submit(ctx context.Context, q dsps.StreamID, opts ...plan.SubmitOption) (plan.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := plan.Apply(opts)
+	if cfg.Hosts != nil {
+		return p.inner.Submit(ctx, q, opts...)
+	}
+	if err := plan.CheckStream(p.sys, q); err != nil {
+		return plan.Result{}, err
+	}
+	// A per-attempt WithTimeout would multiply by the number of sites
+	// tried; treat it as one budget drawn down across all attempts.
+	var deadline time.Time
+	if cfg.Timeout > 0 {
+		deadline = time.Now().Add(cfg.Timeout)
+	}
+	var siteOpts []plan.SubmitOption
+	if cfg.Batch != nil {
+		siteOpts = append(siteOpts, plan.WithBatch(cfg.Batch...))
+	}
+	if cfg.Validate != nil {
+		siteOpts = append(siteOpts, plan.WithValidation(*cfg.Validate))
+	}
 	order := p.rankSites(q)
 	tries := order
 	if !p.Fallback && len(order) > 0 {
 		tries = order[:1]
 	}
+	var last plan.Result
 	for _, s := range tries {
-		res, err := p.inner.SubmitWithHosts(q, p.sites[s])
-		if err != nil {
-			return false
+		attempt := append(append([]plan.SubmitOption(nil), siteOpts...),
+			plan.WithCandidateHosts(p.sites[s]...))
+		if !deadline.IsZero() {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				break // budget exhausted; the last rejection stands
+			}
+			attempt = append(attempt, plan.WithTimeout(remaining))
 		}
+		res, err := p.inner.Submit(ctx, q, attempt...)
+		if err != nil {
+			return res, err
+		}
+		last = res
 		if res.Admitted || res.AlreadyAdmitted {
-			return true
+			return res, nil
 		}
 	}
-	return false
+	return last, nil
 }
 
 // rankSites orders sites by (base-stream coverage of q, spare CPU).

@@ -1,6 +1,7 @@
 package hier
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -8,6 +9,12 @@ import (
 	"sqpr/internal/dsps"
 	"sqpr/internal/workload"
 )
+
+// submitOK drives the unified Submit and reports admission.
+func submitOK(p *Planner, q dsps.StreamID) bool {
+	res, err := p.Submit(context.Background(), q)
+	return err == nil && res.Admitted
+}
 
 func testConfig() core.Config {
 	cfg := core.DefaultConfig()
@@ -66,7 +73,7 @@ func TestHierarchicalAdmitsAndValidates(t *testing.T) {
 	p := New(sys, testConfig(), 2)
 	admitted := 0
 	for _, q := range queries {
-		if p.Submit(q) {
+		if submitOK(p, q) {
 			admitted++
 		}
 		if err := p.Assignment().Validate(sys); err != nil {
@@ -95,7 +102,7 @@ func TestFallbackRecoversCrossSiteQueries(t *testing.T) {
 	sys.SetRequested(op.Output, true)
 
 	p := New(sys, testConfig(), 2)
-	if !p.Submit(op.Output) {
+	if !submitOK(p, op.Output) {
 		t.Fatal("cross-site query rejected despite forced base hosts")
 	}
 	if err := p.Assignment().Validate(sys); err != nil {
@@ -120,7 +127,7 @@ func TestSiteRoutingPrefersCoverage(t *testing.T) {
 	if order[0] != 1 {
 		t.Fatalf("site ranking %v, want site 1 first", order)
 	}
-	if !p.Submit(op.Output) {
+	if !submitOK(p, op.Output) {
 		t.Fatal("query rejected")
 	}
 	// The operator should be placed inside site 1.
@@ -137,13 +144,13 @@ func TestHierarchicalVsFlatAdmissions(t *testing.T) {
 	sys, queries := buildWorkload(t, 8, 10)
 	hp := New(sys, testConfig(), 2)
 	for _, q := range queries {
-		hp.Submit(q)
+		hp.Submit(context.Background(), q)
 	}
 
 	sysF, queriesF := buildWorkload(t, 8, 10)
 	fp := core.NewPlanner(sysF, testConfig())
 	for _, q := range queriesF {
-		fp.Submit(q)
+		fp.Submit(context.Background(), q)
 	}
 	if hp.AdmittedCount() == 0 {
 		t.Fatal("hierarchical admitted nothing")

@@ -15,6 +15,7 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -116,6 +117,9 @@ type Solution struct {
 type Options struct {
 	// Deadline aborts the solve when exceeded; zero means no deadline.
 	Deadline time.Time
+	// Ctx, when non-nil, is polled periodically during iteration; a
+	// cancelled context aborts the solve like an exhausted deadline.
+	Ctx context.Context
 	// MaxIters caps total simplex iterations; 0 selects a size-derived
 	// default.
 	MaxIters int

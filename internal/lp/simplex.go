@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"math"
 	"time"
 )
@@ -33,6 +34,7 @@ type tableau struct {
 	iters    int
 	maxIters int
 	deadline time.Time
+	ctx      context.Context
 	bland    bool // anti-cycling rule engaged
 	stall    int  // consecutive degenerate iterations
 }
@@ -138,6 +140,7 @@ func newTableau(p *Problem, opts Options) *tableau {
 		banned:   make([]bool, total),
 		d:        make([]float64, total),
 		deadline: opts.Deadline,
+		ctx:      opts.Ctx,
 	}
 	for j := 0; j < total; j++ {
 		t.upper[j] = math.Inf(1)
@@ -291,8 +294,13 @@ func (t *tableau) iterate() Status {
 		if t.iters >= t.maxIters {
 			return IterLimit
 		}
-		if t.iters%64 == 0 && !t.deadline.IsZero() && time.Now().After(t.deadline) {
-			return IterLimit
+		if t.iters%64 == 0 {
+			if !t.deadline.IsZero() && time.Now().After(t.deadline) {
+				return IterLimit
+			}
+			if t.ctx != nil && t.ctx.Err() != nil {
+				return IterLimit
+			}
 		}
 		j := t.chooseEntering()
 		if j < 0 {

@@ -1,6 +1,7 @@
 package milp
 
 import (
+	"context"
 	"math"
 	"sort"
 	"time"
@@ -41,6 +42,7 @@ func (m *Model) Solve(opts Options) Result {
 
 	s := &search{
 		c:        c,
+		ctx:      opts.Ctx,
 		intTol:   intTol,
 		maxNodes: maxNodes,
 		deadline: opts.Deadline,
@@ -58,7 +60,7 @@ func (m *Model) Solve(opts Options) Result {
 
 	s.run()
 
-	res := Result{Nodes: s.nodes, LPIters: s.lpIters}
+	res := Result{Nodes: s.nodes, LPIters: s.lpIters, Cancelled: s.cancelled}
 	switch {
 	case s.bestX == nil && s.provedInfeasible:
 		res.Status = InfeasibleMIP
@@ -83,6 +85,7 @@ func (m *Model) Solve(opts Options) Result {
 
 type search struct {
 	c        *compiled
+	ctx      context.Context
 	intTol   float64
 	maxNodes int
 	deadline time.Time
@@ -100,6 +103,7 @@ type search struct {
 	provedOptimal        bool
 	provedInfeasible     bool
 	nodesPruneIncomplete bool
+	cancelled            bool
 }
 
 // acceptModelPoint validates a candidate full-model point and installs it
@@ -158,6 +162,11 @@ func (s *search) run() {
 	stack := []*node{{est: math.Inf(-1)}}
 	first := true
 	for len(stack) > 0 {
+		if s.ctx != nil && s.ctx.Err() != nil {
+			s.cancelled = true
+			s.nodesPruneIncomplete = true
+			return
+		}
 		if s.nodes >= s.maxNodes || (!s.deadline.IsZero() && time.Now().After(s.deadline)) {
 			s.nodesPruneIncomplete = true
 			return
@@ -347,7 +356,7 @@ func (s *search) solveNode(bounds []boundFix) (lp.Solution, []float64) {
 		}
 		prob.Cons = append(prob.Cons, lp.Constraint{Terms: terms, Sense: row.Sense, RHS: rhs})
 	}
-	sol := lp.Solve(&prob, lp.Options{Deadline: s.deadline})
+	sol := lp.Solve(&prob, lp.Options{Deadline: s.deadline, Ctx: s.ctx})
 	if sol.X == nil {
 		return sol, nil
 	}

@@ -1,0 +1,83 @@
+package milp
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+)
+
+// hardModel builds a knapsack-style MILP large enough that the search
+// explores many nodes, so cancellation has something to interrupt.
+func hardModel(n int) *Model {
+	m := NewModel()
+	vars := make([]Var, n)
+	terms := make([]Term, n)
+	capTerms := make([]Term, n)
+	for i := range vars {
+		vars[i] = m.AddBinary("x")
+		// Coefficients chosen to defeat trivial LP-rounding optima.
+		terms[i] = Term{vars[i], float64(7+3*i%11) + 0.5}
+		capTerms[i] = Term{vars[i], float64(5 + 2*i%7)}
+	}
+	m.SetObjective(true, terms...)
+	m.AddCons("cap", LE, float64(3*n), capTerms...)
+	for i := 0; i+1 < n; i += 2 {
+		m.AddCons("pair", LE, 1, Term{vars[i], 1}, Term{vars[i+1], 1})
+	}
+	return m
+}
+
+func TestSolveCancelledContextAbortsImmediately(t *testing.T) {
+	m := hardModel(24)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := m.Solve(Options{Ctx: ctx, MaxNodes: 100000})
+	if !res.Cancelled {
+		t.Fatalf("Cancelled=false after pre-cancelled ctx: %+v", res)
+	}
+	if res.Nodes != 0 {
+		t.Fatalf("explored %d nodes after cancellation", res.Nodes)
+	}
+	if res.Status == OptimalMIP {
+		t.Fatal("cancelled search claimed optimality")
+	}
+}
+
+func TestSolveCancelledMidSearchStops(t *testing.T) {
+	m := hardModel(30)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan Result, 1)
+	go func() { done <- m.Solve(Options{Ctx: ctx, MaxNodes: 1 << 30}) }()
+	// Let the search start, then pull the plug.
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	select {
+	case res := <-done:
+		if res.Status == OptimalMIP && !res.Cancelled {
+			// The search legitimately finished before the cancel landed;
+			// nothing to assert beyond non-blocking return.
+			return
+		}
+		if !res.Cancelled {
+			t.Fatalf("mid-search cancel not reported: %+v", res)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Solve did not return promptly after cancellation")
+	}
+}
+
+func TestSolveWithoutCtxUnaffected(t *testing.T) {
+	m := NewModel()
+	a := m.AddBinary("a")
+	b := m.AddBinary("b")
+	m.SetObjective(true, Term{a, 3}, Term{b, 2})
+	m.AddCons("cap", LE, 1, Term{a, 1}, Term{b, 1})
+	res := m.Solve(Options{})
+	if res.Status != OptimalMIP || math.Abs(res.Objective-3) > 1e-6 {
+		t.Fatalf("status=%v obj=%v", res.Status, res.Objective)
+	}
+	if res.Cancelled {
+		t.Fatal("Cancelled set without a ctx")
+	}
+}

@@ -11,6 +11,7 @@
 package milp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -176,10 +177,18 @@ type Result struct {
 	Bound     float64   // best proven bound on the optimum
 	Nodes     int       // branch-and-bound nodes explored
 	LPIters   int       // total simplex iterations
+	// Cancelled is set when Options.Ctx was cancelled mid-search; callers
+	// should discard any incumbent and keep their previous state.
+	Cancelled bool
 }
 
 // Options tunes a MILP solve.
 type Options struct {
+	// Ctx, when non-nil, is polled at every branch-and-bound node: a
+	// cancelled context aborts the search immediately and the Result is
+	// marked Cancelled. A ctx deadline should additionally be folded into
+	// Deadline by the caller so it also bounds individual node LPs.
+	Ctx context.Context
 	// Deadline stops the search and returns the incumbent; zero = none.
 	Deadline time.Time
 	// MaxNodes caps explored nodes; 0 selects a generous default.

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"sqpr/internal/core"
 	"sqpr/internal/costmodel"
 	"sqpr/internal/dsps"
@@ -33,8 +35,9 @@ func Adaptive(sc Scale, surgeFactor float64, surgeOps int) (AdaptiveResult, erro
 	cfg.SolveTimeout = sc.Timeout
 	cfg.MaxCandidateHosts = sc.MaxCandHost
 	p := core.NewPlanner(env.Sys, cfg)
+	ctx := context.Background()
 	for _, q := range env.Queries {
-		if _, err := p.Submit(q); err != nil {
+		if _, err := p.Submit(ctx, q); err != nil {
 			return res, err
 		}
 	}
@@ -84,7 +87,7 @@ func Adaptive(sc Scale, surgeFactor float64, surgeOps int) (AdaptiveResult, erro
 	for op, observed := range driftedOps {
 		env.Sys.Operators[op].Cost = observed
 	}
-	results, err := p.Replan(queries)
+	results, err := p.Replan(ctx, queries)
 	if err != nil {
 		return res, err
 	}

@@ -1,23 +1,33 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"sqpr/internal/dsps"
+	"sqpr/internal/plan"
 )
 
 // fakeSubmitter admits everything and counts distinct queries.
 type fakeSubmitter struct{ seen map[dsps.StreamID]bool }
 
-func (f *fakeSubmitter) Submit(q dsps.StreamID) bool {
+func (f *fakeSubmitter) Submit(ctx context.Context, q dsps.StreamID, opts ...plan.SubmitOption) (plan.Result, error) {
 	if f.seen == nil {
 		f.seen = map[dsps.StreamID]bool{}
 	}
 	f.seen[q] = true
-	return true
+	return plan.Result{Admitted: true}, nil
 }
 
+func (f *fakeSubmitter) Remove(q dsps.StreamID) error { delete(f.seen, q); return nil }
+
+func (f *fakeSubmitter) Assignment() *dsps.Assignment { return dsps.NewAssignment() }
+
+func (f *fakeSubmitter) Admitted(q dsps.StreamID) bool { return f.seen[q] }
+
 func (f *fakeSubmitter) AdmittedCount() int { return len(f.seen) }
+
+func (f *fakeSubmitter) Stats() plan.Stats { return plan.Stats{} }
 
 func TestCountSatisfiedIncludesDuplicates(t *testing.T) {
 	f := &fakeSubmitter{}

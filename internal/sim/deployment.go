@@ -92,16 +92,17 @@ func Fig7(ds DeployScale) Fig7Result {
 		res.HighCheckpoint = ds.Waves * ds.WaveSize
 	}
 
+	ctx := context.Background()
 	sqprSatisfied, sodaSatisfied := 0, 0
 	for wave := 0; wave < ds.Waves; wave++ {
 		lo, hi := wave*ds.WaveSize, (wave+1)*ds.WaveSize
 		for _, q := range envS.Queries[lo:hi] {
-			if sqpr.Submit(q) {
+			if r, err := sqpr.Submit(ctx, q); err == nil && r.Admitted {
 				sqprSatisfied++
 			}
 		}
 		for _, q := range envD.Queries[lo:hi] {
-			if soda.Submit(q) {
+			if r, err := soda.Submit(ctx, q); err == nil && r.Admitted {
 				sodaSatisfied++
 			}
 		}
@@ -110,28 +111,15 @@ func Fig7(ds DeployScale) Fig7Result {
 		res.SODA = append(res.SODA, sodaSatisfied)
 
 		if hi == res.LowCheckpoint {
-			res.CPULowSQPR, res.NetLowSQPR = UtilisationCDFs(envS.Sys, sqpr.P.Assignment())
-			res.CPULowSODA, res.NetLowSODA = utilCDFsOf(envD.Sys, soda)
+			res.CPULowSQPR, res.NetLowSQPR = UtilisationCDFs(envS.Sys, sqpr.Assignment())
+			res.CPULowSODA, res.NetLowSODA = UtilisationCDFs(envD.Sys, soda.Assignment())
 		}
 		if hi == res.HighCheckpoint {
-			res.CPUHighSQPR, res.NetHighSQPR = UtilisationCDFs(envS.Sys, sqpr.P.Assignment())
-			res.CPUHighSODA, res.NetHighSODA = utilCDFsOf(envD.Sys, soda)
+			res.CPUHighSQPR, res.NetHighSQPR = UtilisationCDFs(envS.Sys, sqpr.Assignment())
+			res.CPUHighSODA, res.NetHighSODA = UtilisationCDFs(envD.Sys, soda.Assignment())
 		}
 	}
 	return res
-}
-
-// assignmentCarrier lets the harness extract the allocation from planners
-// that expose it (SODA and heuristic do).
-type assignmentCarrier interface {
-	Assignment() *dsps.Assignment
-}
-
-func utilCDFsOf(sys *dsps.System, p Submitter) (*stats.CDF, *stats.CDF) {
-	if ac, ok := p.(assignmentCarrier); ok {
-		return UtilisationCDFs(sys, ac.Assignment())
-	}
-	return stats.NewCDF(nil), stats.NewCDF(nil)
 }
 
 // DeployAndMeasure instantiates an assignment on the mini engine, lets it

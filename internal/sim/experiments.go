@@ -1,10 +1,12 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"sqpr/internal/dsps"
+	"sqpr/internal/plan"
 	"sqpr/internal/stats"
 )
 
@@ -57,10 +59,10 @@ func Fig4b(sc Scale, batchSizes []int) Fig4aResult {
 				end = len(env.Queries)
 			}
 			batch := env.Queries[i:end]
-			// SubmitBatch scales the deadline by the batch size itself.
-			_, _ = ad.P.SubmitBatch(batch)
+			// WithBatch scales the deadline by the batch size itself.
+			_, _ = ad.Submit(context.Background(), batch[0], plan.WithBatch(batch[1:]...))
 			for _, q := range batch {
-				if ad.P.Admitted(q) {
+				if ad.Admitted(q) {
 					satisfied++
 				}
 			}
@@ -214,8 +216,9 @@ func Fig6b(sc Scale, arities []int) TimingResult {
 func timedRun(s Scale) (time.Duration, int) {
 	env := BuildEnv(s)
 	ad := env.NewSQPR(s, s.Timeout)
+	ctx := context.Background()
 	for _, q := range env.Queries {
-		ad.Submit(q)
+		ad.Submit(ctx, q)
 	}
 	var sum time.Duration
 	n := 0

@@ -5,27 +5,27 @@
 package sim
 
 import (
+	"context"
 	"time"
 
 	"sqpr/internal/bound"
 	"sqpr/internal/core"
 	"sqpr/internal/dsps"
 	"sqpr/internal/heuristic"
+	"sqpr/internal/plan"
 	"sqpr/internal/soda"
 )
 
-// Submitter is the common planning interface exercised by the harness.
-type Submitter interface {
-	// Submit plans one query and reports whether it was admitted.
-	Submit(q dsps.StreamID) bool
-	// AdmittedCount returns the number of admitted queries so far.
-	AdmittedCount() int
-}
+// Submitter is the common planning interface exercised by the harness:
+// every planner in this repository implements plan.QueryPlanner, so the
+// harness needs no per-baseline adapters.
+type Submitter = plan.QueryPlanner
 
-// SQPRAdapter adapts core.Planner (whose Submit returns a rich result) to
-// the Submitter interface and accumulates planning-time telemetry.
-type SQPRAdapter struct {
-	P *core.Planner
+// Recorder wraps any planner with per-call telemetry: planning times and
+// the system CPU utilisation observed before each call (the Fig. 6
+// measurement protocol). It implements plan.QueryPlanner by delegation.
+type Recorder struct {
+	P Submitter
 	// PlanTimes records the duration of every planning call.
 	PlanTimes []time.Duration
 	// UtilisationAt records system CPU utilisation before each call.
@@ -33,13 +33,13 @@ type SQPRAdapter struct {
 	sys           *dsps.System
 }
 
-// NewSQPRAdapter wraps a core planner for the harness.
-func NewSQPRAdapter(sys *dsps.System, p *core.Planner) *SQPRAdapter {
-	return &SQPRAdapter{P: p, sys: sys}
+// NewRecorder wraps a planner for the harness.
+func NewRecorder(sys *dsps.System, p Submitter) *Recorder {
+	return &Recorder{P: p, sys: sys}
 }
 
-// Submit implements Submitter.
-func (a *SQPRAdapter) Submit(q dsps.StreamID) bool {
+// Submit implements plan.QueryPlanner, recording telemetry around the call.
+func (a *Recorder) Submit(ctx context.Context, q dsps.StreamID, opts ...plan.SubmitOption) (plan.Result, error) {
 	u := a.P.Assignment().ComputeUsage(a.sys)
 	total := a.sys.TotalCPU()
 	if total > 0 {
@@ -47,16 +47,27 @@ func (a *SQPRAdapter) Submit(q dsps.StreamID) bool {
 	} else {
 		a.UtilisationAt = append(a.UtilisationAt, 0)
 	}
-	res, err := a.P.Submit(q)
-	if err != nil {
-		return false
-	}
+	res, err := a.P.Submit(ctx, q, opts...)
+	// Always append, keeping PlanTimes index-aligned with UtilisationAt
+	// even when a call errors (the entry is then the partial call time).
 	a.PlanTimes = append(a.PlanTimes, res.PlanTime)
-	return res.Admitted
+	return res, err
 }
 
-// AdmittedCount implements Submitter.
-func (a *SQPRAdapter) AdmittedCount() int { return a.P.AdmittedCount() }
+// Remove implements plan.QueryPlanner.
+func (a *Recorder) Remove(q dsps.StreamID) error { return a.P.Remove(q) }
+
+// Assignment implements plan.QueryPlanner.
+func (a *Recorder) Assignment() *dsps.Assignment { return a.P.Assignment() }
+
+// Admitted implements plan.QueryPlanner.
+func (a *Recorder) Admitted(q dsps.StreamID) bool { return a.P.Admitted(q) }
+
+// AdmittedCount implements plan.QueryPlanner.
+func (a *Recorder) AdmittedCount() int { return a.P.AdmittedCount() }
+
+// Stats implements plan.QueryPlanner.
+func (a *Recorder) Stats() plan.Stats { return a.P.Stats() }
 
 // Curve is one admission series: Satisfied[i] is the cumulative number of
 // satisfied queries after Inputs[i] submissions.
@@ -77,9 +88,10 @@ func RunAdmission(label string, p Submitter, queries []dsps.StreamID, step int) 
 		step = 1
 	}
 	c := Curve{Label: label}
+	ctx := context.Background()
 	satisfied := 0
 	for i, q := range queries {
-		if p.Submit(q) {
+		if res, err := p.Submit(ctx, q); err == nil && res.Admitted {
 			satisfied++
 		}
 		if (i+1)%step == 0 || i == len(queries)-1 {
@@ -93,9 +105,10 @@ func RunAdmission(label string, p Submitter, queries []dsps.StreamID, step int) 
 // CountSatisfied submits all queries and returns the number of satisfied
 // submissions (duplicates included; see RunAdmission).
 func CountSatisfied(p Submitter, queries []dsps.StreamID) int {
+	ctx := context.Background()
 	satisfied := 0
 	for _, q := range queries {
-		if p.Submit(q) {
+		if res, err := p.Submit(ctx, q); err == nil && res.Admitted {
 			satisfied++
 		}
 	}
@@ -154,13 +167,13 @@ func BuildEnv(sc Scale) *Env {
 	return &Env{Sys: sys, Queries: w}
 }
 
-// NewSQPR builds an SQPR planner adapter at the given timeout.
-func (e *Env) NewSQPR(sc Scale, timeout time.Duration) *SQPRAdapter {
+// NewSQPR builds a telemetry-recording SQPR planner at the given timeout.
+func (e *Env) NewSQPR(sc Scale, timeout time.Duration) *Recorder {
 	cfg := core.DefaultConfig()
 	cfg.SolveTimeout = timeout
 	cfg.MaxCandidateHosts = sc.MaxCandHost
 	cfg.MaxFreeStreams = 30
-	return NewSQPRAdapter(e.Sys, core.NewPlanner(e.Sys, cfg))
+	return NewRecorder(e.Sys, core.NewPlanner(e.Sys, cfg))
 }
 
 // NewHeuristic builds the heuristic baseline.

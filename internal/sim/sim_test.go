@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -43,19 +44,19 @@ func TestBoundDominatesSQPRAndHeuristic(t *testing.T) {
 	envB := BuildEnv(sc)
 	b := envB.NewBound()
 	for _, q := range envB.Queries {
-		b.Submit(q)
+		b.Submit(context.Background(), q)
 	}
 
 	envS := BuildEnv(sc)
 	s := envS.NewSQPR(sc, sc.Timeout)
 	for _, q := range envS.Queries {
-		s.Submit(q)
+		s.Submit(context.Background(), q)
 	}
 
 	envH := BuildEnv(sc)
 	h := envH.NewHeuristic()
 	for _, q := range envH.Queries {
-		h.Submit(q)
+		h.Submit(context.Background(), q)
 	}
 
 	if s.AdmittedCount() > b.AdmittedCount() {
@@ -66,12 +67,12 @@ func TestBoundDominatesSQPRAndHeuristic(t *testing.T) {
 	}
 }
 
-func TestSQPRAdapterTelemetry(t *testing.T) {
+func TestRecorderTelemetry(t *testing.T) {
 	sc := tinyScale()
 	env := BuildEnv(sc)
 	ad := env.NewSQPR(sc, sc.Timeout)
 	for _, q := range env.Queries[:5] {
-		ad.Submit(q)
+		ad.Submit(context.Background(), q)
 	}
 	if len(ad.PlanTimes) != 5 || len(ad.UtilisationAt) != 5 {
 		t.Fatalf("telemetry lengths: %d/%d", len(ad.PlanTimes), len(ad.UtilisationAt))
@@ -130,9 +131,9 @@ func TestUtilisationCDFs(t *testing.T) {
 	env := BuildEnv(sc)
 	ad := env.NewSQPR(sc, sc.Timeout)
 	for _, q := range env.Queries[:8] {
-		ad.Submit(q)
+		ad.Submit(context.Background(), q)
 	}
-	cpu, net := UtilisationCDFs(env.Sys, ad.P.Assignment())
+	cpu, net := UtilisationCDFs(env.Sys, ad.Assignment())
 	if cpu.Len() != sc.Hosts || net.Len() != sc.Hosts {
 		t.Fatalf("CDF sizes: %d/%d", cpu.Len(), net.Len())
 	}
@@ -147,9 +148,9 @@ func TestDeployAndMeasure(t *testing.T) {
 	env := BuildEnv(sc)
 	ad := env.NewSQPR(sc, sc.Timeout)
 	for _, q := range env.Queries {
-		ad.Submit(q)
+		ad.Submit(context.Background(), q)
 	}
-	snap, _, err := DeployAndMeasure(env.Sys, ad.P.Assignment(), 300*time.Millisecond)
+	snap, _, err := DeployAndMeasure(env.Sys, ad.Assignment(), 300*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,19 +9,25 @@
 package soda
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"sqpr/internal/core"
 	"sqpr/internal/dsps"
+	"sqpr/internal/plan"
 )
 
-// Planner is the SODA-like baseline.
+// Planner is the SODA-like baseline. It implements plan.QueryPlanner and
+// is not safe for concurrent use.
 type Planner struct {
 	sys      *dsps.System
 	state    *dsps.Assignment
 	weights  core.Weights
 	admitted map[dsps.StreamID]bool
+	stats    plan.Stats
 
 	// opHost records where each placed template operator runs, enabling
 	// whole-sub-query reuse ("gluing templates").
@@ -55,29 +61,124 @@ func (p *Planner) Admitted(q dsps.StreamID) bool { return p.admitted[q] }
 // AdmittedCount returns the number of admitted queries.
 func (p *Planner) AdmittedCount() int { return len(p.admitted) }
 
-// Submit runs admission (macroQ) and placement (miniW) for one query.
-func (p *Planner) Submit(q dsps.StreamID) bool {
-	if p.admitted[q] {
-		return true
+// Stats returns cumulative planner telemetry.
+func (p *Planner) Stats() plan.Stats { return p.stats }
+
+// Submit runs admission (macroQ) and placement (miniW) for query q (and
+// any plan.WithBatch companions, sequentially). plan.WithCandidateHosts
+// restricts the hosts tried by miniW placement and plan.WithValidation
+// toggles the feasibility re-check. Cancelling ctx aborts the call and
+// leaves the planner state unchanged.
+func (p *Planner) Submit(ctx context.Context, q dsps.StreamID, opts ...plan.SubmitOption) (plan.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	cfg := plan.Apply(opts)
+	var res plan.Result
+
+	qs := cfg.Queries(q)
+	for _, query := range qs {
+		if err := plan.CheckStream(p.sys, query); err != nil {
+			return plan.Result{}, fmt.Errorf("soda: %w", err)
+		}
+	}
+
+	// Snapshot for rollback: an error mid-batch (ctx cancellation) must
+	// leave the planner state unchanged. A single-query call needs no
+	// snapshot — submitOne only errors before it mutates — so the
+	// O(admitted + opHost) copies are skipped on the hot path.
+	var prevState *dsps.Assignment
+	var prevAdmitted map[dsps.StreamID]bool
+	var prevOpHost map[dsps.OperatorID]dsps.HostID
+	if len(qs) > 1 {
+		prevState = p.state
+		prevAdmitted = plan.CopyAdmitted(p.admitted)
+		prevOpHost = make(map[dsps.OperatorID]dsps.HostID, len(p.opHost))
+		for op, h := range p.opHost {
+			prevOpHost[op] = h
+		}
+	}
+
+	allAdmitted := true
+	anyFresh := false
+	for _, query := range qs {
+		if p.admitted[query] {
+			res.AlreadyAdmitted = true
+			continue
+		}
+		anyFresh = true
+		ok, reason, err := p.submitOne(ctx, query, &cfg)
+		if err != nil {
+			if prevAdmitted != nil {
+				p.state = prevState
+				p.admitted = prevAdmitted
+				p.opHost = prevOpHost
+			}
+			return plan.Result{}, err
+		}
+		if !ok {
+			allAdmitted = false
+			res.Reason = reason
+		}
+	}
+	res.Admitted = allAdmitted
+	if res.Admitted || !anyFresh {
+		res.Reason = plan.ReasonNone
+	}
+	res.PlanTime = time.Since(start)
+	p.stats.Record(res)
+	return res, nil
+}
+
+// Remove withdraws an admitted query, garbage-collects unneeded operators
+// and flows, and forgets template placements that no longer exist.
+func (p *Planner) Remove(q dsps.StreamID) error {
+	if err := plan.CheckStream(p.sys, q); err != nil {
+		return fmt.Errorf("soda: %w", err)
+	}
+	if !p.admitted[q] {
+		return fmt.Errorf("soda: query %d: %w", q, plan.ErrNotAdmitted)
+	}
+	delete(p.admitted, q)
+	delete(p.state.Provides, q)
+	p.state.GarbageCollect(p.sys)
+	for op, h := range p.opHost {
+		if !p.state.Ops[dsps.Placement{Host: h, Op: op}] {
+			delete(p.opHost, op)
+		}
+	}
+	return nil
+}
+
+// submitOne plans one fresh query; reports admission and, on rejection,
+// the machine-readable reason.
+func (p *Planner) submitOne(ctx context.Context, q dsps.StreamID, cfg *plan.SubmitConfig) (bool, plan.Reason, error) {
+	if err := ctx.Err(); err != nil {
+		return false, plan.ReasonNone, err
 	}
 	tmpl, ok := p.template(q)
 	if !ok {
-		return false
+		return false, plan.ReasonNoTemplate, nil
 	}
 	if !p.macroQ(tmpl) {
-		return false
+		return false, plan.ReasonResourceExhausted, nil
 	}
+	allowed := cfg.HostSet()
 	cand := p.state.Clone()
 	newHosts := make(map[dsps.OperatorID]dsps.HostID)
 	last := dsps.HostID(-1)
 	for _, opID := range tmpl {
+		if err := ctx.Err(); err != nil {
+			return false, plan.ReasonNone, err
+		}
 		if h, placed := p.opHost[opID]; placed {
 			last = h // reuse the glued sub-query as-is
 			continue
 		}
-		h, okPlace := p.placeOp(cand, opID, newHosts)
+		h, okPlace := p.placeOp(cand, opID, allowed)
 		if !okPlace {
-			return false
+			return false, plan.ReasonNoFeasiblePlan, nil
 		}
 		newHosts[opID] = h
 		last = h
@@ -89,18 +190,20 @@ func (p *Planner) Submit(q dsps.StreamID) bool {
 	// Delivery bandwidth at the providing host.
 	u := cand.ComputeUsage(p.sys)
 	if u.Out[last]+p.sys.Streams[q].Rate > p.sys.Hosts[last].OutBW+1e-9 {
-		return false
+		return false, plan.ReasonNoFeasiblePlan, nil
 	}
 	cand.Provides[q] = last
-	if cand.Validate(p.sys) != nil {
-		return false
+	if cfg.Validate == nil || *cfg.Validate {
+		if cand.Validate(p.sys) != nil {
+			return false, plan.ReasonValidationFailed, nil
+		}
 	}
 	p.state = cand
 	for op, h := range newHosts {
 		p.opHost[op] = h
 	}
 	p.admitted[q] = true
-	return true
+	return true, plan.ReasonNone, nil
 }
 
 // template derives the fixed left-deep join chain over the sorted base set
@@ -198,16 +301,19 @@ func (p *Planner) macroQ(tmpl []dsps.OperatorID) bool {
 	return demand <= spare+1e-9
 }
 
-// placeOp places one template operator on the host that minimises the
-// load-balancing score, fetching each input once from its producing or
+// placeOp places one template operator on the allowed host that minimises
+// the load-balancing score, fetching each input once from its producing or
 // base host (direct transfer only — no relays).
-func (p *Planner) placeOp(cand *dsps.Assignment, opID dsps.OperatorID, newHosts map[dsps.OperatorID]dsps.HostID) (dsps.HostID, bool) {
+func (p *Planner) placeOp(cand *dsps.Assignment, opID dsps.OperatorID, allowed map[dsps.HostID]bool) (dsps.HostID, bool) {
 	op := &p.sys.Operators[opID]
 	bestScore := math.Inf(1)
 	var bestHost dsps.HostID
 	var bestTrial *dsps.Assignment
 	for h := 0; h < p.sys.NumHosts(); h++ {
 		host := dsps.HostID(h)
+		if allowed != nil && !allowed[host] {
+			continue
+		}
 		u := cand.ComputeUsage(p.sys)
 		if u.CPU[host]+op.Cost > p.sys.Hosts[host].CPU+1e-9 {
 			continue

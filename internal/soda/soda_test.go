@@ -1,12 +1,19 @@
 package soda
 
 import (
+	"context"
 	"testing"
 
 	"sqpr/internal/core"
 	"sqpr/internal/dsps"
 	"sqpr/internal/workload"
 )
+
+// submitOK drives the unified Submit and reports admission.
+func submitOK(p *Planner, q dsps.StreamID) bool {
+	res, err := p.Submit(context.Background(), q)
+	return err == nil && res.Admitted
+}
 
 func buildWorkload(t *testing.T, hosts, bases, queries int) (*dsps.System, []dsps.StreamID) {
 	t.Helper()
@@ -26,7 +33,7 @@ func TestAdmitsQueries(t *testing.T) {
 	p := New(sys, core.PaperWeights())
 	admitted := 0
 	for _, q := range queries {
-		if p.Submit(q) {
+		if submitOK(p, q) {
 			admitted++
 		}
 		if err := p.Assignment().Validate(sys); err != nil {
@@ -62,7 +69,7 @@ func TestReuseByGluingTemplates(t *testing.T) {
 	sys, queries := buildWorkload(t, 3, 4, 8)
 	p := New(sys, core.PaperWeights())
 	for _, q := range queries {
-		p.Submit(q)
+		submitOK(p, q)
 	}
 	// Count operator placements vs distinct placed operators: each op may
 	// run at most once (gluing means no duplicates).
@@ -89,7 +96,7 @@ func TestMacroQRejectsWhenAggregateCPUExhausted(t *testing.T) {
 	op := sys.AddOperator([]dsps.StreamID{a, b}, 1, 2, "ab")
 	sys.SetRequested(op.Output, true)
 	p := New(sys, core.PaperWeights())
-	if p.Submit(op.Output) {
+	if submitOK(p, op.Output) {
 		t.Fatal("macroQ failed to reject an unservable query")
 	}
 }
@@ -97,11 +104,11 @@ func TestMacroQRejectsWhenAggregateCPUExhausted(t *testing.T) {
 func TestDuplicateQueryFreeOfCharge(t *testing.T) {
 	sys, queries := buildWorkload(t, 3, 4, 1)
 	p := New(sys, core.PaperWeights())
-	if !p.Submit(queries[0]) {
+	if !submitOK(p, queries[0]) {
 		t.Fatal("first submit failed")
 	}
 	cpuBefore := p.Assignment().ComputeUsage(sys).TotalCPU()
-	if !p.Submit(queries[0]) {
+	if !submitOK(p, queries[0]) {
 		t.Fatal("duplicate rejected")
 	}
 	cpuAfter := p.Assignment().ComputeUsage(sys).TotalCPU()

@@ -11,8 +11,11 @@
 //
 //   - the system/query/resource model (hosts, streams, operators,
 //     assignments) from internal/dsps;
+//   - the unified, context-aware QueryPlanner interface with functional
+//     submit options, implemented by every planner;
 //   - the SQPR planner from internal/core;
-//   - baseline planners (heuristic, SODA-like, optimistic bound);
+//   - baseline planners (heuristic, SODA-like, optimistic bound) and the
+//     hierarchical decomposition;
 //   - the synthetic workload generator of the paper's evaluation;
 //   - a miniature stream engine that executes produced plans.
 //
@@ -20,6 +23,7 @@
 package sqpr
 
 import (
+	"context"
 	"time"
 
 	"sqpr/internal/bound"
@@ -29,8 +33,26 @@ import (
 	"sqpr/internal/engine"
 	"sqpr/internal/heuristic"
 	"sqpr/internal/hier"
+	"sqpr/internal/plan"
 	"sqpr/internal/soda"
 	"sqpr/internal/workload"
+)
+
+// QueryPlanner is the unified, context-aware planning interface implemented
+// by all five planners: core SQPR, the heuristic baseline, the SODA-like
+// baseline, the optimistic bound and the hierarchical decomposition.
+// Submit accepts functional options (WithTimeout, WithCandidateHosts,
+// WithBatch, WithValidation); cancelling the context aborts a planning call
+// promptly and leaves the planner state unchanged.
+type QueryPlanner = plan.QueryPlanner
+
+// Compile-time conformance of all five planners to the interface.
+var (
+	_ QueryPlanner = (*core.Planner)(nil)
+	_ QueryPlanner = (*heuristic.Planner)(nil)
+	_ QueryPlanner = (*soda.Planner)(nil)
+	_ QueryPlanner = (*bound.Planner)(nil)
+	_ QueryPlanner = (*hier.Planner)(nil)
 )
 
 // Core model types.
@@ -65,8 +87,16 @@ type (
 	Planner = core.Planner
 	// PlannerConfig tunes the SQPR planner.
 	PlannerConfig = core.Config
-	// PlanResult describes one planning call's outcome.
-	PlanResult = core.Result
+	// Result describes one planning call's outcome, for every planner,
+	// including a machine-readable rejection Reason.
+	Result = plan.Result
+	// Reason is a machine-readable rejection reason on Result.
+	Reason = plan.Reason
+	// PlannerStats is the cumulative telemetry every planner exposes.
+	PlannerStats = plan.Stats
+	// SubmitOption customises one Submit call (see WithTimeout,
+	// WithCandidateHosts, WithBatch, WithValidation).
+	SubmitOption = plan.SubmitOption
 	// Weights are the λ1–λ4 objective weights.
 	Weights = core.Weights
 	// HeuristicPlanner is the hand-crafted baseline of §V-A.
@@ -108,6 +138,39 @@ type (
 
 // NoOperator marks base streams (no producing operator).
 const NoOperator = dsps.NoOperator
+
+// Rejection reasons carried by Result.Reason.
+const (
+	ReasonNone              = plan.ReasonNone
+	ReasonNoFeasiblePlan    = plan.ReasonNoFeasiblePlan
+	ReasonResourceExhausted = plan.ReasonResourceExhausted
+	ReasonNoTemplate        = plan.ReasonNoTemplate
+	ReasonValidationFailed  = plan.ReasonValidationFailed
+)
+
+// Typed errors returned by planner methods; compare with errors.Is.
+var (
+	// ErrUnknownStream reports a StreamID outside the system's stream table.
+	ErrUnknownStream = plan.ErrUnknownStream
+	// ErrNotRequested reports a stream never marked as a query.
+	ErrNotRequested = plan.ErrNotRequested
+	// ErrNotAdmitted reports a Remove of a query that is not admitted.
+	ErrNotAdmitted = plan.ErrNotAdmitted
+)
+
+// WithTimeout bounds one planning call by d instead of the planner default.
+func WithTimeout(d time.Duration) SubmitOption { return plan.WithTimeout(d) }
+
+// WithCandidateHosts restricts one call's candidate host universe (plus any
+// hosts forced in for correctness).
+func WithCandidateHosts(hosts ...HostID) SubmitOption { return plan.WithCandidateHosts(hosts...) }
+
+// WithBatch plans the given queries jointly with the primary query in one
+// optimisation; the solver deadline scales with the batch size (§V-A1).
+func WithBatch(qs ...StreamID) SubmitOption { return plan.WithBatch(qs...) }
+
+// WithValidation overrides post-solve feasibility validation for one call.
+func WithValidation(on bool) SubmitOption { return plan.WithValidation(on) }
 
 // NewSystem creates a system with the given hosts and uniform link capacity.
 func NewSystem(hosts []Host, linkCap float64) *System { return dsps.NewSystem(hosts, linkCap) }
@@ -159,13 +222,14 @@ func NewEngine(sys *System, cfg EngineConfig) *Engine { return engine.New(sys, c
 func DefaultEngineConfig() EngineConfig { return engine.DefaultConfig() }
 
 // QuickPlan is a convenience helper: it submits the queries in order with
-// the given per-query timeout and returns the number admitted.
-func QuickPlan(sys *System, queries []StreamID, timeout time.Duration) (int, error) {
+// the given per-query timeout and returns the number admitted. The context
+// bounds the whole run.
+func QuickPlan(ctx context.Context, sys *System, queries []StreamID, timeout time.Duration) (int, error) {
 	cfg := core.DefaultConfig()
 	cfg.SolveTimeout = timeout
 	p := core.NewPlanner(sys, cfg)
 	for _, q := range queries {
-		if _, err := p.Submit(q); err != nil {
+		if _, err := p.Submit(ctx, q); err != nil {
 			return p.AdmittedCount(), err
 		}
 	}

@@ -1,6 +1,7 @@
 package sqpr_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -28,7 +29,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	cfg.SolveTimeout = 150 * time.Millisecond
 	p := sqpr.NewPlanner(sys, cfg)
 	for _, q := range w.Queries {
-		if _, err := p.Submit(q); err != nil {
+		if _, err := p.Submit(context.Background(), q); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -52,7 +53,7 @@ func TestQuickPlanHelper(t *testing.T) {
 	op := sys.AddOperator([]sqpr.StreamID{a, b}, 1, 2, "ab")
 	sys.SetRequested(op.Output, true)
 
-	n, err := sqpr.QuickPlan(sys, []sqpr.StreamID{op.Output}, 500*time.Millisecond)
+	n, err := sqpr.QuickPlan(context.Background(), sys, []sqpr.StreamID{op.Output}, 500*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,10 +80,11 @@ func TestBaselinesViaFacade(t *testing.T) {
 	s := sqpr.NewSODAPlanner(sodaSys, sqpr.PaperWeights())
 	bnd := sqpr.NewBoundPlanner(sys)
 
+	ctx := context.Background()
 	for i := range w.Queries {
-		h.Submit(w.Queries[i])
-		s.Submit(w2.Queries[i])
-		bnd.Submit(w.Queries[i])
+		h.Submit(ctx, w.Queries[i])
+		s.Submit(ctx, w2.Queries[i])
+		bnd.Submit(ctx, w.Queries[i])
 	}
 	if h.AdmittedCount() == 0 || s.AdmittedCount() == 0 || bnd.AdmittedCount() == 0 {
 		t.Fatalf("baselines admitted %d/%d/%d", h.AdmittedCount(), s.AdmittedCount(), bnd.AdmittedCount())
