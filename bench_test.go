@@ -11,11 +11,14 @@ package sqpr_test
 
 import (
 	"context"
+	"math/rand"
 	"testing"
 	"time"
 
 	"sqpr/internal/core"
 	"sqpr/internal/hier"
+	"sqpr/internal/lp"
+	"sqpr/internal/milp"
 	"sqpr/internal/sim"
 )
 
@@ -210,6 +213,9 @@ func runAblation(mutate func(*core.Config)) (int, time.Duration) {
 		}
 		total += res.PlanTime
 	}
+	if len(env.Queries) == 0 {
+		return p.AdmittedCount(), 0
+	}
 	return p.AdmittedCount(), total / time.Duration(len(env.Queries))
 }
 
@@ -303,7 +309,9 @@ func BenchmarkHierarchicalVsFlat(b *testing.B) {
 		ctx := context.Background()
 		start := time.Now()
 		for _, q := range envF.Queries {
-			fp.Submit(ctx, q)
+			if _, err := fp.Submit(ctx, q); err != nil {
+				b.Fatalf("flat Submit(%d): %v", q, err)
+			}
 		}
 		flatT = time.Since(start) / time.Duration(len(envF.Queries))
 		flatN = fp.AdmittedCount()
@@ -315,7 +323,9 @@ func BenchmarkHierarchicalVsFlat(b *testing.B) {
 		hp := hier.New(envH.Sys, cfgH, 3)
 		start = time.Now()
 		for _, q := range envH.Queries {
-			hp.Submit(ctx, q)
+			if _, err := hp.Submit(ctx, q); err != nil {
+				b.Fatalf("hier Submit(%d): %v", q, err)
+			}
 		}
 		hierT = time.Since(start) / time.Duration(len(envH.Queries))
 		hierN = hp.AdmittedCount()
@@ -349,12 +359,21 @@ func itoa(v int) string {
 	if v == 0 {
 		return "0"
 	}
-	var buf [20]byte
+	neg := v < 0
+	u := uint64(v)
+	if neg {
+		u = uint64(-int64(v)) // two's-complement safe, including MinInt
+	}
+	var buf [21]byte
 	i := len(buf)
-	for v > 0 {
+	for u > 0 {
 		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
+		buf[i] = byte('0' + u%10)
+		u /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
 	}
 	return string(buf[i:])
 }
@@ -363,4 +382,86 @@ func ftoa(v float64) string {
 	whole := int(v)
 	frac := int((v - float64(whole)) * 10)
 	return itoa(whole) + "." + itoa(frac)
+}
+
+// --- Solver micro-benchmarks -------------------------------------------------
+
+// lpResolveProblem builds a mid-size bounded LP representative of one SQPR
+// node relaxation.
+func lpResolveProblem(rng *rand.Rand, n, mrows int) *lp.Problem {
+	p := &lp.Problem{NumVars: n, Cost: make([]float64, n), Upper: make([]float64, n)}
+	for j := 0; j < n; j++ {
+		p.Cost[j] = rng.Float64()*4 - 2
+		p.Upper[j] = 1
+	}
+	for i := 0; i < mrows; i++ {
+		terms := make([]lp.Term, 0, 6)
+		for k := 0; k < 2+rng.Intn(5); k++ {
+			terms = append(terms, lp.Term{Var: rng.Intn(n), Coef: rng.Float64()*2 - 0.5})
+		}
+		p.Cons = append(p.Cons, lp.Constraint{Terms: terms, Sense: lp.LE, RHS: 0.5 + rng.Float64()*3})
+	}
+	return p
+}
+
+// BenchmarkLPResolve measures the steady-state warm re-solve after a single
+// bound tightening plus its undo — the branch-and-bound inner loop. The
+// acceptance criterion is 0 allocs/op.
+func BenchmarkLPResolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	p := lpResolveProblem(rng, 120, 90)
+	s := lp.NewSolver()
+	s.SetLazy(true)
+	if err := s.Load(p); err != nil {
+		b.Fatal(err)
+	}
+	if sol := s.ReSolve(lp.Options{}); sol.Status != lp.Optimal {
+		b.Fatalf("cold solve: %v", sol.Status)
+	}
+	s.SaveBasis()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % p.NumVars
+		s.Fix(j, i%2 == 0)
+		s.ReSolve(lp.Options{})
+		s.Unfix(j)
+		s.ReSolve(lp.Options{})
+	}
+}
+
+// BenchmarkMILPNode measures whole branch-and-bound nodes on a knapsack
+// with conflicts: allocations per node stay bounded by the node bookkeeping
+// (the LP re-solves themselves are allocation-free).
+func BenchmarkMILPNode(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	n := 40
+	m := milp.NewModel()
+	vars := make([]milp.Var, n)
+	terms := make([]milp.Term, n)
+	weights := make([]milp.Term, n)
+	for i := 0; i < n; i++ {
+		vars[i] = m.AddBinary("x")
+		terms[i] = milp.Term{Var: vars[i], Coef: 1 + rng.Float64()*14}
+		weights[i] = milp.Term{Var: vars[i], Coef: 1 + rng.Float64()*9}
+	}
+	m.SetObjective(true, terms...)
+	m.AddCons("cap", milp.LE, float64(2*n), weights...)
+	for i := 0; i+1 < n; i += 3 {
+		m.AddCons("pair", milp.LE, 1, milp.Term{Var: vars[i], Coef: 1}, milp.Term{Var: vars[i+1], Coef: 1})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	totalNodes := 0
+	for i := 0; i < b.N; i++ {
+		res := m.Solve(milp.Options{MaxNodes: 100000})
+		if res.Status != milp.OptimalMIP {
+			b.Fatalf("status %v", res.Status)
+		}
+		totalNodes += res.Nodes
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(totalNodes)/float64(b.N), "nodes-per-solve")
+	}
 }

@@ -241,3 +241,45 @@ func TestSubmitOptionsAcrossPlanners(t *testing.T) {
 		})
 	}
 }
+
+// TestParallelSubmitMatchesSerial checks the per-call guarantee of
+// WithParallelism: on identical planner state, a parallel solve must reach
+// the same admitted/rejected decision as the serial solve (workers share
+// one best-first queue and one incumbent; λ1-dominance makes the admission
+// count gap-safe). Equally-good *placements* may differ between the two
+// searches, so the parallel decision for query i is probed on a fresh
+// planner whose state was replayed serially up to i — comparing decisions
+// on diverged states would test nothing. Run under -race in CI.
+func TestParallelSubmitMatchesSerial(t *testing.T) {
+	cfg := sqpr.DefaultPlannerConfig()
+	cfg.SolveTimeout = 2 * time.Second // generous: solves terminate on the gap
+	cfg.MaxNodes = 100000              // not on the node budget
+
+	sysS, queries := conformanceEnv()
+	serial := sqpr.NewPlanner(sysS, cfg)
+	ctx := context.Background()
+	for i, q := range queries {
+		rs, err := serial.Submit(ctx, q)
+		if err != nil {
+			t.Fatalf("serial Submit(%d): %v", q, err)
+		}
+
+		// Replay the serial prefix on a fresh planner (serial planning is
+		// deterministic), then take the i-th decision in parallel.
+		sysP, _ := conformanceEnv()
+		parallel := sqpr.NewPlanner(sysP, cfg)
+		for _, prev := range queries[:i] {
+			if _, err := parallel.Submit(ctx, prev); err != nil {
+				t.Fatalf("replay Submit(%d): %v", prev, err)
+			}
+		}
+		rp, err := parallel.Submit(ctx, q, sqpr.WithParallelism(4))
+		if err != nil {
+			t.Fatalf("parallel Submit(%d): %v", q, err)
+		}
+		if rs.Admitted != rp.Admitted {
+			t.Fatalf("query %d (#%d): serial admitted=%v, parallel admitted=%v",
+				q, i, rs.Admitted, rp.Admitted)
+		}
+	}
+}

@@ -57,24 +57,43 @@ type zKey struct {
 }
 
 // newBuilder computes the free sets, candidate hosts and residual budgets.
+// The builder itself — its variable maps, host tables and the MILP model —
+// is pooled on the Planner and reused across submissions, so a long-lived
+// planner re-emits its model each call without reallocating it.
 func (p *Planner) newBuilder(queries []dsps.StreamID) *builder {
-	b := &builder{
-		p:       p,
-		sys:     p.sys,
-		queries: queries,
-		dVar:    make(map[hsKey]milp.Var),
-		xVar:    make(map[flowKey]milp.Var),
-		yVar:    make(map[hsKey]milp.Var),
-		zVar:    make(map[zKey]milp.Var),
-		pVar:    make(map[hsKey]milp.Var),
+	b := p.bld
+	if b == nil {
+		b = &builder{
+			dVar:      make(map[hsKey]milp.Var),
+			xVar:      make(map[flowKey]milp.Var),
+			yVar:      make(map[hsKey]milp.Var),
+			zVar:      make(map[zKey]milp.Var),
+			pVar:      make(map[hsKey]milp.Var),
+			freeOpSet: make(map[dsps.OperatorID]bool),
+			model:     milp.NewModel(),
+		}
+		p.bld = b
+	} else {
+		clear(b.dVar)
+		clear(b.xVar)
+		clear(b.yVar)
+		clear(b.zVar)
+		clear(b.pVar)
+		clear(b.freeOpSet)
+		b.freeStreams = b.freeStreams[:0]
+		b.freeOps = b.freeOps[:0]
+		b.hosts = b.hosts[:0]
+		b.model.Reset()
 	}
+	b.p = p
+	b.sys = p.sys
+	b.queries = queries
 	b.free = p.freeSet(queries)
 	for s := range b.free {
 		b.freeStreams = append(b.freeStreams, s)
 	}
 	sortStreams(b.freeStreams)
 	b.freeOps = p.freeOperators(b.free)
-	b.freeOpSet = make(map[dsps.OperatorID]bool, len(b.freeOps))
 	for _, o := range b.freeOps {
 		b.freeOpSet[o] = true
 	}
@@ -286,10 +305,9 @@ func (b *builder) addNoRelayRow(fk flowKey, xv milp.Var) {
 	b.model.AddCons("no-relay", milp.LE, rhs, terms...)
 }
 
-// build assembles the MILP.
+// build assembles the MILP into the builder's pooled model.
 func (b *builder) build() *milp.Model {
-	m := milp.NewModel()
-	b.model = m
+	m := b.model
 	sys := b.sys
 	st := b.p.state
 

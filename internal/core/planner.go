@@ -39,6 +39,12 @@ type Config struct {
 	SolveTimeout time.Duration
 	// MaxNodes caps branch-and-bound nodes per call (0 = default).
 	MaxNodes int
+	// SolveWorkers sets how many goroutines explore each MILP
+	// branch-and-bound tree. <= 1 runs the search inline and fully
+	// deterministically; a plan.WithParallelism submit option overrides it
+	// per call. Parallelism pays off on large solves (many free streams or
+	// candidate hosts); small solves are faster serial.
+	SolveWorkers int
 	// MaxCandidateHosts caps the hosts considered by one planning call.
 	// Hosts already involved with related streams are always included.
 	// 0 selects a default of 10.
@@ -95,6 +101,12 @@ type Planner struct {
 	allowedHosts map[dsps.HostID]bool
 	// validate is the per-call effective validation switch.
 	validate bool
+	// workers is the per-call effective branch-and-bound parallelism.
+	workers int
+
+	// bld is the pooled model builder, reused across submissions so a
+	// long-lived planner stops churning the heap on every call.
+	bld *builder
 
 	closures *closureCache
 	stats    Stats
@@ -155,9 +167,10 @@ func (p *Planner) AdmittedCount() int { return len(p.admitted) }
 // plan.WithCandidateHosts restricts the candidate host universe (the
 // building block of internal/hier), plan.WithBatch plans additional
 // queries jointly in one optimisation with the deadline scaled by the
-// batch size (§V-A1), and plan.WithValidation toggles post-solve
-// feasibility validation. Cancelling ctx aborts the MILP search promptly
-// and leaves the planner state unchanged.
+// batch size (§V-A1), plan.WithValidation toggles post-solve feasibility
+// validation, and plan.WithParallelism sets the branch-and-bound worker
+// count. Cancelling ctx aborts the MILP search promptly and leaves the
+// planner state unchanged.
 func (p *Planner) Submit(ctx context.Context, q dsps.StreamID, opts ...plan.SubmitOption) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -182,6 +195,10 @@ func (p *Planner) Submit(ctx context.Context, q dsps.StreamID, opts ...plan.Subm
 	p.validate = p.cfg.Validate
 	if cfg.Validate != nil {
 		p.validate = *cfg.Validate
+	}
+	p.workers = p.cfg.SolveWorkers
+	if cfg.Workers > 0 {
+		p.workers = cfg.Workers
 	}
 
 	return p.submit(ctx, qs, timeout)
@@ -252,6 +269,7 @@ func (p *Planner) submit(ctx context.Context, qs []dsps.StreamID, timeout time.D
 		Deadline: deadline,
 		MaxNodes: p.cfg.MaxNodes,
 		GapTol:   p.cfg.GapTol,
+		Workers:  p.workers,
 		// λ1 dominates: any absolute gap well below λ1 cannot hide a
 		// further admission. A small (but not tiny) gap lets the search
 		// keep improving placement quality within its deadline while

@@ -1,7 +1,6 @@
 package lp
 
 import (
-	"context"
 	"math"
 	"time"
 )
@@ -14,76 +13,33 @@ const (
 	zeroTol  = 1e-9 // phase-1 objective zero test
 )
 
-// tableau is the dense working state of a bounded-variable primal simplex.
-// All nonbasic variables sit at zero in their current orientation; a
-// variable whose complement is active (x̄ = u − x) has flipped set, so
-// "nonbasic at upper bound" is represented as "flipped, nonbasic at zero".
-type tableau struct {
-	m, n    int         // rows, total columns (structural+slack+artificial)
-	rows    [][]float64 // B⁻¹A, m×n, updated in place by pivots
-	rhs     []float64   // current basic variable values, length m
-	basis   []int       // basic variable of each row
-	inBasis []bool      // per-variable basic flag
-	upper   []float64   // per-variable upper bound (orientation-invariant)
-	flipped []bool      // complement orientation flag
-	banned  []bool      // columns excluded from entering (artificials in phase 2)
-	d       []float64   // reduced costs in current orientation
-
-	nArtStart int // first artificial column; columns >= nArtStart are artificial
-
-	iters    int
-	maxIters int
-	deadline time.Time
-	ctx      context.Context
-	bland    bool // anti-cycling rule engaged
-	stall    int  // consecutive degenerate iterations
-}
-
 // Solve optimises the problem with the given options. It never mutates p.
+// It is a thin compatibility wrapper over the stateful Solver: each call
+// compiles p into a fresh solver and runs a cold two-phase primal solve.
+// Callers that solve the same problem repeatedly under changing variable
+// fixes should hold a Solver and use ReSolve instead.
 func Solve(p *Problem, opts Options) Solution {
-	if err := p.Validate(); err != nil {
+	if p.NumVars == 0 {
+		if p.Validate() != nil {
+			return Solution{Status: Infeasible}
+		}
+		// Constant problem: feasible iff every row admits the zero vector.
+		if constRowsFeasible(p) {
+			return Solution{Status: Optimal, X: []float64{}, Feasible: true}
+		}
+		return Solution{Status: Infeasible}
+	}
+	var s Solver
+	if err := s.Load(p); err != nil {
 		// Structural errors are programming bugs of the caller; surface
 		// them as infeasibility rather than panicking inside the solver.
 		return Solution{Status: Infeasible}
 	}
-	if p.NumVars == 0 {
-		// Constant problem: feasible iff every row admits the zero vector.
-		x := []float64{}
-		if constRowsFeasible(p) {
-			return Solution{Status: Optimal, X: x, Feasible: true}
-		}
-		return Solution{Status: Infeasible}
-	}
-
-	t := newTableau(p, opts)
-
-	// Phase 1: drive artificial variables to zero.
-	if t.hasArtificials() {
-		st := t.iterate()
-		if st == IterLimit {
-			return Solution{Status: IterLimit, Iters: t.iters}
-		}
-		if t.phase1Value() > zeroTol*float64(1+t.m) {
-			return Solution{Status: Infeasible, Iters: t.iters}
-		}
-		t.driveOutArtificials()
-		t.banArtificials()
-	}
-
-	// Phase 2: optimise the true objective from the feasible basis.
-	t.installCosts(p)
-	st := t.iterate()
-
-	x := t.extract(p)
-	sol := Solution{
-		Status:    st,
-		X:         x,
-		Objective: p.Objective(x),
-		Feasible:  p.CheckFeasible(x),
-		Iters:     t.iters,
-	}
-	if st == Unbounded {
-		sol.Feasible = false
+	sol := s.ReSolve(opts)
+	if sol.X != nil {
+		// Detach the point from the solver's arena; the solver dies here
+		// but the contract is that Solve's X is caller-owned.
+		sol.X = append([]float64(nil), sol.X...)
 	}
 	return sol
 }
@@ -109,229 +65,115 @@ func constRowsFeasible(p *Problem) bool {
 	return true
 }
 
-// newTableau builds the initial simplex tableau: slack variables give LE
-// rows an identity start where possible, artificials cover the rest, and
-// the phase-1 reduced costs are installed.
-func newTableau(p *Problem, opts Options) *tableau {
-	m := len(p.Cons)
-	n := p.NumVars
-
-	// First pass: count slacks so column indices are stable.
-	slackOf := make([]int, m)
-	nSlack := 0
-	for i, c := range p.Cons {
-		if c.Sense == EQ {
-			slackOf[i] = -1
-			continue
-		}
-		slackOf[i] = n + nSlack
-		nSlack++
-	}
-	// Artificials are assigned lazily below; reserve worst-case capacity.
-	total := n + nSlack + m
-
-	t := &tableau{
-		m:        m,
-		rows:     make([][]float64, m),
-		rhs:      make([]float64, m),
-		basis:    make([]int, m),
-		upper:    make([]float64, total),
-		flipped:  make([]bool, total),
-		banned:   make([]bool, total),
-		d:        make([]float64, total),
-		deadline: opts.Deadline,
-		ctx:      opts.Ctx,
-	}
-	for j := 0; j < total; j++ {
-		t.upper[j] = math.Inf(1)
-	}
-	for j := 0; j < n; j++ {
-		t.upper[j] = p.upper(j)
-	}
-
-	nArt := 0
-	artRows := make([]int, 0, m)
-	for i, c := range p.Cons {
-		row := make([]float64, total)
-		for _, tm := range c.Terms {
-			row[tm.Var] += tm.Coef
-		}
-		rhs := c.RHS
-		// Slack sign before any negation: LE rows get a·x + s = b,
-		// GE rows get a·x − s = b, both with s ≥ 0.
-		slackCoef := 0.0
-		switch c.Sense {
-		case LE:
-			slackCoef = 1.0
-		case GE:
-			slackCoef = -1.0
-		}
-		if slackOf[i] >= 0 {
-			row[slackOf[i]] = slackCoef
-		}
-		if rhs < 0 {
-			// Negate the equality row so the right-hand side is
-			// non-negative; this flips the slack coefficient too.
-			for j := 0; j < n; j++ {
-				row[j] = -row[j]
-			}
-			if slackOf[i] >= 0 {
-				slackCoef = -slackCoef
-				row[slackOf[i]] = slackCoef
-			}
-			rhs = -rhs
-		}
-		t.rhs[i] = rhs
-		t.rows[i] = row
-		if slackOf[i] >= 0 && slackCoef > 0 {
-			t.basis[i] = slackOf[i]
-		} else {
-			art := n + nSlack + nArt
-			nArt++
-			row[art] = 1.0
-			t.basis[i] = art
-			artRows = append(artRows, i)
-		}
-	}
-	t.n = n + nSlack + nArt
-	t.nArtStart = n + nSlack
-	t.maxIters = opts.MaxIters
-	if t.maxIters <= 0 {
-		t.maxIters = 200 * (m + t.n + 10)
-	}
-	t.inBasis = make([]bool, t.n)
-	for _, b := range t.basis {
-		t.inBasis[b] = true
-	}
-
-	// Phase-1 reduced costs: minimise the sum of artificials. With the
-	// artificials basic, d_j = −Σ_{artificial rows i} T_ij.
-	for _, i := range artRows {
-		row := t.rows[i]
-		for j := 0; j < t.n; j++ {
-			t.d[j] -= row[j]
-		}
-	}
-	for j := t.nArtStart; j < t.n; j++ {
-		t.d[j]++ // cost 1 on artificials
-	}
-	return t
-}
-
-func (t *tableau) hasArtificials() bool { return t.nArtStart < t.n }
-
 // phase1Value returns the current sum of artificial variable values.
-func (t *tableau) phase1Value() float64 {
+func (s *Solver) phase1Value() float64 {
 	var sum float64
-	for i, b := range t.basis {
-		if b >= t.nArtStart {
-			sum += t.rhs[i]
+	for i, b := range s.basis[:s.m] {
+		if b >= s.nArtStart {
+			sum += s.rhs[i]
 		}
 	}
 	return sum
 }
 
-// banArtificials excludes artificial columns from entering the basis.
-func (t *tableau) banArtificials() {
-	for j := t.nArtStart; j < t.n; j++ {
-		t.banned[j] = true
-	}
-}
-
 // driveOutArtificials pivots zero-valued basic artificials onto structural
 // columns where possible, leaving redundant rows with a basic artificial
-// pinned at zero.
-func (t *tableau) driveOutArtificials() {
-	for i := 0; i < t.m; i++ {
-		if t.basis[i] < t.nArtStart {
+// pinned at zero. Banned (fixed) columns are never pivoted in: a fixed
+// variable entering the basis could later drift off its pinned value.
+func (s *Solver) driveOutArtificials() {
+	for i := 0; i < s.m; i++ {
+		if s.basis[i] < s.nArtStart {
 			continue
 		}
-		row := t.rows[i]
+		row := s.rows[i]
 		pivot := -1
-		for j := 0; j < t.nArtStart; j++ {
-			if !t.inBasis[j] && math.Abs(row[j]) > 1e-7 {
+		for j := 0; j < s.nArtStart; j++ {
+			if !s.inBasis[j] && !s.banned[j] && math.Abs(row[j]) > 1e-7 {
 				pivot = j
 				break
 			}
 		}
 		if pivot >= 0 {
-			t.pivot(i, pivot)
+			s.pivot(i, pivot)
 		}
 	}
 }
 
 // installCosts recomputes the reduced-cost row for the problem objective in
 // the current basis and orientation.
-func (t *tableau) installCosts(p *Problem) {
-	c := make([]float64, t.n)
-	for j := 0; j < p.NumVars; j++ {
-		cj := p.cost(j)
-		if t.flipped[j] {
+func (s *Solver) installCosts() {
+	c := s.cbuf[:s.n]
+	for j := range c {
+		c[j] = 0
+	}
+	for j := 0; j < s.nStruct; j++ {
+		cj := s.prob.cost(j)
+		if s.flipped[j] {
 			cj = -cj
 		}
 		c[j] = cj
 	}
-	copy(t.d, c)
-	for i, b := range t.basis {
+	copy(s.d[:s.n], c)
+	for i, b := range s.basis[:s.m] {
 		cb := c[b]
 		if cb == 0 {
 			continue
 		}
-		row := t.rows[i]
-		for j := 0; j < t.n; j++ {
-			t.d[j] -= cb * row[j]
+		row := s.rows[i]
+		for j := 0; j < s.n; j++ {
+			s.d[j] -= cb * row[j]
 		}
 	}
-	for _, b := range t.basis {
-		t.d[b] = 0
+	for _, b := range s.basis[:s.m] {
+		s.d[b] = 0
 	}
 }
 
 // iterate runs primal simplex iterations until optimality, unboundedness or
 // a budget is exhausted.
-func (t *tableau) iterate() Status {
+func (s *Solver) iterate() Status {
 	for {
-		if t.iters >= t.maxIters {
+		if s.iters >= s.maxIters {
 			return IterLimit
 		}
-		if t.iters%64 == 0 {
-			if !t.deadline.IsZero() && time.Now().After(t.deadline) {
+		if s.iters%16 == 0 {
+			if !s.deadline.IsZero() && time.Now().After(s.deadline) {
 				return IterLimit
 			}
-			if t.ctx != nil && t.ctx.Err() != nil {
+			if s.ctx != nil && s.ctx.Err() != nil {
 				return IterLimit
 			}
 		}
-		j := t.chooseEntering()
+		j := s.chooseEntering()
 		if j < 0 {
 			return Optimal
 		}
-		st := t.step(j)
+		st := s.step(j)
 		if st != 0 {
 			return st
 		}
-		t.iters++
+		s.iters++
 	}
 }
 
 // chooseEntering selects a nonbasic column with negative reduced cost, using
 // Dantzig's rule normally and Bland's rule once degeneracy stalls.
-func (t *tableau) chooseEntering() int {
-	if t.bland {
-		for j := 0; j < t.n; j++ {
-			if !t.inBasis[j] && !t.banned[j] && t.d[j] < -costTol {
+func (s *Solver) chooseEntering() int {
+	if s.bland {
+		for j := 0; j < s.n; j++ {
+			if !s.inBasis[j] && !s.banned[j] && s.d[j] < -costTol {
 				return j
 			}
 		}
 		return -1
 	}
 	best, bestVal := -1, -costTol
-	for j := 0; j < t.n; j++ {
-		if t.inBasis[j] || t.banned[j] {
+	for j := 0; j < s.n; j++ {
+		if s.inBasis[j] || s.banned[j] {
 			continue
 		}
-		if t.d[j] < bestVal {
-			bestVal = t.d[j]
+		if s.d[j] < bestVal {
+			bestVal = s.d[j]
 			best = j
 		}
 	}
@@ -341,26 +183,26 @@ func (t *tableau) chooseEntering() int {
 // step performs the ratio test and either flips the entering variable to
 // its opposite bound or pivots it into the basis. Returns 0 on success,
 // Unbounded if the entering direction is unbounded.
-func (t *tableau) step(j int) Status {
-	tmax := t.upper[j]
+func (s *Solver) step(j int) Status {
+	tmax := s.upper[j]
 	leave := -1
 	leaveAtUpper := false
-	for i := 0; i < t.m; i++ {
-		a := t.rows[i][j]
+	for i := 0; i < s.m; i++ {
+		a := s.rows[i][j]
 		if a > pivotTol {
-			lim := t.rhs[i] / a
-			if lim < tmax-ratioTol || (lim < tmax+ratioTol && leave >= 0 && math.Abs(a) > math.Abs(t.rows[leave][j])) {
+			lim := s.rhs[i] / a
+			if lim < tmax-ratioTol || (lim < tmax+ratioTol && leave >= 0 && math.Abs(a) > math.Abs(s.rows[leave][j])) {
 				tmax = lim
 				leave = i
 				leaveAtUpper = false
 			}
 		} else if a < -pivotTol {
-			ub := t.upper[t.basis[i]]
+			ub := s.upper[s.basis[i]]
 			if math.IsInf(ub, 1) {
 				continue
 			}
-			lim := (ub - t.rhs[i]) / -a
-			if lim < tmax-ratioTol || (lim < tmax+ratioTol && leave >= 0 && math.Abs(a) > math.Abs(t.rows[leave][j])) {
+			lim := (ub - s.rhs[i]) / -a
+			if lim < tmax-ratioTol || (lim < tmax+ratioTol && leave >= 0 && math.Abs(a) > math.Abs(s.rows[leave][j])) {
 				tmax = lim
 				leave = i
 				leaveAtUpper = true
@@ -373,125 +215,106 @@ func (t *tableau) step(j int) Status {
 		}
 		// Bound flip: the entering variable moves straight to its upper
 		// bound; re-orient it so it is nonbasic at zero again.
-		t.flipColumn(j)
-		t.noteProgress(tmax)
+		s.flipColumn(j)
+		s.noteProgress(tmax)
 		return 0
 	}
 	if tmax < ratioTol {
-		t.stall++
-		if t.stall > 5*(t.m+10) {
-			t.bland = true
+		s.stall++
+		if s.stall > 5*(s.m+10) {
+			s.bland = true
 		}
 	} else {
-		t.noteProgress(tmax)
+		s.noteProgress(tmax)
 	}
-	if leaveAtUpper {
-		// Re-orient the leaving basic variable so it exits at zero.
-		t.flipBasicRow(leave)
+	if leaveAtUpper && s.upper[s.basis[leave]] > 0 {
+		// Re-orient the leaving basic variable so it exits at zero. A
+		// zero-width column (fixed variable, pinned artificial) needs no
+		// re-orientation — both of its bounds coincide at zero — and for a
+		// fixed variable the orientation *is* the fix-at-upper semantics,
+		// so flipping it would silently move the pinned value.
+		s.flipBasicRow(leave)
 	}
-	t.pivot(leave, j)
+	s.pivot(leave, j)
 	return 0
 }
 
-func (t *tableau) noteProgress(step float64) {
+func (s *Solver) noteProgress(step float64) {
 	if step > ratioTol {
-		t.stall = 0
+		s.stall = 0
 	}
 }
 
 // flipColumn substitutes x_j = u_j − x̄_j for a nonbasic variable with a
 // finite upper bound, moving the current point accordingly.
-func (t *tableau) flipColumn(j int) {
-	u := t.upper[j]
-	for i := 0; i < t.m; i++ {
-		a := t.rows[i][j]
+func (s *Solver) flipColumn(j int) {
+	u := s.upper[j]
+	for i := 0; i < s.m; i++ {
+		a := s.rows[i][j]
 		if a != 0 {
-			t.rhs[i] -= a * u
-			t.rows[i][j] = -a
+			s.rhs[i] -= a * u
+			s.rows[i][j] = -a
 		}
 	}
-	t.d[j] = -t.d[j]
-	t.flipped[j] = !t.flipped[j]
+	s.d[j] = -s.d[j]
+	s.flipped[j] = !s.flipped[j]
 }
 
 // flipBasicRow re-orients the basic variable of row r (x → u − x), negating
 // the row so the variable's identity coefficient stays +1.
-func (t *tableau) flipBasicRow(r int) {
-	b := t.basis[r]
-	u := t.upper[b]
-	row := t.rows[r]
-	for j := 0; j < t.n; j++ {
+func (s *Solver) flipBasicRow(r int) {
+	b := s.basis[r]
+	u := s.upper[b]
+	row := s.rows[r]
+	for j := 0; j < s.n; j++ {
 		row[j] = -row[j]
 	}
 	row[b] = 1
-	t.rhs[r] = u - t.rhs[r]
-	t.flipped[b] = !t.flipped[b]
+	s.rhs[r] = u - s.rhs[r]
+	s.flipped[b] = !s.flipped[b]
 }
 
 // pivot makes column j basic in row r by Gaussian elimination of the
 // tableau, right-hand side and reduced-cost row.
-func (t *tableau) pivot(r, j int) {
-	rowR := t.rows[r]
+func (s *Solver) pivot(r, j int) {
+	rowR := s.rows[r]
 	piv := rowR[j]
 	if piv != 1 {
 		inv := 1 / piv
-		for k := 0; k < t.n; k++ {
+		for k := 0; k < s.n; k++ {
 			rowR[k] *= inv
 		}
 		rowR[j] = 1 // guard against roundoff
-		t.rhs[r] *= inv
+		s.rhs[r] *= inv
 	}
-	for i := 0; i < t.m; i++ {
+	for i := 0; i < s.m; i++ {
 		if i == r {
 			continue
 		}
-		f := t.rows[i][j]
+		f := s.rows[i][j]
 		if f == 0 {
 			continue
 		}
-		rowI := t.rows[i]
-		for k := 0; k < t.n; k++ {
+		rowI := s.rows[i]
+		for k := 0; k < s.n; k++ {
 			rowI[k] -= f * rowR[k]
 		}
 		rowI[j] = 0
-		t.rhs[i] -= f * t.rhs[r]
-		if t.rhs[i] < 0 && t.rhs[i] > -1e-11 {
-			t.rhs[i] = 0
+		s.rhs[i] -= f * s.rhs[r]
+		if s.rhs[i] < 0 && s.rhs[i] > -1e-11 {
+			s.rhs[i] = 0
 		}
 	}
-	if f := t.d[j]; f != 0 {
-		for k := 0; k < t.n; k++ {
-			t.d[k] -= f * rowR[k]
+	if f := s.d[j]; f != 0 {
+		for k := 0; k < s.n; k++ {
+			s.d[k] -= f * rowR[k]
 		}
-		t.d[j] = 0
+		s.d[j] = 0
 	}
-	old := t.basis[r]
-	t.inBasis[old] = false
-	t.basis[r] = j
-	t.inBasis[j] = true
-}
-
-// extract reconstructs structural variable values in the original
-// orientation.
-func (t *tableau) extract(p *Problem) []float64 {
-	val := make([]float64, t.n)
-	for i, b := range t.basis {
-		val[b] = t.rhs[i]
-	}
-	x := make([]float64, p.NumVars)
-	for j := 0; j < p.NumVars; j++ {
-		v := val[j]
-		if t.flipped[j] {
-			v = t.upper[j] - v
-		}
-		// Clamp tiny numerical noise into the box.
-		if v < 0 && v > -1e-9 {
-			v = 0
-		}
-		if u := t.upper[j]; !math.IsInf(u, 1) && v > u && v < u+1e-9 {
-			v = u
-		}
-		x[j] = v
-	}
-	return x
+	old := s.basis[r]
+	s.inBasis[old] = false
+	s.rowOf[old] = -1
+	s.basis[r] = j
+	s.inBasis[j] = true
+	s.rowOf[j] = r
 }

@@ -1,0 +1,801 @@
+package lp
+
+import (
+	"context"
+	"math"
+	"time"
+)
+
+// Fix targets for structural variables (see Solver.Fix).
+const (
+	fixFree  int8 = iota // variable ranges over [0, upper]
+	fixZero              // variable pinned at 0
+	fixUpper             // variable pinned at its upper bound
+)
+
+// Solver is a reusable, stateful LP solver over one loaded Problem. It owns
+// a persistent arena (dense tableau rows, right-hand side, basis, reduced
+// costs) that is sized once per Load and reused across re-solves, so the
+// steady-state ReSolve path performs no heap allocation.
+//
+// The intended lifecycle is the branch-and-bound inner loop of
+// internal/milp:
+//
+//	s := lp.NewSolver()
+//	s.SetLazy(true)               // optional: lazy row activation
+//	s.Load(&prob)                 // compile once
+//	sol := s.ReSolve(opts)        // cold solve (two-phase primal)
+//	s.Fix(j, true)                // tighten one bound in place
+//	sol = s.ReSolve(opts)         // warm re-solve (dual simplex)
+//	s.Unfix(j)                    // backtrack
+//
+// After a successful solve the tableau holds an optimal basis that is both
+// primal and dual feasible. Fixing or unfixing variable bounds preserves
+// dual feasibility (the objective is unchanged), so a subsequent ReSolve
+// only needs dual-simplex pivots to repair primal feasibility — typically a
+// handful of pivots instead of a cold two-phase solve. On iteration trouble
+// or numerical drift the solver transparently falls back to a cold rebuild,
+// so ReSolve is never less correct than Solve.
+//
+// In lazy mode (SetLazy), inequality rows start inactive: the solver
+// optimises over the active subset, evaluates the inactive rows against the
+// candidate optimum, and warm-activates only the violated ones — an
+// activated row enters with its slack basic and primal-infeasible, which is
+// exactly the shape dual simplex repairs. SQPR's planning LPs have
+// thousands of availability/acyclicity rows of which only a handful ever
+// bind, so the active tableau stays an order of magnitude smaller than the
+// full problem.
+//
+// Solutions returned by ReSolve alias solver-owned buffers: the X slice is
+// only valid until the next call on the same Solver. Callers that retain a
+// point must copy it. A Solver is not safe for concurrent use; independent
+// Solver instances are independent.
+type Solver struct {
+	prob *Problem
+
+	mAll    int // total constraint rows of the problem
+	m       int // active tableau rows
+	nStruct int // structural variables
+	nSlack  int // slack columns (one per inequality row, active or not)
+	stride  int // allocated row width (worst-case column count)
+
+	n         int // live total columns (structural+slack+artificial)
+	nArtStart int // first artificial column
+
+	lazyMode   bool
+	activeRows []bool // per original row
+	nInactive  int
+
+	rowsBuf []float64   // mAll × stride backing store
+	rows    [][]float64 // row views into rowsBuf
+	rhs     []float64
+	basis   []int
+	rowOf   []int // row of each basic variable, -1 when nonbasic
+	inBasis []bool
+	upper   []float64 // effective bound (0 for fixed variables)
+	baseU   []float64 // bound as loaded, used for orientation arithmetic
+	flipped []bool
+	banned  []bool // excluded from entering (artificials, fixed variables)
+	fixVal  []int8 // structural fix state
+	d       []float64
+	cbuf    []float64 // objective scratch for installCosts
+	slackOf []int
+	xbuf    []float64 // extraction buffer
+
+	iters    int
+	maxIters int
+	deadline time.Time
+	ctx      context.Context
+	bland    bool
+	stall    int
+
+	// warm records that the tableau holds a dual-feasible basis from a
+	// completed solve, so ReSolve may start with dual simplex.
+	warm bool
+
+	// snap is the saved-basis arena of SaveBasis/RestoreBasis. Restoring a
+	// saved optimal basis and then only *tightening* bounds keeps the
+	// re-solve in pure dual simplex, which is the cheap path; branch-and-
+	// bound uses this to jump between subtrees without primal re-solves.
+	snap struct {
+		valid      bool
+		m          int
+		n          int
+		nArtStart  int
+		nInactive  int
+		activeRows []bool
+		rowsBuf    []float64
+		rhs        []float64
+		basis      []int
+		rowOf      []int
+		inBasis    []bool
+		upper      []float64
+		flipped    []bool
+		banned     []bool
+		fixVal     []int8
+		d          []float64
+	}
+}
+
+// NewSolver returns an empty solver; call Load before solving.
+func NewSolver() *Solver { return &Solver{} }
+
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growI(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growB(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growI8(s []int8, n int) []int8 {
+	if cap(s) < n {
+		return make([]int8, n)
+	}
+	return s[:n]
+}
+
+// SetLazy toggles lazy row activation for subsequent Loads. Must be called
+// before Load.
+func (s *Solver) SetLazy(on bool) { s.lazyMode = on }
+
+// Load compiles p into the solver's arena, growing it only when p is larger
+// than any previously loaded problem. All variables start free and the
+// first ReSolve performs a cold solve. The solver keeps a reference to p
+// (it does not copy constraint data) and never mutates it.
+func (s *Solver) Load(p *Problem) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	s.prob = p
+	s.warm = false
+	s.mAll = len(p.Cons)
+	s.m = 0
+	s.nStruct = p.NumVars
+
+	s.slackOf = growI(s.slackOf, s.mAll)
+	s.activeRows = growB(s.activeRows, s.mAll)
+	s.nSlack = 0
+	s.nInactive = 0
+	for i := range p.Cons {
+		if p.Cons[i].Sense == EQ {
+			s.slackOf[i] = -1
+			s.activeRows[i] = true
+			continue
+		}
+		s.slackOf[i] = p.NumVars + s.nSlack
+		s.nSlack++
+		// Only inequality rows may start inactive: they carry a slack
+		// column, so a later activation has a ready-made basic variable.
+		s.activeRows[i] = !s.lazyMode
+		if s.lazyMode {
+			s.nInactive++
+		}
+	}
+	s.stride = p.NumVars + s.nSlack + s.mAll // worst case: one artificial per row
+
+	s.rowsBuf = growF(s.rowsBuf, s.mAll*s.stride)
+	if cap(s.rows) < s.mAll {
+		s.rows = make([][]float64, s.mAll)
+	}
+	s.rows = s.rows[:s.mAll]
+	for i := 0; i < s.mAll; i++ {
+		s.rows[i] = s.rowsBuf[i*s.stride : (i+1)*s.stride]
+	}
+	s.rhs = growF(s.rhs, s.mAll)
+	s.basis = growI(s.basis, s.mAll)
+	s.rowOf = growI(s.rowOf, s.stride)
+	s.inBasis = growB(s.inBasis, s.stride)
+	s.upper = growF(s.upper, s.stride)
+	s.baseU = growF(s.baseU, s.stride)
+	s.flipped = growB(s.flipped, s.stride)
+	s.banned = growB(s.banned, s.stride)
+	s.d = growF(s.d, s.stride)
+	s.cbuf = growF(s.cbuf, s.stride)
+	s.fixVal = growI8(s.fixVal, p.NumVars)
+	for j := range s.fixVal {
+		s.fixVal[j] = fixFree
+	}
+	n := p.NumVars
+	if n == 0 {
+		n = 1
+	}
+	s.xbuf = growF(s.xbuf, n)
+	s.snap.valid = false
+	return nil
+}
+
+// NumVars returns the structural variable count of the loaded problem.
+func (s *Solver) NumVars() int { return s.nStruct }
+
+// Detach drops the solver's reference to the loaded problem and invalidates
+// any saved basis, keeping only the raw arenas. Pools of idle solvers call
+// this so a recycled solver cannot keep a dead caller's constraint storage
+// reachable; the next Load makes the solver usable again.
+func (s *Solver) Detach() {
+	s.prob = nil
+	s.warm = false
+	s.snap.valid = false
+}
+
+// ActiveRows returns how many constraint rows the tableau currently holds;
+// in lazy mode this is typically far below len(Problem.Cons).
+func (s *Solver) ActiveRows() int { return s.m }
+
+// SaveBasis snapshots the full tableau state — basis, bounds, fix set,
+// orientation, active rows, reduced costs — into a solver-owned arena. One
+// snapshot is held at a time; saving again overwrites it. The copy costs
+// about as much as a single pivot.
+func (s *Solver) SaveBasis() {
+	if !s.warm {
+		return
+	}
+	sp := &s.snap
+	sp.valid = true
+	sp.m = s.m
+	sp.n = s.n
+	sp.nArtStart = s.nArtStart
+	sp.nInactive = s.nInactive
+	sp.activeRows = growB(sp.activeRows, s.mAll)
+	copy(sp.activeRows, s.activeRows[:s.mAll])
+	sp.rowsBuf = growF(sp.rowsBuf, s.m*s.stride)
+	copy(sp.rowsBuf, s.rowsBuf[:s.m*s.stride])
+	sp.rhs = growF(sp.rhs, s.m)
+	copy(sp.rhs, s.rhs[:s.m])
+	sp.basis = growI(sp.basis, s.m)
+	copy(sp.basis, s.basis[:s.m])
+	sp.rowOf = growI(sp.rowOf, s.stride)
+	copy(sp.rowOf, s.rowOf[:s.stride])
+	sp.inBasis = growB(sp.inBasis, s.stride)
+	copy(sp.inBasis, s.inBasis[:s.stride])
+	sp.upper = growF(sp.upper, s.stride)
+	copy(sp.upper, s.upper[:s.stride])
+	sp.flipped = growB(sp.flipped, s.stride)
+	copy(sp.flipped, s.flipped[:s.stride])
+	sp.banned = growB(sp.banned, s.stride)
+	copy(sp.banned, s.banned[:s.stride])
+	sp.fixVal = growI8(sp.fixVal, s.nStruct)
+	copy(sp.fixVal, s.fixVal[:s.nStruct])
+	sp.d = growF(sp.d, s.stride)
+	copy(sp.d, s.d[:s.stride])
+}
+
+// RestoreBasis reinstates the snapshot taken by SaveBasis, including its
+// fix set and active-row set, and reports whether one was available. The
+// caller's view of applied fixes must be reset to the snapshot's.
+func (s *Solver) RestoreBasis() bool {
+	sp := &s.snap
+	if !sp.valid {
+		return false
+	}
+	s.m = sp.m
+	s.n = sp.n
+	s.nArtStart = sp.nArtStart
+	s.nInactive = sp.nInactive
+	copy(s.activeRows[:s.mAll], sp.activeRows)
+	copy(s.rowsBuf[:s.m*s.stride], sp.rowsBuf)
+	copy(s.rhs[:s.m], sp.rhs)
+	copy(s.basis[:s.m], sp.basis)
+	copy(s.rowOf[:s.stride], sp.rowOf)
+	copy(s.inBasis[:s.stride], sp.inBasis)
+	copy(s.upper[:s.stride], sp.upper)
+	copy(s.flipped[:s.stride], sp.flipped)
+	copy(s.banned[:s.stride], sp.banned)
+	copy(s.fixVal[:s.nStruct], sp.fixVal)
+	copy(s.d[:s.stride], sp.d)
+	s.warm = true
+	return true
+}
+
+// Fix pins structural variable j at 0 (atUpper false) or at its upper bound
+// (atUpper true) without recompiling the problem. When the tableau holds a
+// warm basis the bound change is applied in place: the column is re-oriented
+// if needed and its effective bound collapses to zero, leaving any primal
+// infeasibility for the next ReSolve's dual simplex to repair. Fixing at
+// the upper bound requires a finite upper bound.
+func (s *Solver) Fix(j int, atUpper bool) {
+	want := fixZero
+	if atUpper {
+		want = fixUpper
+	}
+	if s.fixVal[j] == want {
+		return
+	}
+	if s.warm {
+		// Restore the true bound first so orientation flips use the real
+		// width of the variable's range.
+		s.upper[j] = s.baseU[j]
+		if s.flipped[j] != atUpper {
+			if r := s.rowOf[j]; r >= 0 {
+				s.flipBasicRow(r)
+			} else {
+				s.flipColumn(j)
+			}
+		}
+		s.upper[j] = 0
+	}
+	s.fixVal[j] = want
+	s.banned[j] = true
+}
+
+// Unfix releases a previously fixed variable back to its full [0, upper]
+// range. The variable's current position (whichever bound it was fixed at)
+// remains a valid nonbasic point, so no pivoting is needed.
+func (s *Solver) Unfix(j int) {
+	if s.fixVal[j] == fixFree {
+		return
+	}
+	s.fixVal[j] = fixFree
+	s.banned[j] = false
+	if s.warm {
+		s.upper[j] = s.baseU[j]
+	}
+}
+
+// Fixed reports the fix state of variable j: fixed pinned at 0 or its upper
+// bound, and free otherwise.
+func (s *Solver) Fixed(j int) (fixed, atUpper bool) {
+	return s.fixVal[j] != fixFree, s.fixVal[j] == fixUpper
+}
+
+// ReSolve optimises the loaded problem under the current variable fixes.
+// From a warm basis it runs bounded-variable dual simplex plus a primal
+// clean-up; otherwise (first call, or after a fallback) it performs a cold
+// two-phase primal solve over the active rows. Violated inactive rows are
+// then activated and repaired until the point satisfies the full problem.
+// The returned Solution's X aliases a solver-owned buffer valid until the
+// next call. The steady-state warm path performs no heap allocation.
+func (s *Solver) ReSolve(opts Options) Solution {
+	s.installOpts(opts)
+	coldDone := false
+	for {
+		var st Status
+		if !s.warm {
+			st = s.coldPass()
+			coldDone = true
+		} else {
+			st = s.dualIterate()
+			if st == Optimal {
+				// Dual pivots restored primal feasibility. Bound
+				// *relaxations* (Unfix) can leave a released column with a
+				// negative reduced cost, so finish with primal pivots; when
+				// the basis is already dual feasible this is a no-op.
+				st = s.iterate()
+			}
+		}
+		switch st {
+		case Optimal:
+			x := s.extract()
+			if s.nInactive > 0 && s.activateViolated(x) > 0 {
+				continue // repair the newly active rows warm
+			}
+			feas := s.prob.CheckFeasible(x)
+			if !feas && !coldDone {
+				// Numerical drift accumulated across pivots: refactorise
+				// from scratch. The cold path re-derives everything from
+				// the problem data, so drift cannot compound across nodes.
+				s.warm = false
+				continue
+			}
+			return Solution{
+				Status:    Optimal,
+				X:         x,
+				Objective: s.prob.Objective(x),
+				Feasible:  feas,
+				Iters:     s.iters,
+			}
+		case Infeasible:
+			// Dual unbounded or phase 1 stuck: the current bound set admits
+			// no feasible point. (Activating more rows can only shrink the
+			// feasible region, so inactive rows cannot rescue it.) The
+			// tableau stays consistent, so later ReSolves stay warm.
+			return Solution{Status: Infeasible, Iters: s.iters}
+		case Unbounded:
+			if s.nInactive > 0 {
+				// The descent ray may be cut off by rows not yet active;
+				// bring everything in and restart cold.
+				s.activateAll()
+				s.warm = false
+				coldDone = false
+				continue
+			}
+			return Solution{Status: Unbounded, X: s.extract(), Iters: s.iters}
+		default: // IterLimit
+			if s.expired() || coldDone {
+				return Solution{Status: IterLimit, Iters: s.iters}
+			}
+			// Pivot budget exhausted on the warm path without an external
+			// deadline (e.g. a degenerate dual cycle): fall back to a cold
+			// solve with a fresh pivot budget on top of what was spent, so
+			// the rebuild is not dead on arrival at the same limit.
+			s.maxIters += s.iters
+			s.warm = false
+		}
+	}
+}
+
+// expired reports whether the deadline or context of the current call has
+// lapsed.
+func (s *Solver) expired() bool {
+	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		return true
+	}
+	return s.ctx != nil && s.ctx.Err() != nil
+}
+
+func (s *Solver) installOpts(opts Options) {
+	s.deadline = opts.Deadline
+	s.ctx = opts.Ctx
+	s.maxIters = opts.MaxIters
+	if s.maxIters <= 0 {
+		s.maxIters = 200 * (s.mAll + s.nStruct + s.nSlack + 10)
+	}
+	s.iters = 0
+	s.bland = false
+	s.stall = 0
+}
+
+// coldPass rebuilds the tableau from the problem plus current fixes over
+// the active row set and runs the two-phase primal simplex. On success the
+// tableau is left at an optimal basis and the solver is marked warm.
+func (s *Solver) coldPass() Status {
+	if s.nStruct == 0 {
+		if constRowsFeasible(s.prob) {
+			return Optimal
+		}
+		return Infeasible
+	}
+	s.rebuild()
+
+	if s.nArtStart < s.n {
+		st := s.iterate()
+		if st == IterLimit {
+			return IterLimit
+		}
+		if s.phase1Value() > zeroTol*float64(1+s.m) {
+			return Infeasible
+		}
+		s.driveOutArtificials()
+		for j := s.nArtStart; j < s.n; j++ {
+			s.banned[j] = true
+		}
+	}
+
+	s.installCosts()
+	st := s.iterate()
+	if st == Optimal || st == IterLimit {
+		// Pin artificials at zero so the dual simplex treats any later
+		// drift on redundant rows as a violation to repair.
+		for j := s.nArtStart; j < s.n; j++ {
+			s.upper[j] = 0
+		}
+	}
+	s.warm = st == Optimal
+	return st
+}
+
+// activateViolated evaluates every inactive row at x and warm-activates the
+// violated ones; returns how many were activated.
+func (s *Solver) activateViolated(x []float64) int {
+	p := s.prob
+	count := 0
+	for i := range p.Cons {
+		if s.activeRows[i] {
+			continue
+		}
+		c := &p.Cons[i]
+		lhs := Eval(c.Terms, x)
+		tol := FeasTol * (1 + math.Abs(c.RHS))
+		violated := false
+		switch c.Sense {
+		case LE:
+			violated = lhs > c.RHS+tol
+		case GE:
+			violated = lhs < c.RHS-tol
+		}
+		if violated {
+			s.activateRow(i)
+			count++
+		}
+	}
+	return count
+}
+
+// activateAll brings every inactive row in (used before an Unbounded
+// restart; the subsequent pass is cold, so a plain marking suffices).
+func (s *Solver) activateAll() {
+	for i := range s.activeRows[:s.mAll] {
+		s.activeRows[i] = true
+	}
+	s.nInactive = 0
+}
+
+// activateRow appends inactive inequality row i to the warm tableau: the
+// row is expressed in the current orientation, basic variables are
+// eliminated, and its slack becomes basic — primal-infeasible exactly when
+// the row is violated, which the next dual-simplex pass repairs. Reduced
+// costs are untouched: a zero-cost basic slack changes no other column's
+// reduced cost, so dual feasibility survives activation.
+func (s *Solver) activateRow(i int) {
+	c := &s.prob.Cons[i]
+	slot := s.m
+	row := s.rows[slot]
+	for k := 0; k < s.n; k++ {
+		row[k] = 0
+	}
+	sign := 1.0
+	if c.Sense == GE {
+		// a·x − s = b  ⇔  −a·x + s = −b keeps the slack coefficient +1.
+		sign = -1
+	}
+	rhs := sign * c.RHS
+	for _, tm := range c.Terms {
+		a := sign * tm.Coef
+		j := tm.Var
+		if s.flipped[j] {
+			// Column j is in complement orientation x̄ = u − x.
+			rhs -= a * s.baseU[j]
+			row[j] -= a
+		} else {
+			row[j] += a
+		}
+	}
+	// Eliminate basic variables so the row is expressed over the current
+	// nonbasic space.
+	for j := 0; j < s.n; j++ {
+		f := row[j]
+		if f == 0 || !s.inBasis[j] {
+			continue
+		}
+		r2 := s.rows[s.rowOf[j]]
+		for k := 0; k < s.n; k++ {
+			row[k] -= f * r2[k]
+		}
+		row[j] = 0
+		rhs -= f * s.rhs[s.rowOf[j]]
+	}
+	slack := s.slackOf[i]
+	row[slack] = 1
+	s.rhs[slot] = rhs
+	s.basis[slot] = slack
+	s.banned[slack] = false
+	s.inBasis[slack] = true
+	s.rowOf[slack] = slot
+	s.d[slack] = 0
+	s.activeRows[i] = true
+	s.m = slot + 1
+	s.nInactive--
+}
+
+// dualIterate runs bounded-variable dual simplex pivots from a dual-feasible
+// basis until primal feasibility (optimality), proven infeasibility, or a
+// budget is exhausted. Two violation forms are handled: a basic variable
+// below zero enters directly; one above a positive upper bound is first
+// re-oriented to its complement (flipBasicRow) so it, too, exits at zero. A
+// basic variable above a zero-width bound (fixed variables, artificials)
+// pivots out directly — both of its bounds coincide at zero, so no
+// re-orientation is needed or wanted.
+func (s *Solver) dualIterate() Status {
+	const dualTol = 1e-7
+	for {
+		if s.iters >= s.maxIters {
+			return IterLimit
+		}
+		if s.iters%16 == 0 && s.expired() {
+			return IterLimit
+		}
+
+		// Leaving row: most violating basic variable.
+		r, above := -1, false
+		viol := dualTol
+		for i := 0; i < s.m; i++ {
+			if v := -s.rhs[i]; v > viol {
+				viol, r, above = v, i, false
+			}
+			if ub := s.upper[s.basis[i]]; !math.IsInf(ub, 1) {
+				if v := s.rhs[i] - ub; v > viol {
+					viol, r, above = v, i, true
+				}
+			}
+		}
+		if r < 0 {
+			return Optimal
+		}
+		if above && s.upper[s.basis[r]] > 0 {
+			// Re-orient so the violation becomes "below zero" and the
+			// leaving variable exits at what is now its zero bound.
+			s.flipBasicRow(r)
+			above = false
+		}
+
+		// Entering column: dual ratio test. For the below-zero form the
+		// candidates have a negative row coefficient; for the zero-width
+		// above form, a positive one.
+		row := s.rows[r]
+		enter := -1
+		best := math.Inf(1)
+		for j := 0; j < s.n; j++ {
+			if s.inBasis[j] || s.banned[j] {
+				continue
+			}
+			a := row[j]
+			if !above {
+				a = -a
+			}
+			if a <= pivotTol {
+				continue
+			}
+			ratio := s.d[j] / a
+			if ratio < best-ratioTol ||
+				(ratio < best+ratioTol && enter >= 0 && math.Abs(row[j]) > math.Abs(row[enter])) {
+				best = ratio
+				enter = j
+			}
+		}
+		if enter < 0 {
+			return Infeasible
+		}
+		s.pivot(r, enter)
+		s.iters++
+	}
+}
+
+// extract reconstructs structural variable values in the original
+// orientation, writing into the solver's reusable buffer.
+func (s *Solver) extract() []float64 {
+	x := s.xbuf[:s.nStruct]
+	for j := range x {
+		if s.flipped[j] {
+			x[j] = s.baseU[j]
+		} else {
+			x[j] = 0
+		}
+	}
+	for i, b := range s.basis[:s.m] {
+		if b >= s.nStruct {
+			continue
+		}
+		v := s.rhs[i]
+		if s.flipped[b] {
+			v = s.baseU[b] - v
+		}
+		x[b] = v
+	}
+	for j := range x {
+		v := x[j]
+		if v < 0 && v > -1e-9 {
+			v = 0
+		}
+		if u := s.baseU[j]; !math.IsInf(u, 1) && v > u && v < u+1e-9 {
+			v = u
+		}
+		x[j] = v
+	}
+	return x
+}
+
+// rebuild constructs the initial tableau over the active rows: slack
+// columns give LE rows an identity start where possible, artificials cover
+// the rest, fixed variables are folded in as zero-width columns (at-upper
+// fixes in complement orientation), and the phase-1 reduced costs are
+// installed. Slacks of inactive rows are banned from entering.
+func (s *Solver) rebuild() {
+	p := s.prob
+	n := s.nStruct
+	for j := 0; j < s.stride; j++ {
+		s.upper[j] = math.Inf(1)
+		s.baseU[j] = math.Inf(1)
+		s.flipped[j] = false
+		s.banned[j] = false
+		s.inBasis[j] = false
+		s.rowOf[j] = -1
+		s.d[j] = 0
+	}
+	for j := 0; j < n; j++ {
+		u := p.upper(j)
+		s.baseU[j] = u
+		switch s.fixVal[j] {
+		case fixFree:
+			s.upper[j] = u
+		case fixZero:
+			s.upper[j] = 0
+			s.banned[j] = true
+		case fixUpper:
+			s.upper[j] = 0
+			s.banned[j] = true
+			s.flipped[j] = true
+		}
+	}
+	for i := range p.Cons {
+		if !s.activeRows[i] && s.slackOf[i] >= 0 {
+			s.banned[s.slackOf[i]] = true
+		}
+	}
+
+	slot := 0
+	nArt := 0
+	artBase := n + s.nSlack
+	for i := range p.Cons {
+		if !s.activeRows[i] {
+			continue
+		}
+		c := &p.Cons[i]
+		row := s.rows[slot]
+		for k := 0; k < s.stride; k++ {
+			row[k] = 0
+		}
+		rhs := c.RHS
+		for _, tm := range c.Terms {
+			if s.fixVal[tm.Var] == fixUpper {
+				// x = u − x̄ with x̄ pinned at 0: substitute in complement
+				// orientation so the fixed value lands on the RHS.
+				rhs -= tm.Coef * s.baseU[tm.Var]
+				row[tm.Var] -= tm.Coef
+			} else {
+				row[tm.Var] += tm.Coef
+			}
+		}
+		slackCoef := 0.0
+		switch c.Sense {
+		case LE:
+			slackCoef = 1.0
+		case GE:
+			slackCoef = -1.0
+		}
+		if rhs < 0 {
+			for j := 0; j < n; j++ {
+				row[j] = -row[j]
+			}
+			slackCoef = -slackCoef
+			rhs = -rhs
+		}
+		if s.slackOf[i] >= 0 {
+			row[s.slackOf[i]] = slackCoef
+		}
+		s.rhs[slot] = rhs
+		if s.slackOf[i] >= 0 && slackCoef > 0 {
+			s.basis[slot] = s.slackOf[i]
+		} else {
+			art := artBase + nArt
+			nArt++
+			row[art] = 1.0
+			s.basis[slot] = art
+		}
+		slot++
+	}
+	s.m = slot
+	s.n = artBase + nArt
+	s.nArtStart = artBase
+	for i, b := range s.basis[:s.m] {
+		s.inBasis[b] = true
+		s.rowOf[b] = i
+	}
+
+	// Phase-1 reduced costs: minimise the sum of artificials. With the
+	// artificials basic, d_j = −Σ_{artificial rows i} T_ij.
+	for i, b := range s.basis[:s.m] {
+		if b < s.nArtStart {
+			continue
+		}
+		row := s.rows[i]
+		for j := 0; j < s.n; j++ {
+			s.d[j] -= row[j]
+		}
+	}
+	for j := s.nArtStart; j < s.n; j++ {
+		s.d[j]++
+	}
+}

@@ -1,30 +1,66 @@
 package milp
 
 import (
+	"container/heap"
 	"context"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"sqpr/internal/lp"
 )
 
-// node is one branch-and-bound subproblem: a set of tightened bounds on LP
-// variables (indices into compiled.active space).
-type node struct {
+// bbNode is one branch-and-bound subproblem: a set of pinned binaries
+// (indices into compiled.active space) plus bookkeeping for best-first
+// ordering.
+type bbNode struct {
 	bounds []boundFix
 	depth  int
 	est    float64 // parent LP objective (minimisation space), for pruning
+	seq    int     // insertion order, deterministic tie-break
 }
 
 type boundFix struct {
 	lpVar int
-	lo    bool // true: set lower bound (value 1 after shift); false: set upper bound 0
+	lo    bool // true: pin at 1 (upper bound after shift); false: pin at 0
 }
+
+// nodeHeap is a best-first priority queue: smallest relaxation estimate
+// first (most promising bound in minimisation space), FIFO on ties so a
+// single worker explores nodes in a deterministic order.
+type nodeHeap []*bbNode
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].est != h[j].est {
+		return h[i].est < h[j].est
+	}
+	return h[i].seq < h[j].seq
+}
+func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)   { *h = append(*h, x.(*bbNode)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// solverPool recycles lp.Solver arenas across Solve calls, so a long-lived
+// planner's branch-and-bound stops allocating fresh tableaus per
+// submission.
+var solverPool = sync.Pool{New: func() any { return lp.NewSolver() }}
 
 // Solve optimises the model. The returned Result always carries the best
 // incumbent found, mirroring the paper's use of a solver timeout after which
-// "the best solution that the method found" is used.
+// "the best solution that the method found" is used. With Options.Workers
+// greater than one the branch-and-bound explores nodes from a shared
+// best-first queue on that many goroutines; Workers <= 1 runs the identical
+// search loop inline and is fully deterministic.
 func (m *Model) Solve(opts Options) Result {
 	intTol := opts.IntTol
 	if intTol == 0 {
@@ -50,15 +86,14 @@ func (m *Model) Solve(opts Options) Result {
 		absGap:   opts.AbsGapTol,
 		bestObj:  math.Inf(1), // minimisation space
 	}
+	s.cond.L = &s.mu
 
 	// Warm start: accept an externally computed feasible point.
 	if opts.Incumbent != nil && len(opts.Incumbent) == len(m.vars) {
-		if s.acceptModelPoint(opts.Incumbent) {
-			// accepted; bestObj/bestX updated
-		}
+		s.acceptModelPoint(opts.Incumbent)
 	}
 
-	s.run()
+	s.run(opts.Workers)
 
 	res := Result{Nodes: s.nodes, LPIters: s.lpIters, Cancelled: s.cancelled}
 	switch {
@@ -83,6 +118,9 @@ func (m *Model) Solve(opts Options) Result {
 	return res
 }
 
+// search is the shared state of one branch-and-bound run. All mutable
+// fields below mu are guarded by it; workers only touch them inside short
+// critical sections around each node solve.
 type search struct {
 	c        *compiled
 	ctx      context.Context
@@ -90,39 +128,56 @@ type search struct {
 	maxNodes int
 	deadline time.Time
 	gapTol   float64
+	absGap   float64
 
-	absGap float64
+	mu   sync.Mutex
+	cond sync.Cond
+
+	open nodeHeap
+	seq  int
+	busy int // workers currently solving a node
 
 	nodes   int
 	lpIters int
 
-	bestX   []float64 // model space incumbent
+	bestX   []float64 // model-space incumbent
 	bestObj float64   // minimisation-space objective of incumbent
 
-	rootBound            float64
-	provedOptimal        bool
-	provedInfeasible     bool
-	nodesPruneIncomplete bool
-	cancelled            bool
+	rootBound        float64
+	provedOptimal    bool
+	provedInfeasible bool
+	truncated        bool // node/deadline budget exhausted mid-search
+	proofLost        bool // an LP hit its budget: keep searching, drop proof
+	gapHit           bool
+	cancelled        bool
 }
 
-// acceptModelPoint validates a candidate full-model point and installs it
-// as incumbent if feasible and improving. Integrality is enforced for
-// binary variables.
-func (s *search) acceptModelPoint(x []float64) bool {
+// stopped reports (under mu) whether workers must wind down.
+func (s *search) stopped() bool {
+	return s.cancelled || s.truncated || s.gapHit
+}
+
+// validateCandidate checks a candidate full-model point against bounds,
+// integrality and every row, returning its minimisation-space objective.
+// It reads only model state that is immutable during a search, so workers
+// call it WITHOUT holding s.mu — this is the expensive O(rows·terms) part
+// of incumbent acceptance, kept off the shared lock.
+func (s *search) validateCandidate(x []float64) (float64, bool) {
 	m := s.c.m
 	if len(x) != len(m.vars) {
-		return false
+		return 0, false
 	}
-	for i, v := range m.vars {
+	for i := range m.vars {
+		v := &m.vars[i]
 		if x[i] < v.lo-1e-6 || x[i] > v.hi+1e-6 {
-			return false
+			return 0, false
 		}
 		if v.typ == Binary && math.Abs(x[i]-math.Round(x[i])) > s.intTol {
-			return false
+			return 0, false
 		}
 	}
-	for _, r := range m.rows {
+	for ri := range m.rows {
+		r := &m.rows[ri]
 		var lhs float64
 		for _, t := range r.terms {
 			lhs += t.Coef * x[t.Var]
@@ -131,21 +186,26 @@ func (s *search) acceptModelPoint(x []float64) bool {
 		switch r.sense {
 		case LE:
 			if lhs > r.rhs+tol {
-				return false
+				return 0, false
 			}
 		case GE:
 			if lhs < r.rhs-tol {
-				return false
+				return 0, false
 			}
 		case EQ:
 			if math.Abs(lhs-r.rhs) > tol {
-				return false
+				return 0, false
 			}
 		}
 	}
 	// bestObj lives in the compiled LP's minimisation space so it compares
 	// directly against node relaxation values.
-	lpObj := s.c.lpSpace(s.c.modelObjective(x))
+	return s.c.lpSpace(s.c.modelObjective(x)), true
+}
+
+// installIncumbent installs a pre-validated point if it improves the
+// incumbent. Caller holds s.mu.
+func (s *search) installIncumbent(x []float64, lpObj float64) bool {
 	if lpObj < s.bestObj-1e-12 {
 		s.bestObj = lpObj
 		cp := make([]float64, len(x))
@@ -156,102 +216,58 @@ func (s *search) acceptModelPoint(x []float64) bool {
 	return false
 }
 
-// run performs the depth-first branch and bound.
-func (s *search) run() {
-	s.rootBound = math.Inf(-1)
-	stack := []*node{{est: math.Inf(-1)}}
-	first := true
-	for len(stack) > 0 {
-		if s.ctx != nil && s.ctx.Err() != nil {
-			s.cancelled = true
-			s.nodesPruneIncomplete = true
-			return
-		}
-		if s.nodes >= s.maxNodes || (!s.deadline.IsZero() && time.Now().After(s.deadline)) {
-			s.nodesPruneIncomplete = true
-			return
-		}
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if n.est >= s.bestObj-s.pruneSlack() {
-			continue // parent bound already dominated by incumbent
-		}
-		s.nodes++
-
-		sol, xAct := s.solveNode(n.bounds)
-		s.lpIters += sol.Iters
-		if sol.Status == lp.Infeasible {
-			if first {
-				s.provedInfeasible = true
-			}
-			first = false
-			continue
-		}
-		if sol.Status == lp.IterLimit && !sol.Feasible {
-			// The LP budget ran out before feasibility: the node was not
-			// resolved, so the search result is a truncation, not a proof.
-			s.nodesPruneIncomplete = true
-			first = false
-			continue
-		}
-		if sol.Status == lp.Unbounded || !sol.Feasible {
-			// Unbounded relaxations cannot be pruned; treat as failure to
-			// bound and dive on heuristics only.
-			first = false
-			continue
-		}
-		relax := sol.Objective // compiled minimisation space
-		if first {
-			s.rootBound = relax
-			first = false
-			// Rounding dive: often yields an immediate incumbent.
-			s.roundingDive(xAct, n)
-			if s.gapReached() {
-				return
-			}
-		}
-		if relax >= s.bestObj-s.pruneSlack() {
-			continue
-		}
-		// Find most fractional binary.
-		frac, fracVar := -1.0, -1
-		for k, mi := range s.c.active {
-			if s.c.m.vars[mi].typ != Binary {
-				continue
-			}
-			v := xAct[k]
-			f := math.Abs(v - math.Round(v))
-			if f > s.intTol && f > frac {
-				frac = f
-				fracVar = k
-			}
-		}
-		if fracVar < 0 {
-			// Integral: candidate incumbent.
-			full := s.c.toModelX(xAct)
-			s.acceptModelPoint(roundBinaries(s.c, full, s.intTol))
-			if s.gapReached() {
-				return
-			}
-			continue
-		}
-		// Branch: explore the rounded side first (push second so it pops
-		// first from the stack).
-		v := xAct[fracVar]
-		up := &node{bounds: appendBound(n.bounds, boundFix{fracVar, true}), depth: n.depth + 1, est: relax}
-		down := &node{bounds: appendBound(n.bounds, boundFix{fracVar, false}), depth: n.depth + 1, est: relax}
-		if v >= 0.5 {
-			stack = append(stack, down, up)
-		} else {
-			stack = append(stack, up, down)
-		}
+// acceptModelPoint validates and installs a candidate in one step; used for
+// the pre-search warm start, where there is no lock contention.
+func (s *search) acceptModelPoint(x []float64) bool {
+	lpObj, ok := s.validateCandidate(x)
+	if !ok {
+		return false
 	}
-	if !s.nodesPruneIncomplete {
+	return s.installIncumbent(x, lpObj)
+}
+
+// run drives the best-first branch and bound on the given number of
+// workers (clamped to GOMAXPROCS — each worker owns a dense solver arena,
+// so oversubscribing buys contention and memory, not speed). The search
+// state after run reflects whether the tree was exhausted (proof) or a
+// budget/gap/cancellation cut it short.
+func (s *search) run(workers int) {
+	if max := runtime.GOMAXPROCS(0); workers > max {
+		workers = max
+	}
+	s.rootBound = math.Inf(-1)
+	s.push(&bbNode{est: math.Inf(-1)})
+	if workers <= 1 {
+		w := newWorker(s)
+		defer w.release()
+		w.loop()
+	} else {
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				w := newWorker(s)
+				defer w.release()
+				w.loop()
+			}()
+		}
+		wg.Wait()
+	}
+	if !s.stopped() && !s.proofLost && len(s.open) == 0 && s.busy == 0 {
 		s.provedOptimal = s.bestX != nil
 		if s.bestX == nil {
 			s.provedInfeasible = true
 		}
 	}
+}
+
+// push enqueues a node (caller holds mu, or the search is single-threaded
+// pre-start).
+func (s *search) push(n *bbNode) {
+	n.seq = s.seq
+	s.seq++
+	heap.Push(&s.open, n)
 }
 
 func (s *search) pruneSlack() float64 {
@@ -269,107 +285,358 @@ func (s *search) gapReached() bool {
 	return s.absGap > 0 && gap <= s.absGap
 }
 
-// roundingDive fixes every binary to its rounded LP value and re-solves the
-// (dramatically smaller) residual LP for the continuous variables; a
-// feasible result becomes an incumbent.
-func (s *search) roundingDive(x []float64, n *node) {
-	bounds := make([]boundFix, 0, len(s.c.active))
-	bounds = append(bounds, n.bounds...)
+// worker owns one warm LP solver over the compiled base problem plus the
+// scratch buffers for bound diffing, so processing a node re-solves the
+// same tableau in place instead of rebuilding an LP from scratch.
+type worker struct {
+	s       *search
+	slv     *lp.Solver
+	loaded  bool
+	target  []int8 // desired fix per active var for the current node
+	applied []int8 // fix currently applied to the solver
+	xAct    []float64
+	xDive   []float64
+
+	// hasSnap marks that the solver holds a saved basis whose fix set is
+	// snapApplied; jumping to an unrelated subtree restores it so the node
+	// re-solve stays pure dual simplex (bound tightenings only).
+	hasSnap     bool
+	snapApplied []int8
+}
+
+func newWorker(s *search) *worker {
+	nAct := len(s.c.active)
+	w := &worker{
+		s:           s,
+		slv:         solverPool.Get().(*lp.Solver),
+		target:      make([]int8, nAct),
+		applied:     make([]int8, nAct),
+		xAct:        make([]float64, nAct),
+		xDive:       make([]float64, nAct),
+		snapApplied: make([]int8, nAct),
+	}
+	return w
+}
+
+// release returns the worker's solver arena to the pool, detached from the
+// model so the pool does not keep a dead planner's compiled constraint
+// storage (or the snapshot arena's view of it) reachable.
+func (w *worker) release() {
+	w.slv.Detach()
+	solverPool.Put(w.slv)
+	w.slv = nil
+}
+
+// ensureLoaded lazily compiles the base LP into this worker's solver; the
+// arena is reused from previous Solve calls when large enough.
+func (w *worker) ensureLoaded() bool {
+	if w.loaded {
+		return true
+	}
+	// Lazy rows: SQPR models carry thousands of availability/acyclicity
+	// rows of which only a handful bind at any node optimum, so the active
+	// tableau stays small.
+	w.slv.SetLazy(true)
+	if err := w.slv.Load(&w.s.c.base); err != nil {
+		return false
+	}
+	w.loaded = true
+	return true
+}
+
+const (
+	nodeFree    int8 = iota
+	nodeAtZero       // binary pinned to 0
+	nodeAtUpper      // binary pinned to 1 (its shifted upper bound)
+)
+
+// applyBounds diffs the node's pin set against what the solver currently
+// has and applies only the changes, preserving the warm basis. A plunged
+// child only adds pins, so the diff is one Fix and the re-solve is pure
+// dual simplex. Jumping to another subtree would need Unfixes — those drop
+// dual optimality and force primal clean-up pivots — so in that case the
+// worker first restores its saved near-root basis (whose pin set is a
+// subset of any node's) and tightens from there instead.
+func (w *worker) applyBounds(bounds []boundFix) {
+	for i := range w.target {
+		w.target[i] = nodeFree
+	}
+	for _, b := range bounds {
+		if b.lo {
+			w.target[b.lpVar] = nodeAtUpper
+		} else {
+			w.target[b.lpVar] = nodeAtZero
+		}
+	}
+	tightening := true
+	for j, want := range w.target {
+		if a := w.applied[j]; a != nodeFree && a != want {
+			tightening = false
+			break
+		}
+	}
+	if !tightening && w.hasSnap && w.snapIsSubset() && w.slv.RestoreBasis() {
+		copy(w.applied, w.snapApplied)
+	}
+	for j, want := range w.target {
+		if w.applied[j] == want {
+			continue
+		}
+		switch want {
+		case nodeFree:
+			w.slv.Unfix(j)
+		case nodeAtZero:
+			w.slv.Fix(j, false)
+		case nodeAtUpper:
+			w.slv.Fix(j, true)
+		}
+		w.applied[j] = want
+	}
+}
+
+// snapIsSubset reports whether the saved basis's pin set only contains pins
+// the current target also has, so restoring it needs no Unfix.
+func (w *worker) snapIsSubset() bool {
+	for j, sa := range w.snapApplied {
+		if sa != nodeFree && sa != w.target[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// solveNode re-solves the base LP under the node's pins and expands the
+// point into compiled-active coordinates (pinned variables included). The
+// warm path allocates nothing.
+func (w *worker) solveNode(bounds []boundFix, into []float64) (lp.Solution, []float64) {
+	if !w.ensureLoaded() {
+		return lp.Solution{Status: lp.Infeasible}, nil
+	}
+	w.applyBounds(bounds)
+	sol := w.slv.ReSolve(lp.Options{Deadline: w.s.deadline, Ctx: w.s.ctx})
+	if sol.X == nil {
+		return sol, nil
+	}
+	copy(into, sol.X)
+	return sol, into
+}
+
+// loop is the worker body: take a node — the locally plunged child when one
+// is pending, otherwise the most promising open node — solve its relaxation
+// warm, then branch, bound or fathom. Plunging keeps each worker diving
+// depth-first along the preferred (rounded) branch, which finds incumbents
+// early exactly like the former serial DFS, while the shared best-first
+// queue hands out the remaining subtrees. All queue and incumbent state is
+// touched under s.mu; LP solves run outside the lock.
+func (w *worker) loop() {
+	s := w.s
+	var plunge *bbNode
+	s.mu.Lock()
+	for {
+		var n *bbNode
+		if plunge != nil {
+			n, plunge = plunge, nil
+		} else {
+			for len(s.open) == 0 && s.busy > 0 && !s.stopped() {
+				s.cond.Wait()
+			}
+			if s.stopped() || len(s.open) == 0 {
+				s.cond.Broadcast()
+				s.mu.Unlock()
+				return
+			}
+			n = heap.Pop(&s.open).(*bbNode)
+		}
+		if s.ctx != nil && s.ctx.Err() != nil {
+			s.cancelled = true
+			s.truncated = true
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+		if s.nodes >= s.maxNodes || (!s.deadline.IsZero() && time.Now().After(s.deadline)) {
+			s.truncated = true
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+		if s.stopped() {
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+		if n.est >= s.bestObj-s.pruneSlack() {
+			continue // bound already dominated by incumbent
+		}
+		s.nodes++
+		isRoot := n.seq == 0
+		s.busy++
+		s.mu.Unlock()
+
+		sol, xAct := w.solveNode(n.bounds, w.xAct)
+
+		// The first optimal basis this worker produces (the root basis for
+		// the worker that solves the root) becomes its restore point for
+		// cross-subtree jumps.
+		if !w.hasSnap && sol.Status == lp.Optimal && sol.Feasible {
+			w.slv.SaveBasis()
+			copy(w.snapApplied, w.applied)
+			w.hasSnap = true
+		}
+
+		// The root relaxation additionally seeds a rounding dive before the
+		// tree search branches; both solves happen outside the lock.
+		var diveCand []float64
+		var diveObj float64
+		if isRoot && sol.Feasible && xAct != nil {
+			diveCand, diveObj = w.dive(n, xAct)
+		}
+
+		// Classify the relaxation and pre-validate any integral incumbent
+		// candidate outside the lock — the O(rows·terms) validation would
+		// otherwise serialize every worker on s.mu.
+		out := w.assess(n, sol, xAct, isRoot)
+		out.diveCand, out.diveObj = diveCand, diveObj
+
+		s.mu.Lock()
+		s.lpIters += sol.Iters
+		plunge = w.commit(n, out, isRoot)
+		s.busy--
+		s.cond.Broadcast()
+	}
+}
+
+// outcome carries everything a solved node contributes back to the shared
+// search state, computed lock-free by the worker.
+type outcome struct {
+	status   lp.Status
+	feasible bool
+	relax    float64   // compiled minimisation space
+	fracVar  int       // branching variable, -1 when integral
+	fracVal  float64   // its relaxation value
+	cand     []float64 // validated integral incumbent candidate (model space)
+	candObj  float64
+	diveCand []float64 // validated dive incumbent candidate (root only)
+	diveObj  float64
+}
+
+// assess classifies a solved relaxation and validates any integral
+// incumbent candidate. It touches only worker-owned buffers and
+// model state that is immutable during the search; no lock is held.
+func (w *worker) assess(n *bbNode, sol lp.Solution, xAct []float64, isRoot bool) outcome {
+	out := outcome{status: sol.Status, feasible: sol.Feasible, relax: sol.Objective, fracVar: -1}
+	if sol.Status == lp.Infeasible || sol.Status == lp.Unbounded || !sol.Feasible {
+		return out
+	}
+	s := w.s
+	// Find most fractional binary.
+	frac := -1.0
 	for k, mi := range s.c.active {
 		if s.c.m.vars[mi].typ != Binary {
 			continue
 		}
-		if x[k] >= 0.5 {
-			bounds = append(bounds, boundFix{k, true})
-		} else {
-			bounds = append(bounds, boundFix{k, false})
+		v := xAct[k]
+		f := math.Abs(v - math.Round(v))
+		if f > s.intTol && f > frac {
+			frac = f
+			out.fracVar = k
+			out.fracVal = v
 		}
 	}
-	sol, xAct := s.solveNode(bounds)
-	s.lpIters += sol.Iters
-	if sol.Feasible {
-		full := s.c.toModelX(xAct)
-		s.acceptModelPoint(roundBinaries(s.c, full, s.intTol))
+	if out.fracVar < 0 {
+		full := roundBinaries(s.c, s.c.toModelX(xAct), s.intTol)
+		if obj, ok := s.validateCandidate(full); ok {
+			out.cand, out.candObj = full, obj
+		}
 	}
+	return out
 }
 
-// solveNode solves the node relaxation with every branching fix substituted
-// out of the LP, which keeps node LPs small: branching only ever pins
-// binaries to 0 or 1. Returns the LP solution (objective already lifted to
-// compiled space, i.e. including fixed-variable contributions) and the
-// point expanded back to compiled-active coordinates.
-func (s *search) solveNode(bounds []boundFix) (lp.Solution, []float64) {
-	nAct := len(s.c.active)
-	fix := make(map[int]float64, len(bounds))
-	for _, b := range bounds {
-		if b.lo {
-			fix[b.lpVar] = 1
-		} else {
-			fix[b.lpVar] = 0
-		}
-	}
-	idx := make([]int, nAct)
-	cnt := 0
-	var objOff float64
-	for k := 0; k < nAct; k++ {
-		if v, ok := fix[k]; ok {
-			idx[k] = -1
-			objOff += s.c.base.Cost[k] * v
+// dive pins every binary to its rounded root-LP value and re-solves the
+// residual LP; a feasible result becomes an incumbent candidate, validated
+// here (lock-free) and installed later under the lock.
+func (w *worker) dive(n *bbNode, xRoot []float64) ([]float64, float64) {
+	c := w.s.c
+	bounds := make([]boundFix, 0, len(n.bounds)+len(c.active))
+	bounds = append(bounds, n.bounds...)
+	for k, mi := range c.active {
+		if c.m.vars[mi].typ != Binary {
 			continue
 		}
-		idx[k] = cnt
-		cnt++
+		bounds = append(bounds, boundFix{k, xRoot[k] >= 0.5})
 	}
-	prob := lp.Problem{NumVars: cnt}
-	prob.Cost = make([]float64, cnt)
-	prob.Upper = make([]float64, cnt)
-	for k := 0; k < nAct; k++ {
-		if idx[k] >= 0 {
-			prob.Cost[idx[k]] = s.c.base.Cost[k]
-			prob.Upper[idx[k]] = s.c.base.Upper[k]
+	sol, xd := w.solveNode(bounds, w.xDive)
+	w.s.mu.Lock()
+	w.s.lpIters += sol.Iters
+	w.s.mu.Unlock()
+	if !sol.Feasible || xd == nil {
+		return nil, 0
+	}
+	full := roundBinaries(c, c.toModelX(xd), w.s.intTol)
+	if obj, ok := w.s.validateCandidate(full); ok {
+		return full, obj
+	}
+	return nil, 0
+}
+
+// commit folds one assessed relaxation back into the shared search state:
+// prune, install a pre-validated incumbent, or branch. Caller holds mu.
+func (w *worker) commit(n *bbNode, out outcome, isRoot bool) *bbNode {
+	s := w.s
+	switch {
+	case out.status == lp.Infeasible:
+		if isRoot {
+			s.provedInfeasible = true
+		}
+		return nil
+	case out.status == lp.IterLimit && !out.feasible:
+		// The LP budget ran out before feasibility: the node was not
+		// resolved, so the search keeps going but can no longer claim a
+		// proof of optimality or infeasibility.
+		s.proofLost = true
+		return nil
+	case out.status == lp.Unbounded || !out.feasible:
+		// Unbounded relaxations cannot be pruned; treat as failure to
+		// bound.
+		return nil
+	}
+	relax := out.relax // compiled minimisation space
+	if isRoot {
+		s.rootBound = relax
+		if out.diveCand != nil {
+			s.installIncumbent(out.diveCand, out.diveObj)
+		}
+		if s.gapReached() {
+			s.gapHit = true
+			return nil
 		}
 	}
-	for _, row := range s.c.base.Cons {
-		rhs := row.RHS
-		terms := make([]lp.Term, 0, len(row.Terms))
-		for _, t := range row.Terms {
-			if v, ok := fix[t.Var]; ok {
-				rhs -= t.Coef * v
-				continue
-			}
-			terms = append(terms, lp.Term{Var: idx[t.Var], Coef: t.Coef})
-		}
-		if len(terms) == 0 {
-			ok := true
-			switch row.Sense {
-			case lp.LE:
-				ok = 0 <= rhs+lp.FeasTol
-			case lp.GE:
-				ok = 0 >= rhs-lp.FeasTol
-			case lp.EQ:
-				ok = math.Abs(rhs) <= lp.FeasTol
-			}
-			if !ok {
-				return lp.Solution{Status: lp.Infeasible}, nil
-			}
-			continue
-		}
-		prob.Cons = append(prob.Cons, lp.Constraint{Terms: terms, Sense: row.Sense, RHS: rhs})
+	if relax >= s.bestObj-s.pruneSlack() {
+		return nil
 	}
-	sol := lp.Solve(&prob, lp.Options{Deadline: s.deadline, Ctx: s.ctx})
-	if sol.X == nil {
-		return sol, nil
-	}
-	xAct := make([]float64, nAct)
-	for k := 0; k < nAct; k++ {
-		if v, ok := fix[k]; ok {
-			xAct[k] = v
-		} else {
-			xAct[k] = sol.X[idx[k]]
+	if out.fracVar < 0 {
+		// Integral: pre-validated incumbent candidate.
+		if out.cand != nil {
+			s.installIncumbent(out.cand, out.candObj)
 		}
+		if s.gapReached() {
+			s.gapHit = true
+		}
+		return nil
 	}
-	sol.Objective += objOff
-	return sol, xAct
+	// Branch: plunge into the rounded side ourselves (depth-first dive,
+	// mirrors the former serial exploration order) and share the sibling
+	// through the best-first queue.
+	up := &bbNode{bounds: appendBound(n.bounds, boundFix{out.fracVar, true}), depth: n.depth + 1, est: relax}
+	down := &bbNode{bounds: appendBound(n.bounds, boundFix{out.fracVar, false}), depth: n.depth + 1, est: relax}
+	preferred, sibling := up, down
+	if out.fracVal < 0.5 {
+		preferred, sibling = down, up
+	}
+	preferred.seq = s.seq // plunged directly, never enters the heap
+	s.seq++
+	s.push(sibling)
+	return preferred
 }
 
 // roundBinaries snaps near-integral binary values to exact integers so that

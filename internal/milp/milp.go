@@ -62,15 +62,29 @@ type rowInfo struct {
 }
 
 // Model is a mutable MILP under construction. It is not safe for concurrent
-// use.
+// use (including concurrent Solve calls on the same Model; independent
+// Models may solve concurrently).
 type Model struct {
 	vars     []varInfo
 	rows     []rowInfo
 	maximize bool
+
+	// scratch is the reusable compilation image; see compile.
+	scratch compiled
 }
 
 // NewModel returns an empty model.
 func NewModel() *Model { return &Model{} }
+
+// Reset empties the model for rebuilding while keeping all backing storage
+// (variable and row slices, per-row term slices, the compiled-image arena),
+// so a long-lived planner can re-emit its model every submission without
+// churning the heap.
+func (m *Model) Reset() {
+	m.vars = m.vars[:0]
+	m.rows = m.rows[:0]
+	m.maximize = false
+}
 
 // NumVars returns the number of variables added so far.
 func (m *Model) NumVars() int { return len(m.vars) }
@@ -129,11 +143,19 @@ func (m *Model) SetObjective(maximize bool, terms ...Term) {
 func (m *Model) AddObjectiveTerm(v Var, coef float64) { m.vars[v].obj += coef }
 
 // AddCons appends a linear constraint. Terms on the same variable are
-// accumulated.
+// accumulated. After a Reset, rows reuse the term storage of the previous
+// build.
 func (m *Model) AddCons(name string, sense Sense, rhs float64, terms ...Term) {
-	cp := make([]Term, len(terms))
-	copy(cp, terms)
-	m.rows = append(m.rows, rowInfo{terms: cp, sense: sense, rhs: rhs, name: name})
+	if len(m.rows) < cap(m.rows) {
+		m.rows = m.rows[:len(m.rows)+1]
+	} else {
+		m.rows = append(m.rows, rowInfo{})
+	}
+	r := &m.rows[len(m.rows)-1]
+	r.terms = append(r.terms[:0], terms...)
+	r.sense = sense
+	r.rhs = rhs
+	r.name = name
 }
 
 // Status reports the outcome of a MILP solve.
@@ -206,12 +228,18 @@ type Options struct {
 	AbsGapTol float64
 	// IntTol is the integrality tolerance; 0 selects 1e-6.
 	IntTol float64
+	// Workers sets how many goroutines explore the branch-and-bound tree
+	// from the shared best-first queue. Values <= 1 run the identical
+	// search inline on the calling goroutine, fully deterministically.
+	Workers int
 }
 
 const defaultIntTol = 1e-6
 
 // compiled is the presolved LP image of the model: fixed variables are
 // substituted out and the remaining ones are shifted so lower bounds are 0.
+// One instance lives on each Model and is rebuilt in place by compile, so
+// repeated Solve calls on a long-lived model reuse all of its storage.
 type compiled struct {
 	m *Model
 
@@ -228,6 +256,27 @@ type compiled struct {
 	// the active variables; together with objOff it converts LP objective
 	// values back to model space: modelObj = objDir·lpObj + objOff + shiftOff.
 	shiftOff float64
+
+	// Row-compilation scratch: coefficient accumulator per LP variable with
+	// a round-stamped dirty mark, replacing a per-row map allocation.
+	coefAcc []float64
+	mark    []int
+	touched []int
+	round   int
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
 }
 
 // lpSpace converts a model-direction objective value into the minimisation
@@ -243,20 +292,27 @@ func (c *compiled) modelSpace(lpObj float64) float64 {
 
 var errInfeasible = fmt.Errorf("milp: trivially infeasible after presolve")
 
-// compile builds the LP image. Returns errInfeasible when a row becomes
-// unsatisfiable after substituting fixed variables.
+// compile builds the LP image into the model's reusable scratch arena.
+// Returns errInfeasible when a row becomes unsatisfiable after substituting
+// fixed variables.
 func (m *Model) compile() (*compiled, error) {
-	c := &compiled{
-		m:       m,
-		lpIndex: make([]int, len(m.vars)),
-		shift:   make([]float64, len(m.vars)),
-		fixed:   make([]float64, len(m.vars)),
-		objDir:  1,
-	}
+	nv := len(m.vars)
+	c := &m.scratch
+	c.m = m
+	c.objDir = 1
 	if m.maximize {
 		c.objDir = -1
 	}
-	for i, v := range m.vars {
+	c.objOff = 0
+	c.shiftOff = 0
+	c.lpIndex = growInts(c.lpIndex, nv)
+	c.shift = growFloats(c.shift, nv)
+	c.fixed = growFloats(c.fixed, nv)
+	c.active = c.active[:0]
+	for i := range m.vars {
+		v := &m.vars[i]
+		c.shift[i] = 0
+		c.fixed[i] = 0
 		if v.hi < v.lo-1e-9 {
 			return nil, errInfeasible
 		}
@@ -273,10 +329,10 @@ func (m *Model) compile() (*compiled, error) {
 	}
 	n := len(c.active)
 	c.base.NumVars = n
-	c.base.Cost = make([]float64, n)
-	c.base.Upper = make([]float64, n)
+	c.base.Cost = growFloats(c.base.Cost, n)
+	c.base.Upper = growFloats(c.base.Upper, n)
 	for k, mi := range c.active {
-		v := m.vars[mi]
+		v := &m.vars[mi]
 		c.base.Cost[k] = c.objDir * v.obj
 		if math.IsInf(v.hi, 1) {
 			c.base.Upper[k] = math.Inf(1)
@@ -284,10 +340,14 @@ func (m *Model) compile() (*compiled, error) {
 			c.base.Upper[k] = v.hi - v.lo
 		}
 	}
-	for _, r := range m.rows {
-		var terms []lp.Term
+	c.coefAcc = growFloats(c.coefAcc, n)
+	c.mark = growInts(c.mark, n)
+	c.round++
+	c.base.Cons = c.base.Cons[:0]
+	for ri := range m.rows {
+		r := &m.rows[ri]
 		rhs := r.rhs
-		coefs := map[int]float64{}
+		c.touched = c.touched[:0]
 		for _, t := range r.terms {
 			mi := int(t.Var)
 			if c.lpIndex[mi] < 0 {
@@ -295,14 +355,30 @@ func (m *Model) compile() (*compiled, error) {
 				continue
 			}
 			rhs -= t.Coef * c.shift[mi]
-			coefs[c.lpIndex[mi]] += t.Coef
+			j := c.lpIndex[mi]
+			if c.mark[j] != c.round {
+				c.mark[j] = c.round
+				c.coefAcc[j] = 0
+				c.touched = append(c.touched, j)
+			}
+			c.coefAcc[j] += t.Coef
 		}
-		for j, cf := range coefs {
-			if cf != 0 {
-				terms = append(terms, lp.Term{Var: j, Coef: cf})
+		// Reuse the previous build's term storage for this constraint slot.
+		if len(c.base.Cons) < cap(c.base.Cons) {
+			c.base.Cons = c.base.Cons[:len(c.base.Cons)+1]
+		} else {
+			c.base.Cons = append(c.base.Cons, lp.Constraint{})
+		}
+		cons := &c.base.Cons[len(c.base.Cons)-1]
+		cons.Terms = cons.Terms[:0]
+		for _, j := range c.touched {
+			if cf := c.coefAcc[j]; cf != 0 {
+				cons.Terms = append(cons.Terms, lp.Term{Var: j, Coef: cf})
 			}
 		}
-		if len(terms) == 0 {
+		c.round++ // invalidate marks for the next row
+		if len(cons.Terms) == 0 {
+			c.base.Cons = c.base.Cons[:len(c.base.Cons)-1]
 			ok := true
 			switch r.sense {
 			case LE:
@@ -317,7 +393,8 @@ func (m *Model) compile() (*compiled, error) {
 			}
 			continue
 		}
-		c.base.Cons = append(c.base.Cons, lp.Constraint{Terms: terms, Sense: r.sense, RHS: rhs})
+		cons.Sense = r.sense
+		cons.RHS = rhs
 	}
 	return c, nil
 }

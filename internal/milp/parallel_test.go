@@ -1,0 +1,95 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// randomKnapsackModel builds a knapsack-with-conflicts MILP whose search
+// tree is non-trivial.
+func randomKnapsackModel(rng *rand.Rand, n int) *Model {
+	m := NewModel()
+	vars := make([]Var, n)
+	terms := make([]Term, n)
+	weights := make([]Term, n)
+	for i := 0; i < n; i++ {
+		vars[i] = m.AddBinary("x")
+		terms[i] = Term{vars[i], 1 + rng.Float64()*14}
+		weights[i] = Term{vars[i], 1 + rng.Float64()*9}
+	}
+	m.SetObjective(true, terms...)
+	m.AddCons("cap", LE, float64(2*n), weights...)
+	for i := 0; i+1 < n; i += 3 {
+		m.AddCons("pair", LE, 1, Term{vars[i], 1}, Term{vars[i+1], 1})
+	}
+	return m
+}
+
+// TestParallelMatchesSerial runs the same models with Workers=1 and
+// Workers=4 to full optimality and requires identical objectives — the
+// acceptance criterion behind plan.WithParallelism.
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		n := 8 + rng.Intn(10)
+		serial := randomKnapsackModel(rand.New(rand.NewSource(int64(trial))), n)
+		parallel := randomKnapsackModel(rand.New(rand.NewSource(int64(trial))), n)
+
+		rs := serial.Solve(Options{MaxNodes: 200000, Workers: 1})
+		rp := parallel.Solve(Options{MaxNodes: 200000, Workers: 4})
+		if rs.Status != OptimalMIP {
+			t.Fatalf("trial %d: serial status %v", trial, rs.Status)
+		}
+		if rp.Status != OptimalMIP {
+			t.Fatalf("trial %d: parallel status %v", trial, rp.Status)
+		}
+		if math.Abs(rs.Objective-rp.Objective) > 1e-6*(1+math.Abs(rs.Objective)) {
+			t.Fatalf("trial %d: serial obj %v != parallel obj %v", trial, rs.Objective, rp.Objective)
+		}
+	}
+}
+
+// TestSerialDeterministic runs the identical model twice at Workers=1 and
+// expects bit-identical node counts and objectives.
+func TestSerialDeterministic(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		a := randomKnapsackModel(rand.New(rand.NewSource(int64(trial))), 14)
+		b := randomKnapsackModel(rand.New(rand.NewSource(int64(trial))), 14)
+		ra := a.Solve(Options{MaxNodes: 200000, Workers: 1})
+		rb := b.Solve(Options{MaxNodes: 200000, Workers: 1})
+		if ra.Status != rb.Status || ra.Nodes != rb.Nodes || ra.LPIters != rb.LPIters || ra.Objective != rb.Objective {
+			t.Fatalf("trial %d: nondeterministic serial solve: (%v,%d,%d,%v) vs (%v,%d,%d,%v)",
+				trial, ra.Status, ra.Nodes, ra.LPIters, ra.Objective, rb.Status, rb.Nodes, rb.LPIters, rb.Objective)
+		}
+	}
+}
+
+// TestConcurrentIndependentSolves exercises many Solve calls on independent
+// models from independent goroutines, each itself running parallel workers;
+// run with -race to verify solver isolation (the worker pool is shared).
+func TestConcurrentIndependentSolves(t *testing.T) {
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for k := 0; k < 5; k++ {
+				m := randomKnapsackModel(rng, 10)
+				res := m.Solve(Options{MaxNodes: 100000, Workers: 1 + int(seed)%3})
+				if res.Status != OptimalMIP {
+					errs <- res.Status.String()
+					return
+				}
+			}
+		}(int64(g + 1))
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatalf("concurrent solve failed: %v", e)
+	}
+}

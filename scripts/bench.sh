@@ -1,0 +1,59 @@
+#!/bin/sh
+# Runs the benchmark suite and records the perf trajectory in BENCH_1.json.
+#
+# The headline series is BenchmarkAblationBaseline's us-per-plan (average
+# wall-clock per planning call on the compact §V workload), compared against
+# the pre-rework number measured on the seed solver (solve path rebuilt
+# around warm-started dual simplex + lazy rows in the same change that
+# introduced this script). BenchmarkLPResolve's allocs/op guards the
+# allocation-free warm re-solve path.
+#
+# Usage: scripts/bench.sh [output.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_1.json}"
+
+# Measured on the seed (pre-rework) solver with the same benchmark.
+pre_us_per_plan=70634
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run=NONE -bench='BenchmarkAblationBaseline|BenchmarkLPResolve|BenchmarkMILPNode' \
+	-benchtime=3x -count=1 . | tee "$tmp"
+
+awk -v pre="$pre_us_per_plan" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+function val(name,    i) {
+	for (i = 1; i <= NF; i++)
+		if ($(i + 1) == name)
+			return $i
+	return ""
+}
+/^BenchmarkAblationBaseline/ {
+	us = val("us-per-plan"); adm = val("admitted")
+}
+/^BenchmarkLPResolve/ {
+	lp_ns = $3; lp_allocs = val("allocs/op")
+}
+/^BenchmarkMILPNode/ {
+	node_ns = $3; node_allocs = val("allocs/op"); nodes = val("nodes-per-solve")
+}
+END {
+	printf "{\n"
+	printf "  \"generated\": \"%s\",\n", date
+	printf "  \"benchmark\": \"BenchmarkAblationBaseline\",\n"
+	printf "  \"pre_pr_us_per_plan\": %s,\n", pre
+	printf "  \"us_per_plan\": %s,\n", us
+	printf "  \"speedup_vs_pre_pr\": %.2f,\n", pre / us
+	printf "  \"admitted\": %s,\n", adm
+	printf "  \"lp_resolve_ns_per_op\": %s,\n", lp_ns
+	printf "  \"lp_resolve_allocs_per_op\": %s,\n", lp_allocs
+	printf "  \"milp_node_ns_per_op\": %s,\n", node_ns
+	printf "  \"milp_node_allocs_per_op\": %s,\n", node_allocs
+	printf "  \"milp_nodes_per_solve\": %s\n", nodes
+	printf "}\n"
+}' "$tmp" > "$out"
+
+echo "wrote $out"
+cat "$out"
