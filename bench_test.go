@@ -195,8 +195,8 @@ func BenchmarkFig7cNetCDF(b *testing.B) {
 // --- Ablations ---------------------------------------------------------------
 
 // runAblation executes the bench workload under a config mutation and
-// returns (admitted, avg plan time).
-func runAblation(mutate func(*core.Config)) (int, time.Duration) {
+// returns (admitted, avg plan time, cumulative planner stats).
+func runAblation(mutate func(*core.Config)) (int, time.Duration, core.Stats) {
 	sc := benchScale()
 	env := sim.BuildEnv(sc)
 	cfg := core.DefaultConfig()
@@ -214,19 +214,27 @@ func runAblation(mutate func(*core.Config)) (int, time.Duration) {
 		total += res.PlanTime
 	}
 	if len(env.Queries) == 0 {
-		return p.AdmittedCount(), 0
+		return p.AdmittedCount(), 0, p.Stats()
 	}
-	return p.AdmittedCount(), total / time.Duration(len(env.Queries))
+	return p.AdmittedCount(), total / time.Duration(len(env.Queries)), p.Stats()
 }
 
 func benchAblation(b *testing.B, mutate func(*core.Config)) {
 	var admitted int
 	var avg time.Duration
+	var st core.Stats
 	for i := 0; i < b.N; i++ {
-		admitted, avg = runAblation(mutate)
+		admitted, avg, st = runAblation(mutate)
 	}
 	b.ReportMetric(float64(admitted), "admitted")
 	b.ReportMetric(float64(avg.Microseconds()), "us-per-plan")
+	if st.Submissions > 0 {
+		per := 1 / float64(st.Submissions)
+		b.ReportMetric(float64(st.TotalNodes)*per, "nodes/solve")
+		b.ReportMetric(float64(st.TotalCuts)*per, "cuts/solve")
+		b.ReportMetric(float64(st.TotalFixings)*per, "fixings/solve")
+		b.ReportMetric(float64(st.TotalLPIters)*per, "lp-iters/solve")
+	}
 }
 
 // BenchmarkAblationBaseline is the reference point for the ablations.

@@ -25,6 +25,7 @@ func main() {
 	timeout := flag.Duration("timeout", 250*time.Millisecond, "per-query solver timeout")
 	seed := flag.Int64("seed", 42, "workload seed")
 	jsonOut := flag.String("json", "", "write the final system+plan as JSON to this file ('-' for stdout)")
+	showStats := flag.Bool("stats", false, "print solver effort per submit: nodes explored, cuts added, variables fixed")
 	flag.Parse()
 
 	sys := sqpr.BuildSystem(sqpr.SystemConfig{
@@ -62,10 +63,21 @@ func main() {
 		fmt.Printf("query %2d (stream %3d, %s): %-28s plan-time=%-8v reduced-model: %d streams / %d ops / %d hosts\n",
 			i, q, sys.Streams[q].Name, verdict, res.PlanTime.Round(time.Millisecond),
 			res.FreeStreams, res.FreeOps, res.CandidateHosts)
+		if *showStats {
+			fmt.Printf("    solver: %d nodes, %d cuts, %d reduced-cost fixings, %d presolve-fixed vars, %d LP iters\n",
+				res.Nodes, res.Cuts, res.Fixings, res.PresolveFixed, res.LPIters)
+		}
 	}
 
 	a := p.Assignment()
 	fmt.Printf("\nadmitted %d/%d queries\n\n", p.AdmittedCount(), *queries)
+
+	if *showStats {
+		st := p.Stats()
+		fmt.Printf("cumulative solver effort: %d nodes, %d cuts, %d fixings, %d presolve-fixed, %d LP iters over %d submissions (%d timeouts, %d stalls)\n\n",
+			st.TotalNodes, st.TotalCuts, st.TotalFixings, st.TotalPresolveFixed,
+			st.TotalLPIters, st.Submissions, st.Timeouts, st.Stalls)
+	}
 
 	fmt.Println("operator placements:")
 	for _, pl := range a.SortedOps() {

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"math"
 	"sort"
 
@@ -39,6 +38,14 @@ type builder struct {
 	lVar milp.Var // O4 linearisation: max per-host CPU
 
 	bigM float64
+
+	// Greedy warm-start scratch (see seed.go): the incremental usage
+	// tracker, the trial-mutation journal, the cycle guard of planStreamAt
+	// and a host-ordering buffer, all pooled across submissions.
+	track       usageTracker
+	journal     []journalEntry
+	visiting    map[planKey]bool
+	hostScratch []dsps.HostID
 }
 
 type hsKey struct {
@@ -70,6 +77,7 @@ func (p *Planner) newBuilder(queries []dsps.StreamID) *builder {
 			zVar:      make(map[zKey]milp.Var),
 			pVar:      make(map[hsKey]milp.Var),
 			freeOpSet: make(map[dsps.OperatorID]bool),
+			visiting:  make(map[planKey]bool),
 			model:     milp.NewModel(),
 		}
 		p.bld = b
@@ -83,6 +91,7 @@ func (p *Planner) newBuilder(queries []dsps.StreamID) *builder {
 		b.freeStreams = b.freeStreams[:0]
 		b.freeOps = b.freeOps[:0]
 		b.hosts = b.hosts[:0]
+		b.journal = b.journal[:0]
 		b.model.Reset()
 	}
 	b.p = p
@@ -312,28 +321,42 @@ func (b *builder) build() *milp.Model {
 	st := b.p.state
 
 	// --- Variables -----------------------------------------------------
+	// Variable names are static family tags: per-variable formatted names
+	// cost a Sprintf and a string allocation each on the hot submit path,
+	// and nothing reads them back.
+	// Branch priorities rank the decisions: admission (d) first — it
+	// carries λ1 and shapes everything below — then availability (y), then
+	// operator placement (z); flow routing (x) branches last (priority 0),
+	// as its objective weight is smallest and most x values follow from the
+	// other decisions anyway.
 	for _, s := range b.freeStreams {
 		stream := &sys.Streams[s]
 		for _, h := range b.hosts {
 			hk := hsKey{h, s}
-			b.yVar[hk] = m.AddBinary(fmt.Sprintf("y[%d,%d]", h, s))
+			yv := m.AddBinary("y")
+			m.SetBranchPriority(yv, 2)
+			b.yVar[hk] = yv
 			if stream.Requested {
-				b.dVar[hk] = m.AddBinary(fmt.Sprintf("d[%d,%d]", h, s))
+				dv := m.AddBinary("d")
+				m.SetBranchPriority(dv, 3)
+				b.dVar[hk] = dv
 			}
-			b.pVar[hk] = m.AddContinuous(0, b.bigM, fmt.Sprintf("p[%d,%d]", h, s))
+			b.pVar[hk] = m.AddContinuous(0, b.bigM, "p")
 		}
 		for _, h := range b.hosts {
 			for _, mm := range b.hosts {
 				if h == mm {
 					continue
 				}
-				b.xVar[flowKey{h, mm, s}] = m.AddBinary(fmt.Sprintf("x[%d,%d,%d]", h, mm, s))
+				b.xVar[flowKey{h, mm, s}] = m.AddBinary("x")
 			}
 		}
 	}
 	for _, o := range b.freeOps {
 		for _, h := range b.hosts {
-			b.zVar[zKey{h, o}] = m.AddBinary(fmt.Sprintf("z[%d,%d]", h, o))
+			zv := m.AddBinary("z")
+			m.SetBranchPriority(zv, 1)
+			b.zVar[zKey{h, o}] = zv
 		}
 	}
 	maxCPU := 0.0

@@ -70,6 +70,11 @@ type Config struct {
 	// DisableWarmStart withholds the greedy incumbent from the solver
 	// (ablation; the search then has to find its first feasible point).
 	DisableWarmStart bool
+	// DisableTreeReduction turns off the MILP tree-reduction layer —
+	// presolve, root cutting planes, reduced-cost bound fixing and
+	// pseudo-cost branching — so the solver runs plain branch and bound
+	// (ablation; conformance tests compare both modes).
+	DisableTreeReduction bool
 	// Validate re-checks every produced assignment against the dsps
 	// feasibility validator; enabled by default in NewPlanner. A
 	// plan.WithValidation submit option overrides it per call.
@@ -85,6 +90,12 @@ func DefaultConfig() Config {
 		Validate:          true,
 	}
 }
+
+// Stagnation-stop tuning for large reduced models (see submit).
+const (
+	stallVarThreshold = 400
+	stallNodesLarge   = 8
+)
 
 // Planner is the SQPR planner. It implements plan.QueryPlanner and is not
 // safe for concurrent use.
@@ -139,7 +150,7 @@ func NewPlanner(sys *dsps.System, cfg Config) *Planner {
 		cfg.GapTol = 0.01
 	}
 	if cfg.MaxNodes <= 0 {
-		cfg.MaxNodes = 80
+		cfg.MaxNodes = 32
 	}
 	if cfg.SolveTimeout <= 0 {
 		cfg.SolveTimeout = 500 * time.Millisecond
@@ -265,11 +276,12 @@ func (p *Planner) submit(ctx context.Context, qs []dsps.StreamID, timeout time.D
 
 	model := b.build()
 	opts := milp.Options{
-		Ctx:      ctx,
-		Deadline: deadline,
-		MaxNodes: p.cfg.MaxNodes,
-		GapTol:   p.cfg.GapTol,
-		Workers:  p.workers,
+		Ctx:                  ctx,
+		Deadline:             deadline,
+		MaxNodes:             p.cfg.MaxNodes,
+		GapTol:               p.cfg.GapTol,
+		Workers:              p.workers,
+		DisableTreeReduction: p.cfg.DisableTreeReduction,
 		// λ1 dominates: any absolute gap well below λ1 cannot hide a
 		// further admission. A small (but not tiny) gap lets the search
 		// keep improving placement quality within its deadline while
@@ -279,10 +291,25 @@ func (p *Planner) submit(ctx context.Context, qs []dsps.StreamID, timeout time.D
 	if !p.cfg.DisableWarmStart {
 		opts.Incumbent = b.incumbent()
 	}
+	// Large reduced models get a stagnation stop: their LP bound carries
+	// fractional admissions of other unserved queries, a gap no realistic
+	// node budget closes (measured: tens of thousands of nodes leave the
+	// admission decisions unchanged), so a search that has stopped
+	// improving its incumbent is burning deadline on nothing. Small models
+	// search their full budget — on them a late admission find is cheap
+	// and real (the Fig. 2 shared-chain and relay scenarios need ~30
+	// nodes).
+	if model.NumVars() >= stallVarThreshold {
+		opts.StallNodes = stallNodesLarge
+	}
 	sol := model.Solve(opts)
 	res.SolveStatus = sol.Status
 	res.Nodes = sol.Nodes
 	res.LPIters = sol.LPIters
+	res.Cuts = sol.Cuts
+	res.Fixings = sol.Fixings
+	res.PresolveFixed = sol.PresolveFixed
+	res.Stalled = sol.Stalled
 
 	if sol.Cancelled || ctx.Err() != nil {
 		// Aborted mid-solve: discard any incumbent, keep the previous

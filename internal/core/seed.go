@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math"
 	"sort"
 
 	"sqpr/internal/dsps"
@@ -13,8 +12,14 @@ import (
 // plan mirrors what a simple planner would do — assemble each query on a
 // single host, reusing streams that already exist — and gives the branch
 // and bound an admission-positive incumbent to improve on.
+//
+// The greedy probes many partial plans per query; it tracks resource usage
+// incrementally and rolls trial placements back through an undo journal, so
+// probing never clones the assignment or recomputes usage from scratch
+// (both used to dominate the planning call on contended instances).
 func (b *builder) incumbent() []float64 {
 	cand := b.p.state.Clone()
+	b.track.reset(b.sys, cand)
 	for _, q := range b.queries {
 		if _, ok := cand.Provides[q]; ok {
 			continue
@@ -24,48 +29,208 @@ func (b *builder) incumbent() []float64 {
 	return b.vectorOf(cand)
 }
 
+// usageTracker maintains the resource picture of one assignment under
+// incremental flow/op/provide mutations. Arrays are pooled on the builder.
+type usageTracker struct {
+	sys     *dsps.System
+	cpu     []float64
+	mem     []float64
+	out     []float64
+	in      []float64
+	link    [][]float64
+	network float64
+	cpuSum  float64
+}
+
+func (u *usageTracker) reset(sys *dsps.System, a *dsps.Assignment) {
+	n := sys.NumHosts()
+	u.sys = sys
+	u.cpu = resizeZero(u.cpu, n)
+	u.mem = resizeZero(u.mem, n)
+	u.out = resizeZero(u.out, n)
+	u.in = resizeZero(u.in, n)
+	if cap(u.link) < n {
+		u.link = make([][]float64, n)
+	}
+	u.link = u.link[:n]
+	for i := range u.link {
+		u.link[i] = resizeZero(u.link[i], n)
+	}
+	u.network = 0
+	u.cpuSum = 0
+	for pl, on := range a.Ops {
+		if on {
+			u.addOp(pl)
+		}
+	}
+	for f, on := range a.Flows {
+		if on {
+			u.addFlow(f)
+		}
+	}
+	for s, h := range a.Provides {
+		u.out[h] += sys.Streams[s].Rate
+	}
+}
+
+func resizeZero(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func (u *usageTracker) addOp(pl dsps.Placement) {
+	op := &u.sys.Operators[pl.Op]
+	u.cpu[pl.Host] += op.Cost
+	u.mem[pl.Host] += op.Mem
+	u.cpuSum += op.Cost
+}
+
+func (u *usageTracker) removeOp(pl dsps.Placement) {
+	op := &u.sys.Operators[pl.Op]
+	u.cpu[pl.Host] -= op.Cost
+	u.mem[pl.Host] -= op.Mem
+	u.cpuSum -= op.Cost
+}
+
+func (u *usageTracker) addFlow(f dsps.Flow) {
+	rate := u.sys.Streams[f.Stream].Rate
+	u.link[f.From][f.To] += rate
+	u.out[f.From] += rate
+	u.in[f.To] += rate
+	u.network += rate
+}
+
+func (u *usageTracker) removeFlow(f dsps.Flow) {
+	rate := u.sys.Streams[f.Stream].Rate
+	u.link[f.From][f.To] -= rate
+	u.out[f.From] -= rate
+	u.in[f.To] -= rate
+	u.network -= rate
+}
+
+func (u *usageTracker) maxCPU() float64 {
+	var m float64
+	for _, c := range u.cpu {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// journal records trial mutations so a probe can be rolled back without
+// cloning the assignment.
+type journalEntry struct {
+	isOp bool
+	flow dsps.Flow
+	op   dsps.Placement
+}
+
+// applyFlow adds a flow to the trial, tracker and journal.
+func (b *builder) applyFlow(trial *dsps.Assignment, f dsps.Flow) {
+	trial.Flows[f] = true
+	b.track.addFlow(f)
+	b.journal = append(b.journal, journalEntry{flow: f})
+}
+
+// applyOp adds an operator placement to the trial, tracker and journal.
+func (b *builder) applyOp(trial *dsps.Assignment, pl dsps.Placement) {
+	trial.Ops[pl] = true
+	b.track.addOp(pl)
+	b.journal = append(b.journal, journalEntry{isOp: true, op: pl})
+}
+
+// rollback undoes journal entries beyond mark, newest first.
+func (b *builder) rollback(trial *dsps.Assignment, mark int) {
+	for i := len(b.journal) - 1; i >= mark; i-- {
+		e := b.journal[i]
+		if e.isOp {
+			delete(trial.Ops, e.op)
+			b.track.removeOp(e.op)
+		} else {
+			delete(trial.Flows, e.flow)
+			b.track.removeFlow(e.flow)
+		}
+	}
+	b.journal = b.journal[:mark]
+}
+
 // greedyAdmit tries to admit query q into cand on a single assembly host;
-// it mutates cand only on success.
+// it mutates cand only on success. Hosts are probed on the shared trial
+// through the journal; the best-scoring resource-feasible plan is kept.
 func (b *builder) greedyAdmit(cand *dsps.Assignment, q dsps.StreamID) bool {
-	usage := cand.ComputeUsage(b.sys)
-	order := make([]dsps.HostID, len(b.hosts))
-	copy(order, b.hosts)
+	order := b.hostScratch[:0]
+	order = append(order, b.hosts...)
+	b.hostScratch = order
 	sort.Slice(order, func(i, j int) bool {
-		si := b.sys.Hosts[order[i]].CPU - usage.CPU[order[i]]
-		sj := b.sys.Hosts[order[j]].CPU - usage.CPU[order[j]]
+		si := b.sys.Hosts[order[i]].CPU - b.track.cpu[order[i]]
+		sj := b.sys.Hosts[order[j]].CPU - b.track.cpu[order[j]]
 		if si != sj {
 			return si > sj
 		}
 		return order[i] < order[j]
 	})
-	bestScore := math.Inf(-1)
-	var best *dsps.Assignment
-	for _, h := range order {
-		trial := cand.Clone()
-		if !b.planStreamAt(trial, q, h, make(map[planKey]bool)) {
-			continue
-		}
-		// Deliver the result to the client from h.
-		trial.Provides[q] = h
-		u := trial.ComputeUsage(b.sys)
-		if u.Out[h] > b.sys.Hosts[h].OutBW+1e-9 || trial.Validate(b.sys) != nil {
-			continue
-		}
-		if score := b.scoreAssignment(trial); score > bestScore {
-			bestScore = score
-			best = trial
-		}
+
+	type scored struct {
+		h     dsps.HostID
+		score float64
 	}
-	if best == nil {
+	var results []scored
+	rate := b.sys.Streams[q].Rate
+	for _, h := range order {
+		mark := len(b.journal)
+		if !b.planStreamAt(cand, q, h, b.visiting) {
+			b.rollback(cand, mark)
+			continue
+		}
+		// Deliver the result to the client from h (out-bandwidth only; the
+		// provide itself is added once the winner is chosen).
+		if b.track.out[h]+rate > b.sys.Hosts[h].OutBW+1e-9 {
+			b.rollback(cand, mark)
+			continue
+		}
+		results = append(results, scored{h, b.scoreResources()})
+		b.rollback(cand, mark)
+	}
+	if len(results) == 0 {
 		return false
 	}
-	*cand = *best
-	return true
+	// All candidate plans admit q, so λ1 cancels out of the comparison and
+	// the resource score alone ranks them.
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].score != results[j].score {
+			return results[i].score > results[j].score
+		}
+		return results[i].h < results[j].h
+	})
+	for _, r := range results {
+		mark := len(b.journal)
+		if !b.planStreamAt(cand, q, r.h, b.visiting) {
+			b.rollback(cand, mark)
+			continue
+		}
+		cand.Provides[q] = r.h
+		b.track.out[r.h] += rate
+		if cand.Validate(b.sys) == nil {
+			b.journal = b.journal[:0]
+			return true
+		}
+		delete(cand.Provides, q)
+		b.track.out[r.h] -= rate
+		b.rollback(cand, mark)
+	}
+	return false
 }
 
-// scoreAssignment evaluates the weighted objective (III.3) for seeding.
-func (b *builder) scoreAssignment(a *dsps.Assignment) float64 {
-	u := a.ComputeUsage(b.sys)
+// scoreResources evaluates the resource part of the weighted objective
+// (III.3) from the tracker: −λ2·O2/Σκ − λ3·O3/Σζ − λ4·O4/ζmax.
+func (b *builder) scoreResources() float64 {
 	w := b.p.cfg.Weights
 	totalLink := b.sys.TotalLinkCap()
 	if totalLink <= 0 {
@@ -84,10 +249,9 @@ func (b *builder) scoreAssignment(a *dsps.Assignment) float64 {
 	if maxCPU <= 0 {
 		maxCPU = 1
 	}
-	return w.L1*float64(a.SatisfiedQueries()) -
-		w.L2*u.Network/totalLink -
-		w.L3*u.TotalCPU()/totalCPU -
-		w.L4*u.MaxCPU()/maxCPU
+	return -w.L2*b.track.network/totalLink -
+		w.L3*b.track.cpuSum/totalCPU -
+		w.L4*b.track.maxCPU()/maxCPU
 }
 
 type planKey struct {
@@ -96,7 +260,9 @@ type planKey struct {
 }
 
 // planStreamAt makes stream s available at host h inside trial, adding
-// flows and operator placements greedily. visiting guards against cycles.
+// flows and operator placements greedily (journaled, tracker-checked).
+// visiting guards against cycles. On failure the caller rolls back to its
+// own mark; partial work may remain in the journal.
 func (b *builder) planStreamAt(trial *dsps.Assignment, s dsps.StreamID, h dsps.HostID, visiting map[planKey]bool) bool {
 	if trial.Available(b.sys, h, s) {
 		return true
@@ -114,8 +280,8 @@ func (b *builder) planStreamAt(trial *dsps.Assignment, s dsps.StreamID, h dsps.H
 		if m == h || !trial.Available(b.sys, m, s) {
 			continue
 		}
-		if b.flowFits(trial, m, h, rate) {
-			trial.Flows[dsps.Flow{From: m, To: h, Stream: s}] = true
+		if b.flowFits(m, h, rate) {
+			b.applyFlow(trial, dsps.Flow{From: m, To: h, Stream: s})
 			return true
 		}
 	}
@@ -128,18 +294,18 @@ func (b *builder) planStreamAt(trial *dsps.Assignment, s dsps.StreamID, h dsps.H
 			if _, ok := b.hostIdx[m]; !ok {
 				continue
 			}
-			if b.flowFits(trial, m, h, rate) {
-				trial.Flows[dsps.Flow{From: m, To: h, Stream: s}] = true
+			if b.flowFits(m, h, rate) {
+				b.applyFlow(trial, dsps.Flow{From: m, To: h, Stream: s})
 				return true
 			}
 		}
 		return false
 	}
 	// Composite: place one producer at a candidate host — preferring h
-	// itself — and, if produced remotely, flow the output over.
+	// itself — and, if produced remotely, flow the output over. The host
+	// lists are local: planStreamAt recurses through operator inputs.
 	hostsTry := make([]dsps.HostID, 0, len(b.hosts))
 	hostsTry = append(hostsTry, h)
-	u := trial.ComputeUsage(b.sys)
 	others := make([]dsps.HostID, 0, len(b.hosts))
 	for _, m := range b.hosts {
 		if m != h {
@@ -147,8 +313,8 @@ func (b *builder) planStreamAt(trial *dsps.Assignment, s dsps.StreamID, h dsps.H
 		}
 	}
 	sort.Slice(others, func(i, j int) bool {
-		si := b.sys.Hosts[others[i]].CPU - u.CPU[others[i]]
-		sj := b.sys.Hosts[others[j]].CPU - u.CPU[others[j]]
+		si := b.sys.Hosts[others[i]].CPU - b.track.cpu[others[i]]
+		sj := b.sys.Hosts[others[j]].CPU - b.track.cpu[others[j]]
 		if si != sj {
 			return si > sj
 		}
@@ -166,14 +332,13 @@ func (b *builder) planStreamAt(trial *dsps.Assignment, s dsps.StreamID, h dsps.H
 		}
 		o := &b.sys.Operators[op]
 		for _, m := range hostsTry {
-			um := trial.ComputeUsage(b.sys)
-			if um.CPU[m]+o.Cost > b.sys.Hosts[m].CPU+1e-9 {
+			if b.track.cpu[m]+o.Cost > b.sys.Hosts[m].CPU+1e-9 {
 				continue
 			}
-			if lim := b.sys.Hosts[m].Mem; lim > 0 && um.Mem[m]+o.Mem > lim+1e-9 {
+			if lim := b.sys.Hosts[m].Mem; lim > 0 && b.track.mem[m]+o.Mem > lim+1e-9 {
 				continue
 			}
-			snapshot := trial.Clone()
+			mark := len(b.journal)
 			ok := true
 			for _, in := range o.Inputs {
 				if !b.planStreamAt(trial, in, m, visiting) {
@@ -182,32 +347,31 @@ func (b *builder) planStreamAt(trial *dsps.Assignment, s dsps.StreamID, h dsps.H
 				}
 			}
 			if ok && m != h {
-				if b.flowFits(trial, m, h, rate) {
-					trial.Ops[dsps.Placement{Host: m, Op: op}] = true
-					trial.Flows[dsps.Flow{From: m, To: h, Stream: s}] = true
+				if b.flowFits(m, h, rate) {
+					b.applyOp(trial, dsps.Placement{Host: m, Op: op})
+					b.applyFlow(trial, dsps.Flow{From: m, To: h, Stream: s})
 					return true
 				}
 				ok = false
 			} else if ok {
-				trial.Ops[dsps.Placement{Host: m, Op: op}] = true
+				b.applyOp(trial, dsps.Placement{Host: m, Op: op})
 				return true
 			}
-			*trial = *snapshot
+			b.rollback(trial, mark)
 		}
 	}
 	return false
 }
 
 // flowFits checks link and host bandwidth headroom for one extra flow.
-func (b *builder) flowFits(trial *dsps.Assignment, from, to dsps.HostID, rate float64) bool {
-	u := trial.ComputeUsage(b.sys)
-	if u.Link[from][to]+rate > b.sys.LinkCap[from][to]+1e-9 {
+func (b *builder) flowFits(from, to dsps.HostID, rate float64) bool {
+	if b.track.link[from][to]+rate > b.sys.LinkCap[from][to]+1e-9 {
 		return false
 	}
-	if u.Out[from]+rate > b.sys.Hosts[from].OutBW+1e-9 {
+	if b.track.out[from]+rate > b.sys.Hosts[from].OutBW+1e-9 {
 		return false
 	}
-	if u.In[to]+rate > b.sys.Hosts[to].InBW+1e-9 {
+	if b.track.in[to]+rate > b.sys.Hosts[to].InBW+1e-9 {
 		return false
 	}
 	return true

@@ -1,0 +1,183 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAppendRowsWarm verifies that a cut row appended to a warm basis is
+// activated and repaired by dual simplex, matching a cold solve of the
+// extended problem.
+func TestAppendRowsWarm(t *testing.T) {
+	// max x0 + x1 (min −x0 − x1), x in [0,1]^2, x0 + x1 <= 1.5.
+	p := &Problem{
+		NumVars: 2,
+		Cost:    []float64{-1, -1},
+		Upper:   []float64{1, 1},
+		Cons:    []Constraint{{Terms: []Term{{0, 1}, {1, 1}}, Sense: LE, RHS: 1.5}},
+	}
+	s := NewSolver()
+	s.SetRowReserve(4)
+	if err := s.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	sol := s.ReSolve(Options{})
+	if sol.Status != Optimal || math.Abs(sol.Objective-(-1.5)) > 1e-9 {
+		t.Fatalf("base solve: %v obj=%v", sol.Status, sol.Objective)
+	}
+	if got := s.SpareRowCapacity(); got != 4 {
+		t.Fatalf("SpareRowCapacity = %d want 4", got)
+	}
+
+	// Append the "cut" x0 + x1 <= 1 and re-solve warm.
+	p.Cons = append(p.Cons, Constraint{Terms: []Term{{0, 1}, {1, 1}}, Sense: LE, RHS: 1})
+	added, err := s.AppendRows()
+	if err != nil || added != 1 {
+		t.Fatalf("AppendRows = (%d, %v)", added, err)
+	}
+	sol = s.ReSolve(Options{})
+	if sol.Status != Optimal || !sol.Feasible || math.Abs(sol.Objective-(-1)) > 1e-9 {
+		t.Fatalf("after cut: %v obj=%v feas=%v", sol.Status, sol.Objective, sol.Feasible)
+	}
+	if sol.X[0]+sol.X[1] > 1+1e-9 {
+		t.Fatalf("cut violated: %v", sol.X)
+	}
+}
+
+// TestAppendRowsRandomMatchesCold appends random valid rows to warm solvers
+// and cross-checks every re-solve against a cold solve of the same problem.
+func TestAppendRowsRandomMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(8)
+		p := &Problem{NumVars: n, Cost: make([]float64, n), Upper: make([]float64, n)}
+		for j := 0; j < n; j++ {
+			p.Cost[j] = rng.Float64()*4 - 2
+			p.Upper[j] = 1
+		}
+		for i := 0; i < 2+rng.Intn(4); i++ {
+			terms := make([]Term, 0, 4)
+			for k := 0; k < 2+rng.Intn(3); k++ {
+				terms = append(terms, Term{Var: rng.Intn(n), Coef: rng.Float64() * 2})
+			}
+			p.Cons = append(p.Cons, Constraint{Terms: terms, Sense: LE, RHS: 0.5 + rng.Float64()*2})
+		}
+		s := NewSolver()
+		s.SetRowReserve(6)
+		if err := s.Load(p); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if sol := s.ReSolve(Options{}); sol.Status != Optimal {
+			t.Fatalf("trial %d: base status %v", trial, sol.Status)
+		}
+		for round := 0; round < 3; round++ {
+			terms := make([]Term, 0, 3)
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				terms = append(terms, Term{Var: rng.Intn(n), Coef: rng.Float64() * 2})
+			}
+			sense := LE
+			rhs := 0.3 + rng.Float64()
+			if rng.Intn(3) == 0 {
+				sense = GE
+				rhs = rng.Float64() * 0.5
+			}
+			p.Cons = append(p.Cons, Constraint{Terms: terms, Sense: sense, RHS: rhs})
+			if _, err := s.AppendRows(); err != nil {
+				t.Fatalf("trial %d round %d: %v", trial, round, err)
+			}
+			warm := s.ReSolve(Options{})
+			cold := Solve(p, Options{})
+			if warm.Status != cold.Status {
+				t.Fatalf("trial %d round %d: warm %v vs cold %v", trial, round, warm.Status, cold.Status)
+			}
+			if warm.Status == Optimal && math.Abs(warm.Objective-cold.Objective) > 1e-6*(1+math.Abs(cold.Objective)) {
+				t.Fatalf("trial %d round %d: warm obj %v vs cold %v", trial, round, warm.Objective, cold.Objective)
+			}
+			if warm.Status == Infeasible {
+				break // further appends cannot restore feasibility
+			}
+		}
+	}
+}
+
+// TestReducedCostSign checks the documented orientation of ReducedCost: at
+// an optimum every nonbasic variable has a non-negative reduced cost, and
+// moving off the bound degrades the objective accordingly.
+func TestReducedCostSign(t *testing.T) {
+	// min −2x0 − x1 s.t. x0 + x1 <= 1, x in [0,1]^2. Optimum x0=1, x1=0.
+	p := &Problem{
+		NumVars: 2,
+		Cost:    []float64{-2, -1},
+		Upper:   []float64{1, 1},
+		Cons:    []Constraint{{Terms: []Term{{0, 1}, {1, 1}}, Sense: LE, RHS: 1}},
+	}
+	s := NewSolver()
+	if err := s.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	sol := s.ReSolve(Options{})
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	for j := 0; j < 2; j++ {
+		if d, _ := s.ReducedCost(j); d < -1e-9 {
+			t.Fatalf("negative reduced cost %v on var %d at optimum", d, j)
+		}
+	}
+
+	// Row-free problem, so the basis is unique: min 3x0 − 2x1, x in [0,1]^2
+	// → x0 nonbasic at 0 with d=3, x1 nonbasic at its upper bound with d=2.
+	p2 := &Problem{NumVars: 2, Cost: []float64{3, -2}, Upper: []float64{1, 1}}
+	s2 := NewSolver()
+	if err := s2.Load(p2); err != nil {
+		t.Fatal(err)
+	}
+	if sol := s2.ReSolve(Options{}); sol.Status != Optimal || math.Abs(sol.Objective-(-2)) > 1e-9 {
+		t.Fatalf("row-free solve: %+v", sol)
+	}
+	if d, atUpper := s2.ReducedCost(0); atUpper || math.Abs(d-3) > 1e-9 {
+		t.Fatalf("ReducedCost(x0) = (%v, %v) want (3, false)", d, atUpper)
+	}
+	if d, atUpper := s2.ReducedCost(1); !atUpper || math.Abs(d-2) > 1e-9 {
+		t.Fatalf("ReducedCost(x1) = (%v, %v) want (2, true)", d, atUpper)
+	}
+}
+
+// TestRowDualSensitivity checks RowDual against a finite-difference
+// perturbation of the right-hand side.
+func TestRowDualSensitivity(t *testing.T) {
+	// min −x0 s.t. x0 <= 5 (row), x0 unbounded above: optimum −5, dual −1.
+	p := &Problem{
+		NumVars: 1,
+		Cost:    []float64{-1},
+		Cons:    []Constraint{{Terms: []Term{{0, 1}}, Sense: LE, RHS: 5}},
+	}
+	s := NewSolver()
+	if err := s.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	if sol := s.ReSolve(Options{}); sol.Status != Optimal || math.Abs(sol.Objective-(-5)) > 1e-9 {
+		t.Fatalf("solve: %+v", sol)
+	}
+	if y := s.RowDual(0); math.Abs(y-(-1)) > 1e-9 {
+		t.Fatalf("RowDual = %v want -1", y)
+	}
+
+	// GE variant: min x0 s.t. x0 >= 3 → dual +1.
+	p2 := &Problem{
+		NumVars: 1,
+		Cost:    []float64{1},
+		Cons:    []Constraint{{Terms: []Term{{0, 1}}, Sense: GE, RHS: 3}},
+	}
+	s2 := NewSolver()
+	if err := s2.Load(p2); err != nil {
+		t.Fatal(err)
+	}
+	if sol := s2.ReSolve(Options{}); sol.Status != Optimal || math.Abs(sol.Objective-3) > 1e-9 {
+		t.Fatalf("solve: %+v", sol)
+	}
+	if y := s2.RowDual(0); math.Abs(y-1) > 1e-9 {
+		t.Fatalf("GE RowDual = %v want 1", y)
+	}
+}

@@ -1,0 +1,226 @@
+package lp
+
+import "math"
+
+// Gomory mixed-integer (GMI) cut generation from the current optimal basis.
+//
+// For a basis row whose basic variable is integer-constrained but sits at a
+// fractional value b̄ = ⌊b̄⌋ + f0, the GMI inequality over the nonbasic
+// variables (all at 0 in the tableau's current orientation)
+//
+//	Σ_int  g_j·x_j + Σ_cont h_j·x_j >= f0,
+//	g_j = f_j            if f_j <= f0,   f_j = frac(ā_j)
+//	    = f0(1-f_j)/(1-f0) otherwise
+//	h_j = ā_j            if ā_j >= 0
+//	    = f0(-ā_j)/(1-f0) otherwise
+//
+// is valid for every mixed-integer point. The solver re-expresses the cut
+// over the original structural variables — undoing bound flips and
+// substituting slack definitions — so the caller can pool it like any other
+// row. Generation runs at the branch-and-bound root only: with no variable
+// fixes in place, the emitted rows are globally valid.
+
+// Numerical guard rails for cut generation.
+const (
+	gmiMinFrac    = 0.02  // basic value must be at least this fractional
+	gmiMaxTerms   = 200   // skip cuts denser than this
+	gmiMaxDynamic = 1e7   // max |coef| ratio within one cut
+	gmiDropTol    = 1e-11 // relative magnitude below which terms are dropped
+)
+
+// GomoryCuts derives up to max GMI cuts from the current basis, which must
+// come from an Optimal ReSolve with no variable fixes applied. isInt
+// reports, per structural variable, whether the model constrains it to
+// integer values. Each cut is delivered to emit as structural-space terms
+// with a GE sense (terms alias solver scratch; emit must copy). Returns the
+// number of cuts emitted.
+func (s *Solver) GomoryCuts(isInt []bool, max int, emit func(terms []Term, rhs float64)) int {
+	if !s.warm || max <= 0 || len(isInt) < s.nStruct {
+		return 0
+	}
+	for j := 0; j < s.nStruct; j++ {
+		if s.fixVal[j] != fixFree {
+			return 0 // node-local fixes would make the cuts non-global
+		}
+	}
+	// Reverse map: tableau column of a slack -> its original row.
+	s.gColRow = growI(s.gColRow, s.n)
+	for j := range s.gColRow[:s.n] {
+		s.gColRow[j] = -1
+	}
+	for r := 0; r < s.mAll; r++ {
+		if sl := s.slackOf[r]; sl >= 0 && s.activeRows[r] && sl < s.n {
+			s.gColRow[sl] = r
+		}
+	}
+	s.gAcc = growF(s.gAcc, s.nStruct)
+	s.gMark = growI(s.gMark, s.nStruct)
+	for j := range s.gMark[:s.nStruct] {
+		s.gMark[j] = 0
+	}
+	s.gTerms = s.gTerms[:0]
+
+	emitted := 0
+	for i := 0; i < s.m && emitted < max; i++ {
+		b := s.basis[i]
+		if b >= s.nStruct || !isInt[b] {
+			continue
+		}
+		f0 := s.rhs[i] - math.Floor(s.rhs[i])
+		if f0 < gmiMinFrac || f0 > 1-gmiMinFrac {
+			continue
+		}
+		if s.gomoryFromRow(i, f0, isInt, emit) {
+			emitted++
+		}
+	}
+	return emitted
+}
+
+// gomoryFromRow builds and emits one GMI cut from basis row i; reports
+// whether a cut was emitted.
+func (s *Solver) gomoryFromRow(i int, f0 float64, isInt []bool, emit func([]Term, float64)) bool {
+	row := s.rows[i]
+	ratio := f0 / (1 - f0)
+	s.gRound++
+	round := s.gRound
+	touched := s.gTouched[:0]
+	rhs := f0
+
+	// acc accumulates structural-space coefficients of the GE cut.
+	add := func(j int, c float64) {
+		if s.gMark[j] != round {
+			s.gMark[j] = round
+			s.gAcc[j] = 0
+			touched = append(touched, j)
+		}
+		s.gAcc[j] += c
+	}
+
+	ok := true
+	for j := 0; j < s.n && ok; j++ {
+		if s.inBasis[j] {
+			continue
+		}
+		a := row[j]
+		if a == 0 {
+			continue
+		}
+		switch {
+		case j < s.nStruct && isInt[j]:
+			// Integer nonbasic (possibly in complement orientation; the
+			// complement of an integer variable is integer).
+			f := a - math.Floor(a)
+			g := f
+			if f > f0 {
+				g = ratio * (1 - f)
+			}
+			if g < 1e-12 {
+				continue
+			}
+			if s.flipped[j] {
+				// g·x̄ = g·(u − x): constant to the RHS, negated term.
+				u := s.baseU[j]
+				if math.IsInf(u, 1) {
+					ok = false
+					break
+				}
+				rhs -= g * u
+				add(j, -g)
+			} else {
+				add(j, g)
+			}
+		case j < s.nStruct:
+			// Continuous structural nonbasic.
+			h := a
+			if a < 0 {
+				h = ratio * -a
+			}
+			if h < 1e-12 {
+				continue
+			}
+			if s.flipped[j] {
+				u := s.baseU[j]
+				if math.IsInf(u, 1) {
+					ok = false
+					break
+				}
+				rhs -= h * u
+				add(j, -h)
+			} else {
+				add(j, h)
+			}
+		default:
+			// Slack (continuous, >= 0) or artificial column.
+			if s.upper[j] == 0 {
+				continue // pinned artificial: identically zero
+			}
+			r := s.gColRow[j]
+			if r < 0 {
+				ok = false // untracked column; give up on this row
+				break
+			}
+			h := a
+			if a < 0 {
+				h = ratio * -a
+			}
+			if h < 1e-12 {
+				continue
+			}
+			c := &s.prob.Cons[r]
+			if c.Sense == GE {
+				// Built as −a·x + s = −b: s = a·x − b.
+				rhs += h * c.RHS
+				for _, t := range c.Terms {
+					add(t.Var, h*t.Coef)
+				}
+			} else {
+				// a·x + s = b: s = b − a·x.
+				rhs -= h * c.RHS
+				for _, t := range c.Terms {
+					add(t.Var, -h*t.Coef)
+				}
+			}
+		}
+	}
+	s.gTouched = touched
+	if !ok {
+		return false
+	}
+
+	// Assemble, with dynamic-range and density guards; tiny coefficients
+	// are dropped with a conservative RHS adjustment (for a GE row, a
+	// dropped c>0 term weakens the RHS by c·u).
+	maxAbs := 0.0
+	for _, j := range touched {
+		if v := math.Abs(s.gAcc[j]); v > maxAbs {
+			maxAbs = v
+		}
+	}
+	if maxAbs == 0 {
+		return false
+	}
+	s.gTerms = s.gTerms[:0]
+	for _, j := range touched {
+		c := s.gAcc[j]
+		if math.Abs(c) <= gmiDropTol*maxAbs {
+			if c > 0 {
+				u := s.prob.upper(j)
+				if math.IsInf(u, 1) {
+					return false
+				}
+				rhs -= c * u
+			}
+			continue
+		}
+		if math.Abs(c) < maxAbs/gmiMaxDynamic {
+			return false
+		}
+		s.gTerms = append(s.gTerms, Term{Var: j, Coef: c})
+	}
+	if len(s.gTerms) == 0 || len(s.gTerms) > gmiMaxTerms {
+		return false
+	}
+	emit(s.gTerms, rhs)
+	return true
+}

@@ -2,6 +2,7 @@ package lp
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"time"
 )
@@ -56,8 +57,16 @@ type Solver struct {
 	mAll    int // total constraint rows of the problem
 	m       int // active tableau rows
 	nStruct int // structural variables
-	nSlack  int // slack columns (one per inequality row, active or not)
+	nSlack  int // inequality rows of the problem (potential slack columns)
 	stride  int // allocated row width (worst-case column count)
+
+	// Row reserve: arena headroom for rows appended after Load (cutting
+	// planes). The arena is sized for mAllCap rows and nSlackCap slack
+	// columns up front, so appending and warm-activating rows never
+	// re-strides the tableau.
+	reserve   int
+	mAllCap   int // mAll + reserve
+	nSlackCap int // nSlack at Load + reserve
 
 	n         int // live total columns (structural+slack+artificial)
 	nArtStart int // first artificial column
@@ -86,8 +95,32 @@ type Solver struct {
 	maxIters int
 	deadline time.Time
 	ctx      context.Context
+	warmOnly bool
 	bland    bool
 	stall    int
+
+	// Incremental lazy-row scanning: varRows is a CSR index from structural
+	// variable to the inequality rows it appears in; scanX remembers, per
+	// variable, the value at which that variable's rows were last evaluated.
+	// A re-solve only re-evaluates rows whose variables moved since their
+	// last evaluation (beyond scanEps, which accumulates in scanX so drift
+	// cannot creep past the feasibility tolerance unchecked). scanValid
+	// marks that every inactive row was satisfied at scanX.
+	varRowsStart []int
+	varRowsList  []int32
+	scanX        []float64
+	scanValid    bool
+	loadMAll     int   // rows present at Load; later rows always re-scan
+	rowMark      []int // round-stamped per-row dedup for the scan
+	rowRound     int
+
+	// Gomory cut-generation scratch (see gomory.go).
+	gColRow  []int
+	gAcc     []float64
+	gMark    []int
+	gTouched []int
+	gTerms   []Term
+	gRound   int
 
 	// warm records that the tableau holds a dual-feasible basis from a
 	// completed solve, so ReSolve may start with dual simplex.
@@ -104,6 +137,7 @@ type Solver struct {
 		nArtStart  int
 		nInactive  int
 		activeRows []bool
+		slackOf    []int
 		rowsBuf    []float64
 		rhs        []float64
 		basis      []int
@@ -152,6 +186,20 @@ func growI8(s []int8, n int) []int8 {
 // before Load.
 func (s *Solver) SetLazy(on bool) { s.lazyMode = on }
 
+// SetRowReserve reserves arena headroom for n rows appended after Load (see
+// AppendRows). Must be called before Load; the reserve applies to every
+// subsequent Load until changed.
+func (s *Solver) SetRowReserve(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.reserve = n
+}
+
+// SpareRowCapacity reports how many more rows AppendRows can register before
+// the reserve declared by SetRowReserve is exhausted.
+func (s *Solver) SpareRowCapacity() int { return s.mAllCap - s.mAll }
+
 // Load compiles p into the solver's arena, growing it only when p is larger
 // than any previously loaded problem. All variables start free and the
 // first ReSolve performs a cold solve. The solver keeps a reference to p
@@ -166,37 +214,43 @@ func (s *Solver) Load(p *Problem) error {
 	s.m = 0
 	s.nStruct = p.NumVars
 
-	s.slackOf = growI(s.slackOf, s.mAll)
-	s.activeRows = growB(s.activeRows, s.mAll)
+	s.mAllCap = s.mAll + s.reserve
+	s.slackOf = growI(s.slackOf, s.mAllCap)
+	s.activeRows = growB(s.activeRows, s.mAllCap)
 	s.nSlack = 0
 	s.nInactive = 0
 	for i := range p.Cons {
+		// Slack columns are assigned when a row enters the tableau
+		// (rebuild, or warm activation), not up front: the live column
+		// count — and with it the cost of every pivot — then scales with
+		// the rows actually active, not with the thousands of lazy rows
+		// that never bind.
+		s.slackOf[i] = -1
 		if p.Cons[i].Sense == EQ {
-			s.slackOf[i] = -1
 			s.activeRows[i] = true
 			continue
 		}
-		s.slackOf[i] = p.NumVars + s.nSlack
 		s.nSlack++
-		// Only inequality rows may start inactive: they carry a slack
-		// column, so a later activation has a ready-made basic variable.
+		// Only inequality rows may start inactive.
 		s.activeRows[i] = !s.lazyMode
 		if s.lazyMode {
 			s.nInactive++
 		}
 	}
-	s.stride = p.NumVars + s.nSlack + s.mAll // worst case: one artificial per row
+	s.nSlackCap = s.nSlack + s.reserve
+	// Worst case: every row active with a slack plus one artificial each.
+	s.stride = p.NumVars + s.nSlackCap + s.mAllCap
 
-	s.rowsBuf = growF(s.rowsBuf, s.mAll*s.stride)
-	if cap(s.rows) < s.mAll {
-		s.rows = make([][]float64, s.mAll)
+	s.rowsBuf = growF(s.rowsBuf, s.mAllCap*s.stride)
+	if cap(s.rows) < s.mAllCap {
+		s.rows = make([][]float64, s.mAllCap)
 	}
-	s.rows = s.rows[:s.mAll]
-	for i := 0; i < s.mAll; i++ {
+	s.rows = s.rows[:s.mAllCap]
+	for i := 0; i < s.mAllCap; i++ {
 		s.rows[i] = s.rowsBuf[i*s.stride : (i+1)*s.stride]
 	}
-	s.rhs = growF(s.rhs, s.mAll)
-	s.basis = growI(s.basis, s.mAll)
+	s.rhs = growF(s.rhs, s.mAllCap)
+	s.basis = growI(s.basis, s.mAllCap)
 	s.rowOf = growI(s.rowOf, s.stride)
 	s.inBasis = growB(s.inBasis, s.stride)
 	s.upper = growF(s.upper, s.stride)
@@ -215,6 +269,52 @@ func (s *Solver) Load(p *Problem) error {
 	}
 	s.xbuf = growF(s.xbuf, n)
 	s.snap.valid = false
+
+	// Var→row CSR over the inequality rows loaded now; rows appended later
+	// (AppendRows) are few and are always re-scanned instead.
+	s.loadMAll = s.mAll
+	s.scanX = growF(s.scanX, n)
+	s.scanValid = false
+	s.rowMark = growI(s.rowMark, s.mAllCap)
+	for i := range s.rowMark[:s.mAllCap] {
+		s.rowMark[i] = 0
+	}
+	s.rowRound = 0
+	s.varRowsStart = growI(s.varRowsStart, p.NumVars+1)
+	for j := range s.varRowsStart[:p.NumVars+1] {
+		s.varRowsStart[j] = 0
+	}
+	nnz := 0
+	for i := range p.Cons {
+		if p.Cons[i].Sense == EQ {
+			continue
+		}
+		for _, t := range p.Cons[i].Terms {
+			s.varRowsStart[t.Var+1]++
+			nnz++
+		}
+	}
+	for j := 1; j <= p.NumVars; j++ {
+		s.varRowsStart[j] += s.varRowsStart[j-1]
+	}
+	if cap(s.varRowsList) < nnz {
+		s.varRowsList = make([]int32, nnz)
+	}
+	s.varRowsList = s.varRowsList[:nnz]
+	// Fill using varRowsStart as the write cursor, then shift it back.
+	for i := range p.Cons {
+		if p.Cons[i].Sense == EQ {
+			continue
+		}
+		for _, t := range p.Cons[i].Terms {
+			s.varRowsList[s.varRowsStart[t.Var]] = int32(i)
+			s.varRowsStart[t.Var]++
+		}
+	}
+	for j := p.NumVars; j > 0; j-- {
+		s.varRowsStart[j] = s.varRowsStart[j-1]
+	}
+	s.varRowsStart[0] = 0
 	return nil
 }
 
@@ -251,26 +351,32 @@ func (s *Solver) SaveBasis() {
 	sp.nInactive = s.nInactive
 	sp.activeRows = growB(sp.activeRows, s.mAll)
 	copy(sp.activeRows, s.activeRows[:s.mAll])
-	sp.rowsBuf = growF(sp.rowsBuf, s.m*s.stride)
-	copy(sp.rowsBuf, s.rowsBuf[:s.m*s.stride])
+	sp.slackOf = growI(sp.slackOf, s.mAll)
+	copy(sp.slackOf, s.slackOf[:s.mAll])
+	// Rows are packed at the live column width n, not the arena stride:
+	// the copy scales with the tableau actually in use.
+	sp.rowsBuf = growF(sp.rowsBuf, s.m*s.n)
+	for i := 0; i < s.m; i++ {
+		copy(sp.rowsBuf[i*s.n:(i+1)*s.n], s.rows[i][:s.n])
+	}
 	sp.rhs = growF(sp.rhs, s.m)
 	copy(sp.rhs, s.rhs[:s.m])
 	sp.basis = growI(sp.basis, s.m)
 	copy(sp.basis, s.basis[:s.m])
-	sp.rowOf = growI(sp.rowOf, s.stride)
-	copy(sp.rowOf, s.rowOf[:s.stride])
-	sp.inBasis = growB(sp.inBasis, s.stride)
-	copy(sp.inBasis, s.inBasis[:s.stride])
-	sp.upper = growF(sp.upper, s.stride)
-	copy(sp.upper, s.upper[:s.stride])
-	sp.flipped = growB(sp.flipped, s.stride)
-	copy(sp.flipped, s.flipped[:s.stride])
-	sp.banned = growB(sp.banned, s.stride)
-	copy(sp.banned, s.banned[:s.stride])
+	sp.rowOf = growI(sp.rowOf, s.n)
+	copy(sp.rowOf, s.rowOf[:s.n])
+	sp.inBasis = growB(sp.inBasis, s.n)
+	copy(sp.inBasis, s.inBasis[:s.n])
+	sp.upper = growF(sp.upper, s.n)
+	copy(sp.upper, s.upper[:s.n])
+	sp.flipped = growB(sp.flipped, s.n)
+	copy(sp.flipped, s.flipped[:s.n])
+	sp.banned = growB(sp.banned, s.n)
+	copy(sp.banned, s.banned[:s.n])
 	sp.fixVal = growI8(sp.fixVal, s.nStruct)
 	copy(sp.fixVal, s.fixVal[:s.nStruct])
-	sp.d = growF(sp.d, s.stride)
-	copy(sp.d, s.d[:s.stride])
+	sp.d = growF(sp.d, s.n)
+	copy(sp.d, s.d[:s.n])
 }
 
 // RestoreBasis reinstates the snapshot taken by SaveBasis, including its
@@ -281,23 +387,122 @@ func (s *Solver) RestoreBasis() bool {
 	if !sp.valid {
 		return false
 	}
+	oldN := s.n
 	s.m = sp.m
 	s.n = sp.n
 	s.nArtStart = sp.nArtStart
 	s.nInactive = sp.nInactive
+	s.scanValid = false // the restored point differs from the scanned one
 	copy(s.activeRows[:s.mAll], sp.activeRows)
-	copy(s.rowsBuf[:s.m*s.stride], sp.rowsBuf)
+	copy(s.slackOf[:s.mAll], sp.slackOf)
+	for i := 0; i < sp.m; i++ {
+		row := s.rows[i]
+		copy(row[:sp.n], sp.rowsBuf[i*sp.n:(i+1)*sp.n])
+		// Pivots after the save may have dirtied columns past the
+		// snapshot width; scrub them so a later activation can claim a
+		// clean column at the live edge.
+		for k := sp.n; k < oldN; k++ {
+			row[k] = 0
+		}
+	}
 	copy(s.rhs[:s.m], sp.rhs)
 	copy(s.basis[:s.m], sp.basis)
-	copy(s.rowOf[:s.stride], sp.rowOf)
-	copy(s.inBasis[:s.stride], sp.inBasis)
-	copy(s.upper[:s.stride], sp.upper)
-	copy(s.flipped[:s.stride], sp.flipped)
-	copy(s.banned[:s.stride], sp.banned)
+	copy(s.rowOf[:s.n], sp.rowOf)
+	copy(s.inBasis[:s.n], sp.inBasis)
+	copy(s.upper[:s.n], sp.upper)
+	copy(s.flipped[:s.n], sp.flipped)
+	copy(s.banned[:s.n], sp.banned)
 	copy(s.fixVal[:s.nStruct], sp.fixVal)
-	copy(s.d[:s.stride], sp.d)
+	copy(s.d[:s.n], sp.d)
 	s.warm = true
 	return true
+}
+
+// AppendRows registers constraint rows that the caller appended to the
+// loaded Problem's Cons slice since Load (or the previous AppendRows call),
+// without a cold rebuild: each new row is given a slack column from the
+// reserve declared by SetRowReserve and starts *inactive*, so the next
+// ReSolve warm-activates it only if the current optimum violates it — the
+// cutting-plane loop of internal/milp appends cover and clique cuts this
+// way and repairs them with a handful of dual-simplex pivots. Appended rows
+// must be inequalities (LE or GE). The call invalidates any saved basis
+// (SaveBasis snapshots taken before an append cannot describe the grown
+// problem). Returns the number of rows registered and an error when a row is
+// malformed or the reserve is exhausted.
+func (s *Solver) AppendRows() (int, error) {
+	p := s.prob
+	if p == nil {
+		return 0, fmt.Errorf("lp: AppendRows before Load")
+	}
+	added := 0
+	for i := s.mAll; i < len(p.Cons); i++ {
+		c := &p.Cons[i]
+		if c.Sense == EQ {
+			return added, fmt.Errorf("lp: appended row %d is an equality", i)
+		}
+		for _, t := range c.Terms {
+			if t.Var < 0 || t.Var >= s.nStruct {
+				return added, fmt.Errorf("lp: appended row %d references variable %d outside [0,%d)", i, t.Var, s.nStruct)
+			}
+			if math.IsNaN(t.Coef) || math.IsInf(t.Coef, 0) {
+				return added, fmt.Errorf("lp: appended row %d has non-finite coefficient", i)
+			}
+		}
+		if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
+			return added, fmt.Errorf("lp: appended row %d has non-finite right-hand side", i)
+		}
+		if s.mAll >= s.mAllCap {
+			return added, fmt.Errorf("lp: row reserve exhausted (%d rows)", s.reserve)
+		}
+		// The row starts inactive; its slack column is assigned on
+		// activation, like any other lazy row.
+		s.slackOf[s.mAll] = -1
+		s.activeRows[s.mAll] = false
+		s.nSlack++
+		s.mAll++
+		s.nInactive++
+		added++
+	}
+	if added > 0 {
+		s.snap.valid = false
+		s.scanValid = false
+	}
+	return added, nil
+}
+
+// ReducedCost returns the reduced cost of structural variable j at the
+// current basis, together with the bound the variable is nonbasic at. The
+// value is reported in the solver's minimisation space for the variable's
+// *current* orientation: after an Optimal ReSolve it is non-negative, and
+// moving j off its bound by t >= 0 (up from 0 when atUpper is false, down
+// from its upper bound when true) degrades the objective by at least d·t in
+// the LP relaxation — the inequality branch-and-bound uses for reduced-cost
+// bound fixing. Basic variables report 0.
+func (s *Solver) ReducedCost(j int) (d float64, atUpper bool) {
+	if s.inBasis[j] {
+		return 0, s.flipped[j]
+	}
+	return s.d[j], s.flipped[j]
+}
+
+// RowDual returns the dual multiplier of original constraint row i at the
+// current (optimal) basis: the sensitivity ∂objective/∂RHS_i in the
+// problem's minimisation space. Inactive lazy rows and equality rows (whose
+// slack column is not kept) report 0.
+func (s *Solver) RowDual(i int) float64 {
+	if i < 0 || i >= s.mAll || !s.activeRows[i] {
+		return 0
+	}
+	slack := s.slackOf[i]
+	if slack < 0 {
+		return 0
+	}
+	// d_slack = −y for the built row a·x + sc·s = b; the original-row
+	// multiplier is y_orig = −d_slack/sc with sc = +1 (LE) or −1 (GE).
+	if s.prob.Cons[i].Sense == GE {
+		return s.d[slack]
+	}
+	return -s.d[slack]
 }
 
 // Fix pins structural variable j at 0 (atUpper false) or at its upper bound
@@ -382,7 +587,9 @@ func (s *Solver) ReSolve(opts Options) Solution {
 			if s.nInactive > 0 && s.activateViolated(x) > 0 {
 				continue // repair the newly active rows warm
 			}
-			feas := s.prob.CheckFeasible(x)
+			// The zero-activation scan above certified the inactive rows;
+			// only bounds and active rows remain to check.
+			feas := s.checkFeasibleActive(x)
 			if !feas && !coldDone {
 				// Numerical drift accumulated across pivots: refactorise
 				// from scratch. The cold path re-derives everything from
@@ -414,7 +621,7 @@ func (s *Solver) ReSolve(opts Options) Solution {
 			}
 			return Solution{Status: Unbounded, X: s.extract(), Iters: s.iters}
 		default: // IterLimit
-			if s.expired() || coldDone {
+			if s.expired() || coldDone || s.warmOnly {
 				return Solution{Status: IterLimit, Iters: s.iters}
 			}
 			// Pivot budget exhausted on the warm path without an external
@@ -439,6 +646,7 @@ func (s *Solver) expired() bool {
 func (s *Solver) installOpts(opts Options) {
 	s.deadline = opts.Deadline
 	s.ctx = opts.Ctx
+	s.warmOnly = opts.WarmOnly
 	s.maxIters = opts.MaxIters
 	if s.maxIters <= 0 {
 		s.maxIters = 200 * (s.mAll + s.nStruct + s.nSlack + 10)
@@ -487,31 +695,110 @@ func (s *Solver) coldPass() Status {
 	return st
 }
 
-// activateViolated evaluates every inactive row at x and warm-activates the
-// violated ones; returns how many were activated.
+// scanEps is the per-variable movement below which a variable's rows are
+// not re-evaluated by the incremental scan. Unchecked drift per variable is
+// bounded by 2·scanEps, which a row's coefficient sum keeps well inside the
+// FeasTol-scaled row tolerances.
+const scanEps = 1e-9
+
+// activateViolated evaluates the inactive rows at x and warm-activates the
+// violated ones; returns how many were activated. After a full first scan
+// it runs incrementally: only rows containing a variable that moved since
+// that variable's rows were last evaluated (plus any rows appended after
+// Load) are re-evaluated — on SQPR's models a node re-solve moves a handful
+// of variables while thousands of availability/acyclicity rows stay put.
 func (s *Solver) activateViolated(x []float64) int {
-	p := s.prob
 	count := 0
-	for i := range p.Cons {
-		if s.activeRows[i] {
+	if !s.scanValid {
+		for i := 0; i < s.mAll; i++ {
+			if !s.activeRows[i] && s.rowViolated(i, x) {
+				s.activateRow(i)
+				count++
+			}
+		}
+		copy(s.scanX[:s.nStruct], x[:s.nStruct])
+		s.scanValid = true
+		return count
+	}
+	s.rowRound++
+	round := s.rowRound
+	for j := 0; j < s.nStruct; j++ {
+		d := x[j] - s.scanX[j]
+		if d < scanEps && d > -scanEps {
 			continue
 		}
-		c := &p.Cons[i]
-		lhs := Eval(c.Terms, x)
-		tol := FeasTol * (1 + math.Abs(c.RHS))
-		violated := false
-		switch c.Sense {
-		case LE:
-			violated = lhs > c.RHS+tol
-		case GE:
-			violated = lhs < c.RHS-tol
+		s.scanX[j] = x[j]
+		for _, ri := range s.varRowsList[s.varRowsStart[j]:s.varRowsStart[j+1]] {
+			i := int(ri)
+			if s.rowMark[i] == round || s.activeRows[i] {
+				s.rowMark[i] = round
+				continue
+			}
+			s.rowMark[i] = round
+			if s.rowViolated(i, x) {
+				s.activateRow(i)
+				count++
+			}
 		}
-		if violated {
+	}
+	// Rows appended after Load are outside the CSR index: always evaluate.
+	for i := s.loadMAll; i < s.mAll; i++ {
+		if !s.activeRows[i] && s.rowViolated(i, x) {
 			s.activateRow(i)
 			count++
 		}
 	}
 	return count
+}
+
+// rowViolated evaluates inequality row i at x against its tolerance.
+func (s *Solver) rowViolated(i int, x []float64) bool {
+	c := &s.prob.Cons[i]
+	lhs := Eval(c.Terms, x)
+	tol := FeasTol * (1 + math.Abs(c.RHS))
+	switch c.Sense {
+	case LE:
+		return lhs > c.RHS+tol
+	case GE:
+		return lhs < c.RHS-tol
+	}
+	return false
+}
+
+// checkFeasibleActive verifies bounds and the *active* rows of the problem
+// at x. Together with a zero-activation scan of the inactive rows it
+// certifies full feasibility without re-evaluating the (far larger)
+// inactive set a second time.
+func (s *Solver) checkFeasibleActive(x []float64) bool {
+	p := s.prob
+	for j := 0; j < p.NumVars; j++ {
+		if x[j] < -FeasTol || x[j] > p.upper(j)+FeasTol {
+			return false
+		}
+	}
+	for i := 0; i < s.mAll; i++ {
+		if !s.activeRows[i] {
+			continue
+		}
+		c := &p.Cons[i]
+		lhs := Eval(c.Terms, x)
+		tol := FeasTol * (1 + math.Abs(c.RHS))
+		switch c.Sense {
+		case LE:
+			if lhs > c.RHS+tol {
+				return false
+			}
+		case GE:
+			if lhs < c.RHS-tol {
+				return false
+			}
+		case EQ:
+			if math.Abs(lhs-c.RHS) > tol {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // activateAll brings every inactive row in (used before an Unbounded
@@ -524,13 +811,28 @@ func (s *Solver) activateAll() {
 }
 
 // activateRow appends inactive inequality row i to the warm tableau: the
-// row is expressed in the current orientation, basic variables are
-// eliminated, and its slack becomes basic — primal-infeasible exactly when
-// the row is violated, which the next dual-simplex pass repairs. Reduced
-// costs are untouched: a zero-cost basic slack changes no other column's
-// reduced cost, so dual feasibility survives activation.
+// row is given a fresh slack column at the live edge of the tableau,
+// expressed in the current orientation, basic variables are eliminated, and
+// the slack becomes basic — primal-infeasible exactly when the row is
+// violated, which the next dual-simplex pass repairs. Reduced costs are
+// untouched: a zero-cost basic slack changes no other column's reduced
+// cost, so dual feasibility survives activation.
 func (s *Solver) activateRow(i int) {
 	c := &s.prob.Cons[i]
+	// Claim column s.n for the slack and scrub any stale state there (the
+	// slot may have been used before a basis restore rewound the tableau).
+	s.slackOf[i] = s.n
+	for r := 0; r < s.m; r++ {
+		s.rows[r][s.n] = 0
+	}
+	s.upper[s.n] = math.Inf(1)
+	s.baseU[s.n] = math.Inf(1)
+	s.flipped[s.n] = false
+	s.inBasis[s.n] = false
+	s.rowOf[s.n] = -1
+	s.d[s.n] = 0
+	s.n++
+
 	slot := s.m
 	row := s.rows[slot]
 	for k := 0; k < s.n; k++ {
@@ -695,6 +997,7 @@ func (s *Solver) extract() []float64 {
 func (s *Solver) rebuild() {
 	p := s.prob
 	n := s.nStruct
+	s.scanValid = false // cold rebuilds move the point arbitrarily
 	for j := 0; j < s.stride; j++ {
 		s.upper[j] = math.Inf(1)
 		s.baseU[j] = math.Inf(1)
@@ -719,22 +1022,35 @@ func (s *Solver) rebuild() {
 			s.flipped[j] = true
 		}
 	}
-	for i := range p.Cons {
-		if !s.activeRows[i] && s.slackOf[i] >= 0 {
-			s.banned[s.slackOf[i]] = true
+	// Assign slack columns densely over the active inequality rows; rows
+	// activated warm later take fresh columns at the then-current s.n.
+	nSlackActive := 0
+	for i := 0; i < s.mAll; i++ {
+		if !s.activeRows[i] || s.prob.Cons[i].Sense == EQ {
+			s.slackOf[i] = -1
+			continue
 		}
+		s.slackOf[i] = n + nSlackActive
+		nSlackActive++
 	}
 
 	slot := 0
 	nArt := 0
-	artBase := n + s.nSlack
+	artBase := n + nSlackActive
+	// Zero the rows only out to the worst-case live width of this rebuild
+	// (slacks assigned above plus at most one artificial per row); columns
+	// claimed later by warm activations are scrubbed at claim time.
+	zlim := artBase + s.mAll
+	if zlim > s.stride {
+		zlim = s.stride
+	}
 	for i := range p.Cons {
 		if !s.activeRows[i] {
 			continue
 		}
 		c := &p.Cons[i]
 		row := s.rows[slot]
-		for k := 0; k < s.stride; k++ {
+		for k := 0; k < zlim; k++ {
 			row[k] = 0
 		}
 		rhs := c.RHS

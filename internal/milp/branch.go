@@ -12,14 +12,47 @@ import (
 	"sqpr/internal/lp"
 )
 
+// Tuning constants of the tree-reduction layer.
+const (
+	// cutRowReserve is the lp.Solver row headroom reserved for cutting
+	// planes; separation never emits more cuts than fit.
+	cutRowReserve = 96
+	// cutMaxRounds bounds the root separate→append→re-solve loop.
+	cutMaxRounds = 12
+	// probeMaxDepthSmall bounds how deep reliability probing
+	// (strong-branching lite) runs on small LPs (at most probeSmallN
+	// active variables), where the two capped solves per candidate are
+	// cheap and visibly shrink proof trees. Larger LPs never probe: at
+	// their tableau width the probes cost more than the branching mistakes
+	// they would prevent.
+	probeMaxDepthSmall = 4
+	probeSmallN        = 128
+	// probeMaxCand caps how many unreliable candidates one node probes.
+	probeMaxCand = 4
+	// probeIterCap bounds the dual-simplex pivots of one probe solve.
+	probeIterCap = 50
+	// pcReliable is the observation count per direction below which a
+	// candidate's pseudo-cost is considered unreliable.
+	pcReliable = 1
+	// gmiMaxPerRound caps Gomory mixed-integer cuts per separation round.
+	gmiMaxPerRound = 24
+)
+
 // bbNode is one branch-and-bound subproblem: a set of pinned binaries
 // (indices into compiled.active space) plus bookkeeping for best-first
-// ordering.
+// ordering and pseudo-cost updates. Nodes are pooled on the compiled arena.
 type bbNode struct {
 	bounds []boundFix
 	depth  int
 	est    float64 // parent LP objective (minimisation space), for pruning
 	seq    int     // insertion order, deterministic tie-break
+
+	// Branching bookkeeping: the variable whose pin created this node, so
+	// the node's own relaxation updates that variable's pseudo-cost.
+	branchVar  int // LP-active index, -1 for the root
+	branchUp   bool
+	parentEst  float64
+	branchDist float64 // fractional distance moved by the pin
 }
 
 type boundFix struct {
@@ -50,10 +83,10 @@ func (h *nodeHeap) Pop() any {
 	return it
 }
 
-// solverPool recycles lp.Solver arenas across Solve calls, so a long-lived
-// planner's branch-and-bound stops allocating fresh tableaus per
-// submission.
-var solverPool = sync.Pool{New: func() any { return lp.NewSolver() }}
+// workerPool recycles workers — their lp.Solver arenas and all per-node
+// scratch — across Solve calls, so a long-lived planner's branch-and-bound
+// stops allocating fresh tableaus and buffers per submission.
+var workerPool = sync.Pool{New: func() any { return &worker{slv: lp.NewSolver()} }}
 
 // Solve optimises the model. The returned Result always carries the best
 // incumbent found, mirroring the paper's use of a solver timeout after which
@@ -61,6 +94,12 @@ var solverPool = sync.Pool{New: func() any { return lp.NewSolver() }}
 // greater than one the branch-and-bound explores nodes from a shared
 // best-first queue on that many goroutines; Workers <= 1 runs the identical
 // search loop inline and is fully deterministic.
+//
+// Unless Options.DisableTreeReduction is set, a tree-reduction layer runs
+// around the search: presolve before compilation, cover/clique cuts at the
+// root, reduced-cost bound fixing after every node LP, and pseudo-cost
+// branching with reliability probing. None of these change which integer
+// points are optimal — they only shrink the tree that proves it.
 func (m *Model) Solve(opts Options) Result {
 	intTol := opts.IntTol
 	if intTol == 0 {
@@ -71,22 +110,25 @@ func (m *Model) Solve(opts Options) Result {
 		maxNodes = 10000
 	}
 
-	c, err := m.compile()
+	c, err := m.compile(!opts.DisableTreeReduction)
 	if err != nil {
 		return Result{Status: InfeasibleMIP, Bound: math.Inf(-1)}
 	}
 
 	s := &search{
-		c:        c,
-		ctx:      opts.Ctx,
-		intTol:   intTol,
-		maxNodes: maxNodes,
-		deadline: opts.Deadline,
-		gapTol:   opts.GapTol,
-		absGap:   opts.AbsGapTol,
-		bestObj:  math.Inf(1), // minimisation space
+		c:          c,
+		ctx:        opts.Ctx,
+		reduce:     !opts.DisableTreeReduction,
+		intTol:     intTol,
+		maxNodes:   maxNodes,
+		stallNodes: opts.StallNodes,
+		deadline:   opts.Deadline,
+		gapTol:     opts.GapTol,
+		absGap:     opts.AbsGapTol,
+		bestObj:    math.Inf(1), // minimisation space
 	}
 	s.cond.L = &s.mu
+	s.initScratch()
 
 	// Warm start: accept an externally computed feasible point.
 	if opts.Incumbent != nil && len(opts.Incumbent) == len(m.vars) {
@@ -95,7 +137,10 @@ func (m *Model) Solve(opts Options) Result {
 
 	s.run(opts.Workers)
 
-	res := Result{Nodes: s.nodes, LPIters: s.lpIters, Cancelled: s.cancelled}
+	res := Result{
+		Nodes: s.nodes, LPIters: s.lpIters, Cancelled: s.cancelled, Stalled: s.stalled,
+		Cuts: s.cuts, Fixings: s.fixings, PresolveFixed: c.presolveFixed,
+	}
 	switch {
 	case s.bestX == nil && s.provedInfeasible:
 		res.Status = InfeasibleMIP
@@ -107,7 +152,8 @@ func (m *Model) Solve(opts Options) Result {
 		res.Status = FeasibleMIP
 	}
 	if s.bestX != nil {
-		res.X = s.bestX
+		// bestX lives in the compiled scratch arena; the Result owns its X.
+		res.X = append([]float64(nil), s.bestX...)
 		res.Objective = c.modelObjective(s.bestX)
 	}
 	if !math.IsInf(s.rootBound, 0) {
@@ -124,11 +170,15 @@ func (m *Model) Solve(opts Options) Result {
 type search struct {
 	c        *compiled
 	ctx      context.Context
+	reduce   bool // tree-reduction layer enabled
 	intTol   float64
 	maxNodes int
 	deadline time.Time
 	gapTol   float64
 	absGap   float64
+
+	stallNodes  int // stop after this many nodes without incumbent progress
+	lastImprove int // node count at the last incumbent improvement
 
 	mu   sync.Mutex
 	cond sync.Cond
@@ -139,17 +189,79 @@ type search struct {
 
 	nodes   int
 	lpIters int
+	cuts    int
+	fixings int
 
-	bestX   []float64 // model-space incumbent
+	bestX   []float64 // model-space incumbent (aliases compiled scratch)
 	bestObj float64   // minimisation-space objective of incumbent
 
+	// Pseudo-costs per LP-active variable: sums of per-unit objective
+	// degradation and observation counts, plus global averages used for
+	// uninitialised candidates. Guarded by mu.
+	pcUp, pcDn   []float64
+	pcUpN, pcDnN []int32
+	pcSum        float64
+	pcCnt        int32
+
 	rootBound        float64
+	stalled          bool // ended via the stagnation stop
 	provedOptimal    bool
 	provedInfeasible bool
 	truncated        bool // node/deadline budget exhausted mid-search
 	proofLost        bool // an LP hit its budget: keep searching, drop proof
 	gapHit           bool
 	cancelled        bool
+}
+
+// initScratch wires the per-Solve scratch (heap backing, node pool,
+// pseudo-cost arrays) to the compiled arena so repeated Solves reuse it.
+func (s *search) initScratch() {
+	c := s.c
+	nAct := len(c.active)
+	c.pcUp = growFloats(c.pcUp, nAct)
+	c.pcDn = growFloats(c.pcDn, nAct)
+	c.pcUpN = growInt32s(c.pcUpN, nAct)
+	c.pcDnN = growInt32s(c.pcDnN, nAct)
+	for k := 0; k < nAct; k++ {
+		c.pcUp[k], c.pcDn[k] = 0, 0
+		c.pcUpN[k], c.pcDnN[k] = 0, 0
+	}
+	s.pcUp, s.pcDn = c.pcUp, c.pcDn
+	s.pcUpN, s.pcDnN = c.pcUpN, c.pcDnN
+	s.open = c.openScratch[:0]
+}
+
+// finishScratch recycles remaining open nodes and returns the heap backing
+// to the arena.
+func (s *search) finishScratch() {
+	for _, n := range s.open {
+		if n != nil {
+			s.freeNode(n)
+		}
+	}
+	s.open = s.open[:0]
+	s.c.openScratch = s.open
+}
+
+// newNode takes a node from the pool (caller holds mu, or the search is in
+// its single-threaded root phase).
+func (s *search) newNode() *bbNode {
+	c := s.c
+	if n := len(c.nodeFree); n > 0 {
+		nd := c.nodeFree[n-1]
+		c.nodeFree[n-1] = nil
+		c.nodeFree = c.nodeFree[:n-1]
+		nd.bounds = nd.bounds[:0]
+		nd.depth, nd.est, nd.seq = 0, 0, 0
+		nd.branchVar, nd.branchUp, nd.parentEst, nd.branchDist = -1, false, 0, 0
+		return nd
+	}
+	return &bbNode{branchVar: -1}
+}
+
+// freeNode recycles a fathomed node (caller holds mu or is single-threaded).
+func (s *search) freeNode(n *bbNode) {
+	s.c.nodeFree = append(s.c.nodeFree, n)
 }
 
 // stopped reports (under mu) whether workers must wind down.
@@ -159,9 +271,10 @@ func (s *search) stopped() bool {
 
 // validateCandidate checks a candidate full-model point against bounds,
 // integrality and every row, returning its minimisation-space objective.
-// It reads only model state that is immutable during a search, so workers
-// call it WITHOUT holding s.mu — this is the expensive O(rows·terms) part
-// of incumbent acceptance, kept off the shared lock.
+// Validation runs against the caller's original rows — not the presolved or
+// cut-extended image — so an accepted incumbent is feasible for the exact
+// model as built. It reads only state that is immutable during a search, so
+// workers call it WITHOUT holding s.mu.
 func (s *search) validateCandidate(x []float64) (float64, bool) {
 	m := s.c.m
 	if len(x) != len(m.vars) {
@@ -204,13 +317,14 @@ func (s *search) validateCandidate(x []float64) (float64, bool) {
 }
 
 // installIncumbent installs a pre-validated point if it improves the
-// incumbent. Caller holds s.mu.
+// incumbent, copying it into the arena-owned incumbent buffer. Caller holds
+// s.mu (or the search is single-threaded).
 func (s *search) installIncumbent(x []float64, lpObj float64) bool {
 	if lpObj < s.bestObj-1e-12 {
 		s.bestObj = lpObj
-		cp := make([]float64, len(x))
-		copy(cp, x)
-		s.bestX = cp
+		s.c.bestXBuf = append(s.c.bestXBuf[:0], x...)
+		s.bestX = s.c.bestXBuf
+		s.lastImprove = s.nodes
 		return true
 	}
 	return false
@@ -226,40 +340,47 @@ func (s *search) acceptModelPoint(x []float64) bool {
 	return s.installIncumbent(x, lpObj)
 }
 
-// run drives the best-first branch and bound on the given number of
-// workers (clamped to GOMAXPROCS — each worker owns a dense solver arena,
-// so oversubscribing buys contention and memory, not speed). The search
-// state after run reflects whether the tree was exhausted (proof) or a
-// budget/gap/cancellation cut it short.
+// run drives the search: the single-threaded root phase (root LP, dive
+// heuristic, cutting-plane loop, root branching) followed by the best-first
+// tree loop on the given number of workers (clamped to GOMAXPROCS — each
+// worker owns a dense solver arena, so oversubscribing buys contention and
+// memory, not speed). The search state after run reflects whether the tree
+// was exhausted (proof) or a budget/gap/cancellation cut it short.
 func (s *search) run(workers int) {
 	if max := runtime.GOMAXPROCS(0); workers > max {
 		workers = max
 	}
 	s.rootBound = math.Inf(-1)
-	s.push(&bbNode{est: math.Inf(-1)})
-	if workers <= 1 {
-		w := newWorker(s)
-		defer w.release()
-		w.loop()
-	} else {
-		var wg sync.WaitGroup
-		for i := 0; i < workers; i++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				w := newWorker(s)
-				defer w.release()
-				w.loop()
-			}()
+
+	w0 := newWorker(s)
+	s.processRoot(w0)
+	if !s.stopped() && len(s.open) > 0 {
+		if workers <= 1 {
+			w0.loop()
+		} else {
+			var wg sync.WaitGroup
+			for i := 1; i < workers; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					w := newWorker(s)
+					defer w.release()
+					w.loop()
+				}()
+			}
+			w0.loop()
+			wg.Wait()
 		}
-		wg.Wait()
 	}
+	w0.release()
+
 	if !s.stopped() && !s.proofLost && len(s.open) == 0 && s.busy == 0 {
 		s.provedOptimal = s.bestX != nil
 		if s.bestX == nil {
 			s.provedInfeasible = true
 		}
 	}
+	s.finishScratch()
 }
 
 // push enqueues a node (caller holds mu, or the search is single-threaded
@@ -285,9 +406,23 @@ func (s *search) gapReached() bool {
 	return s.absGap > 0 && gap <= s.absGap
 }
 
+// fracCand is one fractional binary of a node relaxation.
+type fracCand struct {
+	k    int     // LP-active index
+	val  float64 // relaxation value
+	frac float64 // distance from the nearest integer
+}
+
+// probeObs is one strong-branching observation made by reliability probing.
+type probeObs struct {
+	k    int
+	up   bool
+	unit float64 // objective degradation per unit of fractional distance
+}
+
 // worker owns one warm LP solver over the compiled base problem plus the
-// scratch buffers for bound diffing, so processing a node re-solves the
-// same tableau in place instead of rebuilding an LP from scratch.
+// scratch buffers for bound diffing, candidate points, reduced costs and
+// probing, so processing a node allocates nothing in steady state.
 type worker struct {
 	s       *search
 	slv     *lp.Solver
@@ -302,46 +437,108 @@ type worker struct {
 	// re-solve stays pure dual simplex (bound tightenings only).
 	hasSnap     bool
 	snapApplied []int8
+
+	// Per-node scratch of the tree-reduction layer.
+	fracs      []fracCand // fractional binaries of the current relaxation
+	rc         []float64  // reduced cost per active var at the node optimum
+	rcUp       []bool     // bound the variable is nonbasic at
+	rcFix      []boundFix // bound fixes inherited by this node's children
+	cutoffHint float64    // bestObj-derived cutoff captured at the last unlock
+	probeList  []int      // candidate indices selected for probing
+	probeObs   []probeObs
+	candBuf    []float64 // model-space integral candidate
+	diveBuf    []float64 // model-space dive candidate
+	diveBounds []boundFix
 }
 
 func newWorker(s *search) *worker {
+	w := workerPool.Get().(*worker)
 	nAct := len(s.c.active)
-	w := &worker{
-		s:           s,
-		slv:         solverPool.Get().(*lp.Solver),
-		target:      make([]int8, nAct),
-		applied:     make([]int8, nAct),
-		xAct:        make([]float64, nAct),
-		xDive:       make([]float64, nAct),
-		snapApplied: make([]int8, nAct),
+	nv := len(s.c.m.vars)
+	w.s = s
+	w.loaded = false
+	w.hasSnap = false
+	w.target = growInt8s(w.target, nAct)
+	w.applied = growInt8s(w.applied, nAct)
+	w.snapApplied = growInt8s(w.snapApplied, nAct)
+	for k := 0; k < nAct; k++ {
+		w.target[k], w.applied[k], w.snapApplied[k] = nodeFree, nodeFree, nodeFree
 	}
+	w.xAct = growFloats(w.xAct, nAct)
+	w.xDive = growFloats(w.xDive, nAct)
+	w.rc = growFloats(w.rc, nAct)
+	w.rcUp = growBools(w.rcUp, nAct)
+	w.candBuf = growFloats(w.candBuf, nv)
+	w.diveBuf = growFloats(w.diveBuf, nv)
+	w.fracs = w.fracs[:0]
+	w.rcFix = w.rcFix[:0]
+	w.probeList = w.probeList[:0]
+	w.probeObs = w.probeObs[:0]
+	w.diveBounds = w.diveBounds[:0]
 	return w
 }
 
-// release returns the worker's solver arena to the pool, detached from the
-// model so the pool does not keep a dead planner's compiled constraint
-// storage (or the snapshot arena's view of it) reachable.
+// release detaches the worker's solver from the model — so the pool does
+// not keep a dead planner's compiled constraint storage reachable — and
+// recycles the worker with all its scratch.
 func (w *worker) release() {
 	w.slv.Detach()
-	solverPool.Put(w.slv)
-	w.slv = nil
+	w.s = nil
+	workerPool.Put(w)
 }
 
 // ensureLoaded lazily compiles the base LP into this worker's solver; the
-// arena is reused from previous Solve calls when large enough.
+// arena is reused from previous Solve calls when large enough. Tree workers
+// load after the root phase froze the cut pool, so they carry no cut-row
+// reserve: every pivot runs at the exact problem width.
 func (w *worker) ensureLoaded() bool {
 	if w.loaded {
 		return true
 	}
 	// Lazy rows: SQPR models carry thousands of availability/acyclicity
 	// rows of which only a handful bind at any node optimum, so the active
-	// tableau stays small.
+	// tableau stays small. Cut-pool rows load lazily too: a worker
+	// activates a cut only when its subtree violates it.
 	w.slv.SetLazy(true)
+	w.slv.SetRowReserve(0)
 	if err := w.slv.Load(&w.s.c.base); err != nil {
 		return false
 	}
 	w.loaded = true
 	return true
+}
+
+// reloadRoot reloads the base LP (including any pooled cuts) with the given
+// row reserve, resetting the worker's applied-pin view. The next solve is
+// cold. Root phase only.
+func (w *worker) reloadRoot(reserve int) bool {
+	w.slv.SetLazy(true)
+	w.slv.SetRowReserve(reserve)
+	if err := w.slv.Load(&w.s.c.base); err != nil {
+		return false
+	}
+	for k := range w.applied {
+		w.applied[k] = nodeFree
+	}
+	w.hasSnap = false
+	w.loaded = true
+	return true
+}
+
+// resolveRoot re-solves the unpinned root and classifies it; ok is false
+// when the root phase must end (infeasibility proven or proof lost).
+func (s *search) resolveRoot(w *worker) (sol lp.Solution, xAct []float64, ok bool) {
+	sol, xAct = w.solveNode(nil, w.xAct)
+	s.lpIters += sol.Iters
+	if sol.Status == lp.Infeasible {
+		s.provedInfeasible = s.bestX == nil
+		return sol, nil, false
+	}
+	if sol.Status != lp.Optimal || !sol.Feasible {
+		s.proofLost = true
+		return sol, nil, false
+	}
+	return sol, xAct, true
 }
 
 const (
@@ -421,13 +618,194 @@ func (w *worker) solveNode(bounds []boundFix, into []float64) (lp.Solution, []fl
 	return sol, into
 }
 
+// processRoot runs the single-threaded root phase: the root relaxation, the
+// rounding-dive heuristic, the cutting-plane loop, root reduced-cost fixing
+// and the first branch. No lock is held — workers start only afterwards.
+func (s *search) processRoot(w *worker) {
+	if s.ctx != nil && s.ctx.Err() != nil {
+		s.cancelled, s.truncated = true, true
+		return
+	}
+	if s.nodes >= s.maxNodes || (!s.deadline.IsZero() && time.Now().After(s.deadline)) {
+		s.truncated = true
+		return
+	}
+	s.nodes++
+
+	sol, xAct := w.solveNode(nil, w.xAct)
+	s.lpIters += sol.Iters
+	switch {
+	case sol.Status == lp.Infeasible:
+		s.provedInfeasible = true
+		return
+	case sol.Status == lp.IterLimit && !sol.Feasible:
+		s.proofLost = true
+		return
+	case sol.Status == lp.Unbounded || !sol.Feasible:
+		// Unbounded relaxations cannot be bounded; the search ends with
+		// whatever incumbent the warm start supplied.
+		return
+	}
+	relax := sol.Objective
+
+	// Rounding dive before cuts: pins every binary to its rounded root
+	// value and re-solves; a feasible result seeds the incumbent that both
+	// reduced-cost fixing and pruning need. When the caller supplied a warm
+	// start (SQPR's greedy plan) the incumbent already exists, so the dive
+	// LP — and the root re-solve it forces, since it leaves the solver at
+	// its leaf — are skipped.
+	var ok bool
+	if s.bestX == nil {
+		if cand, obj := w.dive(xAct); cand != nil {
+			s.installIncumbent(cand, obj)
+		}
+		if sol, xAct, ok = s.resolveRoot(w); !ok {
+			return
+		}
+		relax = sol.Objective
+	}
+
+	// Cutting-plane loop: separate violated cover/clique cuts and Gomory
+	// mixed-integer cuts against the root optimum, append them warm,
+	// re-solve, repeat. Every cut lands in the pool (base.Cons), so tree
+	// workers load them lazily. The first separation runs against the
+	// reserve-free tableau: only when cuts actually exist does the solver
+	// re-arm with append headroom — and it sheds that headroom again before
+	// the tree search, so node re-solves always pivot at the exact problem
+	// width.
+	if s.reduce {
+		// Total pool budget: cuts beyond a multiple of the model's own row
+		// count make every pivot pay more than the bound improvement is
+		// worth; small models get a floor so the Gomory pass can work.
+		cutCap := s.c.baseRows * 3
+		if cutCap < 12 {
+			cutCap = 12
+		}
+		if cutCap > cutRowReserve {
+			cutCap = cutRowReserve
+		}
+		if added := s.separateRound(w, xAct, cutCap); added > 0 {
+			s.cuts += added
+			if !w.reloadRoot(cutRowReserve) {
+				s.proofLost = true
+				return
+			}
+			if sol, xAct, ok = s.resolveRoot(w); !ok {
+				return
+			}
+			relax = sol.Objective
+			for round := 1; round < cutMaxRounds; round++ {
+				spare := min(w.slv.SpareRowCapacity(), cutCap-(len(s.c.base.Cons)-s.c.baseRows))
+				more := s.separateRound(w, xAct, spare)
+				if more == 0 {
+					break
+				}
+				if _, err := w.slv.AppendRows(); err != nil {
+					// Reserve exhausted mid-append: drop the unregistered
+					// rows so every view of the problem stays consistent.
+					s.c.base.Cons = s.c.base.Cons[:len(s.c.base.Cons)-more]
+					break
+				}
+				s.cuts += more
+				if sol, xAct, ok = s.resolveRoot(w); !ok {
+					return
+				}
+				relax = sol.Objective
+			}
+			// Cut management: keep only the cuts binding at the final root
+			// optimum. The slack ones were stepping stones of the
+			// separation loop — pooling them would tax every node re-solve
+			// with dense rows that no longer carry the bound.
+			kept := s.c.pruneCutPool(xAct)
+			s.cuts = kept
+			// One more cold solve buys exact-width pivots for every node
+			// that follows.
+			if !w.reloadRoot(0) {
+				s.proofLost = true
+				return
+			}
+			if sol, xAct, ok = s.resolveRoot(w); !ok {
+				return
+			}
+			relax = sol.Objective
+		}
+	}
+	s.rootBound = relax
+
+	// The post-cut root basis is the restore point for subtree jumps.
+	if sol.Status == lp.Optimal && sol.Feasible {
+		w.slv.SaveBasis()
+		copy(w.snapApplied, w.applied)
+		w.hasSnap = true
+	}
+
+	if s.gapReached() {
+		s.gapHit = true
+		return
+	}
+	if relax >= s.bestObj-s.pruneSlack() {
+		s.provedOptimal = s.bestX != nil
+		return
+	}
+
+	w.collectFracs(xAct)
+	if len(w.fracs) == 0 {
+		full := roundBinaries(s.c, s.c.toModelXInto(xAct, w.candBuf), s.intTol)
+		if obj, ok := s.validateCandidate(full); ok {
+			s.installIncumbent(full, obj)
+		}
+		return
+	}
+	w.captureReducedCosts()
+	w.rcFix = w.rcFix[:0]
+	w.probeObs = w.probeObs[:0]
+	w.cutoffHint = s.bestObj - s.pruneSlack()
+	w.maybeProbe(relax, 0)
+	w.collectRCFixes(relax)
+	k, val := w.selectBranch()
+	w.stripFix(k)
+	s.fixings += len(w.rcFix)
+
+	root := s.newNode()
+	up, down := w.makeChildren(root, relax, k, val)
+	s.freeNode(root)
+	if val >= 0.5 {
+		s.push(up)
+		s.push(down)
+	} else {
+		s.push(down)
+		s.push(up)
+	}
+}
+
+// separateRound runs one root separation round: cover and clique cuts from
+// the row structure, then Gomory mixed-integer cuts from the solver's
+// optimal basis, all bounded by spare pool capacity. Returns how many rows
+// were appended to the pool.
+func (s *search) separateRound(w *worker, xAct []float64, spare int) int {
+	before := len(s.c.base.Cons)
+	s.c.separateCuts(xAct, spare)
+	// Gomory cuts are dense — slack substitution spreads them over whole
+	// row supports — so they pay off on small proof-bound models but drag
+	// every subsequent re-solve on large ones, whose trees the admission
+	// gap already keeps shallow. Same size gate as deep probing.
+	if len(s.c.active) <= probeSmallN {
+		if left := spare - (len(s.c.base.Cons) - before); left > 0 {
+			w.slv.GomoryCuts(s.c.isIntBuf, min(left, gmiMaxPerRound), func(terms []lp.Term, rhs float64) {
+				s.c.appendGECut(terms, rhs)
+			})
+		}
+	}
+	return len(s.c.base.Cons) - before
+}
+
 // loop is the worker body: take a node — the locally plunged child when one
 // is pending, otherwise the most promising open node — solve its relaxation
 // warm, then branch, bound or fathom. Plunging keeps each worker diving
 // depth-first along the preferred (rounded) branch, which finds incumbents
-// early exactly like the former serial DFS, while the shared best-first
-// queue hands out the remaining subtrees. All queue and incumbent state is
-// touched under s.mu; LP solves run outside the lock.
+// early exactly like a serial DFS, while the shared best-first queue hands
+// out the remaining subtrees. All queue and incumbent state is touched
+// under s.mu; LP solves and probing run outside the lock.
 func (w *worker) loop() {
 	s := w.s
 	var plunge *bbNode
@@ -450,144 +828,435 @@ func (w *worker) loop() {
 		if s.ctx != nil && s.ctx.Err() != nil {
 			s.cancelled = true
 			s.truncated = true
+			s.freeNode(n)
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+		if s.stallNodes > 0 && s.bestX != nil && s.nodes-s.lastImprove >= s.stallNodes {
+			s.truncated = true
+			s.stalled = true
+			s.freeNode(n)
 			s.cond.Broadcast()
 			s.mu.Unlock()
 			return
 		}
 		if s.nodes >= s.maxNodes || (!s.deadline.IsZero() && time.Now().After(s.deadline)) {
 			s.truncated = true
+			s.freeNode(n)
 			s.cond.Broadcast()
 			s.mu.Unlock()
 			return
 		}
 		if s.stopped() {
+			s.freeNode(n)
 			s.cond.Broadcast()
 			s.mu.Unlock()
 			return
 		}
 		if n.est >= s.bestObj-s.pruneSlack() {
+			s.freeNode(n)
 			continue // bound already dominated by incumbent
 		}
 		s.nodes++
-		isRoot := n.seq == 0
 		s.busy++
+		// Snapshot the incumbent cutoff for the lock-free phase below: the
+		// incumbent only improves, so a fix or skip decided against this
+		// (possibly stale, never too small) cutoff stays valid under the
+		// fresh one commit() prunes with.
+		w.cutoffHint = s.bestObj - s.pruneSlack()
 		s.mu.Unlock()
 
 		sol, xAct := w.solveNode(n.bounds, w.xAct)
 
-		// The first optimal basis this worker produces (the root basis for
-		// the worker that solves the root) becomes its restore point for
-		// cross-subtree jumps.
+		// The first optimal basis this worker produces becomes its restore
+		// point for cross-subtree jumps.
 		if !w.hasSnap && sol.Status == lp.Optimal && sol.Feasible {
 			w.slv.SaveBasis()
 			copy(w.snapApplied, w.applied)
 			w.hasSnap = true
 		}
 
-		// The root relaxation additionally seeds a rounding dive before the
-		// tree search branches; both solves happen outside the lock.
-		var diveCand []float64
-		var diveObj float64
-		if isRoot && sol.Feasible && xAct != nil {
-			diveCand, diveObj = w.dive(n, xAct)
-		}
+		// Classify the relaxation, pre-validate any integral incumbent
+		// candidate and capture reduced costs outside the lock — the
+		// O(rows·terms) validation would otherwise serialize every worker
+		// on s.mu.
+		out := w.assess(sol, xAct)
 
-		// Classify the relaxation and pre-validate any integral incumbent
-		// candidate outside the lock — the O(rows·terms) validation would
-		// otherwise serialize every worker on s.mu.
-		out := w.assess(n, sol, xAct, isRoot)
-		out.diveCand, out.diveObj = diveCand, diveObj
+		// Reliability probing and reduced-cost fixing also run lock-free —
+		// both would otherwise serialize every worker on s.mu — against the
+		// snapshot cutoff. Nodes the fresh cutoff will prune anyway are
+		// skipped outright.
+		w.probeObs = w.probeObs[:0]
+		w.rcFix = w.rcFix[:0]
+		if out.status == lp.Optimal && out.feasible && len(w.fracs) > 0 && out.relax < w.cutoffHint {
+			if len(w.fracs) > 1 {
+				w.maybeProbe(out.relax, n.depth)
+			}
+			w.collectRCFixes(out.relax)
+		}
 
 		s.mu.Lock()
 		s.lpIters += sol.Iters
-		plunge = w.commit(n, out, isRoot)
+		plunge = w.commit(n, out)
+		s.freeNode(n)
 		s.busy--
 		s.cond.Broadcast()
 	}
 }
 
 // outcome carries everything a solved node contributes back to the shared
-// search state, computed lock-free by the worker.
+// search state, computed lock-free by the worker. Fractional candidates are
+// in w.fracs, reduced costs in w.rc/w.rcUp.
 type outcome struct {
 	status   lp.Status
 	feasible bool
 	relax    float64   // compiled minimisation space
-	fracVar  int       // branching variable, -1 when integral
-	fracVal  float64   // its relaxation value
 	cand     []float64 // validated integral incumbent candidate (model space)
 	candObj  float64
-	diveCand []float64 // validated dive incumbent candidate (root only)
-	diveObj  float64
 }
 
-// assess classifies a solved relaxation and validates any integral
-// incumbent candidate. It touches only worker-owned buffers and
-// model state that is immutable during the search; no lock is held.
-func (w *worker) assess(n *bbNode, sol lp.Solution, xAct []float64, isRoot bool) outcome {
-	out := outcome{status: sol.Status, feasible: sol.Feasible, relax: sol.Objective, fracVar: -1}
+// assess classifies a solved relaxation, collects the fractional branching
+// candidates and validates any integral incumbent candidate. It touches
+// only worker-owned buffers and model state that is immutable during the
+// search; no lock is held.
+func (w *worker) assess(sol lp.Solution, xAct []float64) outcome {
+	out := outcome{status: sol.Status, feasible: sol.Feasible, relax: sol.Objective}
+	w.fracs = w.fracs[:0]
 	if sol.Status == lp.Infeasible || sol.Status == lp.Unbounded || !sol.Feasible {
 		return out
 	}
 	s := w.s
-	// Find most fractional binary.
-	frac := -1.0
+	w.collectFracs(xAct)
+	if len(w.fracs) == 0 {
+		full := roundBinaries(s.c, s.c.toModelXInto(xAct, w.candBuf), s.intTol)
+		if obj, ok := s.validateCandidate(full); ok {
+			out.cand, out.candObj = full, obj
+		}
+		return out
+	}
+	w.captureReducedCosts()
+	return out
+}
+
+// collectFracs fills w.fracs with every fractional binary of xAct.
+func (w *worker) collectFracs(xAct []float64) {
+	s := w.s
+	w.fracs = w.fracs[:0]
 	for k, mi := range s.c.active {
 		if s.c.m.vars[mi].typ != Binary {
 			continue
 		}
 		v := xAct[k]
 		f := math.Abs(v - math.Round(v))
-		if f > s.intTol && f > frac {
-			frac = f
-			out.fracVar = k
-			out.fracVal = v
+		if f > s.intTol {
+			w.fracs = append(w.fracs, fracCand{k: k, val: v, frac: f})
 		}
 	}
-	if out.fracVar < 0 {
-		full := roundBinaries(s.c, s.c.toModelX(xAct), s.intTol)
-		if obj, ok := s.validateCandidate(full); ok {
-			out.cand, out.candObj = full, obj
-		}
+}
+
+// captureReducedCosts snapshots the solver's reduced costs for every active
+// variable; valid immediately after an Optimal ReSolve, before probing.
+func (w *worker) captureReducedCosts() {
+	for k := range w.rc {
+		w.rc[k], w.rcUp[k] = w.slv.ReducedCost(k)
 	}
-	return out
 }
 
 // dive pins every binary to its rounded root-LP value and re-solves the
 // residual LP; a feasible result becomes an incumbent candidate, validated
-// here (lock-free) and installed later under the lock.
-func (w *worker) dive(n *bbNode, xRoot []float64) ([]float64, float64) {
+// here (lock-free).
+func (w *worker) dive(xRoot []float64) ([]float64, float64) {
 	c := w.s.c
-	bounds := make([]boundFix, 0, len(n.bounds)+len(c.active))
-	bounds = append(bounds, n.bounds...)
+	w.diveBounds = w.diveBounds[:0]
 	for k, mi := range c.active {
 		if c.m.vars[mi].typ != Binary {
 			continue
 		}
-		bounds = append(bounds, boundFix{k, xRoot[k] >= 0.5})
+		w.diveBounds = append(w.diveBounds, boundFix{k, xRoot[k] >= 0.5})
 	}
-	sol, xd := w.solveNode(bounds, w.xDive)
-	w.s.mu.Lock()
-	w.s.lpIters += sol.Iters
-	w.s.mu.Unlock()
+	sol, xd := w.solveNode(w.diveBounds, w.xDive)
+	w.s.lpIters += sol.Iters // root phase is single-threaded; no lock needed
 	if !sol.Feasible || xd == nil {
 		return nil, 0
 	}
-	full := roundBinaries(c, c.toModelX(xd), w.s.intTol)
+	full := roundBinaries(c, c.toModelXInto(xd, w.diveBuf), w.s.intTol)
 	if obj, ok := w.s.validateCandidate(full); ok {
 		return full, obj
 	}
 	return nil, 0
 }
 
-// commit folds one assessed relaxation back into the shared search state:
-// prune, install a pre-validated incumbent, or branch. Caller holds mu.
-func (w *worker) commit(n *bbNode, out outcome, isRoot bool) *bbNode {
+// maybeProbe selects up to probeMaxCand unreliable candidates (no
+// pseudo-cost observations in some direction) and probes each with two
+// iteration-capped LP solves, recording observations and — when a probe
+// proves a direction infeasible — a bound fix for the node's children. The
+// solver is left warm but off the node optimum; the next solveNode repairs
+// it. Shallow nodes only: the payoff is shaping the big subtrees.
+func (w *worker) maybeProbe(relax float64, depth int) {
 	s := w.s
+	// Large LPs skip probing altogether: at their tableau width the two
+	// capped solves per candidate cost more than the branching mistake
+	// they would prevent.
+	limit := -1
+	if len(s.c.active) <= probeSmallN {
+		limit = probeMaxDepthSmall
+	}
+	if !s.reduce || depth > limit {
+		return
+	}
+	w.probeList = w.probeList[:0]
+	s.mu.Lock()
+	for _, fc := range w.fracs {
+		if len(w.probeList) >= probeMaxCand {
+			break
+		}
+		if s.pcUpN[fc.k] < pcReliable || s.pcDnN[fc.k] < pcReliable {
+			w.probeList = append(w.probeList, fc.k)
+		}
+	}
+	s.mu.Unlock()
+	if len(w.probeList) == 0 {
+		return
+	}
+	iters := 0
+	for _, k := range w.probeList {
+		var val float64
+		for _, fc := range w.fracs {
+			if fc.k == k {
+				val = fc.val
+				break
+			}
+		}
+		for _, up := range [2]bool{true, false} {
+			w.slv.Fix(k, up)
+			sol := w.slv.ReSolve(lp.Options{MaxIters: probeIterCap, WarmOnly: true, Deadline: s.deadline, Ctx: s.ctx})
+			iters += sol.Iters
+			w.slv.Unfix(k)
+			dist := val
+			if up {
+				dist = 1 - val
+			}
+			if dist < 1e-6 {
+				dist = 1e-6
+			}
+			switch {
+			case sol.Status == lp.Optimal && sol.Feasible:
+				delta := sol.Objective - relax
+				if delta < 0 {
+					delta = 0
+				}
+				w.probeObs = append(w.probeObs, probeObs{k: k, up: up, unit: delta / dist})
+			case sol.Status == lp.Infeasible:
+				// This direction is infeasible below the node: fix the
+				// variable the other way for the whole subtree.
+				w.rcFix = append(w.rcFix, boundFix{k, !up})
+				w.target[k] = nodeAtZero
+				if !up {
+					w.target[k] = nodeAtUpper
+				}
+			}
+		}
+	}
+	s.mu.Lock()
+	s.lpIters += iters
+	s.mu.Unlock()
+}
+
+// pcScore computes the pseudo-cost product score of a fractional candidate.
+// Caller holds s.mu.
+func (s *search) pcScore(fc fracCand) float64 {
+	avg := 1.0
+	if s.pcCnt > 0 {
+		avg = s.pcSum / float64(s.pcCnt)
+	}
+	up, dn := avg, avg
+	if s.pcUpN[fc.k] > 0 {
+		up = s.pcUp[fc.k] / float64(s.pcUpN[fc.k])
+	}
+	if s.pcDnN[fc.k] > 0 {
+		dn = s.pcDn[fc.k] / float64(s.pcDnN[fc.k])
+	}
+	const eps = 1e-6
+	return math.Max(dn*fc.val, eps) * math.Max(up*(1-fc.val), eps)
+}
+
+// selectBranch picks the branching variable among w.fracs: only candidates
+// of the highest branch-priority class are considered (the builder ranks
+// admission d and availability y above flow x), and within the class the
+// pseudo-cost product score decides, with fractionality then index as
+// deterministic tie-breaks. Caller holds s.mu — or the search is in its
+// single-threaded root phase.
+func (w *worker) selectBranch() (int, float64) {
+	s := w.s
+	if !s.reduce {
+		// Ablated: plain most-fractional branching.
+		best := w.fracs[0]
+		for _, fc := range w.fracs[1:] {
+			if fc.frac > best.frac {
+				best = fc
+			}
+		}
+		return best.k, best.val
+	}
+	// Fold fresh probe observations first so they inform this decision.
+	for _, ob := range w.probeObs {
+		if ob.up {
+			s.pcUp[ob.k] += ob.unit
+			s.pcUpN[ob.k]++
+		} else {
+			s.pcDn[ob.k] += ob.unit
+			s.pcDnN[ob.k]++
+		}
+		s.pcSum += ob.unit
+		s.pcCnt++
+	}
+	w.probeObs = w.probeObs[:0]
+
+	bestIdx := -1
+	bestScore := math.Inf(-1)
+	var best fracCand
+	for _, fc := range w.fracs {
+		// Skip candidates fixed by probing for this subtree.
+		if w.target[fc.k] != nodeFree {
+			continue
+		}
+		// Branch priorities break ties, they do not dictate: the builder
+		// ranks admission d and availability y above flow x, and that
+		// ranking decides between candidates whose pseudo-cost scores are
+		// indistinguishable (common while pseudo-costs are uninitialised).
+		// A variable whose observed degradations mark it as the
+		// combinatorial bottleneck — the relay edge of a saturated link,
+		// say — still wins regardless of class; a hard priority filter
+		// measurably wanders on such models.
+		sc := s.pcScore(fc)
+		tie := sc <= bestScore+1e-9*(1+math.Abs(bestScore)) &&
+			sc >= bestScore-1e-9*(1+math.Abs(bestScore))
+		better := bestIdx < 0 || (!tie && sc > bestScore)
+		if tie && bestIdx >= 0 {
+			pa, pb := s.c.prio[fc.k], s.c.prio[best.k]
+			better = pa > pb ||
+				(pa == pb && (fc.frac > best.frac+1e-12 ||
+					(fc.frac > best.frac-1e-12 && fc.k < best.k)))
+		}
+		if better {
+			bestIdx, bestScore, best = fc.k, sc, fc
+		}
+	}
+	if bestIdx < 0 {
+		// Every candidate was probe-fixed; fall back to the first one.
+		best = w.fracs[0]
+	}
+	return best.k, best.val
+}
+
+// collectRCFixes appends reduced-cost bound fixes to w.rcFix: a binary
+// nonbasic at a bound whose reduced cost proves the opposite bound cannot
+// beat the incumbent is pinned for the whole subtree. It runs lock-free
+// against w.cutoffHint — a snapshot of the incumbent cutoff that can only
+// be larger than the current one, so every fix it takes would also be
+// taken against fresh state. Fixed variables are marked in w.target, which
+// keeps them out of selectBranch's candidates.
+func (w *worker) collectRCFixes(relax float64) {
+	s := w.s
+	if !s.reduce {
+		return
+	}
+	cutoff := w.cutoffHint
+	for k, mi := range s.c.active {
+		if w.target[k] != nodeFree || s.c.m.vars[mi].typ != Binary {
+			continue
+		}
+		if d := w.rc[k]; d > 0 && relax+d >= cutoff {
+			w.rcFix = append(w.rcFix, boundFix{k, w.rcUp[k]})
+			if w.rcUp[k] {
+				w.target[k] = nodeAtUpper
+			} else {
+				w.target[k] = nodeAtZero
+			}
+		}
+	}
+}
+
+// stripFix removes a fix on variable k from w.rcFix (and unpins it in
+// w.target) so the children can pin k in both directions. selectBranch
+// skips pinned candidates, so this only fires on its every-candidate-fixed
+// fallback.
+func (w *worker) stripFix(k int) {
+	if w.target[k] == nodeFree {
+		return
+	}
+	for i := range w.rcFix {
+		if w.rcFix[i].lpVar == k {
+			w.rcFix[i] = w.rcFix[len(w.rcFix)-1]
+			w.rcFix = w.rcFix[:len(w.rcFix)-1]
+			w.target[k] = nodeFree
+			return
+		}
+	}
+}
+
+// makeChildren builds the two children of node n branching on variable k at
+// fractional value val, inheriting n's pins plus w.rcFix. Caller holds s.mu
+// or the search is single-threaded.
+func (w *worker) makeChildren(n *bbNode, relax float64, k int, val float64) (up, down *bbNode) {
+	s := w.s
+	build := func(atUpper bool) *bbNode {
+		ch := s.newNode()
+		// One exact-size growth at most: pooled nodes keep their backing,
+		// so the steady-state search allocates no per-node bookkeeping.
+		if need := len(n.bounds) + len(w.rcFix) + 1; cap(ch.bounds) < need {
+			// Round the capacity up so pooled nodes converge on a size that
+			// fits any node of the tree.
+			ch.bounds = make([]boundFix, 0, (need/32+1)*32)
+		}
+		ch.bounds = append(ch.bounds, n.bounds...)
+		ch.bounds = append(ch.bounds, w.rcFix...)
+		ch.bounds = append(ch.bounds, boundFix{k, atUpper})
+		ch.depth = n.depth + 1
+		ch.est = relax
+		ch.branchVar = k
+		ch.branchUp = atUpper
+		ch.parentEst = relax
+		ch.branchDist = val
+		if atUpper {
+			ch.branchDist = 1 - val
+		}
+		if ch.branchDist < 1e-6 {
+			ch.branchDist = 1e-6
+		}
+		return ch
+	}
+	return build(true), build(false)
+}
+
+// commit folds one assessed relaxation back into the shared search state:
+// update pseudo-costs, prune, install a pre-validated incumbent, or select
+// a branching variable, apply reduced-cost fixes and expand. Caller holds
+// mu.
+func (w *worker) commit(n *bbNode, out outcome) *bbNode {
+	s := w.s
+	// Pseudo-cost learning: the node's own relaxation measures the true
+	// degradation of the branch that created it.
+	if s.reduce && n.branchVar >= 0 && out.status == lp.Optimal && out.feasible {
+		delta := out.relax - n.parentEst
+		if delta < 0 {
+			delta = 0
+		}
+		unit := delta / n.branchDist
+		if n.branchUp {
+			s.pcUp[n.branchVar] += unit
+			s.pcUpN[n.branchVar]++
+		} else {
+			s.pcDn[n.branchVar] += unit
+			s.pcDnN[n.branchVar]++
+		}
+		s.pcSum += unit
+		s.pcCnt++
+	}
+
 	switch {
 	case out.status == lp.Infeasible:
-		if isRoot {
-			s.provedInfeasible = true
-		}
 		return nil
 	case out.status == lp.IterLimit && !out.feasible:
 		// The LP budget ran out before feasibility: the node was not
@@ -601,20 +1270,10 @@ func (w *worker) commit(n *bbNode, out outcome, isRoot bool) *bbNode {
 		return nil
 	}
 	relax := out.relax // compiled minimisation space
-	if isRoot {
-		s.rootBound = relax
-		if out.diveCand != nil {
-			s.installIncumbent(out.diveCand, out.diveObj)
-		}
-		if s.gapReached() {
-			s.gapHit = true
-			return nil
-		}
-	}
 	if relax >= s.bestObj-s.pruneSlack() {
 		return nil
 	}
-	if out.fracVar < 0 {
+	if len(w.fracs) == 0 {
 		// Integral: pre-validated incumbent candidate.
 		if out.cand != nil {
 			s.installIncumbent(out.cand, out.candObj)
@@ -624,13 +1283,16 @@ func (w *worker) commit(n *bbNode, out outcome, isRoot bool) *bbNode {
 		}
 		return nil
 	}
+	k, val := w.selectBranch()
+	w.stripFix(k)
+	s.fixings += len(w.rcFix)
+
 	// Branch: plunge into the rounded side ourselves (depth-first dive,
-	// mirrors the former serial exploration order) and share the sibling
-	// through the best-first queue.
-	up := &bbNode{bounds: appendBound(n.bounds, boundFix{out.fracVar, true}), depth: n.depth + 1, est: relax}
-	down := &bbNode{bounds: appendBound(n.bounds, boundFix{out.fracVar, false}), depth: n.depth + 1, est: relax}
+	// mirrors a serial exploration order) and share the sibling through the
+	// best-first queue.
+	up, down := w.makeChildren(n, relax, k, val)
 	preferred, sibling := up, down
-	if out.fracVal < 0.5 {
+	if val < 0.5 {
 		preferred, sibling = down, up
 	}
 	preferred.seq = s.seq // plunged directly, never enters the heap
@@ -651,13 +1313,6 @@ func roundBinaries(c *compiled, x []float64, tol float64) []float64 {
 		}
 	}
 	return x
-}
-
-func appendBound(base []boundFix, b boundFix) []boundFix {
-	out := make([]boundFix, 0, len(base)+1)
-	out = append(out, base...)
-	out = append(out, b)
-	return out
 }
 
 // SortTermsInPlace orders terms by variable index; useful for deterministic

@@ -1,0 +1,512 @@
+// Root-node cutting planes: knapsack cover cuts and clique cuts, separated
+// against the fractional root optimum and stored in the cut pool (the tail
+// of compiled.base.Cons past baseRows). Both families are valid for every
+// integer point of the model — they only trim the LP relaxation — so the
+// branch-and-bound's admissions and objective are untouched while its tree
+// shrinks.
+//
+// Cover cuts come from the budget rows of the SQPR model (per-host CPU,
+// memory and bandwidth, pairwise link capacity): for a row Σ a_j x_j <= b
+// over binaries with a cover C (Σ_{C} a_j > b), at most |C|−1 of the cover
+// can be selected. The separation is the classic greedy over (1−x*_j)/a_j,
+// extended with every variable at least as heavy as the cover's heaviest
+// member (any |C|-subset of the extension outweighs the cover, so the
+// right-hand side still holds).
+//
+// Clique cuts come from knapsack-implied conflicts: two binaries whose
+// coefficients together overflow a row's RHS can never both be 1. The
+// per-row pairs (this includes the assignment rows Σ d <= 1, whose pairs
+// are immediate) merge into one conflict graph, and a greedy expansion
+// around each fractionally-violated edge yields Σ_{clique} x <= 1 rows that
+// no single model row implies.
+package milp
+
+import (
+	"math"
+	"slices"
+
+	"sqpr/internal/lp"
+)
+
+// Separation tuning.
+const (
+	cutViolTol       = 0.02 // minimum violation for a cut to be worth a row
+	cutMaxCovers     = 32   // covers per separation round
+	cutMaxCliques    = 16   // cliques per separation round
+	cutMaxConflicts  = 4096 // conflict-graph edge cap
+	cutMinFracWeight = 0.02 // ignore variables this close to 0 in cliques
+)
+
+// cutItem is one binary term of a knapsack row during separation.
+type cutItem struct {
+	k int     // LP-active variable
+	a float64 // coefficient
+	x float64 // relaxation value
+}
+
+// eligibleKnapsackRow extracts row ri as a pure-binary knapsack (LE,
+// positive coefficients, finite RHS) into c.cutItems; reports false when
+// the row has a different shape.
+func (c *compiled) eligibleKnapsackRow(ri int, xAct []float64) bool {
+	cons := &c.base.Cons[ri]
+	if cons.Sense != lp.LE || cons.RHS <= 0 {
+		return false
+	}
+	c.cutItems = c.cutItems[:0]
+	for _, t := range cons.Terms {
+		if t.Coef <= 0 {
+			return false
+		}
+		if c.m.vars[c.active[t.Var]].typ != Binary {
+			return false
+		}
+		c.cutItems = append(c.cutItems, cutItem{k: t.Var, a: t.Coef, x: xAct[t.Var]})
+	}
+	return len(c.cutItems) >= 2
+}
+
+// separateCuts scans the model-derived base rows for cover and clique
+// inequalities violated by xAct and appends up to spare of them to the cut
+// pool. Runs single-threaded in the root phase. Returns how many cuts were
+// appended.
+func (c *compiled) separateCuts(xAct []float64, spare int) int {
+	if spare <= 0 {
+		return 0
+	}
+	added := 0
+	added += c.separateCovers(xAct, min(spare, cutMaxCovers))
+	added += c.separateCliques(xAct, min(spare-added, cutMaxCliques))
+	return added
+}
+
+// separateCovers emits violated (extended) cover cuts, at most budget.
+func (c *compiled) separateCovers(xAct []float64, budget int) int {
+	added := 0
+	for ri := 0; ri < c.baseRows && added < budget; ri++ {
+		if !c.eligibleKnapsackRow(ri, xAct) {
+			continue
+		}
+		rhs := c.base.Cons[ri].RHS
+		items := c.cutItems
+		total := 0.0
+		for _, it := range items {
+			total += it.a
+		}
+		if total <= rhs+1e-9 {
+			continue // no cover exists
+		}
+		// Greedy minimum-weight cover: order by (1−x)/a ascending (cheapest
+		// violation contribution per unit of weight first). Insertion sort
+		// into the index scratch keeps separation allocation-free.
+		idx := c.coverIdx[:0]
+		for i := range items {
+			idx = append(idx, i)
+		}
+		ratio := func(i int) float64 { return (1 - items[i].x) / items[i].a }
+		for i := 1; i < len(idx); i++ {
+			for j := i; j > 0; j-- {
+				a, b := idx[j-1], idx[j]
+				ra, rb := ratio(a), ratio(b)
+				if ra < rb || (ra == rb && a < b) {
+					break
+				}
+				idx[j-1], idx[j] = b, a
+			}
+		}
+		c.coverIdx = idx
+
+		weight := 0.0
+		slackSum := 0.0 // Σ (1−x*) over the cover
+		cover := 0
+		for _, i := range idx {
+			weight += items[i].a
+			slackSum += 1 - items[i].x
+			cover++
+			if weight > rhs+1e-9 {
+				break
+			}
+		}
+		if weight <= rhs+1e-9 || slackSum >= 1-cutViolTol {
+			continue // no cover reached or not violated enough
+		}
+		// Minimality pass: drop members the cover does not need (most
+		// fractional slack first — the greedy appended them in that order),
+		// keeping Σ a > rhs. Minimal covers lift to stronger inequalities.
+		for j := cover - 1; j >= 0 && cover > 2; j-- {
+			if weight-items[idx[j]].a > rhs+1e-9 {
+				weight -= items[idx[j]].a
+				idx[j], idx[cover-1] = idx[cover-1], idx[j]
+				cover--
+			}
+		}
+		if c.emitLiftedCover(ri, idx[:cover]) {
+			added++
+		}
+	}
+	return added
+}
+
+// emitLiftedCover sequentially lifts the cover inequality Σ_{C} x <= |C|−1
+// over the remaining variables of row ri and appends the result. Lifting
+// coefficients are computed exactly: coefficient sums are small integers,
+// so a min-weight-per-value knapsack DP over the already-lifted terms gives
+// α_k = (|C|−1) − max{Σ coef(T) : weight(T) <= rhs − a_k} for each k taken
+// in descending weight order. The plain (α=1) extension is the special case
+// the DP dominates.
+func (c *compiled) emitLiftedCover(ri int, coverIdx []int) bool {
+	items := c.cutItems
+	rhs := c.base.Cons[ri].RHS
+	nC := len(coverIdx)
+	c.cutRound++
+	for _, i := range coverIdx {
+		c.cutMark[items[i].k] = c.cutRound
+	}
+
+	// Lifted terms accumulate in the pooled parallel scratch (weight,
+	// coefficient), coefficient 1 for cover members.
+	liftW := c.liftW[:0]
+	liftCoef := c.liftCoef[:0]
+	vars := c.cliqueIdx[:0]
+	coefs := c.coverCoefs[:0]
+	for _, i := range coverIdx {
+		liftW = append(liftW, items[i].a)
+		liftCoef = append(liftCoef, 1)
+		vars = append(vars, items[i].k)
+		coefs = append(coefs, 1)
+	}
+
+	// Candidates outside the cover, heaviest first (classic lifting order).
+	cand := c.liftIdx[:0]
+	for i := range items {
+		if c.cutMark[items[i].k] != c.cutRound {
+			cand = append(cand, i)
+		}
+	}
+	for i := 1; i < len(cand); i++ {
+		for j := i; j > 0; j-- {
+			a, b := cand[j-1], cand[j]
+			if items[a].a > items[b].a || (items[a].a == items[b].a && a < b) {
+				break
+			}
+			cand[j-1], cand[j] = b, a
+		}
+	}
+	c.liftIdx = cand
+
+	maxV := nC - 1
+	minw := c.liftMinW[:0]
+	for v := 0; v <= maxV; v++ {
+		minw = append(minw, math.Inf(1))
+	}
+	c.liftMinW = minw
+	for _, k := range cand {
+		ak := items[k].a
+		// minw[v] = least weight achieving coefficient sum v over current
+		// terms (rebuilt incrementally is possible, but terms grow rarely;
+		// rebuild when a variable was lifted in).
+		for v := range minw {
+			minw[v] = math.Inf(1)
+		}
+		minw[0] = 0
+		for ti := range liftW {
+			tc, tw := liftCoef[ti], liftW[ti]
+			for v := maxV; v >= tc; v-- {
+				if w := minw[v-tc] + tw; w < minw[v] {
+					minw[v] = w
+				}
+			}
+		}
+		best := 0
+		for v := maxV; v >= 0; v-- {
+			if minw[v] <= rhs-ak+1e-9 {
+				best = v
+				break
+			}
+		}
+		if alpha := maxV - best; alpha > 0 {
+			liftW = append(liftW, ak)
+			liftCoef = append(liftCoef, alpha)
+			vars = append(vars, items[k].k)
+			coefs = append(coefs, alpha)
+		}
+	}
+	c.cliqueIdx = vars
+	c.coverCoefs = coefs
+	c.liftW = liftW
+	c.liftCoef = liftCoef
+	return c.appendCutCoefs(vars, coefs, float64(maxV))
+}
+
+// buildConflicts assembles the knapsack-implied conflict graph once per
+// Solve: for every eligible row, pairs of coefficients that overflow the
+// RHS become edges.
+func (c *compiled) buildConflicts(xAct []float64) {
+	c.conflBuilt = true
+	c.conflEdges = c.conflEdges[:0]
+	for ri := 0; ri < c.baseRows; ri++ {
+		if !c.eligibleKnapsackRow(ri, xAct) {
+			continue
+		}
+		rhs := c.base.Cons[ri].RHS
+		items := c.cutItems
+		// Sort indices by coefficient descending; conflicts live among the
+		// heavy prefix.
+		idx := c.coverIdx[:0]
+		for i := range items {
+			idx = append(idx, i)
+		}
+		for i := 1; i < len(idx); i++ {
+			for j := i; j > 0; j-- {
+				a, b := idx[j-1], idx[j]
+				if items[a].a > items[b].a || (items[a].a == items[b].a && a < b) {
+					break
+				}
+				idx[j-1], idx[j] = b, a
+			}
+		}
+		c.coverIdx = idx
+		for i := 0; i < len(idx) && len(c.conflEdges) < cutMaxConflicts; i++ {
+			ai := items[idx[i]].a
+			for j := i + 1; j < len(idx); j++ {
+				if ai+items[idx[j]].a <= rhs+1e-9 {
+					break // sorted descending: no later pair overflows either
+				}
+				u, v := items[idx[i]].k, items[idx[j]].k
+				if u > v {
+					u, v = v, u
+				}
+				if len(c.conflEdges) >= cutMaxConflicts {
+					break
+				}
+				c.conflEdges = append(c.conflEdges, uint64(u)<<32|uint64(v))
+			}
+		}
+	}
+	slices.Sort(c.conflEdges)
+	// Deduplicate in place.
+	out := c.conflEdges[:0]
+	var prev uint64
+	for i, e := range c.conflEdges {
+		if i == 0 || e != prev {
+			out = append(out, e)
+		}
+		prev = e
+	}
+	c.conflEdges = out
+
+	// CSR adjacency over LP-active variables (both directions).
+	nAct := len(c.active)
+	c.adjStart = growInts(c.adjStart, nAct+1)
+	for i := range c.adjStart[:nAct+1] {
+		c.adjStart[i] = 0
+	}
+	for _, e := range c.conflEdges {
+		c.adjStart[int(e>>32)+1]++
+		c.adjStart[int(uint32(e))+1]++
+	}
+	for i := 1; i <= nAct; i++ {
+		c.adjStart[i] += c.adjStart[i-1]
+	}
+	c.adjList = growInt32s(c.adjList, 2*len(c.conflEdges))
+	fill := c.coverIdx[:0] // next write offset per variable
+	for i := 0; i < nAct; i++ {
+		fill = append(fill, c.adjStart[i])
+	}
+	for _, e := range c.conflEdges {
+		u, v := int(e>>32), int(uint32(e))
+		c.adjList[fill[u]] = int32(v)
+		fill[u]++
+		c.adjList[fill[v]] = int32(u)
+		fill[v]++
+	}
+	c.coverIdx = fill[:0]
+}
+
+// conflicts reports whether u and v are a conflict pair.
+func (c *compiled) conflicts(u, v int) bool {
+	if u > v {
+		u, v = v, u
+	}
+	key := uint64(u)<<32 | uint64(v)
+	lo, hi := 0, len(c.conflEdges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.conflEdges[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(c.conflEdges) && c.conflEdges[lo] == key
+}
+
+// separateCliques grows violated cliques around fractionally-violated
+// conflict edges, at most budget.
+func (c *compiled) separateCliques(xAct []float64, budget int) int {
+	if budget <= 0 {
+		return 0
+	}
+	if !c.conflBuilt {
+		c.buildConflicts(xAct)
+	}
+	if len(c.conflEdges) == 0 {
+		return 0
+	}
+	added := 0
+	for _, e := range c.conflEdges {
+		if added >= budget {
+			break
+		}
+		u, v := int(e>>32), int(uint32(e))
+		if xAct[u]+xAct[v] <= 1+cutViolTol {
+			continue
+		}
+		clique := c.cliqueIdx[:0]
+		clique = append(clique, u, v)
+		sum := xAct[u] + xAct[v]
+		// Greedy expansion: among neighbours of u, repeatedly add the
+		// highest-value variable conflicting with every current member.
+		for {
+			bestW, bestX := -1, cutMinFracWeight
+			for _, w32 := range c.adjList[c.adjStart[u]:c.adjStart[u+1]] {
+				w := int(w32)
+				if xAct[w] <= bestX {
+					continue
+				}
+				ok := true
+				for _, m := range clique {
+					if w == m || !c.conflicts(w, m) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					bestW, bestX = w, xAct[w]
+				}
+			}
+			if bestW < 0 {
+				break
+			}
+			clique = append(clique, bestW)
+			sum += bestX
+		}
+		c.cliqueIdx = clique
+		if sum <= 1+cutViolTol {
+			continue
+		}
+		sortInts(clique)
+		if c.appendCut(clique, 1) {
+			added++
+		}
+	}
+	return added
+}
+
+// sortInts is an allocation-free insertion sort for the short clique lists.
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// pruneCutPool drops pooled cuts that are slack at x, compacting the pool
+// in place (term storage of dropped slots is recycled by later appends).
+// Returns how many cuts remain. Root phase only, before workers load.
+func (c *compiled) pruneCutPool(x []float64) int {
+	out := c.baseRows
+	for ri := c.baseRows; ri < len(c.base.Cons); ri++ {
+		cons := &c.base.Cons[ri]
+		lhs := lp.Eval(cons.Terms, x)
+		tol := 0.02 * (1 + math.Abs(cons.RHS))
+		binding := false
+		switch cons.Sense {
+		case lp.LE:
+			binding = lhs >= cons.RHS-tol
+		case lp.GE:
+			binding = lhs <= cons.RHS+tol
+		}
+		if !binding {
+			continue
+		}
+		if out != ri {
+			c.base.Cons[out], c.base.Cons[ri] = c.base.Cons[ri], c.base.Cons[out]
+		}
+		out++
+	}
+	c.base.Cons = c.base.Cons[:out]
+	return out - c.baseRows
+}
+
+// appendGECut pools a general-coefficient GE cut (a Gomory mixed-integer
+// cut in LP-variable space), deduplicated by a hash of its exact terms.
+func (c *compiled) appendGECut(terms []lp.Term, rhs float64) bool {
+	h := uint64(14695981039346656037)
+	for _, t := range terms {
+		h ^= uint64(t.Var)
+		h *= 1099511628211
+		h ^= math.Float64bits(t.Coef)
+		h *= 1099511628211
+	}
+	h ^= math.Float64bits(rhs)
+	h *= 1099511628211
+	if c.cutSeen[h] {
+		return false
+	}
+	c.cutSeen[h] = true
+	if len(c.base.Cons) < cap(c.base.Cons) {
+		c.base.Cons = c.base.Cons[:len(c.base.Cons)+1]
+	} else {
+		c.base.Cons = append(c.base.Cons, lp.Constraint{})
+	}
+	cons := &c.base.Cons[len(c.base.Cons)-1]
+	cons.Terms = append(cons.Terms[:0], terms...)
+	cons.Sense = lp.GE
+	cons.RHS = rhs
+	return true
+}
+
+// appendCut adds Σ_{vars} x <= rhs to the cut pool unless an identical cut
+// is already pooled. vars must be deterministic for dedup hashing (sorted,
+// or stable across rounds).
+func (c *compiled) appendCut(vars []int, rhs float64) bool {
+	return c.appendCutCoefs(vars, nil, rhs)
+}
+
+// appendCutCoefs adds Σ coefs[i]·x_{vars[i]} <= rhs to the cut pool (nil
+// coefs means all ones), deduplicated by hash.
+func (c *compiled) appendCutCoefs(vars []int, coefs []int, rhs float64) bool {
+	h := uint64(14695981039346656037)
+	for i, v := range vars {
+		h ^= uint64(v)
+		h *= 1099511628211
+		if coefs != nil {
+			h ^= uint64(coefs[i])
+			h *= 1099511628211
+		}
+	}
+	h ^= math.Float64bits(rhs)
+	h *= 1099511628211
+	if c.cutSeen[h] {
+		return false
+	}
+	c.cutSeen[h] = true
+	if len(c.base.Cons) < cap(c.base.Cons) {
+		c.base.Cons = c.base.Cons[:len(c.base.Cons)+1]
+	} else {
+		c.base.Cons = append(c.base.Cons, lp.Constraint{})
+	}
+	cons := &c.base.Cons[len(c.base.Cons)-1]
+	cons.Terms = cons.Terms[:0]
+	for i, v := range vars {
+		cf := 1.0
+		if coefs != nil {
+			cf = float64(coefs[i])
+		}
+		cons.Terms = append(cons.Terms, lp.Term{Var: v, Coef: cf})
+	}
+	cons.Sense = lp.LE
+	cons.RHS = rhs
+	return true
+}

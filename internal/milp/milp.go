@@ -2,12 +2,19 @@
 // top of the simplex in internal/lp. It offers the subset of the CPLEX
 // feature surface that the SQPR planner depends on: binary and continuous
 // variables, linear constraints, maximisation or minimisation, a solve
-// deadline after which the best incumbent found so far is returned, a node
-// limit, and externally supplied warm-start incumbents.
+// deadline after which the best incumbent found so far is returned, node
+// and stagnation limits, branch priorities, and externally supplied
+// warm-start incumbents.
 //
-// The search is a depth-first branch and bound with most-fractional
-// branching and best-bound pruning, plus a rounding "dive" heuristic at the
-// root that often produces an early incumbent.
+// The search is a best-first branch and bound with depth-first plunging,
+// wrapped in a tree-reduction layer (unless Options.DisableTreeReduction):
+// a presolve pass tightens and fixes over the row image before compilation
+// (presolve.go), the root separates lifted cover, clique and Gomory
+// mixed-integer cuts into a lazily-loaded cut pool (cuts.go, lp/gomory.go),
+// reduced-cost bound fixing pins binaries after every node LP, and
+// branching runs on reliability-initialised pseudo-costs with
+// builder-supplied priorities as tie-breaks. A rounding "dive" heuristic at
+// the root produces an early incumbent when the caller supplied none.
 package milp
 
 import (
@@ -50,6 +57,7 @@ const (
 type varInfo struct {
 	lo, hi float64
 	typ    VarType
+	prio   int8
 	name   string
 	obj    float64
 }
@@ -127,6 +135,17 @@ func (m *Model) Fix(v Var, val float64) {
 // Bounds returns the current bounds of v.
 func (m *Model) Bounds(v Var) (lo, hi float64) { return m.vars[v].lo, m.vars[v].hi }
 
+// SetBranchPriority assigns a branching priority to v. Priorities break
+// ties between fractional candidates whose pseudo-cost scores are
+// indistinguishable — common early in a search, before the pseudo-costs
+// have observations. SQPR's builder ranks admission (d) and availability
+// (y) above operator placement (z) and flow routing (x): when the scores
+// cannot tell candidates apart, the high-value decisions are resolved
+// first. A variable whose observed objective degradations mark it as the
+// real bottleneck still wins regardless of class. The default priority
+// is 0.
+func (m *Model) SetBranchPriority(v Var, prio int8) { m.vars[v].prio = prio }
+
 // SetObjective declares the optimisation direction and resets all objective
 // coefficients to the given terms.
 func (m *Model) SetObjective(maximize bool, terms ...Term) {
@@ -199,6 +218,17 @@ type Result struct {
 	Bound     float64   // best proven bound on the optimum
 	Nodes     int       // branch-and-bound nodes explored
 	LPIters   int       // total simplex iterations
+	// Cuts counts cutting planes separated at the root and kept in the cut
+	// pool; Fixings counts reduced-cost (and probing) bound fixings applied
+	// during the search; PresolveFixed counts variables eliminated before
+	// the search started.
+	Cuts          int
+	Fixings       int
+	PresolveFixed int
+	// Stalled is set when the search ended via Options.StallNodes rather
+	// than a deadline or node budget; telemetry keeps it apart from real
+	// timeouts.
+	Stalled bool
 	// Cancelled is set when Options.Ctx was cancelled mid-search; callers
 	// should discard any incumbent and keep their previous state.
 	Cancelled bool
@@ -232,6 +262,21 @@ type Options struct {
 	// from the shared best-first queue. Values <= 1 run the identical
 	// search inline on the calling goroutine, fully deterministically.
 	Workers int
+	// StallNodes, when positive, stops the search (returning the incumbent
+	// as FeasibleMIP) once that many consecutive nodes were explored
+	// without improving the incumbent — counting only while an incumbent
+	// exists, so a search that has not found a feasible point yet keeps
+	// going. SQPR uses this: with λ1 dominating the objective, a stalled
+	// search is either polishing sub-λ1 placement terms or chasing a
+	// fractional-only admission whose refutation tree is enormous; neither
+	// changes the admission decision the planner is waiting on. 0 disables
+	// stagnation stopping (proofs of optimality need the full tree).
+	StallNodes int
+	// DisableTreeReduction turns off the tree-reduction layer — presolve,
+	// root cutting planes, reduced-cost bound fixing and pseudo-cost
+	// branching — falling back to plain most-fractional branch and bound
+	// over the unreduced model (ablation and conformance testing).
+	DisableTreeReduction bool
 }
 
 const defaultIntTol = 1e-6
@@ -257,12 +302,62 @@ type compiled struct {
 	// values back to model space: modelObj = objDir·lpObj + objOff + shiftOff.
 	shiftOff float64
 
-	// Row-compilation scratch: coefficient accumulator per LP variable with
-	// a round-stamped dirty mark, replacing a per-row map allocation.
+	// Row-compilation scratch: coefficient accumulator per model variable
+	// with a round-stamped dirty mark, replacing a per-row map allocation.
 	coefAcc []float64
 	mark    []int
 	touched []int
 	round   int
+
+	// Presolve working image: a bounds overlay plus a flattened, mutable
+	// copy of the model rows (terms accumulated, coefficients possibly
+	// tightened, redundant rows marked skipped). See presolve.go.
+	plo, phi []float64
+	pterms   []Term
+	pstart   []int
+	psense   []Sense
+	prhs     []float64
+	pskip    []bool
+	appear   []int32 // live-row appearance count per model variable
+
+	prio     []int8 // branch priority of each LP-active variable
+	isIntBuf []bool // integrality of each LP-active variable
+
+	presolveFixed     int // binaries/columns fixed by presolve
+	presolveTightened int // coefficients tightened
+	presolveDropped   int // redundant rows removed
+
+	// Cut pool (see cuts.go): rows appended to base.Cons past baseRows,
+	// deduplicated by hash across separation rounds of one Solve.
+	baseRows int // rows of base.Cons that come from the model
+	cutSeen  map[uint64]bool
+
+	// Cut-separation scratch (see cuts.go): the knapsack-implied conflict
+	// graph (built once per Solve) and the per-round working buffers.
+	conflBuilt bool
+	conflEdges []uint64 // packed (lo<<32|hi) conflict pairs, sorted
+	adjStart   []int    // CSR adjacency offsets per LP-active variable
+	adjList    []int32
+	cutItems   []cutItem
+	coverIdx   []int
+	cliqueIdx  []int
+	coverCoefs []int
+	liftIdx    []int
+	liftW      []float64
+	liftCoef   []int
+	liftMinW   []float64
+	cutMark    []int
+	cutRound   int
+
+	// Node recycling: fathomed bbNodes are returned here and reused, so the
+	// steady-state search allocates no per-node bookkeeping.
+	nodeFree []*bbNode
+
+	// Per-Solve search scratch reused across Solve calls.
+	openScratch  []*bbNode
+	bestXBuf     []float64
+	pcUp, pcDn   []float64 // pseudo-cost sums per active variable
+	pcUpN, pcDnN []int32   // observation counts per active variable
 }
 
 func growFloats(s []float64, n int) []float64 {
@@ -292,10 +387,42 @@ func (c *compiled) modelSpace(lpObj float64) float64 {
 
 var errInfeasible = fmt.Errorf("milp: trivially infeasible after presolve")
 
-// compile builds the LP image into the model's reusable scratch arena.
-// Returns errInfeasible when a row becomes unsatisfiable after substituting
-// fixed variables.
-func (m *Model) compile() (*compiled, error) {
+func growSenses(s []Sense, n int) []Sense {
+	if cap(s) < n {
+		return make([]Sense, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growInt8s(s []int8, n int) []int8 {
+	if cap(s) < n {
+		return make([]int8, n)
+	}
+	return s[:n]
+}
+
+func growInt32s(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// compile builds the LP image into the model's reusable scratch arena in
+// three steps: flatten the model rows into a mutable, term-accumulated row
+// image with a bounds overlay; optionally run the tree-reduction presolve
+// over that image (see presolve.go); then emit the LP with fixed variables
+// substituted out and the remaining ones shifted to zero lower bounds.
+// Returns errInfeasible when a row is unsatisfiable over the (possibly
+// tightened) bounds.
+func (m *Model) compile(presolveOn bool) (*compiled, error) {
 	nv := len(m.vars)
 	c := &m.scratch
 	c.m = m
@@ -305,64 +432,109 @@ func (m *Model) compile() (*compiled, error) {
 	}
 	c.objOff = 0
 	c.shiftOff = 0
+	c.presolveFixed, c.presolveTightened, c.presolveDropped = 0, 0, 0
+
+	// Bounds overlay: presolve tightens these, never the model's bounds.
+	c.plo = growFloats(c.plo, nv)
+	c.phi = growFloats(c.phi, nv)
+	for i := range m.vars {
+		v := &m.vars[i]
+		if v.hi < v.lo-1e-9 {
+			return nil, errInfeasible
+		}
+		c.plo[i], c.phi[i] = v.lo, v.hi
+	}
+
+	// Row image: accumulated terms, flattened; the accumulator is keyed by
+	// model variable with a round-stamped dirty mark (no per-row map).
+	c.coefAcc = growFloats(c.coefAcc, nv)
+	c.mark = growInts(c.mark, nv)
+	nr := len(m.rows)
+	c.pstart = growInts(c.pstart, nr+1)
+	c.psense = growSenses(c.psense, nr)
+	c.prhs = growFloats(c.prhs, nr)
+	c.pskip = growBools(c.pskip, nr)
+	c.pterms = c.pterms[:0]
+	for ri := range m.rows {
+		r := &m.rows[ri]
+		c.pstart[ri] = len(c.pterms)
+		c.psense[ri] = r.sense
+		c.prhs[ri] = r.rhs
+		c.pskip[ri] = false
+		c.round++
+		c.touched = c.touched[:0]
+		for _, t := range r.terms {
+			mi := int(t.Var)
+			if c.mark[mi] != c.round {
+				c.mark[mi] = c.round
+				c.coefAcc[mi] = 0
+				c.touched = append(c.touched, mi)
+			}
+			c.coefAcc[mi] += t.Coef
+		}
+		for _, mi := range c.touched {
+			if cf := c.coefAcc[mi]; cf != 0 {
+				c.pterms = append(c.pterms, Term{Var: Var(mi), Coef: cf})
+			}
+		}
+	}
+	c.pstart[nr] = len(c.pterms)
+
+	if presolveOn {
+		if err := c.runPresolve(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Active set from the overlay bounds.
 	c.lpIndex = growInts(c.lpIndex, nv)
 	c.shift = growFloats(c.shift, nv)
 	c.fixed = growFloats(c.fixed, nv)
 	c.active = c.active[:0]
 	for i := range m.vars {
 		v := &m.vars[i]
+		lo, hi := c.plo[i], c.phi[i]
 		c.shift[i] = 0
 		c.fixed[i] = 0
-		if v.hi < v.lo-1e-9 {
+		if hi < lo-1e-9 {
 			return nil, errInfeasible
 		}
-		if v.hi-v.lo <= 1e-12 {
+		if hi-lo <= 1e-12 {
 			c.lpIndex[i] = -1
-			c.fixed[i] = v.lo
-			c.objOff += v.obj * v.lo
+			c.fixed[i] = lo
+			c.objOff += v.obj * lo
 			continue
 		}
 		c.lpIndex[i] = len(c.active)
-		c.shift[i] = v.lo
-		c.shiftOff += v.obj * v.lo
+		c.shift[i] = lo
+		c.shiftOff += v.obj * lo
 		c.active = append(c.active, i)
 	}
 	n := len(c.active)
 	c.base.NumVars = n
 	c.base.Cost = growFloats(c.base.Cost, n)
 	c.base.Upper = growFloats(c.base.Upper, n)
+	c.prio = growInt8s(c.prio, n)
+	c.isIntBuf = growBools(c.isIntBuf, n)
 	for k, mi := range c.active {
 		v := &m.vars[mi]
 		c.base.Cost[k] = c.objDir * v.obj
-		if math.IsInf(v.hi, 1) {
+		if math.IsInf(c.phi[mi], 1) {
 			c.base.Upper[k] = math.Inf(1)
 		} else {
-			c.base.Upper[k] = v.hi - v.lo
+			c.base.Upper[k] = c.phi[mi] - c.plo[mi]
 		}
+		c.prio[k] = v.prio
+		c.isIntBuf[k] = v.typ == Binary
 	}
-	c.coefAcc = growFloats(c.coefAcc, n)
-	c.mark = growInts(c.mark, n)
-	c.round++
+
+	// LP rows from the (possibly tightened) row image.
 	c.base.Cons = c.base.Cons[:0]
-	for ri := range m.rows {
-		r := &m.rows[ri]
-		rhs := r.rhs
-		c.touched = c.touched[:0]
-		for _, t := range r.terms {
-			mi := int(t.Var)
-			if c.lpIndex[mi] < 0 {
-				rhs -= t.Coef * c.fixed[mi]
-				continue
-			}
-			rhs -= t.Coef * c.shift[mi]
-			j := c.lpIndex[mi]
-			if c.mark[j] != c.round {
-				c.mark[j] = c.round
-				c.coefAcc[j] = 0
-				c.touched = append(c.touched, j)
-			}
-			c.coefAcc[j] += t.Coef
+	for ri := 0; ri < nr; ri++ {
+		if c.pskip[ri] {
+			continue
 		}
+		rhs := c.prhs[ri]
 		// Reuse the previous build's term storage for this constraint slot.
 		if len(c.base.Cons) < cap(c.base.Cons) {
 			c.base.Cons = c.base.Cons[:len(c.base.Cons)+1]
@@ -371,16 +543,19 @@ func (m *Model) compile() (*compiled, error) {
 		}
 		cons := &c.base.Cons[len(c.base.Cons)-1]
 		cons.Terms = cons.Terms[:0]
-		for _, j := range c.touched {
-			if cf := c.coefAcc[j]; cf != 0 {
-				cons.Terms = append(cons.Terms, lp.Term{Var: j, Coef: cf})
+		for _, t := range c.pterms[c.pstart[ri]:c.pstart[ri+1]] {
+			mi := int(t.Var)
+			if c.lpIndex[mi] < 0 {
+				rhs -= t.Coef * c.fixed[mi]
+				continue
 			}
+			rhs -= t.Coef * c.shift[mi]
+			cons.Terms = append(cons.Terms, lp.Term{Var: c.lpIndex[mi], Coef: t.Coef})
 		}
-		c.round++ // invalidate marks for the next row
 		if len(cons.Terms) == 0 {
 			c.base.Cons = c.base.Cons[:len(c.base.Cons)-1]
 			ok := true
-			switch r.sense {
+			switch c.psense[ri] {
 			case LE:
 				ok = 0 <= rhs+lp.FeasTol
 			case GE:
@@ -393,20 +568,34 @@ func (m *Model) compile() (*compiled, error) {
 			}
 			continue
 		}
-		cons.Sense = r.sense
+		cons.Sense = c.psense[ri]
 		cons.RHS = rhs
+	}
+	c.baseRows = len(c.base.Cons)
+	c.cutMark = growInts(c.cutMark, n)
+	c.conflBuilt = false
+	if c.cutSeen == nil {
+		c.cutSeen = make(map[uint64]bool, 32)
+	} else {
+		clear(c.cutSeen)
 	}
 	return c, nil
 }
 
 // toModelX expands an LP point back to full model-variable space.
 func (c *compiled) toModelX(x []float64) []float64 {
-	out := make([]float64, len(c.m.vars))
-	copy(out, c.fixed)
+	return c.toModelXInto(x, make([]float64, len(c.m.vars)))
+}
+
+// toModelXInto expands an LP point into the caller's buffer (grown as
+// needed), so the branch-and-bound's candidate paths stay allocation-free.
+func (c *compiled) toModelXInto(x, buf []float64) []float64 {
+	buf = growFloats(buf, len(c.m.vars))
+	copy(buf, c.fixed)
 	for k, mi := range c.active {
-		out[mi] = x[k] + c.shift[mi]
+		buf[mi] = x[k] + c.shift[mi]
 	}
-	return out
+	return buf
 }
 
 // modelObjective computes the model-direction objective of a full point.

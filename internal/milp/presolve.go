@@ -1,0 +1,245 @@
+// Presolve: the once-per-Solve reduction pass of the tree-reduction layer.
+// It operates on the compiled row image (a mutable, term-accumulated copy of
+// the model rows plus a bounds overlay) before the LP is emitted, so the
+// model itself is never altered and every Solve starts from the caller's
+// exact formulation.
+//
+// Three families of single-row reductions run to a fixpoint:
+//
+//   - Activity-based fixing: a binary whose 0 or 1 setting cannot be
+//     completed to a row-feasible point is fixed at the other value. On
+//     SQPR models this is what eliminates placement variables forced out by
+//     residual host budgets (an operator whose CPU cost exceeds a host's
+//     remaining capacity, a flow whose rate exceeds remaining bandwidth).
+//
+//   - Coefficient tightening: for an inequality row with a binary term, the
+//     pair (coefficient, RHS) is shifted so the non-binding side of the
+//     branch becomes exactly vacuous. Integer solutions are untouched while
+//     the LP relaxation shrinks, which is where fractional root solutions —
+//     and therefore branching — come from. Applied repeatedly this derives
+//     small cover-like facets directly inside the budget rows.
+//
+//   - Redundant-row removal: rows that every point within bounds satisfies
+//     are dropped, and variables left with no live row are fixed at their
+//     objective-preferred bound (dominated placement columns: a variable
+//     whose every constraint went redundant cannot improve the objective at
+//     any other value).
+package milp
+
+import "math"
+
+// presolveMaxPasses bounds the fixpoint iteration; each pass is O(nnz).
+const presolveMaxPasses = 8
+
+// rowActivity returns the minimum and maximum of a·x over the overlay
+// bounds of the row's variables.
+func (c *compiled) rowActivity(ri int) (minAct, maxAct float64) {
+	for _, t := range c.pterms[c.pstart[ri]:c.pstart[ri+1]] {
+		mi := int(t.Var)
+		lo, hi := c.plo[mi], c.phi[mi]
+		if t.Coef > 0 {
+			minAct += t.Coef * lo
+			maxAct += t.Coef * hi
+		} else {
+			minAct += t.Coef * hi
+			maxAct += t.Coef * lo
+		}
+	}
+	return minAct, maxAct
+}
+
+// freeBinary reports whether model variable mi is a binary still free under
+// the overlay bounds (exactly {0,1}).
+func (c *compiled) freeBinary(mi int) bool {
+	return c.m.vars[mi].typ == Binary && c.plo[mi] == 0 && c.phi[mi] == 1
+}
+
+// runPresolve tightens the row image in place; returns errInfeasible when a
+// row is proven unsatisfiable over the bounds.
+func (c *compiled) runPresolve() error {
+	nv := len(c.m.vars)
+	nr := len(c.prhs)
+	for pass := 0; pass < presolveMaxPasses; pass++ {
+		changed := false
+		for ri := 0; ri < nr; ri++ {
+			if c.pskip[ri] {
+				continue
+			}
+			ch, err := c.presolveRow(ri)
+			if err != nil {
+				return err
+			}
+			changed = changed || ch
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Unconstrained columns: fix at the objective-preferred bound. appear
+	// counts live-row appearances after all row reductions.
+	c.appear = growInt32s(c.appear, nv)
+	for i := range c.appear[:nv] {
+		c.appear[i] = 0
+	}
+	for ri := 0; ri < nr; ri++ {
+		if c.pskip[ri] {
+			continue
+		}
+		for _, t := range c.pterms[c.pstart[ri]:c.pstart[ri+1]] {
+			if t.Coef != 0 {
+				c.appear[t.Var]++
+			}
+		}
+	}
+	for mi := 0; mi < nv; mi++ {
+		if c.appear[mi] > 0 || c.phi[mi]-c.plo[mi] <= 1e-12 {
+			continue
+		}
+		v := &c.m.vars[mi]
+		// Model-direction improvement: maximise wants positive-objective
+		// variables high, minimise wants them low.
+		wantHigh := v.obj > 0
+		if !c.m.maximize {
+			wantHigh = v.obj < 0
+		}
+		if wantHigh {
+			if math.IsInf(c.phi[mi], 1) {
+				continue // unbounded improving ray; leave for the LP
+			}
+			c.plo[mi] = c.phi[mi]
+		} else {
+			c.phi[mi] = c.plo[mi]
+		}
+		c.presolveFixed++
+	}
+	return nil
+}
+
+// presolveRow applies the single-row reductions to row ri. Reports whether
+// anything changed.
+func (c *compiled) presolveRow(ri int) (bool, error) {
+	sense := c.psense[ri]
+	rhs := c.prhs[ri]
+	minAct, maxAct := c.rowActivity(ri)
+	tol := 1e-7 * (1 + math.Abs(rhs))
+
+	// Infeasibility and redundancy over current bounds.
+	switch sense {
+	case LE:
+		if minAct > rhs+tol {
+			return false, errInfeasible
+		}
+		if maxAct <= rhs+tol {
+			c.pskip[ri] = true
+			c.presolveDropped++
+			return true, nil
+		}
+	case GE:
+		if maxAct < rhs-tol {
+			return false, errInfeasible
+		}
+		if minAct >= rhs-tol {
+			c.pskip[ri] = true
+			c.presolveDropped++
+			return true, nil
+		}
+	case EQ:
+		if minAct > rhs+tol || maxAct < rhs-tol {
+			return false, errInfeasible
+		}
+	}
+
+	changed := false
+	terms := c.pterms[c.pstart[ri]:c.pstart[ri+1]]
+	for i := range terms {
+		t := &terms[i]
+		mi := int(t.Var)
+		a := t.Coef
+		if a == 0 || !c.freeBinary(mi) {
+			continue
+		}
+		// Activity of the row without this variable's extreme contribution.
+		var minOthers, maxOthers float64
+		if a > 0 {
+			minOthers, maxOthers = minAct, maxAct-a
+		} else {
+			minOthers, maxOthers = minAct-a, maxAct
+		}
+
+		// Forbid values that cannot be completed within the row.
+		forbid0 := false
+		forbid1 := false
+		switch sense {
+		case LE:
+			forbid0 = minOthers > rhs+tol
+			forbid1 = minOthers+a > rhs+tol
+		case GE:
+			forbid0 = maxOthers < rhs-tol
+			forbid1 = maxOthers+a < rhs-tol
+		case EQ:
+			forbid0 = minOthers > rhs+tol || maxOthers < rhs-tol
+			forbid1 = minOthers+a > rhs+tol || maxOthers+a < rhs-tol
+		}
+		if forbid0 && forbid1 {
+			return false, errInfeasible
+		}
+		if forbid0 || forbid1 {
+			if forbid0 {
+				c.plo[mi] = 1
+			} else {
+				c.phi[mi] = 0
+			}
+			c.presolveFixed++
+			// Activities and sibling decisions are stale now; recompute on
+			// the next fixpoint pass rather than patching incrementally.
+			return true, nil
+		}
+
+		// Coefficient tightening (inequalities only): shift (a, rhs) so the
+		// branch side that is vacuous over the bounds becomes exactly tight.
+		switch sense {
+		case LE:
+			if a > 0 && !math.IsInf(maxOthers, 1) {
+				// x=0 side vacuous iff maxOthers <= rhs; pull both down.
+				if delta := rhs - maxOthers; delta > tol && delta < a-tol {
+					t.Coef = a - delta
+					rhs -= delta
+					c.prhs[ri] = rhs
+					maxAct -= delta // maxAct used x=1: shrink coef and rhs
+					c.presolveTightened++
+					changed = true
+				}
+			} else if a < 0 && !math.IsInf(maxOthers, 1) {
+				// x=1 side vacuous iff rhs-a >= maxOthers; raise a toward 0.
+				if na := rhs - maxOthers; na > a+tol && na <= 0 {
+					t.Coef = na
+					minAct += na - a // min contribution was a (at x=1)
+					c.presolveTightened++
+					changed = true
+				}
+			}
+		case GE:
+			if a > 0 && !math.IsInf(minOthers, -1) {
+				// x=1 side vacuous iff rhs-a <= minOthers; lower a toward 0.
+				if na := rhs - minOthers; na < a-tol && na >= 0 {
+					t.Coef = na
+					maxAct -= a - na // max contribution was a (at x=1)
+					c.presolveTightened++
+					changed = true
+				}
+			} else if a < 0 && !math.IsInf(minOthers, -1) {
+				// x=0 side vacuous iff rhs <= minOthers; pull both up.
+				if delta := minOthers - rhs; delta > tol && delta < -a-tol {
+					t.Coef = a + delta
+					rhs += delta
+					c.prhs[ri] = rhs
+					minAct += delta // minAct used x=1: both rise together
+					c.presolveTightened++
+					changed = true
+				}
+			}
+		}
+	}
+	return changed, nil
+}

@@ -1,0 +1,194 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// mixedRandomModel builds a random MILP with the row shapes of the SQPR
+// planner: knapsack budget rows, pairwise conflicts, an exactly-one
+// assignment row, and big-M indicator rows linking binaries to continuous
+// variables. Most instances are feasible; infeasible ones are fine too —
+// conformance compares outcomes, not feasibility.
+func mixedRandomModel(rng *rand.Rand) *Model {
+	m := NewModel()
+	n := 8 + rng.Intn(16)
+	vars := make([]Var, n)
+	objTerms := make([]Term, 0, n+2)
+	for i := 0; i < n; i++ {
+		vars[i] = m.AddBinary("b")
+		objTerms = append(objTerms, Term{vars[i], 1 + rng.Float64()*14})
+	}
+	// Budget rows.
+	for r := 0; r < 1+rng.Intn(3); r++ {
+		terms := make([]Term, 0, n)
+		total := 0.0
+		for i := 0; i < n; i++ {
+			w := 1 + rng.Float64()*9
+			terms = append(terms, Term{vars[i], w})
+			total += w
+		}
+		m.AddCons("cap", LE, total*(0.3+rng.Float64()*0.4), terms...)
+	}
+	// Conflict pairs.
+	for i := 0; i+1 < n; i += 2 + rng.Intn(3) {
+		m.AddCons("pair", LE, 1, Term{vars[i], 1}, Term{vars[i+1], 1})
+	}
+	// Exactly-one assignment row over a random subset.
+	if n >= 6 {
+		k := 3 + rng.Intn(3)
+		terms := make([]Term, 0, k)
+		for i := 0; i < k; i++ {
+			terms = append(terms, Term{vars[rng.Intn(n)], 1})
+		}
+		m.AddCons("one", EQ, 1, terms...)
+	}
+	// Big-M indicator: y <= 3 + 4*b for a continuous y, like the acyclicity
+	// rows' indicator structure.
+	y := m.AddContinuous(0, 10, "y")
+	objTerms = append(objTerms, Term{y, 0.5 + rng.Float64()})
+	m.AddCons("link", LE, 3, Term{y, 1}, Term{vars[rng.Intn(n)], -4})
+	m.SetObjective(true, objTerms...)
+	// Priorities like the planner's: a high class on a few binaries.
+	for i := 0; i < n; i += 3 {
+		m.SetBranchPriority(vars[i], 2)
+	}
+	return m
+}
+
+// TestTreeReductionConformance solves 50 seeded instances with the
+// tree-reduction layer on and off, to proven optimality, and requires
+// identical statuses and objectives: presolve, cuts, reduced-cost fixing
+// and pseudo-cost branching must never change what is optimal — only how
+// fast it is proven. CI runs this under -race.
+func TestTreeReductionConformance(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		a := mixedRandomModel(rand.New(rand.NewSource(seed)))
+		b := mixedRandomModel(rand.New(rand.NewSource(seed)))
+		ra := a.Solve(Options{MaxNodes: 500000})
+		rb := b.Solve(Options{MaxNodes: 500000, DisableTreeReduction: true})
+		if ra.Status != rb.Status {
+			t.Fatalf("seed %d: status %v (reduced) vs %v (plain)", seed, ra.Status, rb.Status)
+		}
+		if ra.Status != OptimalMIP && ra.Status != InfeasibleMIP {
+			t.Fatalf("seed %d: not solved to proof: %v", seed, ra.Status)
+		}
+		if ra.Status == OptimalMIP &&
+			math.Abs(ra.Objective-rb.Objective) > 1e-6*(1+math.Abs(rb.Objective)) {
+			t.Fatalf("seed %d: objective %v (reduced) vs %v (plain)", seed, ra.Objective, rb.Objective)
+		}
+	}
+}
+
+// TestTreeReductionShrinksTree is the headline regression guard: on the
+// benchmark knapsack-with-conflicts model the tree-reduction layer must
+// explore well under half the nodes of plain branch and bound.
+func TestTreeReductionShrinksTree(t *testing.T) {
+	build := func() *Model {
+		rng := rand.New(rand.NewSource(9))
+		n := 40
+		m := NewModel()
+		vars := make([]Var, n)
+		terms := make([]Term, n)
+		weights := make([]Term, n)
+		for i := 0; i < n; i++ {
+			vars[i] = m.AddBinary("x")
+			terms[i] = Term{vars[i], 1 + rng.Float64()*14}
+			weights[i] = Term{vars[i], 1 + rng.Float64()*9}
+		}
+		m.SetObjective(true, terms...)
+		m.AddCons("cap", LE, float64(2*n), weights...)
+		for i := 0; i+1 < n; i += 3 {
+			m.AddCons("pair", LE, 1, Term{vars[i], 1}, Term{vars[i+1], 1})
+		}
+		return m
+	}
+	reduced := build().Solve(Options{MaxNodes: 100000})
+	plain := build().Solve(Options{MaxNodes: 100000, DisableTreeReduction: true})
+	if reduced.Status != OptimalMIP || plain.Status != OptimalMIP {
+		t.Fatalf("status: %v / %v", reduced.Status, plain.Status)
+	}
+	if math.Abs(reduced.Objective-plain.Objective) > 1e-6 {
+		t.Fatalf("objective drift: %v vs %v", reduced.Objective, plain.Objective)
+	}
+	if reduced.Nodes*2 >= plain.Nodes {
+		t.Fatalf("tree not reduced: %d nodes (reduced) vs %d (plain)", reduced.Nodes, plain.Nodes)
+	}
+	if reduced.Cuts == 0 {
+		t.Fatal("no cuts pooled on a model with violated covers")
+	}
+}
+
+// TestStallNodesStopsSearch verifies the stagnation stop: with an incumbent
+// supplied and a stall budget, the search returns Feasible after roughly
+// that many nodes instead of exhausting the tree.
+func TestStallNodesStopsSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 30
+	m := NewModel()
+	vars := make([]Var, n)
+	terms := make([]Term, n)
+	weights := make([]Term, n)
+	for i := 0; i < n; i++ {
+		vars[i] = m.AddBinary("x")
+		terms[i] = Term{vars[i], 1 + rng.Float64()*9}
+		weights[i] = Term{vars[i], 1 + rng.Float64()*9}
+	}
+	m.SetObjective(true, terms...)
+	m.AddCons("cap", LE, float64(n), weights...)
+
+	full := m.Solve(Options{MaxNodes: 100000})
+	if full.Status != OptimalMIP {
+		t.Fatalf("full solve: %v", full.Status)
+	}
+	// Hand the optimum in as the incumbent: the stalled search can never
+	// improve it, so it must stop after ~StallNodes nodes.
+	stalled := m.Solve(Options{MaxNodes: 100000, StallNodes: 5, Incumbent: full.X})
+	if stalled.X == nil {
+		t.Fatalf("stalled solve lost the incumbent: %v", stalled.Status)
+	}
+	if math.Abs(stalled.Objective-full.Objective) > 1e-9 {
+		t.Fatalf("stalled objective %v != optimal %v", stalled.Objective, full.Objective)
+	}
+	if full.Nodes > 20 && stalled.Nodes > full.Nodes/2 {
+		t.Fatalf("stall did not shorten the search: %d vs %d nodes", stalled.Nodes, full.Nodes)
+	}
+}
+
+// TestPresolveFixesForcedBinaries checks the activity-based fixing rule: a
+// binary whose coefficient exceeds the residual budget must be eliminated
+// before the search.
+func TestPresolveFixesForcedBinaries(t *testing.T) {
+	m := NewModel()
+	a := m.AddBinary("a") // cost 9 > budget 5: forced off
+	b := m.AddBinary("b")
+	m.SetObjective(true, Term{a, 10}, Term{b, 1})
+	m.AddCons("cpu", LE, 5, Term{a, 9}, Term{b, 2})
+	res := m.Solve(Options{})
+	if res.Status != OptimalMIP {
+		t.Fatalf("status %v", res.Status)
+	}
+	if res.PresolveFixed == 0 {
+		t.Fatal("presolve did not fix the over-budget binary")
+	}
+	if math.Round(res.X[a]) != 0 || math.Round(res.X[b]) != 1 {
+		t.Fatalf("wrong optimum: %v", res.X)
+	}
+}
+
+// TestPresolveInfeasible checks that activity bounds prove infeasibility
+// without a search.
+func TestPresolveInfeasible(t *testing.T) {
+	m := NewModel()
+	a := m.AddBinary("a")
+	b := m.AddBinary("b")
+	m.AddCons("need", GE, 3, Term{a, 1}, Term{b, 1})
+	res := m.Solve(Options{})
+	if res.Status != InfeasibleMIP {
+		t.Fatalf("status %v", res.Status)
+	}
+	if res.Nodes != 0 {
+		t.Fatalf("explored %d nodes for a presolve-infeasible model", res.Nodes)
+	}
+}

@@ -120,6 +120,16 @@ type Result struct {
 	// Nodes and LPIters report solver effort.
 	Nodes   int
 	LPIters int
+	// Stalled reports that the MILP search ended via its stagnation stop
+	// (no incumbent progress) rather than a deadline or node budget.
+	Stalled bool
+	// Cuts counts root cutting planes pooled by the solve, Fixings counts
+	// reduced-cost bound fixings applied during the search, and
+	// PresolveFixed counts variables eliminated before the search (core
+	// SQPR and hierarchical only; see internal/milp).
+	Cuts          int
+	Fixings       int
+	PresolveFixed int
 	// FreeStreams and FreeOps report the reduced problem size.
 	FreeStreams, FreeOps, CandidateHosts int
 }
@@ -135,9 +145,19 @@ type Stats struct {
 	// TotalNodes and TotalLPIters accumulate solver effort.
 	TotalNodes   int
 	TotalLPIters int
+	// TotalCuts, TotalFixings and TotalPresolveFixed accumulate the
+	// tree-reduction counters of the MILP solver, making the effect of
+	// presolve, root cuts and reduced-cost fixing observable end to end.
+	TotalCuts          int
+	TotalFixings       int
+	TotalPresolveFixed int
 	// Timeouts counts calls whose solver hit its deadline or node budget
-	// before proving optimality (FeasibleMIP outcomes).
+	// before proving optimality (FeasibleMIP outcomes). Stagnation stops
+	// are counted separately in Stalls: they are a deliberate early exit,
+	// not a budget problem an operator should tune away.
 	Timeouts int
+	// Stalls counts calls ended by the solver's stagnation stop.
+	Stalls int
 }
 
 // Record folds one call's outcome into the cumulative stats.
@@ -149,8 +169,15 @@ func (s *Stats) Record(res Result) {
 	s.TotalPlanTime += res.PlanTime
 	s.TotalNodes += res.Nodes
 	s.TotalLPIters += res.LPIters
+	s.TotalCuts += res.Cuts
+	s.TotalFixings += res.Fixings
+	s.TotalPresolveFixed += res.PresolveFixed
 	if res.SolveStatus == milp.FeasibleMIP {
-		s.Timeouts++
+		if res.Stalled {
+			s.Stalls++
+		} else {
+			s.Timeouts++
+		}
 	}
 }
 

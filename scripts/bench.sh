@@ -1,29 +1,41 @@
 #!/bin/sh
-# Runs the benchmark suite and records the perf trajectory in BENCH_1.json.
+# Runs the benchmark suite and records the perf trajectory in BENCH_2.json.
 #
 # The headline series is BenchmarkAblationBaseline's us-per-plan (average
 # wall-clock per planning call on the compact §V workload), compared against
-# the pre-rework number measured on the seed solver (solve path rebuilt
-# around warm-started dual simplex + lazy rows in the same change that
-# introduced this script). BenchmarkLPResolve's allocs/op guards the
-# allocation-free warm re-solve path.
+# BENCH_1.json — the warm-started solver of the previous rework — and the
+# original pre-rework seed solver. BENCH_2 adds the tree-reduction layer:
+# presolve, root cuts (lifted covers, cliques, Gomory), reduced-cost
+# fixing, pseudo-cost branching and the large-model stagnation stop, so the
+# per-solve node/cut/fixing series are recorded alongside.
+#
+# The script FAILS if the admitted count differs from BENCH_1.json: every
+# perf change must preserve the planner's admission decisions exactly.
+#
+# The micro benchmarks run at -benchtime=30x so arena/pool warm-up (first
+# iteration building the solver arenas) does not dominate allocs/op.
 #
 # Usage: scripts/bench.sh [output.json]
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_1.json}"
+out="${1:-BENCH_2.json}"
+base="BENCH_1.json"
 
 # Measured on the seed (pre-rework) solver with the same benchmark.
 pre_us_per_plan=70634
 
+base_us=$(sed -n 's/.*"us_per_plan": \([0-9.]*\).*/\1/p' "$base")
+base_admitted=$(sed -n 's/.*"admitted": \([0-9.]*\).*/\1/p' "$base")
+
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -run=NONE -bench='BenchmarkAblationBaseline|BenchmarkLPResolve|BenchmarkMILPNode' \
-	-benchtime=3x -count=1 . | tee "$tmp"
+go test -run=NONE -bench='BenchmarkAblationBaseline' -benchtime=3x -count=1 . | tee "$tmp"
+go test -run=NONE -bench='BenchmarkLPResolve|BenchmarkMILPNode' -benchtime=30x -count=1 . | tee -a "$tmp"
 
-awk -v pre="$pre_us_per_plan" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+awk -v pre="$pre_us_per_plan" -v base_us="$base_us" -v base_admitted="$base_admitted" \
+	-v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 function val(name,    i) {
 	for (i = 1; i <= NF; i++)
 		if ($(i + 1) == name)
@@ -32,6 +44,8 @@ function val(name,    i) {
 }
 /^BenchmarkAblationBaseline/ {
 	us = val("us-per-plan"); adm = val("admitted")
+	nodes_solve = val("nodes/solve"); cuts_solve = val("cuts/solve")
+	fixings_solve = val("fixings/solve")
 }
 /^BenchmarkLPResolve/ {
 	lp_ns = $3; lp_allocs = val("allocs/op")
@@ -40,13 +54,22 @@ function val(name,    i) {
 	node_ns = $3; node_allocs = val("allocs/op"); nodes = val("nodes-per-solve")
 }
 END {
+	if (adm != base_admitted) {
+		printf "FAIL: admitted count %s differs from BENCH_1 (%s)\n", adm, base_admitted > "/dev/stderr"
+		exit 1
+	}
 	printf "{\n"
 	printf "  \"generated\": \"%s\",\n", date
 	printf "  \"benchmark\": \"BenchmarkAblationBaseline\",\n"
-	printf "  \"pre_pr_us_per_plan\": %s,\n", pre
+	printf "  \"pre_pr_us_per_plan\": %s,\n", base_us
+	printf "  \"seed_us_per_plan\": %s,\n", pre
 	printf "  \"us_per_plan\": %s,\n", us
-	printf "  \"speedup_vs_pre_pr\": %.2f,\n", pre / us
+	printf "  \"speedup_vs_pre_pr\": %.2f,\n", base_us / us
+	printf "  \"speedup_vs_seed\": %.2f,\n", pre / us
 	printf "  \"admitted\": %s,\n", adm
+	printf "  \"planner_nodes_per_solve\": %s,\n", nodes_solve
+	printf "  \"planner_cuts_per_solve\": %s,\n", cuts_solve
+	printf "  \"planner_fixings_per_solve\": %s,\n", fixings_solve
 	printf "  \"lp_resolve_ns_per_op\": %s,\n", lp_ns
 	printf "  \"lp_resolve_allocs_per_op\": %s,\n", lp_allocs
 	printf "  \"milp_node_ns_per_op\": %s,\n", node_ns

@@ -1,0 +1,45 @@
+#!/bin/sh
+# Perf-regression smoke: re-runs the bench suite into a scratch file and
+# fails when
+#   - us_per_plan regressed more than 25% against the committed
+#     BENCH_2.json (wall-clock; assumes CI hardware comparable to the
+#     baseline machine — the deterministic checks below catch real solver
+#     regressions even when the hardware is not),
+#   - milp_nodes_per_solve grew against the committed value (the search is
+#     deterministic, so the node count is hardware-independent), or
+#   - the admitted count drifted from BENCH_1.json (enforced inside
+#     bench.sh itself).
+#
+# Usage: scripts/perfcheck.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+committed_us=$(sed -n 's/.*"us_per_plan": \([0-9.]*\).*/\1/p' BENCH_2.json)
+committed_nodes=$(sed -n 's/.*"milp_nodes_per_solve": \([0-9.]*\).*/\1/p' BENCH_2.json)
+[ -n "$committed_us" ] || { echo "FAIL: no us_per_plan in BENCH_2.json" >&2; exit 1; }
+[ -n "$committed_nodes" ] || { echo "FAIL: no milp_nodes_per_solve in BENCH_2.json" >&2; exit 1; }
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+sh scripts/bench.sh "$tmp"
+
+fresh_us=$(sed -n 's/.*"us_per_plan": \([0-9.]*\).*/\1/p' "$tmp")
+fresh_nodes=$(sed -n 's/.*"milp_nodes_per_solve": \([0-9.]*\).*/\1/p' "$tmp")
+[ -n "$fresh_us" ] || { echo "FAIL: bench run produced no us_per_plan" >&2; exit 1; }
+
+awk -v fu="$fresh_us" -v cu="$committed_us" -v fn="$fresh_nodes" -v cn="$committed_nodes" 'BEGIN {
+	printf "us_per_plan: fresh %s vs committed %s (limit %.0f)\n", fu, cu, cu * 1.25
+	printf "milp_nodes_per_solve: fresh %s vs committed %s\n", fn, cn
+	fail = 0
+	if (fu + 0 > cu * 1.25) {
+		print "FAIL: us_per_plan regressed more than 25% vs BENCH_2.json" > "/dev/stderr"
+		fail = 1
+	}
+	if (fn + 0 > cn * 1.05) {
+		print "FAIL: milp_nodes_per_solve grew vs BENCH_2.json" > "/dev/stderr"
+		fail = 1
+	}
+	exit fail
+}'
+echo "perf check passed"
