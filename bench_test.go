@@ -16,9 +16,11 @@ import (
 	"time"
 
 	"sqpr/internal/core"
+	"sqpr/internal/dsps"
 	"sqpr/internal/hier"
 	"sqpr/internal/lp"
 	"sqpr/internal/milp"
+	"sqpr/internal/plan"
 	"sqpr/internal/sim"
 )
 
@@ -342,6 +344,102 @@ func BenchmarkHierarchicalVsFlat(b *testing.B) {
 	b.ReportMetric(float64(hierN), "hier-admitted")
 	b.ReportMetric(float64(flatT.Microseconds()), "flat-us-per-plan")
 	b.ReportMetric(float64(hierT.Microseconds()), "hier-us-per-plan")
+}
+
+// BenchmarkChurnRepair measures the churn-repair path: after a failure of
+// the busiest host, the delta-MILP Repair (pin survivors, re-solve only
+// the affected closures from the warm incumbent) is timed against two
+// baselines on identical workloads — remove-and-resubmit of the affected
+// queries, and a cold full re-solve of the entire workload on the degraded
+// system (what a planner without repair state would have to do).
+func BenchmarkChurnRepair(b *testing.B) {
+	sc := benchScale()
+	ctx := context.Background()
+	mkPlanner := func(sys *dsps.System) *core.Planner {
+		cfg := core.DefaultConfig()
+		cfg.SolveTimeout = sc.Timeout
+		cfg.MaxCandidateHosts = sc.MaxCandHost
+		return core.NewPlanner(sys, cfg)
+	}
+	busiest := func(a *dsps.Assignment) dsps.HostID {
+		counts := map[dsps.HostID]int{}
+		for pl, on := range a.Ops {
+			if on {
+				counts[pl.Host]++
+			}
+		}
+		best, bestN := dsps.HostID(0), -1
+		for h, n := range counts {
+			if n > bestN || (n == bestN && h < best) {
+				best, bestN = h, n
+			}
+		}
+		return best
+	}
+
+	var repairT, resubmitT, coldT time.Duration
+	var repairKept, coldKept, repairMig, resubmitMig int
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		envA := sim.BuildEnv(sc)
+		pA := mkPlanner(envA.Sys)
+		for _, q := range envA.Queries {
+			if _, err := pA.Submit(ctx, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		fail := busiest(pA.Assignment())
+		events := []plan.Event{plan.FailHost(fail)}
+
+		envB := sim.BuildEnv(sc)
+		pB := mkPlanner(envB.Sys)
+		for _, q := range envB.Queries {
+			if _, err := pB.Submit(ctx, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		envC := sim.BuildEnv(sc)
+		if err := plan.ApplyEvents(envC.Sys, events); err != nil {
+			b.Fatal(err)
+		}
+		pC := mkPlanner(envC.Sys)
+		b.StartTimer()
+
+		start := time.Now()
+		rrA, err := pA.Repair(ctx, events)
+		if err != nil {
+			b.Fatal(err)
+		}
+		repairT += time.Since(start)
+
+		start = time.Now()
+		rrB, err := plan.RepairByResubmit(ctx, envB.Sys, pB, events)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resubmitT += time.Since(start)
+
+		start = time.Now()
+		for _, q := range envC.Queries {
+			if _, err := pC.Submit(ctx, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		coldT += time.Since(start)
+
+		repairKept = pA.AdmittedCount()
+		coldKept = pC.AdmittedCount()
+		repairMig = rrA.Migrated
+		resubmitMig = rrB.Migrated
+	}
+	n := time.Duration(b.N)
+	b.ReportMetric(float64((repairT / n).Microseconds()), "repair-us")
+	b.ReportMetric(float64((resubmitT / n).Microseconds()), "resubmit-us")
+	b.ReportMetric(float64((coldT / n).Microseconds()), "cold-resolve-us")
+	b.ReportMetric(float64(repairKept), "repair-admitted")
+	b.ReportMetric(float64(coldKept), "cold-admitted")
+	b.ReportMetric(float64(repairMig), "repair-migrated")
+	b.ReportMetric(float64(resubmitMig), "resubmit-migrated")
 }
 
 // BenchmarkAdaptiveReplanning measures the §IV-B surge-and-replan loop.

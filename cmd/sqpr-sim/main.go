@@ -1,11 +1,16 @@
 // Command sqpr-sim regenerates the simulation figures of the SQPR paper
 // (Fig. 4–6): planning efficiency, batching, overlap, scalability and
 // planning-time overhead. Each figure prints the same series the paper
-// plots, at the reduced scale documented in DESIGN.md.
+// plots, at the reduced scale documented in DESIGN.md. The extra "churn"
+// scenario goes beyond the paper: Poisson host failures and recoveries
+// over the planned workload, repaired with the migration-minimal delta
+// solver (admissions kept, queries dropped, operators migrated, repair
+// latency).
 //
 // Usage:
 //
 //	sqpr-sim -fig 4a            # one figure
+//	sqpr-sim -fig churn         # the host-churn repair scenario
 //	sqpr-sim -fig all           # everything (takes several minutes)
 //	sqpr-sim -fig 4a -queries 80 -hosts 10   # dial the scale down
 package main
@@ -22,11 +27,14 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4a,4b,4c,5a,5b,5c,6a,6b or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4a,4b,4c,5a,5b,5c,6a,6b,churn or all")
 	queries := flag.Int("queries", 0, "override query count")
 	hosts := flag.Int("hosts", 0, "override host count")
 	timeout := flag.Duration("timeout", 0, "override per-query solver timeout")
 	seed := flag.Int64("seed", 0, "override workload seed")
+	steps := flag.Int("churn-steps", 0, "override churn step count")
+	failRate := flag.Float64("fail-rate", 0, "override expected host failures per churn step")
+	recoverRate := flag.Float64("recover-rate", 0, "override expected host recoveries per churn step")
 	flag.Parse()
 
 	sc := sim.DefaultScale()
@@ -61,15 +69,55 @@ func main() {
 	run("5c", func() { printScal(sim.Fig5c(sc, []int{2, 3, 4, 5})) })
 	run("6a", func() { printTiming(sim.Fig6a(smaller(sc), []int{4, 6, 8, 10})) })
 	run("6b", func() { printTiming(sim.Fig6b(sc, []int{2, 3, 4, 5})) })
+	run("churn", func() {
+		cs := sim.DefaultChurnScale()
+		cs.Scale = sc
+		if *steps > 0 {
+			cs.Steps = *steps
+		}
+		if *failRate > 0 {
+			cs.FailRate = *failRate
+		}
+		if *recoverRate > 0 {
+			cs.RecoverRate = *recoverRate
+		}
+		res, err := sim.Churn(cs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "churn: %v\n", err)
+			os.Exit(1)
+		}
+		printChurn(res)
+	})
 
 	if *fig != "all" {
 		switch *fig {
-		case "4a", "4b", "4c", "5a", "5b", "5c", "6a", "6b":
+		case "4a", "4b", "4c", "5a", "5b", "5c", "6a", "6b", "churn":
 		default:
 			fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 			os.Exit(2)
 		}
 	}
+}
+
+func printChurn(r sim.ChurnResult) {
+	rows := [][]string{
+		{"submitted", strconv.Itoa(r.Submitted)},
+		{"admitted-initial", strconv.Itoa(r.AdmittedInitial)},
+		{"host-failures", strconv.Itoa(r.Failures)},
+		{"host-recoveries", strconv.Itoa(r.Recoveries)},
+		{"repair-calls", strconv.Itoa(r.RepairCalls)},
+		{"queries-affected", strconv.Itoa(r.Affected)},
+		{"admissions-kept", strconv.Itoa(r.Kept)},
+		{"queries-dropped", strconv.Itoa(r.Dropped)},
+		{"resubmitted", strconv.Itoa(r.Resubmitted)},
+		{"readmitted", strconv.Itoa(r.Readmitted)},
+		{"operators-migrated", strconv.Itoa(r.Migrated)},
+		{"repair-avg", r.RepairAvg.Round(time.Microsecond).String()},
+		{"repair-max", r.RepairMax.Round(time.Microsecond).String()},
+		{"final-admitted", strconv.Itoa(r.FinalAdmitted)},
+		{"final-hosts-down", strconv.Itoa(r.FinalDown)},
+	}
+	fmt.Print(stats.Table([]string{"metric", "value"}, rows))
 }
 
 // smaller trims the scale for the host-sweep timing figure, whose cost

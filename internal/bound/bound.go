@@ -23,6 +23,7 @@ import (
 type Planner struct {
 	sys      *dsps.System
 	budget   float64 // remaining aggregate CPU
+	capacity float64 // total usable aggregate CPU (tracks host churn)
 	placed   map[dsps.OperatorID]bool
 	haveCost map[dsps.StreamID]float64 // memo of marginal cost per stream
 	admitted map[dsps.StreamID]bool
@@ -34,11 +35,14 @@ type Planner struct {
 	stats   plan.Stats
 }
 
-// New creates the bound planner for a system.
+// New creates the bound planner for a system. The aggregate budget counts
+// usable (non-down) hosts only, so a bound built over a degraded system
+// stays an upper bound for that system.
 func New(sys *dsps.System) *Planner {
 	return &Planner{
 		sys:      sys,
-		budget:   sys.TotalCPU(),
+		budget:   sys.UsableCPU(),
+		capacity: sys.UsableCPU(),
 		placed:   make(map[dsps.OperatorID]bool),
 		admitted: make(map[dsps.StreamID]bool),
 		charged:  make(map[dsps.StreamID]float64),
@@ -141,6 +145,55 @@ func (p *Planner) Remove(q dsps.StreamID) error {
 	delete(p.charged, q)
 	delete(p.admitted, q)
 	return nil
+}
+
+// Repair adjusts the aggregate CPU budget to the post-event usable host
+// set. On failures the lost capacity is subtracted; if the remaining
+// admissions no longer fit, the fewest possible queries (largest charges
+// first) are dropped, which keeps the count an upper bound on any real
+// planner's surviving admissions. Recoveries restore capacity. The bound
+// has no physical placements, so nothing migrates, and drift events are
+// no-ops (the bound's reuse accounting is already maximally optimistic).
+func (p *Planner) Repair(ctx context.Context, events []plan.Event, opts ...plan.SubmitOption) (plan.RepairResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	var rr plan.RepairResult
+	if err := plan.ApplyEvents(p.sys, events); err != nil {
+		return rr, err
+	}
+	if err := ctx.Err(); err != nil {
+		return rr, err
+	}
+	newCap := p.sys.UsableCPU()
+	p.budget += newCap - p.capacity
+	p.capacity = newCap
+	for p.budget < -1e-9 {
+		// Deficit: drop the query with the largest charge (fewest drops).
+		worst := dsps.StreamID(-1)
+		var worstCharge float64
+		for q := range p.admitted {
+			c := p.charged[q]
+			if worst < 0 || c > worstCharge || (c == worstCharge && q < worst) {
+				worst, worstCharge = q, c
+			}
+		}
+		if worst < 0 {
+			break // nothing left to drop; capacity is simply negative
+		}
+		p.budget += worstCharge
+		delete(p.charged, worst)
+		delete(p.admitted, worst)
+		rr.Affected = append(rr.Affected, worst)
+		rr.Dropped = append(rr.Dropped, worst)
+	}
+	rr.Admitted = len(rr.Dropped) == 0
+	if !rr.Admitted {
+		rr.Reason = plan.ReasonResourceExhausted
+	}
+	rr.PlanTime = time.Since(start)
+	return rr, nil
 }
 
 // markClosurePlaced registers every operator in q's plan-space closure as

@@ -39,6 +39,22 @@ type builder struct {
 
 	bigM float64
 
+	// stayBonus rewards keeping a surviving operator on its incumbent host
+	// (repair's migration cost, mirrored as a reward so the model stays a
+	// maximisation), and preferHost biases the greedy warm start towards
+	// rebuilding an operator where it ran before the events. Both are
+	// empty outside Repair.
+	stayBonus  map[zKey]float64
+	preferHost map[dsps.OperatorID]dsps.HostID
+
+	// dAllowed, when non-nil, restricts which requested free streams get
+	// provide (d) variables, beyond the always-allowed admitted streams.
+	// Repair sets it to the chunk's queries: opportunistically admitting
+	// unrelated queries is Submit's job, and their λ1-rewarded fractional
+	// admissions would otherwise keep the delta solve's bound open for
+	// the entire node budget.
+	dAllowed map[dsps.StreamID]bool
+
 	// Greedy warm-start scratch (see seed.go): the incremental usage
 	// tracker, the trial-mutation journal, the cycle guard of planStreamAt
 	// and a host-ordering buffer, all pooled across submissions.
@@ -68,17 +84,25 @@ type zKey struct {
 // is pooled on the Planner and reused across submissions, so a long-lived
 // planner re-emits its model each call without reallocating it.
 func (p *Planner) newBuilder(queries []dsps.StreamID) *builder {
+	return p.newBuilderWith(queries, p.freeSet(queries))
+}
+
+// newBuilderWith is newBuilder with an explicit free set; Repair passes the
+// pinned free set (closures of the affected queries only, no sharing-merge).
+func (p *Planner) newBuilderWith(queries []dsps.StreamID, free map[dsps.StreamID]bool) *builder {
 	b := p.bld
 	if b == nil {
 		b = &builder{
-			dVar:      make(map[hsKey]milp.Var),
-			xVar:      make(map[flowKey]milp.Var),
-			yVar:      make(map[hsKey]milp.Var),
-			zVar:      make(map[zKey]milp.Var),
-			pVar:      make(map[hsKey]milp.Var),
-			freeOpSet: make(map[dsps.OperatorID]bool),
-			visiting:  make(map[planKey]bool),
-			model:     milp.NewModel(),
+			dVar:       make(map[hsKey]milp.Var),
+			xVar:       make(map[flowKey]milp.Var),
+			yVar:       make(map[hsKey]milp.Var),
+			zVar:       make(map[zKey]milp.Var),
+			pVar:       make(map[hsKey]milp.Var),
+			stayBonus:  make(map[zKey]float64),
+			preferHost: make(map[dsps.OperatorID]dsps.HostID),
+			freeOpSet:  make(map[dsps.OperatorID]bool),
+			visiting:   make(map[planKey]bool),
+			model:      milp.NewModel(),
 		}
 		p.bld = b
 	} else {
@@ -88,6 +112,9 @@ func (p *Planner) newBuilder(queries []dsps.StreamID) *builder {
 		clear(b.zVar)
 		clear(b.pVar)
 		clear(b.freeOpSet)
+		clear(b.stayBonus)
+		clear(b.preferHost)
+		b.dAllowed = nil
 		b.freeStreams = b.freeStreams[:0]
 		b.freeOps = b.freeOps[:0]
 		b.hosts = b.hosts[:0]
@@ -97,7 +124,7 @@ func (p *Planner) newBuilder(queries []dsps.StreamID) *builder {
 	b.p = p
 	b.sys = p.sys
 	b.queries = queries
-	b.free = p.freeSet(queries)
+	b.free = free
 	for s := range b.free {
 		b.freeStreams = append(b.freeStreams, s)
 	}
@@ -112,18 +139,33 @@ func (p *Planner) newBuilder(queries []dsps.StreamID) *builder {
 	return b
 }
 
+// allowProvide reports whether requested free stream s gets d variables in
+// this model (see dAllowed).
+func (b *builder) allowProvide(s dsps.StreamID) bool {
+	return b.dAllowed == nil || b.dAllowed[s] || b.p.admitted[s]
+}
+
 // selectHosts picks the candidate host set: every host already touching a
 // free stream or free operator is forced in (their variables must be free
 // for correctness), every host holding a base stream of the free set is
 // highly desirable, and remaining slots are filled by spare CPU capacity.
+// Down hosts never enter the set — the planner state is expected to hold
+// nothing on them (Repair strips failures before re-planning) — and
+// draining hosts enter only when forced in by existing allocations, never
+// as discretionary candidates for new load.
 func (b *builder) selectHosts() {
 	n := b.sys.NumHosts()
 	forced := make(map[dsps.HostID]bool)
 	st := b.p.state
+	force := func(h dsps.HostID) {
+		if b.sys.HostUsable(h) {
+			forced[h] = true
+		}
+	}
 	for f, on := range st.Flows {
 		if on && b.free[f.Stream] {
-			forced[f.From] = true
-			forced[f.To] = true
+			force(f.From)
+			force(f.To)
 		}
 	}
 	for pl, on := range st.Ops {
@@ -131,7 +173,7 @@ func (b *builder) selectHosts() {
 			continue
 		}
 		if b.freeOpSet[pl.Op] {
-			forced[pl.Host] = true
+			force(pl.Host)
 			continue
 		}
 		// Fixed operator consuming a free stream (only possible with the
@@ -139,13 +181,13 @@ func (b *builder) selectHosts() {
 		// availability-preservation constraint can be expressed.
 		for _, in := range b.sys.Operators[pl.Op].Inputs {
 			if b.free[in] {
-				forced[pl.Host] = true
+				force(pl.Host)
 			}
 		}
 	}
 	for s, h := range st.Provides {
 		if b.free[s] {
-			forced[h] = true
+			force(h)
 		}
 	}
 
@@ -157,14 +199,14 @@ func (b *builder) selectHosts() {
 		for _, s := range b.p.closures.streamsOf(q) {
 			if b.sys.Streams[s].IsBase() {
 				for _, h := range b.sys.BaseHosts(s) {
-					forced[h] = true
+					force(h)
 				}
 			}
 		}
 	}
 
 	allowed := func(h dsps.HostID) bool {
-		return b.p.allowedHosts == nil || b.p.allowedHosts[h]
+		return (b.p.allowedHosts == nil || b.p.allowedHosts[h]) && b.sys.HostPlaceable(h)
 	}
 	preferred := make(map[dsps.HostID]bool)
 	for _, s := range b.freeStreams {
@@ -336,7 +378,7 @@ func (b *builder) build() *milp.Model {
 			yv := m.AddBinary("y")
 			m.SetBranchPriority(yv, 2)
 			b.yVar[hk] = yv
-			if stream.Requested {
+			if stream.Requested && b.allowProvide(s) {
 				dv := m.AddBinary("d")
 				m.SetBranchPriority(dv, 3)
 				b.dVar[hk] = dv
@@ -369,7 +411,7 @@ func (b *builder) build() *milp.Model {
 
 	// --- Demand constraints (III.4) -------------------------------------
 	for _, s := range b.freeStreams {
-		if !sys.Streams[s].Requested {
+		if !sys.Streams[s].Requested || !b.allowProvide(s) {
 			continue
 		}
 		var sum []milp.Term
@@ -610,14 +652,34 @@ func (b *builder) setObjective() {
 		maxCPU = 1
 	}
 	var terms []milp.Term
-	for _, dv := range b.dVar {
-		terms = append(terms, milp.Term{Var: dv, Coef: w.L1})
+	for hk, dv := range b.dVar {
+		coef := w.L1
+		// Draining hosts should shed their client delivery points too:
+		// the reduced reward still dwarfs every other term, so admission
+		// is never sacrificed, but a provider that can move off moves.
+		if sys.Hosts[hk.h].State == dsps.HostDraining {
+			coef -= b.p.cfg.MigrationWeight
+		}
+		terms = append(terms, milp.Term{Var: dv, Coef: coef})
 	}
 	for fk, xv := range b.xVar {
 		terms = append(terms, milp.Term{Var: xv, Coef: -w.L2 * sys.Streams[fk.s].Rate / totalLink})
 	}
 	for zk, zv := range b.zVar {
-		terms = append(terms, milp.Term{Var: zv, Coef: -w.L3 * sys.Operators[zk.o].Cost / totalCPU})
+		coef := -w.L3 * sys.Operators[zk.o].Cost / totalCPU
+		// Repair's migration cost: moving a surviving operator off its
+		// incumbent host forfeits the stay bonus, so migration only happens
+		// when it buys admission or substantial placement quality.
+		coef += b.stayBonus[zk]
+		// Draining hosts repel load at the same magnitude a migration
+		// costs (and the stay bonus never applies to them), so evacuation
+		// is preferred whenever it is feasible — the penalty must exceed
+		// the solver's repair gap tolerance or evacuations would sit
+		// inside the allowed slack.
+		if sys.Hosts[zk.h].State == dsps.HostDraining {
+			coef -= b.p.cfg.MigrationWeight
+		}
+		terms = append(terms, milp.Term{Var: zv, Coef: coef})
 	}
 	terms = append(terms, milp.Term{Var: b.lVar, Coef: -w.L4 / maxCPU})
 	b.model.SetObjective(true, terms...)

@@ -57,6 +57,13 @@ type Config struct {
 	// relative gap of the optimum; 0 selects 0.01. Because λ1 dominates
 	// the objective, a small relative gap never sacrifices admissions.
 	GapTol float64
+	// MigrationWeight is the objective reward Repair grants for keeping a
+	// surviving operator on its incumbent host (equivalently, the cost of
+	// migrating it). It should exceed the normalised quality terms (λ2–λ4
+	// contributions are at most ~1 each) so placement polish never causes
+	// a migration, while staying well below Weights.L1 so an admission is
+	// never sacrificed to avoid one; 0 selects 2.
+	MigrationWeight float64
 	// DisableReduction plans over all streams and operators (ablation;
 	// the paper shows the full problem is intractable).
 	DisableReduction bool
@@ -148,6 +155,9 @@ func NewPlanner(sys *dsps.System, cfg Config) *Planner {
 	}
 	if cfg.GapTol == 0 {
 		cfg.GapTol = 0.01
+	}
+	if cfg.MigrationWeight == 0 {
+		cfg.MigrationWeight = 2
 	}
 	if cfg.MaxNodes <= 0 {
 		cfg.MaxNodes = 32

@@ -1,0 +1,477 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"sqpr/internal/dsps"
+	"sqpr/internal/milp"
+	"sqpr/internal/plan"
+)
+
+// Repair is the SQPR planner's churn-repair operation (plan.QueryPlanner).
+// It applies the event set's host-state transitions, strips every
+// allocation a failure invalidated, and re-plans exactly the affected
+// queries with a *delta MILP*: all placements unaffected by the events stay
+// pinned (the free set is the closures of the affected queries only — no
+// sharing-merge), and the objective pays a migration cost for moving a
+// surviving operator off its incumbent host, so repair plans reuse the
+// running system instead of rebuilding it (§IV of the paper, applied to
+// churn). The solve reuses the warm-start machinery of Submit: the stripped
+// incumbent plus a greedy re-admission seeds the branch and bound, and the
+// stateful LP solver resolves from its persistent basis.
+//
+// The event consequences commit even when re-planning fails or the ctx is
+// cancelled: the planner state never references a down host after Repair
+// returns. Affected queries that cannot be re-placed are reported in
+// Dropped and may be resubmitted later (e.g. after a recovery).
+//
+// Large event sets are repaired in chunks bounded by Config.MaxFreeStreams,
+// so each delta solve stays the size of a normal planning call.
+func (p *Planner) Repair(ctx context.Context, events []plan.Event, opts ...plan.SubmitOption) (plan.RepairResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	var rr plan.RepairResult
+	if err := plan.ApplyEvents(p.sys, events); err != nil {
+		return rr, err
+	}
+
+	// Hard-affected queries lost support on a down host or drifted: their
+	// admission is at stake. Soft-affected queries merely touch a draining
+	// host: they stay admitted (constraint (IV.9)) while their placements
+	// are freed so the solver can evacuate them.
+	hard := p.state.AffectedQueries(p.sys, func(h dsps.HostID) bool { return !p.sys.HostUsable(h) })
+	hard = append(hard, plan.DriftedEventQueries(events, hard, func(q dsps.StreamID) bool { return p.admitted[q] })...)
+	sortStreams(hard)
+	hardSet := make(map[dsps.StreamID]bool, len(hard))
+	for _, q := range hard {
+		hardSet[q] = true
+	}
+	affected := p.state.AffectedQueries(p.sys, func(h dsps.HostID) bool { return !p.sys.HostPlaceable(h) })
+	for _, q := range hard {
+		found := false
+		for _, a := range affected {
+			if a == q {
+				found = true
+				break
+			}
+		}
+		if !found {
+			affected = append(affected, q)
+		}
+	}
+	sortStreams(affected)
+	rr.Affected = affected
+
+	if len(affected) == 0 {
+		rr.Admitted = true
+		rr.PlanTime = time.Since(start)
+		return rr, nil
+	}
+
+	// Snapshot for migration accounting; assignments are swapped, never
+	// mutated in place, so keeping the pointer suffices.
+	before := p.state
+
+	// Commit the failure: strip invalidated pieces, demote hard-affected
+	// queries, and prune everything that lost its causal support. The
+	// surviving support of the affected queries deliberately stays in the
+	// state — even where a lost provide orphaned it — so the delta solve's
+	// warm start and stay bonuses can pin it in place instead of
+	// rebuilding it from scratch; the final garbage collection below
+	// removes whatever the re-plan leaves unused.
+	stripped := p.state.Clone()
+	for _, q := range hard {
+		delete(stripped.Provides, q)
+		delete(p.admitted, q)
+	}
+	stripped.StripFailed(p.sys)
+	stripped.PruneAcausal(p.sys)
+	p.state = stripped
+
+	// Per-call options, mirroring Submit.
+	cfg := plan.Apply(opts)
+	total := cfg.Timeout
+	if total <= 0 {
+		total = time.Duration(len(affected)) * p.cfg.SolveTimeout
+	}
+	deadline := start.Add(total)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	if cfg.Hosts != nil {
+		p.allowedHosts = make(map[dsps.HostID]bool, len(cfg.Hosts))
+		for _, h := range cfg.Hosts {
+			p.allowedHosts[h] = true
+		}
+		defer func() { p.allowedHosts = nil }()
+	}
+	p.validate = p.cfg.Validate
+	if cfg.Validate != nil {
+		p.validate = *cfg.Validate
+	}
+	p.workers = p.cfg.SolveWorkers
+	if cfg.Workers > 0 {
+		p.workers = cfg.Workers
+	}
+
+	// Drifted queries' operators get no stay bonus: their costs changed,
+	// so re-placing them is the point of the repair. Only drift events
+	// that actually demoted an admitted query count — the set is
+	// intersected with each chunk's free operators, so a drift repair
+	// never slows the fast path of an unrelated failure chunk.
+	noBonus := make(map[dsps.OperatorID]bool)
+	for _, ev := range events {
+		if ev.Kind != plan.QueryDrifted || !hardSet[ev.Query] {
+			continue
+		}
+		for _, s := range p.closures.streamsOf(ev.Query) {
+			for _, op := range p.sys.ProducersOf(s) {
+				noBonus[op] = true
+			}
+		}
+	}
+
+	// Static producibility screen: a query whose every plan alternative
+	// depends on a base stream with no usable source cannot be admitted by
+	// any solver — drop it now instead of paying a delta solve to prove
+	// it. (Recoveries make it producible again; the harness resubmits.)
+	producible := p.producibleCheck()
+	replan := affected[:0:0]
+	for _, q := range affected {
+		if p.admitted[q] || producible(q) {
+			replan = append(replan, q)
+		}
+	}
+
+	var firstErr error
+	for _, chunk := range p.repairChunks(replan) {
+		res, err := p.repairChunk(ctx, chunk, before, noBonus, deadline)
+		rr.Nodes += res.Nodes
+		rr.LPIters += res.LPIters
+		rr.Cuts += res.Cuts
+		rr.Fixings += res.Fixings
+		rr.PresolveFixed += res.PresolveFixed
+		rr.SolveStatus = res.SolveStatus
+		if err != nil {
+			firstErr = err
+			break
+		}
+	}
+
+	// Drop the support the re-plan left unused (orphans of queries that
+	// could not be re-admitted, kept alive above for pinning).
+	p.state.GarbageCollect(p.sys)
+
+	rr.Admitted = true
+	for _, q := range affected {
+		if p.admitted[q] {
+			rr.Kept = append(rr.Kept, q)
+		} else {
+			rr.Dropped = append(rr.Dropped, q)
+			rr.Admitted = false
+			if rr.Reason == plan.ReasonNone {
+				rr.Reason = plan.ReasonNoFeasiblePlan
+			}
+		}
+	}
+	rr.Migrated = dsps.CountMigrations(p.sys, before, p.state)
+	rr.PlanTime = time.Since(start)
+	return rr, firstErr
+}
+
+// producibleCheck returns a memoised predicate for "stream s can be
+// materialised somewhere under the current host states": a base stream
+// needs a usable base host; a composite stream needs some producer whose
+// inputs are all producible. Cycles through alternative producers resolve
+// to false on the cycle path, like every closure walk in this package.
+func (p *Planner) producibleCheck() func(s dsps.StreamID) bool {
+	const (
+		unknown int8 = iota
+		yes
+		no
+	)
+	memo := make(map[dsps.StreamID]int8)
+	visiting := make(map[dsps.StreamID]bool)
+	var rec func(s dsps.StreamID) bool
+	rec = func(s dsps.StreamID) bool {
+		switch memo[s] {
+		case yes:
+			return true
+		case no:
+			return false
+		}
+		if p.sys.Streams[s].IsBase() {
+			ok := false
+			for _, h := range p.sys.BaseHosts(s) {
+				if p.sys.HostUsable(h) {
+					ok = true
+					break
+				}
+			}
+			if ok {
+				memo[s] = yes
+			} else {
+				memo[s] = no
+			}
+			return ok
+		}
+		if visiting[s] {
+			return false
+		}
+		visiting[s] = true
+		defer delete(visiting, s)
+		for _, op := range p.sys.ProducersOf(s) {
+			ok := true
+			for _, in := range p.sys.Operators[op].Inputs {
+				if !rec(in) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				memo[s] = yes
+				return true
+			}
+		}
+		memo[s] = no
+		return false
+	}
+	return rec
+}
+
+// repairChunks partitions the affected queries so each chunk's merged
+// closure stays within the free-stream budget and the hosts its current
+// allocations touch stay within the candidate-host budget — the same two
+// limits freeSet's sharing-merge enforces, which keep every delta solve
+// the size (and cost) of an ordinary planning call. A single query whose
+// closure exceeds the budgets still gets its own chunk.
+func (p *Planner) repairChunks(affected []dsps.StreamID) [][]dsps.StreamID {
+	var chunks [][]dsps.StreamID
+	var cur []dsps.StreamID
+	free := make(map[dsps.StreamID]bool)
+	for _, q := range affected {
+		cl := p.closures.streamsOf(q)
+		fresh := 0
+		for _, s := range cl {
+			if !free[s] {
+				fresh++
+			}
+		}
+		if len(cur) > 0 &&
+			(len(free)+fresh > p.cfg.MaxFreeStreams ||
+				p.hostsTouched(free, cl) > p.cfg.MaxCandidateHosts) {
+			chunks = append(chunks, cur)
+			cur = nil
+			free = make(map[dsps.StreamID]bool)
+		}
+		cur = append(cur, q)
+		for _, s := range cl {
+			free[s] = true
+		}
+		free[q] = true
+	}
+	if len(cur) > 0 {
+		chunks = append(chunks, cur)
+	}
+	return chunks
+}
+
+// greedyRepair attempts the additive fast path for one chunk (see
+// repairChunk): re-admit every chunk query with the greedy planner on top
+// of the pinned surviving allocation. It reports ok=false — falling back
+// to the delta MILP — when any query stays unadmitted, when a draining
+// candidate host should be evacuated, when drift asks for re-placement of
+// an operator in this chunk, or when the warm start is disabled (its
+// ablation must also ablate this).
+func (b *builder) greedyRepair(chunkDrift bool) (*dsps.Assignment, bool) {
+	if b.p.cfg.DisableWarmStart || chunkDrift {
+		return nil, false
+	}
+	for _, h := range b.hosts {
+		if b.sys.Hosts[h].State == dsps.HostDraining {
+			return nil, false
+		}
+	}
+	cand := b.p.state.Clone()
+	b.track.reset(b.sys, cand)
+	for _, q := range b.queries {
+		if _, ok := cand.Provides[q]; ok {
+			continue
+		}
+		if !b.greedyAdmit(cand, q) {
+			return nil, false
+		}
+	}
+	return cand, true
+}
+
+// repairChunk runs one delta solve over the chunk's pinned free set.
+func (p *Planner) repairChunk(ctx context.Context, chunk []dsps.StreamID, before *dsps.Assignment, noBonus map[dsps.OperatorID]bool, deadline time.Time) (Result, error) {
+	start := time.Now()
+	var res Result
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+
+	// Pinned free set: the closures of the chunk's queries, nothing else.
+	free := make(map[dsps.StreamID]bool)
+	for _, q := range chunk {
+		for _, s := range p.closures.streamsOf(q) {
+			free[s] = true
+		}
+		free[q] = true
+	}
+	b := p.newBuilderWith(chunk, free)
+	b.dAllowed = make(map[dsps.StreamID]bool, len(chunk))
+	for _, q := range chunk {
+		b.dAllowed[q] = true
+	}
+	res.FreeStreams = len(b.freeStreams)
+	res.FreeOps = len(b.freeOps)
+	res.CandidateHosts = len(b.hosts)
+
+	// Each chunk gets the batch-scaled solver budget of an ordinary
+	// planning call (and never more than the repair's global deadline):
+	// repair latency must stay proportional to the damage, so one
+	// degenerate chunk relaxation cannot eat the whole repair budget —
+	// the warm incumbent stands in when the deadline cuts a solve short.
+	if d := start.Add(time.Duration(len(chunk)) * p.cfg.SolveTimeout); d.Before(deadline) {
+		deadline = d
+	}
+
+	// Does this chunk actually touch a drifted operator? Only then must
+	// the re-optimisation machinery below treat it as a drift repair.
+	chunkDrift := false
+	for op := range noBonus {
+		if b.freeOpSet[op] {
+			chunkDrift = true
+			break
+		}
+	}
+
+	// Migration costs: keeping a surviving free operator on the placeable
+	// host it already runs on earns the stay bonus; placements on draining
+	// hosts earn nothing, so evacuation is free and staying is not.
+	for pl, on := range before.Ops {
+		if !on || !b.freeOpSet[pl.Op] || noBonus[pl.Op] {
+			continue
+		}
+		if _, cand := b.hostIdx[pl.Host]; cand && p.sys.HostPlaceable(pl.Host) {
+			b.stayBonus[zKey{pl.Host, pl.Op}] = p.cfg.MigrationWeight
+			if prev, ok := b.preferHost[pl.Op]; !ok || pl.Host < prev {
+				b.preferHost[pl.Op] = pl.Host
+			}
+		}
+	}
+
+	// Fast path for pure failure repair: the pinned greedy only ever adds
+	// to the surviving allocation (it never moves a placement), preferring
+	// each severed operator's former host. If it re-admits every chunk
+	// query, the result is simultaneously admission-complete and
+	// migration-minimal — no delta solve can keep more queries or move
+	// fewer survivors — so the MILP is skipped. Drain chunks (a draining
+	// candidate host needs evacuating) and drift chunks (re-placement is
+	// the goal) always take the full solve.
+	if fast, ok := b.greedyRepair(chunkDrift); ok {
+		p.state = fast
+		res.Admitted = true
+		for _, q := range chunk {
+			if _, provided := fast.Provides[q]; provided {
+				p.admitted[q] = true
+			}
+		}
+		res.PlanTime = time.Since(start)
+		p.stats.Record(res)
+		return res, nil
+	}
+
+	model := b.build()
+	opts := milp.Options{
+		Ctx:                  ctx,
+		Deadline:             deadline,
+		MaxNodes:             p.cfg.MaxNodes,
+		Workers:              p.workers,
+		DisableTreeReduction: p.cfg.DisableTreeReduction,
+		// Submit's gap tolerances are calibrated to admission counts (λ1
+		// multiples); repair additionally optimises migration terms of
+		// magnitude MigrationWeight, so the allowed slack must sit below
+		// one stay bonus or the solver may legally return a plan with
+		// avoidable migrations.
+		AbsGapTol: 0.25 * p.cfg.MigrationWeight,
+	}
+	// For pure failure chunks the pinned incumbent — survivors in place,
+	// severed queries greedily rebuilt at their former hosts — is already
+	// near-optimal, and the tight gap above would burn the whole node
+	// budget proving it: stop once the search stops improving (improving
+	// nodes, an extra admission or an avoided migration, reset the
+	// counter). Drain and drift chunks exist to move away from the
+	// incumbent, so they search their full budget.
+	thorough := chunkDrift
+	for _, h := range b.hosts {
+		if b.sys.Hosts[h].State == dsps.HostDraining {
+			thorough = true
+			break
+		}
+	}
+	if !thorough {
+		opts.StallNodes = stallNodesLarge
+	}
+	if !p.cfg.DisableWarmStart {
+		opts.Incumbent = b.incumbent()
+	}
+	sol := model.Solve(opts)
+	res.SolveStatus = sol.Status
+	res.Nodes = sol.Nodes
+	res.LPIters = sol.LPIters
+	res.Cuts = sol.Cuts
+	res.Fixings = sol.Fixings
+	res.PresolveFixed = sol.PresolveFixed
+	res.Stalled = sol.Stalled
+
+	if sol.Cancelled || ctx.Err() != nil {
+		// The degraded state is already committed; the chunk simply stays
+		// un-repaired (its hard queries remain dropped).
+		res.PlanTime = time.Since(start)
+		return res, ctx.Err()
+	}
+	if sol.X == nil {
+		// No feasible point within the budget (only possible with the
+		// warm start disabled): keep the stripped state for this chunk.
+		res.Reason = plan.ReasonNoFeasiblePlan
+		res.PlanTime = time.Since(start)
+		p.stats.Record(res)
+		return res, nil
+	}
+
+	next, err := b.decode(sol.X)
+	if err != nil {
+		return res, fmt.Errorf("core: decoding repair solution: %w", err)
+	}
+	if p.validate {
+		if err := next.Validate(p.sys); err != nil {
+			res.Reason = plan.ReasonValidationFailed
+			return res, fmt.Errorf("core: repair produced infeasible plan: %w", err)
+		}
+	}
+
+	p.state = next
+	res.Admitted = true
+	for _, q := range chunk {
+		if _, ok := next.Provides[q]; ok {
+			p.admitted[q] = true
+		} else {
+			delete(p.admitted, q)
+			res.Admitted = false
+		}
+	}
+	if !res.Admitted {
+		res.Reason = plan.ReasonNoFeasiblePlan
+	}
+	res.PlanTime = time.Since(start)
+	p.stats.Record(res)
+	return res, nil
+}

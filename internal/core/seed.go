@@ -304,6 +304,9 @@ func (b *builder) planStreamAt(trial *dsps.Assignment, s dsps.StreamID, h dsps.H
 	// Composite: place one producer at a candidate host — preferring h
 	// itself — and, if produced remotely, flow the output over. The host
 	// lists are local: planStreamAt recurses through operator inputs.
+	// During repair, an operator's pre-event host (preferHost) is tried
+	// before everything else, so the warm start rebuilds severed queries
+	// with minimal migration.
 	hostsTry := make([]dsps.HostID, 0, len(b.hosts))
 	hostsTry = append(hostsTry, h)
 	others := make([]dsps.HostID, 0, len(b.hosts))
@@ -331,7 +334,18 @@ func (b *builder) planStreamAt(trial *dsps.Assignment, s dsps.StreamID, h dsps.H
 			continue
 		}
 		o := &b.sys.Operators[op]
-		for _, m := range hostsTry {
+		try := hostsTry
+		if pref, ok := b.preferHost[op]; ok && pref != h {
+			withPref := make([]dsps.HostID, 0, len(hostsTry)+1)
+			withPref = append(withPref, pref)
+			for _, m := range hostsTry {
+				if m != pref {
+					withPref = append(withPref, m)
+				}
+			}
+			try = withPref
+		}
+		for _, m := range try {
 			if b.track.cpu[m]+o.Cost > b.sys.Hosts[m].CPU+1e-9 {
 				continue
 			}

@@ -150,6 +150,30 @@ func (u *Usage) TotalCPU() float64 {
 func (a *Assignment) Validate(sys *System) error {
 	n := sys.NumHosts()
 
+	// Host availability: nothing may run on, originate at, or terminate at a
+	// down host. Draining hosts remain valid for existing allocations.
+	for pl, on := range a.Ops {
+		if on && !sys.HostUsable(pl.Host) {
+			return fmt.Errorf("dsps: operator %d placed on down host %d", pl.Op, pl.Host)
+		}
+	}
+	for f, on := range a.Flows {
+		if !on {
+			continue
+		}
+		if !sys.HostUsable(f.From) {
+			return fmt.Errorf("dsps: flow of stream %d from down host %d", f.Stream, f.From)
+		}
+		if !sys.HostUsable(f.To) {
+			return fmt.Errorf("dsps: flow of stream %d to down host %d", f.Stream, f.To)
+		}
+	}
+	for s, h := range a.Provides {
+		if !sys.HostUsable(h) {
+			return fmt.Errorf("dsps: stream %d provided by down host %d", s, h)
+		}
+	}
+
 	// (III.4a) a provider must possess the stream, and the stream must be
 	// requested; (III.4b) one host per stream is enforced by the map type.
 	for s, h := range a.Provides {
@@ -349,6 +373,201 @@ func (a *Assignment) GarbageCollect(sys *System) {
 			delete(a.Flows, f)
 		}
 	}
+}
+
+// AffectedQueries returns the provided streams whose current support — the
+// providing host, or any operator placement or flow endpoint backward-
+// reachable from it — touches a host for which affected reports true. The
+// result is sorted ascending. It is the shared first step of churn repair:
+// with affected = "host is down" it lists the queries invalidated by a
+// failure; widening the predicate to draining hosts lists the queries a
+// graceful decommission should migrate.
+func (a *Assignment) AffectedQueries(sys *System, affected func(HostID) bool) []StreamID {
+	type hs struct {
+		h HostID
+		s StreamID
+	}
+	var out []StreamID
+	for q, ph := range a.Provides {
+		hit := affected(ph)
+		seen := make(map[hs]bool)
+		queue := []hs{{ph, q}}
+		for !hit && len(queue) > 0 {
+			cur := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			if seen[cur] {
+				continue
+			}
+			seen[cur] = true
+			if affected(cur.h) {
+				hit = true
+				break
+			}
+			if sys.IsBaseAt(cur.h, cur.s) {
+				continue
+			}
+			for _, op := range sys.ProducersOf(cur.s) {
+				if a.Ops[Placement{Host: cur.h, Op: op}] {
+					for _, in := range sys.Operators[op].Inputs {
+						queue = append(queue, hs{cur.h, in})
+					}
+				}
+			}
+			for m := 0; m < sys.NumHosts(); m++ {
+				if a.Flows[Flow{From: HostID(m), To: cur.h, Stream: cur.s}] {
+					queue = append(queue, hs{HostID(m), cur.s})
+				}
+			}
+		}
+		if hit {
+			out = append(out, q)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// StripFailed deletes every operator placement, flow and provide touching a
+// down host. The remainder may reference availabilities the stripped pieces
+// used to supply; callers re-plan the affected queries (see AffectedQueries)
+// and garbage-collect before validating.
+func (a *Assignment) StripFailed(sys *System) {
+	for pl := range a.Ops {
+		if !sys.HostUsable(pl.Host) {
+			delete(a.Ops, pl)
+		}
+	}
+	for f := range a.Flows {
+		if !sys.HostUsable(f.From) || !sys.HostUsable(f.To) {
+			delete(a.Flows, f)
+		}
+	}
+	for s, h := range a.Provides {
+		if !sys.HostUsable(h) {
+			delete(a.Provides, s)
+		}
+	}
+}
+
+// PruneAcausal removes every operator placement and flow that is no longer
+// causally supported: after a failure strip, an operator may have lost an
+// input it received from the failed host, and a flow may have lost its real
+// source. Availability is re-derived from base streams at usable hosts via
+// the fixed point of Validate's causality rule; anything underivable is
+// deleted (cascading). The result is a feasible sub-assignment that keeps
+// every surviving allocation — including support orphaned by a lost
+// provide — so a repair planner can pin survivors instead of rebuilding
+// them. Provides whose stream became underivable at their host are removed
+// too (callers treat those queries as affected).
+func (a *Assignment) PruneAcausal(sys *System) {
+	type hs struct {
+		h HostID
+		s StreamID
+	}
+	derived := make(map[hs]bool)
+	for h := range sys.Hosts {
+		if !sys.HostUsable(HostID(h)) {
+			continue
+		}
+		for s := range sys.Streams {
+			if sys.IsBaseAt(HostID(h), StreamID(s)) {
+				derived[hs{HostID(h), StreamID(s)}] = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for pl, on := range a.Ops {
+			if !on {
+				continue
+			}
+			op := sys.Operators[pl.Op]
+			if derived[hs{pl.Host, op.Output}] {
+				continue
+			}
+			ok := true
+			for _, in := range op.Inputs {
+				if !derived[hs{pl.Host, in}] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				derived[hs{pl.Host, op.Output}] = true
+				changed = true
+			}
+		}
+		for f, on := range a.Flows {
+			if !on || derived[hs{f.To, f.Stream}] {
+				continue
+			}
+			if derived[hs{f.From, f.Stream}] {
+				derived[hs{f.To, f.Stream}] = true
+				changed = true
+			}
+		}
+	}
+	for pl := range a.Ops {
+		keep := true
+		for _, in := range sys.Operators[pl.Op].Inputs {
+			if !derived[hs{pl.Host, in}] {
+				keep = false
+				break
+			}
+		}
+		if !keep {
+			delete(a.Ops, pl)
+		}
+	}
+	for f := range a.Flows {
+		if !derived[hs{f.From, f.Stream}] {
+			delete(a.Flows, f)
+		}
+	}
+	for s, h := range a.Provides {
+		if !derived[hs{h, s}] {
+			delete(a.Provides, s)
+		}
+	}
+}
+
+// CountMigrations counts the operators that survived a repair but moved: o
+// was placed on at least one host that is still usable under the current
+// host states, is still placed somewhere in after, and none of its
+// surviving former hosts runs it any more. Operators that disappeared
+// entirely (their queries were dropped) are not migrations, and neither are
+// operators whose only former hosts went down (re-placing those is forced,
+// not chosen).
+func CountMigrations(sys *System, before, after *Assignment) int {
+	beforeHosts := make(map[OperatorID][]HostID)
+	for pl, on := range before.Ops {
+		if on && sys.HostUsable(pl.Host) {
+			beforeHosts[pl.Op] = append(beforeHosts[pl.Op], pl.Host)
+		}
+	}
+	afterAny := make(map[OperatorID]bool)
+	for pl, on := range after.Ops {
+		if on {
+			afterAny[pl.Op] = true
+		}
+	}
+	migrated := 0
+	for op, hosts := range beforeHosts {
+		if !afterAny[op] {
+			continue
+		}
+		stayed := false
+		for _, h := range hosts {
+			if after.Ops[Placement{Host: h, Op: op}] {
+				stayed = true
+				break
+			}
+		}
+		if !stayed {
+			migrated++
+		}
+	}
+	return migrated
 }
 
 // SortedFlows returns the active flows in deterministic order, for tests

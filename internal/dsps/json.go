@@ -65,6 +65,12 @@ func (sys *System) UnmarshalJSON(data []byte) error {
 		rebuilt.producersOf[op.Output] = append(rebuilt.producersOf[op.Output], op.ID)
 	}
 	for _, b := range in.Bases {
+		if int(b.Host) < 0 || int(b.Host) >= len(rebuilt.Hosts) {
+			return fmt.Errorf("dsps: base placement host %d out of range", b.Host)
+		}
+		if int(b.Stream) < 0 || int(b.Stream) >= len(rebuilt.Streams) {
+			return fmt.Errorf("dsps: base placement stream %d out of range", b.Stream)
+		}
 		rebuilt.PlaceBase(b.Host, b.Stream)
 	}
 	*sys = *rebuilt

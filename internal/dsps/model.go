@@ -23,6 +23,35 @@ type OperatorID int
 // NoOperator marks a stream with no producing operator (a base stream).
 const NoOperator OperatorID = -1
 
+// HostState is the availability state of a host under churn.
+type HostState int8
+
+// Host states. The zero value is HostUp, so systems built before host
+// churn existed behave unchanged.
+const (
+	// HostUp: the host runs its allocations and accepts new ones.
+	HostUp HostState = iota
+	// HostDraining: existing allocations keep running, but planners avoid
+	// placing new load and repair migrates allocations off best-effort.
+	HostDraining
+	// HostDown: the host has failed. Every operator, flow endpoint and
+	// provide on it is invalid and must be repaired or dropped.
+	HostDown
+)
+
+// String returns a readable name for the state.
+func (st HostState) String() string {
+	switch st {
+	case HostUp:
+		return "up"
+	case HostDraining:
+		return "draining"
+	case HostDown:
+		return "down"
+	}
+	return fmt.Sprintf("HostState(%d)", int8(st))
+}
+
 // Host models one processing host of the DSPS.
 type Host struct {
 	ID HostID
@@ -38,6 +67,8 @@ type Host struct {
 	// (including memory)"); it is modelled exactly like CPU: per-host,
 	// consumed by placed operators. Zero means unconstrained.
 	Mem float64
+	// State is the host's availability under churn (up by default).
+	State HostState
 }
 
 // Stream models one data stream.
@@ -172,6 +203,40 @@ func (sys *System) SetRequested(s StreamID, v bool) { sys.Streams[s].Requested =
 // NumHosts returns |H|.
 func (sys *System) NumHosts() int { return len(sys.Hosts) }
 
+// SetHostState transitions host h to the given availability state.
+func (sys *System) SetHostState(h HostID, st HostState) { sys.Hosts[h].State = st }
+
+// HostUsable reports whether host h can keep running its existing
+// allocations (up or draining). Down hosts are unusable.
+func (sys *System) HostUsable(h HostID) bool { return sys.Hosts[h].State != HostDown }
+
+// HostPlaceable reports whether host h may receive new load (up only;
+// draining hosts keep what they have but are avoided for fresh placements).
+func (sys *System) HostPlaceable(h HostID) bool { return sys.Hosts[h].State == HostUp }
+
+// UsableCPU returns Σ ζ_h over usable (non-down) hosts — the aggregate CPU
+// the system can actually deliver under the current host states.
+func (sys *System) UsableCPU() float64 {
+	var sum float64
+	for i := range sys.Hosts {
+		if sys.Hosts[i].State != HostDown {
+			sum += sys.Hosts[i].CPU
+		}
+	}
+	return sum
+}
+
+// DownHosts returns the hosts currently down, in ascending order.
+func (sys *System) DownHosts() []HostID {
+	var out []HostID
+	for i := range sys.Hosts {
+		if sys.Hosts[i].State == HostDown {
+			out = append(out, HostID(i))
+		}
+	}
+	return out
+}
+
 // TotalCPU returns Σ_h ζ_h.
 func (sys *System) TotalCPU() float64 {
 	var sum float64
@@ -203,15 +268,33 @@ func (sys *System) TotalLinkCap() float64 {
 
 // Validate checks referential integrity of the system description.
 func (sys *System) Validate() error {
+	// IDs are canonical slice indices: ProducersOf results and assignment
+	// keys index these tables directly, so a decoded system with shifted
+	// IDs would panic later instead of erroring here.
+	for i := range sys.Hosts {
+		if sys.Hosts[i].ID != HostID(i) {
+			return fmt.Errorf("dsps: host at index %d has ID %d", i, sys.Hosts[i].ID)
+		}
+	}
+	for i := range sys.Streams {
+		if sys.Streams[i].ID != StreamID(i) {
+			return fmt.Errorf("dsps: stream at index %d has ID %d", i, sys.Streams[i].ID)
+		}
+	}
+	for i := range sys.Operators {
+		if sys.Operators[i].ID != OperatorID(i) {
+			return fmt.Errorf("dsps: operator at index %d has ID %d", i, sys.Operators[i].ID)
+		}
+	}
 	for _, o := range sys.Operators {
-		if int(o.Output) >= len(sys.Streams) {
+		if int(o.Output) < 0 || int(o.Output) >= len(sys.Streams) {
 			return fmt.Errorf("dsps: operator %d output stream %d out of range", o.ID, o.Output)
 		}
 		if len(o.Inputs) == 0 {
 			return fmt.Errorf("dsps: operator %d has no inputs", o.ID)
 		}
 		for _, in := range o.Inputs {
-			if int(in) >= len(sys.Streams) {
+			if int(in) < 0 || int(in) >= len(sys.Streams) {
 				return fmt.Errorf("dsps: operator %d input stream %d out of range", o.ID, in)
 			}
 			if in == o.Output {
@@ -226,9 +309,29 @@ func (sys *System) Validate() error {
 		if st.Rate < 0 || math.IsNaN(st.Rate) {
 			return fmt.Errorf("dsps: stream %d has invalid rate %v", st.ID, st.Rate)
 		}
+		if st.Producer != NoOperator {
+			if int(st.Producer) < 0 || int(st.Producer) >= len(sys.Operators) {
+				return fmt.Errorf("dsps: stream %d producer %d out of range", st.ID, st.Producer)
+			}
+			if sys.Operators[st.Producer].Output != st.ID {
+				return fmt.Errorf("dsps: stream %d producer %d outputs stream %d", st.ID, st.Producer, sys.Operators[st.Producer].Output)
+			}
+		}
+	}
+	for _, h := range sys.Hosts {
+		switch h.State {
+		case HostUp, HostDraining, HostDown:
+		default:
+			return fmt.Errorf("dsps: host %d has unknown state %d", h.ID, int8(h.State))
+		}
 	}
 	if len(sys.LinkCap) != len(sys.Hosts) {
 		return fmt.Errorf("dsps: link capacity matrix size %d != host count %d", len(sys.LinkCap), len(sys.Hosts))
+	}
+	for i, row := range sys.LinkCap {
+		if len(row) != len(sys.Hosts) {
+			return fmt.Errorf("dsps: link capacity row %d size %d != host count %d", i, len(row), len(sys.Hosts))
+		}
 	}
 	return nil
 }

@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// drain empties the results channel without blocking.
+func drain(ch <-chan Tuple) {
+	for {
+		select {
+		case <-ch:
+		default:
+			return
+		}
+	}
+}
+
+// awaitResult waits up to d for one delivered tuple.
+func awaitResult(ch <-chan Tuple, d time.Duration) bool {
+	select {
+	case <-ch:
+		return true
+	case <-time.After(d):
+		return false
+	}
+}
+
+func TestFailAndRecoverHost(t *testing.T) {
+	sys, asg, _ := joinSetup(t)
+	cfg := DefaultConfig()
+	cfg.KeyDomain = 4
+	eng := New(sys, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := eng.Deploy(ctx, asg); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+
+	if !awaitResult(eng.Results(), 2*time.Second) {
+		t.Fatal("no results before the failure")
+	}
+
+	// Fail the providing host: tuples flowing 0 -> 1 are lost in flight.
+	eng.FailHost(1)
+	if !eng.HostDown(1) {
+		t.Fatal("HostDown(1) = false after FailHost")
+	}
+	// Let in-flight tuples clear, then verify delivery has stopped.
+	time.Sleep(100 * time.Millisecond)
+	drain(eng.Results())
+	if awaitResult(eng.Results(), 200*time.Millisecond) {
+		t.Fatal("results delivered while the providing host was down")
+	}
+	snap := eng.Monitor().Snapshot()
+	if snap.Drops[0] == 0 {
+		t.Fatal("no drops recorded for tuples sent to the failed host")
+	}
+
+	// Recovery resumes delivery on the same deployed plan.
+	eng.RecoverHost(1)
+	if eng.HostDown(1) {
+		t.Fatal("HostDown(1) = true after RecoverHost")
+	}
+	if !awaitResult(eng.Results(), 2*time.Second) {
+		t.Fatal("no results after recovery")
+	}
+	fails, recs := eng.Monitor().HostEvents()
+	if fails != 1 || recs != 1 {
+		t.Fatalf("HostEvents = (%d, %d), want (1, 1)", fails, recs)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sqpr/internal/dsps"
@@ -65,6 +66,7 @@ type Engine struct {
 	cfg Config
 
 	hosts     []*host
+	down      []atomic.Bool // host failure flags (index = HostID)
 	mon       *Monitor
 	transport Transport
 	kernels   map[dsps.OperatorID]UnaryKernel
@@ -92,8 +94,36 @@ func New(sys *dsps.System, cfg Config) *Engine {
 	if tr == nil {
 		tr = &inprocTransport{}
 	}
-	return &Engine{sys: sys, cfg: cfg, mon: NewMonitor(sys), transport: tr}
+	return &Engine{
+		sys:       sys,
+		cfg:       cfg,
+		down:      make([]atomic.Bool, sys.NumHosts()),
+		mon:       NewMonitor(sys),
+		transport: tr,
+	}
 }
+
+// FailHost simulates a crash of host h: its queued and future tuples are
+// discarded (counted as drops), it stops computing and delivering, and
+// tuples sent to it are lost in flight — the churn the repair planner
+// reacts to. Safe to call at any time, including before Deploy.
+func (e *Engine) FailHost(h dsps.HostID) {
+	if !e.down[h].Swap(true) {
+		e.mon.recordHostEvent(true)
+	}
+}
+
+// RecoverHost brings a failed host back: it resumes processing and its base
+// sources resume injecting. Operators and routes installed at Deploy time
+// are still in place, matching a process restart on the same plan.
+func (e *Engine) RecoverHost(h dsps.HostID) {
+	if e.down[h].Swap(false) {
+		e.mon.recordHostEvent(false)
+	}
+}
+
+// HostDown reports whether host h is currently failed.
+func (e *Engine) HostDown(h dsps.HostID) bool { return e.down[h].Load() }
 
 // Monitor exposes the engine's resource monitor.
 func (e *Engine) Monitor() *Monitor { return e.mon }
@@ -200,6 +230,9 @@ func (e *Engine) runSource(s dsps.StreamID, at dsps.HostID) {
 		case <-e.ctx.Done():
 			return
 		case <-tick.C:
+			if e.down[at].Load() {
+				continue // failed hosts inject nothing
+			}
 			seq++
 			t := Tuple{
 				Stream:    s,
@@ -223,8 +256,13 @@ func (e *Engine) Stop() {
 }
 
 // send crosses the network via the configured transport; the monitor
-// accounts the transfer either way.
+// accounts the transfer either way. Tuples to or from a failed host are
+// lost in flight and counted as drops at the sender.
 func (e *Engine) send(from, to dsps.HostID, t Tuple) {
+	if e.down[from].Load() || e.down[to].Load() {
+		e.mon.recordDrop(from)
+		return
+	}
 	e.mon.recordTransfer(from, to, e.sys.Streams[t.Stream].Rate)
 	e.transport.Send(from, to, t)
 }

@@ -25,6 +25,9 @@ type Monitor struct {
 	latencySum   time.Duration
 	latencyCount int64
 	latencyMax   time.Duration
+
+	failures   int64
+	recoveries int64
 }
 
 // NewMonitor creates a monitor for the system.
@@ -72,6 +75,23 @@ func (m *Monitor) recordDrop(h dsps.HostID) {
 	m.mu.Lock()
 	m.drops[h]++
 	m.mu.Unlock()
+}
+
+func (m *Monitor) recordHostEvent(failed bool) {
+	m.mu.Lock()
+	if failed {
+		m.failures++
+	} else {
+		m.recoveries++
+	}
+	m.mu.Unlock()
+}
+
+// HostEvents returns the number of host failures and recoveries observed.
+func (m *Monitor) HostEvents() (failures, recoveries int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.failures, m.recoveries
 }
 
 func (m *Monitor) recordLatency(d time.Duration) {

@@ -139,6 +139,13 @@ func (p *Planner) Remove(q dsps.StreamID) error {
 	return nil
 }
 
+// Repair handles churn events with the shared fallback: remove the queries
+// the events invalidated and resubmit them through this planner's own
+// Submit, which re-places them on the surviving hosts.
+func (p *Planner) Repair(ctx context.Context, events []plan.Event, opts ...plan.SubmitOption) (plan.RepairResult, error) {
+	return plan.RepairByResubmit(ctx, p.sys, p, events, opts...)
+}
+
 // submitOne plans a single fresh query; reports admission and, on
 // rejection, the machine-readable reason.
 func (p *Planner) submitOne(ctx context.Context, q dsps.StreamID, deadline time.Time, cfg *plan.SubmitConfig) (bool, plan.Reason, error) {
@@ -160,6 +167,9 @@ func (p *Planner) submitOne(ctx context.Context, q dsps.StreamID, deadline time.
 		for h := 0; h < p.sys.NumHosts(); h++ {
 			if allowed != nil && !allowed[dsps.HostID(h)] {
 				continue
+			}
+			if !p.sys.HostPlaceable(dsps.HostID(h)) {
+				continue // down or draining: no new assembly host
 			}
 			cand := p.implement(pl, q, dsps.HostID(h))
 			if cand == nil {
@@ -308,7 +318,7 @@ func (p *Planner) fetch(cand *dsps.Assignment, s dsps.StreamID, h dsps.HostID) b
 	}
 	rate := p.sys.Streams[s].Rate
 	try := func(m dsps.HostID) bool {
-		if m == h {
+		if m == h || !p.sys.HostUsable(m) {
 			return false
 		}
 		u := cand.ComputeUsage(p.sys)

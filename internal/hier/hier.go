@@ -89,6 +89,15 @@ func (p *Planner) Stats() plan.Stats { return p.inner.Stats() }
 // Remove withdraws an admitted query from the wrapped SQPR planner.
 func (p *Planner) Remove(q dsps.StreamID) error { return p.inner.Remove(q) }
 
+// Repair handles churn events with the shared fallback: the queries the
+// events invalidated are removed and resubmitted through this planner's
+// site-routed Submit, so repairs respect the hierarchical decomposition.
+// (The wrapped planner's delta solver is not used: its migration-minimal
+// solve spans sites, which would defeat the per-site model-size bound.)
+func (p *Planner) Repair(ctx context.Context, events []plan.Event, opts ...plan.SubmitOption) (plan.RepairResult, error) {
+	return plan.RepairByResubmit(ctx, p.sys, p, events, opts...)
+}
+
 // Submit routes the query to its best site and plans it there; with
 // Fallback enabled, rejected queries are retried on the remaining sites in
 // descending preference order. An explicit plan.WithCandidateHosts option

@@ -29,6 +29,16 @@ type QueryPlanner interface {
 	// remaining query depends on. Removing a query that is not admitted
 	// returns an error wrapping ErrNotAdmitted.
 	Remove(q dsps.StreamID) error
+	// Repair reacts to churn events — host failures, recoveries, drains
+	// and query drift — by applying the host-state transitions to the
+	// system and re-planning exactly the queries the events invalidated.
+	// Unlike Submit, Repair commits the event consequences even when the
+	// re-planning step fails: a failed host's allocations are stripped no
+	// matter what, so the planner state never references down hosts. The
+	// core SQPR planner solves a migration-minimal delta MILP; the other
+	// planners fall back to remove-and-resubmit of the affected queries
+	// (see RepairByResubmit).
+	Repair(ctx context.Context, events []Event, opts ...SubmitOption) (RepairResult, error)
 	// Assignment exposes the current allocation state (do not mutate).
 	// Planners without a physical placement (the optimistic bound) return
 	// an assignment with no placements.

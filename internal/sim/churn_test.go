@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func testChurnScale() ChurnScale {
+	cs := DefaultChurnScale()
+	cs.Hosts = 8
+	cs.BaseStreams = 30
+	cs.Queries = 20
+	cs.Timeout = 60 * time.Millisecond
+	cs.MaxCandHost = 6
+	cs.Steps = 6
+	cs.MaxDown = 3
+	return cs
+}
+
+func TestChurnExperimentRuns(t *testing.T) {
+	cs := testChurnScale()
+	res, err := Churn(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AdmittedInitial == 0 {
+		t.Fatal("no queries admitted before churn")
+	}
+	if res.Failures == 0 {
+		t.Fatalf("no failures drawn in %d steps (seed %d)", cs.Steps, cs.Seed)
+	}
+	if res.RepairCalls == 0 {
+		t.Fatal("no repair calls despite events")
+	}
+	// Bookkeeping consistency.
+	if res.Kept+res.Dropped != res.Affected {
+		t.Fatalf("kept %d + dropped %d != affected %d", res.Kept, res.Dropped, res.Affected)
+	}
+	if res.Readmitted > res.Resubmitted {
+		t.Fatalf("readmitted %d > resubmitted %d", res.Readmitted, res.Resubmitted)
+	}
+	if res.FinalAdmitted > res.Submitted {
+		t.Fatalf("final admitted %d > submitted %d", res.FinalAdmitted, res.Submitted)
+	}
+}
+
+func TestPoissonMeanRoughlyLambda(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 20000
+	for _, lambda := range []float64{0.3, 1, 3} {
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += poisson(rng, lambda)
+		}
+		mean := float64(sum) / n
+		if mean < lambda*0.9 || mean > lambda*1.1 {
+			t.Fatalf("poisson(%v) mean %v off by >10%%", lambda, mean)
+		}
+	}
+	if poisson(rng, 0) != 0 {
+		t.Fatal("poisson(0) != 0")
+	}
+}

@@ -21,6 +21,10 @@ func (f *fakeSubmitter) Submit(ctx context.Context, q dsps.StreamID, opts ...pla
 
 func (f *fakeSubmitter) Remove(q dsps.StreamID) error { delete(f.seen, q); return nil }
 
+func (f *fakeSubmitter) Repair(ctx context.Context, events []plan.Event, opts ...plan.SubmitOption) (plan.RepairResult, error) {
+	return plan.RepairResult{Result: plan.Result{Admitted: true}}, nil
+}
+
 func (f *fakeSubmitter) Assignment() *dsps.Assignment { return dsps.NewAssignment() }
 
 func (f *fakeSubmitter) Admitted(q dsps.StreamID) bool { return f.seen[q] }

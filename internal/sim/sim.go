@@ -28,6 +28,8 @@ type Recorder struct {
 	P Submitter
 	// PlanTimes records the duration of every planning call.
 	PlanTimes []time.Duration
+	// RepairTimes records the duration of every Repair call.
+	RepairTimes []time.Duration
 	// UtilisationAt records system CPU utilisation before each call.
 	UtilisationAt []float64
 	sys           *dsps.System
@@ -56,6 +58,13 @@ func (a *Recorder) Submit(ctx context.Context, q dsps.StreamID, opts ...plan.Sub
 
 // Remove implements plan.QueryPlanner.
 func (a *Recorder) Remove(q dsps.StreamID) error { return a.P.Remove(q) }
+
+// Repair implements plan.QueryPlanner, recording the repair latency.
+func (a *Recorder) Repair(ctx context.Context, events []plan.Event, opts ...plan.SubmitOption) (plan.RepairResult, error) {
+	res, err := a.P.Repair(ctx, events, opts...)
+	a.RepairTimes = append(a.RepairTimes, res.PlanTime)
+	return res, err
+}
 
 // Assignment implements plan.QueryPlanner.
 func (a *Recorder) Assignment() *dsps.Assignment { return a.P.Assignment() }

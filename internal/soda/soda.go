@@ -151,6 +151,13 @@ func (p *Planner) Remove(q dsps.StreamID) error {
 	return nil
 }
 
+// Repair handles churn events with the shared fallback: remove the queries
+// the events invalidated and resubmit them through this planner's own
+// Submit, which re-places their templates on the surviving hosts.
+func (p *Planner) Repair(ctx context.Context, events []plan.Event, opts ...plan.SubmitOption) (plan.RepairResult, error) {
+	return plan.RepairByResubmit(ctx, p.sys, p, events, opts...)
+}
+
 // submitOne plans one fresh query; reports admission and, on rejection,
 // the machine-readable reason.
 func (p *Planner) submitOne(ctx context.Context, q dsps.StreamID, cfg *plan.SubmitConfig) (bool, plan.Reason, error) {
@@ -297,7 +304,7 @@ func (p *Planner) macroQ(tmpl []dsps.OperatorID) bool {
 		}
 	}
 	u := p.state.ComputeUsage(p.sys)
-	spare := p.sys.TotalCPU() - u.TotalCPU()
+	spare := p.sys.UsableCPU() - u.TotalCPU()
 	return demand <= spare+1e-9
 }
 
@@ -313,6 +320,9 @@ func (p *Planner) placeOp(cand *dsps.Assignment, opID dsps.OperatorID, allowed m
 		host := dsps.HostID(h)
 		if allowed != nil && !allowed[host] {
 			continue
+		}
+		if !p.sys.HostPlaceable(host) {
+			continue // down or draining: no new operator placements
 		}
 		u := cand.ComputeUsage(p.sys)
 		if u.CPU[host]+op.Cost > p.sys.Hosts[host].CPU+1e-9 {
@@ -354,7 +364,7 @@ func (p *Planner) fetchDirect(cand *dsps.Assignment, s dsps.StreamID, h dsps.Hos
 	}
 	rate := p.sys.Streams[s].Rate
 	try := func(m dsps.HostID) bool {
-		if m == h {
+		if m == h || !p.sys.HostUsable(m) {
 			return false
 		}
 		u := cand.ComputeUsage(p.sys)

@@ -1,16 +1,19 @@
 #!/bin/sh
-# Runs the benchmark suite and records the perf trajectory in BENCH_2.json.
+# Runs the benchmark suite and records the perf trajectory in BENCH_3.json.
 #
 # The headline series is BenchmarkAblationBaseline's us-per-plan (average
 # wall-clock per planning call on the compact §V workload), compared against
-# BENCH_1.json — the warm-started solver of the previous rework — and the
-# original pre-rework seed solver. BENCH_2 adds the tree-reduction layer:
-# presolve, root cuts (lifted covers, cliques, Gomory), reduced-cost
-# fixing, pseudo-cost branching and the large-model stagnation stop, so the
-# per-solve node/cut/fixing series are recorded alongside.
+# BENCH_2.json — the tree-reduction solver of the previous rework — and the
+# original pre-rework seed solver. BENCH_3 adds the churn-repair subsystem:
+# BenchmarkChurnRepair times the delta-MILP Repair after a failure of the
+# busiest host against a remove-and-resubmit fallback and a cold full
+# re-solve of the entire workload on the degraded system.
 #
-# The script FAILS if the admitted count differs from BENCH_1.json: every
-# perf change must preserve the planner's admission decisions exactly.
+# The script FAILS if
+#   - the admitted count differs from BENCH_2.json (every perf change must
+#     preserve the planner's admission decisions exactly),
+#   - the repair path is not faster than the cold full re-solve, or
+#   - repair keeps fewer admissions than the cold full re-solve.
 #
 # The micro benchmarks run at -benchtime=30x so arena/pool warm-up (first
 # iteration building the solver arenas) does not dominate allocs/op.
@@ -19,8 +22,8 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_2.json}"
-base="BENCH_1.json"
+out="${1:-BENCH_3.json}"
+base="BENCH_2.json"
 
 # Measured on the seed (pre-rework) solver with the same benchmark.
 pre_us_per_plan=70634
@@ -32,6 +35,7 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run=NONE -bench='BenchmarkAblationBaseline' -benchtime=3x -count=1 . | tee "$tmp"
+go test -run=NONE -bench='BenchmarkChurnRepair' -benchtime=3x -count=1 . | tee -a "$tmp"
 go test -run=NONE -bench='BenchmarkLPResolve|BenchmarkMILPNode' -benchtime=30x -count=1 . | tee -a "$tmp"
 
 awk -v pre="$pre_us_per_plan" -v base_us="$base_us" -v base_admitted="$base_admitted" \
@@ -47,6 +51,12 @@ function val(name,    i) {
 	nodes_solve = val("nodes/solve"); cuts_solve = val("cuts/solve")
 	fixings_solve = val("fixings/solve")
 }
+/^BenchmarkChurnRepair/ {
+	repair_us = val("repair-us"); resubmit_us = val("resubmit-us")
+	cold_us = val("cold-resolve-us")
+	repair_adm = val("repair-admitted"); cold_adm = val("cold-admitted")
+	repair_mig = val("repair-migrated"); resubmit_mig = val("resubmit-migrated")
+}
 /^BenchmarkLPResolve/ {
 	lp_ns = $3; lp_allocs = val("allocs/op")
 }
@@ -55,7 +65,15 @@ function val(name,    i) {
 }
 END {
 	if (adm != base_admitted) {
-		printf "FAIL: admitted count %s differs from BENCH_1 (%s)\n", adm, base_admitted > "/dev/stderr"
+		printf "FAIL: admitted count %s differs from BENCH_2 (%s)\n", adm, base_admitted > "/dev/stderr"
+		exit 1
+	}
+	if (repair_us + 0 >= cold_us + 0) {
+		printf "FAIL: repair (%s us) is not faster than a cold full re-solve (%s us)\n", repair_us, cold_us > "/dev/stderr"
+		exit 1
+	}
+	if (repair_adm + 0 < cold_adm + 0) {
+		printf "FAIL: repair kept %s admissions, cold full re-solve keeps %s\n", repair_adm, cold_adm > "/dev/stderr"
 		exit 1
 	}
 	printf "{\n"
@@ -70,6 +88,14 @@ END {
 	printf "  \"planner_nodes_per_solve\": %s,\n", nodes_solve
 	printf "  \"planner_cuts_per_solve\": %s,\n", cuts_solve
 	printf "  \"planner_fixings_per_solve\": %s,\n", fixings_solve
+	printf "  \"repair_us\": %s,\n", repair_us
+	printf "  \"repair_resubmit_us\": %s,\n", resubmit_us
+	printf "  \"repair_cold_resolve_us\": %s,\n", cold_us
+	printf "  \"repair_speedup_vs_cold\": %.2f,\n", cold_us / repair_us
+	printf "  \"repair_admitted\": %s,\n", repair_adm
+	printf "  \"repair_cold_admitted\": %s,\n", cold_adm
+	printf "  \"repair_migrated\": %s,\n", repair_mig
+	printf "  \"repair_resubmit_migrated\": %s,\n", resubmit_mig
 	printf "  \"lp_resolve_ns_per_op\": %s,\n", lp_ns
 	printf "  \"lp_resolve_allocs_per_op\": %s,\n", lp_allocs
 	printf "  \"milp_node_ns_per_op\": %s,\n", node_ns

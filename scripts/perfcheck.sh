@@ -2,23 +2,24 @@
 # Perf-regression smoke: re-runs the bench suite into a scratch file and
 # fails when
 #   - us_per_plan regressed more than 25% against the committed
-#     BENCH_2.json (wall-clock; assumes CI hardware comparable to the
+#     BENCH_3.json (wall-clock; assumes CI hardware comparable to the
 #     baseline machine — the deterministic checks below catch real solver
 #     regressions even when the hardware is not),
 #   - milp_nodes_per_solve grew against the committed value (the search is
-#     deterministic, so the node count is hardware-independent), or
-#   - the admitted count drifted from BENCH_1.json (enforced inside
-#     bench.sh itself).
+#     deterministic, so the node count is hardware-independent),
+#   - the admitted count drifted from BENCH_2.json, or repair became
+#     slower than (or kept fewer admissions than) a cold full re-solve
+#     (both enforced inside bench.sh itself).
 #
 # Usage: scripts/perfcheck.sh
 set -eu
 
 cd "$(dirname "$0")/.."
 
-committed_us=$(sed -n 's/.*"us_per_plan": \([0-9.]*\).*/\1/p' BENCH_2.json)
-committed_nodes=$(sed -n 's/.*"milp_nodes_per_solve": \([0-9.]*\).*/\1/p' BENCH_2.json)
-[ -n "$committed_us" ] || { echo "FAIL: no us_per_plan in BENCH_2.json" >&2; exit 1; }
-[ -n "$committed_nodes" ] || { echo "FAIL: no milp_nodes_per_solve in BENCH_2.json" >&2; exit 1; }
+committed_us=$(sed -n 's/.*"us_per_plan": \([0-9.]*\).*/\1/p' BENCH_3.json)
+committed_nodes=$(sed -n 's/.*"milp_nodes_per_solve": \([0-9.]*\).*/\1/p' BENCH_3.json)
+[ -n "$committed_us" ] || { echo "FAIL: no us_per_plan in BENCH_3.json" >&2; exit 1; }
+[ -n "$committed_nodes" ] || { echo "FAIL: no milp_nodes_per_solve in BENCH_3.json" >&2; exit 1; }
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
@@ -33,11 +34,11 @@ awk -v fu="$fresh_us" -v cu="$committed_us" -v fn="$fresh_nodes" -v cn="$committ
 	printf "milp_nodes_per_solve: fresh %s vs committed %s\n", fn, cn
 	fail = 0
 	if (fu + 0 > cu * 1.25) {
-		print "FAIL: us_per_plan regressed more than 25% vs BENCH_2.json" > "/dev/stderr"
+		print "FAIL: us_per_plan regressed more than 25% vs BENCH_3.json" > "/dev/stderr"
 		fail = 1
 	}
 	if (fn + 0 > cn * 1.05) {
-		print "FAIL: milp_nodes_per_solve grew vs BENCH_2.json" > "/dev/stderr"
+		print "FAIL: milp_nodes_per_solve grew vs BENCH_3.json" > "/dev/stderr"
 		fail = 1
 	}
 	exit fail

@@ -139,6 +139,46 @@ type (
 // NoOperator marks base streams (no producing operator).
 const NoOperator = dsps.NoOperator
 
+// Churn types: host availability states and the repair surface.
+type (
+	// HostState is a host's availability under churn (up/draining/down).
+	HostState = dsps.HostState
+	// Event is one churn event consumed by QueryPlanner.Repair.
+	Event = plan.Event
+	// EventKind classifies churn events.
+	EventKind = plan.EventKind
+	// RepairResult reports a Repair call's outcome: affected, kept and
+	// dropped queries plus the operator migration count.
+	RepairResult = plan.RepairResult
+)
+
+// Host availability states.
+const (
+	HostUp       = dsps.HostUp
+	HostDraining = dsps.HostDraining
+	HostDown     = dsps.HostDown
+)
+
+// Churn event kinds.
+const (
+	HostFailed    = plan.HostFailed
+	HostRecovered = plan.HostRecovered
+	HostDrained   = plan.HostDrained
+	QueryDrifted  = plan.QueryDrifted
+)
+
+// FailHost returns a host-failure event for Repair.
+func FailHost(h HostID) Event { return plan.FailHost(h) }
+
+// RecoverHost returns a host-recovery event for Repair.
+func RecoverHost(h HostID) Event { return plan.RecoverHost(h) }
+
+// DrainHost returns a graceful host-decommission event for Repair.
+func DrainHost(h HostID) Event { return plan.DrainHost(h) }
+
+// DriftQuery returns a query-drift event for Repair.
+func DriftQuery(q StreamID) Event { return plan.DriftQuery(q) }
+
 // Rejection reasons carried by Result.Reason.
 const (
 	ReasonNone              = plan.ReasonNone
