@@ -12,6 +12,7 @@ package sqpr_test
 import (
 	"context"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -570,4 +571,151 @@ func BenchmarkMILPNode(b *testing.B) {
 	if b.N > 0 {
 		b.ReportMetric(float64(totalNodes)/float64(b.N), "nodes-per-solve")
 	}
+}
+
+// --- Admission service: batched vs serialized concurrent submission --------
+
+// serviceRun pushes the workload through a plan.Service with `submitters`
+// concurrent client goroutines and returns submissions/sec, the admitted
+// count, a per-query admitted lookup and the mean coalesced batch size.
+func serviceRun(b *testing.B, sc sim.Scale, svcCfg plan.ServiceConfig, submitters int) (sps float64, admitted int, isAdmitted func(dsps.StreamID) bool, meanBatch float64) {
+	b.Helper()
+	ctx := context.Background()
+	env := sim.BuildEnv(sc)
+	cfg := core.DefaultConfig()
+	cfg.SolveTimeout = sc.Timeout
+	cfg.MaxCandidateHosts = sc.MaxCandHost
+	cfg.MaxFreeStreams = 30
+	svc := plan.NewService(core.NewPlanner(env.Sys, cfg), svcCfg)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := w; j < len(env.Queries); j += submitters {
+				if _, err := svc.Submit(ctx, env.Queries[j]); err != nil {
+					b.Error(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	sps = float64(len(env.Queries)) / time.Since(start).Seconds()
+	admitted = svc.AdmittedCount()
+	ss := svc.ServiceStats()
+	meanBatch = 1
+	if ss.Solves > 0 {
+		meanBatch = float64(ss.BatchedSubmits) / float64(ss.Solves)
+	}
+	svc.Close()
+	adm := make(map[dsps.StreamID]bool, admitted)
+	for _, q := range env.Queries {
+		if svc.Admitted(q) {
+			adm[q] = true
+		}
+	}
+	return sps, admitted, func(q dsps.StreamID) bool { return adm[q] }, meanBatch
+}
+
+// serialRun submits the workload one query at a time in workload order — the
+// serialized baseline a deployment without the coalescing service would run.
+func serialRun(b *testing.B, sc sim.Scale) (sps float64, admitted int, isAdmitted func(dsps.StreamID) bool) {
+	b.Helper()
+	ctx := context.Background()
+	env := sim.BuildEnv(sc)
+	cfg := core.DefaultConfig()
+	cfg.SolveTimeout = sc.Timeout
+	cfg.MaxCandidateHosts = sc.MaxCandHost
+	cfg.MaxFreeStreams = 30
+	p := core.NewPlanner(env.Sys, cfg)
+	start := time.Now()
+	for _, q := range env.Queries {
+		if _, err := p.Submit(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sps = float64(len(env.Queries)) / time.Since(start).Seconds()
+	return sps, p.AdmittedCount(), p.Admitted
+}
+
+// BenchmarkServiceThroughput measures the admission service's batch-
+// coalescing win on the Fig-4 workload with 64 concurrent submitters, at two
+// operating points:
+//
+//   - the pre-saturation prefix of the workload (every feasible query is
+//     admitted under any submission order), where admission decisions are
+//     order-independent — so the coalesced run (straggler retry on) must
+//     admit EXACTLY the same query set as the serialized one-at-a-time
+//     baseline while finishing measurably faster (set-equal,
+//     svc-subs-per-sec vs serial-subs-per-sec);
+//   - the full saturated workload, where joint batch solves legitimately
+//     admit a different (typically larger) query set than order-dependent
+//     one-at-a-time admission — the paper's own Fig. 4(b) batching effect —
+//     so only throughput and admitted counts are reported (sat-* metrics).
+//
+// The coalesced solves run under a flat BatchTimeout equal to the serial
+// per-query budget: the batch amortises the solver's fixed costs and its
+// deadline must not scale with the batch size, or the coalescing win is
+// handed straight back to the solver.
+//
+// All metrics feed BENCH_4.json via scripts/bench.sh, which fails when the
+// pre-saturation sets differ or the service is not measurably faster.
+func BenchmarkServiceThroughput(b *testing.B) {
+	const submitters = 64
+
+	// Pre-saturation prefix: the first rejection of the Fig-4 workload is
+	// around query 41 (seed 1), so 40 queries stay order-independent. Both
+	// paths run under the same tightened 40ms per-solve budget (ample at
+	// this scale: the serial baseline admits the identical set at 40ms and
+	// 150ms), so the comparison isolates coalescing, not budget tuning.
+	pre := sim.DefaultScale()
+	pre.Queries = 40
+	pre.Timeout = 40 * time.Millisecond
+	// Full Fig-4 workload, saturated.
+	sat := sim.DefaultScale()
+
+	var preSvcSPS, preSerialSPS, preMeanBatch float64
+	var preSvcAdm, preSerialAdm int
+	setEqual := 1.0
+	var satSvcSPS, satSerialSPS float64
+	var satSvcAdm, satSerialAdm int
+
+	for i := 0; i < b.N; i++ {
+		var preSvcIs, preSerialIs func(dsps.StreamID) bool
+		preSerialSPS, preSerialAdm, preSerialIs = serialRun(b, pre)
+		// RetryRejected pins the equality bar: a member the joint solve
+		// leaves out gets the solo submission it would have issued without
+		// the service, so below saturation the admitted set matches the
+		// serialized baseline exactly (stragglers are rare there, so the
+		// retries cost almost nothing).
+		preSvcSPS, preSvcAdm, preSvcIs, preMeanBatch = serviceRun(b, pre, plan.ServiceConfig{
+			MaxBatch: 8, BatchTimeout: pre.Timeout, RetryRejected: true,
+		}, submitters)
+		// setEqual only ever drops: a mismatch in ANY iteration must stick,
+		// or a nondeterministic divergence could be masked by a later
+		// iteration and slip past the bench.sh gate.
+		env := sim.BuildEnv(pre)
+		for _, q := range env.Queries {
+			if preSvcIs(q) != preSerialIs(q) {
+				setEqual = 0
+			}
+		}
+
+		satSerialSPS, satSerialAdm, _ = serialRun(b, sat)
+		satSvcSPS, satSvcAdm, _, _ = serviceRun(b, sat, plan.ServiceConfig{
+			MaxBatch: 8, BatchTimeout: sat.Timeout,
+		}, submitters)
+	}
+
+	b.ReportMetric(preSvcSPS, "svc-subs-per-sec")
+	b.ReportMetric(preSerialSPS, "serial-subs-per-sec")
+	b.ReportMetric(float64(preSvcAdm), "svc-admitted")
+	b.ReportMetric(float64(preSerialAdm), "serial-admitted")
+	b.ReportMetric(setEqual, "set-equal")
+	b.ReportMetric(preMeanBatch, "mean-batch")
+	b.ReportMetric(satSvcSPS, "sat-svc-subs-per-sec")
+	b.ReportMetric(satSerialSPS, "sat-serial-subs-per-sec")
+	b.ReportMetric(float64(satSvcAdm), "sat-svc-admitted")
+	b.ReportMetric(float64(satSerialAdm), "sat-serial-admitted")
 }

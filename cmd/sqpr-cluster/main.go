@@ -10,6 +10,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"os"
 	"strconv"
 	"time"
 
@@ -22,6 +23,17 @@ func main() {
 	waves := flag.Int("waves", 0, "override number of 50-query waves")
 	deploy := flag.Bool("deploy", true, "run the final plans on the mini engine")
 	flag.Parse()
+
+	// Validate the figure selector before simulating: the Fig-7 run takes
+	// minutes, and a typo like "-fig 7d" used to burn all of it and then
+	// print nothing.
+	switch *fig {
+	case "all", "7a", "7b", "7c":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 7a, 7b, 7c or all)\n", *fig)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	ds := sim.DefaultDeployScale()
 	if *waves > 0 {

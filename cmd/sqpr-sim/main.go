@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4a,4b,4c,5a,5b,5c,6a,6b,churn or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4a,4b,4c,5a,5b,5c,6a,6b,churn,arrivals or all")
 	queries := flag.Int("queries", 0, "override query count")
 	hosts := flag.Int("hosts", 0, "override host count")
 	timeout := flag.Duration("timeout", 0, "override per-query solver timeout")
@@ -36,6 +36,16 @@ func main() {
 	failRate := flag.Float64("fail-rate", 0, "override expected host failures per churn step")
 	recoverRate := flag.Float64("recover-rate", 0, "override expected host recoveries per churn step")
 	flag.Parse()
+
+	// Validate the figure selector before simulating anything: a typo must
+	// cost a usage error, not minutes of solves followed by empty output.
+	switch *fig {
+	case "all", "4a", "4b", "4c", "5a", "5b", "5c", "6a", "6b", "churn", "arrivals":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 4a,4b,4c,5a,5b,5c,6a,6b,churn,arrivals or all)\n", *fig)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	sc := sim.DefaultScale()
 	if *queries > 0 {
@@ -88,15 +98,45 @@ func main() {
 		}
 		printChurn(res)
 	})
-
-	if *fig != "all" {
-		switch *fig {
-		case "4a", "4b", "4c", "5a", "5b", "5c", "6a", "6b", "churn":
-		default:
-			fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
-			os.Exit(2)
+	run("arrivals", func() {
+		ol := sim.DefaultOpenLoopScale()
+		if *queries > 0 {
+			ol.Queries = *queries
 		}
+		if *hosts > 0 {
+			ol.Hosts = *hosts
+		}
+		if *timeout > 0 {
+			ol.Timeout = *timeout
+		}
+		if *seed != 0 {
+			ol.Seed = *seed
+		}
+		printArrivals(sim.OpenLoop(ol))
+	})
+}
+
+func printArrivals(r sim.OpenLoopResult) {
+	header := []string{"rate/s", "mode", "submitted", "admitted", "shed",
+		"throughput/s", "p50", "p95", "p99", "max", "mean-batch", "max-batch"}
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f", p.Rate),
+			p.Mode,
+			strconv.Itoa(p.Submitted),
+			strconv.Itoa(p.Admitted),
+			strconv.Itoa(p.Shed),
+			fmt.Sprintf("%.1f", p.Throughput),
+			p.P50.Round(time.Millisecond).String(),
+			p.P95.Round(time.Millisecond).String(),
+			p.P99.Round(time.Millisecond).String(),
+			p.Max.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.2f", p.MeanBatch),
+			strconv.Itoa(p.MaxBatch),
+		})
 	}
+	fmt.Print(stats.Table(header, rows))
 }
 
 func printChurn(r sim.ChurnResult) {

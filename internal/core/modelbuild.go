@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"sort"
+	"time"
 
 	"sqpr/internal/dsps"
 	"sqpr/internal/milp"
@@ -62,6 +63,15 @@ type builder struct {
 	journal     []journalEntry
 	visiting    map[planKey]bool
 	hostScratch []dsps.HostID
+
+	// seedDeadline bounds the greedy warm start's wall clock and
+	// seedProbes its backtracking: planStreamAt is an exponential
+	// backtracking search, and on large joint (batch) models at saturation
+	// an unbounded greedy can eat minutes before the MILP even starts —
+	// blowing straight through the solve deadline, which only the LP and
+	// branch-and-bound loops poll (see incumbent in seed.go).
+	seedDeadline time.Time
+	seedProbes   int
 }
 
 type hsKey struct {

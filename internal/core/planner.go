@@ -104,6 +104,11 @@ const (
 	stallNodesLarge   = 8
 )
 
+// groupGraceBudget is the minimum solver budget a tractability sub-batch
+// receives even when earlier sub-batches consumed the whole call timeout
+// (see the split loop in submit).
+const groupGraceBudget = 10 * time.Millisecond
+
 // Planner is the SQPR planner. It implements plan.QueryPlanner and is not
 // safe for concurrent use.
 type Planner struct {
@@ -272,17 +277,146 @@ func (p *Planner) submit(ctx context.Context, qs []dsps.StreamID, timeout time.D
 		return res, nil
 	}
 
+	// Effective deadline: the earlier of the solver budget and the ctx
+	// deadline, so a ctx deadline also bounds individual node LPs.
+	finalDeadline := start.Add(timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(finalDeadline) {
+		finalDeadline = d
+	}
+
+	// Tractability split: a joint batch whose query closures barely overlap
+	// unions into a free set far beyond Config.MaxFreeStreams — the cap only
+	// bounds the *sharing-query* merges, the fresh closures themselves merge
+	// unconditionally — and the dense LP substrate is superlinear in model
+	// size, so one oversized joint model costs far more wall-clock than its
+	// members solved apart (multi-gigabyte tableaus on scrambled batches of
+	// eight). Related batches (overlapping closures, the Fig. 4(b) case)
+	// stay in one joint solve; unrelated members are split into sub-batches
+	// whose closure unions respect the budget, solved sequentially under
+	// shares of the one deadline. An error mid-sequence (a ctx cancellation)
+	// rolls the already-solved groups back, preserving Submit's contract
+	// that an aborted call leaves the planner state unchanged.
+	groups := p.splitBatch(fresh)
+	if len(groups) > 1 {
+		savedState := p.state
+		savedAdmitted := plan.CopyAdmitted(p.admitted)
+		res.Admitted = true
+		for i, g := range groups {
+			// Deadline share proportional to group size, floored by a small
+			// grace budget: a group is never wholesale-rejected because an
+			// earlier group overran the call budget — with the greedy warm
+			// start, even a few milliseconds admit everything an easy group
+			// can admit, and dropping the group instead would diverge from
+			// what the same queries submitted individually would get. The
+			// call may thus overrun its timeout by up to a grace per group;
+			// a ctx cancellation still aborts between and inside groups.
+			left := 0
+			for _, gg := range groups[i:] {
+				left += len(gg)
+			}
+			share := time.Until(finalDeadline) * time.Duration(len(g)) / time.Duration(left)
+			if share < groupGraceBudget {
+				share = groupGraceBudget
+			}
+			gres, err := p.solveGroup(ctx, g, time.Now().Add(share))
+			res.Nodes += gres.Nodes
+			res.LPIters += gres.LPIters
+			res.Cuts += gres.Cuts
+			res.Fixings += gres.Fixings
+			res.PresolveFixed += gres.PresolveFixed
+			if gres.FreeStreams > res.FreeStreams {
+				res.FreeStreams = gres.FreeStreams
+			}
+			if gres.FreeOps > res.FreeOps {
+				res.FreeOps = gres.FreeOps
+			}
+			if gres.CandidateHosts > res.CandidateHosts {
+				res.CandidateHosts = gres.CandidateHosts
+			}
+			res.SolveStatus = gres.SolveStatus
+			res.Stalled = res.Stalled || gres.Stalled
+			if err != nil {
+				// Roll back: sub-solves only ever replace p.state wholesale,
+				// so the saved pointer is the intact pre-call allocation.
+				p.state = savedState
+				p.admitted = savedAdmitted
+				res.Admitted = false
+				res.PlanTime = time.Since(start)
+				return res, err
+			}
+			if !gres.Admitted {
+				res.Admitted = false
+				if res.Reason == plan.ReasonNone {
+					res.Reason = gres.Reason
+				}
+			}
+		}
+		res.PlanTime = time.Since(start)
+		p.stats.Record(res)
+		return res, nil
+	}
+
+	r, err := p.submitGroup(ctx, fresh, start, finalDeadline, &res)
+	if err == nil {
+		p.stats.Record(r)
+	}
+	return r, err
+}
+
+// splitBatch partitions the fresh queries of one call into sub-batches
+// whose closure unions stay within the free-set budget; a single query
+// always forms a valid group even when its own closure exceeds it.
+func (p *Planner) splitBatch(fresh []dsps.StreamID) [][]dsps.StreamID {
+	if len(fresh) <= 1 {
+		return [][]dsps.StreamID{fresh}
+	}
+	budget := p.cfg.MaxFreeStreams
+	var groups [][]dsps.StreamID
+	union := make(map[dsps.StreamID]bool)
+	var cur []dsps.StreamID
+	for _, q := range fresh {
+		cl := p.closures.streamsOf(q)
+		extra := 0
+		for _, s := range cl {
+			if !union[s] {
+				extra++
+			}
+		}
+		if len(cur) > 0 && len(union)+extra > budget {
+			groups = append(groups, cur)
+			cur = nil
+			union = make(map[dsps.StreamID]bool)
+		}
+		cur = append(cur, q)
+		for _, s := range cl {
+			union[s] = true
+		}
+	}
+	if len(cur) > 0 {
+		groups = append(groups, cur)
+	}
+	return groups
+}
+
+// solveGroup plans one tractable sub-batch under its deadline share,
+// recording telemetry as its own planner call would.
+func (p *Planner) solveGroup(ctx context.Context, fresh []dsps.StreamID, deadline time.Time) (Result, error) {
+	var res Result
+	r, err := p.submitGroup(ctx, fresh, time.Now(), deadline, &res)
+	return r, err
+}
+
+// submitGroup is the single-joint-solve body of submit: build the reduced
+// model for the fresh queries, solve it under the deadline, and commit the
+// produced allocation. res carries pre-filled telemetry and is completed
+// here.
+func (p *Planner) submitGroup(ctx context.Context, fresh []dsps.StreamID, start time.Time, deadline time.Time, resIn *Result) (Result, error) {
+	res := *resIn
+
 	b := p.newBuilder(fresh)
 	res.FreeStreams = len(b.freeStreams)
 	res.FreeOps = len(b.freeOps)
 	res.CandidateHosts = len(b.hosts)
-
-	// Effective deadline: the earlier of the solver budget and the ctx
-	// deadline, so a ctx deadline also bounds individual node LPs.
-	deadline := start.Add(timeout)
-	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
-		deadline = d
-	}
 
 	model := b.build()
 	opts := milp.Options{
@@ -299,7 +433,7 @@ func (p *Planner) submit(ctx context.Context, qs []dsps.StreamID, timeout time.D
 		AbsGapTol: 0.02 * p.cfg.Weights.L1,
 	}
 	if !p.cfg.DisableWarmStart {
-		opts.Incumbent = b.incumbent()
+		opts.Incumbent = b.incumbent(deadline)
 	}
 	// Large reduced models get a stagnation stop: their LP bound carries
 	// fractional admissions of other unserved queries, a gap no realistic
@@ -334,7 +468,6 @@ func (p *Planner) submit(ctx context.Context, qs []dsps.StreamID, timeout time.D
 		// previous solution).
 		res.Reason = plan.ReasonNoFeasiblePlan
 		res.PlanTime = time.Since(start)
-		p.stats.Record(res)
 		return res, nil
 	}
 
@@ -371,6 +504,5 @@ func (p *Planner) submit(ctx context.Context, qs []dsps.StreamID, timeout time.D
 		res.Reason = plan.ReasonNoFeasiblePlan
 	}
 	res.PlanTime = time.Since(start)
-	p.stats.Record(res)
 	return res, nil
 }

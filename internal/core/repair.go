@@ -287,7 +287,7 @@ func (p *Planner) repairChunks(affected []dsps.StreamID) [][]dsps.StreamID {
 // candidate host should be evacuated, when drift asks for re-placement of
 // an operator in this chunk, or when the warm start is disabled (its
 // ablation must also ablate this).
-func (b *builder) greedyRepair(chunkDrift bool) (*dsps.Assignment, bool) {
+func (b *builder) greedyRepair(chunkDrift bool, deadline time.Time) (*dsps.Assignment, bool) {
 	if b.p.cfg.DisableWarmStart || chunkDrift {
 		return nil, false
 	}
@@ -298,6 +298,7 @@ func (b *builder) greedyRepair(chunkDrift bool) (*dsps.Assignment, bool) {
 	}
 	cand := b.p.state.Clone()
 	b.track.reset(b.sys, cand)
+	b.seedArm(deadline)
 	for _, q := range b.queries {
 		if _, ok := cand.Provides[q]; ok {
 			continue
@@ -376,7 +377,7 @@ func (p *Planner) repairChunk(ctx context.Context, chunk []dsps.StreamID, before
 	// fewer survivors — so the MILP is skipped. Drain chunks (a draining
 	// candidate host needs evacuating) and drift chunks (re-placement is
 	// the goal) always take the full solve.
-	if fast, ok := b.greedyRepair(chunkDrift); ok {
+	if fast, ok := b.greedyRepair(chunkDrift, deadline); ok {
 		p.state = fast
 		res.Admitted = true
 		for _, q := range chunk {
@@ -421,7 +422,7 @@ func (p *Planner) repairChunk(ctx context.Context, chunk []dsps.StreamID, before
 		opts.StallNodes = stallNodesLarge
 	}
 	if !p.cfg.DisableWarmStart {
-		opts.Incumbent = b.incumbent()
+		opts.Incumbent = b.incumbent(deadline)
 	}
 	sol := model.Solve(opts)
 	res.SolveStatus = sol.Status

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"sqpr/internal/dsps"
 )
@@ -17,16 +18,65 @@ import (
 // incrementally and rolls trial placements back through an undo journal, so
 // probing never clones the assignment or recomputes usage from scratch
 // (both used to dominate the planning call on contended instances).
-func (b *builder) incumbent() []float64 {
+//
+// planStreamAt is an exponential backtracking search (producers × hosts,
+// recursing through operator inputs), so the greedy runs under two brakes,
+// armed by seedArm: a probe budget shared across the call, and the solve
+// deadline, polled inside the recursion every 256 probes. On contended
+// joint (batch) models the unbraked search could take minutes — longer
+// than the whole solve budget — before the MILP even compiled. A truncated
+// greedy is harmless: the incumbent is simply the current allocation
+// extended with however many queries were admitted before the brake, still
+// a feasible warm start for the solver to improve on.
+func (b *builder) incumbent(deadline time.Time) []float64 {
 	cand := b.p.state.Clone()
 	b.track.reset(b.sys, cand)
+	b.seedArm(deadline)
 	for _, q := range b.queries {
 		if _, ok := cand.Provides[q]; ok {
 			continue
 		}
+		if b.seedProbes <= 0 {
+			break
+		}
 		b.greedyAdmit(cand, q)
 	}
 	return b.vectorOf(cand)
+}
+
+// seedProbeBudget caps planStreamAt invocations per armed greedy run — a
+// safety net for deadline-free calls. A probe costs tens of nanoseconds
+// (most short-circuit on Available), so the cap bounds the greedy at a few
+// tens of milliseconds; ordinary Submit calls use orders of magnitude fewer
+// probes, and the repair greedy's heavier preferHost rebuilds stay well
+// inside it too. The pathological joint-batch cases this exists for burned
+// billions of probes. The solve deadline is the primary brake: planStreamAt
+// polls it every 256 probes, so an expired call stops within microseconds.
+const seedProbeBudget = 1 << 20
+
+// seedArm resets the greedy brakes for one run. Every greedy entry point
+// must arm explicitly: the builder is pooled across calls, and a stale
+// deadline from a previous call would otherwise truncate the next greedy
+// on sight (a repair fast path running after a submit, for example). The
+// deadline is floored by a small grace so a greedy is never stillborn just
+// because earlier work consumed the call budget — it is the cheap path
+// (microseconds to low milliseconds normally), and killing it would drop
+// admissions and repairs the solver then has no time to recover; the
+// brakes exist for the pathological minutes-long searches, which the
+// grace still bounds.
+func (b *builder) seedArm(deadline time.Time) {
+	if !deadline.IsZero() {
+		if min := time.Now().Add(groupGraceBudget); deadline.Before(min) {
+			deadline = min
+		}
+	}
+	b.seedDeadline = deadline
+	b.seedProbes = seedProbeBudget
+}
+
+// seedExpired reports whether the greedy's wall-clock deadline has lapsed.
+func (b *builder) seedExpired() bool {
+	return !b.seedDeadline.IsZero() && time.Now().After(b.seedDeadline)
 }
 
 // usageTracker maintains the resource picture of one assignment under
@@ -184,6 +234,9 @@ func (b *builder) greedyAdmit(cand *dsps.Assignment, q dsps.StreamID) bool {
 	var results []scored
 	rate := b.sys.Streams[q].Rate
 	for _, h := range order {
+		if b.seedProbes <= 0 {
+			break
+		}
 		mark := len(b.journal)
 		if !b.planStreamAt(cand, q, h, b.visiting) {
 			b.rollback(cand, mark)
@@ -264,6 +317,14 @@ type planKey struct {
 // visiting guards against cycles. On failure the caller rolls back to its
 // own mark; partial work may remain in the journal.
 func (b *builder) planStreamAt(trial *dsps.Assignment, s dsps.StreamID, h dsps.HostID, visiting map[planKey]bool) bool {
+	if b.seedProbes <= 0 {
+		return false
+	}
+	b.seedProbes--
+	if b.seedProbes&255 == 0 && b.seedExpired() {
+		b.seedProbes = 0 // poison the rest of the run: deadline lapsed
+		return false
+	}
 	if trial.Available(b.sys, h, s) {
 		return true
 	}

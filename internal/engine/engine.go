@@ -10,13 +10,19 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"sqpr/internal/dsps"
+	"sqpr/internal/plan"
 )
+
+// ErrAlreadyDeployed reports a Deploy on an engine that is already running a
+// plan. Stop the engine first; a stopped engine can be redeployed.
+var ErrAlreadyDeployed = errors.New("engine already deployed")
 
 // Tuple is one data item of a stream.
 type Tuple struct {
@@ -74,6 +80,19 @@ type Engine struct {
 	ctx       context.Context
 	cancel    context.CancelFunc
 	wg        sync.WaitGroup
+
+	// mu guards the deploy/stop lifecycle: running flips on Deploy and off
+	// only after Stop has joined every goroutine and closed results, so a
+	// redeploy can never race goroutines of the previous deployment.
+	mu      sync.Mutex
+	running bool
+
+	// churnMu serialises ApplyChurn calls so the dataplane and the planner
+	// observe churn events in one order: without it, two concurrent calls
+	// with conflicting events (fail vs recover of the same host) could land
+	// in opposite orders on the engine's atomics and in the planner's
+	// repair queue, leaving the two permanently inconsistent.
+	churnMu sync.Mutex
 }
 
 // New creates an engine for the system (not yet deployed).
@@ -125,18 +144,89 @@ func (e *Engine) RecoverHost(h dsps.HostID) {
 // HostDown reports whether host h is currently failed.
 func (e *Engine) HostDown(h dsps.HostID) bool { return e.down[h].Load() }
 
+// ApplyChurn is the engine's service-based churn entry point: it forwards
+// the events to the planner's Repair and then mirrors the system's recorded
+// host availability onto the running engine — so dataplane and plan change
+// together, planner first. The mirror reads the shared system's host states
+// rather than guessing from the error: Repair commits host-state
+// transitions even when its re-planning step later fails or overruns a
+// deadline, and a malformed event set commits nothing at all, so the system
+// record — not error identity — is the truth about what the planner
+// applied. The planner must operate on the same System the engine runs.
+//
+// When the request never completed through the planner — backpressure
+// (plan.ErrQueueFull), a closed service, or a context that died while the
+// request was queued — the engine is left untouched: there is no
+// happens-before edge with the planner's state, so reading it would race,
+// and in the worst case (a ctx that expired just as the dispatcher picked
+// the repair up) the engine merely lags in the benign direction — hosts the
+// planner stopped using keep running until the caller retries.
+//
+// Pass a plan.Service as the planner and the call is safe from any
+// goroutine — monitors and operators can report failures concurrently while
+// clients keep submitting. Concurrent ApplyChurn calls are serialised
+// against each other, so conflicting events for the same host reach the
+// planner and the dataplane in one order. Drain and drift events touch only
+// the planner; the engine keeps executing the still-valid allocations until
+// a new plan is deployed.
+func (e *Engine) ApplyChurn(ctx context.Context, p plan.QueryPlanner, events []plan.Event, opts ...plan.SubmitOption) (plan.RepairResult, error) {
+	e.churnMu.Lock()
+	defer e.churnMu.Unlock()
+	for _, ev := range events {
+		switch ev.Kind {
+		case plan.HostFailed, plan.HostRecovered:
+			if int(ev.Host) < 0 || int(ev.Host) >= e.sys.NumHosts() {
+				return plan.RepairResult{}, fmt.Errorf("engine: churn event %v: host %d out of range", ev.Kind, ev.Host)
+			}
+		}
+	}
+	rr, err := p.Repair(ctx, events, opts...)
+	if err != nil && (errors.Is(err, plan.ErrQueueFull) || errors.Is(err, plan.ErrServiceClosed) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return rr, err
+	}
+	for _, ev := range events {
+		switch ev.Kind {
+		case plan.HostFailed, plan.HostRecovered:
+			// Mirror what the planner actually recorded, not what the event
+			// asked for: a pre-commit validation failure leaves the system
+			// (and so the engine) unchanged.
+			if e.sys.Hosts[ev.Host].State == dsps.HostDown {
+				e.FailHost(ev.Host)
+			} else {
+				e.RecoverHost(ev.Host)
+			}
+		}
+	}
+	return rr, err
+}
+
 // Monitor exposes the engine's resource monitor.
 func (e *Engine) Monitor() *Monitor { return e.mon }
 
 // Results returns the client delivery channel carrying tuples of all
-// provided result streams. Valid after Deploy.
-func (e *Engine) Results() <-chan Tuple { return e.results }
+// provided result streams. Valid after Deploy; Stop closes it after every
+// producer has exited, so a consumer ranging over it terminates.
+func (e *Engine) Results() <-chan Tuple {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.results
+}
 
 // Deploy instantiates the assignment: one goroutine per host, per base
 // source. The assignment must be feasible (Validate passes); Deploy checks.
+// Deploying over a live engine fails with ErrAlreadyDeployed — goroutines of
+// the previous deployment still send on the old results channel, so
+// reallocating it under them would strand consumers. Stop first; a stopped
+// engine can be deployed again (with a fresh Results channel).
 func (e *Engine) Deploy(ctx context.Context, a *dsps.Assignment) error {
 	if err := a.Validate(e.sys); err != nil {
 		return fmt.Errorf("engine: refusing to deploy infeasible plan: %w", err)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.running {
+		return fmt.Errorf("engine: %w", ErrAlreadyDeployed)
 	}
 	e.ctx, e.cancel = context.WithCancel(ctx)
 	e.results = make(chan Tuple, 4096)
@@ -181,6 +271,7 @@ func (e *Engine) Deploy(ctx context.Context, a *dsps.Assignment) error {
 			break // one injection point suffices
 		}
 	}
+	e.running = true
 	return nil
 }
 
@@ -246,13 +337,22 @@ func (e *Engine) runSource(s dsps.StreamID, at dsps.HostID) {
 	}
 }
 
-// Stop terminates all host and source goroutines and waits for them.
+// Stop terminates all host and source goroutines, waits for them, and then
+// closes the Results channel exactly once — so a consumer ranging over
+// Results terminates instead of blocking forever. Stop is idempotent: a
+// second Stop (or a Stop before Deploy) returns immediately without
+// panicking or double-closing.
 func (e *Engine) Stop() {
-	if e.cancel != nil {
-		e.cancel()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.running {
+		return
 	}
+	e.cancel()
 	e.transport.Stop()
 	e.wg.Wait()
+	close(e.results)
+	e.running = false
 }
 
 // send crosses the network via the configured transport; the monitor

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"context"
+	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -193,4 +195,90 @@ func TestStopTerminatesGoroutines(t *testing.T) {
 	case <-time.After(3 * time.Second):
 		t.Fatal("Stop did not terminate within 3s")
 	}
+}
+
+func TestStopClosesResults(t *testing.T) {
+	sys, asg, _ := joinSetup(t)
+	eng := New(sys, DefaultConfig())
+	if err := eng.Deploy(context.Background(), asg); err != nil {
+		t.Fatal(err)
+	}
+	// A consumer ranging over Results must terminate once Stop runs.
+	consumed := make(chan struct{})
+	go func() {
+		for range eng.Results() {
+		}
+		close(consumed)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	eng.Stop()
+	select {
+	case <-consumed:
+	case <-time.After(3 * time.Second):
+		t.Fatal("consumer ranging over Results() did not terminate after Stop")
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	sys, asg, _ := joinSetup(t)
+	eng := New(sys, DefaultConfig())
+
+	// Stop before Deploy must be a no-op, not a panic.
+	eng.Stop()
+
+	if err := eng.Deploy(context.Background(), asg); err != nil {
+		t.Fatal(err)
+	}
+	eng.Stop()
+	eng.Stop() // double Stop must not panic or double-close
+
+	// Concurrent Stops must also be safe.
+	if err := eng.Deploy(context.Background(), asg); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eng.Stop()
+		}()
+	}
+	wg.Wait()
+}
+
+func TestDeployOnRunningEngineRejected(t *testing.T) {
+	sys, asg, _ := joinSetup(t)
+	eng := New(sys, DefaultConfig())
+	if err := eng.Deploy(context.Background(), asg); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+	if err := eng.Deploy(context.Background(), asg); !errors.Is(err, ErrAlreadyDeployed) {
+		t.Fatalf("second Deploy on a running engine: err = %v, want ErrAlreadyDeployed", err)
+	}
+}
+
+func TestRedeployAfterStop(t *testing.T) {
+	sys, asg, out := joinSetup(t)
+	cfg := DefaultConfig()
+	cfg.KeyDomain = 4
+	eng := New(sys, cfg)
+	if err := eng.Deploy(context.Background(), asg); err != nil {
+		t.Fatal(err)
+	}
+	eng.Stop()
+	// A stopped engine redeploys cleanly with a fresh Results channel.
+	if err := eng.Deploy(context.Background(), asg); err != nil {
+		t.Fatalf("redeploy after Stop: %v", err)
+	}
+	select {
+	case tup := <-eng.Results():
+		if tup.Stream != out {
+			t.Fatalf("wrong stream %d after redeploy", tup.Stream)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("redeployed engine delivered nothing")
+	}
+	eng.Stop()
 }

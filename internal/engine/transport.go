@@ -62,8 +62,15 @@ func NewTCPTransport() *TCPTransport {
 	}
 }
 
-// Start opens one loopback listener per host and begins accepting.
+// Start opens one loopback listener per host and begins accepting. A
+// transport that was stopped can be started again (Engine.Deploy after
+// Stop): stale connections were closed by Stop, so the maps reset.
 func (tr *TCPTransport) Start(e *Engine) error {
+	tr.mu.Lock()
+	tr.stopped = false
+	tr.conns = make(map[[2]dsps.HostID]net.Conn)
+	tr.sendMu = make(map[[2]dsps.HostID]*sync.Mutex)
+	tr.mu.Unlock()
 	tr.e = e
 	n := e.sys.NumHosts()
 	tr.listeners = make([]net.Listener, n)

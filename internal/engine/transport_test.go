@@ -117,3 +117,33 @@ func TestTCPTransportStopIdempotentBeforeStart(t *testing.T) {
 	tr := NewTCPTransport()
 	tr.Stop() // must not panic with no listeners
 }
+
+// TestTCPTransportRedeployAfterStop checks that a stopped engine using the
+// TCP transport redeploys cleanly: Start resets the transport's stopped
+// flag and connection maps, so tuples flow again over fresh connections.
+func TestTCPTransportRedeployAfterStop(t *testing.T) {
+	sys, asg, out := joinSetup(t)
+	cfg := DefaultConfig()
+	cfg.KeyDomain = 4
+	cfg.Transport = NewTCPTransport()
+	eng := New(sys, cfg)
+	if err := eng.Deploy(context.Background(), asg); err != nil {
+		t.Fatal(err)
+	}
+	if !awaitResult(eng.Results(), 2*time.Second) {
+		t.Fatal("no results before the stop")
+	}
+	eng.Stop()
+	if err := eng.Deploy(context.Background(), asg); err != nil {
+		t.Fatalf("redeploy after Stop with TCP transport: %v", err)
+	}
+	select {
+	case tup := <-eng.Results():
+		if tup.Stream != out {
+			t.Fatalf("wrong stream %d after redeploy", tup.Stream)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("redeployed TCP engine delivered nothing")
+	}
+	eng.Stop()
+}

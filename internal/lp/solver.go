@@ -241,7 +241,14 @@ func (s *Solver) Load(p *Problem) error {
 	// Worst case: every row active with a slack plus one artificial each.
 	s.stride = p.NumVars + s.nSlackCap + s.mAllCap
 
-	s.rowsBuf = growF(s.rowsBuf, s.mAllCap*s.stride)
+	// The dense tableau is by far the largest allocation (gigabytes on
+	// batch models); grow it geometrically so a sequence of solves over
+	// slightly-growing models reallocates O(log) times instead of paying a
+	// fresh multi-gigabyte clear-and-fault on every high-water mark.
+	if need := s.mAllCap * s.stride; cap(s.rowsBuf) < need {
+		s.rowsBuf = make([]float64, need+need/2)
+	}
+	s.rowsBuf = s.rowsBuf[:s.mAllCap*s.stride]
 	if cap(s.rows) < s.mAllCap {
 		s.rows = make([][]float64, s.mAllCap)
 	}

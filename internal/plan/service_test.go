@@ -1,0 +1,309 @@
+package plan_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"sqpr/internal/dsps"
+	"sqpr/internal/plan"
+)
+
+// fakePlanner is a deterministic, single-threaded QueryPlanner for service
+// unit tests: it admits everything, records every call it receives, and can
+// be slowed down to force requests to pile up behind the dispatcher.
+type fakePlanner struct {
+	mu       sync.Mutex
+	delay    time.Duration
+	calls    [][]dsps.StreamID // one entry per Submit, primary first
+	removed  []dsps.StreamID
+	repairs  int
+	admitted map[dsps.StreamID]bool
+	active   int // concurrent calls observed (must stay <= 1)
+	maxAct   int
+}
+
+func newFakePlanner(delay time.Duration) *fakePlanner {
+	return &fakePlanner{delay: delay, admitted: make(map[dsps.StreamID]bool)}
+}
+
+func (f *fakePlanner) enter() {
+	f.mu.Lock()
+	f.active++
+	if f.active > f.maxAct {
+		f.maxAct = f.active
+	}
+	f.mu.Unlock()
+}
+
+func (f *fakePlanner) exit() {
+	f.mu.Lock()
+	f.active--
+	f.mu.Unlock()
+}
+
+func (f *fakePlanner) Submit(ctx context.Context, q dsps.StreamID, opts ...plan.SubmitOption) (plan.Result, error) {
+	f.enter()
+	defer f.exit()
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	if err := ctx.Err(); err != nil {
+		return plan.Result{}, err
+	}
+	cfg := plan.Apply(opts)
+	qs := cfg.Queries(q)
+	f.mu.Lock()
+	f.calls = append(f.calls, qs)
+	for _, s := range qs {
+		f.admitted[s] = true
+	}
+	f.mu.Unlock()
+	return plan.Result{Admitted: true}, nil
+}
+
+func (f *fakePlanner) Remove(q dsps.StreamID) error {
+	f.enter()
+	defer f.exit()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.admitted[q] {
+		return plan.ErrNotAdmitted
+	}
+	delete(f.admitted, q)
+	f.removed = append(f.removed, q)
+	return nil
+}
+
+func (f *fakePlanner) Repair(ctx context.Context, events []plan.Event, opts ...plan.SubmitOption) (plan.RepairResult, error) {
+	f.enter()
+	defer f.exit()
+	f.mu.Lock()
+	f.repairs++
+	f.mu.Unlock()
+	return plan.RepairResult{Result: plan.Result{Admitted: true}}, nil
+}
+
+func (f *fakePlanner) Assignment() *dsps.Assignment { return dsps.NewAssignment() }
+
+func (f *fakePlanner) Admitted(q dsps.StreamID) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.admitted[q]
+}
+
+func (f *fakePlanner) AdmittedCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.admitted)
+}
+
+func (f *fakePlanner) Stats() plan.Stats { return plan.Stats{} }
+
+// TestServiceCoalescesConcurrentSubmits checks the core throughput
+// mechanism: submits that queue up while a solve runs are folded into one
+// joint WithBatch call, and the planner is never entered concurrently.
+func TestServiceCoalescesConcurrentSubmits(t *testing.T) {
+	f := newFakePlanner(20 * time.Millisecond)
+	s := plan.NewService(f, plan.ServiceConfig{MaxBatch: 8})
+	defer s.Close()
+
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(q dsps.StreamID) {
+			defer wg.Done()
+			res, err := s.Submit(context.Background(), q)
+			if err != nil {
+				t.Errorf("Submit(%d): %v", q, err)
+			} else if !res.Admitted {
+				t.Errorf("Submit(%d): not admitted", q)
+			}
+		}(dsps.StreamID(i))
+	}
+	wg.Wait()
+
+	f.mu.Lock()
+	calls, maxAct := len(f.calls), f.maxAct
+	f.mu.Unlock()
+	if maxAct > 1 {
+		t.Fatalf("planner entered concurrently (%d at once)", maxAct)
+	}
+	if calls >= n {
+		t.Fatalf("no coalescing: %d solves for %d submits", calls, n)
+	}
+	ss := s.ServiceStats()
+	if ss.MaxBatch < 2 {
+		t.Fatalf("stats recorded no batch > 1: %+v", ss)
+	}
+	if ss.Requests != n {
+		t.Fatalf("requests = %d, want %d", ss.Requests, n)
+	}
+	if s.AdmittedCount() != n {
+		t.Fatalf("admitted = %d, want %d", s.AdmittedCount(), n)
+	}
+}
+
+// TestServiceQueueFull checks backpressure: with a tiny queue and a slow
+// planner, excess submits fail fast with ErrQueueFull instead of blocking.
+func TestServiceQueueFull(t *testing.T) {
+	f := newFakePlanner(50 * time.Millisecond)
+	s := plan.NewService(f, plan.ServiceConfig{QueueDepth: 2, MaxBatch: 1})
+	defer s.Close()
+
+	const n = 32
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	full := 0
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(q dsps.StreamID) {
+			defer wg.Done()
+			_, err := s.Submit(context.Background(), q)
+			if errors.Is(err, plan.ErrQueueFull) {
+				mu.Lock()
+				full++
+				mu.Unlock()
+			} else if err != nil {
+				t.Errorf("Submit(%d): %v", q, err)
+			}
+		}(dsps.StreamID(i))
+	}
+	wg.Wait()
+	if full == 0 {
+		t.Fatal("32 submits against a depth-2 queue with a 50ms planner never saw ErrQueueFull")
+	}
+	if got := s.ServiceStats().QueueFull; got != full {
+		t.Fatalf("stats.QueueFull = %d, want %d", got, full)
+	}
+}
+
+// TestServiceCloseIdempotent checks shutdown: queued work drains, late
+// requests fail with ErrServiceClosed, and double Close does not panic.
+func TestServiceCloseIdempotent(t *testing.T) {
+	f := newFakePlanner(0)
+	s := plan.NewService(f, plan.ServiceConfig{})
+	if _, err := s.Submit(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // must not panic
+	if _, err := s.Submit(context.Background(), 2); !errors.Is(err, plan.ErrServiceClosed) {
+		t.Fatalf("Submit after Close: err = %v, want ErrServiceClosed", err)
+	}
+	if err := s.Remove(1); !errors.Is(err, plan.ErrServiceClosed) {
+		t.Fatalf("Remove after Close: err = %v, want ErrServiceClosed", err)
+	}
+	if _, err := s.Repair(context.Background(), nil); !errors.Is(err, plan.ErrServiceClosed) {
+		t.Fatalf("Repair after Close: err = %v, want ErrServiceClosed", err)
+	}
+}
+
+// TestServiceExpiredContextSkipped checks per-request deadlines: a request
+// whose ctx died while queued is answered with the ctx error and never
+// reaches the planner.
+func TestServiceExpiredContextSkipped(t *testing.T) {
+	f := newFakePlanner(30 * time.Millisecond)
+	s := plan.NewService(f, plan.ServiceConfig{MaxBatch: 1})
+	defer s.Close()
+
+	// Occupy the dispatcher, then enqueue a request that expires while
+	// waiting behind it.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Submit(context.Background(), 1)
+	}()
+	time.Sleep(5 * time.Millisecond) // let the first submit get picked up
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Submit(ctx, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expired submit: err = %v, want context.Canceled", err)
+	}
+	wg.Wait()
+	// Give the dispatcher time to (wrongly) plan query 2 if it were going to.
+	time.Sleep(50 * time.Millisecond)
+	if f.Admitted(2) {
+		t.Fatal("planner planned a request whose ctx was already cancelled")
+	}
+	if s.ServiceStats().Expired == 0 {
+		t.Fatal("stats recorded no expired request")
+	}
+}
+
+// TestServiceOrderAndTrace checks the ordering guarantee: requests are
+// applied in arrival order, the trace reports them in application order, and
+// a Remove between two submit runs splits the coalesced batches.
+func TestServiceOrderAndTrace(t *testing.T) {
+	f := newFakePlanner(0)
+	var mu sync.Mutex
+	var trace []plan.Trace
+	s := plan.NewService(f, plan.ServiceConfig{
+		MaxBatch: 8,
+		OnTrace: func(tr plan.Trace) {
+			mu.Lock()
+			trace = append(trace, tr)
+			mu.Unlock()
+		},
+	})
+	// Sequential requests (each waits for its reply), so the order is fixed.
+	ctx := context.Background()
+	if _, err := s.Submit(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Repair(ctx, []plan.Event{plan.FailHost(0)}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	want := []plan.TraceKind{plan.TraceSubmit, plan.TraceSubmit, plan.TraceRemove, plan.TraceRepair}
+	if len(trace) != len(want) {
+		t.Fatalf("trace has %d entries, want %d: %+v", len(trace), len(want), trace)
+	}
+	for i, k := range want {
+		if trace[i].Kind != k {
+			t.Fatalf("trace[%d].Kind = %v, want %v", i, trace[i].Kind, k)
+		}
+	}
+	if trace[2].Queries[0] != 1 {
+		t.Fatalf("trace remove query = %d, want 1", trace[2].Queries[0])
+	}
+}
+
+// TestServiceNonCoalescibleOptionsRunSolo checks that submits carrying
+// per-call options are never folded into a shared batch.
+func TestServiceNonCoalescibleOptionsRunSolo(t *testing.T) {
+	f := newFakePlanner(20 * time.Millisecond)
+	s := plan.NewService(f, plan.ServiceConfig{MaxBatch: 8})
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(q dsps.StreamID) {
+			defer wg.Done()
+			if _, err := s.Submit(context.Background(), q, plan.WithCandidateHosts(0)); err != nil {
+				t.Errorf("Submit(%d): %v", q, err)
+			}
+		}(dsps.StreamID(i))
+	}
+	wg.Wait()
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, call := range f.calls {
+		if len(call) != 1 {
+			t.Fatalf("host-restricted submit was coalesced into batch %v", call)
+		}
+	}
+}

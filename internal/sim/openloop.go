@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"sqpr/internal/dsps"
+	"sqpr/internal/plan"
+	"sqpr/internal/stats"
+)
+
+// OpenLoopScale parameterises the open-loop arrival experiment: Poisson
+// query arrivals at increasing rates are pushed through the admission path
+// by a pool of concurrent submitters, once through a plan.Service (which
+// coalesces the submits that pile up while a solve runs into joint batch
+// solves) and once through a serialized one-at-a-time baseline (a mutex
+// around a bare planner — the thread-safety floor a deployment would
+// otherwise ship).
+type OpenLoopScale struct {
+	Scale
+	// Rates lists offered loads in queries/second. The arrival generator
+	// does not wait for admissions — arrivals queue up for the submitter
+	// pool — so outstanding requests are bounded by Submitters, not by the
+	// offered rate. For backpressure (ErrQueueFull shedding) to be
+	// observable, QueueDepth must therefore be smaller than Submitters, as
+	// in DefaultOpenLoopScale; requests shed at the queue are lost (the
+	// client gives up), which is what the Shed column counts.
+	Rates []float64
+	// Submitters is the number of concurrent client goroutines.
+	Submitters int
+	// QueueDepth and MaxBatch tune the service under test (0 = defaults).
+	QueueDepth int
+	MaxBatch   int
+	// BatchTimeout bounds each coalesced joint solve (see
+	// plan.ServiceConfig.BatchTimeout); 0 keeps the planner's batch-scaled
+	// default, which gives the coalescing win back to the solver.
+	BatchTimeout time.Duration
+}
+
+// DefaultOpenLoopScale exercises the Fig-4 workload under increasing
+// offered load with 64 concurrent submitters.
+func DefaultOpenLoopScale() OpenLoopScale {
+	sc := DefaultScale()
+	// Per-solve budget low enough that the offered rates straddle the
+	// serialized planner's capacity, so the batching win is visible.
+	sc.Timeout = 40 * time.Millisecond
+	return OpenLoopScale{
+		Scale:        sc,
+		Rates:        []float64{20, 50, 100, 200},
+		Submitters:   64,
+		QueueDepth:   48, // < Submitters, so overload sheds instead of parking
+		MaxBatch:     8,
+		BatchTimeout: sc.Timeout,
+	}
+}
+
+// OpenLoopPoint is one (mode, rate) measurement.
+type OpenLoopPoint struct {
+	// Mode is "service" (coalescing front-end) or "serial" (mutex).
+	Mode string
+	// Rate is the offered load in queries/second.
+	Rate float64
+	// Submitted counts arrivals; Admitted of those were admitted, Shed were
+	// rejected with ErrQueueFull before planning (service mode only).
+	Submitted, Admitted, Shed int
+	// Throughput is planned (non-shed) submissions per second of wall time.
+	Throughput float64
+	// P50, P95, P99 and Max summarise per-request latency (arrival to
+	// admission verdict, including queueing).
+	P50, P95, P99, Max time.Duration
+	// MeanBatch and MaxBatch report the coalescing achieved (service mode;
+	// the serial baseline is always 1).
+	MeanBatch float64
+	MaxBatch  int
+}
+
+// OpenLoopResult pairs the service and serial series across rates.
+type OpenLoopResult struct {
+	Points []OpenLoopPoint
+}
+
+// serialFrontEnd is the baseline admission path: a mutex around a bare
+// planner, one solve per submission, no coalescing.
+type serialFrontEnd struct {
+	mu sync.Mutex
+	p  plan.QueryPlanner
+}
+
+func (s *serialFrontEnd) submit(ctx context.Context, q dsps.StreamID) (plan.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.p.Submit(ctx, q)
+}
+
+// OpenLoop runs the open-loop arrival experiment: for each offered rate it
+// replays the same generated workload as a Poisson arrival process against
+// both admission paths and reports throughput, latency percentiles and the
+// coalesced batch sizes.
+func OpenLoop(sc OpenLoopScale) OpenLoopResult {
+	if sc.Submitters <= 0 {
+		sc.Submitters = 64
+	}
+	var res OpenLoopResult
+	for _, rate := range sc.Rates {
+		res.Points = append(res.Points, runOpenLoop(sc, rate, "service"))
+		res.Points = append(res.Points, runOpenLoop(sc, rate, "serial"))
+	}
+	return res
+}
+
+func runOpenLoop(sc OpenLoopScale, rate float64, mode string) OpenLoopPoint {
+	env := BuildEnv(sc.Scale)
+	rec := env.NewSQPR(sc.Scale, sc.Timeout)
+
+	var svc *plan.Service
+	serial := &serialFrontEnd{p: rec}
+	if mode == "service" {
+		svc = plan.NewService(rec, plan.ServiceConfig{
+			QueueDepth:   sc.QueueDepth,
+			MaxBatch:     sc.MaxBatch,
+			BatchTimeout: sc.BatchTimeout,
+		})
+	}
+
+	// The arrival process: one generator goroutine hands queries to the
+	// submitter pool with exponential inter-arrival gaps (Poisson arrivals
+	// at the offered rate). The buffer depth of arrivals makes the loop
+	// open: the generator never waits for the planner. Each arrival is
+	// timestamped at generation, so latency includes the time spent waiting
+	// for a free submitter — without it, overload latency would be
+	// systematically understated (coordinated omission).
+	type arrival struct {
+		q    dsps.StreamID
+		born time.Time
+	}
+	arrivals := make(chan arrival, len(env.Queries))
+	rng := rand.New(rand.NewSource(sc.Seed ^ 0x0a71))
+	go func() {
+		defer close(arrivals)
+		for _, q := range env.Queries {
+			arrivals <- arrival{q: q, born: time.Now()}
+			time.Sleep(time.Duration(rng.ExpFloat64() / rate * float64(time.Second)))
+		}
+	}()
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		admitted  int
+		shed      int
+	)
+	ctx := context.Background()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < sc.Submitters; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for a := range arrivals {
+				var (
+					r   plan.Result
+					err error
+				)
+				if svc != nil {
+					r, err = svc.Submit(ctx, a.q)
+				} else {
+					r, err = serial.submit(ctx, a.q)
+				}
+				lat := time.Since(a.born)
+				mu.Lock()
+				if err != nil && isQueueFull(err) {
+					// Shed requests fail in microseconds and never reach the
+					// planner; folding them into the latency distribution
+					// would let backpressure masquerade as low latency. They
+					// are counted in their own column instead.
+					shed++
+				} else {
+					latencies = append(latencies, lat.Seconds())
+					if err == nil && r.Admitted {
+						admitted++
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	pt := OpenLoopPoint{
+		Mode: mode, Rate: rate,
+		Submitted: len(env.Queries), Admitted: admitted, Shed: shed,
+		MeanBatch: 1, MaxBatch: 1,
+	}
+	if elapsed > 0 {
+		// Shed requests never reached the planner; counting them would
+		// credit backpressure as throughput, so the numerator is planned
+		// submissions only.
+		pt.Throughput = float64(len(env.Queries)-shed) / elapsed.Seconds()
+	}
+	cdf := stats.NewCDF(latencies)
+	pt.P50 = secs(cdf.Quantile(0.50))
+	pt.P95 = secs(cdf.Quantile(0.95))
+	pt.P99 = secs(cdf.Quantile(0.99))
+	pt.Max = secs(cdf.Quantile(1))
+	if svc != nil {
+		svc.Close()
+		ss := svc.ServiceStats()
+		if ss.Solves > 0 {
+			pt.MeanBatch = float64(ss.BatchedSubmits) / float64(ss.Solves)
+		}
+		pt.MaxBatch = ss.MaxBatch
+	}
+	return pt
+}
+
+func isQueueFull(err error) bool {
+	return errors.Is(err, plan.ErrQueueFull)
+}
+
+func secs(v float64) time.Duration { return time.Duration(v * float64(time.Second)) }

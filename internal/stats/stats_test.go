@@ -140,3 +140,37 @@ func TestQuickCDFMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEmptySamples locks in the empty-input behaviour of the whole surface:
+// no panics, NaN quantiles, zero probabilities, an explicit "n=0" summary.
+// The open-loop arrival experiment feeds whatever latencies it collected
+// straight in, so the zero-sample path is a real production path.
+func TestEmptySamples(t *testing.T) {
+	c := NewCDF(nil)
+	if c.Len() != 0 {
+		t.Fatalf("empty CDF Len = %d", c.Len())
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if v := c.Quantile(q); !math.IsNaN(v) {
+			t.Fatalf("empty CDF Quantile(%v) = %v, want NaN", q, v)
+		}
+	}
+	if p := c.At(42); p != 0 {
+		t.Fatalf("empty CDF At = %v, want 0", p)
+	}
+	if xs, ps := c.Points(5); xs != nil || ps != nil {
+		t.Fatalf("empty CDF Points = %v, %v, want nil, nil", xs, ps)
+	}
+	if v := Mean(nil); !math.IsNaN(v) {
+		t.Fatalf("Mean(nil) = %v, want NaN", v)
+	}
+	if v := Max(nil); v != 0 {
+		t.Fatalf("Max(nil) = %v, want 0", v)
+	}
+	if s := Summary(nil); s != "n=0" {
+		t.Fatalf("Summary(nil) = %q, want \"n=0\"", s)
+	}
+	if s := Summary([]float64{}); s != "n=0" {
+		t.Fatalf("Summary(empty) = %q, want \"n=0\"", s)
+	}
+}

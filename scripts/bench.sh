@@ -1,5 +1,6 @@
 #!/bin/sh
-# Runs the benchmark suite and records the perf trajectory in BENCH_3.json.
+# Runs the benchmark suite and records the perf trajectory in BENCH_3.json
+# and BENCH_4.json.
 #
 # The headline series is BenchmarkAblationBaseline's us-per-plan (average
 # wall-clock per planning call on the compact §V workload), compared against
@@ -7,22 +8,32 @@
 # original pre-rework seed solver. BENCH_3 adds the churn-repair subsystem:
 # BenchmarkChurnRepair times the delta-MILP Repair after a failure of the
 # busiest host against a remove-and-resubmit fallback and a cold full
-# re-solve of the entire workload on the degraded system.
+# re-solve of the entire workload on the degraded system. BENCH_4 adds the
+# concurrent admission service: BenchmarkServiceThroughput pushes the Fig-4
+# workload through a coalescing plan.Service with 64 concurrent submitters
+# against a serialized one-at-a-time baseline, on the pre-saturation prefix
+# (where admission is order-independent and the sets must match exactly) and
+# on the full saturated workload.
 #
 # The script FAILS if
 #   - the admitted count differs from BENCH_2.json (every perf change must
 #     preserve the planner's admission decisions exactly),
-#   - the repair path is not faster than the cold full re-solve, or
-#   - repair keeps fewer admissions than the cold full re-solve.
+#   - the repair path is not faster than the cold full re-solve,
+#   - repair keeps fewer admissions than the cold full re-solve,
+#   - the service's pre-saturation admitted set differs from the serialized
+#     baseline's, or
+#   - the service is not measurably faster (>= 1.1x submissions/sec) than
+#     the serialized baseline at either operating point.
 #
 # The micro benchmarks run at -benchtime=30x so arena/pool warm-up (first
 # iteration building the solver arenas) does not dominate allocs/op.
 #
-# Usage: scripts/bench.sh [output.json]
+# Usage: scripts/bench.sh [bench3-output.json] [bench4-output.json]
 set -eu
 
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_3.json}"
+out4="${2:-BENCH_4.json}"
 base="BENCH_2.json"
 
 # Measured on the seed (pre-rework) solver with the same benchmark.
@@ -37,6 +48,7 @@ trap 'rm -f "$tmp"' EXIT
 go test -run=NONE -bench='BenchmarkAblationBaseline' -benchtime=3x -count=1 . | tee "$tmp"
 go test -run=NONE -bench='BenchmarkChurnRepair' -benchtime=3x -count=1 . | tee -a "$tmp"
 go test -run=NONE -bench='BenchmarkLPResolve|BenchmarkMILPNode' -benchtime=30x -count=1 . | tee -a "$tmp"
+go test -run=NONE -bench='BenchmarkServiceThroughput' -benchtime=3x -count=1 . | tee -a "$tmp"
 
 awk -v pre="$pre_us_per_plan" -v base_us="$base_us" -v base_admitted="$base_admitted" \
 	-v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
@@ -106,3 +118,51 @@ END {
 
 echo "wrote $out"
 cat "$out"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+function val(name,    i) {
+	for (i = 1; i <= NF; i++)
+		if ($(i + 1) == name)
+			return $i
+	return ""
+}
+/^BenchmarkServiceThroughput/ {
+	svc_sps = val("svc-subs-per-sec"); serial_sps = val("serial-subs-per-sec")
+	svc_adm = val("svc-admitted"); serial_adm = val("serial-admitted")
+	set_equal = val("set-equal"); mean_batch = val("mean-batch")
+	sat_svc_sps = val("sat-svc-subs-per-sec"); sat_serial_sps = val("sat-serial-subs-per-sec")
+	sat_svc_adm = val("sat-svc-admitted"); sat_serial_adm = val("sat-serial-admitted")
+}
+END {
+	if (set_equal + 0 != 1) {
+		printf "FAIL: service admitted a different pre-saturation query set than the serialized baseline\n" > "/dev/stderr"
+		exit 1
+	}
+	if (svc_sps + 0 <= serial_sps * 1.1) {
+		printf "FAIL: service (%s subs/sec) is not measurably faster than serialized submission (%s subs/sec)\n", svc_sps, serial_sps > "/dev/stderr"
+		exit 1
+	}
+	if (sat_svc_sps + 0 <= sat_serial_sps * 1.1) {
+		printf "FAIL: saturated service (%s subs/sec) is not measurably faster than serialized submission (%s subs/sec)\n", sat_svc_sps, sat_serial_sps > "/dev/stderr"
+		exit 1
+	}
+	printf "{\n"
+	printf "  \"generated\": \"%s\",\n", date
+	printf "  \"benchmark\": \"BenchmarkServiceThroughput\",\n"
+	printf "  \"svc_subs_per_sec\": %s,\n", svc_sps
+	printf "  \"serial_subs_per_sec\": %s,\n", serial_sps
+	printf "  \"svc_speedup_vs_serial\": %.2f,\n", svc_sps / serial_sps
+	printf "  \"svc_admitted\": %s,\n", svc_adm
+	printf "  \"serial_admitted\": %s,\n", serial_adm
+	printf "  \"admitted_set_equal\": %s,\n", set_equal
+	printf "  \"mean_coalesced_batch\": %s,\n", mean_batch
+	printf "  \"saturated_svc_subs_per_sec\": %s,\n", sat_svc_sps
+	printf "  \"saturated_serial_subs_per_sec\": %s,\n", sat_serial_sps
+	printf "  \"saturated_svc_speedup_vs_serial\": %.2f,\n", sat_svc_sps / sat_serial_sps
+	printf "  \"saturated_svc_admitted\": %s,\n", sat_svc_adm
+	printf "  \"saturated_serial_admitted\": %s\n", sat_serial_adm
+	printf "}\n"
+}' "$tmp" > "$out4"
+
+echo "wrote $out4"
+cat "$out4"

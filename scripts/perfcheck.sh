@@ -9,7 +9,12 @@
 #     deterministic, so the node count is hardware-independent),
 #   - the admitted count drifted from BENCH_2.json, or repair became
 #     slower than (or kept fewer admissions than) a cold full re-solve
-#     (both enforced inside bench.sh itself).
+#     (both enforced inside bench.sh itself),
+#   - the admission service's batch-coalescing speedup over serialized
+#     submission collapsed below 1.2x, or its pre-saturation admitted set
+#     drifted from the serialized baseline (set equality enforced inside
+#     bench.sh; the speedup ratio is checked here because it is a same-run,
+#     same-hardware comparison and thus hardware-independent).
 #
 # Usage: scripts/perfcheck.sh
 set -eu
@@ -20,18 +25,26 @@ committed_us=$(sed -n 's/.*"us_per_plan": \([0-9.]*\).*/\1/p' BENCH_3.json)
 committed_nodes=$(sed -n 's/.*"milp_nodes_per_solve": \([0-9.]*\).*/\1/p' BENCH_3.json)
 [ -n "$committed_us" ] || { echo "FAIL: no us_per_plan in BENCH_3.json" >&2; exit 1; }
 [ -n "$committed_nodes" ] || { echo "FAIL: no milp_nodes_per_solve in BENCH_3.json" >&2; exit 1; }
+[ -f BENCH_4.json ] || { echo "FAIL: no committed BENCH_4.json" >&2; exit 1; }
 
 tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT
-sh scripts/bench.sh "$tmp"
+tmp4="$(mktemp)"
+trap 'rm -f "$tmp" "$tmp4"' EXIT
+sh scripts/bench.sh "$tmp" "$tmp4"
 
 fresh_us=$(sed -n 's/.*"us_per_plan": \([0-9.]*\).*/\1/p' "$tmp")
 fresh_nodes=$(sed -n 's/.*"milp_nodes_per_solve": \([0-9.]*\).*/\1/p' "$tmp")
 [ -n "$fresh_us" ] || { echo "FAIL: bench run produced no us_per_plan" >&2; exit 1; }
 
-awk -v fu="$fresh_us" -v cu="$committed_us" -v fn="$fresh_nodes" -v cn="$committed_nodes" 'BEGIN {
+fresh_speedup=$(sed -n 's/.*"svc_speedup_vs_serial": \([0-9.]*\).*/\1/p' "$tmp4")
+fresh_sat_speedup=$(sed -n 's/.*"saturated_svc_speedup_vs_serial": \([0-9.]*\).*/\1/p' "$tmp4")
+[ -n "$fresh_speedup" ] || { echo "FAIL: bench run produced no svc_speedup_vs_serial" >&2; exit 1; }
+
+awk -v fu="$fresh_us" -v cu="$committed_us" -v fn="$fresh_nodes" -v cn="$committed_nodes" \
+	-v sp="$fresh_speedup" -v ssp="$fresh_sat_speedup" 'BEGIN {
 	printf "us_per_plan: fresh %s vs committed %s (limit %.0f)\n", fu, cu, cu * 1.25
 	printf "milp_nodes_per_solve: fresh %s vs committed %s\n", fn, cn
+	printf "service speedup vs serialized: %sx pre-saturation, %sx saturated (floor 1.2)\n", sp, ssp
 	fail = 0
 	if (fu + 0 > cu * 1.25) {
 		print "FAIL: us_per_plan regressed more than 25% vs BENCH_3.json" > "/dev/stderr"
@@ -39,6 +52,10 @@ awk -v fu="$fresh_us" -v cu="$committed_us" -v fn="$fresh_nodes" -v cn="$committ
 	}
 	if (fn + 0 > cn * 1.05) {
 		print "FAIL: milp_nodes_per_solve grew vs BENCH_3.json" > "/dev/stderr"
+		fail = 1
+	}
+	if (sp + 0 < 1.2 || ssp + 0 < 1.2) {
+		print "FAIL: service throughput speedup vs serialized submission fell below 1.2x" > "/dev/stderr"
 		fail = 1
 	}
 	exit fail

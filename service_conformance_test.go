@@ -1,0 +1,202 @@
+// Service-conformance suite: every planner in the repository can be wrapped
+// in a plan.Service and driven by many goroutines at once. The service's
+// trace is its serialisation certificate — after a concurrent run of
+// Submit/Remove/Repair, replaying the recorded schedule serially on a fresh
+// planner must reproduce exactly the same admitted set, proving that the
+// dispatcher's locking and batch coalescing never corrupt planner state.
+// CI runs this file under -race (the race-service step).
+package sqpr_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"sqpr"
+)
+
+// serviceEnv builds the conformance system and workload at a slightly larger
+// scale than conformanceEnv, so coalesced batches and rejections both occur.
+func serviceEnv() (*sqpr.System, []sqpr.StreamID) {
+	sys := sqpr.BuildSystem(sqpr.SystemConfig{
+		NumHosts: 4, CPUPerHost: 8, OutBW: 80, InBW: 80, LinkCap: 40,
+	})
+	wcfg := sqpr.DefaultWorkloadConfig()
+	wcfg.NumBaseStreams = 16
+	wcfg.NumQueries = 12
+	wcfg.Arities = []int{2, 3}
+	wcfg.Seed = 23
+	w := sqpr.GenerateWorkload(sys, wcfg)
+	return sys, w.Queries
+}
+
+// serviceCases mirrors conformanceCases with a generous solver budget, so
+// every solve terminates on its deterministic node/gap budget rather than a
+// wall-clock deadline — the precondition for run-vs-replay equality.
+func serviceCases() []conformanceCase {
+	cfg := sqpr.DefaultPlannerConfig()
+	cfg.SolveTimeout = 5 * time.Second
+	return []conformanceCase{
+		{"core", func(sys *sqpr.System) sqpr.QueryPlanner { return sqpr.NewPlanner(sys, cfg) }},
+		{"heuristic", func(sys *sqpr.System) sqpr.QueryPlanner { return sqpr.NewHeuristicPlanner(sys, sqpr.PaperWeights()) }},
+		{"soda", func(sys *sqpr.System) sqpr.QueryPlanner { return sqpr.NewSODAPlanner(sys, sqpr.PaperWeights()) }},
+		{"bound", func(sys *sqpr.System) sqpr.QueryPlanner { return sqpr.NewBoundPlanner(sys) }},
+		{"hier", func(sys *sqpr.System) sqpr.QueryPlanner { return sqpr.NewHierarchicalPlanner(sys, cfg, 2) }},
+	}
+}
+
+// TestServiceConformance drives every planner through a plan.Service from
+// many goroutines — concurrent submits, removes and host-churn repairs —
+// then replays the service's recorded schedule serially on a fresh planner
+// and asserts the admitted sets match exactly.
+func TestServiceConformance(t *testing.T) {
+	for _, tc := range serviceCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			sys, queries := serviceEnv()
+
+			var mu sync.Mutex
+			var trace []sqpr.ServiceTrace
+			svc := sqpr.NewService(tc.make(sys), sqpr.ServiceConfig{
+				MaxBatch: 4,
+				OnTrace: func(tr sqpr.ServiceTrace) {
+					mu.Lock()
+					trace = append(trace, tr)
+					mu.Unlock()
+				},
+			})
+
+			ctx := context.Background()
+			var wg sync.WaitGroup
+
+			// Concurrent submitters: every query submitted once, spread
+			// over the pool.
+			for w := 0; w < 8; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := w; i < len(queries); i += 8 {
+						if _, err := svc.Submit(ctx, queries[i]); err != nil {
+							t.Errorf("Submit(%d): %v", queries[i], err)
+						}
+					}
+				}(w)
+			}
+			// Concurrent removals: racing a Remove against the submits is
+			// legal; ErrNotAdmitted simply means it lost the race.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for _, q := range queries[:4] {
+					svc.Remove(q)
+				}
+			}()
+			// Concurrent churn: fail and recover a host mid-traffic.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := svc.Repair(ctx, []sqpr.Event{sqpr.FailHost(1)}); err != nil {
+					t.Errorf("Repair(fail): %v", err)
+				}
+				if _, err := svc.Repair(ctx, []sqpr.Event{sqpr.RecoverHost(1)}); err != nil {
+					t.Errorf("Repair(recover): %v", err)
+				}
+			}()
+			wg.Wait()
+			svc.Close()
+
+			// Replay the recorded schedule serially on a fresh planner over
+			// a fresh (identically seeded) system.
+			replaySys, _ := serviceEnv()
+			replay := tc.make(replaySys)
+			for i, tr := range trace {
+				switch tr.Kind {
+				case sqpr.TraceSubmit:
+					if tr.Err != nil {
+						continue // state unchanged on submit errors
+					}
+					var err error
+					if len(tr.Queries) > 1 {
+						_, err = replay.Submit(ctx, tr.Queries[0], sqpr.WithBatch(tr.Queries[1:]...))
+					} else {
+						_, err = replay.Submit(ctx, tr.Queries[0])
+					}
+					if err != nil {
+						t.Fatalf("replay[%d] submit %v: %v", i, tr.Queries, err)
+					}
+				case sqpr.TraceRemove:
+					if tr.Err != nil {
+						continue // failed removes did not change state
+					}
+					if err := replay.Remove(tr.Queries[0]); err != nil {
+						t.Fatalf("replay[%d] remove %d: %v", i, tr.Queries[0], err)
+					}
+				case sqpr.TraceRepair:
+					// Repairs commit host-state transitions even on error,
+					// so they always replay.
+					if _, err := replay.Repair(ctx, tr.Events); err != nil && tr.Err == nil {
+						t.Fatalf("replay[%d] repair: %v", i, err)
+					}
+				}
+			}
+
+			// The concurrent run and its serial replay must agree exactly.
+			if got, want := svc.AdmittedCount(), replay.AdmittedCount(); got != want {
+				t.Fatalf("admitted count: service %d, serial replay %d", got, want)
+			}
+			for _, q := range queries {
+				if svc.Admitted(q) != replay.Admitted(q) {
+					t.Fatalf("query %d: service admitted=%v, serial replay=%v",
+						q, svc.Admitted(q), replay.Admitted(q))
+				}
+			}
+			// And the service's final state must still be feasible.
+			if err := svc.Assignment().Validate(sys); err != nil {
+				t.Fatalf("service left infeasible state: %v", err)
+			}
+		})
+	}
+}
+
+// TestServiceBatchMatchesSerialAdmissions pins the acceptance criterion at
+// test scale: 64 concurrent submitters pushing the workload through a
+// coalescing service admit exactly the query set a serialized one-at-a-time
+// baseline admits.
+func TestServiceBatchMatchesSerialAdmissions(t *testing.T) {
+	cfg := sqpr.DefaultPlannerConfig()
+	cfg.SolveTimeout = 5 * time.Second
+
+	// Serial baseline.
+	serialSys, queries := serviceEnv()
+	serial := sqpr.NewPlanner(serialSys, cfg)
+	ctx := context.Background()
+	for _, q := range queries {
+		if _, err := serial.Submit(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Concurrent service run.
+	svcSys, _ := serviceEnv()
+	svc := sqpr.NewService(sqpr.NewPlanner(svcSys, cfg), sqpr.ServiceConfig{MaxBatch: 8})
+	var wg sync.WaitGroup
+	for w := 0; w < 64; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(queries); i += 64 {
+				if _, err := svc.Submit(ctx, queries[i]); err != nil {
+					t.Errorf("Submit(%d): %v", queries[i], err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	svc.Close()
+
+	for _, q := range queries {
+		if svc.Admitted(q) != serial.Admitted(q) {
+			t.Fatalf("query %d: service admitted=%v, serial=%v", q, svc.Admitted(q), serial.Admitted(q))
+		}
+	}
+}

@@ -114,6 +114,24 @@ type (
 	Observation = costmodel.Observation
 )
 
+// Admission-service types: the goroutine-safe planner front-end.
+type (
+	// Service is a goroutine-safe admission front-end over any
+	// QueryPlanner: requests from arbitrary goroutines are serialised by a
+	// dispatcher that coalesces concurrent submits into joint batch solves.
+	// It implements QueryPlanner itself.
+	Service = plan.Service
+	// ServiceConfig tunes a Service (queue depth, coalescing cap, trace
+	// hook).
+	ServiceConfig = plan.ServiceConfig
+	// ServiceStats is the service-level telemetry: queueing, coalesced
+	// batch sizes and per-request latency.
+	ServiceStats = plan.ServiceStats
+	// ServiceTrace describes one request group the dispatcher applied, in
+	// order (the service's audit stream).
+	ServiceTrace = plan.Trace
+)
+
 // Engine types.
 type (
 	// Engine executes deployed assignments on simulated hosts.
@@ -167,6 +185,13 @@ const (
 	QueryDrifted  = plan.QueryDrifted
 )
 
+// Service trace kinds (the dispatcher's audit stream).
+const (
+	TraceSubmit = plan.TraceSubmit
+	TraceRemove = plan.TraceRemove
+	TraceRepair = plan.TraceRepair
+)
+
 // FailHost returns a host-failure event for Repair.
 func FailHost(h HostID) Event { return plan.FailHost(h) }
 
@@ -196,6 +221,13 @@ var (
 	ErrNotRequested = plan.ErrNotRequested
 	// ErrNotAdmitted reports a Remove of a query that is not admitted.
 	ErrNotAdmitted = plan.ErrNotAdmitted
+	// ErrQueueFull reports backpressure from a Service's bounded queue.
+	ErrQueueFull = plan.ErrQueueFull
+	// ErrServiceClosed reports a request against a closed Service.
+	ErrServiceClosed = plan.ErrServiceClosed
+	// ErrAlreadyDeployed reports a Deploy on an engine already running a
+	// plan; Stop it first.
+	ErrAlreadyDeployed = engine.ErrAlreadyDeployed
 )
 
 // WithTimeout bounds one planning call by d instead of the planner default.
@@ -260,6 +292,12 @@ func GenerateWorkload(sys *System, cfg WorkloadConfig) *Workload { return worklo
 // DefaultWorkloadConfig mirrors the paper's simulation workload at reduced
 // scale.
 func DefaultWorkloadConfig() WorkloadConfig { return workload.DefaultConfig() }
+
+// NewService wraps any planner in a goroutine-safe admission service and
+// starts its dispatcher: clients Submit/Remove/Repair from arbitrary
+// goroutines, and submits that arrive while a solve is running are coalesced
+// into one joint batch solve. Call Close to stop it.
+func NewService(p QueryPlanner, cfg ServiceConfig) *Service { return plan.NewService(p, cfg) }
 
 // NewEngine creates a mini stream engine over the system.
 func NewEngine(sys *System, cfg EngineConfig) *Engine { return engine.New(sys, cfg) }
