@@ -51,6 +51,10 @@ func main() {
 			})
 		}
 		fmt.Print(stats.Table([]string{"inputs", "sqpr", "soda"}, rows))
+		if res.SQPRErrors > 0 || res.SODAErrors > 0 {
+			fmt.Printf("submit-errors: sqpr=%d soda=%d (failed planning calls excluded from the admission columns)\n",
+				res.SQPRErrors, res.SODAErrors)
+		}
 		fmt.Println()
 	}
 

@@ -116,11 +116,21 @@ func main() {
 	})
 }
 
+// errorSummary prints the harness-wide nonzero-error line: failed solver
+// calls must be visible next to the figure they would otherwise skew.
+func errorSummary(n int) {
+	if n > 0 {
+		fmt.Printf("submit-errors: %d (failed planning calls excluded from the admission columns)\n", n)
+	}
+}
+
 func printArrivals(r sim.OpenLoopResult) {
 	header := []string{"rate/s", "mode", "submitted", "admitted", "shed",
 		"throughput/s", "p50", "p95", "p99", "max", "mean-batch", "max-batch"}
+	errs := 0
 	var rows [][]string
 	for _, p := range r.Points {
+		errs += p.Errors
 		rows = append(rows, []string{
 			fmt.Sprintf("%.0f", p.Rate),
 			p.Mode,
@@ -137,6 +147,7 @@ func printArrivals(r sim.OpenLoopResult) {
 		})
 	}
 	fmt.Print(stats.Table(header, rows))
+	errorSummary(errs)
 }
 
 func printChurn(r sim.ChurnResult) {
@@ -188,6 +199,11 @@ func print4a(r sim.Fig4aResult) {
 		rows = append(rows, row)
 	}
 	fmt.Print(stats.Table(header, rows))
+	errs := 0
+	for _, c := range r.Curves {
+		errs += c.Errors
+	}
+	errorSummary(errs)
 }
 
 func print4c(r sim.Fig4cResult) {
@@ -204,6 +220,7 @@ func print4c(r sim.Fig4cResult) {
 		rows = append(rows, row)
 	}
 	fmt.Print(stats.Table(header, rows))
+	errorSummary(r.Errors)
 }
 
 func printScal(r sim.ScalabilityResult) {
@@ -213,6 +230,7 @@ func printScal(r sim.ScalabilityResult) {
 		rows = append(rows, []string{strconv.Itoa(x), strconv.Itoa(r.SQPR[i]), strconv.Itoa(r.Bound[i])})
 	}
 	fmt.Print(stats.Table(header, rows))
+	errorSummary(r.Errors)
 }
 
 func printTiming(r sim.TimingResult) {
@@ -226,4 +244,5 @@ func printTiming(r sim.TimingResult) {
 		})
 	}
 	fmt.Print(stats.Table(header, rows))
+	errorSummary(r.Errors)
 }

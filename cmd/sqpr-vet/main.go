@@ -1,0 +1,66 @@
+// Command sqpr-vet runs the repository's custom static analyzers —
+// lockguard, ctxflow, hotalloc and errflow — over the given package
+// patterns (default ./...). It exits nonzero when any diagnostic fires,
+// so CI can gate on it like `go vet`:
+//
+//	go run ./cmd/sqpr-vet ./...
+//
+// Flags select a subset of analyzers, e.g. -lockguard=false. See
+// DESIGN.md §"Static contracts" for the annotation vocabulary the
+// analyzers enforce.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sqpr/internal/analysis/anz"
+	"sqpr/internal/analysis/ctxflow"
+	"sqpr/internal/analysis/errflow"
+	"sqpr/internal/analysis/hotalloc"
+	"sqpr/internal/analysis/lockguard"
+)
+
+func main() {
+	all := []*anz.Analyzer{lockguard.Analyzer, ctxflow.Analyzer, hotalloc.Analyzer, errflow.Analyzer}
+	enabled := make(map[string]*bool, len(all))
+	for _, a := range all {
+		enabled[a.Name] = flag.Bool(a.Name, true, a.Doc)
+	}
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: sqpr-vet [flags] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	var run []*anz.Analyzer
+	for _, a := range all {
+		if *enabled[a.Name] {
+			run = append(run, a)
+		}
+	}
+
+	pkgs, err := anz.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sqpr-vet:", err)
+		os.Exit(2)
+	}
+	findings, err := anz.RunAnalyzers(pkgs, run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sqpr-vet:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "sqpr-vet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,117 @@
+// Package anz is a minimal, dependency-free analysis framework in the
+// shape of golang.org/x/tools/go/analysis, built on the standard library
+// only (the module vendors nothing and adds no external requirements).
+//
+// An Analyzer inspects one type-checked package at a time through a Pass
+// and reports Diagnostics. Packages are loaded by Load (see load.go),
+// which shells out to `go list -e -export -json -deps` and type-checks
+// the target packages from source against the compiler's export data, so
+// analyzers see exactly the types the build does — without a network, a
+// vendor tree, or golang.org/x/tools.
+package anz
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one static check. Run receives a fully type-checked package
+// and reports findings through pass.Report.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics (e.g. "lockguard").
+	Name string
+	// Doc is a one-paragraph description shown by `sqpr-vet -help`.
+	Doc string
+	// Run performs the check on one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one finding.
+	Report func(Diagnostic)
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding of an analyzer.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Finding pairs a diagnostic with its analyzer and resolved position, the
+// unit the multichecker prints and the test harness matches.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// findings sorted by file, line and column. Analyzer errors (not
+// diagnostics) abort the run.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		if pkg.IllTyped {
+			return nil, fmt.Errorf("anz: package %s did not type-check: %w", pkg.PkgPath, firstErr(pkg.Errors))
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			name := a.Name
+			pass.Report = func(d Diagnostic) {
+				out = append(out, Finding{
+					Analyzer: name,
+					Pos:      pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("anz: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out, nil
+}
+
+func firstErr(errs []error) error {
+	if len(errs) == 0 {
+		return nil
+	}
+	return errs[0]
+}

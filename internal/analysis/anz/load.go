@@ -1,0 +1,178 @@
+package anz
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, type-checked target package.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	IllTyped  bool
+	Errors    []error
+}
+
+// listedPackage mirrors the `go list -json` fields the loader consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns (as `go list` would, e.g. "./..." or an explicit
+// testdata directory) relative to dir and returns the matched packages,
+// parsed with comments and type-checked. Dependencies are not re-analyzed:
+// their types come from the compiler's export data, which `go list
+// -export` (re)builds as needed, so Load works offline and needs no
+// external analysis libraries.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// Export data of every dependency (and target), keyed by import path,
+	// feeds the gc importer below.
+	exports := make(map[string]string, len(listed))
+	var targets []*listedPackage
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly {
+			targets = append(targets, lp)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+
+	var out []*Package
+	for _, lp := range targets {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("anz: go list %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkg, err := typeCheck(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("anz: go list %v: %w\n%s", patterns, err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	var out []*listedPackage
+	//sqpr:noctx terminated by io.EOF from the buffered go list output
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("anz: decoding go list output: %w", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// exportImporter resolves import paths through the export-data map built
+// from `go list -export -deps`, caching loaded packages. "unsafe" is
+// special-cased: it has no export file.
+type exportImporter struct {
+	gc      types.Importer
+	exports map[string]string
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	ei := &exportImporter{exports: exports}
+	ei.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := ei.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return ei
+}
+
+func (ei *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return ei.gc.Import(path)
+}
+
+func typeCheck(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("anz: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{
+		PkgPath: lp.ImportPath,
+		Dir:     lp.Dir,
+		Fset:    fset,
+		Syntax:  files,
+		TypesInfo: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Implicits:  make(map[ast.Node]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			pkg.IllTyped = true
+			pkg.Errors = append(pkg.Errors, err)
+		},
+	}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, pkg.TypesInfo)
+	pkg.Types = tpkg
+	if err != nil && !pkg.IllTyped {
+		pkg.IllTyped = true
+		pkg.Errors = append(pkg.Errors, err)
+	}
+	return pkg, nil
+}

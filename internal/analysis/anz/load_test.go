@@ -1,0 +1,37 @@
+package anz_test
+
+import (
+	"testing"
+
+	"sqpr/internal/analysis/anz"
+)
+
+// TestLoadTypechecksRealPackage exercises the whole loader path — go list
+// -export, export-data importing, source type-checking — on a real module
+// package with both stdlib and intra-module imports.
+func TestLoadTypechecksRealPackage(t *testing.T) {
+	pkgs, err := anz.Load(".", "sqpr/internal/plan")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.IllTyped {
+		t.Fatalf("plan ill-typed: %v", p.Errors)
+	}
+	if p.Types.Name() != "plan" {
+		t.Fatalf("package name = %q", p.Types.Name())
+	}
+	obj := p.Types.Scope().Lookup("ErrUnknownStream")
+	if obj == nil {
+		t.Fatal("ErrUnknownStream not found in type-checked scope")
+	}
+	if got := obj.Type().String(); got != "error" {
+		t.Fatalf("ErrUnknownStream type = %s, want error", got)
+	}
+	if len(p.TypesInfo.Uses) == 0 || len(p.Syntax) == 0 {
+		t.Fatal("missing syntax or uses info")
+	}
+}

@@ -1,0 +1,119 @@
+// Package atest is the test harness for anz analyzers, modeled on
+// golang.org/x/tools/go/analysis/analysistest but dependency-free: fixture
+// packages live under each analyzer's testdata/ (excluded from `./...`
+// wildcards, so deliberately-violating code never reaches the real build)
+// and annotate the lines they expect findings on with
+//
+//	// want "regexp"
+//
+// comments. One comment may carry several quoted regexps when several
+// diagnostics land on the same line. The harness fails the test on any
+// diagnostic without a matching want and any want without a matching
+// diagnostic.
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strings"
+	"testing"
+
+	"sqpr/internal/analysis/anz"
+)
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the fixture packages matched by patterns (relative to dir,
+// typically "./testdata/src/<case>") and checks the analyzer's diagnostics
+// against the want comments.
+func Run(t *testing.T, dir string, a *anz.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := anz.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no fixture packages matched %v", patterns)
+	}
+	findings, err := anz.RunAnalyzers(pkgs, []*anz.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants, err := collectWants(pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if !claim(wants, f) {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func claim(wants []*want, f anz.Finding) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantRE pulls the quoted regexps out of a want comment; both "..." and
+// backquoted `...` forms are accepted (the latter for patterns that
+// themselves contain double quotes).
+var wantRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+func collectWants(pkgs []*anz.Package) ([]*want, error) {
+	var out []*want
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Syntax {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					out = append(out, parseWants(pkg, c)...)
+				}
+			}
+		}
+	}
+	for _, w := range out {
+		if w.re == nil {
+			return nil, fmt.Errorf("%s:%d: bad want pattern %q", w.file, w.line, w.raw)
+		}
+	}
+	return out, nil
+}
+
+func parseWants(pkg *anz.Package, c *ast.Comment) []*want {
+	text, ok := strings.CutPrefix(c.Text, "// want ")
+	if !ok {
+		return nil
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	var out []*want
+	for _, m := range wantRE.FindAllStringSubmatch(text, -1) {
+		pat := m[1]
+		if m[2] != "" {
+			pat = m[2]
+		}
+		w := &want{file: pos.Filename, line: pos.Line, raw: pat}
+		if re, err := regexp.Compile(pat); err == nil {
+			w.re = re
+		}
+		out = append(out, w)
+	}
+	return out
+}

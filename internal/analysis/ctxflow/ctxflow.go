@@ -1,0 +1,210 @@
+// Package ctxflow enforces the repository's cancellation contract: every
+// planner advertises "a ctx cancellation aborts the call promptly", so the
+// loops that do the work must actually poll the context, and library code
+// must not mint root contexts that silently detach work from its caller.
+//
+// Rules (all statically checked, package main and _test files excepted):
+//
+//  1. No context.Background()/context.TODO() in library packages. A
+//     deliberate root (a detached batch context, the single nil-ctx
+//     defaulting helper) is annotated //sqpr:ctxroot <reason>; a whole
+//     package that is a legitimate context root (the experiment harness)
+//     carries //sqpr:ctxroot-package in a package comment.
+//
+//  2. Every unconditional `for {` loop must poll cancellation: reference
+//     ctx.Done()/ctx.Err() (directly, through a select, or by calling a
+//     same-package function that transitively polls — the solver's
+//     s.expired() chain), or be annotated //sqpr:noctx <reason> when it is
+//     bounded or terminated by other means (channel close, listener
+//     shutdown).
+//
+//  3. A conditioned loop annotated //sqpr:ctxloop opts into the same
+//     polling requirement (the core planner's chunk loop, which must stay
+//     cancellable between chunks even though it ranges over a slice).
+//
+// The transitive-poll analysis is a package-internal fixpoint: a function
+// polls if its body mentions Done/Err on a context value, or if it calls a
+// same-package function that polls.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sqpr/internal/analysis/anno"
+	"sqpr/internal/analysis/anz"
+)
+
+// Analyzer is the ctxflow check.
+var Analyzer = &anz.Analyzer{
+	Name: "ctxflow",
+	Doc:  "check that loops poll ctx cancellation and library code does not mint root contexts",
+	Run:  run,
+}
+
+func run(pass *anz.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	lines := anno.CollectLines(pass.Fset, pass.Files)
+	rootPkg := anno.PackageHas(pass.Files, "ctxroot-package")
+
+	polls := pollingFuncs(pass)
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if !rootPkg {
+					checkRootContext(pass, lines, x)
+				}
+			case *ast.ForStmt:
+				bare := x.Init == nil && x.Cond == nil && x.Post == nil
+				optIn := lines.At(pass.Fset, x.Pos(), "ctxloop")
+				if !bare && !optIn {
+					return true
+				}
+				if lines.At(pass.Fset, x.Pos(), "noctx") && !optIn {
+					return true
+				}
+				if !bodyPolls(pass, polls, x.Body) {
+					kind := "unconditional loop"
+					if optIn {
+						kind = "//sqpr:ctxloop loop"
+					}
+					pass.Reportf(x.Pos(), "%s does not poll ctx cancellation (reference ctx.Done()/ctx.Err(), call a polling helper, or annotate //sqpr:noctx <reason>)", kind)
+				}
+			case *ast.RangeStmt:
+				if lines.At(pass.Fset, x.Pos(), "ctxloop") && !bodyPolls(pass, polls, x.Body) {
+					pass.Reportf(x.Pos(), "//sqpr:ctxloop loop does not poll ctx cancellation (reference ctx.Done()/ctx.Err() or call a polling helper)")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkRootContext flags context.Background()/context.TODO() calls without
+// a //sqpr:ctxroot annotation.
+func checkRootContext(pass *anz.Pass, lines *anno.Lines, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+		return
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+		return
+	}
+	if lines.At(pass.Fset, call.Pos(), "ctxroot") {
+		return
+	}
+	pass.Reportf(call.Pos(), "library package calls context.%s(); accept a ctx from the caller, or annotate a deliberate root with //sqpr:ctxroot <reason>", sel.Sel.Name)
+}
+
+// pollingFuncs computes the set of package functions that (transitively)
+// poll a context: body mentions .Done()/.Err() on a context.Context value,
+// or calls a same-package function in the set.
+func pollingFuncs(pass *anz.Pass) map[types.Object]bool {
+	type fn struct {
+		obj  types.Object
+		body *ast.BlockStmt
+	}
+	var fns []fn
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+				fns = append(fns, fn{obj: obj, body: fd.Body})
+			}
+		}
+	}
+	polls := make(map[types.Object]bool)
+	for _, f := range fns {
+		if mentionsCtxPoll(pass, f.body) {
+			polls[f.obj] = true
+		}
+	}
+	// Fixpoint over the package-internal call graph.
+	for changed := true; changed; {
+		changed = false
+		for _, f := range fns {
+			if polls[f.obj] {
+				continue
+			}
+			if callsPolling(pass, polls, f.body) {
+				polls[f.obj] = true
+				changed = true
+			}
+		}
+	}
+	return polls
+}
+
+// mentionsCtxPoll reports a direct Done/Err selector on a context-typed
+// expression anywhere in the node (including nested literals: a polling
+// closure passed to a worker still bounds the loop that spawned it).
+func mentionsCtxPoll(pass *anz.Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(node ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := node.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Done" && sel.Sel.Name != "Err" && sel.Sel.Name != "Deadline") {
+			return true
+		}
+		if tv, ok := pass.TypesInfo.Types[sel.X]; ok && isContext(tv.Type) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func callsPolling(pass *anz.Pass, polls map[types.Object]bool, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(node ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var id *ast.Ident
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			id = fun
+		case *ast.SelectorExpr:
+			id = fun.Sel
+		default:
+			return true
+		}
+		if obj := pass.TypesInfo.Uses[id]; obj != nil && polls[obj] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// bodyPolls reports whether the loop body polls cancellation directly or
+// through a same-package call.
+func bodyPolls(pass *anz.Pass, polls map[types.Object]bool, body *ast.BlockStmt) bool {
+	return mentionsCtxPoll(pass, body) || callsPolling(pass, polls, body)
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"sqpr/internal/analysis/atest"
+	"sqpr/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	atest.Run(t, ".", ctxflow.Analyzer, "./testdata/src/ctxflow", "./testdata/src/ctxrootpkg")
+}

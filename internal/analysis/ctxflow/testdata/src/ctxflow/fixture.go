@@ -1,0 +1,92 @@
+// Package fixture is the ctxflow corpus: root-context minting and loops
+// with and without cancellation polling.
+package fixture
+
+import "context"
+
+func mintsRoot() context.Context {
+	return context.Background() // want "context.Background"
+}
+
+func mintsTODO() context.Context {
+	return context.TODO() // want "context.TODO"
+}
+
+func deliberateRoot() context.Context {
+	//sqpr:ctxroot detached batch lifetime is documented at the call site
+	return context.Background()
+}
+
+func loopNoPoll(work func()) {
+	for { // want "does not poll ctx"
+		work()
+	}
+}
+
+func loopPollsErr(ctx context.Context, work func()) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		work()
+	}
+}
+
+func loopPollsSelect(ctx context.Context, in chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-in:
+			_ = v
+		}
+	}
+}
+
+type solver struct{ ctx context.Context }
+
+// expired is the polling root of the transitive chain.
+func (s *solver) expired() bool {
+	return s.ctx != nil && s.ctx.Err() != nil
+}
+
+func (s *solver) iterate() bool { return !s.expired() }
+
+// loopTransitive polls through two levels of same-package calls.
+func (s *solver) loopTransitive() {
+	for {
+		if !s.iterate() {
+			return
+		}
+	}
+}
+
+func loopAnnotated(in chan int) int {
+	sum := 0
+	//sqpr:noctx terminated by channel close
+	for {
+		v, ok := <-in
+		if !ok {
+			return sum
+		}
+		sum += v
+	}
+}
+
+// optInBad ranges over a slice but promised to poll between elements.
+func optInBad(xs []int, work func(int)) {
+	//sqpr:ctxloop
+	for _, x := range xs { // want "ctxloop loop does not poll"
+		work(x)
+	}
+}
+
+func optInGood(ctx context.Context, xs []int, work func(int)) {
+	//sqpr:ctxloop
+	for _, x := range xs {
+		if ctx.Err() != nil {
+			return
+		}
+		work(x)
+	}
+}

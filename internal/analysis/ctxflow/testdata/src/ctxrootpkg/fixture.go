@@ -1,0 +1,18 @@
+// Package fixture is a ctxflow corpus case: the package-level ctxroot
+// marker exempts a context-root package (an experiment harness) from the
+// Background/TODO ban — but not from the loop-polling rules.
+//
+//sqpr:ctxroot-package experiment harness owns its lifecycles
+package fixture
+
+import "context"
+
+func harnessRoot() context.Context {
+	return context.Background() // allowed: package is a context root
+}
+
+func stillChecked(work func()) {
+	for { // want "does not poll ctx"
+		work()
+	}
+}

@@ -1,0 +1,178 @@
+// Package errflow enforces the sentinel-error contract of the plan API
+// (ErrQueueFull, ErrServiceClosed, ErrUnknownStream, ErrAlreadyDeployed,
+// ...): callers must compare with errors.Is, and wrapping must use %w so
+// the chain stays inspectable across package boundaries.
+//
+// Rules:
+//
+//  1. No == / != / switch-case comparison against a sentinel — a
+//     package-level variable of type error named Err* — anywhere; a
+//     planner that wraps its rejection (fmt.Errorf("plan: %w", ErrX))
+//     silently breaks every direct comparison, so errors.Is is mandatory
+//     even within the defining package.
+//
+//  2. An error-typed argument to fmt.Errorf must be formatted with %w, not
+//     %v/%s: formatting flattens the chain, so errors.Is stops working one
+//     call up the stack.
+package errflow
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"sqpr/internal/analysis/anz"
+)
+
+// Analyzer is the errflow check.
+var Analyzer = &anz.Analyzer{
+	Name: "errflow",
+	Doc:  "check sentinel errors are compared with errors.Is and wrapped with %w",
+	Run:  run,
+}
+
+func run(pass *anz.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				if x.Op == token.EQL || x.Op == token.NEQ {
+					checkComparison(pass, x)
+				}
+			case *ast.SwitchStmt:
+				checkSwitch(pass, x)
+			case *ast.CallExpr:
+				checkErrorf(pass, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkComparison(pass *anz.Pass, be *ast.BinaryExpr) {
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		if s := sentinelOf(pass, side); s != nil {
+			pass.Reportf(be.Pos(), "sentinel %s compared with %s; use errors.Is so wrapped errors still match", s.Name(), be.Op)
+			return
+		}
+	}
+}
+
+// checkSwitch flags `switch err { case ErrX: }` — the tag-equality form of
+// the same direct comparison.
+func checkSwitch(pass *anz.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	tagTV, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok || !isErrorType(tagTV.Type) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if s := sentinelOf(pass, e); s != nil {
+				pass.Reportf(e.Pos(), "sentinel %s used as a switch case; use errors.Is so wrapped errors still match", s.Name())
+			}
+		}
+	}
+}
+
+// checkErrorf verifies fmt.Errorf verbs: error-typed arguments take %w.
+func checkErrorf(pass *anz.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pkg.Imported().Path() != "fmt" || len(call.Args) < 2 {
+		return
+	}
+	fmtTV, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || fmtTV.Value == nil || fmtTV.Value.Kind() != constant.String {
+		return
+	}
+	verbs := parseVerbs(constant.StringVal(fmtTV.Value))
+	for i, arg := range call.Args[1:] {
+		if i >= len(verbs) {
+			break
+		}
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || !isErrorType(tv.Type) {
+			continue
+		}
+		if verbs[i] != 'w' {
+			pass.Reportf(arg.Pos(), "error formatted with %%%c; use %%w so the chain stays inspectable with errors.Is", verbs[i])
+		}
+	}
+}
+
+// parseVerbs returns the conversion verb consuming each successive
+// argument of a Printf-style format string (flags, width and precision
+// skipped; `*` width/precision consume an argument and are recorded as
+// '*').
+func parseVerbs(format string) []byte {
+	var out []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) && strings.ContainsRune("+-# 0123456789.*", rune(format[i])) {
+			if format[i] == '*' {
+				out = append(out, '*')
+			}
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		out = append(out, format[i])
+	}
+	return out
+}
+
+// sentinelOf resolves e to a package-level error variable named Err*, the
+// sentinel convention of this module and the standard library.
+func sentinelOf(pass *anz.Pass, e ast.Expr) types.Object {
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || !strings.HasPrefix(v.Name(), "Err") {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() { // package-level vars only
+		return nil
+	}
+	if !isErrorType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorType) || types.Identical(t, errorType)
+}

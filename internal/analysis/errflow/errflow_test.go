@@ -1,0 +1,12 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"sqpr/internal/analysis/atest"
+	"sqpr/internal/analysis/errflow"
+)
+
+func TestErrflow(t *testing.T) {
+	atest.Run(t, ".", errflow.Analyzer, "./testdata/src/errflow")
+}

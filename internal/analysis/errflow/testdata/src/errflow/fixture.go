@@ -1,0 +1,54 @@
+// Package fixture is the errflow corpus: sentinel comparisons and error
+// wrapping, across a package boundary.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+
+	def "sqpr/internal/analysis/errflow/testdata/src/errflowdef"
+)
+
+var ErrLocal = errors.New("local sentinel")
+
+func badEq(err error) bool {
+	return err == def.ErrQueueFull // want "errors.Is"
+}
+
+func badNeq(err error) bool {
+	return err != ErrLocal // want "errors.Is"
+}
+
+func badSwitch(err error) string {
+	switch err {
+	case def.ErrClosed: // want "switch case"
+		return "closed"
+	case nil:
+		return "ok"
+	}
+	return "other"
+}
+
+func badWrap(err error) error {
+	return fmt.Errorf("submit %d failed: %v", 7, err) // want `use %w`
+}
+
+func badWrapSentinel() error {
+	return fmt.Errorf("service: %s", def.ErrClosed) // want `use %w`
+}
+
+func goodIs(err error) bool {
+	return errors.Is(err, def.ErrQueueFull) || errors.Is(err, ErrLocal)
+}
+
+func goodWrap(err error) error {
+	return fmt.Errorf("submit %d failed: %w", 7, err)
+}
+
+func nilCompareOK(err error) bool {
+	return err == nil
+}
+
+func nonSentinelOK(err error) bool {
+	return err == def.NotASentinel
+}

@@ -1,0 +1,13 @@
+// Package errflowdef exports sentinel errors for the errflow corpus.
+package errflowdef
+
+import "errors"
+
+var (
+	ErrQueueFull = errors.New("queue full")
+	ErrClosed    = errors.New("closed")
+)
+
+// NotASentinel has the type but not the naming convention; errflow only
+// tracks Err*-named package vars.
+var NotASentinel = errors.New("anonymous")

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"sqpr/internal/analysis/atest"
+	"sqpr/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	atest.Run(t, ".", hotalloc.Analyzer, "./testdata/src/hotalloc")
+}

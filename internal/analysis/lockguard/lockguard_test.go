@@ -1,0 +1,12 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"sqpr/internal/analysis/atest"
+	"sqpr/internal/analysis/lockguard"
+)
+
+func TestLockguard(t *testing.T) {
+	atest.Run(t, ".", lockguard.Analyzer, "./testdata/src/lockguard")
+}

@@ -1,0 +1,83 @@
+// Package fixture is the lockguard corpus: guarded-field accesses with and
+// without the mutex held.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.RWMutex
+	n  int //sqpr:guarded-by mu
+	//sqpr:guarded-by mu
+	history []int
+	free    int // unguarded on purpose
+}
+
+type badAnno struct {
+	//sqpr:guarded-by nosuch
+	x int // want "not a field of this struct"
+}
+
+func (c *counter) badRead() int {
+	return c.n // want `guarded by "mu"`
+}
+
+func (c *counter) badWrite() {
+	c.mu.RLock() // read lock does not license a write
+	defer c.mu.RUnlock()
+	c.n++ // want `guarded by "mu"`
+}
+
+func (c *counter) goodRead() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+func (c *counter) goodWrite(v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n = v
+	c.history = append(c.history, v)
+}
+
+// lockedHelper is called with mu already held.
+//
+//sqpr:locked mu
+func (c *counter) lockedHelper() int { return c.n }
+
+func (c *counter) unguardedOK() int { return c.free }
+
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1 // constructor exemption: local composite literal
+	return c
+}
+
+func (c *counter) closureBad() func() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() int {
+		return c.n // want `guarded by "mu"`
+	}
+}
+
+func (c *counter) closureAnnotated(done func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	func() {
+		c.n++ //sqpr:locked mu
+		done()
+	}()
+}
+
+type outer struct{ c *counter }
+
+func (o *outer) chainGood() int {
+	o.c.mu.Lock()
+	defer o.c.mu.Unlock()
+	return o.c.n
+}
+
+func (o *outer) chainBad() int {
+	return o.c.n // want `guarded by "mu"`
+}

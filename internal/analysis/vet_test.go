@@ -1,0 +1,69 @@
+// Package analysis_test runs the full sqpr-vet analyzer suite against the
+// real module — the meta-check behind the CI gate: every package must stay
+// clean under lockguard, ctxflow, hotalloc and errflow at all times, so a
+// regression in either the code or the analyzers themselves fails here
+// before it fails in CI.
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sqpr/internal/analysis/anz"
+	"sqpr/internal/analysis/ctxflow"
+	"sqpr/internal/analysis/errflow"
+	"sqpr/internal/analysis/hotalloc"
+	"sqpr/internal/analysis/lockguard"
+)
+
+// TestModuleIsVetClean loads every package of the module and asserts the
+// four analyzers report nothing. Fixture corpora under testdata are not
+// part of ./... and keep their deliberate violations.
+func TestModuleIsVetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module")
+	}
+	root := moduleRoot(t)
+	pkgs, err := anz.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages, expected the whole module", len(pkgs))
+	}
+	findings, err := anz.RunAnalyzers(pkgs, []*anz.Analyzer{
+		lockguard.Analyzer,
+		ctxflow.Analyzer,
+		hotalloc.Analyzer,
+		errflow.Analyzer,
+	})
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Fatalf("sqpr-vet reported %d finding(s); the module must stay clean", len(findings))
+	}
+}
+
+// moduleRoot walks up from the test's working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}

@@ -79,9 +79,7 @@ func (p *Planner) Stats() plan.Stats { return p.stats }
 // operators it actually placed, which is a subset, so its marginal costs
 // are never lower and its admission count never higher.
 func (p *Planner) Submit(ctx context.Context, q dsps.StreamID, opts ...plan.SubmitOption) (plan.Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+	ctx = plan.OrBackground(ctx)
 	start := time.Now()
 	cfg := plan.Apply(opts)
 	var res plan.Result
@@ -155,9 +153,7 @@ func (p *Planner) Remove(q dsps.StreamID) error {
 // has no physical placements, so nothing migrates, and drift events are
 // no-ops (the bound's reuse accounting is already maximally optimistic).
 func (p *Planner) Repair(ctx context.Context, events []plan.Event, opts ...plan.SubmitOption) (plan.RepairResult, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+	ctx = plan.OrBackground(ctx)
 	start := time.Now()
 	var rr plan.RepairResult
 	if err := plan.ApplyEvents(p.sys, events); err != nil {

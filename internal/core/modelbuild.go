@@ -63,6 +63,14 @@ type builder struct {
 	journal     []journalEntry
 	visiting    map[planKey]bool
 	hostScratch []dsps.HostID
+	// scoredScratch holds greedyAdmit's candidate ranking; tryStack and
+	// auxStack are depth-indexed host buffers for planStreamAt's recursion
+	// (seedDepth tracks the live level). All grow to their high-water mark
+	// once and are reused by every later probe.
+	scoredScratch []scored
+	tryStack      [][]dsps.HostID
+	auxStack      [][]dsps.HostID
+	seedDepth     int
 
 	// seedDeadline bounds the greedy warm start's wall clock and
 	// seedProbes its backtracking: planStreamAt is an exponential

@@ -198,9 +198,7 @@ func (p *Planner) AdmittedCount() int { return len(p.admitted) }
 // count. Cancelling ctx aborts the MILP search promptly and leaves the
 // planner state unchanged.
 func (p *Planner) Submit(ctx context.Context, q dsps.StreamID, opts ...plan.SubmitOption) (Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+	ctx = plan.OrBackground(ctx)
 	cfg := plan.Apply(opts)
 	qs := cfg.Queries(q)
 
@@ -301,6 +299,7 @@ func (p *Planner) submit(ctx context.Context, qs []dsps.StreamID, timeout time.D
 		savedState := p.state
 		savedAdmitted := plan.CopyAdmitted(p.admitted)
 		res.Admitted = true
+		//sqpr:ctxloop each group solve polls ctx inside solveGroup
 		for i, g := range groups {
 			// Deadline share proportional to group size, floored by a small
 			// grace budget: a group is never wholesale-rejected because an

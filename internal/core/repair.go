@@ -30,9 +30,7 @@ import (
 // Large event sets are repaired in chunks bounded by Config.MaxFreeStreams,
 // so each delta solve stays the size of a normal planning call.
 func (p *Planner) Repair(ctx context.Context, events []plan.Event, opts ...plan.SubmitOption) (plan.RepairResult, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+	ctx = plan.OrBackground(ctx)
 	start := time.Now()
 	var rr plan.RepairResult
 	if err := plan.ApplyEvents(p.sys, events); err != nil {
@@ -148,6 +146,7 @@ func (p *Planner) Repair(ctx context.Context, events []plan.Event, opts ...plan.
 	}
 
 	var firstErr error
+	//sqpr:ctxloop each chunk repair polls ctx inside repairChunk
 	for _, chunk := range p.repairChunks(replan) {
 		res, err := p.repairChunk(ctx, chunk, before, noBonus, deadline)
 		rr.Nodes += res.Nodes

@@ -62,6 +62,7 @@ func (p *Planner) Replan(ctx context.Context, queries []dsps.StreamID) ([]Result
 				if !pending[rq] || p.admitted[rq] {
 					continue
 				}
+				//sqpr:ctxroot restoration must outlive the caller's ctx, which may be the cancellation that caused the failure
 				if res, rerr := p.Submit(context.Background(), rq); rerr != nil || !res.Admitted {
 					re.Unrestored = append(re.Unrestored, rq)
 				}

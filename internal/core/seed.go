@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sort"
 	"time"
 
 	"sqpr/internal/dsps"
@@ -75,8 +74,73 @@ func (b *builder) seedArm(deadline time.Time) {
 }
 
 // seedExpired reports whether the greedy's wall-clock deadline has lapsed.
+//
+//sqpr:hotpath
 func (b *builder) seedExpired() bool {
 	return !b.seedDeadline.IsZero() && time.Now().After(b.seedDeadline)
+}
+
+// seedHostsAt returns the two pooled host-scratch buffers for one
+// planStreamAt recursion depth: the assembly-order list and a second buffer
+// used first for ranking remote hosts and then for the preferHost reorder.
+// The stacks grow to the maximum recursion depth once and are reused by
+// every later probe.
+//
+//sqpr:hotpath
+func (b *builder) seedHostsAt(depth int) (try, aux *[]dsps.HostID) {
+	for len(b.tryStack) <= depth {
+		//sqpr:amortized the stacks grow to max recursion depth once
+		b.tryStack = append(b.tryStack, nil)
+		b.auxStack = append(b.auxStack, nil) //sqpr:amortized
+	}
+	return &b.tryStack[depth], &b.auxStack[depth]
+}
+
+// seedExit unwinds one planStreamAt recursion level.
+//
+//sqpr:hotpath
+func (b *builder) seedExit() { b.seedDepth-- }
+
+// headroom is the spare CPU of a candidate host under the tracker's trial
+// usage — the greedy's ranking key.
+//
+//sqpr:hotpath
+func (b *builder) headroom(h dsps.HostID) float64 {
+	return b.sys.Hosts[h].CPU - b.track.cpu[h]
+}
+
+// sortHostsByHeadroom orders hosts by spare CPU descending, HostID
+// ascending on ties — the same total order the greedy always used, as an
+// allocation-free insertion sort (the lists are a handful of candidate
+// hosts; sort.Slice's comparator closure was the only heap traffic).
+//
+//sqpr:hotpath
+func (b *builder) sortHostsByHeadroom(s []dsps.HostID) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0; j-- {
+			hj, hp := b.headroom(s[j]), b.headroom(s[j-1])
+			if hj < hp || (hj == hp && s[j] >= s[j-1]) {
+				break
+			}
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// sortScoredDesc orders candidate plans by score descending, HostID
+// ascending on ties (insertion sort, see sortHostsByHeadroom).
+//
+//sqpr:hotpath
+func sortScoredDesc(s []scored) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0; j-- {
+			if s[j].score < s[j-1].score ||
+				(s[j].score == s[j-1].score && s[j].h >= s[j-1].h) {
+				break
+			}
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
 }
 
 // usageTracker maintains the resource picture of one assignment under
@@ -134,6 +198,7 @@ func resizeZero(s []float64, n int) []float64 {
 	return s
 }
 
+//sqpr:hotpath
 func (u *usageTracker) addOp(pl dsps.Placement) {
 	op := &u.sys.Operators[pl.Op]
 	u.cpu[pl.Host] += op.Cost
@@ -141,6 +206,7 @@ func (u *usageTracker) addOp(pl dsps.Placement) {
 	u.cpuSum += op.Cost
 }
 
+//sqpr:hotpath
 func (u *usageTracker) removeOp(pl dsps.Placement) {
 	op := &u.sys.Operators[pl.Op]
 	u.cpu[pl.Host] -= op.Cost
@@ -148,6 +214,7 @@ func (u *usageTracker) removeOp(pl dsps.Placement) {
 	u.cpuSum -= op.Cost
 }
 
+//sqpr:hotpath
 func (u *usageTracker) addFlow(f dsps.Flow) {
 	rate := u.sys.Streams[f.Stream].Rate
 	u.link[f.From][f.To] += rate
@@ -156,6 +223,7 @@ func (u *usageTracker) addFlow(f dsps.Flow) {
 	u.network += rate
 }
 
+//sqpr:hotpath
 func (u *usageTracker) removeFlow(f dsps.Flow) {
 	rate := u.sys.Streams[f.Stream].Rate
 	u.link[f.From][f.To] -= rate
@@ -164,6 +232,7 @@ func (u *usageTracker) removeFlow(f dsps.Flow) {
 	u.network -= rate
 }
 
+//sqpr:hotpath
 func (u *usageTracker) maxCPU() float64 {
 	var m float64
 	for _, c := range u.cpu {
@@ -183,20 +252,26 @@ type journalEntry struct {
 }
 
 // applyFlow adds a flow to the trial, tracker and journal.
+//
+//sqpr:hotpath
 func (b *builder) applyFlow(trial *dsps.Assignment, f dsps.Flow) {
 	trial.Flows[f] = true
 	b.track.addFlow(f)
-	b.journal = append(b.journal, journalEntry{flow: f})
+	b.journal = append(b.journal, journalEntry{flow: f}) //sqpr:amortized pooled
 }
 
 // applyOp adds an operator placement to the trial, tracker and journal.
+//
+//sqpr:hotpath
 func (b *builder) applyOp(trial *dsps.Assignment, pl dsps.Placement) {
 	trial.Ops[pl] = true
 	b.track.addOp(pl)
-	b.journal = append(b.journal, journalEntry{isOp: true, op: pl})
+	b.journal = append(b.journal, journalEntry{isOp: true, op: pl}) //sqpr:amortized pooled
 }
 
 // rollback undoes journal entries beyond mark, newest first.
+//
+//sqpr:hotpath
 func (b *builder) rollback(trial *dsps.Assignment, mark int) {
 	for i := len(b.journal) - 1; i >= mark; i-- {
 		e := b.journal[i]
@@ -211,27 +286,24 @@ func (b *builder) rollback(trial *dsps.Assignment, mark int) {
 	b.journal = b.journal[:mark]
 }
 
+// scored is one resource-feasible candidate plan of greedyAdmit.
+type scored struct {
+	h     dsps.HostID
+	score float64
+}
+
 // greedyAdmit tries to admit query q into cand on a single assembly host;
 // it mutates cand only on success. Hosts are probed on the shared trial
 // through the journal; the best-scoring resource-feasible plan is kept.
+//
+//sqpr:hotpath
 func (b *builder) greedyAdmit(cand *dsps.Assignment, q dsps.StreamID) bool {
 	order := b.hostScratch[:0]
-	order = append(order, b.hosts...)
+	order = append(order, b.hosts...) //sqpr:amortized pooled on the builder
 	b.hostScratch = order
-	sort.Slice(order, func(i, j int) bool {
-		si := b.sys.Hosts[order[i]].CPU - b.track.cpu[order[i]]
-		sj := b.sys.Hosts[order[j]].CPU - b.track.cpu[order[j]]
-		if si != sj {
-			return si > sj
-		}
-		return order[i] < order[j]
-	})
+	b.sortHostsByHeadroom(order)
 
-	type scored struct {
-		h     dsps.HostID
-		score float64
-	}
-	var results []scored
+	results := b.scoredScratch[:0]
 	rate := b.sys.Streams[q].Rate
 	for _, h := range order {
 		if b.seedProbes <= 0 {
@@ -248,20 +320,16 @@ func (b *builder) greedyAdmit(cand *dsps.Assignment, q dsps.StreamID) bool {
 			b.rollback(cand, mark)
 			continue
 		}
-		results = append(results, scored{h, b.scoreResources()})
+		results = append(results, scored{h, b.scoreResources()}) //sqpr:amortized
 		b.rollback(cand, mark)
 	}
+	b.scoredScratch = results
 	if len(results) == 0 {
 		return false
 	}
 	// All candidate plans admit q, so λ1 cancels out of the comparison and
 	// the resource score alone ranks them.
-	sort.Slice(results, func(i, j int) bool {
-		if results[i].score != results[j].score {
-			return results[i].score > results[j].score
-		}
-		return results[i].h < results[j].h
-	})
+	sortScoredDesc(results)
 	for _, r := range results {
 		mark := len(b.journal)
 		if !b.planStreamAt(cand, q, r.h, b.visiting) {
@@ -283,6 +351,8 @@ func (b *builder) greedyAdmit(cand *dsps.Assignment, q dsps.StreamID) bool {
 
 // scoreResources evaluates the resource part of the weighted objective
 // (III.3) from the tracker: −λ2·O2/Σκ − λ3·O3/Σζ − λ4·O4/ζmax.
+//
+//sqpr:hotpath
 func (b *builder) scoreResources() float64 {
 	w := b.p.cfg.Weights
 	totalLink := b.sys.TotalLinkCap()
@@ -316,6 +386,8 @@ type planKey struct {
 // flows and operator placements greedily (journaled, tracker-checked).
 // visiting guards against cycles. On failure the caller rolls back to its
 // own mark; partial work may remain in the journal.
+//
+//sqpr:hotpath
 func (b *builder) planStreamAt(trial *dsps.Assignment, s dsps.StreamID, h dsps.HostID, visiting map[planKey]bool) bool {
 	if b.seedProbes <= 0 {
 		return false
@@ -325,6 +397,9 @@ func (b *builder) planStreamAt(trial *dsps.Assignment, s dsps.StreamID, h dsps.H
 		b.seedProbes = 0 // poison the rest of the run: deadline lapsed
 		return false
 	}
+	depth := b.seedDepth
+	b.seedDepth++
+	defer b.seedExit()
 	if trial.Available(b.sys, h, s) {
 		return true
 	}
@@ -364,31 +439,28 @@ func (b *builder) planStreamAt(trial *dsps.Assignment, s dsps.StreamID, h dsps.H
 	}
 	// Composite: place one producer at a candidate host — preferring h
 	// itself — and, if produced remotely, flow the output over. The host
-	// lists are local: planStreamAt recurses through operator inputs.
-	// During repair, an operator's pre-event host (preferHost) is tried
-	// before everything else, so the warm start rebuilds severed queries
-	// with minimal migration.
-	hostsTry := make([]dsps.HostID, 0, len(b.hosts))
-	hostsTry = append(hostsTry, h)
-	others := make([]dsps.HostID, 0, len(b.hosts))
+	// lists live in depth-indexed scratch stacks pooled on the builder:
+	// planStreamAt recurses through operator inputs, so each level owns its
+	// buffers. During repair, an operator's pre-event host (preferHost) is
+	// tried before everything else, so the warm start rebuilds severed
+	// queries with minimal migration.
+	tryBuf, auxBuf := b.seedHostsAt(depth)
+	others := (*auxBuf)[:0]
 	for _, m := range b.hosts {
 		if m != h {
-			others = append(others, m)
+			others = append(others, m) //sqpr:amortized pooled per depth
 		}
 	}
-	sort.Slice(others, func(i, j int) bool {
-		si := b.sys.Hosts[others[i]].CPU - b.track.cpu[others[i]]
-		sj := b.sys.Hosts[others[j]].CPU - b.track.cpu[others[j]]
-		if si != sj {
-			return si > sj
-		}
-		return others[i] < others[j]
-	})
+	*auxBuf = others
+	b.sortHostsByHeadroom(others)
 	const maxRemoteHosts = 3
 	if len(others) > maxRemoteHosts {
 		others = others[:maxRemoteHosts]
 	}
-	hostsTry = append(hostsTry, others...)
+	hostsTry := (*tryBuf)[:0]
+	hostsTry = append(hostsTry, h)         //sqpr:amortized pooled per depth
+	hostsTry = append(hostsTry, others...) //sqpr:amortized
+	*tryBuf = hostsTry
 
 	for _, op := range b.sys.ProducersOf(s) {
 		if !b.freeOpSet[op] {
@@ -397,13 +469,16 @@ func (b *builder) planStreamAt(trial *dsps.Assignment, s dsps.StreamID, h dsps.H
 		o := &b.sys.Operators[op]
 		try := hostsTry
 		if pref, ok := b.preferHost[op]; ok && pref != h {
-			withPref := make([]dsps.HostID, 0, len(hostsTry)+1)
-			withPref = append(withPref, pref)
+			// The ranking buffer is dead once hostsTry is built; reuse it
+			// for the preferHost reorder.
+			withPref := (*auxBuf)[:0]
+			withPref = append(withPref, pref) //sqpr:amortized pooled per depth
 			for _, m := range hostsTry {
 				if m != pref {
-					withPref = append(withPref, m)
+					withPref = append(withPref, m) //sqpr:amortized
 				}
 			}
+			*auxBuf = withPref
 			try = withPref
 		}
 		for _, m := range try {
@@ -439,6 +514,8 @@ func (b *builder) planStreamAt(trial *dsps.Assignment, s dsps.StreamID, h dsps.H
 }
 
 // flowFits checks link and host bandwidth headroom for one extra flow.
+//
+//sqpr:hotpath
 func (b *builder) flowFits(from, to dsps.HostID, rate float64) bool {
 	if b.track.link[from][to]+rate > b.sys.LinkCap[from][to]+1e-9 {
 		return false

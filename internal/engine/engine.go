@@ -85,7 +85,7 @@ type Engine struct {
 	// only after Stop has joined every goroutine and closed results, so a
 	// redeploy can never race goroutines of the previous deployment.
 	mu      sync.Mutex
-	running bool
+	running bool //sqpr:guarded-by mu
 
 	// churnMu serialises ApplyChurn calls so the dataplane and the planner
 	// observe churn events in one order: without it, two concurrent calls

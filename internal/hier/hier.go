@@ -106,9 +106,7 @@ func (p *Planner) Repair(ctx context.Context, events []plan.Event, opts ...plan.
 // budget drawn down across the per-site solves); the remaining options are
 // forwarded to each attempt.
 func (p *Planner) Submit(ctx context.Context, q dsps.StreamID, opts ...plan.SubmitOption) (plan.Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+	ctx = plan.OrBackground(ctx)
 	cfg := plan.Apply(opts)
 	if cfg.Hosts != nil {
 		return p.inner.Submit(ctx, q, opts...)

@@ -1,0 +1,7 @@
+//go:build sqprdebug
+
+package invariant
+
+// Enabled arms the invariant assertions: this file is selected by the
+// sqprdebug build tag. See the package comment for the usage pattern.
+const Enabled = true

@@ -1,0 +1,7 @@
+//go:build !sqprdebug
+
+package invariant
+
+// Enabled is false in ordinary builds: every `if invariant.Enabled && …`
+// block is deleted by the compiler, so assertions are free when off.
+const Enabled = false

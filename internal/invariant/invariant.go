@@ -1,0 +1,31 @@
+// Package invariant provides checked-build assertions: guards that cost
+// nothing in normal builds and panic loudly under the sqprdebug build tag.
+//
+// The pattern every caller follows is
+//
+//	if invariant.Enabled && !cond {
+//		invariant.Failf("what broke: got %v", v)
+//	}
+//
+// Enabled is an untyped constant, so in ordinary builds the whole guarded
+// block is dead code the compiler deletes — the assertions cannot perturb
+// allocation-free hot paths (the `lp.Solver` resolve path keeps its
+// 0 allocs/op contract) or timing. Under `go test -tags sqprdebug ./...`
+// the same blocks compile in and turn latent state corruption — an
+// inconsistent simplex basis, a non-monotone branch-and-bound node, a
+// service queue-accounting drift — into an immediate panic at the point
+// of the bug instead of a wrong answer three layers later.
+//
+// Keep the condition inside the caller (rather than passing it to a
+// helper) so that evaluating the condition itself is also free when the
+// tag is off.
+package invariant
+
+import "fmt"
+
+// Failf reports a violated invariant and halts the program. Callers gate
+// every call behind `invariant.Enabled &&` so the call (and the cost of
+// building its arguments) exists only in sqprdebug builds.
+func Failf(format string, args ...any) {
+	panic("invariant violated: " + fmt.Sprintf(format, args...))
+}

@@ -131,6 +131,8 @@ func (s *Solver) installCosts() {
 
 // iterate runs primal simplex iterations until optimality, unboundedness or
 // a budget is exhausted.
+//
+//sqpr:hotpath
 func (s *Solver) iterate() Status {
 	for {
 		if s.iters >= s.maxIters {
@@ -158,6 +160,8 @@ func (s *Solver) iterate() Status {
 
 // chooseEntering selects a nonbasic column with negative reduced cost, using
 // Dantzig's rule normally and Bland's rule once degeneracy stalls.
+//
+//sqpr:hotpath
 func (s *Solver) chooseEntering() int {
 	if s.bland {
 		for j := 0; j < s.n; j++ {
@@ -183,6 +187,8 @@ func (s *Solver) chooseEntering() int {
 // step performs the ratio test and either flips the entering variable to
 // its opposite bound or pivots it into the basis. Returns 0 on success,
 // Unbounded if the entering direction is unbounded.
+//
+//sqpr:hotpath
 func (s *Solver) step(j int) Status {
 	tmax := s.upper[j]
 	leave := -1
@@ -239,6 +245,7 @@ func (s *Solver) step(j int) Status {
 	return 0
 }
 
+//sqpr:hotpath
 func (s *Solver) noteProgress(step float64) {
 	if step > ratioTol {
 		s.stall = 0
@@ -247,6 +254,8 @@ func (s *Solver) noteProgress(step float64) {
 
 // flipColumn substitutes x_j = u_j − x̄_j for a nonbasic variable with a
 // finite upper bound, moving the current point accordingly.
+//
+//sqpr:hotpath
 func (s *Solver) flipColumn(j int) {
 	u := s.upper[j]
 	for i := 0; i < s.m; i++ {
@@ -262,6 +271,8 @@ func (s *Solver) flipColumn(j int) {
 
 // flipBasicRow re-orients the basic variable of row r (x → u − x), negating
 // the row so the variable's identity coefficient stays +1.
+//
+//sqpr:hotpath
 func (s *Solver) flipBasicRow(r int) {
 	b := s.basis[r]
 	u := s.upper[b]
@@ -276,6 +287,8 @@ func (s *Solver) flipBasicRow(r int) {
 
 // pivot makes column j basic in row r by Gaussian elimination of the
 // tableau, right-hand side and reduced-cost row.
+//
+//sqpr:hotpath
 func (s *Solver) pivot(r, j int) {
 	rowR := s.rows[r]
 	piv := rowR[j]

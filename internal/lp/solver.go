@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"sqpr/internal/invariant"
 )
 
 // Fix targets for structural variables (see Solver.Fix).
@@ -389,6 +391,8 @@ func (s *Solver) SaveBasis() {
 // RestoreBasis reinstates the snapshot taken by SaveBasis, including its
 // fix set and active-row set, and reports whether one was available. The
 // caller's view of applied fixes must be reset to the snapshot's.
+//
+//sqpr:hotpath
 func (s *Solver) RestoreBasis() bool {
 	sp := &s.snap
 	if !sp.valid {
@@ -422,7 +426,41 @@ func (s *Solver) RestoreBasis() bool {
 	copy(s.fixVal[:s.nStruct], sp.fixVal)
 	copy(s.d[:s.n], sp.d)
 	s.warm = true
+	if invariant.Enabled {
+		s.checkBasis("RestoreBasis")
+	}
 	return true
+}
+
+// checkBasis verifies the basis/rowOf/inBasis cross-indexing that every
+// pivot must preserve: basis[i] names a live column that points back at row
+// i, and every column marked basic is named by exactly its row. Checked
+// builds call it after basis restores and successful ReSolves; release
+// builds compile it out.
+func (s *Solver) checkBasis(where string) {
+	if !s.warm {
+		// No warm-startable tableau: the nStruct==0 shortcut in coldPass
+		// answers from the constant rows alone and never builds one, so
+		// basis/rowOf/inBasis hold nothing checkable.
+		return
+	}
+	for i := 0; i < s.m; i++ {
+		j := s.basis[i]
+		if j < 0 || j >= s.n {
+			invariant.Failf("lp: %s left basis[%d]=%d outside [0,%d)", where, i, j, s.n)
+		}
+		if s.rowOf[j] != i {
+			invariant.Failf("lp: %s left basis[%d]=%d but rowOf[%d]=%d", where, i, j, j, s.rowOf[j])
+		}
+		if !s.inBasis[j] {
+			invariant.Failf("lp: %s left basis[%d]=%d with inBasis[%d] false", where, i, j, j)
+		}
+	}
+	for j := 0; j < s.n; j++ {
+		if s.inBasis[j] && s.basis[s.rowOf[j]] != j {
+			invariant.Failf("lp: %s left column %d marked basic but row %d holds %d", where, j, s.rowOf[j], s.basis[s.rowOf[j]])
+		}
+	}
 }
 
 // AppendRows registers constraint rows that the caller appended to the
@@ -485,6 +523,8 @@ func (s *Solver) AppendRows() (int, error) {
 // from its upper bound when true) degrades the objective by at least d·t in
 // the LP relaxation — the inequality branch-and-bound uses for reduced-cost
 // bound fixing. Basic variables report 0.
+//
+//sqpr:hotpath
 func (s *Solver) ReducedCost(j int) (d float64, atUpper bool) {
 	if s.inBasis[j] {
 		return 0, s.flipped[j]
@@ -496,6 +536,8 @@ func (s *Solver) ReducedCost(j int) (d float64, atUpper bool) {
 // current (optimal) basis: the sensitivity ∂objective/∂RHS_i in the
 // problem's minimisation space. Inactive lazy rows and equality rows (whose
 // slack column is not kept) report 0.
+//
+//sqpr:hotpath
 func (s *Solver) RowDual(i int) float64 {
 	if i < 0 || i >= s.mAll || !s.activeRows[i] {
 		return 0
@@ -518,6 +560,8 @@ func (s *Solver) RowDual(i int) float64 {
 // if needed and its effective bound collapses to zero, leaving any primal
 // infeasibility for the next ReSolve's dual simplex to repair. Fixing at
 // the upper bound requires a finite upper bound.
+//
+//sqpr:hotpath
 func (s *Solver) Fix(j int, atUpper bool) {
 	want := fixZero
 	if atUpper {
@@ -546,6 +590,8 @@ func (s *Solver) Fix(j int, atUpper bool) {
 // Unfix releases a previously fixed variable back to its full [0, upper]
 // range. The variable's current position (whichever bound it was fixed at)
 // remains a valid nonbasic point, so no pivoting is needed.
+//
+//sqpr:hotpath
 func (s *Solver) Unfix(j int) {
 	if s.fixVal[j] == fixFree {
 		return
@@ -559,6 +605,8 @@ func (s *Solver) Unfix(j int) {
 
 // Fixed reports the fix state of variable j: fixed pinned at 0 or its upper
 // bound, and free otherwise.
+//
+//sqpr:hotpath
 func (s *Solver) Fixed(j int) (fixed, atUpper bool) {
 	return s.fixVal[j] != fixFree, s.fixVal[j] == fixUpper
 }
@@ -570,6 +618,8 @@ func (s *Solver) Fixed(j int) (fixed, atUpper bool) {
 // then activated and repaired until the point satisfies the full problem.
 // The returned Solution's X aliases a solver-owned buffer valid until the
 // next call. The steady-state warm path performs no heap allocation.
+//
+//sqpr:hotpath
 func (s *Solver) ReSolve(opts Options) Solution {
 	s.installOpts(opts)
 	coldDone := false
@@ -597,6 +647,9 @@ func (s *Solver) ReSolve(opts Options) Solution {
 			// The zero-activation scan above certified the inactive rows;
 			// only bounds and active rows remain to check.
 			feas := s.checkFeasibleActive(x)
+			if invariant.Enabled {
+				s.checkBasis("ReSolve")
+			}
 			if !feas && !coldDone {
 				// Numerical drift accumulated across pivots: refactorise
 				// from scratch. The cold path re-derives everything from
@@ -643,6 +696,8 @@ func (s *Solver) ReSolve(opts Options) Solution {
 
 // expired reports whether the deadline or context of the current call has
 // lapsed.
+//
+//sqpr:hotpath
 func (s *Solver) expired() bool {
 	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
 		return true
@@ -650,6 +705,7 @@ func (s *Solver) expired() bool {
 	return s.ctx != nil && s.ctx.Err() != nil
 }
 
+//sqpr:hotpath
 func (s *Solver) installOpts(opts Options) {
 	s.deadline = opts.Deadline
 	s.ctx = opts.Ctx
@@ -714,6 +770,8 @@ const scanEps = 1e-9
 // that variable's rows were last evaluated (plus any rows appended after
 // Load) are re-evaluated — on SQPR's models a node re-solve moves a handful
 // of variables while thousands of availability/acyclicity rows stay put.
+//
+//sqpr:hotpath
 func (s *Solver) activateViolated(x []float64) int {
 	count := 0
 	if !s.scanValid {
@@ -759,6 +817,8 @@ func (s *Solver) activateViolated(x []float64) int {
 }
 
 // rowViolated evaluates inequality row i at x against its tolerance.
+//
+//sqpr:hotpath
 func (s *Solver) rowViolated(i int, x []float64) bool {
 	c := &s.prob.Cons[i]
 	lhs := Eval(c.Terms, x)
@@ -776,6 +836,8 @@ func (s *Solver) rowViolated(i int, x []float64) bool {
 // at x. Together with a zero-activation scan of the inactive rows it
 // certifies full feasibility without re-evaluating the (far larger)
 // inactive set a second time.
+//
+//sqpr:hotpath
 func (s *Solver) checkFeasibleActive(x []float64) bool {
 	p := s.prob
 	for j := 0; j < p.NumVars; j++ {
@@ -824,6 +886,8 @@ func (s *Solver) activateAll() {
 // violated, which the next dual-simplex pass repairs. Reduced costs are
 // untouched: a zero-cost basic slack changes no other column's reduced
 // cost, so dual feasibility survives activation.
+//
+//sqpr:hotpath
 func (s *Solver) activateRow(i int) {
 	c := &s.prob.Cons[i]
 	// Claim column s.n for the slack and scrub any stale state there (the
@@ -897,6 +961,8 @@ func (s *Solver) activateRow(i int) {
 // basic variable above a zero-width bound (fixed variables, artificials)
 // pivots out directly — both of its bounds coincide at zero, so no
 // re-orientation is needed or wanted.
+//
+//sqpr:hotpath
 func (s *Solver) dualIterate() Status {
 	const dualTol = 1e-7
 	for {
@@ -964,6 +1030,8 @@ func (s *Solver) dualIterate() Status {
 
 // extract reconstructs structural variable values in the original
 // orientation, writing into the solver's reusable buffer.
+//
+//sqpr:hotpath
 func (s *Solver) extract() []float64 {
 	x := s.xbuf[:s.nStruct]
 	for j := range x {
@@ -1001,6 +1069,8 @@ func (s *Solver) extract() []float64 {
 // the rest, fixed variables are folded in as zero-width columns (at-upper
 // fixes in complement orientation), and the phase-1 reduced costs are
 // installed. Slacks of inactive rows are banned from entering.
+//
+//sqpr:hotpath
 func (s *Solver) rebuild() {
 	p := s.prob
 	n := s.nStruct

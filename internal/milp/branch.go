@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"sqpr/internal/invariant"
 	"sqpr/internal/lp"
 )
 
@@ -177,44 +178,57 @@ type search struct {
 	gapTol   float64
 	absGap   float64
 
-	stallNodes  int // stop after this many nodes without incumbent progress
+	stallNodes int // stop after this many nodes without incumbent progress
+	//sqpr:guarded-by mu
 	lastImprove int // node count at the last incumbent improvement
 
 	mu   sync.Mutex
 	cond sync.Cond
 
-	open nodeHeap
-	seq  int
+	open nodeHeap //sqpr:guarded-by mu
+	seq  int      //sqpr:guarded-by mu
+	//sqpr:guarded-by mu
 	busy int // workers currently solving a node
 
-	nodes   int
-	lpIters int
-	cuts    int
-	fixings int
+	nodes   int //sqpr:guarded-by mu
+	lpIters int //sqpr:guarded-by mu
+	cuts    int //sqpr:guarded-by mu
+	fixings int //sqpr:guarded-by mu
 
-	bestX   []float64 // model-space incumbent (aliases compiled scratch)
-	bestObj float64   // minimisation-space objective of incumbent
+	//sqpr:guarded-by mu
+	bestX []float64 // model-space incumbent (aliases compiled scratch)
+	//sqpr:guarded-by mu
+	bestObj float64 // minimisation-space objective of incumbent
 
 	// Pseudo-costs per LP-active variable: sums of per-unit objective
 	// degradation and observation counts, plus global averages used for
 	// uninitialised candidates. Guarded by mu.
-	pcUp, pcDn   []float64
+	//sqpr:guarded-by mu
+	pcUp, pcDn []float64
+	//sqpr:guarded-by mu
 	pcUpN, pcDnN []int32
-	pcSum        float64
-	pcCnt        int32
+	pcSum        float64 //sqpr:guarded-by mu
+	pcCnt        int32   //sqpr:guarded-by mu
 
-	rootBound        float64
-	stalled          bool // ended via the stagnation stop
-	provedOptimal    bool
+	rootBound float64 //sqpr:guarded-by mu
+	//sqpr:guarded-by mu
+	stalled bool // ended via the stagnation stop
+	//sqpr:guarded-by mu
+	provedOptimal bool //sqpr:guarded-by mu
+	//sqpr:guarded-by mu
 	provedInfeasible bool
-	truncated        bool // node/deadline budget exhausted mid-search
-	proofLost        bool // an LP hit its budget: keep searching, drop proof
-	gapHit           bool
-	cancelled        bool
+	//sqpr:guarded-by mu
+	truncated bool // node/deadline budget exhausted mid-search
+	//sqpr:guarded-by mu
+	proofLost bool // an LP hit its budget: keep searching, drop proof
+	gapHit    bool //sqpr:guarded-by mu
+	cancelled bool //sqpr:guarded-by mu
 }
 
 // initScratch wires the per-Solve scratch (heap backing, node pool,
 // pseudo-cost arrays) to the compiled arena so repeated Solves reuse it.
+//
+//sqpr:locked mu — caller runs in the single-threaded setup phase
 func (s *search) initScratch() {
 	c := s.c
 	nAct := len(c.active)
@@ -233,6 +247,8 @@ func (s *search) initScratch() {
 
 // finishScratch recycles remaining open nodes and returns the heap backing
 // to the arena.
+//
+//sqpr:locked mu — caller runs in the single-threaded teardown phase
 func (s *search) finishScratch() {
 	for _, n := range s.open {
 		if n != nil {
@@ -265,6 +281,8 @@ func (s *search) freeNode(n *bbNode) {
 }
 
 // stopped reports (under mu) whether workers must wind down.
+//
+//sqpr:locked mu
 func (s *search) stopped() bool {
 	return s.cancelled || s.truncated || s.gapHit
 }
@@ -319,6 +337,8 @@ func (s *search) validateCandidate(x []float64) (float64, bool) {
 // installIncumbent installs a pre-validated point if it improves the
 // incumbent, copying it into the arena-owned incumbent buffer. Caller holds
 // s.mu (or the search is single-threaded).
+//
+//sqpr:locked mu — caller holds mu or runs pre-search
 func (s *search) installIncumbent(x []float64, lpObj float64) bool {
 	if lpObj < s.bestObj-1e-12 {
 		s.bestObj = lpObj
@@ -346,6 +366,8 @@ func (s *search) acceptModelPoint(x []float64) bool {
 // worker owns a dense solver arena, so oversubscribing buys contention and
 // memory, not speed). The search state after run reflects whether the tree
 // was exhausted (proof) or a budget/gap/cancellation cut it short.
+//
+//sqpr:locked mu — single-threaded except the worker loops, which lock internally
 func (s *search) run(workers int) {
 	if max := runtime.GOMAXPROCS(0); workers > max {
 		workers = max
@@ -385,16 +407,20 @@ func (s *search) run(workers int) {
 
 // push enqueues a node (caller holds mu, or the search is single-threaded
 // pre-start).
+//
+//sqpr:locked mu
 func (s *search) push(n *bbNode) {
 	n.seq = s.seq
 	s.seq++
 	heap.Push(&s.open, n)
 }
 
+//sqpr:locked mu — caller holds mu
 func (s *search) pruneSlack() float64 {
 	return s.absGap + 1e-9*(1+math.Abs(s.bestObj))
 }
 
+//sqpr:locked mu — caller holds mu
 func (s *search) gapReached() bool {
 	if s.bestX == nil || math.IsInf(s.rootBound, 0) {
 		return false
@@ -527,6 +553,8 @@ func (w *worker) reloadRoot(reserve int) bool {
 
 // resolveRoot re-solves the unpinned root and classifies it; ok is false
 // when the root phase must end (infeasibility proven or proof lost).
+//
+//sqpr:locked mu — single-threaded root phase
 func (s *search) resolveRoot(w *worker) (sol lp.Solution, xAct []float64, ok bool) {
 	sol, xAct = w.solveNode(nil, w.xAct)
 	s.lpIters += sol.Iters
@@ -621,6 +649,8 @@ func (w *worker) solveNode(bounds []boundFix, into []float64) (lp.Solution, []fl
 // processRoot runs the single-threaded root phase: the root relaxation, the
 // rounding-dive heuristic, the cutting-plane loop, root reduced-cost fixing
 // and the first branch. No lock is held — workers start only afterwards.
+//
+//sqpr:locked mu — single-threaded root phase
 func (s *search) processRoot(w *worker) {
 	if s.ctx != nil && s.ctx.Err() != nil {
 		s.cancelled, s.truncated = true, true
@@ -966,6 +996,8 @@ func (w *worker) captureReducedCosts() {
 // dive pins every binary to its rounded root-LP value and re-solves the
 // residual LP; a feasible result becomes an incumbent candidate, validated
 // here (lock-free).
+//
+//sqpr:locked mu — single-threaded root phase
 func (w *worker) dive(xRoot []float64) ([]float64, float64) {
 	c := w.s.c
 	w.diveBounds = w.diveBounds[:0]
@@ -1065,6 +1097,8 @@ func (w *worker) maybeProbe(relax float64, depth int) {
 
 // pcScore computes the pseudo-cost product score of a fractional candidate.
 // Caller holds s.mu.
+//
+//sqpr:locked mu — caller holds mu
 func (s *search) pcScore(fc fracCand) float64 {
 	avg := 1.0
 	if s.pcCnt > 0 {
@@ -1087,6 +1121,8 @@ func (s *search) pcScore(fc fracCand) float64 {
 // pseudo-cost product score decides, with fractionality then index as
 // deterministic tie-breaks. Caller holds s.mu — or the search is in its
 // single-threaded root phase.
+//
+//sqpr:locked mu — called from commit with mu held
 func (w *worker) selectBranch() (int, float64) {
 	s := w.s
 	if !s.reduce {
@@ -1234,8 +1270,15 @@ func (w *worker) makeChildren(n *bbNode, relax float64, k int, val float64) (up,
 // update pseudo-costs, prune, install a pre-validated incumbent, or select
 // a branching variable, apply reduced-cost fixes and expand. Caller holds
 // mu.
+//
+//sqpr:locked mu — the worker loop holds mu across each commit
 func (w *worker) commit(n *bbNode, out outcome) *bbNode {
 	s := w.s
+	// Checked builds verify bound monotonicity: a child subproblem only adds
+	// constraints, so its relaxation can never beat the parent's bound.
+	if invariant.Enabled && out.status == lp.Optimal && out.feasible && n.branchVar >= 0 && out.relax < n.est-1e-6 {
+		invariant.Failf("milp: child relaxation %g beats parent bound %g down the tree", out.relax, n.est)
+	}
 	// Pseudo-cost learning: the node's own relaxation measures the true
 	// degradation of the branch that created it.
 	if s.reduce && n.branchVar >= 0 && out.status == lp.Optimal && out.feasible {

@@ -366,6 +366,7 @@ func (c *compiled) separateCliques(xAct []float64, budget int) int {
 		sum := xAct[u] + xAct[v]
 		// Greedy expansion: among neighbours of u, repeatedly add the
 		// highest-value variable conflicting with every current member.
+		//sqpr:noctx bounded: each pass adds a member from u's finite neighbour list or stops
 		for {
 			bestW, bestX := -1, cutMinFracWeight
 			for _, w32 := range c.adjList[c.adjStart[u]:c.adjStart[u+1]] {

@@ -61,6 +61,19 @@ var (
 	ErrNotAdmitted = errors.New("query not admitted")
 )
 
+// OrBackground returns ctx, defaulting nil to context.Background(). It is
+// the module's single nil-ctx normalisation point: every planner accepts a
+// nil ctx for convenience, and no other library code may mint a root
+// context (the ctxflow analyzer enforces this; deliberate detached roots
+// are annotated //sqpr:ctxroot at the call site).
+func OrBackground(ctx context.Context) context.Context {
+	if ctx != nil {
+		return ctx
+	}
+	//sqpr:ctxroot the API-wide nil-ctx default lives here and only here
+	return context.Background()
+}
+
 // CheckStream validates that q indexes a stream of sys, returning an error
 // wrapping ErrUnknownStream otherwise. Every planner calls this before
 // touching sys.Streams[q], so caller-supplied IDs can never panic.

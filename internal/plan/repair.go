@@ -139,9 +139,7 @@ func DriftedEventQueries(events []Event, affected []dsps.StreamID, admitted func
 // hosts are left alone (their allocations are still valid; only the core
 // delta solver evacuates them).
 func RepairByResubmit(ctx context.Context, sys *dsps.System, p QueryPlanner, events []Event, opts ...SubmitOption) (RepairResult, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+	ctx = OrBackground(ctx)
 	start := time.Now()
 	var rr RepairResult
 	if err := ApplyEvents(sys, events); err != nil {

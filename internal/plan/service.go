@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"sqpr/internal/dsps"
+	"sqpr/internal/invariant"
 )
 
 // Typed errors of the admission service. Wrap-and-compare with errors.Is.
@@ -128,6 +129,10 @@ type request struct {
 	res  Result
 	rr   RepairResult
 	err  error
+
+	// finished backs the checked-build reply-exactly-once invariant; it is
+	// only touched by the dispatcher goroutine.
+	finished bool
 }
 
 // Service is a goroutine-safe admission front-end over any QueryPlanner.
@@ -144,7 +149,7 @@ type request struct {
 // Service itself implements QueryPlanner, so it drops into every harness
 // that drives one.
 type Service struct {
-	p   QueryPlanner
+	p   QueryPlanner //sqpr:guarded-by pmu
 	cfg ServiceConfig
 
 	reqs chan *request
@@ -154,14 +159,14 @@ type Service struct {
 	// under the write lock and then closes reqs, which no sender can touch
 	// any more.
 	mu     sync.RWMutex
-	closed bool
+	closed bool //sqpr:guarded-by mu
 
 	// pmu serialises planner access between the dispatcher and readers.
 	pmu sync.Mutex
 
 	// smu guards the service stats.
 	smu   sync.Mutex
-	stats ServiceStats
+	stats ServiceStats //sqpr:guarded-by smu
 
 	closeOnce sync.Once
 }
@@ -228,9 +233,7 @@ func (s *Service) enqueue(r *request) error {
 // the solver deadline derived from that ctx. Returns ErrQueueFull
 // immediately when the queue is full.
 func (s *Service) Submit(ctx context.Context, q dsps.StreamID, opts ...SubmitOption) (Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+	ctx = OrBackground(ctx)
 	r := &request{
 		ctx: ctx, arrived: time.Now(), kind: TraceSubmit,
 		q: q, opts: opts, done: make(chan struct{}),
@@ -252,7 +255,7 @@ func (s *Service) Submit(ctx context.Context, q dsps.StreamID, opts ...SubmitOpt
 // relative to concurrent submits and repairs.
 func (s *Service) Remove(q dsps.StreamID) error {
 	r := &request{
-		ctx: context.Background(), arrived: time.Now(), kind: TraceRemove,
+		ctx: OrBackground(nil), arrived: time.Now(), kind: TraceRemove,
 		q: q, done: make(chan struct{}),
 	}
 	if err := s.enqueue(r); err != nil {
@@ -265,9 +268,7 @@ func (s *Service) Remove(q dsps.StreamID) error {
 // Repair forwards churn events to the wrapped planner's Repair, serialised
 // against concurrent submits and removes.
 func (s *Service) Repair(ctx context.Context, events []Event, opts ...SubmitOption) (RepairResult, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+	ctx = OrBackground(ctx)
 	r := &request{
 		ctx: ctx, arrived: time.Now(), kind: TraceRepair,
 		evs: events, opts: opts, done: make(chan struct{}),
@@ -342,6 +343,7 @@ func (s *Service) dispatch() {
 // previous planner call ran.
 func (s *Service) drainAfter(first *request) []*request {
 	pending := []*request{first}
+	//sqpr:noctx non-blocking drain: the default case returns on the first empty poll
 	for {
 		select {
 		case r, ok := <-s.reqs:
@@ -385,6 +387,9 @@ func (s *Service) applyNext(pending []*request) []*request {
 		}
 		group = append(group, r)
 		rest = rest[1:]
+	}
+	if invariant.Enabled && len(group) > s.cfg.MaxBatch {
+		invariant.Failf("service: coalesced %d submits past the MaxBatch cap %d", len(group), s.cfg.MaxBatch)
 	}
 	s.applySubmitGroup(group)
 	return rest
@@ -508,8 +513,10 @@ func groupContext(group []*request) (context.Context, context.CancelFunc) {
 		}
 	}
 	if earliest.IsZero() {
+		//sqpr:ctxroot batch ctx is deliberately detached: no single member's cancellation may abort the joint solve
 		return context.WithCancel(context.Background())
 	}
+	//sqpr:ctxroot batch ctx is deliberately detached: no single member's cancellation may abort the joint solve
 	return context.WithDeadline(context.Background(), earliest)
 }
 
@@ -517,17 +524,28 @@ func groupContext(group []*request) (context.Context, context.CancelFunc) {
 // stats. Callers hold pmu; the stats mutex still applies because readers
 // don't.
 func (s *Service) recordSolve(n int) {
+	if invariant.Enabled && (n < 1 || n > s.cfg.MaxBatch) {
+		invariant.Failf("service: solve batch size %d outside [1, %d]", n, s.cfg.MaxBatch)
+	}
 	s.smu.Lock()
 	s.stats.Solves++
 	s.stats.BatchedSubmits += n
 	if n > s.stats.MaxBatch {
 		s.stats.MaxBatch = n
 	}
+	if invariant.Enabled && (s.stats.BatchedSubmits < s.stats.Solves || s.stats.MaxBatch > s.cfg.MaxBatch) {
+		invariant.Failf("service: stats accounting drifted: %d batched submits over %d solves, max batch %d (cap %d)",
+			s.stats.BatchedSubmits, s.stats.Solves, s.stats.MaxBatch, s.cfg.MaxBatch)
+	}
 	s.smu.Unlock()
 }
 
 // finish replies to the caller and records the request latency.
 func (s *Service) finish(r *request) {
+	if invariant.Enabled && r.finished {
+		invariant.Failf("service: request finished twice (kind %v, query %v)", r.kind, r.q)
+	}
+	r.finished = true
 	lat := time.Since(r.arrived)
 	s.smu.Lock()
 	s.stats.Requests++

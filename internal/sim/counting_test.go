@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"testing"
 
 	"sqpr/internal/dsps"
@@ -36,11 +37,43 @@ func (f *fakeSubmitter) Stats() plan.Stats { return plan.Stats{} }
 func TestCountSatisfiedIncludesDuplicates(t *testing.T) {
 	f := &fakeSubmitter{}
 	queries := []dsps.StreamID{1, 2, 1, 1, 3}
-	if got := CountSatisfied(f, queries); got != 5 {
+	got, errs := CountSatisfied(f, queries)
+	if got != 5 {
 		t.Fatalf("CountSatisfied = %d, want 5 (duplicates count)", got)
+	}
+	if errs != 0 {
+		t.Fatalf("CountSatisfied errors = %d, want 0", errs)
 	}
 	if f.AdmittedCount() != 3 {
 		t.Fatalf("distinct count = %d, want 3", f.AdmittedCount())
+	}
+}
+
+// failingSubmitter errors on every odd stream ID and admits the rest.
+type failingSubmitter struct{ fakeSubmitter }
+
+func (f *failingSubmitter) Submit(ctx context.Context, q dsps.StreamID, opts ...plan.SubmitOption) (plan.Result, error) {
+	if q%2 == 1 {
+		return plan.Result{}, errors.New("solver exploded")
+	}
+	return f.fakeSubmitter.Submit(ctx, q, opts...)
+}
+
+// TestErrorCountsSurfaceFailures asserts failed submissions are tallied
+// instead of silently folded into the rejection count — the harness-wide
+// contract behind every Errors field.
+func TestErrorCountsSurfaceFailures(t *testing.T) {
+	queries := []dsps.StreamID{1, 2, 3, 4}
+	got, errs := CountSatisfied(&failingSubmitter{}, queries)
+	if got != 2 || errs != 2 {
+		t.Fatalf("CountSatisfied = (%d, %d), want (2, 2)", got, errs)
+	}
+	c := RunAdmission("failing", &failingSubmitter{}, queries, 2)
+	if c.Errors != 2 {
+		t.Fatalf("RunAdmission errors = %d, want 2", c.Errors)
+	}
+	if c.Satisfied[len(c.Satisfied)-1] != 2 {
+		t.Fatalf("RunAdmission satisfied %v, want final 2", c.Satisfied)
 	}
 }
 

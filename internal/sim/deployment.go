@@ -50,6 +50,10 @@ type Fig7Result struct {
 	Inputs []int
 	SQPR   []int
 	SODA   []int
+	// SQPRErrors and SODAErrors count submissions that failed with an
+	// error rather than a clean rejection; a nonzero count means the
+	// admission columns undercount attempted queries.
+	SQPRErrors, SODAErrors int
 
 	// Checkpoints for the CDFs (input-query counts, e.g. 50 and 150).
 	LowCheckpoint, HighCheckpoint int
@@ -97,12 +101,20 @@ func Fig7(ds DeployScale) Fig7Result {
 	for wave := 0; wave < ds.Waves; wave++ {
 		lo, hi := wave*ds.WaveSize, (wave+1)*ds.WaveSize
 		for _, q := range envS.Queries[lo:hi] {
-			if r, err := sqpr.Submit(ctx, q); err == nil && r.Admitted {
+			r, err := sqpr.Submit(ctx, q)
+			switch {
+			case err != nil:
+				res.SQPRErrors++
+			case r.Admitted:
 				sqprSatisfied++
 			}
 		}
 		for _, q := range envD.Queries[lo:hi] {
-			if r, err := soda.Submit(ctx, q); err == nil && r.Admitted {
+			r, err := soda.Submit(ctx, q)
+			switch {
+			case err != nil:
+				res.SODAErrors++
+			case r.Admitted:
 				sodaSatisfied++
 			}
 		}
@@ -136,6 +148,7 @@ func DeployAndMeasure(sys *dsps.System, a *dsps.Assignment, d time.Duration) (en
 	deadline := time.After(d)
 	delivered := 0
 loop:
+	//sqpr:noctx bounded by the deadline timer or the engine closing Results
 	for {
 		select {
 		case <-deadline:

@@ -60,7 +60,9 @@ func Fig4b(sc Scale, batchSizes []int) Fig4aResult {
 			}
 			batch := env.Queries[i:end]
 			// WithBatch scales the deadline by the batch size itself.
-			_, _ = ad.Submit(context.Background(), batch[0], plan.WithBatch(batch[1:]...))
+			if _, err := ad.Submit(context.Background(), batch[0], plan.WithBatch(batch[1:]...)); err != nil {
+				c.Errors++
+			}
 			for _, q := range batch {
 				if ad.Admitted(q) {
 					satisfied++
@@ -87,6 +89,8 @@ type Fig4cResult struct {
 	BaseStreams []int
 	// Satisfied[i][j] is the result for BaseStreams[i] and Zipfs[j].
 	Satisfied [][]int
+	// Errors totals submissions across all cells that failed with an error.
+	Errors int
 }
 
 // Fig4c varies query overlap via the Zipf factor and the number of base
@@ -101,7 +105,9 @@ func Fig4c(sc Scale, zipfs []float64, baseCounts []int) Fig4cResult {
 			s.Zipf = z
 			env := BuildEnv(s)
 			ad := env.NewSQPR(s, s.Timeout)
-			row = append(row, CountSatisfied(ad, env.Queries))
+			n, errs := CountSatisfied(ad, env.Queries)
+			row = append(row, n)
+			res.Errors += errs
 		}
 		res.Satisfied = append(res.Satisfied, row)
 	}
@@ -115,6 +121,8 @@ type ScalabilityResult struct {
 	X      []int
 	SQPR   []int
 	Bound  []int
+	// Errors totals submissions across the sweep that failed with an error.
+	Errors int
 }
 
 // Fig5a sweeps the number of hosts (Fig. 5(a)).
@@ -123,8 +131,12 @@ func Fig5a(sc Scale, hostCounts []int) ScalabilityResult {
 	for _, h := range hostCounts {
 		s := sc
 		s.Hosts = h
-		res.SQPR = append(res.SQPR, runSQPRCount(s))
-		res.Bound = append(res.Bound, runBoundCount(s))
+		n, errs := runSQPRCount(s)
+		res.SQPR = append(res.SQPR, n)
+		res.Errors += errs
+		n, errs = runBoundCount(s)
+		res.Bound = append(res.Bound, n)
+		res.Errors += errs
 	}
 	return res
 }
@@ -138,8 +150,12 @@ func Fig5b(sc Scale, cpuMultipliers []int) ScalabilityResult {
 		s.LinkCap = sc.LinkCap * 10
 		s.OutBW = sc.OutBW * 10
 		s.InBW = sc.InBW * 10
-		res.SQPR = append(res.SQPR, runSQPRCount(s))
-		res.Bound = append(res.Bound, runBoundCount(s))
+		n, errs := runSQPRCount(s)
+		res.SQPR = append(res.SQPR, n)
+		res.Errors += errs
+		n, errs = runBoundCount(s)
+		res.Bound = append(res.Bound, n)
+		res.Errors += errs
 	}
 	return res
 }
@@ -151,18 +167,22 @@ func Fig5c(sc Scale, arities []int) ScalabilityResult {
 	for _, k := range arities {
 		s := sc
 		s.Arities = []int{k}
-		res.SQPR = append(res.SQPR, runSQPRCount(s))
-		res.Bound = append(res.Bound, runBoundCount(s))
+		n, errs := runSQPRCount(s)
+		res.SQPR = append(res.SQPR, n)
+		res.Errors += errs
+		n, errs = runBoundCount(s)
+		res.Bound = append(res.Bound, n)
+		res.Errors += errs
 	}
 	return res
 }
 
-func runSQPRCount(s Scale) int {
+func runSQPRCount(s Scale) (satisfied, errs int) {
 	env := BuildEnv(s)
 	return CountSatisfied(env.NewSQPR(s, s.Timeout), env.Queries)
 }
 
-func runBoundCount(s Scale) int {
+func runBoundCount(s Scale) (satisfied, errs int) {
 	env := BuildEnv(s)
 	return CountSatisfied(env.NewBound(), env.Queries)
 }
@@ -175,6 +195,8 @@ type TimingResult struct {
 	X       []int
 	AvgTime []time.Duration
 	Samples []int
+	// Errors totals submissions across the sweep that failed with an error.
+	Errors int
 }
 
 // Utilisation window of the Fig. 6 protocol.
@@ -193,9 +215,10 @@ func Fig6a(sc Scale, hostCounts []int) TimingResult {
 		// always spans all hosts; this is what makes planning time
 		// sensitive to host count.
 		s.MaxCandHost = h
-		avg, n := timedRun(s)
+		avg, n, errs := timedRun(s)
 		res.AvgTime = append(res.AvgTime, avg)
 		res.Samples = append(res.Samples, n)
+		res.Errors += errs
 	}
 	return res
 }
@@ -206,19 +229,22 @@ func Fig6b(sc Scale, arities []int) TimingResult {
 	for _, k := range arities {
 		s := sc
 		s.Arities = []int{k}
-		avg, n := timedRun(s)
+		avg, n, errs := timedRun(s)
 		res.AvgTime = append(res.AvgTime, avg)
 		res.Samples = append(res.Samples, n)
+		res.Errors += errs
 	}
 	return res
 }
 
-func timedRun(s Scale) (time.Duration, int) {
+func timedRun(s Scale) (time.Duration, int, int) {
 	env := BuildEnv(s)
 	ad := env.NewSQPR(s, s.Timeout)
 	ctx := context.Background()
 	for _, q := range env.Queries {
-		ad.Submit(ctx, q)
+		// Errors are tallied by the Recorder; the timing protocol keeps
+		// every call's duration either way.
+		_, _ = ad.Submit(ctx, q)
 	}
 	var sum time.Duration
 	n := 0
@@ -237,9 +263,9 @@ func timedRun(s Scale) (time.Duration, int) {
 		n = len(ad.PlanTimes)
 	}
 	if n == 0 {
-		return 0, 0
+		return 0, 0, ad.Errors
 	}
-	return sum / time.Duration(n), n
+	return sum / time.Duration(n), n, ad.Errors
 }
 
 // UtilisationCDFs captures per-host CPU and network usage distributions of

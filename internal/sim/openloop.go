@@ -66,6 +66,11 @@ type OpenLoopPoint struct {
 	// Submitted counts arrivals; Admitted of those were admitted, Shed were
 	// rejected with ErrQueueFull before planning (service mode only).
 	Submitted, Admitted, Shed int
+	// Errors counts submissions that failed with a non-queue-full error;
+	// their latencies stay in the distribution (the caller waited), but
+	// they are reported separately so solver failures cannot hide inside
+	// the rejection count.
+	Errors int
 	// Throughput is planned (non-shed) submissions per second of wall time.
 	Throughput float64
 	// P50, P95, P99 and Max summarise per-request latency (arrival to
@@ -137,6 +142,9 @@ func runOpenLoop(sc OpenLoopScale, rate float64, mode string) OpenLoopPoint {
 		born time.Time
 	}
 	arrivals := make(chan arrival, len(env.Queries))
+	// Arrival jitter uses a private generator seeded from the experiment
+	// config (xor-tagged against the workload stream); the global math/rand
+	// state is never used, so a run is reproducible from its seed.
 	rng := rand.New(rand.NewSource(sc.Seed ^ 0x0a71))
 	go func() {
 		defer close(arrivals)
@@ -151,6 +159,7 @@ func runOpenLoop(sc OpenLoopScale, rate float64, mode string) OpenLoopPoint {
 		latencies []float64
 		admitted  int
 		shed      int
+		errCount  int
 	)
 	ctx := context.Background()
 	start := time.Now()
@@ -179,7 +188,9 @@ func runOpenLoop(sc OpenLoopScale, rate float64, mode string) OpenLoopPoint {
 					shed++
 				} else {
 					latencies = append(latencies, lat.Seconds())
-					if err == nil && r.Admitted {
+					if err != nil {
+						errCount++
+					} else if r.Admitted {
 						admitted++
 					}
 				}
@@ -193,6 +204,7 @@ func runOpenLoop(sc OpenLoopScale, rate float64, mode string) OpenLoopPoint {
 	pt := OpenLoopPoint{
 		Mode: mode, Rate: rate,
 		Submitted: len(env.Queries), Admitted: admitted, Shed: shed,
+		Errors:    errCount,
 		MeanBatch: 1, MaxBatch: 1,
 	}
 	if elapsed > 0 {

@@ -2,6 +2,11 @@
 // workloads to planners one at a time (or in batches), tracks admission
 // curves, resource utilisation and planning times, and contains one runner
 // per figure of the paper's evaluation.
+//
+// The harness is the top of every experiment's call tree, so it is the one
+// library package allowed to mint root contexts:
+//
+//sqpr:ctxroot-package experiment entry points own their lifecycles
 package sim
 
 import (
@@ -32,7 +37,11 @@ type Recorder struct {
 	RepairTimes []time.Duration
 	// UtilisationAt records system CPU utilisation before each call.
 	UtilisationAt []float64
-	sys           *dsps.System
+	// Errors counts planning calls (Submit or Repair) that returned an
+	// error; harness summaries surface a nonzero count instead of silently
+	// folding failed calls into the admission numbers.
+	Errors int
+	sys    *dsps.System
 }
 
 // NewRecorder wraps a planner for the harness.
@@ -53,6 +62,9 @@ func (a *Recorder) Submit(ctx context.Context, q dsps.StreamID, opts ...plan.Sub
 	// Always append, keeping PlanTimes index-aligned with UtilisationAt
 	// even when a call errors (the entry is then the partial call time).
 	a.PlanTimes = append(a.PlanTimes, res.PlanTime)
+	if err != nil {
+		a.Errors++
+	}
 	return res, err
 }
 
@@ -63,6 +75,9 @@ func (a *Recorder) Remove(q dsps.StreamID) error { return a.P.Remove(q) }
 func (a *Recorder) Repair(ctx context.Context, events []plan.Event, opts ...plan.SubmitOption) (plan.RepairResult, error) {
 	res, err := a.P.Repair(ctx, events, opts...)
 	a.RepairTimes = append(a.RepairTimes, res.PlanTime)
+	if err != nil {
+		a.Errors++
+	}
 	return res, err
 }
 
@@ -84,6 +99,9 @@ type Curve struct {
 	Label     string
 	Inputs    []int
 	Satisfied []int
+	// Errors counts submissions that returned an error (solver failures,
+	// cancellations) rather than a clean rejection.
+	Errors int
 }
 
 // RunAdmission submits all queries to the planner, checkpointing the
@@ -100,7 +118,11 @@ func RunAdmission(label string, p Submitter, queries []dsps.StreamID, step int) 
 	ctx := context.Background()
 	satisfied := 0
 	for i, q := range queries {
-		if res, err := p.Submit(ctx, q); err == nil && res.Admitted {
+		res, err := p.Submit(ctx, q)
+		switch {
+		case err != nil:
+			c.Errors++
+		case res.Admitted:
 			satisfied++
 		}
 		if (i+1)%step == 0 || i == len(queries)-1 {
@@ -112,16 +134,21 @@ func RunAdmission(label string, p Submitter, queries []dsps.StreamID, step int) 
 }
 
 // CountSatisfied submits all queries and returns the number of satisfied
-// submissions (duplicates included; see RunAdmission).
-func CountSatisfied(p Submitter, queries []dsps.StreamID) int {
+// submissions (duplicates included; see RunAdmission) together with the
+// number of submissions that failed with an error — callers must surface a
+// nonzero error count rather than let failed solves pass as rejections.
+func CountSatisfied(p Submitter, queries []dsps.StreamID) (satisfied, errs int) {
 	ctx := context.Background()
-	satisfied := 0
 	for _, q := range queries {
-		if res, err := p.Submit(ctx, q); err == nil && res.Admitted {
+		res, err := p.Submit(ctx, q)
+		switch {
+		case err != nil:
+			errs++
+		case res.Admitted:
 			satisfied++
 		}
 	}
-	return satisfied
+	return satisfied, errs
 }
 
 // Scale holds the experiment dimensions. The paper's absolute scale

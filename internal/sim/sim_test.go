@@ -117,7 +117,10 @@ func TestFig5aMoreHostsMoreQueries(t *testing.T) {
 func TestTimedRunProducesSamples(t *testing.T) {
 	sc := tinyScale()
 	sc.Queries = 10
-	avg, n := timedRun(sc)
+	avg, n, errs := timedRun(sc)
+	if errs != 0 {
+		t.Fatalf("timedRun errors = %d, want 0", errs)
+	}
 	if n == 0 {
 		t.Fatal("no timing samples")
 	}

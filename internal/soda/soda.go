@@ -70,9 +70,7 @@ func (p *Planner) Stats() plan.Stats { return p.stats }
 // toggles the feasibility re-check. Cancelling ctx aborts the call and
 // leaves the planner state unchanged.
 func (p *Planner) Submit(ctx context.Context, q dsps.StreamID, opts ...plan.SubmitOption) (plan.Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+	ctx = plan.OrBackground(ctx)
 	start := time.Now()
 	cfg := plan.Apply(opts)
 	var res plan.Result

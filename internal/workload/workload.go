@@ -100,6 +100,10 @@ type Workload struct {
 // random across hosts, queries are joins over Zipf-chosen base streams, and
 // the full join-tree operator space of each query is registered.
 func Generate(sys *dsps.System, cfg Config) *Workload {
+	// The generator is private and seeded from the config: workload
+	// synthesis never touches global math/rand state, so the same Config
+	// always yields the same system and query stream regardless of what
+	// else runs in the process.
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	w := &Workload{
 		Sys:      sys,
