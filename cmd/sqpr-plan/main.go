@@ -66,6 +66,9 @@ func main() {
 		if *showStats {
 			fmt.Printf("    solver: %d nodes, %d cuts, %d reduced-cost fixings, %d presolve-fixed vars, %d LP iters\n",
 				res.Nodes, res.Cuts, res.Fixings, res.PresolveFixed, res.LPIters)
+			fmt.Printf("    basis:  %d refactorizations (%d drift-forced), %d eta updates (peak file %d), fill-in %.2f\n",
+				res.Factor.Refactors, res.Factor.DriftRebuilds,
+				res.Factor.EtaAppends, res.Factor.PeakEtas, res.Factor.FillRatio)
 		}
 	}
 
@@ -74,9 +77,12 @@ func main() {
 
 	if *showStats {
 		st := p.Stats()
-		fmt.Printf("cumulative solver effort: %d nodes, %d cuts, %d fixings, %d presolve-fixed, %d LP iters over %d submissions (%d timeouts, %d stalls)\n\n",
+		fmt.Printf("cumulative solver effort: %d nodes, %d cuts, %d fixings, %d presolve-fixed, %d LP iters over %d submissions (%d timeouts, %d stalls)\n",
 			st.TotalNodes, st.TotalCuts, st.TotalFixings, st.TotalPresolveFixed,
 			st.TotalLPIters, st.Submissions, st.Timeouts, st.Stalls)
+		fmt.Printf("cumulative basis effort:  %d refactorizations (%d drift-forced), %d eta updates, peak eta file %d, peak fill-in %.2f\n\n",
+			st.Factor.Refactors, st.Factor.DriftRebuilds, st.Factor.EtaAppends,
+			st.Factor.PeakEtas, st.Factor.FillRatio)
 	}
 
 	fmt.Println("operator placements:")

@@ -104,9 +104,9 @@ const (
 	stallNodesLarge   = 8
 )
 
-// groupGraceBudget is the minimum solver budget a tractability sub-batch
-// receives even when earlier sub-batches consumed the whole call timeout
-// (see the split loop in submit).
+// groupGraceBudget is the minimum wall-clock budget an armed greedy run
+// receives even when earlier work consumed the whole call timeout (see
+// seedArm in seed.go).
 const groupGraceBudget = 10 * time.Millisecond
 
 // Planner is the SQPR planner. It implements plan.QueryPlanner and is not
@@ -282,126 +282,21 @@ func (p *Planner) submit(ctx context.Context, qs []dsps.StreamID, timeout time.D
 		finalDeadline = d
 	}
 
-	// Tractability split: a joint batch whose query closures barely overlap
-	// unions into a free set far beyond Config.MaxFreeStreams — the cap only
-	// bounds the *sharing-query* merges, the fresh closures themselves merge
-	// unconditionally — and the dense LP substrate is superlinear in model
-	// size, so one oversized joint model costs far more wall-clock than its
-	// members solved apart (multi-gigabyte tableaus on scrambled batches of
-	// eight). Related batches (overlapping closures, the Fig. 4(b) case)
-	// stay in one joint solve; unrelated members are split into sub-batches
-	// whose closure unions respect the budget, solved sequentially under
-	// shares of the one deadline. An error mid-sequence (a ctx cancellation)
-	// rolls the already-solved groups back, preserving Submit's contract
-	// that an aborted call leaves the planner state unchanged.
-	groups := p.splitBatch(fresh)
-	if len(groups) > 1 {
-		savedState := p.state
-		savedAdmitted := plan.CopyAdmitted(p.admitted)
-		res.Admitted = true
-		//sqpr:ctxloop each group solve polls ctx inside solveGroup
-		for i, g := range groups {
-			// Deadline share proportional to group size, floored by a small
-			// grace budget: a group is never wholesale-rejected because an
-			// earlier group overran the call budget — with the greedy warm
-			// start, even a few milliseconds admit everything an easy group
-			// can admit, and dropping the group instead would diverge from
-			// what the same queries submitted individually would get. The
-			// call may thus overrun its timeout by up to a grace per group;
-			// a ctx cancellation still aborts between and inside groups.
-			left := 0
-			for _, gg := range groups[i:] {
-				left += len(gg)
-			}
-			share := time.Until(finalDeadline) * time.Duration(len(g)) / time.Duration(left)
-			if share < groupGraceBudget {
-				share = groupGraceBudget
-			}
-			gres, err := p.solveGroup(ctx, g, time.Now().Add(share))
-			res.Nodes += gres.Nodes
-			res.LPIters += gres.LPIters
-			res.Cuts += gres.Cuts
-			res.Fixings += gres.Fixings
-			res.PresolveFixed += gres.PresolveFixed
-			if gres.FreeStreams > res.FreeStreams {
-				res.FreeStreams = gres.FreeStreams
-			}
-			if gres.FreeOps > res.FreeOps {
-				res.FreeOps = gres.FreeOps
-			}
-			if gres.CandidateHosts > res.CandidateHosts {
-				res.CandidateHosts = gres.CandidateHosts
-			}
-			res.SolveStatus = gres.SolveStatus
-			res.Stalled = res.Stalled || gres.Stalled
-			if err != nil {
-				// Roll back: sub-solves only ever replace p.state wholesale,
-				// so the saved pointer is the intact pre-call allocation.
-				p.state = savedState
-				p.admitted = savedAdmitted
-				res.Admitted = false
-				res.PlanTime = time.Since(start)
-				return res, err
-			}
-			if !gres.Admitted {
-				res.Admitted = false
-				if res.Reason == plan.ReasonNone {
-					res.Reason = gres.Reason
-				}
-			}
-		}
-		res.PlanTime = time.Since(start)
-		p.stats.Record(res)
-		return res, nil
-	}
-
+	// The whole batch is one joint solve. Earlier revisions split batches
+	// whose closure unions outgrew Config.MaxFreeStreams into sub-batches
+	// solved under deadline shares — a tractability concession to the dense
+	// LP substrate, whose tableau cost grew superlinearly with model size
+	// (multi-gigabyte tableaus on scrambled batches of eight). The sparse
+	// revised-simplex engine prices those unions at their nonzero count, so
+	// the split and its contract compromises (per-group deadline shares,
+	// mid-sequence rollback, admissions diverging from the joint optimum on
+	// related batches) are gone. MaxFreeStreams still bounds closure growth
+	// where it always did: sharing-query merges (closure.go) and repair
+	// chunking (repair.go).
 	r, err := p.submitGroup(ctx, fresh, start, finalDeadline, &res)
 	if err == nil {
 		p.stats.Record(r)
 	}
-	return r, err
-}
-
-// splitBatch partitions the fresh queries of one call into sub-batches
-// whose closure unions stay within the free-set budget; a single query
-// always forms a valid group even when its own closure exceeds it.
-func (p *Planner) splitBatch(fresh []dsps.StreamID) [][]dsps.StreamID {
-	if len(fresh) <= 1 {
-		return [][]dsps.StreamID{fresh}
-	}
-	budget := p.cfg.MaxFreeStreams
-	var groups [][]dsps.StreamID
-	union := make(map[dsps.StreamID]bool)
-	var cur []dsps.StreamID
-	for _, q := range fresh {
-		cl := p.closures.streamsOf(q)
-		extra := 0
-		for _, s := range cl {
-			if !union[s] {
-				extra++
-			}
-		}
-		if len(cur) > 0 && len(union)+extra > budget {
-			groups = append(groups, cur)
-			cur = nil
-			union = make(map[dsps.StreamID]bool)
-		}
-		cur = append(cur, q)
-		for _, s := range cl {
-			union[s] = true
-		}
-	}
-	if len(cur) > 0 {
-		groups = append(groups, cur)
-	}
-	return groups
-}
-
-// solveGroup plans one tractable sub-batch under its deadline share,
-// recording telemetry as its own planner call would.
-func (p *Planner) solveGroup(ctx context.Context, fresh []dsps.StreamID, deadline time.Time) (Result, error) {
-	var res Result
-	r, err := p.submitGroup(ctx, fresh, time.Now(), deadline, &res)
 	return r, err
 }
 
@@ -418,6 +313,7 @@ func (p *Planner) submitGroup(ctx context.Context, fresh []dsps.StreamID, start 
 	res.CandidateHosts = len(b.hosts)
 
 	model := b.build()
+	res.ModelVars = model.NumVars()
 	opts := milp.Options{
 		Ctx:                  ctx,
 		Deadline:             deadline,
@@ -449,6 +345,7 @@ func (p *Planner) submitGroup(ctx context.Context, fresh []dsps.StreamID, start 
 	res.SolveStatus = sol.Status
 	res.Nodes = sol.Nodes
 	res.LPIters = sol.LPIters
+	res.Factor = sol.Factor
 	res.Cuts = sol.Cuts
 	res.Fixings = sol.Fixings
 	res.PresolveFixed = sol.PresolveFixed

@@ -151,6 +151,7 @@ func (p *Planner) Repair(ctx context.Context, events []plan.Event, opts ...plan.
 		res, err := p.repairChunk(ctx, chunk, before, noBonus, deadline)
 		rr.Nodes += res.Nodes
 		rr.LPIters += res.LPIters
+		rr.Factor.Merge(res.Factor)
 		rr.Cuts += res.Cuts
 		rr.Fixings += res.Fixings
 		rr.PresolveFixed += res.PresolveFixed
@@ -390,6 +391,7 @@ func (p *Planner) repairChunk(ctx context.Context, chunk []dsps.StreamID, before
 	}
 
 	model := b.build()
+	res.ModelVars = model.NumVars()
 	opts := milp.Options{
 		Ctx:                  ctx,
 		Deadline:             deadline,
@@ -409,7 +411,10 @@ func (p *Planner) repairChunk(ctx context.Context, chunk []dsps.StreamID, before
 	// budget proving it: stop once the search stops improving (improving
 	// nodes, an extra admission or an avoided migration, reset the
 	// counter). Drain and drift chunks exist to move away from the
-	// incumbent, so they search their full budget.
+	// incumbent, so they search their full budget — and a deeper one: the
+	// warm start still carries the placements those chunks must undo, so
+	// the evacuation optimum only surfaces once the search has re-derived
+	// it node by node, which a Submit-sized node cap routinely cuts short.
 	thorough := chunkDrift
 	for _, h := range b.hosts {
 		if b.sys.Hosts[h].State == dsps.HostDraining {
@@ -417,7 +422,9 @@ func (p *Planner) repairChunk(ctx context.Context, chunk []dsps.StreamID, before
 			break
 		}
 	}
-	if !thorough {
+	if thorough {
+		opts.MaxNodes = 8 * p.cfg.MaxNodes
+	} else {
 		opts.StallNodes = stallNodesLarge
 	}
 	if !p.cfg.DisableWarmStart {
@@ -427,6 +434,7 @@ func (p *Planner) repairChunk(ctx context.Context, chunk []dsps.StreamID, before
 	res.SolveStatus = sol.Status
 	res.Nodes = sol.Nodes
 	res.LPIters = sol.LPIters
+	res.Factor = sol.Factor
 	res.Cuts = sol.Cuts
 	res.Fixings = sol.Fixings
 	res.PresolveFixed = sol.PresolveFixed

@@ -2,31 +2,11 @@ package lp
 
 import "math"
 
-// Gomory mixed-integer (GMI) cut generation from the current optimal basis.
-//
-// For a basis row whose basic variable is integer-constrained but sits at a
-// fractional value b̄ = ⌊b̄⌋ + f0, the GMI inequality over the nonbasic
-// variables (all at 0 in the tableau's current orientation)
-//
-//	Σ_int  g_j·x_j + Σ_cont h_j·x_j >= f0,
-//	g_j = f_j            if f_j <= f0,   f_j = frac(ā_j)
-//	    = f0(1-f_j)/(1-f0) otherwise
-//	h_j = ā_j            if ā_j >= 0
-//	    = f0(-ā_j)/(1-f0) otherwise
-//
-// is valid for every mixed-integer point. The solver re-expresses the cut
-// over the original structural variables — undoing bound flips and
-// substituting slack definitions — so the caller can pool it like any other
-// row. Generation runs at the branch-and-bound root only: with no variable
-// fixes in place, the emitted rows are globally valid.
-
-// Numerical guard rails for cut generation.
-const (
-	gmiMinFrac    = 0.02  // basic value must be at least this fractional
-	gmiMaxTerms   = 200   // skip cuts denser than this
-	gmiMaxDynamic = 1e7   // max |coef| ratio within one cut
-	gmiDropTol    = 1e-11 // relative magnitude below which terms are dropped
-)
+// Sparse GMI cut generation. The maths and all numerical guards are shared
+// with the dense reference (see dense.go for the derivation and the
+// gmi* constants); the difference is purely mechanical: the tableau row of
+// a basic variable is not stored, so each candidate row is expanded on
+// demand with one BTRAN (rho = B⁻ᵀe_i) and one sparse pivot-row build.
 
 // GomoryCuts derives up to max GMI cuts from the current basis, which must
 // come from an Optimal ReSolve with no variable fixes applied. isInt
@@ -43,21 +23,15 @@ func (s *Solver) GomoryCuts(isInt []bool, max int, emit func(terms []Term, rhs f
 			return 0 // node-local fixes would make the cuts non-global
 		}
 	}
-	// Reverse map: tableau column of a slack -> its original row.
-	s.gColRow = growI(s.gColRow, s.n)
-	for j := range s.gColRow[:s.n] {
-		s.gColRow[j] = -1
-	}
-	for r := 0; r < s.mAll; r++ {
-		if sl := s.slackOf[r]; sl >= 0 && s.activeRows[r] && sl < s.n {
-			s.gColRow[sl] = r
-		}
+	if !s.prepWarm() {
+		return 0 // factors stale and not rebuildable; no safe tableau
 	}
 	s.gAcc = growF(s.gAcc, s.nStruct)
 	s.gMark = growI(s.gMark, s.nStruct)
 	for j := range s.gMark[:s.nStruct] {
 		s.gMark[j] = 0
 	}
+	s.gRound = 0
 	s.gTerms = s.gTerms[:0]
 
 	emitted := 0
@@ -66,7 +40,7 @@ func (s *Solver) GomoryCuts(isInt []bool, max int, emit func(terms []Term, rhs f
 		if b >= s.nStruct || !isInt[b] {
 			continue
 		}
-		f0 := s.rhs[i] - math.Floor(s.rhs[i])
+		f0 := s.xB[i] - math.Floor(s.xB[i])
 		if f0 < gmiMinFrac || f0 > 1-gmiMinFrac {
 			continue
 		}
@@ -78,9 +52,13 @@ func (s *Solver) GomoryCuts(isInt []bool, max int, emit func(terms []Term, rhs f
 }
 
 // gomoryFromRow builds and emits one GMI cut from basis row i; reports
-// whether a cut was emitted.
+// whether a cut was emitted. The tableau row is expanded into the sparse
+// pivot-row scratch (accV over accTouch) before the standard GMI
+// coefficient map and structural-space re-expression run over it.
 func (s *Solver) gomoryFromRow(i int, f0 float64, isInt []bool, emit func([]Term, float64)) bool {
-	row := s.rows[i]
+	s.btranRow(i)
+	s.buildPivotRow()
+
 	ratio := f0 / (1 - f0)
 	s.gRound++
 	round := s.gRound
@@ -98,11 +76,12 @@ func (s *Solver) gomoryFromRow(i int, f0 float64, isInt []bool, emit func([]Term
 	}
 
 	ok := true
-	for j := 0; j < s.n && ok; j++ {
+	for _, j32 := range s.accTouch {
+		j := int(j32)
 		if s.inBasis[j] {
 			continue
 		}
-		a := row[j]
+		a := s.accV[j]
 		if a == 0 {
 			continue
 		}
@@ -123,10 +102,10 @@ func (s *Solver) gomoryFromRow(i int, f0 float64, isInt []bool, emit func([]Term
 				u := s.baseU[j]
 				if math.IsInf(u, 1) {
 					ok = false
-					break
+				} else {
+					rhs -= g * u
+					add(j, -g)
 				}
-				rhs -= g * u
-				add(j, -g)
 			} else {
 				add(j, g)
 			}
@@ -143,10 +122,10 @@ func (s *Solver) gomoryFromRow(i int, f0 float64, isInt []bool, emit func([]Term
 				u := s.baseU[j]
 				if math.IsInf(u, 1) {
 					ok = false
-					break
+				} else {
+					rhs -= h * u
+					add(j, -h)
 				}
-				rhs -= h * u
-				add(j, -h)
 			} else {
 				add(j, h)
 			}
@@ -155,9 +134,9 @@ func (s *Solver) gomoryFromRow(i int, f0 float64, isInt []bool, emit func([]Term
 			if s.upper[j] == 0 {
 				continue // pinned artificial: identically zero
 			}
-			r := s.gColRow[j]
-			if r < 0 {
-				ok = false // untracked column; give up on this row
+			aux := j - s.nStruct
+			if s.auxIsArt[aux] {
+				ok = false // live artificial in the row; give up on it
 				break
 			}
 			h := a
@@ -167,9 +146,9 @@ func (s *Solver) gomoryFromRow(i int, f0 float64, isInt []bool, emit func([]Term
 			if h < 1e-12 {
 				continue
 			}
-			c := &s.prob.Cons[r]
+			c := &s.prob.Cons[s.slotRow[s.auxSlot[aux]]]
 			if c.Sense == GE {
-				// Built as −a·x + s = −b: s = a·x − b.
+				// Built as a·x − s = b: s = a·x − b.
 				rhs += h * c.RHS
 				for _, t := range c.Terms {
 					add(t.Var, h*t.Coef)
@@ -181,6 +160,9 @@ func (s *Solver) gomoryFromRow(i int, f0 float64, isInt []bool, emit func([]Term
 					add(t.Var, -h*t.Coef)
 				}
 			}
+		}
+		if !ok {
+			break
 		}
 	}
 	s.gTouched = touched

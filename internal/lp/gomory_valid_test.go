@@ -1,0 +1,117 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestGomoryCutValidity brute-force checks that every GMI cut the sparse
+// engine emits is satisfied by every integer-feasible point of the problem
+// (continuous variables sampled on a coarse grid), including cuts generated
+// from bases left in complement orientation by fix/unfix churn.
+func TestGomoryCutValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 400; trial++ {
+		n := 3 + rng.Intn(4)
+		p := &Problem{NumVars: n, Cost: make([]float64, n), Upper: make([]float64, n)}
+		isInt := make([]bool, n)
+		for j := 0; j < n; j++ {
+			p.Cost[j] = rng.Float64()*4 - 2
+			p.Upper[j] = 1 + float64(rng.Intn(2)) // 1 or 2
+			isInt[j] = rng.Float64() < 0.8
+		}
+		mrows := 1 + rng.Intn(4)
+		for i := 0; i < mrows; i++ {
+			terms := make([]Term, 0, n)
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.7 {
+					terms = append(terms, Term{j, rng.Float64()*3 - 1})
+				}
+			}
+			if len(terms) == 0 {
+				terms = append(terms, Term{rng.Intn(n), 1})
+			}
+			if rng.Intn(4) == 0 {
+				p.Cons = append(p.Cons, Constraint{Terms: terms, Sense: GE, RHS: -rng.Float64()})
+			} else {
+				p.Cons = append(p.Cons, Constraint{Terms: terms, Sense: LE, RHS: rng.Float64() * 2})
+			}
+		}
+		for _, lazy := range []bool{false, true} {
+			sp := NewSolver()
+			sp.SetLazy(lazy)
+			if err := sp.Load(p); err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			if sp.ReSolve(Options{}).Status != Optimal {
+				continue
+			}
+			// Induce complement orientation: fix/unfix churn like the
+			// rounding dive, ending with every variable free again.
+			for k := 0; k < 3; k++ {
+				j := rng.Intn(n)
+				sp.Fix(j, rng.Float64() < 0.7)
+				sp.ReSolve(Options{})
+				sp.Unfix(j)
+			}
+			if sp.ReSolve(Options{}).Status != Optimal {
+				continue
+			}
+			var cuts []Constraint
+			sp.GomoryCuts(isInt, 8, func(terms []Term, rhs float64) {
+				cuts = append(cuts, Constraint{
+					Terms: append([]Term(nil), terms...), Sense: GE, RHS: rhs})
+			})
+			if len(cuts) == 0 {
+				continue
+			}
+			// Enumerate integer assignments for the int vars on a grid over
+			// continuous ones (0, u/2, u).
+			var x []float64
+			x = make([]float64, n)
+			var rec func(j int)
+			rec = func(j int) {
+				if j == n {
+					// feasible for original rows?
+					for _, c := range p.Cons {
+						v := Eval(c.Terms, x)
+						switch c.Sense {
+						case LE:
+							if v > c.RHS+1e-9 {
+								return
+							}
+						case GE:
+							if v < c.RHS-1e-9 {
+								return
+							}
+						case EQ:
+							if math.Abs(v-c.RHS) > 1e-9 {
+								return
+							}
+						}
+					}
+					for ci, c := range cuts {
+						if Eval(c.Terms, x) < c.RHS-1e-7 {
+							t.Fatalf("lazy=%v trial %d: cut %d (%+v >= %g) cuts off integer-feasible %v",
+								lazy, trial, ci, c.Terms, c.RHS, x)
+						}
+					}
+					return
+				}
+				if isInt[j] {
+					for v := 0.0; v <= p.Upper[j]+1e-9; v++ {
+						x[j] = v
+						rec(j + 1)
+					}
+				} else {
+					for _, v := range []float64{0, p.Upper[j] / 2, p.Upper[j]} {
+						x[j] = v
+						rec(j + 1)
+					}
+				}
+			}
+			rec(0)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package lp
+
+import "math"
+
+// Numerical tolerances for the simplex method, shared by the sparse Solver
+// and the dense reference DenseSolver.
+const (
+	costTol  = 1e-9 // reduced-cost optimality tolerance
+	pivotTol = 1e-9 // minimum admissible pivot magnitude
+	ratioTol = 1e-9 // ratio-test tie tolerance
+	zeroTol  = 1e-9 // phase-1 objective zero test
+)
+
+// Fix targets for structural variables (see Solver.Fix).
+const (
+	fixFree  int8 = iota // variable ranges over [0, upper]
+	fixZero              // variable pinned at 0
+	fixUpper             // variable pinned at its upper bound
+)
+
+// scanEps is the per-variable movement below which a variable's rows are
+// not re-evaluated by the incremental lazy-row scan. Unchecked drift per
+// variable is bounded by 2·scanEps, which a row's coefficient sum keeps
+// well inside the FeasTol-scaled row tolerances.
+const scanEps = 1e-9
+
+// Solve optimises the problem with the given options. It never mutates p.
+// It is a thin compatibility wrapper over the stateful Solver: each call
+// compiles p into a fresh solver and runs a cold two-phase primal solve.
+// Callers that solve the same problem repeatedly under changing variable
+// fixes should hold a Solver and use ReSolve instead.
+func Solve(p *Problem, opts Options) Solution {
+	if p.NumVars == 0 {
+		if p.Validate() != nil {
+			return Solution{Status: Infeasible}
+		}
+		// Constant problem: feasible iff every row admits the zero vector.
+		if constRowsFeasible(p) {
+			return Solution{Status: Optimal, X: []float64{}, Feasible: true}
+		}
+		return Solution{Status: Infeasible}
+	}
+	var s Solver
+	if err := s.Load(p); err != nil {
+		// Structural errors are programming bugs of the caller; surface
+		// them as infeasibility rather than panicking inside the solver.
+		return Solution{Status: Infeasible}
+	}
+	sol := s.ReSolve(opts)
+	if sol.X != nil {
+		// Detach the point from the solver's arena; the solver dies here
+		// but the contract is that Solve's X is caller-owned.
+		sol.X = append([]float64(nil), sol.X...)
+	}
+	return sol
+}
+
+// constRowsFeasible reports whether a zero-variable problem is feasible.
+func constRowsFeasible(p *Problem) bool {
+	for _, c := range p.Cons {
+		switch c.Sense {
+		case LE:
+			if 0 > c.RHS+FeasTol {
+				return false
+			}
+		case GE:
+			if 0 < c.RHS-FeasTol {
+				return false
+			}
+		case EQ:
+			if math.Abs(c.RHS) > FeasTol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growI(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growB(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growI8(s []int8, n int) []int8 {
+	if cap(s) < n {
+		return make([]int8, n)
+	}
+	return s[:n]
+}

@@ -9,89 +9,116 @@ import (
 	"sqpr/internal/invariant"
 )
 
-// Fix targets for structural variables (see Solver.Fix).
-const (
-	fixFree  int8 = iota // variable ranges over [0, upper]
-	fixZero              // variable pinned at 0
-	fixUpper             // variable pinned at its upper bound
-)
-
-// Solver is a reusable, stateful LP solver over one loaded Problem. It owns
-// a persistent arena (dense tableau rows, right-hand side, basis, reduced
-// costs) that is sized once per Load and reused across re-solves, so the
-// steady-state ReSolve path performs no heap allocation.
+// Solver is a reusable sparse revised-simplex engine. Instead of carrying a
+// dense tableau, it stores the constraint matrix once in compressed-sparse-
+// column form and represents the basis inverse implicitly: an LU
+// factorization of the basis matrix refreshed every few dozen pivots, plus a
+// product-form eta file for the pivots in between. Every tableau quantity
+// the simplex method needs is recovered on demand by two sparse triangular
+// solves — FTRAN (B⁻¹·a, entering columns and basic values) and BTRAN
+// (B⁻ᵀ·e, pivot rows and duals) — so per-pivot cost scales with the
+// nonzeros involved, not with rows × columns.
 //
-// The intended lifecycle is the branch-and-bound inner loop of
-// internal/milp:
+// The public surface is identical to the dense reference engine
+// (DenseSolver): Load/ReSolve with warm restarts, Fix/Unfix bound pinning,
+// lazy row activation, AppendRows cut appending, SaveBasis/RestoreBasis
+// snapshots, GomoryCuts, and ReducedCost/RowDual sensitivities. Internal
+// conventions differ in one deliberate way: rows are stored in their natural
+// orientation with slack coefficient +1 (LE) or −1 (GE) and the RHS is never
+// sign-normalised. Tableau rows B⁻¹A are invariant under row scaling, so
+// every externally observable quantity (duals, reduced costs, Gomory cuts)
+// matches the dense engine's.
 //
-//	s := lp.NewSolver()
-//	s.SetLazy(true)               // optional: lazy row activation
-//	s.Load(&prob)                 // compile once
-//	sol := s.ReSolve(opts)        // cold solve (two-phase primal)
-//	s.Fix(j, true)                // tighten one bound in place
-//	sol = s.ReSolve(opts)         // warm re-solve (dual simplex)
-//	s.Unfix(j)                    // backtrack
-//
-// After a successful solve the tableau holds an optimal basis that is both
-// primal and dual feasible. Fixing or unfixing variable bounds preserves
-// dual feasibility (the objective is unchanged), so a subsequent ReSolve
-// only needs dual-simplex pivots to repair primal feasibility — typically a
-// handful of pivots instead of a cold two-phase solve. On iteration trouble
-// or numerical drift the solver transparently falls back to a cold rebuild,
-// so ReSolve is never less correct than Solve.
-//
-// In lazy mode (SetLazy), inequality rows start inactive: the solver
-// optimises over the active subset, evaluates the inactive rows against the
-// candidate optimum, and warm-activates only the violated ones — an
-// activated row enters with its slack basic and primal-infeasible, which is
-// exactly the shape dual simplex repairs. SQPR's planning LPs have
-// thousands of availability/acyclicity rows of which only a handful ever
-// bind, so the active tableau stays an order of magnitude smaller than the
-// full problem.
-//
-// Solutions returned by ReSolve alias solver-owned buffers: the X slice is
-// only valid until the next call on the same Solver. Callers that retain a
-// point must copy it. A Solver is not safe for concurrent use; independent
-// Solver instances are independent.
+// The solver is not safe for concurrent use; use one per goroutine.
 type Solver struct {
 	prob *Problem
 
 	mAll    int // total constraint rows of the problem
-	m       int // active tableau rows
+	m       int // active rows (= basis size)
 	nStruct int // structural variables
 	nSlack  int // inequality rows of the problem (potential slack columns)
-	stride  int // allocated row width (worst-case column count)
 
 	// Row reserve: arena headroom for rows appended after Load (cutting
-	// planes). The arena is sized for mAllCap rows and nSlackCap slack
-	// columns up front, so appending and warm-activating rows never
-	// re-strides the tableau.
+	// planes). Arenas are sized for mAllCap rows and nSlackCap slack columns
+	// up front, so appending and warm-activating rows never reallocates.
 	reserve   int
 	mAllCap   int // mAll + reserve
 	nSlackCap int // nSlack at Load + reserve
+	colCap    int // worst-case live columns: nStruct + nSlackCap + mAllCap
 
-	n         int // live total columns (structural+slack+artificial)
-	nArtStart int // first artificial column
+	n         int // live total columns (structural + aux)
+	nArtStart int // first artificial column at the last cold rebuild
 
 	lazyMode   bool
 	activeRows []bool // per original row
 	nInactive  int
 
-	rowsBuf []float64   // mAll × stride backing store
-	rows    [][]float64 // row views into rowsBuf
-	rhs     []float64
-	basis   []int
-	rowOf   []int // row of each basic variable, -1 when nonbasic
+	// Constraint matrix in compressed-sparse-column form over the structural
+	// variables: column j's entries are ccRow/ccCoef[ccStart[j]:ccStart[j+1]]
+	// with ccRow holding *original row indices* (not basis slots), so the
+	// matrix never needs rebuilding as lazy rows activate.
+	ccStart []int32
+	ccRow   []int32
+	ccCoef  []float64
+
+	// Active-row bookkeeping. Each active row owns a basis "slot" in [0, m);
+	// slots are assigned at rebuild/activation time and stay stable until
+	// the next cold rebuild or basis restore.
+	rowSlot []int32 // original row -> slot, -1 when inactive
+	slotRow []int32 // slot -> original row
+	slackOf []int32 // original row -> slack column, -1 when none
+
+	// Aux columns (slacks and artificials) are the columns >= nStruct. Each
+	// is a singleton: coefficient auxCoef in the row at slot auxSlot.
+	auxSlot  []int32
+	auxCoef  []float64
+	auxIsArt []bool
+
+	basis   []int // slot -> basic column
+	rowOf   []int // column -> slot, -1 when nonbasic
 	inBasis []bool
 	upper   []float64 // effective bound (0 for fixed variables)
 	baseU   []float64 // bound as loaded, used for orientation arithmetic
-	flipped []bool
-	banned  []bool // excluded from entering (artificials, fixed variables)
-	fixVal  []int8 // structural fix state
-	d       []float64
-	cbuf    []float64 // objective scratch for installCosts
-	slackOf []int
-	xbuf    []float64 // extraction buffer
+	flipped []bool    // column in complement orientation x̄ = u − x
+	banned  []bool    // excluded from entering (artificials, fixed variables)
+	fixVal  []int8    // structural fix state
+	d       []float64 // reduced costs of the current basis
+
+	// beff is the effective right-hand side per slot under the current
+	// orientation: RHS minus the contributions of flipped columns at their
+	// bounds. The basic solution is xB = B⁻¹·beff. beff is maintained
+	// incrementally by toggleFlip; xB is refreshed by FTRAN when stale.
+	beff []float64
+	xB   []float64
+
+	// Factorization state. factorValid marks that lu+eta describe the
+	// current basis; xbValid that xB matches basis/beff. Structural changes
+	// (activation, restore, rebuild) clear factorValid; bound-orientation
+	// changes off the basis clear only xbValid.
+	lu            luFactor
+	eta           etaFile
+	factorValid   bool
+	xbValid       bool
+	refactorEvery int
+	phase1        bool // costOf prices the phase-1 objective
+	driftTries    int
+	stats         FactorStats
+
+	// Solve scratch, all preallocated by Load to keep the warm path free of
+	// heap allocation: alpha/rho are FTRAN/BTRAN result vectors, work is the
+	// triangular-solve permutation buffer, accV/accMark/accTouch hold the
+	// sparse pivot row, cand the pricing candidate list.
+	alpha    []float64
+	rho      []float64
+	work     []float64
+	accV     []float64
+	accMark  []int
+	accTouch []int32
+	accRound int
+	cand     []int32
+	candPos  int
+
+	xbuf []float64 // extraction buffer
 
 	iters    int
 	maxIters int
@@ -101,37 +128,32 @@ type Solver struct {
 	bland    bool
 	stall    int
 
-	// Incremental lazy-row scanning: varRows is a CSR index from structural
-	// variable to the inequality rows it appears in; scanX remembers, per
-	// variable, the value at which that variable's rows were last evaluated.
-	// A re-solve only re-evaluates rows whose variables moved since their
-	// last evaluation (beyond scanEps, which accumulates in scanX so drift
-	// cannot creep past the feasibility tolerance unchecked). scanValid
-	// marks that every inactive row was satisfied at scanX.
+	// Incremental lazy-row scanning (same scheme as the dense engine): a
+	// var→row CSR index plus per-variable last-scanned values, so a re-solve
+	// only re-evaluates rows whose variables moved.
 	varRowsStart []int
 	varRowsList  []int32
 	scanX        []float64
 	scanValid    bool
-	loadMAll     int   // rows present at Load; later rows always re-scan
-	rowMark      []int // round-stamped per-row dedup for the scan
+	loadMAll     int
+	rowMark      []int
 	rowRound     int
 
 	// Gomory cut-generation scratch (see gomory.go).
-	gColRow  []int
 	gAcc     []float64
 	gMark    []int
 	gTouched []int
 	gTerms   []Term
 	gRound   int
 
-	// warm records that the tableau holds a dual-feasible basis from a
+	// warm records that the solver holds a dual-feasible basis from a
 	// completed solve, so ReSolve may start with dual simplex.
 	warm bool
 
-	// snap is the saved-basis arena of SaveBasis/RestoreBasis. Restoring a
-	// saved optimal basis and then only *tightening* bounds keeps the
-	// re-solve in pure dual simplex, which is the cheap path; branch-and-
-	// bound uses this to jump between subtrees without primal re-solves.
+	// snap is the saved-basis arena of SaveBasis/RestoreBasis. Only logical
+	// state is snapshotted — basis, bounds, orientation, active rows, duals
+	// — never the factorization: restoring marks the factors stale and the
+	// next solve refactorizes, which costs about as much as one pivot cycle.
 	snap struct {
 		valid      bool
 		m          int
@@ -139,9 +161,12 @@ type Solver struct {
 		nArtStart  int
 		nInactive  int
 		activeRows []bool
-		slackOf    []int
-		rowsBuf    []float64
-		rhs        []float64
+		slackOf    []int32
+		slotRow    []int32
+		auxSlot    []int32
+		auxCoef    []float64
+		auxIsArt   []bool
+		beff       []float64
 		basis      []int
 		rowOf      []int
 		inBasis    []bool
@@ -153,36 +178,25 @@ type Solver struct {
 	}
 }
 
+// Internal status sentinels used between the pivot loops and ReSolve. They
+// never escape the package: stRetry restarts the current iteration after a
+// drift-triggered refactorize; stCold aborts the warm attempt entirely and
+// falls back to a cold rebuild via ReSolve's IterLimit branch.
+const (
+	stRetry Status = -1
+	stCold  Status = -2
+)
+
+const (
+	defaultRefactorInterval = 64   // eta count that triggers a scheduled refactorize
+	maxDriftTries           = 3    // drift-triggered refactorizes per ReSolve
+	driftCheckTol           = 1e-7 // FTRAN-vs-BTRAN pivot agreement tolerance
+	luSingularTol           = 1e-10
+	residualTol             = 1e-6 // ‖B·xB − beff‖∞ bound checked after refactorize
+)
+
 // NewSolver returns an empty solver; call Load before solving.
 func NewSolver() *Solver { return &Solver{} }
-
-func growF(s []float64, n int) []float64 {
-	if cap(s) < n {
-		return make([]float64, n)
-	}
-	return s[:n]
-}
-
-func growI(s []int, n int) []int {
-	if cap(s) < n {
-		return make([]int, n)
-	}
-	return s[:n]
-}
-
-func growB(s []bool, n int) []bool {
-	if cap(s) < n {
-		return make([]bool, n)
-	}
-	return s[:n]
-}
-
-func growI8(s []int8, n int) []int8 {
-	if cap(s) < n {
-		return make([]int8, n)
-	}
-	return s[:n]
-}
 
 // SetLazy toggles lazy row activation for subsequent Loads. Must be called
 // before Load.
@@ -198,13 +212,46 @@ func (s *Solver) SetRowReserve(n int) {
 	s.reserve = n
 }
 
+// SetRefactorInterval sets how many eta updates accumulate before the basis
+// is refactorized from scratch (n <= 0 restores the default). Lower values
+// trade pivot speed for numerical robustness.
+func (s *Solver) SetRefactorInterval(n int) {
+	if n <= 0 {
+		n = defaultRefactorInterval
+	}
+	s.refactorEvery = n
+}
+
 // SpareRowCapacity reports how many more rows AppendRows can register before
 // the reserve declared by SetRowReserve is exhausted.
 func (s *Solver) SpareRowCapacity() int { return s.mAllCap - s.mAll }
 
-// Load compiles p into the solver's arena, growing it only when p is larger
-// than any previously loaded problem. All variables start free and the
-// first ReSolve performs a cold solve. The solver keeps a reference to p
+// etaLimit is the effective eta-file length that triggers a scheduled
+// refactorize: the configured interval, but never more than the basis size
+// (with a small floor). Applying the eta file costs O(count · m), so on a
+// small active basis letting it grow to the full configured interval makes
+// every BTRAN/FTRAN pay for dozens of stale pivots when a from-scratch
+// refactorize costs almost nothing; on large bases the configured interval
+// wins because refactorizes there are the expensive side.
+//
+//sqpr:hotpath
+func (s *Solver) etaLimit() int {
+	lim := s.refactorEvery
+	if h := s.m / 2; h < lim {
+		if h < 8 {
+			h = 8
+		}
+		lim = h
+	}
+	return lim
+}
+
+// FactorStats returns the factorization counters accumulated since Load.
+func (s *Solver) FactorStats() FactorStats { return s.stats }
+
+// Load compiles p into the solver's arenas, growing them only when p is
+// larger than any previously loaded problem. All variables start free and
+// the first ReSolve performs a cold solve. The solver keeps a reference to p
 // (it does not copy constraint data) and never mutates it.
 func (s *Solver) Load(p *Problem) error {
 	if err := p.Validate(); err != nil {
@@ -212,22 +259,28 @@ func (s *Solver) Load(p *Problem) error {
 	}
 	s.prob = p
 	s.warm = false
+	s.factorValid = false
+	s.xbValid = false
+	s.phase1 = false
+	s.stats = FactorStats{}
 	s.mAll = len(p.Cons)
 	s.m = 0
 	s.nStruct = p.NumVars
 
 	s.mAllCap = s.mAll + s.reserve
-	s.slackOf = growI(s.slackOf, s.mAllCap)
+	s.slackOf = growI32(s.slackOf, s.mAllCap)
+	s.rowSlot = growI32(s.rowSlot, s.mAllCap)
+	s.slotRow = growI32(s.slotRow, s.mAllCap)
 	s.activeRows = growB(s.activeRows, s.mAllCap)
 	s.nSlack = 0
 	s.nInactive = 0
 	for i := range p.Cons {
-		// Slack columns are assigned when a row enters the tableau
-		// (rebuild, or warm activation), not up front: the live column
-		// count — and with it the cost of every pivot — then scales with
-		// the rows actually active, not with the thousands of lazy rows
-		// that never bind.
+		// Slack columns are assigned when a row enters the basis (rebuild,
+		// or warm activation), not up front: the live column count then
+		// scales with the rows actually active, not with the thousands of
+		// lazy rows that never bind.
 		s.slackOf[i] = -1
+		s.rowSlot[i] = -1
 		if p.Cons[i].Sense == EQ {
 			s.activeRows[i] = true
 			continue
@@ -241,43 +294,55 @@ func (s *Solver) Load(p *Problem) error {
 	}
 	s.nSlackCap = s.nSlack + s.reserve
 	// Worst case: every row active with a slack plus one artificial each.
-	s.stride = p.NumVars + s.nSlackCap + s.mAllCap
+	s.colCap = p.NumVars + s.nSlackCap + s.mAllCap
 
-	// The dense tableau is by far the largest allocation (gigabytes on
-	// batch models); grow it geometrically so a sequence of solves over
-	// slightly-growing models reallocates O(log) times instead of paying a
-	// fresh multi-gigabyte clear-and-fault on every high-water mark.
-	if need := s.mAllCap * s.stride; cap(s.rowsBuf) < need {
-		s.rowsBuf = make([]float64, need+need/2)
-	}
-	s.rowsBuf = s.rowsBuf[:s.mAllCap*s.stride]
-	if cap(s.rows) < s.mAllCap {
-		s.rows = make([][]float64, s.mAllCap)
-	}
-	s.rows = s.rows[:s.mAllCap]
-	for i := 0; i < s.mAllCap; i++ {
-		s.rows[i] = s.rowsBuf[i*s.stride : (i+1)*s.stride]
-	}
-	s.rhs = growF(s.rhs, s.mAllCap)
+	auxCap := s.colCap - p.NumVars
+	s.auxSlot = growI32(s.auxSlot, auxCap)
+	s.auxCoef = growF(s.auxCoef, auxCap)
+	s.auxIsArt = growB(s.auxIsArt, auxCap)
+
 	s.basis = growI(s.basis, s.mAllCap)
-	s.rowOf = growI(s.rowOf, s.stride)
-	s.inBasis = growB(s.inBasis, s.stride)
-	s.upper = growF(s.upper, s.stride)
-	s.baseU = growF(s.baseU, s.stride)
-	s.flipped = growB(s.flipped, s.stride)
-	s.banned = growB(s.banned, s.stride)
-	s.d = growF(s.d, s.stride)
-	s.cbuf = growF(s.cbuf, s.stride)
+	s.rowOf = growI(s.rowOf, s.colCap)
+	s.inBasis = growB(s.inBasis, s.colCap)
+	s.upper = growF(s.upper, s.colCap)
+	s.baseU = growF(s.baseU, s.colCap)
+	s.flipped = growB(s.flipped, s.colCap)
+	s.banned = growB(s.banned, s.colCap)
+	s.d = growF(s.d, s.colCap)
 	s.fixVal = growI8(s.fixVal, p.NumVars)
-	for j := range s.fixVal {
+	for j := range s.fixVal[:p.NumVars] {
 		s.fixVal[j] = fixFree
 	}
+
+	s.beff = growF(s.beff, s.mAllCap)
+	s.xB = growF(s.xB, s.mAllCap)
+	s.alpha = growF(s.alpha, s.mAllCap)
+	s.rho = growF(s.rho, s.mAllCap)
+	s.work = growF(s.work, s.mAllCap)
+	s.accV = growF(s.accV, s.colCap)
+	s.accMark = growI(s.accMark, s.colCap)
+	for i := range s.accMark[:s.colCap] {
+		s.accMark[i] = 0
+	}
+	s.accRound = 0
+	s.accTouch = growI32(s.accTouch, s.colCap)[:0]
+	s.cand = growI32(s.cand, s.colCap)[:0]
+	s.candPos = 0
+	if s.refactorEvery == 0 {
+		s.refactorEvery = defaultRefactorInterval
+	}
+	s.driftTries = 0
+
 	n := p.NumVars
 	if n == 0 {
 		n = 1
 	}
 	s.xbuf = growF(s.xbuf, n)
 	s.snap.valid = false
+
+	s.buildCSC()
+	s.lu.init(s.mAllCap)
+	s.eta.init(s.mAllCap)
 
 	// Var→row CSR over the inequality rows loaded now; rows appended later
 	// (AppendRows) are few and are always re-scanned instead.
@@ -327,6 +392,47 @@ func (s *Solver) Load(p *Problem) error {
 	return nil
 }
 
+// buildCSC (re)builds the compressed-sparse-column index of the structural
+// constraint matrix over all rows currently registered, including appended
+// ones. Row indices are original row numbers; activity is resolved through
+// rowSlot at solve time.
+func (s *Solver) buildCSC() {
+	p := s.prob
+	n := s.nStruct
+	s.ccStart = growI32(s.ccStart, n+1)
+	for j := 0; j <= n; j++ {
+		s.ccStart[j] = 0
+	}
+	nnz := 0
+	for i := 0; i < s.mAll; i++ {
+		for _, t := range p.Cons[i].Terms {
+			s.ccStart[t.Var+1]++
+			nnz++
+		}
+	}
+	for j := 1; j <= n; j++ {
+		s.ccStart[j] += s.ccStart[j-1]
+	}
+	if cap(s.ccRow) < nnz {
+		s.ccRow = make([]int32, nnz)
+		s.ccCoef = make([]float64, nnz)
+	}
+	s.ccRow = s.ccRow[:nnz]
+	s.ccCoef = s.ccCoef[:nnz]
+	for i := 0; i < s.mAll; i++ {
+		for _, t := range p.Cons[i].Terms {
+			c := s.ccStart[t.Var]
+			s.ccRow[c] = int32(i)
+			s.ccCoef[c] = t.Coef
+			s.ccStart[t.Var] = c + 1
+		}
+	}
+	for j := n; j > 0; j-- {
+		s.ccStart[j] = s.ccStart[j-1]
+	}
+	s.ccStart[0] = 0
+}
+
 // NumVars returns the structural variable count of the loaded problem.
 func (s *Solver) NumVars() int { return s.nStruct }
 
@@ -340,14 +446,15 @@ func (s *Solver) Detach() {
 	s.snap.valid = false
 }
 
-// ActiveRows returns how many constraint rows the tableau currently holds;
-// in lazy mode this is typically far below len(Problem.Cons).
+// ActiveRows returns how many constraint rows the basis currently spans; in
+// lazy mode this is typically far below len(Problem.Cons).
 func (s *Solver) ActiveRows() int { return s.m }
 
-// SaveBasis snapshots the full tableau state — basis, bounds, fix set,
+// SaveBasis snapshots the solver's logical state — basis, bounds, fix set,
 // orientation, active rows, reduced costs — into a solver-owned arena. One
-// snapshot is held at a time; saving again overwrites it. The copy costs
-// about as much as a single pivot.
+// snapshot is held at a time; saving again overwrites it. The factorization
+// is deliberately not snapshotted: it is a cache, rebuilt on demand after a
+// restore, so the copy is O(n + m) instead of O(LU nonzeros).
 func (s *Solver) SaveBasis() {
 	if !s.warm {
 		return
@@ -360,16 +467,19 @@ func (s *Solver) SaveBasis() {
 	sp.nInactive = s.nInactive
 	sp.activeRows = growB(sp.activeRows, s.mAll)
 	copy(sp.activeRows, s.activeRows[:s.mAll])
-	sp.slackOf = growI(sp.slackOf, s.mAll)
+	sp.slackOf = growI32(sp.slackOf, s.mAll)
 	copy(sp.slackOf, s.slackOf[:s.mAll])
-	// Rows are packed at the live column width n, not the arena stride:
-	// the copy scales with the tableau actually in use.
-	sp.rowsBuf = growF(sp.rowsBuf, s.m*s.n)
-	for i := 0; i < s.m; i++ {
-		copy(sp.rowsBuf[i*s.n:(i+1)*s.n], s.rows[i][:s.n])
-	}
-	sp.rhs = growF(sp.rhs, s.m)
-	copy(sp.rhs, s.rhs[:s.m])
+	sp.slotRow = growI32(sp.slotRow, s.m)
+	copy(sp.slotRow, s.slotRow[:s.m])
+	naux := s.n - s.nStruct
+	sp.auxSlot = growI32(sp.auxSlot, naux)
+	copy(sp.auxSlot, s.auxSlot[:naux])
+	sp.auxCoef = growF(sp.auxCoef, naux)
+	copy(sp.auxCoef, s.auxCoef[:naux])
+	sp.auxIsArt = growB(sp.auxIsArt, naux)
+	copy(sp.auxIsArt, s.auxIsArt[:naux])
+	sp.beff = growF(sp.beff, s.m)
+	copy(sp.beff, s.beff[:s.m])
 	sp.basis = growI(sp.basis, s.m)
 	copy(sp.basis, s.basis[:s.m])
 	sp.rowOf = growI(sp.rowOf, s.n)
@@ -390,7 +500,8 @@ func (s *Solver) SaveBasis() {
 
 // RestoreBasis reinstates the snapshot taken by SaveBasis, including its
 // fix set and active-row set, and reports whether one was available. The
-// caller's view of applied fixes must be reset to the snapshot's.
+// caller's view of applied fixes must be reset to the snapshot's. The
+// factorization is marked stale; the next ReSolve refactorizes.
 //
 //sqpr:hotpath
 func (s *Solver) RestoreBasis() bool {
@@ -398,7 +509,6 @@ func (s *Solver) RestoreBasis() bool {
 	if !sp.valid {
 		return false
 	}
-	oldN := s.n
 	s.m = sp.m
 	s.n = sp.n
 	s.nArtStart = sp.nArtStart
@@ -406,25 +516,28 @@ func (s *Solver) RestoreBasis() bool {
 	s.scanValid = false // the restored point differs from the scanned one
 	copy(s.activeRows[:s.mAll], sp.activeRows)
 	copy(s.slackOf[:s.mAll], sp.slackOf)
-	for i := 0; i < sp.m; i++ {
-		row := s.rows[i]
-		copy(row[:sp.n], sp.rowsBuf[i*sp.n:(i+1)*sp.n])
-		// Pivots after the save may have dirtied columns past the
-		// snapshot width; scrub them so a later activation can claim a
-		// clean column at the live edge.
-		for k := sp.n; k < oldN; k++ {
-			row[k] = 0
-		}
+	copy(s.slotRow[:sp.m], sp.slotRow)
+	for i := 0; i < s.mAll; i++ {
+		s.rowSlot[i] = -1
 	}
-	copy(s.rhs[:s.m], sp.rhs)
-	copy(s.basis[:s.m], sp.basis)
-	copy(s.rowOf[:s.n], sp.rowOf)
-	copy(s.inBasis[:s.n], sp.inBasis)
-	copy(s.upper[:s.n], sp.upper)
-	copy(s.flipped[:s.n], sp.flipped)
-	copy(s.banned[:s.n], sp.banned)
+	for t := 0; t < sp.m; t++ {
+		s.rowSlot[sp.slotRow[t]] = int32(t)
+	}
+	naux := sp.n - s.nStruct
+	copy(s.auxSlot[:naux], sp.auxSlot)
+	copy(s.auxCoef[:naux], sp.auxCoef)
+	copy(s.auxIsArt[:naux], sp.auxIsArt)
+	copy(s.beff[:sp.m], sp.beff)
+	copy(s.basis[:sp.m], sp.basis)
+	copy(s.rowOf[:sp.n], sp.rowOf)
+	copy(s.inBasis[:sp.n], sp.inBasis)
+	copy(s.upper[:sp.n], sp.upper)
+	copy(s.flipped[:sp.n], sp.flipped)
+	copy(s.banned[:sp.n], sp.banned)
 	copy(s.fixVal[:s.nStruct], sp.fixVal)
-	copy(s.d[:s.n], sp.d)
+	copy(s.d[:sp.n], sp.d)
+	s.factorValid = false
+	s.xbValid = false
 	s.warm = true
 	if invariant.Enabled {
 		s.checkBasis("RestoreBasis")
@@ -433,15 +546,15 @@ func (s *Solver) RestoreBasis() bool {
 }
 
 // checkBasis verifies the basis/rowOf/inBasis cross-indexing that every
-// pivot must preserve: basis[i] names a live column that points back at row
-// i, and every column marked basic is named by exactly its row. Checked
-// builds call it after basis restores and successful ReSolves; release
-// builds compile it out.
+// pivot must preserve, plus the row↔slot mapping the sparse engine adds.
+// Checked builds call it after basis restores and successful ReSolves;
+// release builds compile it out. The companion factorization-residual check
+// (‖B·xB − beff‖∞) runs inside refactorize, where xB is freshly computed
+// from the new factors.
 func (s *Solver) checkBasis(where string) {
 	if !s.warm {
-		// No warm-startable tableau: the nStruct==0 shortcut in coldPass
-		// answers from the constant rows alone and never builds one, so
-		// basis/rowOf/inBasis hold nothing checkable.
+		// No warm-startable basis: the nStruct==0 shortcut in coldPass
+		// answers from the constant rows alone and never builds one.
 		return
 	}
 	for i := 0; i < s.m; i++ {
@@ -459,6 +572,12 @@ func (s *Solver) checkBasis(where string) {
 	for j := 0; j < s.n; j++ {
 		if s.inBasis[j] && s.basis[s.rowOf[j]] != j {
 			invariant.Failf("lp: %s left column %d marked basic but row %d holds %d", where, j, s.rowOf[j], s.basis[s.rowOf[j]])
+		}
+	}
+	for t := 0; t < s.m; t++ {
+		i := int(s.slotRow[t])
+		if i < 0 || i >= s.mAll || int(s.rowSlot[i]) != t {
+			invariant.Failf("lp: %s left slot %d mapped to row %d with rowSlot=%d", where, t, i, s.rowSlot[i])
 		}
 	}
 }
@@ -502,6 +621,7 @@ func (s *Solver) AppendRows() (int, error) {
 		// The row starts inactive; its slack column is assigned on
 		// activation, like any other lazy row.
 		s.slackOf[s.mAll] = -1
+		s.rowSlot[s.mAll] = -1
 		s.activeRows[s.mAll] = false
 		s.nSlack++
 		s.mAll++
@@ -511,6 +631,9 @@ func (s *Solver) AppendRows() (int, error) {
 	if added > 0 {
 		s.snap.valid = false
 		s.scanValid = false
+		// Fold the new rows into the CSC index so FTRAN scatters and flip
+		// bookkeeping see them the moment they activate.
+		s.buildCSC()
 	}
 	return added, nil
 }
@@ -546,8 +669,8 @@ func (s *Solver) RowDual(i int) float64 {
 	if slack < 0 {
 		return 0
 	}
-	// d_slack = −y for the built row a·x + sc·s = b; the original-row
-	// multiplier is y_orig = −d_slack/sc with sc = +1 (LE) or −1 (GE).
+	// d_slack = −sc·y for the row a·x + sc·s = b with sc = +1 (LE) or −1
+	// (GE); the original-row multiplier is y, so y = −d_slack/sc.
 	if s.prob.Cons[i].Sense == GE {
 		return s.d[slack]
 	}
@@ -555,7 +678,7 @@ func (s *Solver) RowDual(i int) float64 {
 }
 
 // Fix pins structural variable j at 0 (atUpper false) or at its upper bound
-// (atUpper true) without recompiling the problem. When the tableau holds a
+// (atUpper true) without recompiling the problem. When the solver holds a
 // warm basis the bound change is applied in place: the column is re-oriented
 // if needed and its effective bound collapses to zero, leaving any primal
 // infeasibility for the next ReSolve's dual simplex to repair. Fixing at
@@ -576,9 +699,13 @@ func (s *Solver) Fix(j int, atUpper bool) {
 		s.upper[j] = s.baseU[j]
 		if s.flipped[j] != atUpper {
 			if r := s.rowOf[j]; r >= 0 {
-				s.flipBasicRow(r)
+				s.flipBasic(r)
 			} else {
-				s.flipColumn(j)
+				s.toggleFlip(j)
+				s.d[j] = -s.d[j]
+				// The basic point moves by the flip width along B⁻¹a_j;
+				// recompute xB from beff lazily rather than FTRAN per fix.
+				s.xbValid = false
 			}
 		}
 		s.upper[j] = 0
@@ -612,12 +739,13 @@ func (s *Solver) Fixed(j int) (fixed, atUpper bool) {
 }
 
 // ReSolve optimises the loaded problem under the current variable fixes.
-// From a warm basis it runs bounded-variable dual simplex plus a primal
-// clean-up; otherwise (first call, or after a fallback) it performs a cold
-// two-phase primal solve over the active rows. Violated inactive rows are
-// then activated and repaired until the point satisfies the full problem.
-// The returned Solution's X aliases a solver-owned buffer valid until the
-// next call. The steady-state warm path performs no heap allocation.
+// From a warm basis it refreshes the factorization if stale and runs
+// bounded-variable dual simplex plus a primal clean-up; otherwise (first
+// call, or after a fallback) it performs a cold two-phase primal solve over
+// the active rows. Violated inactive rows are then activated and repaired
+// until the point satisfies the full problem. The returned Solution's X
+// aliases a solver-owned buffer valid until the next call. The steady-state
+// warm path performs no heap allocation.
 //
 //sqpr:hotpath
 func (s *Solver) ReSolve(opts Options) Solution {
@@ -628,6 +756,11 @@ func (s *Solver) ReSolve(opts Options) Solution {
 		if !s.warm {
 			st = s.coldPass()
 			coldDone = true
+		} else if !s.prepWarm() {
+			// The restored/stale basis would not factorize: rebuild cold.
+			s.stats.DriftRebuilds++
+			s.warm = false
+			continue
 		} else {
 			st = s.dualIterate()
 			if st == Optimal {
@@ -651,9 +784,10 @@ func (s *Solver) ReSolve(opts Options) Solution {
 				s.checkBasis("ReSolve")
 			}
 			if !feas && !coldDone {
-				// Numerical drift accumulated across pivots: refactorise
-				// from scratch. The cold path re-derives everything from
-				// the problem data, so drift cannot compound across nodes.
+				// Numerical drift survived the factorization refreshes:
+				// re-derive everything from the problem data so drift cannot
+				// compound across nodes.
+				s.stats.DriftRebuilds++
 				s.warm = false
 				continue
 			}
@@ -667,8 +801,8 @@ func (s *Solver) ReSolve(opts Options) Solution {
 		case Infeasible:
 			// Dual unbounded or phase 1 stuck: the current bound set admits
 			// no feasible point. (Activating more rows can only shrink the
-			// feasible region, so inactive rows cannot rescue it.) The
-			// tableau stays consistent, so later ReSolves stay warm.
+			// feasible region, so inactive rows cannot rescue it.) The basis
+			// stays consistent, so later ReSolves stay warm.
 			return Solution{Status: Infeasible, Iters: s.iters}
 		case Unbounded:
 			if s.nInactive > 0 {
@@ -680,7 +814,7 @@ func (s *Solver) ReSolve(opts Options) Solution {
 				continue
 			}
 			return Solution{Status: Unbounded, X: s.extract(), Iters: s.iters}
-		default: // IterLimit
+		default: // IterLimit, or stCold after a failed refactorize
 			if s.expired() || coldDone || s.warmOnly {
 				return Solution{Status: IterLimit, Iters: s.iters}
 			}
@@ -692,6 +826,31 @@ func (s *Solver) ReSolve(opts Options) Solution {
 			s.warm = false
 		}
 	}
+}
+
+// prepWarm brings the factorization and basic solution up to date with the
+// logical basis before warm pivoting starts; reports false when the basis
+// would not factorize (caller falls back to a cold rebuild).
+//
+//sqpr:hotpath
+func (s *Solver) prepWarm() bool {
+	if !s.factorValid || s.eta.count >= s.etaLimit() {
+		return s.refactorize()
+	}
+	if !s.xbValid {
+		s.ftranXB()
+	}
+	return true
+}
+
+// ftranXB recomputes the basic solution xB = B⁻¹·beff through the current
+// factors.
+//
+//sqpr:hotpath
+func (s *Solver) ftranXB() {
+	copy(s.xB[:s.m], s.beff[:s.m])
+	s.ftran(s.xB)
+	s.xbValid = true
 }
 
 // expired reports whether the deadline or context of the current call has
@@ -717,52 +876,14 @@ func (s *Solver) installOpts(opts Options) {
 	s.iters = 0
 	s.bland = false
 	s.stall = 0
+	s.driftTries = 0
+	// Deterministic pricing start: every solve prices from column 0, so
+	// reduced-cost ties break toward low indices — the same bias as a full
+	// ascending Dantzig scan — regardless of where the previous solve's
+	// pricing cursor stopped. The cursor still rotates within the solve.
+	s.candPos = 0
+	s.cand = s.cand[:0]
 }
-
-// coldPass rebuilds the tableau from the problem plus current fixes over
-// the active row set and runs the two-phase primal simplex. On success the
-// tableau is left at an optimal basis and the solver is marked warm.
-func (s *Solver) coldPass() Status {
-	if s.nStruct == 0 {
-		if constRowsFeasible(s.prob) {
-			return Optimal
-		}
-		return Infeasible
-	}
-	s.rebuild()
-
-	if s.nArtStart < s.n {
-		st := s.iterate()
-		if st == IterLimit {
-			return IterLimit
-		}
-		if s.phase1Value() > zeroTol*float64(1+s.m) {
-			return Infeasible
-		}
-		s.driveOutArtificials()
-		for j := s.nArtStart; j < s.n; j++ {
-			s.banned[j] = true
-		}
-	}
-
-	s.installCosts()
-	st := s.iterate()
-	if st == Optimal || st == IterLimit {
-		// Pin artificials at zero so the dual simplex treats any later
-		// drift on redundant rows as a violation to repair.
-		for j := s.nArtStart; j < s.n; j++ {
-			s.upper[j] = 0
-		}
-	}
-	s.warm = st == Optimal
-	return st
-}
-
-// scanEps is the per-variable movement below which a variable's rows are
-// not re-evaluated by the incremental scan. Unchecked drift per variable is
-// bounded by 2·scanEps, which a row's coefficient sum keeps well inside the
-// FeasTol-scaled row tolerances.
-const scanEps = 1e-9
 
 // activateViolated evaluates the inactive rows at x and warm-activates the
 // violated ones; returns how many were activated. After a full first scan
@@ -788,8 +909,8 @@ func (s *Solver) activateViolated(x []float64) int {
 	s.rowRound++
 	round := s.rowRound
 	for j := 0; j < s.nStruct; j++ {
-		d := x[j] - s.scanX[j]
-		if d < scanEps && d > -scanEps {
+		dx := x[j] - s.scanX[j]
+		if dx < scanEps && dx > -scanEps {
 			continue
 		}
 		s.scanX[j] = x[j]
@@ -879,153 +1000,54 @@ func (s *Solver) activateAll() {
 	s.nInactive = 0
 }
 
-// activateRow appends inactive inequality row i to the warm tableau: the
-// row is given a fresh slack column at the live edge of the tableau,
-// expressed in the current orientation, basic variables are eliminated, and
-// the slack becomes basic — primal-infeasible exactly when the row is
-// violated, which the next dual-simplex pass repairs. Reduced costs are
-// untouched: a zero-cost basic slack changes no other column's reduced
-// cost, so dual feasibility survives activation.
+// activateRow appends inactive inequality row i to the warm basis. Unlike
+// the dense engine there is no tableau to eliminate into: the row claims a
+// fresh slot and slack column, its effective RHS is computed under the
+// current orientation, the slack becomes basic, and the factorization is
+// marked stale. The next prepWarm refactorizes over the grown basis — which
+// is block-triangular in the old one, so the existing reduced costs remain
+// exact and dual feasibility survives activation.
 //
 //sqpr:hotpath
 func (s *Solver) activateRow(i int) {
 	c := &s.prob.Cons[i]
-	// Claim column s.n for the slack and scrub any stale state there (the
-	// slot may have been used before a basis restore rewound the tableau).
-	s.slackOf[i] = s.n
-	for r := 0; r < s.m; r++ {
-		s.rows[r][s.n] = 0
-	}
-	s.upper[s.n] = math.Inf(1)
-	s.baseU[s.n] = math.Inf(1)
-	s.flipped[s.n] = false
-	s.inBasis[s.n] = false
-	s.rowOf[s.n] = -1
-	s.d[s.n] = 0
-	s.n++
-
+	col := s.n
 	slot := s.m
-	row := s.rows[slot]
-	for k := 0; k < s.n; k++ {
-		row[k] = 0
+	aux := col - s.nStruct
+	s.slackOf[i] = int32(col)
+	s.auxSlot[aux] = int32(slot)
+	s.auxIsArt[aux] = false
+	if c.Sense == LE {
+		s.auxCoef[aux] = 1
+	} else {
+		s.auxCoef[aux] = -1
 	}
-	sign := 1.0
-	if c.Sense == GE {
-		// a·x − s = b  ⇔  −a·x + s = −b keeps the slack coefficient +1.
-		sign = -1
-	}
-	rhs := sign * c.RHS
+	// Scrub any stale column state (the slot may have been used before a
+	// basis restore rewound the solver).
+	s.upper[col] = math.Inf(1)
+	s.baseU[col] = math.Inf(1)
+	s.flipped[col] = false
+	s.banned[col] = false
+	s.d[col] = 0
+	s.rowSlot[i] = int32(slot)
+	s.slotRow[slot] = int32(i)
+	rhs := c.RHS
 	for _, tm := range c.Terms {
-		a := sign * tm.Coef
-		j := tm.Var
-		if s.flipped[j] {
-			// Column j is in complement orientation x̄ = u − x.
-			rhs -= a * s.baseU[j]
-			row[j] -= a
-		} else {
-			row[j] += a
+		if s.flipped[tm.Var] {
+			// Column tm.Var is in complement orientation x̄ = u − x.
+			rhs -= tm.Coef * s.baseU[tm.Var]
 		}
 	}
-	// Eliminate basic variables so the row is expressed over the current
-	// nonbasic space.
-	for j := 0; j < s.n; j++ {
-		f := row[j]
-		if f == 0 || !s.inBasis[j] {
-			continue
-		}
-		r2 := s.rows[s.rowOf[j]]
-		for k := 0; k < s.n; k++ {
-			row[k] -= f * r2[k]
-		}
-		row[j] = 0
-		rhs -= f * s.rhs[s.rowOf[j]]
-	}
-	slack := s.slackOf[i]
-	row[slack] = 1
-	s.rhs[slot] = rhs
-	s.basis[slot] = slack
-	s.banned[slack] = false
-	s.inBasis[slack] = true
-	s.rowOf[slack] = slot
-	s.d[slack] = 0
-	s.activeRows[i] = true
+	s.beff[slot] = rhs
+	s.basis[slot] = col
+	s.inBasis[col] = true
+	s.rowOf[col] = slot
+	s.n = col + 1
 	s.m = slot + 1
+	s.activeRows[i] = true
 	s.nInactive--
-}
-
-// dualIterate runs bounded-variable dual simplex pivots from a dual-feasible
-// basis until primal feasibility (optimality), proven infeasibility, or a
-// budget is exhausted. Two violation forms are handled: a basic variable
-// below zero enters directly; one above a positive upper bound is first
-// re-oriented to its complement (flipBasicRow) so it, too, exits at zero. A
-// basic variable above a zero-width bound (fixed variables, artificials)
-// pivots out directly — both of its bounds coincide at zero, so no
-// re-orientation is needed or wanted.
-//
-//sqpr:hotpath
-func (s *Solver) dualIterate() Status {
-	const dualTol = 1e-7
-	for {
-		if s.iters >= s.maxIters {
-			return IterLimit
-		}
-		if s.iters%16 == 0 && s.expired() {
-			return IterLimit
-		}
-
-		// Leaving row: most violating basic variable.
-		r, above := -1, false
-		viol := dualTol
-		for i := 0; i < s.m; i++ {
-			if v := -s.rhs[i]; v > viol {
-				viol, r, above = v, i, false
-			}
-			if ub := s.upper[s.basis[i]]; !math.IsInf(ub, 1) {
-				if v := s.rhs[i] - ub; v > viol {
-					viol, r, above = v, i, true
-				}
-			}
-		}
-		if r < 0 {
-			return Optimal
-		}
-		if above && s.upper[s.basis[r]] > 0 {
-			// Re-orient so the violation becomes "below zero" and the
-			// leaving variable exits at what is now its zero bound.
-			s.flipBasicRow(r)
-			above = false
-		}
-
-		// Entering column: dual ratio test. For the below-zero form the
-		// candidates have a negative row coefficient; for the zero-width
-		// above form, a positive one.
-		row := s.rows[r]
-		enter := -1
-		best := math.Inf(1)
-		for j := 0; j < s.n; j++ {
-			if s.inBasis[j] || s.banned[j] {
-				continue
-			}
-			a := row[j]
-			if !above {
-				a = -a
-			}
-			if a <= pivotTol {
-				continue
-			}
-			ratio := s.d[j] / a
-			if ratio < best-ratioTol ||
-				(ratio < best+ratioTol && enter >= 0 && math.Abs(row[j]) > math.Abs(row[enter])) {
-				best = ratio
-				enter = j
-			}
-		}
-		if enter < 0 {
-			return Infeasible
-		}
-		s.pivot(r, enter)
-		s.iters++
-	}
+	s.factorValid = false
+	s.xbValid = false
 }
 
 // extract reconstructs structural variable values in the original
@@ -1045,7 +1067,7 @@ func (s *Solver) extract() []float64 {
 		if b >= s.nStruct {
 			continue
 		}
-		v := s.rhs[i]
+		v := s.xB[i]
 		if s.flipped[b] {
 			v = s.baseU[b] - v
 		}
@@ -1062,133 +1084,4 @@ func (s *Solver) extract() []float64 {
 		x[j] = v
 	}
 	return x
-}
-
-// rebuild constructs the initial tableau over the active rows: slack
-// columns give LE rows an identity start where possible, artificials cover
-// the rest, fixed variables are folded in as zero-width columns (at-upper
-// fixes in complement orientation), and the phase-1 reduced costs are
-// installed. Slacks of inactive rows are banned from entering.
-//
-//sqpr:hotpath
-func (s *Solver) rebuild() {
-	p := s.prob
-	n := s.nStruct
-	s.scanValid = false // cold rebuilds move the point arbitrarily
-	for j := 0; j < s.stride; j++ {
-		s.upper[j] = math.Inf(1)
-		s.baseU[j] = math.Inf(1)
-		s.flipped[j] = false
-		s.banned[j] = false
-		s.inBasis[j] = false
-		s.rowOf[j] = -1
-		s.d[j] = 0
-	}
-	for j := 0; j < n; j++ {
-		u := p.upper(j)
-		s.baseU[j] = u
-		switch s.fixVal[j] {
-		case fixFree:
-			s.upper[j] = u
-		case fixZero:
-			s.upper[j] = 0
-			s.banned[j] = true
-		case fixUpper:
-			s.upper[j] = 0
-			s.banned[j] = true
-			s.flipped[j] = true
-		}
-	}
-	// Assign slack columns densely over the active inequality rows; rows
-	// activated warm later take fresh columns at the then-current s.n.
-	nSlackActive := 0
-	for i := 0; i < s.mAll; i++ {
-		if !s.activeRows[i] || s.prob.Cons[i].Sense == EQ {
-			s.slackOf[i] = -1
-			continue
-		}
-		s.slackOf[i] = n + nSlackActive
-		nSlackActive++
-	}
-
-	slot := 0
-	nArt := 0
-	artBase := n + nSlackActive
-	// Zero the rows only out to the worst-case live width of this rebuild
-	// (slacks assigned above plus at most one artificial per row); columns
-	// claimed later by warm activations are scrubbed at claim time.
-	zlim := artBase + s.mAll
-	if zlim > s.stride {
-		zlim = s.stride
-	}
-	for i := range p.Cons {
-		if !s.activeRows[i] {
-			continue
-		}
-		c := &p.Cons[i]
-		row := s.rows[slot]
-		for k := 0; k < zlim; k++ {
-			row[k] = 0
-		}
-		rhs := c.RHS
-		for _, tm := range c.Terms {
-			if s.fixVal[tm.Var] == fixUpper {
-				// x = u − x̄ with x̄ pinned at 0: substitute in complement
-				// orientation so the fixed value lands on the RHS.
-				rhs -= tm.Coef * s.baseU[tm.Var]
-				row[tm.Var] -= tm.Coef
-			} else {
-				row[tm.Var] += tm.Coef
-			}
-		}
-		slackCoef := 0.0
-		switch c.Sense {
-		case LE:
-			slackCoef = 1.0
-		case GE:
-			slackCoef = -1.0
-		}
-		if rhs < 0 {
-			for j := 0; j < n; j++ {
-				row[j] = -row[j]
-			}
-			slackCoef = -slackCoef
-			rhs = -rhs
-		}
-		if s.slackOf[i] >= 0 {
-			row[s.slackOf[i]] = slackCoef
-		}
-		s.rhs[slot] = rhs
-		if s.slackOf[i] >= 0 && slackCoef > 0 {
-			s.basis[slot] = s.slackOf[i]
-		} else {
-			art := artBase + nArt
-			nArt++
-			row[art] = 1.0
-			s.basis[slot] = art
-		}
-		slot++
-	}
-	s.m = slot
-	s.n = artBase + nArt
-	s.nArtStart = artBase
-	for i, b := range s.basis[:s.m] {
-		s.inBasis[b] = true
-		s.rowOf[b] = i
-	}
-
-	// Phase-1 reduced costs: minimise the sum of artificials. With the
-	// artificials basic, d_j = −Σ_{artificial rows i} T_ij.
-	for i, b := range s.basis[:s.m] {
-		if b < s.nArtStart {
-			continue
-		}
-		row := s.rows[i]
-		for j := 0; j < s.n; j++ {
-			s.d[j] -= row[j]
-		}
-	}
-	for j := s.nArtStart; j < s.n; j++ {
-		s.d[j]++
-	}
 }

@@ -141,6 +141,7 @@ func (m *Model) Solve(opts Options) Result {
 	res := Result{
 		Nodes: s.nodes, LPIters: s.lpIters, Cancelled: s.cancelled, Stalled: s.stalled,
 		Cuts: s.cuts, Fixings: s.fixings, PresolveFixed: c.presolveFixed,
+		Factor: s.factor,
 	}
 	switch {
 	case s.bestX == nil && s.provedInfeasible:
@@ -194,6 +195,8 @@ type search struct {
 	lpIters int //sqpr:guarded-by mu
 	cuts    int //sqpr:guarded-by mu
 	fixings int //sqpr:guarded-by mu
+	//sqpr:guarded-by mu
+	factor lp.FactorStats // merged from each worker's solver at release
 
 	//sqpr:guarded-by mu
 	bestX []float64 // model-space incumbent (aliases compiled scratch)
@@ -508,6 +511,11 @@ func newWorker(s *search) *worker {
 // not keep a dead planner's compiled constraint storage reachable — and
 // recycles the worker with all its scratch.
 func (w *worker) release() {
+	if w.loaded {
+		w.s.mu.Lock()
+		w.s.factor.Merge(w.slv.FactorStats())
+		w.s.mu.Unlock()
+	}
 	w.slv.Detach()
 	w.s = nil
 	workerPool.Put(w)
@@ -538,6 +546,13 @@ func (w *worker) ensureLoaded() bool {
 // row reserve, resetting the worker's applied-pin view. The next solve is
 // cold. Root phase only.
 func (w *worker) reloadRoot(reserve int) bool {
+	if w.loaded {
+		// Load resets the solver's factorization counters; bank the ones
+		// accumulated so far or the root reload would erase them.
+		w.s.mu.Lock()
+		w.s.factor.Merge(w.slv.FactorStats())
+		w.s.mu.Unlock()
+	}
 	w.slv.SetLazy(true)
 	w.slv.SetRowReserve(reserve)
 	if err := w.slv.Load(&w.s.c.base); err != nil {

@@ -218,6 +218,11 @@ type Result struct {
 	Bound     float64   // best proven bound on the optimum
 	Nodes     int       // branch-and-bound nodes explored
 	LPIters   int       // total simplex iterations
+	// Factor aggregates the sparse engine's factorization telemetry across
+	// every worker solver of the search: refactorization and drift-rebuild
+	// counts and eta-append totals add up, peak eta-file length and LU
+	// fill-in ratio are high-water marks.
+	Factor lp.FactorStats
 	// Cuts counts cutting planes separated at the root and kept in the cut
 	// pool; Fixings counts reduced-cost (and probing) bound fixings applied
 	// during the search; PresolveFixed counts variables eliminated before

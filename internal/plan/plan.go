@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"sqpr/internal/dsps"
+	"sqpr/internal/lp"
 	"sqpr/internal/milp"
 )
 
@@ -143,6 +144,11 @@ type Result struct {
 	// Nodes and LPIters report solver effort.
 	Nodes   int
 	LPIters int
+	// Factor carries the sparse LP engine's factorization telemetry for
+	// this call (core SQPR and hierarchical only): refactorization and
+	// drift-rebuild counts, eta-file appends, peak eta-file length and LU
+	// fill-in ratio. See lp.FactorStats.
+	Factor lp.FactorStats
 	// Stalled reports that the MILP search ended via its stagnation stop
 	// (no incumbent progress) rather than a deadline or node budget.
 	Stalled bool
@@ -155,6 +161,9 @@ type Result struct {
 	PresolveFixed int
 	// FreeStreams and FreeOps report the reduced problem size.
 	FreeStreams, FreeOps, CandidateHosts int
+	// ModelVars is the variable count of the compiled MILP model solved by
+	// this call (core SQPR and hierarchical only; 0 when no solve ran).
+	ModelVars int
 }
 
 // Stats aggregates planner telemetry across all planning calls.
@@ -168,6 +177,9 @@ type Stats struct {
 	// TotalNodes and TotalLPIters accumulate solver effort.
 	TotalNodes   int
 	TotalLPIters int
+	// Factor accumulates factorization telemetry across calls: counters
+	// add, peak eta-file length and fill-in ratio stay high-water marks.
+	Factor lp.FactorStats
 	// TotalCuts, TotalFixings and TotalPresolveFixed accumulate the
 	// tree-reduction counters of the MILP solver, making the effect of
 	// presolve, root cuts and reduced-cost fixing observable end to end.
@@ -192,6 +204,7 @@ func (s *Stats) Record(res Result) {
 	s.TotalPlanTime += res.PlanTime
 	s.TotalNodes += res.Nodes
 	s.TotalLPIters += res.LPIters
+	s.Factor.Merge(res.Factor)
 	s.TotalCuts += res.Cuts
 	s.TotalFixings += res.Fixings
 	s.TotalPresolveFixed += res.PresolveFixed

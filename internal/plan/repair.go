@@ -186,6 +186,7 @@ func RepairByResubmit(ctx context.Context, sys *dsps.System, p QueryPlanner, eve
 		}
 		rr.Nodes += res.Nodes
 		rr.LPIters += res.LPIters
+		rr.Factor.Merge(res.Factor)
 		if res.Admitted {
 			rr.Kept = append(rr.Kept, q)
 		} else {
