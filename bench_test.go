@@ -161,7 +161,7 @@ func fig7Scale() sim.DeployScale {
 func BenchmarkFig7aDeployment(b *testing.B) {
 	var last sim.Fig7Result
 	for i := 0; i < b.N; i++ {
-		last = sim.Fig7(fig7Scale())
+		last = sim.Fig7(context.Background(), fig7Scale())
 	}
 	for i, in := range last.Inputs {
 		b.ReportMetric(float64(last.SQPR[i]), "sqpr-at-"+itoa(in))
@@ -172,7 +172,7 @@ func BenchmarkFig7aDeployment(b *testing.B) {
 func BenchmarkFig7bCPUCDF(b *testing.B) {
 	var last sim.Fig7Result
 	for i := 0; i < b.N; i++ {
-		last = sim.Fig7(fig7Scale())
+		last = sim.Fig7(context.Background(), fig7Scale())
 	}
 	if last.CPULowSQPR != nil {
 		b.ReportMetric(last.CPULowSQPR.Quantile(0.5), "sqpr-low-p50-cpu")
@@ -185,7 +185,7 @@ func BenchmarkFig7bCPUCDF(b *testing.B) {
 func BenchmarkFig7cNetCDF(b *testing.B) {
 	var last sim.Fig7Result
 	for i := 0; i < b.N; i++ {
-		last = sim.Fig7(fig7Scale())
+		last = sim.Fig7(context.Background(), fig7Scale())
 	}
 	if last.NetLowSQPR != nil {
 		b.ReportMetric(last.NetLowSQPR.Quantile(0.5), "sqpr-low-p50-net")

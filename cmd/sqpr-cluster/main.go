@@ -4,6 +4,13 @@
 // (7b, 7c). It finishes by deploying both final plans on the mini stream
 // engine and reporting delivered result tuples, closing the plan → deploy →
 // measure loop of the paper's prototype.
+//
+// With -wal DIR the deployment check runs through a durable admission
+// service journaling to a write-ahead log in DIR: killing the process and
+// rerunning with the same DIR resumes from the journal — already-admitted
+// queries are recovered without a single planning solve and skipped on
+// resubmission. SIGINT/SIGTERM stops a run gracefully: in-flight work
+// drains, the journal is flushed, and partial results are printed.
 package main
 
 import (
@@ -11,17 +18,23 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 	"time"
 
+	"sqpr/internal/core"
+	"sqpr/internal/plan"
 	"sqpr/internal/sim"
 	"sqpr/internal/stats"
+	"sqpr/internal/wal"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "part to print: 7a, 7b, 7c or all")
 	waves := flag.Int("waves", 0, "override number of 50-query waves")
 	deploy := flag.Bool("deploy", true, "run the final plans on the mini engine")
+	walDir := flag.String("wal", "", "journal the deployment check's admissions to a WAL in this directory and resume from it on restart")
 	flag.Parse()
 
 	// Validate the figure selector before simulating: the Fig-7 run takes
@@ -35,12 +48,20 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Graceful shutdown: the first SIGINT/SIGTERM cancels the run context;
+	// scenarios drain at the next boundary and partial results still print.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stopSignals()
+
 	ds := sim.DefaultDeployScale()
 	if *waves > 0 {
 		ds.Waves = *waves
 	}
 
-	res := sim.Fig7(ds)
+	res := sim.Fig7(ctx, ds)
+	if ctx.Err() != nil {
+		fmt.Println("(interrupted: partial waves below)")
+	}
 
 	if *fig == "all" || *fig == "7a" {
 		fmt.Println("=== Figure 7a: planning efficiency (deployment) ===")
@@ -108,9 +129,16 @@ func main() {
 			Arities: []int{2, 3}, Timeout: ds2.Timeout, MaxCandHost: 8, Seed: ds2.Seed,
 		}
 		env := sim.BuildEnv(scale)
+		if *walDir != "" {
+			runDurableDeploy(ctx, env, scale, *walDir)
+			return
+		}
 		ad := env.NewSQPR(scale, scale.Timeout)
-		ctx := context.Background()
 		for _, q := range env.Queries {
+			if ctx.Err() != nil {
+				fmt.Println("(interrupted before deployment)")
+				return
+			}
 			ad.Submit(ctx, q)
 		}
 		snap, delivered, err := sim.DeployAndMeasure(env.Sys, ad.Assignment(), 1500*time.Millisecond)
@@ -125,4 +153,67 @@ func main() {
 		fmt.Printf("admitted=%d deployed-result-tuples=%d total-cpu-work=%.1f\n",
 			ad.AdmittedCount(), delivered, cpu)
 	}
+}
+
+// runDurableDeploy is the -wal mode of the deployment check: admissions go
+// through a durable plan.Service journaling to dir, so a killed run can be
+// restarted with the same -wal dir and resumes where it stopped — the
+// recovered queries are rebuilt from the journal with zero planning solves
+// and skipped on resubmission.
+func runDurableDeploy(ctx context.Context, env *sim.Env, scale sim.Scale, dir string) {
+	fs, err := wal.DirFS(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wal: %v\n", err)
+		os.Exit(1)
+	}
+	cfg := core.DefaultConfig()
+	cfg.SolveTimeout = scale.Timeout
+	cfg.MaxCandidateHosts = scale.MaxCandHost
+	cfg.MaxFreeStreams = 30
+	p := core.NewPlanner(env.Sys, cfg)
+	svc, rs, err := plan.OpenService(p, plan.ServiceConfig{}, fs, wal.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wal: opening durable service: %v\n", err)
+		os.Exit(1)
+	}
+	defer svc.Close()
+	if rs.UsedSnapshot || rs.Records > 0 {
+		fmt.Printf("resumed from journal: %d admitted recovered (snapshot=%v records=%d torn-tail-bytes=%d planning-solves=0)\n",
+			rs.Admitted, rs.UsedSnapshot, rs.Records, rs.TailTruncated)
+	}
+
+	submitted, skipped := 0, 0
+	for _, q := range env.Queries {
+		if ctx.Err() != nil {
+			break
+		}
+		if svc.Admitted(q) {
+			skipped++ // recovered from the journal; nothing to plan
+			continue
+		}
+		if _, err := svc.Submit(ctx, q); err != nil {
+			fmt.Fprintf(os.Stderr, "submit %d: %v\n", q, err)
+			return
+		}
+		submitted++
+	}
+	if err := svc.SyncWAL(); err != nil {
+		fmt.Fprintf(os.Stderr, "wal: flushing journal: %v\n", err)
+	}
+	fmt.Printf("admitted=%d submitted=%d skipped-already-admitted=%d\n",
+		svc.AdmittedCount(), submitted, skipped)
+	if ctx.Err() != nil {
+		fmt.Println("(interrupted: journal flushed; rerun with the same -wal dir to resume)")
+		return
+	}
+	snap, delivered, err := sim.DeployAndMeasure(env.Sys, svc.Assignment(), 1500*time.Millisecond)
+	if err != nil {
+		fmt.Println("deploy error:", err)
+		return
+	}
+	var cpu float64
+	for _, c := range snap.CPUWork {
+		cpu += c
+	}
+	fmt.Printf("deployed-result-tuples=%d total-cpu-work=%.1f\n", delivered, cpu)
 }

@@ -11,15 +11,22 @@
 //
 //	sqpr-sim -fig 4a            # one figure
 //	sqpr-sim -fig churn         # the host-churn repair scenario
+//	sqpr-sim -fig restart       # the crash/recovery scenario
 //	sqpr-sim -fig all           # everything (takes several minutes)
 //	sqpr-sim -fig 4a -queries 80 -hosts 10   # dial the scale down
+//
+// SIGINT/SIGTERM stops the run gracefully: the scenario in flight drains
+// at the next boundary and prints the partial results collected so far.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 	"time"
 
 	"sqpr/internal/sim"
@@ -27,7 +34,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4a,4b,4c,5a,5b,5c,6a,6b,churn,arrivals or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4a,4b,4c,5a,5b,5c,6a,6b,churn,arrivals,restart or all")
 	queries := flag.Int("queries", 0, "override query count")
 	hosts := flag.Int("hosts", 0, "override host count")
 	timeout := flag.Duration("timeout", 0, "override per-query solver timeout")
@@ -40,12 +47,18 @@ func main() {
 	// Validate the figure selector before simulating anything: a typo must
 	// cost a usage error, not minutes of solves followed by empty output.
 	switch *fig {
-	case "all", "4a", "4b", "4c", "5a", "5b", "5c", "6a", "6b", "churn", "arrivals":
+	case "all", "4a", "4b", "4c", "5a", "5b", "5c", "6a", "6b", "churn", "arrivals", "restart":
 	default:
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 4a,4b,4c,5a,5b,5c,6a,6b,churn,arrivals or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 4a,4b,4c,5a,5b,5c,6a,6b,churn,arrivals,restart or all)\n", *fig)
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	// Graceful shutdown: the first SIGINT/SIGTERM cancels the run context
+	// and the scenarios drain to a valid partial result; a second signal
+	// kills the process the usual way.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stopSignals()
 
 	sc := sim.DefaultScale()
 	if *queries > 0 {
@@ -65,9 +78,15 @@ func main() {
 		if *fig != "all" && *fig != name {
 			return
 		}
+		if ctx.Err() != nil {
+			return // interrupted: skip the remaining figures
+		}
 		start := time.Now()
 		fmt.Printf("=== Figure %s ===\n", name)
 		f()
+		if ctx.Err() != nil {
+			fmt.Println("(interrupted: partial results above)")
+		}
 		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
 	}
 
@@ -91,7 +110,7 @@ func main() {
 		if *recoverRate > 0 {
 			cs.RecoverRate = *recoverRate
 		}
-		res, err := sim.Churn(cs)
+		res, err := sim.Churn(ctx, cs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "churn: %v\n", err)
 			os.Exit(1)
@@ -112,8 +131,34 @@ func main() {
 		if *seed != 0 {
 			ol.Seed = *seed
 		}
-		printArrivals(sim.OpenLoop(ol))
+		printArrivals(sim.OpenLoop(ctx, ol))
 	})
+	run("restart", func() {
+		rs := sim.DefaultRestartScale()
+		rs.Scale = sc
+		rs.CrashAfter = sc.Queries / 2
+		res, err := sim.Restart(ctx, rs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "restart: %v\n", err)
+			os.Exit(1)
+		}
+		printRestart(res)
+	})
+}
+
+func printRestart(r sim.RestartResult) {
+	rows := [][]string{
+		{"submitted-before-crash", strconv.Itoa(r.Submitted)},
+		{"admitted-at-crash", strconv.Itoa(r.AdmittedAtCrash)},
+		{"recovered-from-snapshot", fmt.Sprintf("%v", r.UsedSnapshot)},
+		{"journal-records-replayed", strconv.Itoa(r.ReplayedRecords)},
+		{"recovered-admitted", strconv.Itoa(r.RecoveredAdmitted)},
+		{"recovery-solves", strconv.Itoa(r.RecoverySolves)},
+		{"state-match", fmt.Sprintf("%v", r.StateMatch)},
+		{"resumed-submissions", strconv.Itoa(r.ResumeSubmitted)},
+		{"final-admitted", strconv.Itoa(r.FinalAdmitted)},
+	}
+	fmt.Print(stats.Table([]string{"metric", "value"}, rows))
 }
 
 // errorSummary prints the harness-wide nonzero-error line: failed solver

@@ -1,0 +1,77 @@
+package bound
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"sqpr/internal/dsps"
+	"sqpr/internal/plan"
+)
+
+// aux is the planner-private durable state of the bound calculator: the
+// CPU ledger that the generic State fields cannot express (the synthetic
+// aggregate host has no physical assignment).
+type aux struct {
+	Budget   float64           `json:"budget"`
+	Capacity float64           `json:"capacity"`
+	Placed   []dsps.OperatorID `json:"placed"`
+	Charged  []charge          `json:"charged"`
+}
+
+type charge struct {
+	Stream dsps.StreamID `json:"stream"`
+	Cost   float64       `json:"cost"`
+}
+
+// ExportState snapshots the planner's durable state (see plan.StatePorter).
+// The ledger travels in Aux, sorted for deterministic serialisation.
+func (p *Planner) ExportState() plan.State {
+	s := plan.ExportedState(p.sys, p.state, p.admitted)
+	a := aux{Budget: p.budget, Capacity: p.capacity}
+	for op, on := range p.placed {
+		if on {
+			a.Placed = append(a.Placed, op)
+		}
+	}
+	sort.Slice(a.Placed, func(i, j int) bool { return a.Placed[i] < a.Placed[j] })
+	for q, c := range p.charged {
+		a.Charged = append(a.Charged, charge{Stream: q, Cost: c})
+	}
+	sort.Slice(a.Charged, func(i, j int) bool { return a.Charged[i].Stream < a.Charged[j].Stream })
+	raw, err := json.Marshal(a)
+	if err != nil {
+		// aux contains only plain numeric fields; Marshal cannot fail.
+		panic(fmt.Sprintf("bound: marshalling aux state: %v", err))
+	}
+	s.Aux = raw
+	return s
+}
+
+// ImportState replaces the planner state with s (see plan.StatePorter).
+func (p *Planner) ImportState(s plan.State) error {
+	if err := plan.CheckState(p.sys, s); err != nil {
+		return fmt.Errorf("bound: %w", err)
+	}
+	var a aux
+	if len(s.Aux) == 0 {
+		return fmt.Errorf("bound: imported state is missing the aux CPU ledger")
+	}
+	if err := json.Unmarshal(s.Aux, &a); err != nil {
+		return fmt.Errorf("bound: decoding aux state: %w", err)
+	}
+	plan.ApplyHostStates(p.sys, s.Hosts)
+	p.budget = a.Budget
+	p.capacity = a.Capacity
+	p.placed = make(map[dsps.OperatorID]bool, len(a.Placed))
+	for _, op := range a.Placed {
+		p.placed[op] = true
+	}
+	p.charged = make(map[dsps.StreamID]float64, len(a.Charged))
+	for _, c := range a.Charged {
+		p.charged[c.Stream] = c.Cost
+	}
+	p.admitted = s.AdmittedSet()
+	p.state = s.Assignment.Clone()
+	return nil
+}

@@ -144,6 +144,20 @@ func (e *Engine) RecoverHost(h dsps.HostID) {
 // HostDown reports whether host h is currently failed.
 func (e *Engine) HostDown(h dsps.HostID) bool { return e.down[h].Load() }
 
+// HostStates returns the engine's observed availability of every host —
+// the "world as it is" view a reconciliation loop (plan.Service.Reconcile)
+// diffs against the planner's intent. The engine only distinguishes
+// up/down; draining is a planner-side notion.
+func (e *Engine) HostStates() []dsps.HostState {
+	states := make([]dsps.HostState, len(e.down))
+	for h := range e.down {
+		if e.down[h].Load() {
+			states[h] = dsps.HostDown
+		}
+	}
+	return states
+}
+
 // ApplyChurn is the engine's service-based churn entry point: it forwards
 // the events to the planner's Repair and then mirrors the system's recorded
 // host availability onto the running engine — so dataplane and plan change

@@ -28,6 +28,9 @@ type Monitor struct {
 
 	failures   int64
 	recoveries int64
+
+	reconnectAttempts int64
+	reconnectFailures int64
 }
 
 // NewMonitor creates a monitor for the system.
@@ -85,6 +88,26 @@ func (m *Monitor) recordHostEvent(failed bool) {
 		m.recoveries++
 	}
 	m.mu.Unlock()
+}
+
+func (m *Monitor) recordReconnectAttempt() {
+	m.mu.Lock()
+	m.reconnectAttempts++
+	m.mu.Unlock()
+}
+
+func (m *Monitor) recordReconnectFailure() {
+	m.mu.Lock()
+	m.reconnectFailures++
+	m.mu.Unlock()
+}
+
+// Reconnects returns how many times the transport redialled a previously
+// failed peer connection, and how many of those attempts failed again.
+func (m *Monitor) Reconnects() (attempts, failures int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reconnectAttempts, m.reconnectFailures
 }
 
 // HostEvents returns the number of host failures and recoveries observed.

@@ -1,0 +1,175 @@
+package engine
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"sqpr/internal/dsps"
+)
+
+func relayEngine(t *testing.T) (*Engine, *TCPTransport, dsps.StreamID, func()) {
+	t.Helper()
+	hosts := []dsps.Host{
+		{ID: 0, CPU: 10, OutBW: 100, InBW: 100},
+		{ID: 1, CPU: 10, OutBW: 100, InBW: 100},
+		{ID: 2, CPU: 10, OutBW: 100, InBW: 100},
+	}
+	sys := dsps.NewSystem(hosts, 100)
+	a := sys.AddStream(50, dsps.NoOperator, "a")
+	sys.PlaceBase(0, a)
+	sys.SetRequested(a, true)
+	asg := dsps.NewAssignment()
+	asg.Flows[dsps.Flow{From: 0, To: 1, Stream: a}] = true
+	asg.Flows[dsps.Flow{From: 1, To: 2, Stream: a}] = true
+	asg.Provides[a] = 2
+
+	cfg := DefaultConfig()
+	tr := NewTCPTransport()
+	cfg.Transport = tr
+	eng := New(sys, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := eng.Deploy(ctx, asg); err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	return eng, tr, a, func() { eng.Stop(); cancel() }
+}
+
+// deadAddr returns a loopback address that refuses connections.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestTCPTransportReconnectsAfterDialFailure drives the (0,2) peer — unused
+// by the deployed flows — through dial failure, backoff, and recovery, and
+// checks the retries surface in the monitor.
+func TestTCPTransportReconnectsAfterDialFailure(t *testing.T) {
+	eng, tr, a, stop := relayEngine(t)
+	defer stop()
+	key := [2]dsps.HostID{0, 2}
+	tup := Tuple{Stream: a}
+
+	tr.mu.Lock()
+	good := tr.addrs[2]
+	tr.addrs[2] = deadAddr(t)
+	tr.mu.Unlock()
+
+	// First dial fails and opens the backoff window.
+	tr.Send(0, 2, tup)
+	tr.mu.Lock()
+	fails := tr.peers[key].fails
+	tr.mu.Unlock()
+	if fails != 1 {
+		t.Fatalf("after failed dial: fails = %d, want 1", fails)
+	}
+
+	// Retries while the peer is down keep failing but are bounded by
+	// backoff, and every redial is counted.
+	for i := 0; i < 3; i++ {
+		time.Sleep(reconnectMax)
+		tr.Send(0, 2, tup)
+	}
+	attempts, failures := eng.Monitor().Reconnects()
+	if attempts < 3 || failures < 3 {
+		t.Fatalf("reconnect stats after dead-peer retries: attempts %d failures %d, want >= 3 each", attempts, failures)
+	}
+
+	// Peer comes back: the next post-backoff Send heals the connection.
+	tr.mu.Lock()
+	tr.addrs[2] = good
+	tr.mu.Unlock()
+	time.Sleep(reconnectMax)
+	tr.Send(0, 2, tup)
+	tr.mu.Lock()
+	_, connected := tr.conns[key]
+	_, backingOff := tr.peers[key]
+	tr.mu.Unlock()
+	if !connected || backingOff {
+		t.Fatalf("after recovery: connected=%v backingOff=%v, want true/false", connected, backingOff)
+	}
+	attempts2, failures2 := eng.Monitor().Reconnects()
+	if attempts2 <= attempts || failures2 != failures {
+		t.Fatalf("healing redial not counted as a clean attempt: %d/%d -> %d/%d",
+			attempts, failures, attempts2, failures2)
+	}
+}
+
+// TestTCPTransportReconnectsAfterWriteFailure kills an established
+// connection out from under the transport and checks a later Send redials
+// instead of writing into the dead socket forever.
+func TestTCPTransportReconnectsAfterWriteFailure(t *testing.T) {
+	eng, tr, a, stop := relayEngine(t)
+	defer stop()
+	key := [2]dsps.HostID{0, 2}
+	tup := Tuple{Stream: a}
+
+	tr.Send(0, 2, tup) // establish
+	tr.mu.Lock()
+	conn, ok := tr.conns[key]
+	tr.mu.Unlock()
+	if !ok {
+		t.Fatal("no connection established")
+	}
+	conn.Close()
+
+	// The write on the closed socket fails; the transport must retire the
+	// connection and schedule a redial.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		tr.Send(0, 2, tup)
+		tr.mu.Lock()
+		_, stillThere := tr.conns[key]
+		broken := !stillThere || tr.conns[key] != conn
+		tr.mu.Unlock()
+		if broken || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	tr.mu.Lock()
+	sameConn := tr.conns[key] == conn
+	tr.mu.Unlock()
+	if sameConn {
+		t.Fatal("transport kept writing into the closed connection")
+	}
+
+	// After backoff the pair heals over a fresh connection.
+	time.Sleep(reconnectMax)
+	tr.Send(0, 2, tup)
+	tr.mu.Lock()
+	fresh, connected := tr.conns[key]
+	tr.mu.Unlock()
+	if !connected || fresh == conn {
+		t.Fatal("pair did not heal over a fresh connection")
+	}
+	if attempts, _ := eng.Monitor().Reconnects(); attempts == 0 {
+		t.Fatal("redial after write failure not counted")
+	}
+}
+
+func TestEngineHostStates(t *testing.T) {
+	hosts := []dsps.Host{{ID: 0, CPU: 1}, {ID: 1, CPU: 1}, {ID: 2, CPU: 1}}
+	sys := dsps.NewSystem(hosts, 10)
+	eng := New(sys, DefaultConfig())
+	eng.FailHost(1)
+	got := eng.HostStates()
+	want := []dsps.HostState{dsps.HostUp, dsps.HostDown, dsps.HostUp}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("HostStates[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	eng.RecoverHost(1)
+	if st := eng.HostStates(); st[1] != dsps.HostUp {
+		t.Fatalf("recovered host still %v", st[1])
+	}
+}

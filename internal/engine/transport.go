@@ -2,8 +2,10 @@ package engine
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"sqpr/internal/dsps"
 )
@@ -38,10 +40,44 @@ func (tr *inprocTransport) Send(from, to dsps.HostID, t Tuple) {
 
 func (tr *inprocTransport) Stop() {}
 
+// Reconnect backoff bounds for the TCP transport: after a dial or write
+// failure a peer connection is retried no sooner than an exponentially
+// growing, jittered delay, capped at reconnectMax. Tuples sent while a
+// peer is in backoff are dropped (and counted), matching the lossy
+// best-effort contract of Send.
+const (
+	reconnectBase = 2 * time.Millisecond
+	reconnectMax  = 500 * time.Millisecond
+)
+
+// peerState tracks the reconnect backoff of one (from, to) connection.
+type peerState struct {
+	fails   int       // consecutive dial/write failures
+	retryAt time.Time // no redial before this instant
+}
+
+// backoffDelay returns the jittered exponential delay after `fails`
+// consecutive failures: full jitter over [base*2^(fails-1)/2, base*2^(fails-1)],
+// capped at reconnectMax.
+func backoffDelay(fails int) time.Duration {
+	d := reconnectBase
+	for i := 1; i < fails && d < reconnectMax; i++ {
+		d *= 2
+	}
+	if d > reconnectMax {
+		d = reconnectMax
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
 // TCPTransport exchanges tuples over loopback TCP connections: one listener
 // per host and one lazily dialled connection per (from, to) host pair. It
 // exercises the same code path a distributed deployment would (framing,
-// partial reads, connection lifecycle) while remaining self-contained.
+// partial reads, connection lifecycle, reconnects) while remaining
+// self-contained. A connection that fails is closed and redialled on a
+// later Send once its backoff window has passed, so a transient peer
+// outage does not permanently sever the pair.
 type TCPTransport struct {
 	e *Engine
 
@@ -50,6 +86,7 @@ type TCPTransport struct {
 	addrs     []string
 	conns     map[[2]dsps.HostID]net.Conn
 	sendMu    map[[2]dsps.HostID]*sync.Mutex
+	peers     map[[2]dsps.HostID]peerState
 	wg        sync.WaitGroup
 	stopped   bool
 }
@@ -59,6 +96,7 @@ func NewTCPTransport() *TCPTransport {
 	return &TCPTransport{
 		conns:  make(map[[2]dsps.HostID]net.Conn),
 		sendMu: make(map[[2]dsps.HostID]*sync.Mutex),
+		peers:  make(map[[2]dsps.HostID]peerState),
 	}
 }
 
@@ -70,6 +108,7 @@ func (tr *TCPTransport) Start(e *Engine) error {
 	tr.stopped = false
 	tr.conns = make(map[[2]dsps.HostID]net.Conn)
 	tr.sendMu = make(map[[2]dsps.HostID]*sync.Mutex)
+	tr.peers = make(map[[2]dsps.HostID]peerState)
 	tr.mu.Unlock()
 	tr.e = e
 	n := e.sys.NumHosts()
@@ -122,7 +161,10 @@ func (tr *TCPTransport) serveConn(h dsps.HostID, conn net.Conn) {
 	}
 }
 
-// Send writes the tuple on the (from, to) connection, dialling on first use.
+// Send writes the tuple on the (from, to) connection, dialling on first
+// use and redialling — under bounded exponential backoff with jitter —
+// after a dial or write failure. The tuple triggering a failure is dropped
+// (and counted); the connection heals on a later Send.
 func (tr *TCPTransport) Send(from, to dsps.HostID, t Tuple) {
 	key := [2]dsps.HostID{from, to}
 	tr.mu.Lock()
@@ -132,12 +174,30 @@ func (tr *TCPTransport) Send(from, to dsps.HostID, t Tuple) {
 	}
 	conn, ok := tr.conns[key]
 	if !ok {
-		c, err := net.Dial("tcp", tr.addrs[to])
-		if err != nil {
+		ps := tr.peers[key]
+		if ps.fails > 0 && time.Now().Before(ps.retryAt) {
+			// Peer in backoff: drop without hammering the dialler.
 			tr.mu.Unlock()
 			tr.e.mon.recordDrop(to)
 			return
 		}
+		reconnecting := ps.fails > 0
+		if reconnecting {
+			tr.e.mon.recordReconnectAttempt()
+		}
+		c, err := net.Dial("tcp", tr.addrs[to])
+		if err != nil {
+			ps.fails++
+			ps.retryAt = time.Now().Add(backoffDelay(ps.fails))
+			tr.peers[key] = ps
+			tr.mu.Unlock()
+			if reconnecting {
+				tr.e.mon.recordReconnectFailure()
+			}
+			tr.e.mon.recordDrop(to)
+			return
+		}
+		delete(tr.peers, key) // healthy again: reset the backoff clock
 		conn = c
 		tr.conns[key] = conn
 		tr.sendMu[key] = &sync.Mutex{}
@@ -150,6 +210,18 @@ func (tr *TCPTransport) Send(from, to dsps.HostID, t Tuple) {
 	mu.Unlock()
 	if err != nil {
 		tr.e.mon.recordDrop(to)
+		// Retire the broken connection and start its backoff so the next
+		// Send redials instead of writing into a dead socket forever.
+		tr.mu.Lock()
+		if tr.conns[key] == conn {
+			conn.Close()
+			delete(tr.conns, key)
+			ps := tr.peers[key]
+			ps.fails++
+			ps.retryAt = time.Now().Add(backoffDelay(ps.fails))
+			tr.peers[key] = ps
+		}
+		tr.mu.Unlock()
 	}
 }
 

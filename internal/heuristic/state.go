@@ -1,0 +1,23 @@
+package heuristic
+
+import (
+	"fmt"
+
+	"sqpr/internal/plan"
+)
+
+// ExportState snapshots the planner's durable state (see plan.StatePorter).
+func (p *Planner) ExportState() plan.State {
+	return plan.ExportedState(p.sys, p.state, p.admitted)
+}
+
+// ImportState replaces the planner state with s (see plan.StatePorter).
+func (p *Planner) ImportState(s plan.State) error {
+	if err := plan.CheckState(p.sys, s); err != nil {
+		return fmt.Errorf("heuristic: %w", err)
+	}
+	plan.ApplyHostStates(p.sys, s.Hosts)
+	p.state = s.Assignment.Clone()
+	p.admitted = s.AdmittedSet()
+	return nil
+}

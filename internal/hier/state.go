@@ -1,0 +1,15 @@
+package hier
+
+import "sqpr/internal/plan"
+
+// ExportState snapshots the planner's durable state (see plan.StatePorter).
+// Site partitioning is static configuration, not state, so the wrapper
+// delegates wholesale to the inner SQPR planner.
+func (p *Planner) ExportState() plan.State {
+	return p.inner.ExportState()
+}
+
+// ImportState replaces the planner state with s (see plan.StatePorter).
+func (p *Planner) ImportState(s plan.State) error {
+	return p.inner.ImportState(s)
+}

@@ -1,0 +1,233 @@
+package plan
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"sqpr/internal/dsps"
+	"sqpr/internal/invariant"
+	"sqpr/internal/wal"
+)
+
+// ErrWALFailed reports that the admission journal could not be written.
+// The service wedges on the first journal failure: the in-memory planner
+// may already hold the unjournaled outcome, so acknowledging it — or any
+// later state change — would let memory silently diverge from the durable
+// log. Reads keep working; every state-changing request fails fast with an
+// error wrapping this sentinel until the operator restarts the service
+// (which recovers from the log's last good state).
+var ErrWALFailed = errors.New("admission journal failed")
+
+// walRecord is the journal record envelope: one deterministic state delta
+// per applied request group. Kind is informational (audit/debug); replay
+// needs only the delta.
+type walRecord struct {
+	Kind  string `json:"kind"`
+	Delta Delta  `json:"delta"`
+}
+
+// RecoveredState reports what OpenService rebuilt from the journal.
+type RecoveredState struct {
+	// UsedSnapshot is true when a snapshot seeded the replay (rather than
+	// the fresh-planner baseline).
+	UsedSnapshot bool
+	// Records is the number of journal records replayed.
+	Records int
+	// Admitted is the admitted query count after recovery.
+	Admitted int
+	// TailTruncated is the number of torn tail bytes the log cut during
+	// recovery (see wal.Recovered).
+	TailTruncated int
+}
+
+// OpenService opens (or creates) the write-ahead log stored in fs,
+// replays it into planner p, and returns a running admission service that
+// journals every state-changing outcome before acknowledging it.
+//
+// p must be a freshly constructed planner over a system identical to the
+// one the log was written against: recovery replays recorded deltas on top
+// of the fresh planner's exported baseline (or the latest snapshot) and
+// imports the result wholesale, so the restarted planner reaches the exact
+// pre-crash state — admitted set, placements and host availability — with
+// zero planning solves. p must implement StatePorter.
+//
+// The service owns the log: Close flushes and closes it.
+func OpenService(p QueryPlanner, cfg ServiceConfig, fs wal.FS, wopts wal.Options) (*Service, RecoveredState, error) {
+	var rs RecoveredState
+	porter, ok := p.(StatePorter)
+	if !ok {
+		return nil, rs, fmt.Errorf("plan: %T does not implement StatePorter; a durable service cannot journal it", p)
+	}
+	log, recv, err := wal.Open(fs, wopts)
+	if err != nil {
+		return nil, rs, fmt.Errorf("plan: opening admission journal: %w", err)
+	}
+	rs.TailTruncated = recv.TailTruncated
+
+	st := porter.ExportState()
+	if recv.Snapshot != nil {
+		if err := json.Unmarshal(recv.Snapshot, &st); err != nil {
+			return nil, rs, fmt.Errorf("plan: decoding journal snapshot %d: %w", recv.SnapshotSeq, err)
+		}
+		rs.UsedSnapshot = true
+	}
+	for _, e := range recv.Entries {
+		var r walRecord
+		if err := json.Unmarshal(e.Data, &r); err != nil {
+			return nil, rs, fmt.Errorf("plan: decoding journal record %d: %w", e.Seq, err)
+		}
+		st.Apply(r.Delta)
+		rs.Records++
+	}
+	if rs.UsedSnapshot || rs.Records > 0 {
+		if err := porter.ImportState(st); err != nil {
+			return nil, rs, fmt.Errorf("plan: importing recovered state: %w", err)
+		}
+	}
+	rs.Admitted = p.AdmittedCount()
+
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 256
+	}
+	s := newService(p, cfg)
+	s.pmu.Lock()
+	s.walLog = log
+	s.porter = porter
+	s.last = porter.ExportState()
+	s.pmu.Unlock()
+	go s.dispatch()
+	return s, rs, nil
+}
+
+// journal writes the state delta of the request group the dispatcher just
+// applied, before any member is acknowledged. Diffing exported state makes
+// the journal planner-agnostic and self-correcting: rejected submissions
+// and failed calls produce an empty delta and cost nothing. Returns the
+// error the group's members must be answered with (nil when clean).
+// Callers hold pmu.
+//
+//sqpr:locked pmu
+func (s *Service) journal(kind TraceKind) error {
+	if s.walLog == nil {
+		return nil
+	}
+	if s.walErr != nil {
+		return s.walErr
+	}
+	cur := s.porter.ExportState()
+	d := Diff(s.last, cur)
+	if d.IsEmpty() {
+		return nil
+	}
+	data, err := json.Marshal(walRecord{Kind: kind.String(), Delta: d})
+	if err != nil {
+		s.walErr = fmt.Errorf("plan: encoding journal record: %w: %w", err, ErrWALFailed)
+		return s.walErr
+	}
+	if _, err := s.walLog.Append(data); err != nil {
+		s.walErr = fmt.Errorf("plan: appending journal record: %w: %w", err, ErrWALFailed)
+		return s.walErr
+	}
+	s.last = cur
+	s.sinceSnap++
+	if s.sinceSnap >= s.cfg.SnapshotEvery {
+		snap, err := json.Marshal(cur)
+		if err != nil {
+			s.walErr = fmt.Errorf("plan: encoding journal snapshot: %w: %w", err, ErrWALFailed)
+			return s.walErr
+		}
+		if err := s.walLog.WriteSnapshot(snap); err != nil {
+			s.walErr = fmt.Errorf("plan: writing journal snapshot: %w: %w", err, ErrWALFailed)
+			return s.walErr
+		}
+		s.sinceSnap = 0
+	}
+	if invariant.Enabled && s.walLog.SnapshotSeq() > s.walLog.LastSeq() {
+		invariant.Failf("service: journal snapshot seq %d ahead of log seq %d",
+			s.walLog.SnapshotSeq(), s.walLog.LastSeq())
+	}
+	return nil
+}
+
+// wedged reports the sticky journal error, if any. Callers hold pmu.
+//
+//sqpr:locked pmu
+func (s *Service) wedged() error {
+	return s.walErr
+}
+
+// WALStats returns the journal's telemetry, or a zero Stats when the
+// service is not durable.
+func (s *Service) WALStats() wal.Stats {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	if s.walLog == nil {
+		return wal.Stats{}
+	}
+	return s.walLog.Stats()
+}
+
+// SyncWAL flushes any unsynced journal records to stable storage (used by
+// graceful shutdown under relaxed fsync policies). A no-op for
+// non-durable services.
+func (s *Service) SyncWAL() error {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	if s.walLog == nil || s.walErr != nil {
+		return s.walErr
+	}
+	return s.walLog.Sync()
+}
+
+// Reconcile diffs the planner's intended host availability against an
+// observed view (typically engine.HostStates) and repairs any divergence:
+// hosts observed down are failed, hosts observed back are recovered,
+// hosts observed draining are drained — through the same serialised Repair
+// path as explicit churn events, journaled like every other state change.
+// It returns the events it emitted (nil when intent and observation agree)
+// and the repair outcome. This is the operator-style reconciliation loop:
+// instead of hand-feeding churn to planner and engine separately (the
+// manual ApplyChurn flow), callers observe the world and let the service
+// converge its intent to it.
+//
+// The wrapped planner must implement StatePorter (all planners in this
+// repository do).
+func (s *Service) Reconcile(ctx context.Context, observed []dsps.HostState, opts ...SubmitOption) (RepairResult, []Event, error) {
+	s.pmu.Lock()
+	porter, ok := s.p.(StatePorter)
+	if !ok {
+		p := s.p
+		s.pmu.Unlock()
+		return RepairResult{}, nil, fmt.Errorf("plan: %T does not implement StatePorter; Reconcile cannot read its intent", p)
+	}
+	intent := porter.ExportState().Hosts
+	s.pmu.Unlock()
+
+	var events []Event
+	for h, obs := range observed {
+		cur := dsps.HostUp
+		if h < len(intent) {
+			cur = intent[h]
+		}
+		if cur == obs {
+			continue
+		}
+		switch obs {
+		case dsps.HostDown:
+			events = append(events, FailHost(dsps.HostID(h)))
+		case dsps.HostUp:
+			events = append(events, RecoverHost(dsps.HostID(h)))
+		case dsps.HostDraining:
+			events = append(events, DrainHost(dsps.HostID(h)))
+		default:
+			return RepairResult{}, nil, fmt.Errorf("plan: observed host %d in unknown state %d", h, int8(obs))
+		}
+	}
+	if len(events) == 0 {
+		return RepairResult{Result: Result{Admitted: true}}, nil, nil
+	}
+	rr, err := s.Repair(ctx, events, opts...)
+	return rr, events, err
+}

@@ -9,6 +9,7 @@ import (
 
 	"sqpr/internal/dsps"
 	"sqpr/internal/invariant"
+	"sqpr/internal/wal"
 )
 
 // Typed errors of the admission service. Wrap-and-compare with errors.Is.
@@ -51,6 +52,10 @@ type ServiceConfig struct {
 	// equivalence, harnesses log it. The callback must not call back into
 	// the service.
 	OnTrace func(Trace)
+	// SnapshotEvery compacts the admission journal with a full state
+	// snapshot after this many journaled records. Only meaningful for
+	// services opened with OpenService; 0 selects 256 there.
+	SnapshotEvery int
 }
 
 // TraceKind classifies one dispatcher application step.
@@ -168,6 +173,16 @@ type Service struct {
 	smu   sync.Mutex
 	stats ServiceStats //sqpr:guarded-by smu
 
+	// Durable-service state (nil/zero for plain NewService services; see
+	// OpenService in durable.go). The dispatcher journals through walLog
+	// before acknowledging; walErr wedges the service after the first
+	// journal failure so memory never silently diverges from the log.
+	walLog    *wal.Log    //sqpr:guarded-by pmu
+	porter    StatePorter //sqpr:guarded-by pmu
+	last      State       //sqpr:guarded-by pmu
+	walErr    error       //sqpr:guarded-by pmu
+	sinceSnap int         //sqpr:guarded-by pmu
+
 	closeOnce sync.Once
 }
 
@@ -178,25 +193,32 @@ var _ QueryPlanner = (*Service)(nil)
 // dispatcher goroutine. The wrapped planner must not be driven directly
 // while the service owns it. Call Close to stop the dispatcher.
 func NewService(p QueryPlanner, cfg ServiceConfig) *Service {
+	s := newService(p, cfg)
+	go s.dispatch()
+	return s
+}
+
+// newService builds the service without starting the dispatcher, so
+// OpenService can finish recovery wiring first.
+func newService(p QueryPlanner, cfg ServiceConfig) *Service {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 256
 	}
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 8
 	}
-	s := &Service{
+	return &Service{
 		p:    p,
 		cfg:  cfg,
 		reqs: make(chan *request, cfg.QueueDepth),
 		done: make(chan struct{}),
 	}
-	go s.dispatch()
-	return s
 }
 
 // Close stops accepting requests, lets the dispatcher drain and apply the
-// requests already queued, and waits for it to exit. Idempotent and safe to
-// call concurrently with requests: late arrivals fail with ErrServiceClosed.
+// requests already queued, and waits for it to exit. A durable service
+// then flushes and closes its journal. Idempotent and safe to call
+// concurrently with requests: late arrivals fail with ErrServiceClosed.
 func (s *Service) Close() {
 	s.closeOnce.Do(func() {
 		s.mu.Lock()
@@ -205,6 +227,14 @@ func (s *Service) Close() {
 		close(s.reqs)
 	})
 	<-s.done
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	if s.walLog != nil {
+		// Sync-and-close; errors here mean the tail of the log may be lost
+		// on a machine crash, which recovery handles, so they are not fatal
+		// to the (already drained) service.
+		_ = s.walLog.Close()
+	}
 }
 
 // enqueue places r in the bounded queue, failing fast with ErrQueueFull on
@@ -407,9 +437,17 @@ func coalescible(r *request) bool {
 		c.Validate == nil && c.Workers == 0
 }
 
-// applySingle applies one non-coalesced request to the planner.
+// applySingle applies one non-coalesced request to the planner. For a
+// durable service the outcome is journaled before finish acknowledges the
+// caller; a journal failure replaces the reply with the wedge error.
 func (s *Service) applySingle(r *request) {
 	s.pmu.Lock()
+	if err := s.wedged(); err != nil {
+		s.pmu.Unlock()
+		r.err = err
+		s.finish(r)
+		return
+	}
 	switch r.kind {
 	case TraceSubmit:
 		r.res, r.err = s.p.Submit(r.ctx, r.q, r.opts...)
@@ -421,6 +459,9 @@ func (s *Service) applySingle(r *request) {
 	case TraceRepair:
 		r.rr, r.err = s.p.Repair(r.ctx, r.evs, r.opts...)
 		s.trace(Trace{Kind: TraceRepair, Events: r.evs, Err: r.err})
+	}
+	if jerr := s.journal(r.kind); jerr != nil {
+		r.err = jerr
 	}
 	s.pmu.Unlock()
 	s.finish(r)
@@ -450,6 +491,14 @@ func (s *Service) applySubmitGroup(group []*request) {
 	}
 
 	s.pmu.Lock()
+	if werr := s.wedged(); werr != nil {
+		s.pmu.Unlock()
+		for _, r := range group {
+			r.err = werr
+			s.finish(r)
+		}
+		return
+	}
 	res, err := s.p.Submit(ctx, qs[0], opts...)
 	if err != nil {
 		// Joint solve failed as a whole: re-run the members one by one so
@@ -464,6 +513,11 @@ func (s *Service) applySubmitGroup(group []*request) {
 		}
 		for _, r := range group {
 			s.trace(Trace{Kind: TraceSubmit, Queries: []dsps.StreamID{r.q}, Err: r.err})
+		}
+		if jerr := s.journal(TraceSubmit); jerr != nil {
+			for _, r := range group {
+				r.err = jerr
+			}
 		}
 		s.pmu.Unlock()
 		for _, r := range group {
@@ -495,6 +549,11 @@ func (s *Service) applySubmitGroup(group []*request) {
 			r.res, r.err = s.p.Submit(r.ctx, r.q, r.opts...)
 			s.recordSolve(1)
 			s.trace(Trace{Kind: TraceSubmit, Queries: []dsps.StreamID{r.q}, Err: r.err})
+		}
+	}
+	if jerr := s.journal(TraceSubmit); jerr != nil {
+		for _, r := range group {
+			r.err = jerr
 		}
 	}
 	s.pmu.Unlock()

@@ -1,0 +1,300 @@
+package plan
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"sqpr/internal/dsps"
+)
+
+// State is the complete durable state of a planner: the allocation, the
+// admitted query set, the host availability states, and an optional
+// planner-private extension. It is what the write-ahead log snapshots and
+// what recovery rebuilds — re-importing an exported State must reproduce
+// the planner exactly, without re-running any solve.
+//
+// Marshalling is deterministic (sorted slices throughout), so two planners
+// in the same state produce byte-identical JSON; tests and the recovery
+// acceptance check compare states that way.
+type State struct {
+	// Assignment is the full allocation (never nil after Export).
+	Assignment *dsps.Assignment `json:"assignment"`
+	// Admitted lists the admitted queries in ascending order.
+	Admitted []dsps.StreamID `json:"admitted"`
+	// Hosts is the availability state per host, indexed by HostID.
+	Hosts []dsps.HostState `json:"hosts"`
+	// Aux carries planner-private state (e.g. the optimistic bound's cost
+	// ledger) as deterministic JSON; nil for planners without any.
+	Aux json.RawMessage `json:"aux,omitempty"`
+}
+
+// StatePorter is implemented by planners whose state can be exported and
+// re-imported. All five planners in this repository implement it; the
+// durable service requires it.
+type StatePorter interface {
+	// ExportState returns a deep snapshot of the planner's current state.
+	ExportState() State
+	// ImportState replaces the planner's state with s, including the host
+	// availability states of its system. Counters (Stats) are not part of
+	// the durable state and are left untouched.
+	ImportState(s State) error
+}
+
+// Clone deep-copies the state.
+func (s State) Clone() State {
+	c := State{
+		Admitted: append([]dsps.StreamID(nil), s.Admitted...),
+		Hosts:    append([]dsps.HostState(nil), s.Hosts...),
+	}
+	if s.Assignment != nil {
+		c.Assignment = s.Assignment.Clone()
+	} else {
+		c.Assignment = dsps.NewAssignment()
+	}
+	if s.Aux != nil {
+		c.Aux = append(json.RawMessage(nil), s.Aux...)
+	}
+	return c
+}
+
+// Equal reports whether two states are identical, by comparing their
+// deterministic serialisations.
+func (s State) Equal(o State) bool {
+	a, err1 := json.Marshal(s)
+	b, err2 := json.Marshal(o)
+	return err1 == nil && err2 == nil && bytes.Equal(a, b)
+}
+
+// ExportedState assembles a State from the fields every planner keeps:
+// its assignment, admitted set and system. Planner-private extras go in
+// Aux afterwards.
+func ExportedState(sys *dsps.System, a *dsps.Assignment, admitted map[dsps.StreamID]bool) State {
+	s := State{
+		Assignment: a.Clone(),
+		Admitted:   make([]dsps.StreamID, 0, len(admitted)),
+		Hosts:      make([]dsps.HostState, sys.NumHosts()),
+	}
+	for q, ok := range admitted {
+		if ok {
+			s.Admitted = append(s.Admitted, q)
+		}
+	}
+	sort.Slice(s.Admitted, func(i, j int) bool { return s.Admitted[i] < s.Admitted[j] })
+	for h := range sys.Hosts {
+		s.Hosts[h] = sys.Hosts[h].State
+	}
+	return s
+}
+
+// CheckState validates a State against a system before import.
+func CheckState(sys *dsps.System, s State) error {
+	if len(s.Hosts) != sys.NumHosts() {
+		return fmt.Errorf("plan: state has %d host states, system has %d hosts", len(s.Hosts), sys.NumHosts())
+	}
+	for _, q := range s.Admitted {
+		if err := CheckStream(sys, q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyHostStates transitions every host of sys to the recorded state.
+func ApplyHostStates(sys *dsps.System, states []dsps.HostState) {
+	for h, st := range states {
+		sys.SetHostState(dsps.HostID(h), st)
+	}
+}
+
+// AdmittedSet converts the sorted admitted list back to set form.
+func (s State) AdmittedSet() map[dsps.StreamID]bool {
+	m := make(map[dsps.StreamID]bool, len(s.Admitted))
+	for _, q := range s.Admitted {
+		m[q] = true
+	}
+	return m
+}
+
+// ProvideChange records one provider (re)binding in a Delta.
+type ProvideChange struct {
+	Stream dsps.StreamID `json:"stream"`
+	Host   dsps.HostID   `json:"host"`
+}
+
+// HostChange records one host availability transition in a Delta.
+type HostChange struct {
+	Host  dsps.HostID    `json:"host"`
+	State dsps.HostState `json:"state"`
+}
+
+// Delta is the difference between two States, in applyable form. The
+// durable service journals one Delta per state-changing call; replaying
+// them over the base state reproduces the final state without solving.
+// All slices are sorted, so a Delta marshals deterministically.
+type Delta struct {
+	AdmitAdd   []dsps.StreamID  `json:"admit_add,omitempty"`
+	AdmitDel   []dsps.StreamID  `json:"admit_del,omitempty"`
+	ProvideSet []ProvideChange  `json:"provide_set,omitempty"`
+	ProvideDel []dsps.StreamID  `json:"provide_del,omitempty"`
+	FlowAdd    []dsps.Flow      `json:"flow_add,omitempty"`
+	FlowDel    []dsps.Flow      `json:"flow_del,omitempty"`
+	OpAdd      []dsps.Placement `json:"op_add,omitempty"`
+	OpDel      []dsps.Placement `json:"op_del,omitempty"`
+	Hosts      []HostChange     `json:"hosts,omitempty"`
+	// Aux replaces the planner-private state wholesale when AuxSet is true
+	// (private state has no generic sub-structure to diff).
+	Aux    json.RawMessage `json:"aux,omitempty"`
+	AuxSet bool            `json:"aux_set,omitempty"`
+}
+
+// IsEmpty reports whether the delta changes nothing.
+func (d Delta) IsEmpty() bool {
+	return len(d.AdmitAdd) == 0 && len(d.AdmitDel) == 0 &&
+		len(d.ProvideSet) == 0 && len(d.ProvideDel) == 0 &&
+		len(d.FlowAdd) == 0 && len(d.FlowDel) == 0 &&
+		len(d.OpAdd) == 0 && len(d.OpDel) == 0 &&
+		len(d.Hosts) == 0 && !d.AuxSet
+}
+
+func sortFlows(fs []dsps.Flow) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].Stream != fs[j].Stream {
+			return fs[i].Stream < fs[j].Stream
+		}
+		if fs[i].From != fs[j].From {
+			return fs[i].From < fs[j].From
+		}
+		return fs[i].To < fs[j].To
+	})
+}
+
+func sortOps(ps []dsps.Placement) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Op != ps[j].Op {
+			return ps[i].Op < ps[j].Op
+		}
+		return ps[i].Host < ps[j].Host
+	})
+}
+
+// Diff computes the delta that transforms before into after.
+func Diff(before, after State) Delta {
+	var d Delta
+
+	beforeAdm := before.AdmittedSet()
+	afterAdm := after.AdmittedSet()
+	for _, q := range after.Admitted {
+		if !beforeAdm[q] {
+			d.AdmitAdd = append(d.AdmitAdd, q)
+		}
+	}
+	for _, q := range before.Admitted {
+		if !afterAdm[q] {
+			d.AdmitDel = append(d.AdmitDel, q)
+		}
+	}
+
+	ba, aa := before.Assignment, after.Assignment
+	for s, h := range aa.Provides {
+		if ph, ok := ba.Provides[s]; !ok || ph != h {
+			d.ProvideSet = append(d.ProvideSet, ProvideChange{Stream: s, Host: h})
+		}
+	}
+	for s := range ba.Provides {
+		if _, ok := aa.Provides[s]; !ok {
+			d.ProvideDel = append(d.ProvideDel, s)
+		}
+	}
+	sort.Slice(d.ProvideSet, func(i, j int) bool { return d.ProvideSet[i].Stream < d.ProvideSet[j].Stream })
+	sort.Slice(d.ProvideDel, func(i, j int) bool { return d.ProvideDel[i] < d.ProvideDel[j] })
+
+	for f, on := range aa.Flows {
+		if on && !ba.Flows[f] {
+			d.FlowAdd = append(d.FlowAdd, f)
+		}
+	}
+	for f, on := range ba.Flows {
+		if on && !aa.Flows[f] {
+			d.FlowDel = append(d.FlowDel, f)
+		}
+	}
+	sortFlows(d.FlowAdd)
+	sortFlows(d.FlowDel)
+
+	for p, on := range aa.Ops {
+		if on && !ba.Ops[p] {
+			d.OpAdd = append(d.OpAdd, p)
+		}
+	}
+	for p, on := range ba.Ops {
+		if on && !aa.Ops[p] {
+			d.OpDel = append(d.OpDel, p)
+		}
+	}
+	sortOps(d.OpAdd)
+	sortOps(d.OpDel)
+
+	for h := range after.Hosts {
+		if h >= len(before.Hosts) || before.Hosts[h] != after.Hosts[h] {
+			d.Hosts = append(d.Hosts, HostChange{Host: dsps.HostID(h), State: after.Hosts[h]})
+		}
+	}
+
+	if !bytes.Equal(before.Aux, after.Aux) {
+		d.Aux = append(json.RawMessage(nil), after.Aux...)
+		d.AuxSet = true
+	}
+	return d
+}
+
+// Apply applies the delta to s in place (s must be a mutable copy, e.g.
+// from Clone). Sequence matters only between deletion and addition of the
+// same key; deletions run first.
+func (s *State) Apply(d Delta) {
+	if s.Assignment == nil {
+		s.Assignment = dsps.NewAssignment()
+	}
+	if len(d.AdmitDel) > 0 || len(d.AdmitAdd) > 0 {
+		adm := s.AdmittedSet()
+		for _, q := range d.AdmitDel {
+			delete(adm, q)
+		}
+		for _, q := range d.AdmitAdd {
+			adm[q] = true
+		}
+		s.Admitted = s.Admitted[:0]
+		for q := range adm {
+			s.Admitted = append(s.Admitted, q)
+		}
+		sort.Slice(s.Admitted, func(i, j int) bool { return s.Admitted[i] < s.Admitted[j] })
+	}
+	for _, q := range d.ProvideDel {
+		delete(s.Assignment.Provides, q)
+	}
+	for _, pc := range d.ProvideSet {
+		s.Assignment.Provides[pc.Stream] = pc.Host
+	}
+	for _, f := range d.FlowDel {
+		delete(s.Assignment.Flows, f)
+	}
+	for _, f := range d.FlowAdd {
+		s.Assignment.Flows[f] = true
+	}
+	for _, p := range d.OpDel {
+		delete(s.Assignment.Ops, p)
+	}
+	for _, p := range d.OpAdd {
+		s.Assignment.Ops[p] = true
+	}
+	for _, hc := range d.Hosts {
+		for len(s.Hosts) <= int(hc.Host) {
+			s.Hosts = append(s.Hosts, dsps.HostUp)
+		}
+		s.Hosts[hc.Host] = hc.State
+	}
+	if d.AuxSet {
+		s.Aux = append(json.RawMessage(nil), d.Aux...)
+	}
+}

@@ -65,14 +65,21 @@ type ChurnResult struct {
 // Churn runs the host-churn experiment on the SQPR planner: plan the whole
 // workload, then alternate Poisson failures and recoveries for Steps steps,
 // repairing after each and resubmitting dropped queries whenever capacity
-// returns.
-func Churn(cs ChurnScale) (ChurnResult, error) {
+// returns. Cancelling ctx ends the run gracefully at the next query or
+// churn-step boundary; the partial result is still internally consistent
+// and is returned without error.
+func Churn(ctx context.Context, cs ChurnScale) (ChurnResult, error) {
 	var res ChurnResult
 	env := BuildEnv(cs.Scale)
 	rec := env.NewSQPR(cs.Scale, cs.Timeout)
-	ctx := context.Background()
 	for _, q := range env.Queries {
+		if ctx.Err() != nil {
+			break
+		}
 		if _, err := rec.Submit(ctx, q); err != nil {
+			if ctx.Err() != nil {
+				break // cancellation aborted the solve: graceful stop
+			}
 			return res, err
 		}
 	}
@@ -87,6 +94,9 @@ func Churn(cs ChurnScale) (ChurnResult, error) {
 	rng := rand.New(rand.NewSource(cs.Seed ^ 0x5ee1))
 	dropped := make(map[dsps.StreamID]bool)
 	for step := 0; step < cs.Steps; step++ {
+		if ctx.Err() != nil {
+			break
+		}
 		var events []plan.Event
 		recovering := false
 
@@ -115,9 +125,15 @@ func Churn(cs ChurnScale) (ChurnResult, error) {
 		if len(events) == 0 {
 			continue
 		}
+		if ctx.Err() != nil {
+			break
+		}
 
 		rr, err := rec.Repair(ctx, events)
 		if err != nil {
+			if ctx.Err() != nil {
+				break // cancellation aborted the repair: graceful stop
+			}
 			return res, fmt.Errorf("sim: churn step %d repair: %w", step, err)
 		}
 		res.RepairCalls++
@@ -139,8 +155,14 @@ func Churn(cs ChurnScale) (ChurnResult, error) {
 			}
 			sortStreamIDs(retry)
 			for _, q := range retry {
+				if ctx.Err() != nil {
+					break
+				}
 				r, err := rec.Submit(ctx, q)
 				if err != nil {
+					if ctx.Err() != nil {
+						break // cancellation aborted the solve: graceful stop
+					}
 					return res, fmt.Errorf("sim: churn resubmit %d: %w", q, err)
 				}
 				res.Resubmitted++

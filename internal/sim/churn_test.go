@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -20,7 +21,7 @@ func testChurnScale() ChurnScale {
 
 func TestChurnExperimentRuns(t *testing.T) {
 	cs := testChurnScale()
-	res, err := Churn(cs)
+	res, err := Churn(context.Background(), cs)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -65,8 +65,9 @@ type Fig7Result struct {
 
 // Fig7 runs the deployment comparison of SQPR vs SODA over waves of
 // queries, capturing admission counts per wave and utilisation CDFs at the
-// checkpoints.
-func Fig7(ds DeployScale) Fig7Result {
+// checkpoints. Cancelling ctx stops the run gracefully at the next wave
+// boundary; the waves completed so far remain in the result.
+func Fig7(ctx context.Context, ds DeployScale) Fig7Result {
 	scale := Scale{
 		Hosts:       ds.Hosts,
 		CPUPerHost:  ds.CPUPerHost,
@@ -96,22 +97,34 @@ func Fig7(ds DeployScale) Fig7Result {
 		res.HighCheckpoint = ds.Waves * ds.WaveSize
 	}
 
-	ctx := context.Background()
 	sqprSatisfied, sodaSatisfied := 0, 0
 	for wave := 0; wave < ds.Waves; wave++ {
+		if ctx.Err() != nil {
+			break
+		}
 		lo, hi := wave*ds.WaveSize, (wave+1)*ds.WaveSize
 		for _, q := range envS.Queries[lo:hi] {
 			r, err := sqpr.Submit(ctx, q)
 			switch {
+			case err != nil && ctx.Err() != nil:
+				// Cancellation aborted the solve: stop, don't count it as
+				// a solver failure.
 			case err != nil:
 				res.SQPRErrors++
 			case r.Admitted:
 				sqprSatisfied++
 			}
+			if ctx.Err() != nil {
+				break
+			}
 		}
 		for _, q := range envD.Queries[lo:hi] {
+			if ctx.Err() != nil {
+				break
+			}
 			r, err := soda.Submit(ctx, q)
 			switch {
+			case err != nil && ctx.Err() != nil:
 			case err != nil:
 				res.SODAErrors++
 			case r.Admitted:

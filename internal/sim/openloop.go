@@ -103,20 +103,25 @@ func (s *serialFrontEnd) submit(ctx context.Context, q dsps.StreamID) (plan.Resu
 // OpenLoop runs the open-loop arrival experiment: for each offered rate it
 // replays the same generated workload as a Poisson arrival process against
 // both admission paths and reports throughput, latency percentiles and the
-// coalesced batch sizes.
-func OpenLoop(sc OpenLoopScale) OpenLoopResult {
+// coalesced batch sizes. Cancelling ctx stops the arrival generator; the
+// submitter pool drains the queries already queued (a graceful drain, not
+// an abort), and the partial series collected so far is returned.
+func OpenLoop(ctx context.Context, sc OpenLoopScale) OpenLoopResult {
 	if sc.Submitters <= 0 {
 		sc.Submitters = 64
 	}
 	var res OpenLoopResult
 	for _, rate := range sc.Rates {
-		res.Points = append(res.Points, runOpenLoop(sc, rate, "service"))
-		res.Points = append(res.Points, runOpenLoop(sc, rate, "serial"))
+		if ctx.Err() != nil {
+			break
+		}
+		res.Points = append(res.Points, runOpenLoop(ctx, sc, rate, "service"))
+		res.Points = append(res.Points, runOpenLoop(ctx, sc, rate, "serial"))
 	}
 	return res
 }
 
-func runOpenLoop(sc OpenLoopScale, rate float64, mode string) OpenLoopPoint {
+func runOpenLoop(ctx context.Context, sc OpenLoopScale, rate float64, mode string) OpenLoopPoint {
 	env := BuildEnv(sc.Scale)
 	rec := env.NewSQPR(sc.Scale, sc.Timeout)
 
@@ -146,12 +151,19 @@ func runOpenLoop(sc OpenLoopScale, rate float64, mode string) OpenLoopPoint {
 	// config (xor-tagged against the workload stream); the global math/rand
 	// state is never used, so a run is reproducible from its seed.
 	rng := rand.New(rand.NewSource(sc.Seed ^ 0x0a71))
+	generated := make(chan int, 1)
 	go func() {
 		defer close(arrivals)
+		n := 0
 		for _, q := range env.Queries {
+			if ctx.Err() != nil {
+				break // stop offering load; the pool drains what's queued
+			}
 			arrivals <- arrival{q: q, born: time.Now()}
+			n++
 			time.Sleep(time.Duration(rng.ExpFloat64() / rate * float64(time.Second)))
 		}
+		generated <- n
 	}()
 
 	var (
@@ -161,7 +173,11 @@ func runOpenLoop(sc OpenLoopScale, rate float64, mode string) OpenLoopPoint {
 		shed      int
 		errCount  int
 	)
-	ctx := context.Background()
+	// Queued arrivals are drained even after ctx is cancelled (graceful
+	// shutdown finishes accepted work), so the submissions themselves run
+	// under a background context rather than the cancellable one.
+	//sqpr:ctxroot graceful drain outlives the run's cancellation
+	submitCtx := context.Background()
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < sc.Submitters; w++ {
@@ -174,9 +190,9 @@ func runOpenLoop(sc OpenLoopScale, rate float64, mode string) OpenLoopPoint {
 					err error
 				)
 				if svc != nil {
-					r, err = svc.Submit(ctx, a.q)
+					r, err = svc.Submit(submitCtx, a.q)
 				} else {
-					r, err = serial.submit(ctx, a.q)
+					r, err = serial.submit(submitCtx, a.q)
 				}
 				lat := time.Since(a.born)
 				mu.Lock()
@@ -200,10 +216,11 @@ func runOpenLoop(sc OpenLoopScale, rate float64, mode string) OpenLoopPoint {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	offered := <-generated
 
 	pt := OpenLoopPoint{
 		Mode: mode, Rate: rate,
-		Submitted: len(env.Queries), Admitted: admitted, Shed: shed,
+		Submitted: offered, Admitted: admitted, Shed: shed,
 		Errors:    errCount,
 		MeanBatch: 1, MaxBatch: 1,
 	}
@@ -211,7 +228,7 @@ func runOpenLoop(sc OpenLoopScale, rate float64, mode string) OpenLoopPoint {
 		// Shed requests never reached the planner; counting them would
 		// credit backpressure as throughput, so the numerator is planned
 		// submissions only.
-		pt.Throughput = float64(len(env.Queries)-shed) / elapsed.Seconds()
+		pt.Throughput = float64(offered-shed) / elapsed.Seconds()
 	}
 	cdf := stats.NewCDF(latencies)
 	pt.P50 = secs(cdf.Quantile(0.50))

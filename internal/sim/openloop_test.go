@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -18,7 +19,7 @@ func TestOpenLoopSmoke(t *testing.T) {
 	ol.Rates = []float64{200}
 	ol.Submitters = 16
 
-	res := OpenLoop(ol)
+	res := OpenLoop(context.Background(), ol)
 	if len(res.Points) != 2 {
 		t.Fatalf("got %d points, want 2 (service+serial)", len(res.Points))
 	}

@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestRestartScenario runs the crash/restart experiment at a tiny scale
+// and checks the recovery invariants: the recovered state is identical to
+// the pre-crash planner's, recovery performs zero solves, and the run
+// resumes to completion.
+func TestRestartScenario(t *testing.T) {
+	rs := DefaultRestartScale()
+	rs.Hosts = 8
+	rs.BaseStreams = 30
+	rs.Queries = 30
+	rs.Timeout = 60 * time.Millisecond
+	rs.MaxCandHost = 6
+	rs.CrashAfter = 18
+	rs.SnapshotEvery = 4
+
+	res, err := Restart(context.Background(), rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Submitted != rs.CrashAfter {
+		t.Fatalf("submitted %d before crash, want %d", res.Submitted, rs.CrashAfter)
+	}
+	if res.AdmittedAtCrash == 0 {
+		t.Fatal("nothing admitted before the crash")
+	}
+	if !res.StateMatch {
+		t.Fatal("recovered state differs from the pre-crash planner state")
+	}
+	if res.RecoverySolves != 0 {
+		t.Fatalf("recovery ran %d solves, want 0", res.RecoverySolves)
+	}
+	if res.RecoveredAdmitted != res.AdmittedAtCrash {
+		t.Fatalf("recovered %d admitted, want %d", res.RecoveredAdmitted, res.AdmittedAtCrash)
+	}
+	if !res.UsedSnapshot {
+		t.Fatalf("no snapshot used despite SnapshotEvery=%d over %d submits", rs.SnapshotEvery, rs.CrashAfter)
+	}
+	if res.ResumeSubmitted != rs.Queries-rs.CrashAfter {
+		t.Fatalf("resumed %d, want %d", res.ResumeSubmitted, rs.Queries-rs.CrashAfter)
+	}
+	if res.FinalAdmitted < res.RecoveredAdmitted {
+		t.Fatalf("final admitted %d below recovered %d", res.FinalAdmitted, res.RecoveredAdmitted)
+	}
+}
+
+// TestRestartGracefulCancel checks a cancelled context ends the run early
+// with a valid partial result instead of an error.
+func TestRestartGracefulCancel(t *testing.T) {
+	rs := DefaultRestartScale()
+	rs.Hosts = 8
+	rs.BaseStreams = 30
+	rs.Queries = 30
+	rs.Timeout = 60 * time.Millisecond
+	rs.MaxCandHost = 6
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Restart(ctx, rs)
+	if err != nil {
+		t.Fatalf("cancelled run errored: %v", err)
+	}
+	if res.Submitted != 0 || res.FinalAdmitted != 0 {
+		t.Fatalf("cancelled-before-start run did work: %+v", res)
+	}
+}

@@ -176,7 +176,7 @@ func TestFig7SmokeTest(t *testing.T) {
 	ds.WaveSize = 10
 	ds.Waves = 2
 	ds.Timeout = 60 * time.Millisecond
-	res := Fig7(ds)
+	res := Fig7(context.Background(), ds)
 	if len(res.Inputs) != 2 {
 		t.Fatalf("waves: %v", res.Inputs)
 	}

@@ -1,0 +1,34 @@
+package soda
+
+import (
+	"fmt"
+
+	"sqpr/internal/dsps"
+	"sqpr/internal/plan"
+)
+
+// ExportState snapshots the planner's durable state (see plan.StatePorter).
+// The opHost index is derived from the assignment and carries no extra
+// information, so no Aux payload is needed.
+func (p *Planner) ExportState() plan.State {
+	return plan.ExportedState(p.sys, p.state, p.admitted)
+}
+
+// ImportState replaces the planner state with s (see plan.StatePorter),
+// rebuilding the template-operator location index from the placements
+// (each template operator is placed on at most one host).
+func (p *Planner) ImportState(s plan.State) error {
+	if err := plan.CheckState(p.sys, s); err != nil {
+		return fmt.Errorf("soda: %w", err)
+	}
+	plan.ApplyHostStates(p.sys, s.Hosts)
+	p.state = s.Assignment.Clone()
+	p.admitted = s.AdmittedSet()
+	p.opHost = make(map[dsps.OperatorID]dsps.HostID, len(p.state.Ops))
+	for pl, on := range p.state.Ops {
+		if on {
+			p.opHost[pl.Op] = pl.Host
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the narrow filesystem surface the log writes through. Abstracting
+// it serves one purpose: crash fault injection. The production DirFS talks
+// to the real filesystem; the walfault FS keeps everything in memory,
+// tracks which bytes were fsynced, and can "kill the process" at any
+// registered crash point — after which only the synced prefix (plus a
+// configurable torn tail) survives into the reopened image, exactly the
+// state a machine crash leaves on disk.
+//
+// The log's write pattern keeps the interface small: segment and snapshot
+// files are created once, appended to, synced and closed — never reopened
+// for writing. Recovery reads whole files (segments are bounded by
+// Options.SegmentBytes) and may truncate the final segment's torn tail.
+type FS interface {
+	// Create opens a fresh file for appending, truncating any previous
+	// file of that name.
+	Create(name string) (File, error)
+	// ReadFile returns the full current content of the named file.
+	ReadFile(name string) ([]byte, error)
+	// List returns the names of all files, in no particular order.
+	List() ([]string, error)
+	// Remove deletes the named file.
+	Remove(name string) error
+	// Truncate cuts the named file to size bytes (recovery uses it to drop
+	// a torn tail record).
+	Truncate(name string, size int64) error
+	// SyncDir flushes directory metadata, making creations and removals
+	// durable.
+	SyncDir() error
+	// CrashPoint is the fault-injection hook: the log calls it at every
+	// registered crash point (see CrashPoints). The production FS always
+	// returns nil; a fault-injecting FS may "crash" here, after which every
+	// operation fails.
+	CrashPoint(point string) error
+}
+
+// File is a write-only log file.
+type File interface {
+	io.Writer
+	// Sync flushes written data to stable storage.
+	Sync() error
+	Close() error
+}
+
+// dirFS is the production FS over one real directory.
+type dirFS struct {
+	dir string
+}
+
+// DirFS returns an FS rooted at dir, creating the directory if needed.
+func DirFS(dir string) (FS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: creating directory: %w", err)
+	}
+	return &dirFS{dir: dir}, nil
+}
+
+func (d *dirFS) Create(name string) (File, error) {
+	return os.OpenFile(filepath.Join(d.dir, name), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+}
+
+func (d *dirFS) ReadFile(name string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(d.dir, name))
+}
+
+func (d *dirFS) List() ([]string, error) {
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (d *dirFS) Remove(name string) error {
+	return os.Remove(filepath.Join(d.dir, name))
+}
+
+func (d *dirFS) Truncate(name string, size int64) error {
+	return os.Truncate(filepath.Join(d.dir, name), size)
+}
+
+func (d *dirFS) SyncDir() error {
+	f, err := os.Open(d.dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (d *dirFS) CrashPoint(string) error { return nil }

@@ -1,0 +1,646 @@
+// Package wal is a segmented, append-only write-ahead log with CRC-framed
+// records and snapshot-based compaction. The admission service journals
+// every state-changing outcome through it before acknowledging the caller,
+// so a crashed planner rebuilds its exact state by replay instead of
+// re-solving MILPs (see plan.OpenService).
+//
+// On-disk layout: records are appended to segment files named
+// wal-<firstseq>.seg; when a segment exceeds Options.SegmentBytes it is
+// synced and a new one started, so only the final segment can ever hold
+// unsynced bytes. A snapshot file snap-<seq>.snap captures the full state
+// after record <seq>; once durable, every segment whose records all fall at
+// or below <seq> is deleted. Recovery picks the newest CRC-valid snapshot
+// and replays the records after it; a torn or corrupted record at the tail
+// of the final segment is detected by its CRC and truncated away, while the
+// same damage anywhere else refuses to open (real corruption, not a crash).
+//
+// Every write-path step is instrumented with registered crash points
+// (CrashPoints) through the FS hook, so the walfault FS can kill the
+// process at each of them and tests can prove recovery from any
+// interleaving.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strings"
+
+	"sqpr/internal/invariant"
+)
+
+// Typed errors. Wrap-and-compare with errors.Is.
+var (
+	// ErrCorrupt reports log damage that recovery cannot attribute to a
+	// torn tail write: a bad record in the middle of the log, a sequence
+	// gap, or a malformed segment name. Opening fails rather than silently
+	// replaying a hole.
+	ErrCorrupt = errors.New("wal corrupt")
+	// ErrClosed reports an operation on a closed log.
+	ErrClosed = errors.New("wal closed")
+)
+
+// Registered crash points, in write-path order. The walfault FS can kill
+// the process at any of them; the recovery test matrix covers all.
+const (
+	// CrashRotateBeforeCreate: previous segment synced and closed, new
+	// segment not yet created.
+	CrashRotateBeforeCreate = "rotate.before-create"
+	// CrashRotateAfterCreate: new segment created and its directory entry
+	// synced, no record written yet.
+	CrashRotateAfterCreate = "rotate.after-create"
+	// CrashAppendBeforeFrame: record not yet written at all.
+	CrashAppendBeforeFrame = "append.before-frame"
+	// CrashAppendMidFrame: frame header written, payload not yet.
+	CrashAppendMidFrame = "append.mid-frame"
+	// CrashAppendAfterFrame: full frame written but not yet synced — the
+	// torn-tail window.
+	CrashAppendAfterFrame = "append.after-frame"
+	// CrashAppendAfterSync: record durable but the caller never saw the
+	// acknowledgement.
+	CrashAppendAfterSync = "append.after-sync"
+	// CrashSnapshotAfterWrite: snapshot file written but not yet synced.
+	CrashSnapshotAfterWrite = "snapshot.after-write"
+	// CrashSnapshotAfterSync: snapshot durable, compaction not started.
+	CrashSnapshotAfterSync = "snapshot.after-sync"
+	// CrashSnapshotMidCompact: snapshot durable, some obsolete files
+	// already deleted, others not.
+	CrashSnapshotMidCompact = "snapshot.mid-compact"
+)
+
+// CrashPoints returns every registered crash point in write-path order.
+func CrashPoints() []string {
+	return []string{
+		CrashRotateBeforeCreate,
+		CrashRotateAfterCreate,
+		CrashAppendBeforeFrame,
+		CrashAppendMidFrame,
+		CrashAppendAfterFrame,
+		CrashAppendAfterSync,
+		CrashSnapshotAfterWrite,
+		CrashSnapshotAfterSync,
+		CrashSnapshotMidCompact,
+	}
+}
+
+// SyncPolicy selects when appended records are fsynced.
+type SyncPolicy int8
+
+// Sync policies.
+const (
+	// SyncAlways fsyncs after every append: an acknowledged record is
+	// always durable. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncEvery fsyncs once per Options.SyncRecords appends (and on
+	// rotation, snapshot and Close). Crash may lose the unsynced suffix.
+	SyncEvery
+	// SyncNever leaves syncing to rotation, snapshot, Sync and Close.
+	SyncNever
+)
+
+// String returns a readable name for the policy.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncEvery:
+		return "every"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int8(p))
+}
+
+// Options tunes a Log.
+type Options struct {
+	// SegmentBytes rotates the active segment once it exceeds this size.
+	// 0 selects 1 MiB.
+	SegmentBytes int
+	// Sync is the fsync policy for appended records.
+	Sync SyncPolicy
+	// SyncRecords is the fsync period for SyncEvery. 0 selects 64.
+	SyncRecords int
+}
+
+// Entry is one recovered record.
+type Entry struct {
+	Seq  uint64
+	Data []byte
+}
+
+// Recovered reports what Open rebuilt from the directory.
+type Recovered struct {
+	// SnapshotSeq and Snapshot are the newest valid snapshot (nil Snapshot
+	// when none exists; a snapshot at seq covers records 1..seq).
+	SnapshotSeq uint64
+	Snapshot    []byte
+	// Entries holds the records after the snapshot, in sequence order.
+	Entries []Entry
+	// TailTruncated is the number of torn/corrupt tail bytes recovery cut
+	// from the final segment (0 for a clean log).
+	TailTruncated int
+}
+
+// Stats is cumulative log telemetry.
+type Stats struct {
+	Appends   int
+	Syncs     int
+	Rotations int
+	Snapshots int
+	// CompactedSegments counts segment files deleted by snapshots.
+	CompactedSegments int
+	// ActiveSegmentBytes is the byte size of the segment being appended.
+	ActiveSegmentBytes int
+	LastSeq            uint64
+	SnapshotSeq        uint64
+}
+
+// frame layout: u32 payload length, u64 seq, u32 CRC32-IEEE over the seq
+// bytes and the payload. A record is valid iff its CRC matches, so a torn
+// write — truncated payload, garbage length, bit flips — is always caught.
+const frameHeader = 16
+
+// maxRecordBytes bounds a single record, so a garbage length field in a
+// torn header cannot trigger a huge allocation during recovery.
+const maxRecordBytes = 1 << 26
+
+var crcTable = crc32.MakeTable(crc32.IEEE)
+
+// segMeta describes one segment file on disk.
+type segMeta struct {
+	name  string
+	first uint64 // sequence of its first record
+}
+
+// Log is a write handle over a recovered log directory. Not safe for
+// concurrent use; the admission service drives it from its dispatcher
+// goroutine only.
+type Log struct {
+	fs   FS
+	opts Options
+
+	lastSeq uint64
+	snapSeq uint64
+
+	active      File // nil until the first append after Open/rotation
+	activeMeta  segMeta
+	activeBytes int
+	unsynced    int // appends since the last fsync (SyncEvery)
+
+	segments []segMeta // all live segments in first-seq order, incl. active
+
+	hdr [frameHeader]byte // reused append header; keeps Append allocation-free
+
+	stats  Stats
+	broken error // sticky first write error; the log refuses further writes
+	closed bool
+}
+
+// Open recovers the log stored in fs and returns a handle positioned to
+// append after the last valid record. Torn tail records on the final
+// segment are truncated (reported in Recovered.TailTruncated); damage
+// anywhere else fails with ErrCorrupt.
+func Open(fs FS, opts Options) (*Log, Recovered, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 1 << 20
+	}
+	if opts.SyncRecords <= 0 {
+		opts.SyncRecords = 64
+	}
+	l := &Log{fs: fs, opts: opts}
+	rec, err := l.recover()
+	if err != nil {
+		return nil, Recovered{}, err
+	}
+	l.stats.LastSeq = l.lastSeq
+	l.stats.SnapshotSeq = l.snapSeq
+	return l, rec, nil
+}
+
+// recover scans the directory: newest valid snapshot, then every record
+// after it, verifying CRCs and sequence contiguity.
+func (l *Log) recover() (Recovered, error) {
+	var rec Recovered
+	names, err := l.fs.List()
+	if err != nil {
+		return rec, fmt.Errorf("wal: listing log directory: %w", err)
+	}
+	var segs []segMeta
+	var snaps []segMeta // first = covered seq
+	for _, name := range names {
+		switch {
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".seg"):
+			var seq uint64
+			if _, err := fmt.Sscanf(name, "wal-%020d.seg", &seq); err != nil {
+				return rec, fmt.Errorf("wal: segment name %q: %w", name, ErrCorrupt)
+			}
+			segs = append(segs, segMeta{name: name, first: seq})
+		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap"):
+			var seq uint64
+			if _, err := fmt.Sscanf(name, "snap-%020d.snap", &seq); err != nil {
+				return rec, fmt.Errorf("wal: snapshot name %q: %w", name, ErrCorrupt)
+			}
+			snaps = append(snaps, segMeta{name: name, first: seq})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].first < snaps[j].first })
+
+	// Newest CRC-valid snapshot wins; an invalid one (crash between
+	// snapshot write and sync) falls back to the one before it, whose
+	// covered segments are still on disk because compaction only runs
+	// after the new snapshot is durable.
+	for i := len(snaps) - 1; i >= 0; i-- {
+		data, err := l.fs.ReadFile(snaps[i].name)
+		if err != nil {
+			return rec, fmt.Errorf("wal: reading snapshot %s: %w", snaps[i].name, err)
+		}
+		if len(data) < 4 {
+			continue
+		}
+		payload := data[4:]
+		if binary.LittleEndian.Uint32(data[:4]) != crc32.Checksum(payload, crcTable) {
+			continue
+		}
+		l.snapSeq = snaps[i].first
+		rec.SnapshotSeq = snaps[i].first
+		rec.Snapshot = payload
+		break
+	}
+
+	l.lastSeq = l.snapSeq
+	for i, sm := range segs {
+		last := i == len(segs)-1
+		if !last && segs[i+1].first-1 <= l.snapSeq {
+			// Fully covered by the snapshot (a compaction that crashed
+			// mid-delete leaves these behind); nothing to replay.
+			l.segments = append(l.segments, sm)
+			continue
+		}
+		entries, truncated, err := l.scanSegment(sm, last)
+		if err != nil {
+			return rec, err
+		}
+		rec.TailTruncated += truncated
+		for _, e := range entries {
+			if e.Seq <= l.snapSeq {
+				continue // already folded into the snapshot
+			}
+			if e.Seq != l.lastSeq+1 {
+				return rec, fmt.Errorf("wal: record %d follows %d in %s: sequence gap: %w",
+					e.Seq, l.lastSeq, sm.name, ErrCorrupt)
+			}
+			l.lastSeq = e.Seq
+			rec.Entries = append(rec.Entries, e)
+		}
+		if !last && len(entries) > 0 && entries[len(entries)-1].Seq+1 != segs[i+1].first {
+			return rec, fmt.Errorf("wal: segment %s ends at %d but %s starts at %d: %w",
+				sm.name, entries[len(entries)-1].Seq, segs[i+1].name, segs[i+1].first, ErrCorrupt)
+		}
+		if last && len(entries) == 0 && sm.first == l.lastSeq+1 {
+			// Empty trailing segment: a crash between segment creation and
+			// the first record (or a tail torn down to nothing). The next
+			// rotation reuses its name (first seq is still lastSeq+1), so
+			// tracking it here would double it up in the segment list.
+			continue
+		}
+		l.segments = append(l.segments, sm)
+	}
+	if invariant.Enabled && l.lastSeq < l.snapSeq {
+		invariant.Failf("wal: recovered lastSeq %d below snapshot seq %d", l.lastSeq, l.snapSeq)
+	}
+	return rec, nil
+}
+
+// scanSegment parses every frame of one segment. In the final segment an
+// invalid frame marks a torn tail: the file is truncated at the last valid
+// frame and the scan stops. Anywhere else the same damage is corruption.
+func (l *Log) scanSegment(sm segMeta, finalSegment bool) (entries []Entry, truncated int, err error) {
+	data, err := l.fs.ReadFile(sm.name)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: reading segment %s: %w", sm.name, err)
+	}
+	off := 0
+	expect := sm.first
+	for off < len(data) {
+		n, e, ok := parseFrame(data[off:])
+		if !ok {
+			if !finalSegment {
+				return nil, 0, fmt.Errorf("wal: invalid record at %s offset %d: %w", sm.name, off, ErrCorrupt)
+			}
+			truncated = len(data) - off
+			if terr := l.fs.Truncate(sm.name, int64(off)); terr != nil {
+				return nil, 0, fmt.Errorf("wal: truncating torn tail of %s: %w", sm.name, terr)
+			}
+			break
+		}
+		if e.Seq != expect {
+			// A valid CRC with the wrong sequence is never a torn write;
+			// something rewrote the log.
+			return nil, 0, fmt.Errorf("wal: record at %s offset %d has seq %d, want %d: %w",
+				sm.name, off, e.Seq, expect, ErrCorrupt)
+		}
+		entries = append(entries, e)
+		expect++
+		off += n
+	}
+	return entries, truncated, nil
+}
+
+// parseFrame decodes one frame from the head of buf, reporting ok=false on
+// any damage (short buffer, oversized length, CRC mismatch).
+//
+//sqpr:hotpath
+func parseFrame(buf []byte) (n int, e Entry, ok bool) {
+	if len(buf) < frameHeader {
+		return 0, Entry{}, false
+	}
+	length := int(binary.LittleEndian.Uint32(buf[0:4]))
+	if length < 0 || length > maxRecordBytes || frameHeader+length > len(buf) {
+		return 0, Entry{}, false
+	}
+	seq := binary.LittleEndian.Uint64(buf[4:12])
+	want := binary.LittleEndian.Uint32(buf[12:16])
+	payload := buf[frameHeader : frameHeader+length]
+	crc := crc32.Update(0, crcTable, buf[4:12])
+	crc = crc32.Update(crc, crcTable, payload)
+	if crc != want {
+		return 0, Entry{}, false
+	}
+	return frameHeader + length, Entry{Seq: seq, Data: payload}, true
+}
+
+// LastSeq returns the sequence of the last appended (or recovered) record.
+func (l *Log) LastSeq() uint64 { return l.lastSeq }
+
+// SnapshotSeq returns the sequence covered by the newest durable snapshot.
+func (l *Log) SnapshotSeq() uint64 { return l.snapSeq }
+
+// Stats returns cumulative log telemetry.
+func (l *Log) Stats() Stats {
+	s := l.stats
+	s.LastSeq = l.lastSeq
+	s.SnapshotSeq = l.snapSeq
+	s.ActiveSegmentBytes = l.activeBytes
+	return s
+}
+
+// writable guards every mutation: a closed log and a log whose previous
+// write failed both refuse further writes, so the on-disk record sequence
+// can never silently diverge from what callers were told.
+func (l *Log) writable() error {
+	if l.closed {
+		return fmt.Errorf("wal: %w", ErrClosed)
+	}
+	if l.broken != nil {
+		return fmt.Errorf("wal: log wedged by earlier write error: %w", l.broken)
+	}
+	return nil
+}
+
+// fail marks the log broken and returns the wrapped error.
+func (l *Log) fail(err error) error {
+	l.broken = err
+	return err
+}
+
+// Append writes one record and returns its sequence number. Depending on
+// the sync policy the record is fsynced before Append returns; callers
+// acknowledge their own clients only after Append succeeds.
+func (l *Log) Append(data []byte) (uint64, error) {
+	if err := l.writable(); err != nil {
+		return 0, err
+	}
+	if len(data) > maxRecordBytes {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds the %d-byte record bound", len(data), maxRecordBytes)
+	}
+	seq := l.lastSeq + 1
+	if l.active == nil || l.activeBytes >= l.opts.SegmentBytes {
+		if err := l.rotate(seq); err != nil {
+			return 0, err
+		}
+	}
+	if invariant.Enabled && (seq <= l.lastSeq || seq < l.activeMeta.first) {
+		invariant.Failf("wal: append seq %d not monotone (last %d, segment first %d)",
+			seq, l.lastSeq, l.activeMeta.first)
+	}
+	if err := l.fs.CrashPoint(CrashAppendBeforeFrame); err != nil {
+		return 0, l.fail(err)
+	}
+	binary.LittleEndian.PutUint32(l.hdr[0:4], uint32(len(data)))
+	binary.LittleEndian.PutUint64(l.hdr[4:12], seq)
+	crc := crc32.Update(0, crcTable, l.hdr[4:12])
+	crc = crc32.Update(crc, crcTable, data)
+	binary.LittleEndian.PutUint32(l.hdr[12:16], crc)
+	if _, err := l.active.Write(l.hdr[:]); err != nil {
+		return 0, l.fail(fmt.Errorf("wal: writing frame header: %w", err))
+	}
+	if err := l.fs.CrashPoint(CrashAppendMidFrame); err != nil {
+		return 0, l.fail(err)
+	}
+	if _, err := l.active.Write(data); err != nil {
+		return 0, l.fail(fmt.Errorf("wal: writing record: %w", err))
+	}
+	if err := l.fs.CrashPoint(CrashAppendAfterFrame); err != nil {
+		return 0, l.fail(err)
+	}
+	l.activeBytes += frameHeader + len(data)
+	l.unsynced++
+	switch l.opts.Sync {
+	case SyncAlways:
+		if err := l.syncActive(); err != nil {
+			return 0, err
+		}
+	case SyncEvery:
+		if l.unsynced >= l.opts.SyncRecords {
+			if err := l.syncActive(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if err := l.fs.CrashPoint(CrashAppendAfterSync); err != nil {
+		return 0, l.fail(err)
+	}
+	l.lastSeq = seq
+	l.stats.Appends++
+	return seq, nil
+}
+
+// syncActive fsyncs the active segment.
+func (l *Log) syncActive() error {
+	if l.active == nil {
+		return nil
+	}
+	if err := l.active.Sync(); err != nil {
+		return l.fail(fmt.Errorf("wal: fsync: %w", err))
+	}
+	l.unsynced = 0
+	l.stats.Syncs++
+	return nil
+}
+
+// rotate syncs and closes the active segment (if any) and creates a new
+// one whose name records firstSeq. Rotation always syncs the outgoing
+// segment — whatever the append policy — so every non-final segment is
+// fully durable and a crash can only ever tear the final one.
+func (l *Log) rotate(firstSeq uint64) error {
+	if l.active != nil {
+		if err := l.syncActive(); err != nil {
+			return err
+		}
+		if err := l.active.Close(); err != nil {
+			return l.fail(fmt.Errorf("wal: closing segment: %w", err))
+		}
+		l.active = nil
+	}
+	if err := l.fs.CrashPoint(CrashRotateBeforeCreate); err != nil {
+		return l.fail(err)
+	}
+	sm := segMeta{name: fmt.Sprintf("wal-%020d.seg", firstSeq), first: firstSeq}
+	f, err := l.fs.Create(sm.name)
+	if err != nil {
+		return l.fail(fmt.Errorf("wal: creating segment: %w", err))
+	}
+	if err := l.fs.SyncDir(); err != nil {
+		return l.fail(fmt.Errorf("wal: syncing directory: %w", err))
+	}
+	if err := l.fs.CrashPoint(CrashRotateAfterCreate); err != nil {
+		return l.fail(err)
+	}
+	l.active = f
+	l.activeMeta = sm
+	l.activeBytes = 0
+	l.segments = append(l.segments, sm)
+	l.stats.Rotations++
+	return nil
+}
+
+// WriteSnapshot makes data the authoritative state after the last appended
+// record and compacts: once the snapshot is durable, older snapshots and
+// every segment fully covered by it are deleted. Replay cost and disk use
+// stay proportional to the activity since the last snapshot, not to the
+// log's lifetime.
+func (l *Log) WriteSnapshot(data []byte) error {
+	if err := l.writable(); err != nil {
+		return err
+	}
+	// The snapshot covers everything up to lastSeq, so the records it
+	// folds in must be durable first; otherwise a crash could keep the
+	// snapshot but lose (already compacted) records behind it.
+	if err := l.syncActive(); err != nil {
+		return err
+	}
+	seq := l.lastSeq
+	name := fmt.Sprintf("snap-%020d.snap", seq)
+	f, err := l.fs.Create(name)
+	if err != nil {
+		return l.fail(fmt.Errorf("wal: creating snapshot: %w", err))
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], crc32.Checksum(data, crcTable))
+	if _, err := f.Write(hdr[:]); err != nil {
+		return l.fail(fmt.Errorf("wal: writing snapshot header: %w", err))
+	}
+	if _, err := f.Write(data); err != nil {
+		return l.fail(fmt.Errorf("wal: writing snapshot: %w", err))
+	}
+	if err := l.fs.CrashPoint(CrashSnapshotAfterWrite); err != nil {
+		return l.fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return l.fail(fmt.Errorf("wal: syncing snapshot: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		return l.fail(fmt.Errorf("wal: closing snapshot: %w", err))
+	}
+	if err := l.fs.SyncDir(); err != nil {
+		return l.fail(fmt.Errorf("wal: syncing directory: %w", err))
+	}
+	if err := l.fs.CrashPoint(CrashSnapshotAfterSync); err != nil {
+		return l.fail(err)
+	}
+
+	prevSnap := l.snapSeq
+	hadPrev := l.stats.Snapshots > 0 || prevSnap > 0
+	l.snapSeq = seq
+	l.stats.Snapshots++
+
+	// Compaction. Deletion order is crash-safe by construction: the new
+	// snapshot is already durable, so losing any subset of the deletions
+	// merely leaves garbage that the next Open skips and the next
+	// snapshot retries.
+	firstDeleted := false
+	if hadPrev {
+		old := fmt.Sprintf("snap-%020d.snap", prevSnap)
+		if old != name {
+			if err := l.fs.Remove(old); err != nil {
+				return l.fail(fmt.Errorf("wal: removing old snapshot: %w", err))
+			}
+			firstDeleted = true
+			if err := l.fs.CrashPoint(CrashSnapshotMidCompact); err != nil {
+				return l.fail(err)
+			}
+		}
+	}
+	kept := l.segments[:0]
+	for i, sm := range l.segments {
+		// A segment is covered iff a later segment starts at or below
+		// seq+1 (its records all fold into the snapshot). The active
+		// segment is never removed.
+		covered := i+1 < len(l.segments) && l.segments[i+1].first-1 <= seq && sm.name != l.activeMeta.name
+		if !covered {
+			kept = append(kept, sm)
+			continue
+		}
+		if err := l.fs.Remove(sm.name); err != nil {
+			return l.fail(fmt.Errorf("wal: removing compacted segment: %w", err))
+		}
+		l.stats.CompactedSegments++
+		if !firstDeleted {
+			firstDeleted = true
+			if err := l.fs.CrashPoint(CrashSnapshotMidCompact); err != nil {
+				return l.fail(err)
+			}
+		}
+	}
+	l.segments = kept
+	if err := l.fs.SyncDir(); err != nil {
+		return l.fail(fmt.Errorf("wal: syncing directory: %w", err))
+	}
+	if invariant.Enabled && l.snapSeq > l.lastSeq {
+		invariant.Failf("wal: snapshot seq %d ahead of log seq %d", l.snapSeq, l.lastSeq)
+	}
+	return nil
+}
+
+// Sync flushes any unsynced appends to stable storage (graceful-shutdown
+// flush; a no-op under SyncAlways).
+func (l *Log) Sync() error {
+	if err := l.writable(); err != nil {
+		return err
+	}
+	return l.syncActive()
+}
+
+// Close syncs and closes the active segment. The log refuses further
+// writes; reopen with Open.
+func (l *Log) Close() error {
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.broken != nil || l.active == nil {
+		return nil
+	}
+	if err := l.active.Sync(); err != nil {
+		return fmt.Errorf("wal: closing sync: %w", err)
+	}
+	err := l.active.Close()
+	l.active = nil
+	if err != nil {
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,298 @@
+// Package walfault is an in-memory wal.FS with crash fault injection.
+//
+// The FS tracks, for every file, which bytes have been fsynced and whether
+// its directory entry has been synced. A test arms a crash at any
+// registered wal crash point (wal.CrashPoints); when the log reaches it,
+// the FS "kills the process": every subsequent operation fails with
+// ErrCrashed. Reopen then yields the exact image a machine crash would
+// have left on disk — synced bytes survive, unsynced bytes are torn down
+// to a configurable surviving prefix, files whose directory entry was
+// never synced vanish, and removals that were never synced come back.
+// Opening a wal.Log over the reopened FS exercises the real recovery path
+// against that interleaving.
+package walfault
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"sqpr/internal/wal"
+)
+
+// ErrCrashed is returned by every operation after the injected crash has
+// fired. Compare with errors.Is.
+var ErrCrashed = errors.New("walfault: crashed")
+
+type file struct {
+	data      []byte
+	synced    int  // prefix of data that is durable
+	dirSynced bool // directory entry durable (survives crash at all)
+}
+
+// FS is the fault-injecting in-memory filesystem. The zero value is not
+// usable; call New. All methods are safe for concurrent use.
+type FS struct {
+	mu      sync.Mutex
+	files   map[string]*file
+	removed map[string]*file // removed but removal not yet dir-synced
+	crashAt map[string]int   // crash point -> remaining hits before firing
+	tear    int              // unsynced tail bytes that survive a crash, per file
+	crashed bool
+}
+
+// New returns an empty fault-free FS.
+func New() *FS {
+	return &FS{
+		files:   make(map[string]*file),
+		removed: make(map[string]*file),
+		crashAt: make(map[string]int),
+	}
+}
+
+// CrashAt arms a crash at the hit-th future invocation of the named crash
+// point (hit=1 fires on the next one). Multiple points can be armed; the
+// first to fire crashes the FS.
+func (f *FS) CrashAt(point string, hit int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAt[point] = hit
+}
+
+// SetTear configures how many unsynced tail bytes per file survive a
+// crash (default 0: only fsynced bytes survive). A nonzero tear leaves a
+// partial frame on disk — the torn-tail case recovery must truncate.
+func (f *FS) SetTear(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tear = n
+}
+
+// Crashed reports whether the injected crash has fired.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Reopen returns a fresh fault-free FS holding the post-crash durable
+// image. If the crash has not fired yet it behaves as an immediate
+// kill -9 at the current instant.
+func (f *FS) Reopen() *FS {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := New()
+	for name, fl := range f.files {
+		if !fl.dirSynced {
+			continue // name never made it to disk
+		}
+		keep := fl.synced + f.tear
+		if keep > len(fl.data) {
+			keep = len(fl.data)
+		}
+		n.files[name] = &file{
+			data:      append([]byte(nil), fl.data[:keep]...),
+			synced:    keep,
+			dirSynced: true,
+		}
+	}
+	// A removal whose directory update was never synced may be undone by
+	// the crash: the old entry reappears with its durable content.
+	for name, fl := range f.removed {
+		if _, exists := n.files[name]; exists {
+			continue
+		}
+		n.files[name] = &file{
+			data:      append([]byte(nil), fl.data[:fl.synced]...),
+			synced:    fl.synced,
+			dirSynced: true,
+		}
+	}
+	return n
+}
+
+// Corrupt flips one bit of the named file at byte offset off, modelling
+// media corruption that CRC validation must catch.
+func (f *FS) Corrupt(name string, off int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fl, ok := f.files[name]
+	if !ok {
+		return fmt.Errorf("walfault: corrupt %s: no such file", name)
+	}
+	if off < 0 || off >= len(fl.data) {
+		return fmt.Errorf("walfault: corrupt %s: offset %d out of range [0,%d)", name, off, len(fl.data))
+	}
+	fl.data[off] ^= 0x40
+	return nil
+}
+
+// Size returns the current byte size of the named file.
+func (f *FS) Size(name string) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fl, ok := f.files[name]
+	if !ok {
+		return 0, fmt.Errorf("walfault: size %s: no such file", name)
+	}
+	return len(fl.data), nil
+}
+
+func (f *FS) check() error {
+	if f.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// CrashPoint fires the armed crash when its hit count reaches zero.
+func (f *FS) CrashPoint(point string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	hits, ok := f.crashAt[point]
+	if !ok {
+		return nil
+	}
+	hits--
+	if hits > 0 {
+		f.crashAt[point] = hits
+		return nil
+	}
+	delete(f.crashAt, point)
+	f.crashed = true
+	return ErrCrashed
+}
+
+// Create opens a fresh in-memory file. Its name is not durable until the
+// next SyncDir.
+func (f *FS) Create(name string) (wal.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.check(); err != nil {
+		return nil, err
+	}
+	fl := &file{}
+	f.files[name] = fl
+	delete(f.removed, name)
+	return &handle{fs: f, f: fl}, nil
+}
+
+// ReadFile returns a copy of the file's current (in-memory, not
+// necessarily durable) content.
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.check(); err != nil {
+		return nil, err
+	}
+	fl, ok := f.files[name]
+	if !ok {
+		return nil, fmt.Errorf("walfault: read %s: no such file", name)
+	}
+	return append([]byte(nil), fl.data...), nil
+}
+
+// List returns all file names in sorted order.
+func (f *FS) List() ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.check(); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(f.files))
+	for name := range f.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Remove deletes the named file. The deletion is not durable until the
+// next SyncDir: a crash before that may resurrect the file.
+func (f *FS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.check(); err != nil {
+		return err
+	}
+	fl, ok := f.files[name]
+	if !ok {
+		return fmt.Errorf("walfault: remove %s: no such file", name)
+	}
+	delete(f.files, name)
+	if fl.dirSynced {
+		f.removed[name] = fl
+	}
+	return nil
+}
+
+// Truncate cuts the file to size bytes.
+func (f *FS) Truncate(name string, size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.check(); err != nil {
+		return err
+	}
+	fl, ok := f.files[name]
+	if !ok {
+		return fmt.Errorf("walfault: truncate %s: no such file", name)
+	}
+	if size < 0 || size > int64(len(fl.data)) {
+		return fmt.Errorf("walfault: truncate %s: size %d out of range [0,%d]", name, size, len(fl.data))
+	}
+	fl.data = fl.data[:size]
+	if fl.synced > int(size) {
+		fl.synced = int(size)
+	}
+	return nil
+}
+
+// SyncDir makes all pending creations and removals durable.
+func (f *FS) SyncDir() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.check(); err != nil {
+		return err
+	}
+	for _, fl := range f.files {
+		fl.dirSynced = true
+	}
+	f.removed = make(map[string]*file)
+	return nil
+}
+
+// handle is one open write handle.
+type handle struct {
+	fs *FS
+	f  *file
+}
+
+func (h *handle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.fs.check(); err != nil {
+		return 0, err
+	}
+	h.f.data = append(h.f.data, p...)
+	return len(p), nil
+}
+
+func (h *handle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.fs.check(); err != nil {
+		return err
+	}
+	h.f.synced = len(h.f.data)
+	return nil
+}
+
+func (h *handle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	return h.fs.check()
+}

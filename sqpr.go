@@ -35,6 +35,7 @@ import (
 	"sqpr/internal/hier"
 	"sqpr/internal/plan"
 	"sqpr/internal/soda"
+	"sqpr/internal/wal"
 	"sqpr/internal/workload"
 )
 
@@ -53,6 +54,17 @@ var (
 	_ QueryPlanner = (*soda.Planner)(nil)
 	_ QueryPlanner = (*bound.Planner)(nil)
 	_ QueryPlanner = (*hier.Planner)(nil)
+)
+
+// Compile-time conformance of all five planners to StatePorter: every
+// planner can export/import its full durable state, so every planner works
+// under the durable admission service (OpenService).
+var (
+	_ StatePorter = (*core.Planner)(nil)
+	_ StatePorter = (*heuristic.Planner)(nil)
+	_ StatePorter = (*soda.Planner)(nil)
+	_ StatePorter = (*bound.Planner)(nil)
+	_ StatePorter = (*hier.Planner)(nil)
 )
 
 // Core model types.
@@ -130,6 +142,32 @@ type (
 	// ServiceTrace describes one request group the dispatcher applied, in
 	// order (the service's audit stream).
 	ServiceTrace = plan.Trace
+)
+
+// Durability types: the write-ahead admission journal and recovery.
+type (
+	// PlannerState is a planner's exported durable state: assignment,
+	// admitted set, host availability and planner-private aux data.
+	PlannerState = plan.State
+	// StatePorter is implemented by every planner in this repository:
+	// export/import of the full durable state, the basis of journal replay.
+	StatePorter = plan.StatePorter
+	// RecoveredState reports what OpenService rebuilt from the journal.
+	RecoveredState = plan.RecoveredState
+	// WALOptions tunes the write-ahead log (segment size, fsync policy).
+	WALOptions = wal.Options
+	// WALStats is the journal telemetry exposed by Service.WALStats.
+	WALStats = wal.Stats
+	// WALFS is the filesystem abstraction the journal writes through
+	// (DirFS for a real directory; test harnesses inject fault-laden ones).
+	WALFS = wal.FS
+)
+
+// Journal fsync policies (WALOptions.Sync).
+const (
+	SyncAlways = wal.SyncAlways
+	SyncEvery  = wal.SyncEvery
+	SyncNever  = wal.SyncNever
 )
 
 // Engine types.
@@ -228,6 +266,13 @@ var (
 	// ErrAlreadyDeployed reports a Deploy on an engine already running a
 	// plan; Stop it first.
 	ErrAlreadyDeployed = engine.ErrAlreadyDeployed
+	// ErrWALFailed reports that the admission journal could not be written;
+	// the durable service wedges (state-changing requests fail fast) until
+	// restarted, which recovers from the last good journal state.
+	ErrWALFailed = plan.ErrWALFailed
+	// ErrWALCorrupt reports journal corruption outside the final tail
+	// record (which is truncated instead) — recovery refuses to guess.
+	ErrWALCorrupt = wal.ErrCorrupt
 )
 
 // WithTimeout bounds one planning call by d instead of the planner default.
@@ -298,6 +343,20 @@ func DefaultWorkloadConfig() WorkloadConfig { return workload.DefaultConfig() }
 // goroutines, and submits that arrive while a solve is running are coalesced
 // into one joint batch solve. Call Close to stop it.
 func NewService(p QueryPlanner, cfg ServiceConfig) *Service { return plan.NewService(p, cfg) }
+
+// DirFS opens (creating if needed) a directory for the write-ahead journal.
+func DirFS(dir string) (WALFS, error) { return wal.DirFS(dir) }
+
+// OpenService opens (or creates) the write-ahead admission journal in fs,
+// replays it into the freshly constructed planner p — rebuilding the exact
+// pre-crash admitted set and placements with zero planning solves — and
+// returns a running durable admission service that journals every
+// state-changing outcome before acknowledging it. p must implement
+// StatePorter (all planners in this repository do) and must be built over
+// a system identical to the one the journal was written against.
+func OpenService(p QueryPlanner, cfg ServiceConfig, fs WALFS, wopts WALOptions) (*Service, RecoveredState, error) {
+	return plan.OpenService(p, cfg, fs, wopts)
+}
 
 // NewEngine creates a mini stream engine over the system.
 func NewEngine(sys *System, cfg EngineConfig) *Engine { return engine.New(sys, cfg) }
