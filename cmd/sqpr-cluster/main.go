@@ -11,12 +11,25 @@
 // queries are recovered without a single planning solve and skipped on
 // resubmission. SIGINT/SIGTERM stops a run gracefully: in-flight work
 // drains, the journal is flushed, and partial results are printed.
+//
+// With -serve ADDR the binary skips the study entirely and runs as a
+// long-lived admission daemon: the HTTP control plane of internal/serve
+// (submit/remove/repair, /metrics, /healthz, /readyz) over the cluster
+// substrate, durable when -wal is also given. SIGTERM drains gracefully:
+// readiness flips off, in-flight requests finish, the journal is flushed,
+// and the process exits 0.
+//
+// -fig drain runs the rolling-drain scenario instead of the Fig-7 study:
+// hosts are drained one at a time through journaled Repair calls while the
+// HTTP API keeps serving, asserting zero lost admissions.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -24,26 +37,29 @@ import (
 	"time"
 
 	"sqpr/internal/core"
+	"sqpr/internal/engine"
 	"sqpr/internal/plan"
+	"sqpr/internal/serve"
 	"sqpr/internal/sim"
 	"sqpr/internal/stats"
 	"sqpr/internal/wal"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "part to print: 7a, 7b, 7c or all")
+	fig := flag.String("fig", "all", "part to print: 7a, 7b, 7c, all, or drain (rolling-drain scenario)")
 	waves := flag.Int("waves", 0, "override number of 50-query waves")
 	deploy := flag.Bool("deploy", true, "run the final plans on the mini engine")
 	walDir := flag.String("wal", "", "journal the deployment check's admissions to a WAL in this directory and resume from it on restart")
+	serveAddr := flag.String("serve", "", "run as a long-lived admission daemon serving the HTTP control plane on this address (e.g. :8080) instead of the one-shot study")
 	flag.Parse()
 
 	// Validate the figure selector before simulating: the Fig-7 run takes
 	// minutes, and a typo like "-fig 7d" used to burn all of it and then
 	// print nothing.
 	switch *fig {
-	case "all", "7a", "7b", "7c":
+	case "all", "7a", "7b", "7c", "drain":
 	default:
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 7a, 7b, 7c or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 7a, 7b, 7c, all or drain)\n", *fig)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -56,6 +72,15 @@ func main() {
 	ds := sim.DefaultDeployScale()
 	if *waves > 0 {
 		ds.Waves = *waves
+	}
+
+	if *serveAddr != "" {
+		runServe(ctx, ds, *serveAddr, *walDir)
+		return
+	}
+	if *fig == "drain" {
+		runRollingDrain(ctx)
+		return
 	}
 
 	res := sim.Fig7(ctx, ds)
@@ -120,14 +145,7 @@ func main() {
 
 	if *deploy {
 		fmt.Println("=== Engine deployment check ===")
-		ds2 := ds
-		ds2.Waves = 1
-		scale := sim.Scale{
-			Hosts: ds2.Hosts, CPUPerHost: ds2.CPUPerHost, OutBW: ds2.OutBW,
-			InBW: ds2.InBW, LinkCap: ds2.LinkCap, BaseStreams: ds2.BaseStreams,
-			BaseRate: ds2.BaseRate, Queries: ds2.WaveSize, Zipf: 1,
-			Arities: []int{2, 3}, Timeout: ds2.Timeout, MaxCandHost: 8, Seed: ds2.Seed,
-		}
+		scale := clusterScale(ds)
 		env := sim.BuildEnv(scale)
 		if *walDir != "" {
 			runDurableDeploy(ctx, env, scale, *walDir)
@@ -152,6 +170,114 @@ func main() {
 		}
 		fmt.Printf("admitted=%d deployed-result-tuples=%d total-cpu-work=%.1f\n",
 			ad.AdmittedCount(), delivered, cpu)
+	}
+}
+
+// clusterScale is the single-wave cluster substrate shared by the
+// deployment check and the -serve daemon.
+func clusterScale(ds sim.DeployScale) sim.Scale {
+	return sim.Scale{
+		Hosts: ds.Hosts, CPUPerHost: ds.CPUPerHost, OutBW: ds.OutBW,
+		InBW: ds.InBW, LinkCap: ds.LinkCap, BaseStreams: ds.BaseStreams,
+		BaseRate: ds.BaseRate, Queries: ds.WaveSize, Zipf: 1,
+		Arities: []int{2, 3}, Timeout: ds.Timeout, MaxCandHost: 8, Seed: ds.Seed,
+	}
+}
+
+// runServe is the -serve daemon mode: the SQPR planner over the cluster
+// substrate behind the internal/serve control plane, durable when -wal is
+// given. SIGINT/SIGTERM starts a graceful drain — readiness flips off,
+// in-flight requests finish, the journal is flushed — and the process
+// exits 0.
+func runServe(ctx context.Context, ds sim.DeployScale, addr, walDir string) {
+	scale := clusterScale(ds)
+	env := sim.BuildEnv(scale)
+	cfg := core.DefaultConfig()
+	cfg.SolveTimeout = scale.Timeout
+	cfg.MaxCandidateHosts = scale.MaxCandHost
+	cfg.MaxFreeStreams = 30
+	p := core.NewPlanner(env.Sys, cfg)
+
+	var svc *plan.Service
+	if walDir != "" {
+		fs, err := wal.DirFS(walDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wal: %v\n", err)
+			os.Exit(1)
+		}
+		var rs plan.RecoveredState
+		svc, rs, err = plan.OpenService(p, plan.ServiceConfig{}, fs, wal.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wal: opening durable service: %v\n", err)
+			os.Exit(1)
+		}
+		if rs.UsedSnapshot || rs.Records > 0 {
+			fmt.Printf("resumed from journal: %d admitted recovered (snapshot=%v records=%d)\n",
+				rs.Admitted, rs.UsedSnapshot, rs.Records)
+		}
+	} else {
+		svc = plan.NewService(p, plan.ServiceConfig{})
+	}
+
+	// An engine over the same substrate contributes per-host utilisation to
+	// /metrics. Construction is cheap — no goroutines run until a Deploy.
+	eng := engine.New(env.Sys, engine.Config{})
+	srv, err := serve.New(serve.Config{Service: svc, System: env.Sys, Monitor: eng.Monitor()})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	go func() {
+		<-ctx.Done()
+		fmt.Println("shutdown signal: draining")
+		srv.StartDrain()
+		//sqpr:ctxroot graceful drain outlives the signal context
+		shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+		}
+	}()
+
+	fmt.Printf("serving admission control plane on %s (hosts=%d queries=%d durable=%v)\n",
+		addr, scale.Hosts, len(env.Queries), walDir != "")
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(1)
+	}
+	// Exit path: every accepted request has been answered; flush the
+	// journal and stop the dispatcher before reporting a clean exit.
+	if err := svc.SyncWAL(); err != nil {
+		fmt.Fprintf(os.Stderr, "wal: flushing journal on exit: %v\n", err)
+		svc.Close()
+		os.Exit(1)
+	}
+	svc.Close()
+	fmt.Printf("drained: admitted=%d\n", p.AdmittedCount())
+}
+
+// runRollingDrain is the -fig drain scenario: roll hosts through journaled
+// drain/recover repairs while the HTTP API keeps serving, asserting zero
+// lost admissions.
+func runRollingDrain(ctx context.Context) {
+	res, err := sim.RollingDrain(ctx, sim.DefaultDrainScale())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "drain scenario: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("=== Rolling drain: API availability under journaled host maintenance ===")
+	fmt.Printf("submitted=%d admitted=%d hosts-drained=%d dropped=%d lost-admissions=%d\n",
+		res.Submitted, res.Admitted, res.HostsDrained, res.Dropped, res.LostAdmissions)
+	fmt.Printf("api-probes=%d/%d ok  journal-recovered-admitted=%d durable=%v\n",
+		res.ProbeOK, res.ProbeTotal, res.RecoveredAdmitted, res.Durable)
+	if ctx.Err() != nil {
+		fmt.Println("(interrupted: partial roll above)")
+		return
+	}
+	if res.LostAdmissions > 0 || res.Dropped > 0 || !res.Durable {
+		fmt.Fprintln(os.Stderr, "rolling drain lost admissions")
+		os.Exit(1)
 	}
 }
 

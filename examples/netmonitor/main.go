@@ -84,7 +84,7 @@ collect:
 	snap := eng.Monitor().Snapshot()
 	fmt.Println("\nper-host measured consumption (monitor):")
 	for h := 0; h < sys.NumHosts(); h++ {
-		fmt.Printf("  host %d: cpu-work=%.1f sent=%.0f received=%.0f drops=%d\n",
-			h, snap.CPUWork[h], snap.Sent[h], snap.Received[h], snap.Drops[h])
+		fmt.Printf("  host %d: cpu-work=%.1f sent=%.0f received=%.0f delivered=%.0f drops=%d\n",
+			h, snap.CPUWork[h], snap.Sent[h], snap.Received[h], snap.Delivered[h], snap.Drops[h])
 	}
 }

@@ -14,13 +14,14 @@ import (
 type Monitor struct {
 	sys *dsps.System
 
-	mu       sync.Mutex
-	cpuWork  []float64 // accumulated operator cost units per host
-	sent     []float64 // accumulated rate-weighted transfers out
-	received []float64
-	drops    []int64
-	opWork   map[dsps.OperatorID]float64
-	samples  int64
+	mu        sync.Mutex
+	cpuWork   []float64 // accumulated operator cost units per host
+	sent      []float64 // accumulated rate-weighted transfers out (network egress only)
+	received  []float64
+	delivered []float64 // accumulated rate-weighted client deliveries (local, no egress)
+	drops     []int64
+	opWork    map[dsps.OperatorID]float64
+	samples   int64 // compute records folded into cpuWork
 
 	latencySum   time.Duration
 	latencyCount int64
@@ -37,12 +38,13 @@ type Monitor struct {
 func NewMonitor(sys *dsps.System) *Monitor {
 	n := sys.NumHosts()
 	return &Monitor{
-		sys:      sys,
-		cpuWork:  make([]float64, n),
-		sent:     make([]float64, n),
-		received: make([]float64, n),
-		drops:    make([]int64, n),
-		opWork:   make(map[dsps.OperatorID]float64),
+		sys:       sys,
+		cpuWork:   make([]float64, n),
+		sent:      make([]float64, n),
+		received:  make([]float64, n),
+		delivered: make([]float64, n),
+		drops:     make([]int64, n),
+		opWork:    make(map[dsps.OperatorID]float64),
 	}
 }
 
@@ -68,9 +70,12 @@ func (m *Monitor) recordTransfer(from, to dsps.HostID, rate float64) {
 	m.mu.Unlock()
 }
 
+// recordDelivery accounts a client delivery on h. Deliveries are local hand-
+// offs, not network egress, so they are kept out of sent: folding them in
+// would overcount egress and break the sent/received balance across hosts.
 func (m *Monitor) recordDelivery(h dsps.HostID, rate float64) {
 	m.mu.Lock()
-	m.sent[h] += rate
+	m.delivered[h] += rate
 	m.mu.Unlock()
 }
 
@@ -143,9 +148,18 @@ type Snapshot struct {
 	// CPUWork is accumulated operator cost per host since start.
 	CPUWork []float64
 	// Sent and Received are accumulated rate-weighted transfer volumes.
+	// Sent is strictly network egress (inter-host forwarding, including
+	// relays), so summed over hosts it balances against Received up to
+	// tuples still in flight or dropped.
 	Sent, Received []float64
+	// Delivered is the accumulated rate-weighted client delivery volume per
+	// host — local hand-offs to result consumers, disjoint from Sent.
+	Delivered []float64
 	// Drops counts tuples lost to full queues per host.
 	Drops []int64
+	// ComputeSamples counts the operator invocations folded into CPUWork,
+	// so CPUWork/ComputeSamples is the mean per-invocation cost.
+	ComputeSamples int64
 }
 
 // Snapshot returns a copy of the current counters.
@@ -153,10 +167,12 @@ func (m *Monitor) Snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Snapshot{
-		CPUWork:  append([]float64(nil), m.cpuWork...),
-		Sent:     append([]float64(nil), m.sent...),
-		Received: append([]float64(nil), m.received...),
-		Drops:    append([]int64(nil), m.drops...),
+		CPUWork:        append([]float64(nil), m.cpuWork...),
+		Sent:           append([]float64(nil), m.sent...),
+		Received:       append([]float64(nil), m.received...),
+		Delivered:      append([]float64(nil), m.delivered...),
+		Drops:          append([]int64(nil), m.drops...),
+		ComputeSamples: m.samples,
 	}
 	return s
 }

@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"testing"
+
+	"sqpr/internal/dsps"
+)
+
+func twoHostSystem() *dsps.System {
+	return dsps.NewSystem([]dsps.Host{
+		{ID: 0, CPU: 10, OutBW: 100, InBW: 100},
+		{ID: 1, CPU: 10, OutBW: 100, InBW: 100},
+	}, 100)
+}
+
+// TestMonitorDeliverySeparateFromEgress pins the delivery/egress accounting:
+// client deliveries land in Delivered only, so total Sent balances against
+// total Received for fully transferred traffic.
+func TestMonitorDeliverySeparateFromEgress(t *testing.T) {
+	m := NewMonitor(twoHostSystem())
+	m.recordTransfer(0, 1, 5)
+	m.recordTransfer(0, 1, 5)
+	m.recordDelivery(1, 3)
+
+	snap := m.Snapshot()
+	if got := snap.Sent[0]; got != 10 {
+		t.Fatalf("Sent[0] = %v, want 10 (transfers only)", got)
+	}
+	if got := snap.Sent[1]; got != 0 {
+		t.Fatalf("Sent[1] = %v, want 0: delivery leaked into egress", got)
+	}
+	if got := snap.Delivered[1]; got != 3 {
+		t.Fatalf("Delivered[1] = %v, want 3", got)
+	}
+	var sent, recv float64
+	for h := range snap.Sent {
+		sent += snap.Sent[h]
+		recv += snap.Received[h]
+	}
+	if sent != recv {
+		t.Fatalf("egress %v does not balance ingress %v", sent, recv)
+	}
+}
+
+// TestMonitorComputeSamples pins the once-dead samples counter to the
+// Snapshot surface: every compute record increments it.
+func TestMonitorComputeSamples(t *testing.T) {
+	m := NewMonitor(twoHostSystem())
+	m.recordCompute(0, 2.5)
+	m.recordCompute(1, 1.5)
+	m.recordCompute(1, 1.5)
+
+	snap := m.Snapshot()
+	if snap.ComputeSamples != 3 {
+		t.Fatalf("ComputeSamples = %d, want 3", snap.ComputeSamples)
+	}
+	if snap.CPUWork[1] != 3 {
+		t.Fatalf("CPUWork[1] = %v, want 3", snap.CPUWork[1])
+	}
+}

@@ -123,24 +123,20 @@ func (s *Service) journal(kind TraceKind) error {
 	}
 	data, err := json.Marshal(walRecord{Kind: kind.String(), Delta: d})
 	if err != nil {
-		s.walErr = fmt.Errorf("plan: encoding journal record: %w: %w", err, ErrWALFailed)
-		return s.walErr
+		return s.setWALErr(fmt.Errorf("plan: encoding journal record: %w: %w", err, ErrWALFailed))
 	}
 	if _, err := s.walLog.Append(data); err != nil {
-		s.walErr = fmt.Errorf("plan: appending journal record: %w: %w", err, ErrWALFailed)
-		return s.walErr
+		return s.setWALErr(fmt.Errorf("plan: appending journal record: %w: %w", err, ErrWALFailed))
 	}
 	s.last = cur
 	s.sinceSnap++
 	if s.sinceSnap >= s.cfg.SnapshotEvery {
 		snap, err := json.Marshal(cur)
 		if err != nil {
-			s.walErr = fmt.Errorf("plan: encoding journal snapshot: %w: %w", err, ErrWALFailed)
-			return s.walErr
+			return s.setWALErr(fmt.Errorf("plan: encoding journal snapshot: %w: %w", err, ErrWALFailed))
 		}
 		if err := s.walLog.WriteSnapshot(snap); err != nil {
-			s.walErr = fmt.Errorf("plan: writing journal snapshot: %w: %w", err, ErrWALFailed)
-			return s.walErr
+			return s.setWALErr(fmt.Errorf("plan: writing journal snapshot: %w: %w", err, ErrWALFailed))
 		}
 		s.sinceSnap = 0
 	}
@@ -151,11 +147,34 @@ func (s *Service) journal(kind TraceKind) error {
 	return nil
 }
 
+// setWALErr records the sticky journal error and publishes it to the
+// lock-free mirror Wedged reads. Callers hold pmu.
+//
+//sqpr:locked pmu
+func (s *Service) setWALErr(err error) error {
+	s.walErr = err
+	s.wedge.Store(&err)
+	return err
+}
+
 // wedged reports the sticky journal error, if any. Callers hold pmu.
 //
 //sqpr:locked pmu
 func (s *Service) wedged() error {
 	return s.walErr
+}
+
+// Wedged reports whether the service is wedged on a journal failure: nil
+// for a healthy (or non-durable) service, otherwise the sticky error
+// wrapping ErrWALFailed that every state-changing request is answered
+// with. Readiness probes use this: a wedged service still serves reads but
+// cannot accept work until restarted. Wedged is lock-free — it never queues
+// behind the dispatcher, so probes stay responsive through long solves.
+func (s *Service) Wedged() error {
+	if p := s.wedge.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // WALStats returns the journal's telemetry, or a zero Stats when the

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sqpr/internal/dsps"
@@ -96,12 +97,53 @@ type Trace struct {
 	Err error
 }
 
+// LatencyBuckets lists the inclusive upper bounds of the per-request
+// latency histogram kept in ServiceStats.LatencyHist; the histogram has one
+// extra overflow bucket for latencies above the last bound. The ladder is
+// chosen for an admission service whose solves run from sub-millisecond
+// (warm-started repairs) to seconds (cold batch MILPs).
+var LatencyBuckets = [...]time.Duration{
+	100 * time.Microsecond,
+	500 * time.Microsecond,
+	time.Millisecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	time.Second,
+	5 * time.Second,
+}
+
+// latencyBucket maps a request latency to its LatencyHist index.
+func latencyBucket(d time.Duration) int {
+	for i, b := range LatencyBuckets {
+		if d <= b {
+			return i
+		}
+	}
+	return len(LatencyBuckets)
+}
+
 // ServiceStats aggregates service-level telemetry, separate from the
 // planner's own Stats: queueing, coalescing and per-request latency.
+//
+// Every client call lands in exactly one of Requests, Expired or QueueFull,
+// and Replies == Requests + Expired (asserted in checked builds): shed
+// calls never produce a reply, expired calls are answered without touching
+// the planner, and everything else is applied.
 type ServiceStats struct {
-	// Requests counts accepted requests (submits, removes, repairs).
+	// Requests counts requests the dispatcher applied: processed against
+	// the wrapped planner, or answered with a service error at application
+	// time (a planner error, the WAL wedge). Requests whose ctx expired
+	// while queued are counted in Expired instead, never here.
 	Requests int
-	// QueueFull counts requests rejected with ErrQueueFull.
+	// Replies counts every reply delivered to a caller, applied or expired.
+	Replies int
+	// QueueFull counts requests shed with ErrQueueFull; they never enter
+	// the queue and never get a dispatcher reply.
 	QueueFull int
 	// Expired counts requests whose ctx was done before the dispatcher
 	// reached them; they are answered with the ctx error, unapplied.
@@ -113,9 +155,12 @@ type ServiceStats struct {
 	BatchedSubmits int
 	MaxBatch       int
 	// TotalLatency and MaxLatency aggregate per-request latency from
-	// arrival in the queue to reply.
+	// arrival in the queue to reply; LatencyHist buckets the same samples
+	// by LatencyBuckets (last entry = overflow), so sum(LatencyHist) ==
+	// Replies.
 	TotalLatency time.Duration
 	MaxLatency   time.Duration
+	LatencyHist  [len(LatencyBuckets) + 1]int
 }
 
 // request is one queued client call.
@@ -182,6 +227,12 @@ type Service struct {
 	last      State       //sqpr:guarded-by pmu
 	walErr    error       //sqpr:guarded-by pmu
 	sinceSnap int         //sqpr:guarded-by pmu
+
+	// wedge mirrors walErr for lock-free reads: the wedge is sticky (set
+	// once, never cleared), so Wedged — and through it readiness probes —
+	// must not queue behind pmu, which the dispatcher holds across whole
+	// planner solves.
+	wedge atomic.Pointer[error]
 
 	closeOnce sync.Once
 }
@@ -337,6 +388,18 @@ func (s *Service) Assignment() *dsps.Assignment {
 	return s.p.Assignment().Clone()
 }
 
+// AdmittedQueries returns the sorted list of currently admitted query
+// streams when the wrapped planner implements StatePorter (every planner in
+// this repository does); nil otherwise. The list is a copy.
+func (s *Service) AdmittedQueries() []dsps.StreamID {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	if p, ok := s.p.(StatePorter); ok {
+		return p.ExportState().Admitted
+	}
+	return nil
+}
+
 // Stats returns the wrapped planner's cumulative telemetry.
 func (s *Service) Stats() Stats {
 	s.pmu.Lock()
@@ -394,11 +457,8 @@ func (s *Service) applyNext(pending []*request) []*request {
 
 	// A dead ctx answers without touching the planner.
 	if err := head.ctx.Err(); err != nil {
-		s.smu.Lock()
-		s.stats.Expired++
-		s.smu.Unlock()
 		head.err = err
-		s.finish(head)
+		s.finishExpired(head)
 		return pending[1:]
 	}
 
@@ -599,18 +659,36 @@ func (s *Service) recordSolve(n int) {
 	s.smu.Unlock()
 }
 
-// finish replies to the caller and records the request latency.
-func (s *Service) finish(r *request) {
+// finish replies to a caller whose request was applied (planned, removed,
+// repaired, or answered with a service error at application time) and
+// records the reply accounting and latency.
+func (s *Service) finish(r *request) { s.reply(r, true) }
+
+// finishExpired replies to a caller whose ctx died in the queue; the
+// request never touched the planner and counts in Expired, not Requests.
+func (s *Service) finishExpired(r *request) { s.reply(r, false) }
+
+func (s *Service) reply(r *request, applied bool) {
 	if invariant.Enabled && r.finished {
 		invariant.Failf("service: request finished twice (kind %v, query %v)", r.kind, r.q)
 	}
 	r.finished = true
 	lat := time.Since(r.arrived)
 	s.smu.Lock()
-	s.stats.Requests++
+	s.stats.Replies++
+	if applied {
+		s.stats.Requests++
+	} else {
+		s.stats.Expired++
+	}
 	s.stats.TotalLatency += lat
 	if lat > s.stats.MaxLatency {
 		s.stats.MaxLatency = lat
+	}
+	s.stats.LatencyHist[latencyBucket(lat)]++
+	if invariant.Enabled && s.stats.Replies != s.stats.Requests+s.stats.Expired {
+		invariant.Failf("service: reply accounting drifted: %d replies != %d applied + %d expired",
+			s.stats.Replies, s.stats.Requests, s.stats.Expired)
 	}
 	s.smu.Unlock()
 	close(r.done)

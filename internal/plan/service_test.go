@@ -307,3 +307,65 @@ func TestServiceNonCoalescibleOptionsRunSolo(t *testing.T) {
 		}
 	}
 }
+
+// TestServiceReplyAccounting pins the Requests/Replies/Expired split: an
+// expired request is a reply but not an applied request, so the identity
+// Replies == Requests + Expired holds and Requests counts only requests
+// that reached the application step.
+func TestServiceReplyAccounting(t *testing.T) {
+	f := newFakePlanner(30 * time.Millisecond)
+	s := plan.NewService(f, plan.ServiceConfig{MaxBatch: 1})
+	defer s.Close()
+
+	// Occupy the dispatcher, then enqueue a request that expires behind it.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Submit(context.Background(), 1)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Submit(ctx, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expired submit: err = %v, want context.Canceled", err)
+	}
+	wg.Wait()
+	s.Close() // drain so the expired request's reply is recorded
+
+	ss := s.ServiceStats()
+	if ss.Expired != 1 {
+		t.Fatalf("Expired = %d, want 1", ss.Expired)
+	}
+	if ss.Requests != 1 {
+		t.Fatalf("Requests = %d, want 1 (expired request must not count as applied)", ss.Requests)
+	}
+	if ss.Replies != ss.Requests+ss.Expired {
+		t.Fatalf("Replies = %d, want Requests+Expired = %d", ss.Replies, ss.Requests+ss.Expired)
+	}
+}
+
+// TestServiceLatencyHistogram checks that every reply lands in exactly one
+// latency bucket: sum(LatencyHist) == Replies.
+func TestServiceLatencyHistogram(t *testing.T) {
+	f := newFakePlanner(time.Millisecond)
+	s := plan.NewService(f, plan.ServiceConfig{})
+	for i := 0; i < 10; i++ {
+		if _, err := s.Submit(context.Background(), dsps.StreamID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	ss := s.ServiceStats()
+	total := 0
+	for _, n := range ss.LatencyHist {
+		total += n
+	}
+	if total != ss.Replies || ss.Replies != 10 {
+		t.Fatalf("histogram holds %d samples, Replies = %d, want both 10", total, ss.Replies)
+	}
+	if ss.MaxLatency <= 0 || ss.TotalLatency < ss.MaxLatency {
+		t.Fatalf("latency aggregates inconsistent: total=%v max=%v", ss.TotalLatency, ss.MaxLatency)
+	}
+}

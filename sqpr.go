@@ -24,6 +24,7 @@ package sqpr
 
 import (
 	"context"
+	"io"
 	"time"
 
 	"sqpr/internal/bound"
@@ -34,6 +35,7 @@ import (
 	"sqpr/internal/heuristic"
 	"sqpr/internal/hier"
 	"sqpr/internal/plan"
+	"sqpr/internal/serve"
 	"sqpr/internal/soda"
 	"sqpr/internal/wal"
 	"sqpr/internal/workload"
@@ -357,6 +359,34 @@ func DirFS(dir string) (WALFS, error) { return wal.DirFS(dir) }
 func OpenService(p QueryPlanner, cfg ServiceConfig, fs WALFS, wopts WALOptions) (*Service, RecoveredState, error) {
 	return plan.OpenService(p, cfg, fs, wopts)
 }
+
+// Control-plane serving types: the HTTP admission API and the unified
+// metrics exporter that turn a Service into a long-running daemon.
+type (
+	// AdmissionServer is the HTTP control plane over one admission service:
+	// POST /v1/submit, /v1/remove, /v1/repair; GET /v1/admitted,
+	// /v1/assignment, /v1/queries; GET /metrics (Prometheus text format),
+	// /healthz and /readyz (503 when the journal is wedged or a drain is
+	// underway).
+	AdmissionServer = serve.Server
+	// ServerConfig wires an AdmissionServer to its service, system and
+	// optional engine monitor.
+	ServerConfig = serve.Config
+	// MetricsData is one consistent snapshot of every telemetry surface the
+	// /metrics exporter unifies (planner, LP factorization, service, WAL,
+	// engine monitor).
+	MetricsData = serve.MetricsData
+	// EngineMetrics is the engine monitor's surface within MetricsData.
+	EngineMetrics = serve.EngineMetrics
+)
+
+// NewAdmissionServer builds the HTTP control plane; mount Handler on an
+// http.Server and call StartDrain when the shutdown signal arrives.
+func NewAdmissionServer(cfg ServerConfig) (*AdmissionServer, error) { return serve.New(cfg) }
+
+// WriteMetrics renders a telemetry snapshot in Prometheus text exposition
+// format (what GET /metrics serves).
+func WriteMetrics(w io.Writer, d MetricsData) { serve.WriteMetrics(w, d) }
 
 // NewEngine creates a mini stream engine over the system.
 func NewEngine(sys *System, cfg EngineConfig) *Engine { return engine.New(sys, cfg) }
