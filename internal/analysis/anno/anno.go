@@ -17,6 +17,12 @@
 //	ctxloop           loop must demonstrably poll ctx (ctxflow)
 //	ctxroot <reason>  deliberate context.Background site (ctxflow)
 //	ctxroot-package   whole package is a context root (ctxflow)
+//	ack-point         function acknowledges a request (walorder)
+//	journal-point     function makes prior mutations durable (walorder)
+//	mutates           function/interface method changes journaled state (walorder)
+//	ack-ok <why>      statement-level waiver for an unjournaled ack (walorder)
+//	lock-order A < B  sanctioned lock acquisition hierarchy (lockorder)
+//	atomic-ok <why>   statement-level waiver for a plain access (atomicmix)
 package anno
 
 import (

@@ -29,6 +29,42 @@ type Analyzer struct {
 	Run func(*Pass) error
 }
 
+// ModuleAnalyzer is one whole-program static check: unlike an Analyzer,
+// which sees one package at a time, its Run receives every loaded target
+// package at once, so it can build call graphs and propagate facts across
+// package boundaries (the interprocedural walorder/lockorder/atomicmix
+// contracts).
+type ModuleAnalyzer struct {
+	// Name identifies the analyzer in diagnostics (e.g. "walorder").
+	Name string
+	// Doc is a one-paragraph description shown by `sqpr-vet -help`.
+	Doc string
+	// Run performs the check over the whole loaded module.
+	Run func(*ModulePass) error
+}
+
+// ModulePass carries the whole loaded module through one module analyzer.
+// All packages share one FileSet (Load guarantees this).
+type ModulePass struct {
+	Analyzer *ModuleAnalyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+	// Report delivers one finding.
+	Report func(Diagnostic)
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ReportContext is Reportf with an annotation-context string attached: the
+// //sqpr: contract the finding enforces, carried into -json output so CI
+// archives can be filtered by contract, not just by analyzer.
+func (p *ModulePass) ReportContext(pos token.Pos, context, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Context: context})
+}
+
 // Pass carries one package through one analyzer.
 type Pass struct {
 	Analyzer  *Analyzer
@@ -49,6 +85,9 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+	// Context optionally names the //sqpr: annotation contract behind the
+	// finding (e.g. "ack-point (*Service).reply"); surfaced in -json output.
+	Context string
 }
 
 // Finding pairs a diagnostic with its analyzer and resolved position, the
@@ -57,6 +96,7 @@ type Finding struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	Context  string
 }
 
 func (f Finding) String() string {
@@ -86,6 +126,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 					Analyzer: name,
 					Pos:      pkg.Fset.Position(d.Pos),
 					Message:  d.Message,
+					Context:  d.Context,
 				})
 			}
 			if err := a.Run(pass); err != nil {
@@ -93,6 +134,47 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 			}
 		}
 	}
+	SortFindings(out)
+	return out, nil
+}
+
+// RunModuleAnalyzers applies every whole-program analyzer once over all
+// packages together and returns the findings sorted by file, line and
+// column. Analyzer errors (not diagnostics) abort the run.
+func RunModuleAnalyzers(pkgs []*Package, analyzers []*ModuleAnalyzer) ([]Finding, error) {
+	if len(pkgs) == 0 {
+		return nil, nil
+	}
+	for _, pkg := range pkgs {
+		if pkg.IllTyped {
+			return nil, fmt.Errorf("anz: package %s did not type-check: %w", pkg.PkgPath, firstErr(pkg.Errors))
+		}
+	}
+	fset := pkgs[0].Fset
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &ModulePass{Analyzer: a, Fset: fset, Pkgs: pkgs}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			out = append(out, Finding{
+				Analyzer: name,
+				Pos:      fset.Position(d.Pos),
+				Message:  d.Message,
+				Context:  d.Context,
+			})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("anz: %s: %w", a.Name, err)
+		}
+	}
+	SortFindings(out)
+	return out, nil
+}
+
+// SortFindings orders findings by file, line, column and message — the
+// stable order every consumer (terminal output, -json archives, the test
+// harness) relies on.
+func SortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {
@@ -106,7 +188,6 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 		}
 		return out[i].Message < out[j].Message
 	})
-	return out, nil
 }
 
 func firstErr(errs []error) error {

@@ -1,0 +1,75 @@
+package anz
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+)
+
+// jsonVersion is bumped only on incompatible schema changes; CI archives
+// vet.json per commit and diffs findings across runs, so the schema is a
+// contract: fields may be added, never renamed or repurposed.
+const jsonVersion = 1
+
+// jsonReport is the -json document: a version header plus one entry per
+// finding, already in SortFindings order.
+type jsonReport struct {
+	Version  int           `json:"version"`
+	Findings []jsonFinding `json:"findings"`
+}
+
+// jsonFinding is the machine-readable form of one Finding.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	// Context is the //sqpr: annotation contract behind the finding, when
+	// the analyzer attached one; empty otherwise (omitted from output).
+	Context string `json:"context,omitempty"`
+}
+
+// WriteJSON emits findings as the stable machine-readable report CI
+// archives (`sqpr-vet -json ./... > vet.json`). Findings must already be
+// sorted (RunAnalyzers and RunModuleAnalyzers both sort).
+func WriteJSON(w io.Writer, findings []Finding) error {
+	rep := jsonReport{Version: jsonVersion, Findings: make([]jsonFinding, 0, len(findings))}
+	for _, f := range findings {
+		rep.Findings = append(rep.Findings, jsonFinding{
+			Analyzer: f.Analyzer,
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Message:  f.Message,
+			Context:  f.Context,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// ReadJSON decodes a report written by WriteJSON back into findings, so
+// tooling can diff archived runs. Unknown versions are rejected rather
+// than misread.
+func ReadJSON(r io.Reader) ([]Finding, error) {
+	var rep jsonReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("anz: decoding findings report: %w", err)
+	}
+	if rep.Version != jsonVersion {
+		return nil, fmt.Errorf("anz: findings report version %d, this tool reads %d", rep.Version, jsonVersion)
+	}
+	out := make([]Finding, 0, len(rep.Findings))
+	for _, f := range rep.Findings {
+		out = append(out, Finding{
+			Analyzer: f.Analyzer,
+			Pos:      token.Position{Filename: f.File, Line: f.Line, Column: f.Col},
+			Message:  f.Message,
+			Context:  f.Context,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package anz_test
+
+import (
+	"go/token"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sqpr/internal/analysis/anz"
+)
+
+// goldenJSON is the frozen -json schema: CI archives vet.json per commit
+// and diffs findings across runs, so any change to field names, nesting or
+// the version header must be deliberate and must fail this test first.
+const goldenJSON = `{
+  "version": 1,
+  "findings": [
+    {
+      "analyzer": "walorder",
+      "file": "internal/plan/service.go",
+      "line": 12,
+      "col": 3,
+      "message": "acknowledges before journaling",
+      "context": "ack-point (*Service).reply"
+    },
+    {
+      "analyzer": "lockorder",
+      "file": "internal/plan/service.go",
+      "line": 40,
+      "col": 7,
+      "message": "lock cycle"
+    }
+  ]
+}
+`
+
+func sampleFindings() []anz.Finding {
+	return []anz.Finding{
+		{
+			Analyzer: "walorder",
+			Pos:      token.Position{Filename: "internal/plan/service.go", Line: 12, Column: 3},
+			Message:  "acknowledges before journaling",
+			Context:  "ack-point (*Service).reply",
+		},
+		{
+			Analyzer: "lockorder",
+			Pos:      token.Position{Filename: "internal/plan/service.go", Line: 40, Column: 7},
+			Message:  "lock cycle",
+		},
+	}
+}
+
+// TestJSONGolden pins the exact serialized schema.
+func TestJSONGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := anz.WriteJSON(&sb, sampleFindings()); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if sb.String() != goldenJSON {
+		t.Errorf("schema drifted.\ngot:\n%s\nwant:\n%s", sb.String(), goldenJSON)
+	}
+}
+
+// TestJSONRoundTrip checks Write→Read is lossless for every schema field.
+func TestJSONRoundTrip(t *testing.T) {
+	in := sampleFindings()
+	var sb strings.Builder
+	if err := anz.WriteJSON(&sb, in); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	out, err := anz.ReadJSON(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	// Offset is not serialized; compare everything that is.
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip drifted:\n in: %#v\nout: %#v", in, out)
+	}
+}
+
+// TestJSONEmpty checks an all-clean run still emits a well-formed document
+// (CI archives it unconditionally) and reads back as zero findings.
+func TestJSONEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := anz.WriteJSON(&sb, nil); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !strings.Contains(sb.String(), `"findings": []`) {
+		t.Errorf("empty report should carry an explicit empty findings array, got:\n%s", sb.String())
+	}
+	out, err := anz.ReadJSON(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if len(out) != 0 {
+		t.Errorf("read %d findings from empty report", len(out))
+	}
+}
+
+// TestJSONVersionGate checks future-versioned reports are rejected, not
+// silently misread.
+func TestJSONVersionGate(t *testing.T) {
+	_, err := anz.ReadJSON(strings.NewReader(`{"version": 99, "findings": []}`))
+	if err == nil || !strings.Contains(err.Error(), "version 99") {
+		t.Errorf("want version error, got %v", err)
+	}
+}

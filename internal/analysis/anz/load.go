@@ -14,6 +14,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"strings"
 )
 
 // Package is one loaded, type-checked target package.
@@ -38,6 +39,7 @@ type listedPackage struct {
 	Standard   bool
 	Incomplete bool
 	Error      *struct{ Err string }
+	DepsErrors []*struct{ Err string }
 }
 
 // Load resolves patterns (as `go list` would, e.g. "./..." or an explicit
@@ -49,6 +51,13 @@ type listedPackage struct {
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
+	}
+	for _, p := range patterns {
+		// `go list ""` silently resolves to ".", which is never what a
+		// caller building patterns programmatically meant.
+		if strings.TrimSpace(p) == "" {
+			return nil, fmt.Errorf("anz: empty package pattern in %q", patterns)
+		}
 	}
 	listed, err := goList(dir, patterns)
 	if err != nil {
@@ -69,6 +78,14 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	}
 	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
 
+	// A pattern that resolves to nothing is a caller mistake (a typo'd
+	// path, a testdata dir that moved): failing here with the patterns in
+	// hand beats returning an empty slice that downstream code treats as
+	// "module is clean".
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("anz: patterns %v matched no packages under %s", patterns, dir)
+	}
+
 	fset := token.NewFileSet()
 	imp := newExportImporter(fset, exports)
 
@@ -76,6 +93,13 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	for _, lp := range targets {
 		if lp.Error != nil {
 			return nil, fmt.Errorf("anz: go list %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		// `go list -e` parks unresolvable imports in DepsErrors rather than
+		// Error; without this check the target would type-check against
+		// missing export data and surface as a confusing "no export data"
+		// type error instead of the underlying resolution failure.
+		if len(lp.DepsErrors) > 0 {
+			return nil, fmt.Errorf("anz: go list %s: dependency error: %s", lp.ImportPath, lp.DepsErrors[0].Err)
 		}
 		pkg, err := typeCheck(fset, imp, lp)
 		if err != nil {

@@ -1,6 +1,9 @@
 package anz_test
 
 import (
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"sqpr/internal/analysis/anz"
@@ -33,5 +36,74 @@ func TestLoadTypechecksRealPackage(t *testing.T) {
 	}
 	if len(p.TypesInfo.Uses) == 0 || len(p.Syntax) == 0 {
 		t.Fatal("missing syntax or uses info")
+	}
+}
+
+// tempModule materializes a throwaway module so failure paths can be
+// exercised without polluting the real tree.
+func tempModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module anzbroken\n\ngo 1.24\n"
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLoadSyntaxError checks a package that does not parse yields a
+// diagnosable error naming the file, not a nil-map panic downstream.
+func TestLoadSyntaxError(t *testing.T) {
+	dir := tempModule(t, map[string]string{
+		"bad.go": "package broken\n\nfunc oops( {\n",
+	})
+	_, err := anz.Load(dir, "./...")
+	if err == nil {
+		t.Fatal("Load succeeded on a syntax-error package")
+	}
+	if !strings.Contains(err.Error(), "bad.go") {
+		t.Errorf("error does not name the broken file: %v", err)
+	}
+}
+
+// TestLoadMissingExportData checks an unresolvable import (no module
+// provides it, so no export data can exist) is reported from Load itself
+// rather than surfacing later as an ill-typed package.
+func TestLoadMissingExportData(t *testing.T) {
+	dir := tempModule(t, map[string]string{
+		"dep.go": "package broken\n\nimport _ \"nonexistent.invalid/nowhere\"\n",
+	})
+	_, err := anz.Load(dir, "./...")
+	if err == nil {
+		t.Fatal("Load succeeded with an unresolvable import")
+	}
+	if !strings.Contains(err.Error(), "nonexistent.invalid/nowhere") && !strings.Contains(err.Error(), "broken") {
+		t.Errorf("error does not identify the unresolvable dependency: %v", err)
+	}
+}
+
+// TestLoadNoMatch checks a pattern matching nothing returns an error that
+// echoes the pattern instead of an empty package list a caller would
+// mistake for a clean module.
+func TestLoadNoMatch(t *testing.T) {
+	dir := tempModule(t, map[string]string{
+		"ok.go": "package broken\n",
+	})
+	// A directory that exists but holds no Go packages: `go list` warns and
+	// exits zero, so only Load's own no-match check catches it.
+	if err := os.Mkdir(filepath.Join(dir, "empty"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, patterns := range [][]string{{"./empty/..."}, {""}} {
+		_, err := anz.Load(dir, patterns...)
+		if err == nil {
+			t.Errorf("Load(%q) succeeded, want no-match error", patterns)
+			continue
+		}
+		if !strings.Contains(err.Error(), "matched no packages") && !strings.Contains(err.Error(), "empty package pattern") {
+			t.Errorf("Load(%q): undiagnosable error: %v", patterns, err)
+		}
 	}
 }

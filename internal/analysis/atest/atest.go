@@ -35,6 +35,24 @@ type want struct {
 // against the want comments.
 func Run(t *testing.T, dir string, a *anz.Analyzer, patterns ...string) {
 	t.Helper()
+	check(t, a.Name, dir, patterns, func(pkgs []*anz.Package) ([]anz.Finding, error) {
+		return anz.RunAnalyzers(pkgs, []*anz.Analyzer{a})
+	})
+}
+
+// RunModule is Run for whole-module analyzers: all matched fixture
+// packages are handed to the analyzer in one pass, so cross-package
+// diagnostics (call-graph summaries, lock hierarchies) can be asserted
+// with the same want comments.
+func RunModule(t *testing.T, dir string, a *anz.ModuleAnalyzer, patterns ...string) {
+	t.Helper()
+	check(t, a.Name, dir, patterns, func(pkgs []*anz.Package) ([]anz.Finding, error) {
+		return anz.RunModuleAnalyzers(pkgs, []*anz.ModuleAnalyzer{a})
+	})
+}
+
+func check(t *testing.T, name, dir string, patterns []string, run func([]*anz.Package) ([]anz.Finding, error)) {
+	t.Helper()
 	pkgs, err := anz.Load(dir, patterns...)
 	if err != nil {
 		t.Fatalf("loading fixtures: %v", err)
@@ -42,9 +60,9 @@ func Run(t *testing.T, dir string, a *anz.Analyzer, patterns ...string) {
 	if len(pkgs) == 0 {
 		t.Fatalf("no fixture packages matched %v", patterns)
 	}
-	findings, err := anz.RunAnalyzers(pkgs, []*anz.Analyzer{a})
+	findings, err := run(pkgs)
 	if err != nil {
-		t.Fatalf("running %s: %v", a.Name, err)
+		t.Fatalf("running %s: %v", name, err)
 	}
 
 	wants, err := collectWants(pkgs)

@@ -1,0 +1,246 @@
+// Package atomicmix reports mixed atomic/plain access to fields. A field
+// that any function in the module updates through sync/atomic must never
+// be read or written plainly anywhere else: the plain access races with
+// the atomic ones, and the mix usually appears when a field's discipline
+// changes in one place but not the others (the historical wedge-flag bug
+// this module fixed by mirroring state into an atomic.Pointer).
+//
+// Two disciplines are recognized:
+//
+//   - fields passed by address to sync/atomic functions anywhere in the
+//     module: every other access must also be atomic. Exemptions: the
+//     address-of operand inside an atomic call itself, initialization of a
+//     struct created as a local composite literal (the value is not yet
+//     shared), and statements waived with //sqpr:atomic-ok <why>.
+//
+//   - fields of sync/atomic box types (atomic.Bool, atomic.Pointer[T], …):
+//     using the field as a method-call receiver or taking its address is
+//     the point of the type; copying the box by value smuggles a snapshot
+//     out of the atomic domain and is reported.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sqpr/internal/analysis/anno"
+	"sqpr/internal/analysis/anz"
+)
+
+// Analyzer is the module-level atomicmix pass.
+var Analyzer = &anz.ModuleAnalyzer{
+	Name: "atomicmix",
+	Doc:  "report plain accesses to fields that are updated atomically elsewhere in the module",
+	Run:  run,
+}
+
+func run(pass *anz.ModulePass) error {
+	// Pass A: every field key passed by address to a sync/atomic function,
+	// across the whole module — the discipline is global even though each
+	// access is local.
+	atomicFields := make(map[string]bool)
+	for _, pkg := range pass.Pkgs {
+		for _, file := range pkg.Syntax {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(pkg, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					if key, ok := addrOfField(pkg, arg); ok {
+						atomicFields[key] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass B: flag plain accesses.
+	for _, pkg := range pass.Pkgs {
+		lines := anno.CollectLines(pkg.Fset, pkg.Syntax)
+		for _, file := range pkg.Syntax {
+			checkFile(pass, pkg, lines, file, atomicFields)
+		}
+	}
+	return nil
+}
+
+func checkFile(pass *anz.ModulePass, pkg *anz.Package, lines *anno.Lines, file *ast.File, atomicFields map[string]bool) {
+	fresh := compositeLocals(pkg, file)
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		defer func() { stack = append(stack, n) }()
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		key, fld, ok := fieldOf(pkg, sel)
+		if !ok {
+			return true
+		}
+		parent := parentOf(stack)
+		if atomicFields[key] {
+			switch {
+			case isAtomicOperand(pkg, stack):
+				// The sanctioned access: &x.f inside a sync/atomic call.
+			case isCompositeLocalBase(pkg, sel.X, fresh):
+				// Initialization before the value escapes.
+			case lines.At(pkg.Fset, sel.Pos(), "atomic-ok"):
+			default:
+				pass.ReportContext(sel.Sel.Pos(), "field "+key,
+					"plain access to %s, which is updated with sync/atomic elsewhere; use the atomic API or move the access before publication", sel.Sel.Name)
+			}
+			return true
+		}
+		if isAtomicBoxType(fld.Type()) && !isBoxUse(parent) {
+			if !lines.At(pkg.Fset, sel.Pos(), "atomic-ok") {
+				pass.ReportContext(sel.Sel.Pos(), "field "+key,
+					"%s copies an atomic box (%s) by value; the copy is a racy snapshot detached from the original", sel.Sel.Name, fld.Type())
+			}
+		}
+		return true
+	})
+}
+
+// isBoxUse reports whether the parent node uses an atomic box the
+// intended way: as a method-call receiver (s.flag.Store) or through its
+// address (&s.flag).
+func isBoxUse(parent ast.Node) bool {
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		return true
+	case *ast.UnaryExpr:
+		return p.Op == token.AND
+	}
+	return false
+}
+
+// parentOf returns the node enclosing the one currently being visited.
+func parentOf(stack []ast.Node) ast.Node {
+	if len(stack) == 0 {
+		return nil
+	}
+	return stack[len(stack)-1]
+}
+
+// isAtomicOperand reports whether the visited selector sits as &x.f
+// directly inside a sync/atomic call: stack tail … CallExpr, UnaryExpr(&).
+func isAtomicOperand(pkg *anz.Package, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	u, ok := stack[len(stack)-1].(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return false
+	}
+	call, ok := stack[len(stack)-2].(*ast.CallExpr)
+	return ok && isAtomicCall(pkg, call)
+}
+
+// isAtomicCall reports whether the call resolves to a sync/atomic package
+// function (renamed imports included).
+func isAtomicCall(pkg *anz.Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// addrOfField returns the field key when arg has the shape &x.f with f a
+// struct field of a named type.
+func addrOfField(pkg *anz.Package, arg ast.Expr) (string, bool) {
+	u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return "", false
+	}
+	sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	key, _, ok := fieldOf(pkg, sel)
+	return key, ok
+}
+
+// fieldOf resolves a selector to a struct field of a named type and
+// returns its module-wide key "pkg/path.T.field".
+func fieldOf(pkg *anz.Package, sel *ast.SelectorExpr) (string, *types.Var, bool) {
+	s, ok := pkg.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", nil, false
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok {
+		return "", nil, false
+	}
+	recv := s.Recv()
+	if p, isPtr := recv.Underlying().(*types.Pointer); isPtr {
+		recv = p.Elem()
+	}
+	n, ok := recv.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return "", nil, false
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name() + "." + v.Name(), v, true
+}
+
+// isAtomicBoxType reports whether t is one of the sync/atomic value types.
+func isAtomicBoxType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// compositeLocals collects local variables bound to composite literals
+// (`s := T{…}` / `s := &T{…}`): accesses through them happen before the
+// value is shared, so plain initialization writes are fine.
+func compositeLocals(pkg *anz.Package, file *ast.File) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			rhs := ast.Unparen(as.Rhs[i])
+			if u, isAddr := rhs.(*ast.UnaryExpr); isAddr && u.Op == token.AND {
+				rhs = ast.Unparen(u.X)
+			}
+			if _, isLit := rhs.(*ast.CompositeLit); !isLit {
+				continue
+			}
+			if obj := pkg.TypesInfo.Defs[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isCompositeLocalBase reports whether the selector's base resolves to a
+// composite-literal local from this file.
+func isCompositeLocalBase(pkg *anz.Package, base ast.Expr, fresh map[types.Object]bool) bool {
+	id, ok := ast.Unparen(base).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return fresh[pkg.TypesInfo.Uses[id]]
+}

@@ -1,0 +1,13 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"sqpr/internal/analysis/atest"
+	"sqpr/internal/analysis/atomicmix"
+)
+
+func TestAtomicmix(t *testing.T) {
+	atest.RunModule(t, ".", atomicmix.Analyzer,
+		"./testdata/src/atomica", "./testdata/src/atomicmix")
+}

@@ -1,0 +1,19 @@
+// Package atomica establishes the atomic discipline for Counter.N: the
+// importing fixture package violates it, proving the field facts travel
+// across package boundaries.
+package atomica
+
+import "sync/atomic"
+
+type Counter struct {
+	N    int64
+	Name string
+}
+
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.N, 1)
+}
+
+func (c *Counter) Get() int64 {
+	return atomic.LoadInt64(&c.N)
+}

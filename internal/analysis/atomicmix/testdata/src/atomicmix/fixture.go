@@ -1,0 +1,63 @@
+// Package atomicmix fixtures: plain access to atomically-updated fields,
+// in-package and across packages, plus atomic box-type copies.
+package atomicmix
+
+import (
+	"sync/atomic"
+
+	"sqpr/internal/analysis/atomicmix/testdata/src/atomica"
+)
+
+type gauge struct {
+	hits  int64
+	flag  atomic.Bool
+	label string
+}
+
+func (g *gauge) bump() {
+	atomic.AddInt64(&g.hits, 1) // sanctioned operand position
+}
+
+func (g *gauge) badRead() int64 {
+	return g.hits // want "plain access to hits"
+}
+
+func (g *gauge) badWrite() {
+	g.hits = 0 // want "plain access to hits"
+}
+
+// newGauge initializes through a composite-literal local before the value
+// escapes: exempt.
+func newGauge() *gauge {
+	g := &gauge{hits: 0}
+	g.hits = 1
+	return g
+}
+
+// waived documents a deliberate pre-publication reset.
+func reset(g *gauge) {
+	//sqpr:atomic-ok caller guarantees quiescence during reset
+	g.hits = 0
+}
+
+// plainField is untouched by sync/atomic: plain access is fine.
+func name(g *gauge) string {
+	return g.label
+}
+
+// crossPackage violates atomica's discipline from outside the package.
+func crossPackage(c *atomica.Counter) int64 {
+	return c.N // want "plain access to N"
+}
+
+// boxUse is the intended use of an atomic box: methods and addresses.
+func boxUse(g *gauge) bool {
+	g.flag.Store(true)
+	p := &g.flag
+	return p.Load()
+}
+
+// boxCopy smuggles a snapshot out of the atomic domain.
+func boxCopy(g *gauge) atomic.Bool {
+	return g.flag // want "copies an atomic box"
+}

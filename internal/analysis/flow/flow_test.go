@@ -1,0 +1,166 @@
+package flow_test
+
+import (
+	"go/ast"
+	"sort"
+	"testing"
+
+	"sqpr/internal/analysis/anz"
+	"sqpr/internal/analysis/flow"
+)
+
+const fx = "sqpr/internal/analysis/flow/testdata/src/flowgraph"
+
+func buildFixture(t *testing.T) *flow.Graph {
+	t.Helper()
+	pkgs, err := anz.Load(".", "./testdata/src/flowgraph")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	return flow.Build(pkgs)
+}
+
+// edges returns "callee kind" strings for one function, sorted.
+func edges(t *testing.T, g *flow.Graph, key string) []string {
+	t.Helper()
+	f := g.Func(key)
+	if f == nil {
+		t.Fatalf("function %q not in graph", key)
+	}
+	var out []string
+	for _, s := range f.Sites {
+		out = append(out, s.Callee+" "+s.Kind.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestBuildEdges(t *testing.T) {
+	g := buildFixture(t)
+
+	cases := map[string][]string{
+		"(*" + fx + ".service).applyOne": {
+			"(" + fx + ".Planner).Submit call",
+			"(*" + fx + ".service).journal call",
+			"(*sync.Mutex).Lock call",
+			"(*sync.Mutex).Unlock defer",
+		},
+		"(*" + fx + ".service).dispatch": {
+			"(*" + fx + ".service).applyOne call",
+			"(*" + fx + ".service).reply call",
+		},
+		"(*" + fx + ".service).spawn": {
+			"(*" + fx + ".service).spawn$1 go",
+		},
+		"(*" + fx + ".service).spawn$1": {
+			"(*" + fx + ".service).dispatch call",
+		},
+		"(*" + fx + ".service).handoff": {
+			"(*" + fx + ".service).reply ref",
+		},
+		fx + ".leaf": nil,
+	}
+	for key, want := range cases {
+		got := edges(t, g, key)
+		sort.Strings(want)
+		if len(got) != len(want) {
+			t.Errorf("%s edges:\n got %q\nwant %q", key, got, want)
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("%s edges:\n got %q\nwant %q", key, got, want)
+				break
+			}
+		}
+	}
+}
+
+func TestInterfaceMethodAnnotation(t *testing.T) {
+	g := buildFixture(t)
+	mut := g.Annotated("mutates")
+	if _, ok := mut["("+fx+".Planner).Submit"]; !ok {
+		t.Errorf("interface method annotation missing; annotated(mutates) = %v", mut)
+	}
+	if f := g.Func("(" + fx + ".Planner).Submit"); f == nil || f.Body() != nil {
+		t.Errorf("interface method should be a bodyless node, got %+v", f)
+	}
+}
+
+func TestReachesAny(t *testing.T) {
+	g := buildFixture(t)
+
+	acks := g.ReachesAny(seeds(g.Annotated("ack-point")))
+	for _, key := range []string{
+		"(*" + fx + ".service).reply",
+		"(*" + fx + ".service).dispatch",
+		"(*" + fx + ".service).spawn$1",
+		"(*" + fx + ".service).spawn",
+		"(*" + fx + ".service).handoff",
+	} {
+		if !acks[key] {
+			t.Errorf("mayAck should include %s; got %v", key, sortedKeys(acks))
+		}
+	}
+	for _, key := range []string{
+		"(*" + fx + ".service).applyOne",
+		fx + ".leaf",
+	} {
+		if acks[key] {
+			t.Errorf("mayAck wrongly includes %s", key)
+		}
+	}
+
+	// Restricting edge kinds to plain calls drops the go-launch and
+	// method-value paths.
+	callOnly := g.ReachesAny(seeds(g.Annotated("ack-point")), flow.KindCall)
+	if callOnly["(*"+fx+".service).spawn"] || callOnly["(*"+fx+".service).handoff"] {
+		t.Errorf("call-only reachability leaked through go/ref edges: %v", sortedKeys(callOnly))
+	}
+	if !callOnly["(*"+fx+".service).dispatch"] {
+		t.Error("call-only reachability lost the direct caller")
+	}
+}
+
+func TestWalkBodyBranches(t *testing.T) {
+	g := buildFixture(t)
+	f := g.Func("(*" + fx + ".service).dispatch")
+	if f == nil || f.Body() == nil {
+		t.Fatal("dispatch body missing")
+	}
+	// Count call expressions seen, twice per loop pass: the range body is
+	// walked twice, so both calls appear twice.
+	seen := map[string]int{}
+	flow.WalkBody(f.Body(), struct{}{}, flow.Effects[struct{}]{
+		Clone: func(s struct{}) struct{} { return s },
+		Merge: func(a, b struct{}) struct{} { return a },
+		Call: func(s struct{}, call *ast.CallExpr, kind flow.CallKind) struct{} {
+			if key, ok := flow.ResolveCall(f.Pkg.TypesInfo, call); ok {
+				seen[key]++
+			}
+			return s
+		},
+	})
+	for _, key := range []string{"(*" + fx + ".service).applyOne", "(*" + fx + ".service).reply"} {
+		if seen[key] != 2 {
+			t.Errorf("loop body should be walked twice; saw %s %d times (%v)", key, seen[key], seen)
+		}
+	}
+}
+
+func seeds(m map[string]string) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+func sortedKeys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,60 @@
+// Package flowgraph is the call-graph fixture: every edge kind, nested
+// literals, method values, and an annotated interface method, with shapes
+// mirroring the real tree (dispatcher loop, deferred unlock, worker pool).
+package flowgraph
+
+import "sync"
+
+// Planner mimics plan.QueryPlanner: the contract annotation lives on the
+// interface method and must be reachable through dynamic dispatch.
+type Planner interface {
+	//sqpr:mutates
+	Submit(id string) error
+}
+
+type service struct {
+	mu sync.Mutex
+	p  Planner
+}
+
+//sqpr:ack-point
+func (s *service) reply() {}
+
+//sqpr:journal-point
+func (s *service) journal() error { return nil }
+
+func (s *service) applyOne(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.p.Submit(id); err != nil {
+		return err
+	}
+	return s.journal()
+}
+
+func (s *service) dispatch(ids []string) {
+	for _, id := range ids {
+		if s.applyOne(id) != nil {
+			continue
+		}
+		s.reply()
+	}
+}
+
+// spawn exercises go edges and a nested literal with its own edges.
+func (s *service) spawn() {
+	go func() {
+		s.dispatch(nil)
+	}()
+}
+
+// handoff takes reply as a method value: a ref edge, not a call.
+func (s *service) handoff() func() {
+	f := s.reply
+	return f
+}
+
+// leaf has no outgoing edges at all.
+func leaf() int { return 1 }
+
+var _ = leaf

@@ -11,7 +11,10 @@
 //   - an access is accepted when, earlier in the same innermost function
 //     literal or declaration, the same base expression locks the mutex
 //     (base.mu.Lock() or base.mu.RLock(); writes require the exclusive
-//     Lock);
+//     Lock); inside the success branch of `if base.mu.TryLock()` (TryRLock
+//     for reads); or after a pending `defer base.mu.Unlock()` — direct or
+//     bound as a method value — which proves a caller-acquired lock is
+//     held;
 //   - a function annotated //sqpr:locked mu declares its caller holds mu
 //     (used for helpers called under the lock and for single-threaded
 //     phases such as the branch-and-bound root);
@@ -180,6 +183,12 @@ func checkAccess(pass *anz.Pass, guarded map[types.Object]string, lines *anno.Li
 	if holdsBefore(pass, sc.body, base, mu, sel.Pos(), write) {
 		return
 	}
+	if inTryLockBranch(sc.body, base, mu, sel.Pos(), write) {
+		return
+	}
+	if deferredUnlockBefore(pass, sc.body, base, mu, sel.Pos(), write) {
+		return
+	}
 	need := "Lock"
 	if !write {
 		need = "Lock/RLock"
@@ -222,6 +231,118 @@ func holdsBefore(pass *anz.Pass, body *ast.BlockStmt, base, mu string, pos token
 		return true
 	})
 	return found
+}
+
+// inTryLockBranch reports whether pos sits inside the success branch of
+// `if base.mu.TryLock() { … }` (TryRLock for reads): the condition being
+// true is exactly the lock being held for that block.
+func inTryLockBranch(body *ast.BlockStmt, base, mu string, pos token.Pos, write bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != body {
+			return false
+		}
+		ifst, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		call, ok := ast.Unparen(ifst.Cond).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "TryLock" && (write || sel.Sel.Name != "TryRLock") {
+			return true
+		}
+		muSel, ok := sel.X.(*ast.SelectorExpr)
+		if !ok || muSel.Sel.Name != mu || types.ExprString(muSel.X) != base {
+			return true
+		}
+		if ifst.Body.Pos() <= pos && pos < ifst.Body.End() {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// deferredUnlockBefore reports whether a `defer base.mu.Unlock()` (RUnlock
+// for reads) precedes pos — direct, or through a method value:
+//
+//	u := base.mu.Unlock
+//	defer u()
+//
+// A pending unlock is proof the lock is currently held even when the
+// acquisition happened in the caller.
+func deferredUnlockBefore(pass *anz.Pass, body *ast.BlockStmt, base, mu string, pos token.Pos, write bool) bool {
+	// Method-value unlocks bound before pos, by object.
+	unlockValues := make(map[types.Object]bool)
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != body {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.End() > pos {
+				return true
+			}
+			for i, rhs := range x.Rhs {
+				if i >= len(x.Lhs) {
+					break
+				}
+				if !isUnlockSelector(rhs, base, mu, write) {
+					continue
+				}
+				if id, ok := x.Lhs[i].(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						unlockValues[obj] = true
+					} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+						unlockValues[obj] = true
+					}
+				}
+			}
+		case *ast.DeferStmt:
+			if x.End() > pos {
+				return true
+			}
+			if isUnlockSelector(x.Call.Fun, base, mu, write) {
+				found = true
+				return false
+			}
+			if id, ok := ast.Unparen(x.Call.Fun).(*ast.Ident); ok && unlockValues[pass.TypesInfo.Uses[id]] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isUnlockSelector matches base.mu.Unlock (or RUnlock for reads) used as a
+// bare method expression — the callee of a defer or the RHS of a
+// method-value binding.
+func isUnlockSelector(e ast.Expr, base, mu string, write bool) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name != "Unlock" && (write || sel.Sel.Name != "RUnlock") {
+		return false
+	}
+	muSel, ok := sel.X.(*ast.SelectorExpr)
+	return ok && muSel.Sel.Name == mu && types.ExprString(muSel.X) == base
 }
 
 // isWrite reports whether sel is the target of an assignment or inc/dec

@@ -70,6 +70,54 @@ func (c *counter) closureAnnotated(done func()) {
 	}()
 }
 
+// tryGood touches the field only inside the TryLock success branch.
+func (c *counter) tryGood() {
+	if c.mu.TryLock() {
+		c.n++
+		c.mu.Unlock()
+	}
+}
+
+// tryRGood reads under a successful TryRLock.
+func (c *counter) tryRGood() int {
+	if c.mu.TryRLock() {
+		defer c.mu.RUnlock()
+		return c.n
+	}
+	return 0
+}
+
+// tryBadOutside accesses the field after the conditional block, where the
+// lock may never have been taken.
+func (c *counter) tryBadOutside() int {
+	if c.mu.TryLock() {
+		c.mu.Unlock()
+	}
+	return c.n // want `guarded by "mu"`
+}
+
+// tryRBadWrite writes under a read-try: still a race.
+func (c *counter) tryRBadWrite() {
+	if c.mu.TryRLock() {
+		c.n++ // want `guarded by "mu"`
+		c.mu.RUnlock()
+	}
+}
+
+// deferredDirect proves holding through the pending unlock the caller's
+// handed-over lock requires.
+func (c *counter) deferredDirect() int {
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+// deferredValue does the same through a method value.
+func (c *counter) deferredValue() {
+	u := c.mu.Unlock
+	defer u()
+	c.n++
+}
+
 type outer struct{ c *counter }
 
 func (o *outer) chainGood() int {

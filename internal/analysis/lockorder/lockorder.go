@@ -1,0 +1,462 @@
+// Package lockorder builds the module's global lock-acquisition graph and
+// reports ordering hazards. A lock class is a mutex-typed struct field
+// (keyed by its named type, so every instance of plan.Service.pmu is one
+// class) or a package-level mutex var. Edges are recorded whenever a class
+// is acquired — lexically or transitively through a callee's acquire
+// summary — while another is held; held-sets are tracked branch-sensitively
+// (intersection merges: an edge needs the lock held on every path) with
+// //sqpr:locked entry facts and deferred unlocks respected.
+//
+// The sanctioned hierarchy is declared in source:
+//
+//	//sqpr:lock-order Service.mu < Service.pmu < Service.smu
+//
+// (suffix-matched against class keys, transitively closed). An edge that
+// contradicts a declaration is reported at the acquisition site; an edge
+// participating in an undeclared cycle is reported at every unsanctioned
+// acquisition around the cycle; re-acquiring a lock already lexically held
+// is reported as a self-deadlock. Acquisitions consistent with — or simply
+// absent from — the declarations are silent: the hierarchy only has to be
+// written down where the graph is nontrivial.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"sqpr/internal/analysis/anno"
+	"sqpr/internal/analysis/anz"
+	"sqpr/internal/analysis/flow"
+)
+
+// Analyzer is the module-level lockorder pass.
+var Analyzer = &anz.ModuleAnalyzer{
+	Name: "lockorder",
+	Doc:  "report lock acquisitions that contradict the declared //sqpr:lock-order hierarchy or form cycles",
+	Run:  run,
+}
+
+// edge is one observed "to acquired while from held" pair of lock classes.
+type edge struct{ from, to string }
+
+func run(pass *anz.ModulePass) error {
+	g := flow.Build(pass.Pkgs)
+
+	// Acquire summaries: which classes may a call into f take? Propagated
+	// over synchronous edges only — a spawned worker's locking happens in
+	// its own stack, and creating it while holding a lock is not an
+	// ordering edge.
+	direct := make(map[string]map[string]bool) // func key -> classes locked lexically
+	g.Each(func(f *flow.Func) {
+		body := f.Body()
+		if body == nil {
+			return
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if cls, op, ok := lockOp(f.Pkg, call); ok && acquiringOp(op) {
+					if direct[f.Key] == nil {
+						direct[f.Key] = make(map[string]bool)
+					}
+					direct[f.Key][cls] = true
+				}
+			}
+			return true
+		})
+	})
+	acquires := transitiveAcquires(g, direct)
+
+	// Walk every body tracking the held set, recording edges.
+	edges := make(map[edge]token.Pos)
+	g.Each(func(f *flow.Func) {
+		body := f.Body()
+		if body == nil {
+			return
+		}
+		walkHeld(pass, g, f, acquires, edges)
+	})
+
+	// Declared hierarchy, transitively closed over the declaration chains,
+	// then matched against the observed class keys.
+	classes := make(map[string]bool)
+	for e := range edges {
+		classes[e.from] = true
+		classes[e.to] = true
+	}
+	sanctioned, err := declaredOrder(pass, classes)
+	if err != nil {
+		return err
+	}
+
+	report(pass, edges, sanctioned)
+	return nil
+}
+
+// --- lock classes ---
+
+// lockOp recognizes a mutex method call and returns the receiver's class
+// and the method name. Mutexes with no derivable class (locals, map
+// elements) return ok=false.
+func lockOp(pkg *anz.Package, call *ast.CallExpr) (cls, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", "", false
+	}
+	s, isMethod := pkg.TypesInfo.Selections[sel]
+	if !isMethod || !isMutex(s.Recv()) {
+		return "", "", false
+	}
+	cls, ok = classOf(pkg, sel.X)
+	return cls, sel.Sel.Name, ok
+}
+
+func acquiringOp(op string) bool { return op == "Lock" || op == "RLock" }
+func releasingOp(op string) bool { return op == "Unlock" || op == "RUnlock" }
+
+func isMutex(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// classOf derives the lock class of a mutex expression: "pkg/path.T.field"
+// for a field of a named struct type, "pkg/path.var" for a package-level
+// var.
+func classOf(pkg *anz.Package, x ast.Expr) (string, bool) {
+	switch e := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		v, ok := pkg.TypesInfo.Uses[e].(*types.Var)
+		if !ok || v.Pkg() == nil {
+			return "", false
+		}
+		if v.Parent() == v.Pkg().Scope() { // package-level var
+			return v.Pkg().Path() + "." + v.Name(), true
+		}
+	case *ast.SelectorExpr:
+		s, ok := pkg.TypesInfo.Selections[e]
+		if !ok {
+			return "", false
+		}
+		recv := s.Recv()
+		if p, isPtr := recv.Underlying().(*types.Pointer); isPtr {
+			recv = p.Elem()
+		}
+		if n, isNamed := recv.(*types.Named); isNamed && n.Obj().Pkg() != nil {
+			return n.Obj().Pkg().Path() + "." + n.Obj().Name() + "." + e.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+// short trims package paths for messages: "sqpr/internal/plan.Service.pmu"
+// → "plan.Service.pmu".
+func short(cls string) string {
+	if i := strings.LastIndex(cls, "/"); i >= 0 {
+		return cls[i+1:]
+	}
+	return cls
+}
+
+// --- acquire summaries ---
+
+// transitiveAcquires propagates lexical acquisitions bottom-up: for each
+// class, every function from which a directly-acquiring function is
+// reachable over call/defer edges may acquire it.
+func transitiveAcquires(g *flow.Graph, direct map[string]map[string]bool) map[string]map[string]bool {
+	byClass := make(map[string]map[string]bool)
+	for key, classes := range direct {
+		for cls := range classes {
+			if byClass[cls] == nil {
+				byClass[cls] = make(map[string]bool)
+			}
+			byClass[cls][key] = true
+		}
+	}
+	out := make(map[string]map[string]bool)
+	for cls, seeds := range byClass {
+		for key := range g.ReachesAny(seeds, flow.KindCall, flow.KindDefer) {
+			if out[key] == nil {
+				out[key] = make(map[string]bool)
+			}
+			out[key][cls] = true
+		}
+	}
+	return out
+}
+
+// --- held-set interpretation ---
+
+type held map[string]bool
+
+func walkHeld(pass *anz.ModulePass, g *flow.Graph, f *flow.Func, acquires map[string]map[string]bool, edges map[edge]token.Pos) {
+	entry := make(held)
+	for _, cls := range entryHeld(f) {
+		entry[cls] = true
+	}
+	selfReported := make(map[token.Pos]bool)
+
+	flow.WalkBody(f.Body(), entry, flow.Effects[held]{
+		Clone: func(h held) held {
+			c := make(held, len(h))
+			for k := range h {
+				c[k] = true
+			}
+			return c
+		},
+		// Must-hold semantics: a lock is held after a merge only if every
+		// incoming path holds it, so recorded edges are real on all paths.
+		Merge: func(a, b held) held {
+			m := make(held)
+			for k := range a {
+				if b[k] {
+					m[k] = true
+				}
+			}
+			return m
+		},
+		Call: func(h held, call *ast.CallExpr, kind flow.CallKind) held {
+			if cls, op, ok := lockOp(f.Pkg, call); ok {
+				switch {
+				case acquiringOp(op):
+					if h[cls] && !selfReported[call.Lparen] {
+						selfReported[call.Lparen] = true
+						pass.ReportContext(call.Lparen, "lock "+short(cls),
+							"lock %s acquired while already held (self-deadlock)", short(cls))
+					}
+					for prior := range h {
+						if prior == cls {
+							continue
+						}
+						addEdge(edges, edge{prior, cls}, call.Lparen)
+					}
+					h[cls] = true
+				case releasingOp(op) && kind == flow.KindCall:
+					// A deferred unlock runs at return: the lock stays held
+					// for the rest of the body.
+					delete(h, cls)
+				}
+				// TryLock/TryRLock: acquisition is conditional; lockguard
+				// checks the success branch, ordering stays conservative.
+				return h
+			}
+			if kind == flow.KindGo {
+				return h
+			}
+			if key, ok := flow.ResolveCall(f.Pkg.TypesInfo, call); ok {
+				for cls := range acquires[key] {
+					for prior := range h {
+						// No self-edge from summaries: an //sqpr:locked
+						// annotation can mean "single-threaded phase", and
+						// the callee re-acquiring the same class lexically
+						// is reported in the callee itself.
+						if prior == cls {
+							continue
+						}
+						addEdge(edges, edge{prior, cls}, call.Lparen)
+					}
+				}
+			}
+			return h
+		},
+	})
+}
+
+// addEdge keeps the first observed site per edge for stable reporting.
+func addEdge(edges map[edge]token.Pos, e edge, pos token.Pos) {
+	if _, ok := edges[e]; !ok {
+		edges[e] = pos
+	}
+}
+
+// entryHeld resolves //sqpr:locked <name> annotations to lock classes:
+// a receiver field of the method's receiver type, or a package-level var.
+func entryHeld(f *flow.Func) []string {
+	var out []string
+	for _, d := range f.Annots {
+		if d.Verb != "locked" {
+			continue
+		}
+		name := firstField(d.Args)
+		if name == "" {
+			continue
+		}
+		if cls, ok := receiverField(f, name); ok {
+			out = append(out, cls)
+			continue
+		}
+		if obj := f.Pkg.Types.Scope().Lookup(name); obj != nil {
+			if v, ok := obj.(*types.Var); ok && isMutex(v.Type()) {
+				out = append(out, f.Pkg.PkgPath+"."+name)
+			}
+		}
+	}
+	return out
+}
+
+func receiverField(f *flow.Func, name string) (string, bool) {
+	if f.Decl == nil || f.Decl.Recv == nil {
+		return "", false
+	}
+	obj, _ := f.Pkg.TypesInfo.Defs[f.Decl.Name].(*types.Func)
+	if obj == nil {
+		return "", false
+	}
+	recv := obj.Type().(*types.Signature).Recv().Type()
+	if p, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	n, ok := recv.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return "", false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		fd := st.Field(i)
+		if fd.Name() == name && isMutex(fd.Type()) {
+			return n.Obj().Pkg().Path() + "." + n.Obj().Name() + "." + name, true
+		}
+	}
+	return "", false
+}
+
+func firstField(s string) string {
+	fs := strings.Fields(s)
+	if len(fs) == 0 {
+		return ""
+	}
+	return fs[0]
+}
+
+// --- declarations and reporting ---
+
+// declaredOrder parses every //sqpr:lock-order chain in the module,
+// resolves the names against observed class keys by suffix match, and
+// returns the transitive closure of sanctioned (before, after) pairs.
+func declaredOrder(pass *anz.ModulePass, classes map[string]bool) (map[edge]bool, error) {
+	// Pairs over declared names first.
+	namePairs := make(map[edge]bool)
+	names := make(map[string]bool)
+	for _, pkg := range pass.Pkgs {
+		for _, file := range pkg.Syntax {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					d, ok := anno.Parse(c)
+					if !ok || d.Verb != "lock-order" {
+						continue
+					}
+					var chain []string
+					for _, part := range strings.Split(d.Args, "<") {
+						if p := strings.TrimSpace(part); p != "" {
+							chain = append(chain, p)
+							names[p] = true
+						}
+					}
+					for i := 0; i+1 < len(chain); i++ {
+						namePairs[edge{chain[i], chain[i+1]}] = true
+					}
+				}
+			}
+		}
+	}
+	// Transitive closure over names (tiny graphs; cubic is fine).
+	for changed := true; changed; {
+		changed = false
+		for a := range namePairs {
+			for b := range namePairs {
+				if a.to == b.from && !namePairs[edge{a.from, b.to}] {
+					namePairs[edge{a.from, b.to}] = true
+					changed = true
+				}
+			}
+		}
+	}
+	// Map names to observed classes by suffix.
+	match := func(name string) []string {
+		var out []string
+		for cls := range classes {
+			if cls == name || strings.HasSuffix(cls, "."+name) {
+				out = append(out, cls)
+			}
+		}
+		return out
+	}
+	sanctioned := make(map[edge]bool)
+	for p := range namePairs {
+		for _, from := range match(p.from) {
+			for _, to := range match(p.to) {
+				sanctioned[edge{from, to}] = true
+			}
+		}
+	}
+	return sanctioned, nil
+}
+
+// report classifies each observed edge: contradiction of a declaration
+// beats cycle membership; sanctioned or acyclic-undeclared edges are
+// silent.
+func report(pass *anz.ModulePass, edges map[edge]token.Pos, sanctioned map[edge]bool) {
+	// Forward adjacency over observed edges for cycle detection.
+	adj := make(map[string][]string)
+	for e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	reaches := func(from, to string) bool {
+		seen := map[string]bool{from: true}
+		queue := []string{from}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			if cur == to {
+				return true
+			}
+			for _, next := range adj[cur] {
+				if !seen[next] {
+					seen[next] = true
+					queue = append(queue, next)
+				}
+			}
+		}
+		return false
+	}
+
+	ordered := make([]edge, 0, len(edges))
+	for e := range edges {
+		ordered = append(ordered, e)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return edges[ordered[i]] < edges[ordered[j]] })
+
+	for _, e := range ordered {
+		pos := edges[e]
+		ctx := "while holding " + short(e.from)
+		switch {
+		case sanctioned[edge{e.to, e.from}]:
+			pass.ReportContext(pos, ctx,
+				"lock %s acquired while holding %s contradicts the declared //sqpr:lock-order (%s < %s)",
+				short(e.to), short(e.from), short(e.to), short(e.from))
+		case sanctioned[e]:
+			// Declared and followed.
+		case reaches(e.to, e.from):
+			pass.ReportContext(pos, ctx,
+				"lock-order cycle: %s acquired while holding %s, and %s is elsewhere acquired while %s is held; declare //sqpr:lock-order or break the cycle",
+				short(e.to), short(e.from), short(e.from), short(e.to))
+		}
+	}
+}

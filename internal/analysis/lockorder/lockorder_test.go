@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"sqpr/internal/analysis/atest"
+	"sqpr/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	atest.RunModule(t, ".", lockorder.Analyzer, "./testdata/src/lockorder")
+}

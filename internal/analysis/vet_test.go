@@ -1,25 +1,32 @@
 // Package analysis_test runs the full sqpr-vet analyzer suite against the
 // real module — the meta-check behind the CI gate: every package must stay
-// clean under lockguard, ctxflow, hotalloc and errflow at all times, so a
-// regression in either the code or the analyzers themselves fails here
-// before it fails in CI.
+// clean under the per-package analyzers (lockguard, ctxflow, hotalloc,
+// errflow) and the interprocedural module analyzers (walorder, lockorder,
+// atomicmix) at all times, so a regression in either the code or the
+// analyzers themselves fails here before it fails in CI.
 package analysis_test
 
 import (
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
 
 	"sqpr/internal/analysis/anz"
+	"sqpr/internal/analysis/atomicmix"
 	"sqpr/internal/analysis/ctxflow"
 	"sqpr/internal/analysis/errflow"
 	"sqpr/internal/analysis/hotalloc"
 	"sqpr/internal/analysis/lockguard"
+	"sqpr/internal/analysis/lockorder"
+	"sqpr/internal/analysis/walorder"
 )
 
-// TestModuleIsVetClean loads every package of the module and asserts the
-// four analyzers report nothing. Fixture corpora under testdata are not
-// part of ./... and keep their deliberate violations.
+// TestModuleIsVetClean loads every package of the module and asserts all
+// seven analyzers report nothing. Fixture corpora under testdata are not
+// part of ./... and keep their deliberate violations. On failure the
+// findings print grouped by analyzer with file:line positions, so the
+// offending contract is readable straight off the test log.
 func TestModuleIsVetClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and typechecks the whole module")
@@ -41,12 +48,40 @@ func TestModuleIsVetClean(t *testing.T) {
 	if err != nil {
 		t.Fatalf("running analyzers: %v", err)
 	}
+	modFindings, err := anz.RunModuleAnalyzers(pkgs, []*anz.ModuleAnalyzer{
+		walorder.Analyzer,
+		lockorder.Analyzer,
+		atomicmix.Analyzer,
+	})
+	if err != nil {
+		t.Fatalf("running module analyzers: %v", err)
+	}
+	findings = append(findings, modFindings...)
+	if len(findings) == 0 {
+		return
+	}
+
+	byAnalyzer := make(map[string][]anz.Finding)
 	for _, f := range findings {
-		t.Errorf("%s", f)
+		byAnalyzer[f.Analyzer] = append(byAnalyzer[f.Analyzer], f)
 	}
-	if len(findings) > 0 {
-		t.Fatalf("sqpr-vet reported %d finding(s); the module must stay clean", len(findings))
+	names := make([]string, 0, len(byAnalyzer))
+	for name := range byAnalyzer {
+		names = append(names, name)
 	}
+	sort.Strings(names)
+	for _, name := range names {
+		group := byAnalyzer[name]
+		t.Errorf("%s: %d finding(s)", name, len(group))
+		for _, f := range group {
+			msg := f.Message
+			if f.Context != "" {
+				msg += " [" + f.Context + "]"
+			}
+			t.Errorf("  %s:%d:%d: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, msg)
+		}
+	}
+	t.Fatalf("sqpr-vet reported %d finding(s); the module must stay clean", len(findings))
 }
 
 // moduleRoot walks up from the test's working directory to the go.mod.

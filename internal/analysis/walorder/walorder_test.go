@@ -1,0 +1,12 @@
+package walorder_test
+
+import (
+	"testing"
+
+	"sqpr/internal/analysis/atest"
+	"sqpr/internal/analysis/walorder"
+)
+
+func TestWalorder(t *testing.T) {
+	atest.RunModule(t, ".", walorder.Analyzer, "./testdata/src/walorder")
+}

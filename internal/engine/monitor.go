@@ -14,6 +14,12 @@ import (
 type Monitor struct {
 	sys *dsps.System
 
+	// The monitor's lock is a leaf: churn application and transport sends
+	// record into it while holding their own locks, and it must never nest
+	// around them.
+	//
+	//sqpr:lock-order Engine.churnMu < Monitor.mu
+	//sqpr:lock-order TCPTransport.mu < Monitor.mu
 	mu        sync.Mutex
 	cpuWork   []float64 // accumulated operator cost units per host
 	sent      []float64 // accumulated rate-weighted transfers out (network egress only)

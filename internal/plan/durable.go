@@ -109,6 +109,7 @@ func OpenService(p QueryPlanner, cfg ServiceConfig, fs wal.FS, wopts wal.Options
 // Callers hold pmu.
 //
 //sqpr:locked pmu
+//sqpr:journal-point
 func (s *Service) journal(kind TraceKind) error {
 	if s.walLog == nil {
 		return nil

@@ -25,10 +25,14 @@ type QueryPlanner interface {
 	// reports the outcome. A ctx cancellation or deadline aborts the
 	// planning call promptly, returns ctx.Err() and leaves the planner
 	// state unchanged.
+	//
+	//sqpr:mutates
 	Submit(ctx context.Context, q dsps.StreamID, opts ...SubmitOption) (Result, error)
 	// Remove withdraws an admitted query, releasing every resource no
 	// remaining query depends on. Removing a query that is not admitted
 	// returns an error wrapping ErrNotAdmitted.
+	//
+	//sqpr:mutates
 	Remove(q dsps.StreamID) error
 	// Repair reacts to churn events — host failures, recoveries, drains
 	// and query drift — by applying the host-state transitions to the
@@ -39,6 +43,8 @@ type QueryPlanner interface {
 	// core SQPR planner solves a migration-minimal delta MILP; the other
 	// planners fall back to remove-and-resubmit of the affected queries
 	// (see RepairByResubmit).
+	//
+	//sqpr:mutates
 	Repair(ctx context.Context, events []Event, opts ...SubmitOption) (RepairResult, error)
 	// Assignment exposes the current allocation state (do not mutate).
 	// Planners without a physical placement (the optimistic bound) return

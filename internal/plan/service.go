@@ -214,7 +214,12 @@ type Service struct {
 	// pmu serialises planner access between the dispatcher and readers.
 	pmu sync.Mutex
 
-	// smu guards the service stats.
+	// smu guards the service stats. The sanctioned acquisition hierarchy
+	// (enforced module-wide by the lockorder analyzer): the enqueue path
+	// holds mu while bumping stats, the dispatcher holds pmu across solves
+	// and takes smu to record them, and nothing may nest the other way.
+	//
+	//sqpr:lock-order Service.mu < Service.pmu < Service.smu
 	smu   sync.Mutex
 	stats ServiceStats //sqpr:guarded-by smu
 
@@ -668,6 +673,12 @@ func (s *Service) finish(r *request) { s.reply(r, true) }
 // request never touched the planner and counts in Expired, not Requests.
 func (s *Service) finishExpired(r *request) { s.reply(r, false) }
 
+// reply releases the caller: closing r.done is the acknowledgement the
+// submitter blocks on, so everything the outcome depends on must be
+// durable by the time reply runs (the walorder analyzer enforces this
+// module-wide).
+//
+//sqpr:ack-point
 func (s *Service) reply(r *request, applied bool) {
 	if invariant.Enabled && r.finished {
 		invariant.Failf("service: request finished twice (kind %v, query %v)", r.kind, r.q)

@@ -22,6 +22,7 @@ import (
 	"sqpr/internal/dsps"
 	"sqpr/internal/engine"
 	"sqpr/internal/plan"
+	"sqpr/internal/wal"
 )
 
 // Config wires a Server to its telemetry and state sources.
@@ -305,7 +306,8 @@ func decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
 // (the same condition /readyz reports), everything else 500.
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, plan.ErrWALFailed), errors.Is(err, plan.ErrServiceClosed):
+	case errors.Is(err, plan.ErrWALFailed), errors.Is(err, plan.ErrServiceClosed),
+		errors.Is(err, wal.ErrCorrupt), errors.Is(err, wal.ErrClosed):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, plan.ErrQueueFull):
 		return http.StatusTooManyRequests

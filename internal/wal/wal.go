@@ -409,6 +409,8 @@ func (l *Log) fail(err error) error {
 // Append writes one record and returns its sequence number. Depending on
 // the sync policy the record is fsynced before Append returns; callers
 // acknowledge their own clients only after Append succeeds.
+//
+//sqpr:journal-point
 func (l *Log) Append(data []byte) (uint64, error) {
 	if err := l.writable(); err != nil {
 		return 0, err
@@ -522,6 +524,8 @@ func (l *Log) rotate(firstSeq uint64) error {
 // every segment fully covered by it are deleted. Replay cost and disk use
 // stay proportional to the activity since the last snapshot, not to the
 // log's lifetime.
+//
+//sqpr:journal-point
 func (l *Log) WriteSnapshot(data []byte) error {
 	if err := l.writable(); err != nil {
 		return err
